@@ -1,0 +1,38 @@
+# Convenience targets; everything is plain dune underneath.
+
+all: build
+
+build:
+	dune build @all
+
+test:
+	dune runtest
+
+test-verbose:
+	dune runtest --force --no-buffer
+
+bench:
+	dune exec bench/main.exe
+
+experiments-quick:
+	dune exec bin/experiments.exe -- all
+
+fig12:
+	dune exec bin/experiments.exe -- fig12
+
+fig13:
+	dune exec bin/experiments.exe -- fig13
+
+examples:
+	dune exec examples/quickstart.exe
+	dune exec examples/brand_awareness.exe
+	dune exec examples/roi_equalizer.exe
+	dune exec examples/heavyweight_auction.exe
+	dune exec examples/daily_ramp.exe
+	dune exec examples/search_session.exe
+	dune exec examples/competitor_guard.exe
+
+clean:
+	dune clean
+
+.PHONY: all build test test-verbose bench experiments-quick fig12 fig13 examples clean
