@@ -1,0 +1,276 @@
+(* Bechamel micro-benchmarks: one test (or test group) per paper
+   table/figure plus the DESIGN.md ablations.
+
+   Figure-scale sweeps live in bin/experiments.exe (they need minutes);
+   this executable measures the individual building blocks — each figure's
+   contenders at a representative instance size — and prints per-run time
+   estimates.  Run with: dune exec bench/main.exe *)
+
+open Bechamel
+open Toolkit
+
+(* ------------------------------------------------------------------ *)
+(* Engine-backed benches: one auction per run, steady-state engines. *)
+
+let engine_auction ~method_ ~n ~k =
+  let workload = Essa_sim.Workload.section5 ~seed:1 ~n ~k () in
+  let engine = Essa_sim.Workload.make_engine workload ~method_ in
+  let queries = ref (Essa_sim.Workload.query_stream workload ~seed:17) in
+  let next () =
+    match !queries () with
+    | Seq.Cons (kw, rest) ->
+        queries := rest;
+        kw
+    | Seq.Nil -> 0
+  in
+  (* Reach bid steady state before measuring. *)
+  for _ = 1 to 50 do
+    ignore (Essa.Engine.run_auction engine ~keyword:(next ()))
+  done;
+  Staged.stage (fun () -> ignore (Essa.Engine.run_auction engine ~keyword:(next ())))
+
+let fig12_group () =
+  (* Fig. 12: winner-determination methods, n = 1000 advertisers, 15 slots.
+     (LPdense measured at n = 200 — the dense tableau is the naive
+     baseline and already costs ~10 ms there.) *)
+  Test.make_grouped ~name:"fig12"
+    [
+      Test.make ~name:"LPdense/n=200" (engine_auction ~method_:`Lp_dense ~n:200 ~k:15);
+      Test.make ~name:"LP/n=1000" (engine_auction ~method_:`Lp ~n:1000 ~k:15);
+      Test.make ~name:"H/n=1000" (engine_auction ~method_:`H ~n:1000 ~k:15);
+      Test.make ~name:"RH/n=1000" (engine_auction ~method_:`Rh ~n:1000 ~k:15);
+      Test.make ~name:"RHTALU/n=1000" (engine_auction ~method_:`Rhtalu ~n:1000 ~k:15);
+    ]
+
+let fig13_group () =
+  (* Fig. 13: reducing program evaluation, larger fleet. *)
+  Test.make_grouped ~name:"fig13"
+    [
+      Test.make ~name:"RH/n=8000" (engine_auction ~method_:`Rh ~n:8000 ~k:15);
+      Test.make ~name:"RHTALU/n=8000" (engine_auction ~method_:`Rhtalu ~n:8000 ~k:15);
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Ablations *)
+
+let random_weights ~seed ~n ~k =
+  let rng = Essa_util.Rng.create seed in
+  Array.init n (fun _ -> Array.init k (fun _ -> Essa_util.Rng.float rng 50.0))
+
+let ablation_matching () =
+  let w = random_weights ~seed:2 ~n:2000 ~k:15 in
+  Test.make_grouped ~name:"ablation/matching"
+    [
+      Test.make ~name:"hungarian-classic/n=2000"
+        (Staged.stage (fun () -> ignore (Essa_matching.Hungarian.solve_classic ~w)));
+      Test.make ~name:"hungarian-slotmajor/n=2000"
+        (Staged.stage (fun () -> ignore (Essa_matching.Hungarian.solve ~w)));
+      Test.make ~name:"rh-reduction/n=2000"
+        (Staged.stage (fun () -> ignore (Essa_matching.Reduction.solve ~w ())));
+    ]
+
+let ablation_topk () =
+  let w = random_weights ~seed:3 ~n:50_000 ~k:15 in
+  Test.make_grouped ~name:"ablation/topk"
+    [
+      Test.make ~name:"heap-scan/n=50000"
+        (Staged.stage (fun () ->
+             ignore (Essa_matching.Reduction.top_per_slot ~w ~count:15)));
+      Test.make ~name:"tree-merge/n=50000"
+        (Staged.stage (fun () -> ignore (Essa_matching.Tree_topk.tree_merge ~w ~count:15)));
+      Test.make ~name:"adhoc-domains-4/n=50000"
+        (Staged.stage (fun () ->
+             ignore (Essa_matching.Tree_topk.parallel ~domains:4 ~w ~count:15 ())));
+      (let pool = Essa_util.Domain_pool.create 4 in
+       Test.make ~name:"pool-4/n=50000"
+         (Staged.stage (fun () ->
+              ignore (Essa_matching.Tree_topk.parallel ~pool ~domains:4 ~w ~count:15 ()))));
+    ]
+
+let ablation_lp () =
+  let w = random_weights ~seed:4 ~n:200 ~k:15 in
+  let p = Essa_lp.Assignment_lp.build ~w in
+  Test.make_grouped ~name:"ablation/lp"
+    [
+      Test.make ~name:"tableau/n=200"
+        (Staged.stage (fun () -> ignore (Essa_lp.Simplex_tableau.solve p)));
+      Test.make ~name:"revised/n=200"
+        (Staged.stage (fun () -> ignore (Essa_lp.Simplex_revised.solve p)));
+    ]
+
+let ablation_fleet () =
+  (* Program evaluation per auction: explicit (naive/tabular) vs logical. *)
+  let make mode =
+    let workload = Essa_sim.Workload.section5 ~seed:5 ~n:8000 () in
+    let fleet = mode (Essa_sim.Workload.fresh_states workload) in
+    let rng = Essa_util.Rng.create 9 in
+    for time = 1 to 100 do
+      Essa_strategy.Roi_fleet.on_auction fleet ~time ~keyword:(Essa_util.Rng.int rng 10)
+    done;
+    let time = ref 100 in
+    Staged.stage (fun () ->
+        incr time;
+        Essa_strategy.Roi_fleet.on_auction fleet ~time:!time
+          ~keyword:(Essa_util.Rng.int rng 10))
+  in
+  let make_small mode =
+    (* SQL interpretation is ~3.6 ms per auction at n = 1000; bench it at
+       the size it can sustain. *)
+    let workload = Essa_sim.Workload.section5 ~seed:5 ~n:1000 () in
+    let fleet = mode (Essa_sim.Workload.fresh_states workload) in
+    let rng = Essa_util.Rng.create 9 in
+    for time = 1 to 50 do
+      Essa_strategy.Roi_fleet.on_auction fleet ~time ~keyword:(Essa_util.Rng.int rng 10)
+    done;
+    let time = ref 50 in
+    Staged.stage (fun () ->
+        incr time;
+        Essa_strategy.Roi_fleet.on_auction fleet ~time:!time
+          ~keyword:(Essa_util.Rng.int rng 10))
+  in
+  Test.make_grouped ~name:"ablation/program-eval"
+    [
+      Test.make ~name:"sql/n=1000" (make_small Essa_strategy.Roi_fleet.sql);
+      Test.make ~name:"naive/n=8000" (make Essa_strategy.Roi_fleet.naive);
+      Test.make ~name:"tabular/n=8000" (make Essa_strategy.Roi_fleet.tabular);
+      Test.make ~name:"logical/n=8000" (make Essa_strategy.Roi_fleet.logical);
+    ]
+
+let ablation_heavyweight () =
+  let rng = Essa_util.Rng.create 6 in
+  let n = 100 and k = 8 in
+  let classes =
+    Array.init n (fun _ ->
+        if Essa_util.Rng.bool rng then Essa_prob.Class_model.Heavy
+        else Essa_prob.Class_model.Light)
+  in
+  let base_ctr = Array.init n (fun _ -> Essa_util.Rng.float_in rng 0.05 0.5) in
+  let ctr ~adv ~slot ~heavy_slots =
+    let above = ref 0 in
+    for j = 0 to slot - 2 do
+      if heavy_slots.(j) then incr above
+    done;
+    base_ctr.(adv) /. (1.0 +. (0.3 *. float_of_int !above))
+  in
+  let cvr ~adv:_ ~slot:_ ~heavy_slots:_ = 0.1 in
+  let model = Essa_prob.Class_model.create ~k ~classes ~ctr ~cvr in
+  let bids =
+    Array.init n (fun _ ->
+        Essa_bidlang.Bids.of_strings [ ("click", 1 + Essa_util.Rng.int rng 50) ])
+  in
+  Test.make_grouped ~name:"ablation/heavyweight"
+    [
+      Test.make ~name:"serial/2^8-patterns"
+        (Staged.stage (fun () -> ignore (Essa.Heavyweight.solve ~model ~bids ())));
+      (let pool = Essa_util.Domain_pool.create 4 in
+       Test.make ~name:"pool-4/2^8-patterns"
+         (Staged.stage (fun () -> ignore (Essa.Heavyweight.solve ~pool ~model ~bids ()))));
+    ]
+
+let ablation_pricing () =
+  let w = random_weights ~seed:7 ~n:2000 ~k:15 in
+  let top = Essa_matching.Reduction.top_per_slot ~w ~count:16 in
+  let assignment = Essa_matching.Reduction.solve ~top ~w () in
+  let base = Array.make 2000 0.0 in
+  let ctr ~adv:_ ~slot:_ = 0.5 in
+  Test.make_grouped ~name:"ablation/pricing"
+    [
+      Test.make ~name:"gsp-from-lists/n=2000"
+        (Staged.stage (fun () ->
+             ignore (Essa.Pricing.gsp_per_click ~w ~ctr ~top ~assignment ())));
+      Test.make ~name:"gsp-full-scan/n=2000"
+        (Staged.stage (fun () ->
+             ignore (Essa.Pricing.gsp_per_click ~w ~ctr ~assignment ())));
+      Test.make ~name:"vcg/n=2000"
+        (Staged.stage (fun () ->
+             ignore (Essa.Pricing.vcg ~w ~base ~assignment ())));
+    ]
+
+let ablation_ramp () =
+  let n = 16000 in
+  let rng = Essa_util.Rng.create 8 in
+  let starts = Array.init n (fun _ -> Essa_util.Rng.int rng 30) in
+  let rates = Array.init n (fun _ -> Essa_util.Rng.int rng 5) in
+  let budgets = Array.init n (fun _ -> 200 + Essa_util.Rng.int rng 2000) in
+  let fleet = Essa_strategy.Ramp_fleet.create ~starts ~rates ~budgets in
+  let ctr = Array.init n (fun _ -> Essa_util.Rng.float_in rng 0.05 0.9) in
+  let ctr_sorted = Array.init n (fun i -> (i, ctr.(i))) in
+  Array.sort
+    (fun (ia, pa) (ib, pb) ->
+      let c = Float.compare pb pa in
+      if c <> 0 then c else Int.compare ia ib)
+    ctr_sorted;
+  for _ = 1 to 200 do
+    Essa_strategy.Ramp_fleet.record_win fleet ~adv:(Essa_util.Rng.int rng n)
+      ~price:(Essa_util.Rng.int rng 40)
+  done;
+  Test.make_grouped ~name:"ablation/ramp"
+    [
+      Test.make ~name:"ta-top16/n=16000"
+        (Staged.stage (fun () ->
+             ignore
+               (Essa_strategy.Ramp_fleet.top_k_ta fleet ~ctr_sorted
+                  ~ctr_lookup:(fun i -> ctr.(i)) ~time:25 ~k:16)));
+      Test.make ~name:"scan-top16/n=16000"
+        (Staged.stage (fun () ->
+             ignore
+               (Essa_strategy.Ramp_fleet.top_k_naive fleet
+                  ~ctr_lookup:(fun i -> ctr.(i)) ~time:25 ~k:16)));
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Runner *)
+
+let run_group group =
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.6) ~kde:None ~stabilize:false ()
+  in
+  let raw = Benchmark.all cfg [ Instance.monotonic_clock ] group in
+  let ols =
+    Analyze.all
+      (Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |])
+      Instance.monotonic_clock raw
+  in
+  let rows =
+    Hashtbl.fold
+      (fun name result acc ->
+        let ns =
+          match Analyze.OLS.estimates result with
+          | Some (x :: _) -> x
+          | Some [] | None -> nan
+        in
+        (name, ns) :: acc)
+      ols []
+    |> List.sort compare
+  in
+  List.iter
+    (fun (name, ns) ->
+      let pretty =
+        if ns > 1e9 then Printf.sprintf "%8.3f s " (ns /. 1e9)
+        else if ns > 1e6 then Printf.sprintf "%8.3f ms" (ns /. 1e6)
+        else if ns > 1e3 then Printf.sprintf "%8.3f us" (ns /. 1e3)
+        else Printf.sprintf "%8.1f ns" ns
+      in
+      Printf.printf "  %-44s %s\n%!" name pretty)
+    rows
+
+let () =
+  let groups =
+    [
+      ("Figure 12 contenders (time per auction)", fig12_group);
+      ("Figure 13 contenders (time per auction)", fig13_group);
+      ("Matching algorithms", ablation_matching);
+      ("Per-slot top-k", ablation_topk);
+      ("Simplex solvers (assignment LP)", ablation_lp);
+      ("Program evaluation strategies", ablation_fleet);
+      ("Heavyweight pattern enumeration", ablation_heavyweight);
+      ("Pricing", ablation_pricing);
+      ("Section IV-A ramp strategies", ablation_ramp);
+    ]
+  in
+  List.iter
+    (fun (title, make_group) ->
+      Printf.printf "== %s ==\n%!" title;
+      run_group (make_group ());
+      print_newline ())
+    groups

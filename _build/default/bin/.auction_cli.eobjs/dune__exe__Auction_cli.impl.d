@@ -1,0 +1,1 @@
+bin/auction_cli.ml: Arg Array Cmd Cmdliner Essa Essa_bidlang Essa_matching Essa_prob Essa_sim Essa_util Format List Term

@@ -1,0 +1,1 @@
+bin/auction_cli.mli:

@@ -1,0 +1,1 @@
+bin/experiments.ml: Arg Array Cmd Cmdliner Essa Essa_bidlang Essa_lp Essa_matching Essa_prob Essa_sim Essa_strategy Essa_ta Essa_util Filename Float Int List Printf Seq String Sys Term

@@ -1,0 +1,1 @@
+examples/brand_awareness.ml: Array Essa Essa_bidlang Essa_matching Essa_prob Format Printf

@@ -1,0 +1,1 @@
+examples/brand_awareness.mli:

@@ -1,0 +1,1 @@
+examples/competitor_guard.ml: Array Database Essa Essa_bidlang Essa_matching Essa_prob Essa_relalg Essa_util Expr Format Schema Stmt Table Value

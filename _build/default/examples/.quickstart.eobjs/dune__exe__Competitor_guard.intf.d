@@ -1,0 +1,1 @@
+examples/competitor_guard.mli:

@@ -1,0 +1,1 @@
+examples/daily_ramp.ml: Array Essa Essa_matching Essa_strategy Essa_util Float Format Int List Option Set

@@ -1,0 +1,1 @@
+examples/heavyweight_auction.ml: Array Essa Essa_bidlang Essa_matching Essa_prob Format List String

@@ -1,0 +1,1 @@
+examples/heavyweight_auction.mli:

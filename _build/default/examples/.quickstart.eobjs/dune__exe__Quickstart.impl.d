@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Essa Essa_bidlang Essa_matching Essa_prob Essa_util Format List

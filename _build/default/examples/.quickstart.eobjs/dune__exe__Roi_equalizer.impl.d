@@ -1,0 +1,1 @@
+examples/roi_equalizer.ml: Essa Essa_relalg Essa_sim Essa_strategy Format Seq

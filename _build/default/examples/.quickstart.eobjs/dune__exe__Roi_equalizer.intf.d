@@ -1,0 +1,1 @@
+examples/roi_equalizer.mli:

@@ -1,0 +1,1 @@
+examples/search_session.ml: Array Essa Essa_bidlang Essa_prob Essa_relalg Essa_sim Essa_strategy Essa_util Format List String

@@ -1,0 +1,87 @@
+(* Brand-aware bidding: the motivating scenario from the paper's
+   introduction.  Run with: dune exec examples/brand_awareness.exe
+
+   "Advertisers whose goals are to be perceived as the leaders in their
+   markets may wish their ads to be displayed in the topmost slot or not
+   displayed at all.  [Others] may prefer their ads to be displayed near
+   the top or bottom of the list, but not in the middle."
+
+   Neither preference is expressible in a single-feature auction, and the
+   separable greedy allocator (what a 2008 search engine ran) cannot place
+   them correctly.  This example builds both bidders, runs proper winner
+   determination, and quantifies the revenue the greedy allocator leaves
+   on the table. *)
+
+let k = 5
+
+let () =
+  Format.printf "=== Brand-aware multi-feature bidding (Section I-A) ===@.@.";
+  (* Advertiser 0: market leader — top slot or nothing, click or not. *)
+  let leader = Essa_bidlang.Bids.of_strings [ ("slot1", 20); ("click & slot1", 10) ] in
+  (* Advertiser 1: wants the edges of the page, hates the middle. *)
+  let edges =
+    Essa_bidlang.Bids.of_strings
+      [ (Printf.sprintf "slot1 | slot%d" k, 8); ("click", 6) ]
+  in
+  (* Advertisers 2-4: classical click buyers. *)
+  let click_buyer v = Essa_bidlang.Bids.of_strings [ ("click", v) ] in
+  (* Six bidders for five slots, so GSP prices are set by a real runner-up. *)
+  let bids =
+    [| leader; edges; click_buyer 12; click_buyer 9; click_buyer 7; click_buyer 5 |]
+  in
+  Array.iteri
+    (fun i b -> Format.printf "advertiser %d:@.%a@.@." i Essa_bidlang.Bids.pp b)
+    bids;
+
+  (* A 1-dependent but non-separable click model: advertiser 1's audience
+     clicks almost as well at the bottom as at the top. *)
+  let ctr =
+    [|
+      [| 0.30; 0.22; 0.16; 0.11; 0.07 |];
+      [| 0.20; 0.10; 0.05; 0.09; 0.19 |];   (* edge-loving audience *)
+      [| 0.28; 0.21; 0.15; 0.10; 0.06 |];
+      [| 0.26; 0.19; 0.14; 0.09; 0.06 |];
+      [| 0.24; 0.18; 0.13; 0.09; 0.05 |];
+      [| 0.23; 0.17; 0.12; 0.08; 0.05 |];
+    |]
+  in
+  let cvr = Array.make_matrix 6 k 0.1 in
+  let model = Essa_prob.Model.create ~ctr ~cvr in
+  let w, base = Essa_prob.Model.revenue_matrix model ~bids in
+
+  Format.printf "Is the click matrix separable? %b@.@."
+    (Essa_prob.Separability.is_separable ctr);
+
+  (* Proper expressive winner determination (the paper's RH). *)
+  let optimal = Essa.Winner_determination.solve ~method_:`Rh ~w ~base in
+  let optimal_value = Essa.Winner_determination.value ~w ~base optimal in
+  Format.printf "Expressive WD allocation: %a  (expected revenue %.2fc)@."
+    Essa_matching.Assignment.pp optimal optimal_value;
+  (match optimal.(0) with
+  | Some 0 -> Format.printf "  -> the market leader got the top slot it pays a premium for.@."
+  | _ -> Format.printf "  -> top slot went elsewhere; the leader's premium lost out.@.");
+
+  (* What the separable-greedy infrastructure would do: it can only rank by
+     advertiser factor x slot factor, using each advertiser's click bid. *)
+  let click_values = [| 10.0; 6.0; 12.0; 9.0; 7.0; 5.0 |] in
+  let greedy = Essa_prob.Separability.greedy_allocation ctr click_values in
+  let greedy_value = Essa.Winner_determination.value ~w ~base greedy in
+  Format.printf "@.Greedy separable allocation: %a  (expected revenue %.2fc)@."
+    Essa_matching.Assignment.pp greedy greedy_value;
+  Format.printf "Revenue lost by the greedy allocator: %.2fc (%.1f%%)@.@."
+    (optimal_value -. greedy_value)
+    (100.0 *. (optimal_value -. greedy_value) /. optimal_value);
+
+  (* GSP prices for the expressive allocation. *)
+  let prices =
+    Essa.Pricing.gsp_per_click ~w
+      ~ctr:(fun ~adv ~slot -> ctr.(adv).(slot - 1))
+      ~assignment:optimal ()
+  in
+  Format.printf "GSP per-click prices by slot: %a@."
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf "  ")
+       (fun ppf -> function
+         | None -> Format.pp_print_string ppf "-"
+         | Some p -> Format.fprintf ppf "%dc" p))
+    (Array.to_list prices)

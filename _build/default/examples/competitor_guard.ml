@@ -1,0 +1,174 @@
+(* "Maintaining a slot position above a specified competitor" — one of
+   the strategies the paper's introduction says advertisers buy from
+   third-party search-engine managers, here written directly as a bidding
+   program against the provider-published results of the previous auction.
+
+   The program owns a LastResult table (advertiser, slot) that the
+   provider refreshes after every auction, and a one-row Bids table.  Its
+   trigger:
+
+     IF the rival was visible at-or-above us last time  THEN bid + 1
+     ELSEIF we beat the rival by more than one slot      THEN bid - 1
+
+   i.e. escalate while losing, shave spend while winning comfortably.
+   Run with: dune exec examples/competitor_guard.exe *)
+
+open Essa_relalg
+
+let me = 0      (* the guarded advertiser *)
+let rival = 1
+let k = 3
+
+(* --- the bidding program, as data ---------------------------------- *)
+
+let build_program ~initial_bid ~maxbid =
+  let db = Database.create () in
+  ignore
+    (Database.create_table db ~name:"LastResult"
+       (Schema.make
+          [
+            { Schema.name = "advertiser"; ty = Value.T_int };
+            { Schema.name = "slot"; ty = Value.T_int };
+          ]));
+  let bids =
+    Database.create_table db ~name:"Bids"
+      (Schema.make
+         [
+           { Schema.name = "formula"; ty = Value.T_string };
+           { Schema.name = "value"; ty = Value.T_int };
+         ])
+  in
+  Table.insert bids [| Value.String "click"; Value.Int initial_bid |];
+  ignore
+    (Database.create_table db ~name:"Query"
+       (Schema.make [ { Schema.name = "q"; ty = Value.T_string } ]));
+  Database.set_var db "maxbid" (Value.Int maxbid);
+  let my_slot =
+    Expr.Agg
+      { agg = Expr.Min; over = Expr.Col "slot"; table = "LastResult";
+        where = Some Expr.(Bin (Eq, Col "advertiser", int me)) }
+  in
+  let rival_slot =
+    Expr.Agg
+      { agg = Expr.Min; over = Expr.Col "slot"; table = "LastResult";
+        where = Some Expr.(Bin (Eq, Col "advertiser", int rival)) }
+  in
+  (* NULL comparisons are false, so "rival_slot <= my_slot" is only true
+     when the rival was actually shown; "rival absent and I was shown"
+     drives the ELSEIF through an explicit COUNT. *)
+  let rival_count =
+    Expr.Agg
+      { agg = Expr.Count; over = Expr.int 1; table = "LastResult";
+        where = Some Expr.(Bin (Eq, Col "advertiser", int rival)) }
+  in
+  let my_count =
+    Expr.Agg
+      { agg = Expr.Count; over = Expr.int 1; table = "LastResult";
+        where = Some Expr.(Bin (Eq, Col "advertiser", int me)) }
+  in
+  let losing =
+    (* rival visible and (me invisible or rival at-or-above me) *)
+    Expr.(
+      Bin
+        ( And,
+          Bin (Gt, rival_count, int 0),
+          Bin (Or, Bin (Eq, my_count, int 0), Bin (Le, rival_slot, my_slot)) ))
+  in
+  let winning_comfortably =
+    Expr.(
+      Bin
+        ( And,
+          Bin (Gt, my_count, int 0),
+          Bin
+            ( Or,
+              Bin (Eq, rival_count, int 0),
+              Bin (Gt, rival_slot, Bin (Add, my_slot, int 1)) ) ))
+  in
+  Database.create_trigger db ~name:"guard" ~on_insert:"Query"
+    [
+      Stmt.If
+        ( [
+            ( losing,
+              [
+                Stmt.Update
+                  {
+                    table = "Bids";
+                    set = [ ("value", Expr.(Bin (Add, Col "value", int 1))) ];
+                    where = Some Expr.(Bin (Lt, Col "value", Var "maxbid"));
+                  };
+              ] );
+            ( winning_comfortably,
+              [
+                Stmt.Update
+                  {
+                    table = "Bids";
+                    set = [ ("value", Expr.(Bin (Sub, Col "value", int 1))) ];
+                    where = Some Expr.(Bin (Gt, Col "value", int 1));
+                  };
+              ] );
+          ],
+          [] );
+    ];
+  db
+
+let program_bid db =
+  let bids = Database.table db "Bids" in
+  match Table.find_first bids (fun _ -> true) with
+  | Some row -> Value.to_int (Table.get_value bids row "value")
+  | None -> 0
+
+let publish_results db assignment =
+  let last = Database.table db "LastResult" in
+  Table.clear last;
+  Array.iteri
+    (fun j0 cell ->
+      match cell with
+      | None -> ()
+      | Some adv -> Table.insert last [| Value.Int adv; Value.Int (j0 + 1) |])
+    assignment
+
+(* --- the auction loop ---------------------------------------------- *)
+
+let () =
+  Format.printf "=== Guarding a position above a rival (intro, 'dynamic strategies') ===@.@.";
+  let db = build_program ~initial_bid:3 ~maxbid:30 in
+  (* The rival and two bystanders bid statically. *)
+  let static_bids = [| 0 (* me: dynamic *); 12; 6; 4 |] in
+  let ctr =
+    [|
+      [| 0.30; 0.20; 0.12 |];
+      [| 0.28; 0.19; 0.11 |];
+      [| 0.25; 0.17; 0.10 |];
+      [| 0.22; 0.15; 0.09 |];
+    |]
+  in
+  let model =
+    Essa_prob.Model.create ~ctr ~cvr:(Array.make_matrix 4 k 0.05)
+  in
+  let rng = Essa_util.Rng.create 12 in
+  Format.printf "%8s %8s %10s %10s@." "auction" "my bid" "my slot" "rival slot";
+  for t = 1 to 30 do
+    (* Trigger the guard program with the previous auction's results. *)
+    Database.insert db "Query" [| Value.String "query" |];
+    let my_bid = program_bid db in
+    let bids =
+      Array.mapi
+        (fun i v ->
+          Essa_bidlang.Bids.of_strings
+            [ ("click", if i = me then my_bid else v) ])
+        static_bids
+    in
+    let result = Essa.Auction.run ~model ~bids ~rng () in
+    publish_results db result.assignment;
+    let slot_of adv =
+      match Essa_matching.Assignment.slot_of result.assignment adv with
+      | Some j -> string_of_int j
+      | None -> "-"
+    in
+    if t <= 10 || t mod 5 = 0 then
+      Format.printf "%8d %8d %10s %10s@." t my_bid (slot_of me) (slot_of rival)
+  done;
+  Format.printf
+    "@.The program escalated from 3c until it reliably outranked the rival's@.\
+     12c bid, then holds just above the guard threshold — the dynamics@.\
+     third-party bid managers sell, expressed in fifteen lines of program.@."

@@ -1,0 +1,111 @@
+(* The Section IV-A scenario, end to end: a fleet of advertisers that all
+   "start each day bidding low and gradually increase their bids as the
+   end of the day approaches" — with advertiser-specific starting amounts
+   and ramp rates, and a budget that only changes when they win.
+
+   Because the bid is a monotone function of those parameters and the
+   shared clock, the provider never re-evaluates the programs: per-slot
+   winners come from the threshold algorithm over four sorted lists (the
+   slot's CTR list plus one ranked list per parameter), and only the k
+   winners are repositioned after each auction.
+
+   Run with: dune exec examples/daily_ramp.exe *)
+
+let n = 5_000
+let k = 8
+let auctions = 300
+
+let () =
+  Format.printf "=== Daily-ramp strategies via the threshold algorithm (Section IV-A) ===@.@.";
+  let rng = Essa_util.Rng.create 77 in
+  let starts = Array.init n (fun _ -> Essa_util.Rng.int rng 20) in
+  let rates = Array.init n (fun _ -> Essa_util.Rng.int rng 4) in
+  let budgets = Array.init n (fun _ -> 200 + Essa_util.Rng.int rng 2000) in
+  let fleet = Essa_strategy.Ramp_fleet.create ~starts ~rates ~budgets in
+
+  (* Per-slot CTR lists (static, sorted once — the w_{i,j} lists). *)
+  let ctr =
+    Array.init n (fun _ ->
+        Array.init k (fun j ->
+            let hi = 0.9 -. (0.8 /. float_of_int k *. float_of_int j) in
+            Essa_util.Rng.float_in rng (hi -. (0.8 /. float_of_int k)) hi))
+  in
+  let ctr_sorted =
+    Array.init k (fun j ->
+        let a = Array.init n (fun i -> (i, ctr.(i).(j))) in
+        Array.sort
+          (fun (ia, pa) (ib, pb) ->
+            let c = Float.compare pb pa in
+            if c <> 0 then c else Int.compare ia ib)
+          a;
+        a)
+  in
+
+  let user_rng = Essa_util.Rng.create 91 in
+  let total_revenue = ref 0 in
+  let total_seen = ref 0 in
+  for time = 1 to auctions do
+    (* Per-slot top-(k+1) lists by TA — no program is evaluated. *)
+    let tops =
+      Array.init k (fun j ->
+          let top, stats =
+            Essa_strategy.Ramp_fleet.top_k_ta fleet ~ctr_sorted:ctr_sorted.(j)
+              ~ctr_lookup:(fun i -> ctr.(i).(j))
+              ~time ~k:(k + 1)
+          in
+          total_seen := !total_seen + stats.seen_objects;
+          top)
+    in
+    (* Reduced-graph winner determination over the union. *)
+    let module Int_set = Set.Make (Int) in
+    let advertisers =
+      Array.fold_left
+        (fun acc lst -> List.fold_left (fun acc (i, _) -> Int_set.add i acc) acc lst)
+        Int_set.empty tops
+      |> Int_set.elements |> Array.of_list
+    in
+    let reduced_w =
+      Array.map
+        (fun i ->
+          Array.init k (fun j ->
+              ctr.(i).(j)
+              *. float_of_int (Essa_strategy.Ramp_fleet.bid fleet ~adv:i ~time)))
+        advertisers
+    in
+    let reduced = Essa_matching.Hungarian.solve ~w:reduced_w in
+    let assignment =
+      Array.map (Option.map (fun local -> advertisers.(local))) reduced
+    in
+    (* GSP pricing from the top lists, clicks, billing. *)
+    let prices =
+      Essa.Pricing.gsp_per_click
+        ~w:[||]
+        ~ctr:(fun ~adv ~slot -> ctr.(adv).(slot - 1))
+        ~top:tops ~assignment ()
+    in
+    Array.iteri
+      (fun j0 cell ->
+        match cell with
+        | None -> ()
+        | Some adv ->
+            let p = ctr.(adv).(j0) in
+            if Essa_util.Rng.bernoulli user_rng p then begin
+              let price = match prices.(j0) with Some p -> p | None -> 0 in
+              total_revenue := !total_revenue + price;
+              Essa_strategy.Ramp_fleet.record_win fleet ~adv ~price
+            end)
+      assignment;
+    if time mod 60 = 0 then
+      Format.printf
+        "t=%4d: advertiser 0 bids %dc (start %d + rate %d x t, %dc left)@." time
+        (Essa_strategy.Ramp_fleet.bid fleet ~adv:0 ~time)
+        starts.(0) rates.(0)
+        (Essa_strategy.Ramp_fleet.remaining fleet ~adv:0)
+  done;
+  Format.printf "@.%d auctions, %d advertisers: provider revenue %dc@." auctions n
+    !total_revenue;
+  Format.printf
+    "TA resolved %.1f advertisers per slot per auction on average (out of %d) —@.\
+     the programs themselves were never run.@."
+    (float_of_int !total_seen /. float_of_int (auctions * k))
+    n

@@ -1,0 +1,67 @@
+(* The ROI-equalizing dynamic strategy (Section II-C, Figures 4-6), first
+   as the literal SQL program of Fig. 5, then at fleet scale inside the
+   repeated-auction engine.  Run with: dune exec examples/roi_equalizer.exe *)
+
+let () =
+  Format.printf "=== The Fig. 5 bidding program, verbatim ===@.@.";
+  let keywords =
+    [
+      { Essa_strategy.Sql_program.text = "boot"; formula = "click & slot1";
+        value = 10; maxbid = 5; initial_bid = 4 };
+      { Essa_strategy.Sql_program.text = "shoe"; formula = "click";
+        value = 10; maxbid = 6; initial_bid = 6 };
+    ]
+  in
+  let program = Essa_strategy.Sql_program.create_fig5 ~keywords ~target_rate:2.0 in
+  print_endline (Essa_strategy.Sql_program.listing program);
+
+  Format.printf "@.Private Keywords table (Fig. 4 shape):@.%a@.@."
+    Essa_relalg.Table.pp
+    (Essa_relalg.Database.table (Essa_strategy.Sql_program.db program) "Keywords");
+
+  (* Trigger the program for a query highly relevant to "boot". *)
+  Essa_relalg.Database.set_var
+    (Essa_strategy.Sql_program.db program)
+    "amtSpent" (Essa_relalg.Value.Int 2);
+  Essa_strategy.Sql_program.run_auction program ~time:1
+    ~relevance:(fun kw -> if kw = "boot" then 0.8 else 0.2);
+  Format.printf "Output Bids table after the trigger (Fig. 6):@.%a@.@."
+    Essa_relalg.Table.pp
+    (Essa_relalg.Database.table (Essa_strategy.Sql_program.db program) "Bids");
+
+  Format.printf "=== The same strategy at fleet scale ===@.@.";
+  (* 200 advertisers, all running the heuristic, in the Section V workload;
+     watch one advertiser's bid chase its target spending rate. *)
+  let workload = Essa_sim.Workload.section5 ~seed:11 ~n:200 ~k:8 () in
+  let engine = Essa_sim.Workload.make_engine workload ~method_:`Rhtalu in
+  let queries = ref (Essa_sim.Workload.query_stream workload ~seed:3) in
+  let next () =
+    match !queries () with
+    | Seq.Cons (kw, rest) ->
+        queries := rest;
+        kw
+    | Seq.Nil -> 0
+  in
+  let watched = 0 in
+  let fleet = Essa.Engine.fleet engine in
+  let target = Essa_strategy.Roi_fleet.target_rate fleet ~adv:watched in
+  Format.printf "watching advertiser %d (target spend rate %.2f c/auction)@.@." watched target;
+  Format.printf "%8s %14s %12s %12s@." "auction" "bid(keyword 0)" "spent" "rate";
+  for t = 1 to 400 do
+    ignore (Essa.Engine.run_auction engine ~keyword:(next ()));
+    if t mod 50 = 0 then begin
+      let spent = Essa_strategy.Roi_fleet.amt_spent fleet ~adv:watched in
+      Format.printf "%8d %14d %11dc %12.2f@." t
+        (Essa.Engine.bid engine ~adv:watched ~keyword:0)
+        spent
+        (float_of_int spent /. float_of_int t)
+    end
+  done;
+  Format.printf "@.Total provider revenue over 400 auctions: %dc@."
+    (Essa.Engine.total_revenue engine);
+
+  (* The punchline of Section IV: the logical-update engine ran every one
+     of those auctions without touching the 200 programs individually. *)
+  Format.printf
+    "@.(Engine: RHTALU — per-auction program evaluation replaced by O(1)@.\
+     \ bulk adjustments on shared adjustment variables plus triggers.)@."

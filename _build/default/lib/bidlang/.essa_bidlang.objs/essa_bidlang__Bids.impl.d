@@ -1,0 +1,1 @@
+lib/bidlang/bids.ml: Format Formula List Outcome Printf String

@@ -1,0 +1,1 @@
+lib/bidlang/bids.mli: Format Formula Outcome

@@ -1,0 +1,1 @@
+lib/bidlang/formula.ml: Array Format List Predicate Printf Set String

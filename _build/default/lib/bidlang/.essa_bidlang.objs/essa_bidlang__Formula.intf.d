@@ -1,0 +1,1 @@
+lib/bidlang/formula.mli: Format Predicate

@@ -1,0 +1,1 @@
+lib/bidlang/outcome.ml: Array Format Formula Predicate String

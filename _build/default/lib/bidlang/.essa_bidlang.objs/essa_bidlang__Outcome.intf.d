@@ -1,0 +1,1 @@
+lib/bidlang/outcome.mli: Format Formula Predicate

@@ -1,0 +1,1 @@
+lib/bidlang/predicate.ml: Format Printf

@@ -1,0 +1,1 @@
+lib/bidlang/predicate.mli: Format

@@ -1,0 +1,1 @@
+lib/bidlang/valuation.ml: Bids Format Formula List Outcome Predicate

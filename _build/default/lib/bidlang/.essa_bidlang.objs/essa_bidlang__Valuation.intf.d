@@ -1,0 +1,1 @@
+lib/bidlang/valuation.mli: Bids Format

@@ -1,0 +1,69 @@
+type entry = { formula : Formula.t; amount : int }
+
+type t = entry list  (* in insertion order *)
+
+exception Invalid_bid of string
+
+let check entry =
+  if entry.amount < 0 then
+    raise
+      (Invalid_bid
+         (Printf.sprintf "negative amount %d for formula %s" entry.amount
+            (Formula.to_string entry.formula)))
+
+let empty = []
+
+let of_list entries =
+  List.iter check entries;
+  entries
+
+let of_strings rows =
+  of_list
+    (List.map (fun (s, amount) -> { formula = Formula.of_string s; amount }) rows)
+
+let to_list t = t
+let is_empty t = t = []
+let size = List.length
+
+let add t formula amount =
+  let entry = { formula; amount } in
+  check entry;
+  t @ [ entry ]
+
+let payment t outcome =
+  List.fold_left
+    (fun acc { formula; amount } ->
+      if Outcome.eval outcome formula then acc + amount else acc)
+    0 t
+
+let is_self_only t = List.for_all (fun e -> Formula.is_self_only e.formula) t
+
+let validate ~k t = List.iter (fun e -> Formula.validate ~k e.formula) t
+
+let max_payment t = List.fold_left (fun acc e -> acc + e.amount) 0 t
+
+let normalize ?max_atoms t =
+  let rec insert acc entry =
+    match acc with
+    | [] ->
+        if Formula.is_unsatisfiable ?max_atoms entry.formula then []
+        else [ entry ]
+    | head :: rest ->
+        if Formula.equivalent ?max_atoms head.formula entry.formula then
+          { head with amount = head.amount + entry.amount } :: rest
+        else head :: insert rest entry
+  in
+  List.fold_left insert [] t |> List.filter (fun e -> e.amount <> 0)
+
+let pp ppf t =
+  let rows =
+    List.map (fun e -> (Formula.to_string e.formula, string_of_int e.amount)) t
+  in
+  let w =
+    List.fold_left (fun acc (f, _) -> max acc (String.length f)) 7 rows
+  in
+  let pad s = s ^ String.make (w - String.length s) ' ' in
+  Format.fprintf ppf "@[<v>| %s | value |@,| %s | ----- |" (pad "formula")
+    (String.make w '-');
+  List.iter (fun (f, v) -> Format.fprintf ppf "@,| %s | %5s |" (pad f) v) rows;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,53 @@
+(** Bids tables (Fig. 3): OR-bids on Boolean combinations of predicates.
+
+    A Bids table is a list of [(formula, amount)] rows.  Its OR-bid
+    semantics: in any outcome the advertiser pays the *sum* of the amounts
+    of all rows whose formula is true.  Amounts are integer cents. *)
+
+type entry = { formula : Formula.t; amount : int }
+
+type t
+(** A validated Bids table. *)
+
+exception Invalid_bid of string
+
+val empty : t
+
+val of_list : entry list -> t
+(** @raise Invalid_bid on a negative amount. *)
+
+val of_strings : (string * int) list -> t
+(** Parse each formula with {!Formula.of_string}.
+    @raise Formula.Parse_error, Invalid_bid. *)
+
+val to_list : t -> entry list
+val is_empty : t -> bool
+val size : t -> int
+
+val add : t -> Formula.t -> int -> t
+(** Append a row.  @raise Invalid_bid on a negative amount. *)
+
+val payment : t -> Outcome.t -> int
+(** Total payment owed in an outcome (OR-bid sum), in cents. *)
+
+val is_self_only : t -> bool
+(** Every formula mentions only [Slot]/[Click]/[Purchase] — the table
+    denotes 1-dependent events and is admissible for the fast
+    winner-determination path (Theorem 2). *)
+
+val validate : k:int -> t -> unit
+(** Check every slot index against the slot count.
+    @raise Invalid_argument *)
+
+val max_payment : t -> int
+(** Sum of all amounts — an upper bound on what any outcome can cost. *)
+
+val normalize : ?max_atoms:int -> t -> t
+(** Merge rows with semantically equivalent formulas (amounts add, per
+    OR-bid semantics), drop unsatisfiable formulas and zero-amount rows.
+    The first of each equivalence class keeps its formula and position.
+    Payment-preserving on every outcome (property-tested).
+    @raise Invalid_argument via {!Formula.equivalent}'s atom guard. *)
+
+val pp : Format.formatter -> t -> unit
+(** Fig. 3-style two-column rendering. *)

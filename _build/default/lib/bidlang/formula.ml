@@ -1,0 +1,258 @@
+type t =
+  | True
+  | False
+  | Pred of Predicate.t
+  | Not of t
+  | And of t * t
+  | Or of t * t
+
+let rec equal a b =
+  match (a, b) with
+  | True, True | False, False -> true
+  | Pred p, Pred q -> Predicate.equal p q
+  | Not x, Not y -> equal x y
+  | And (x1, x2), And (y1, y2) | Or (x1, x2), Or (y1, y2) ->
+      equal x1 y1 && equal x2 y2
+  | (True | False | Pred _ | Not _ | And _ | Or _), _ -> false
+
+let rec compare_f a b =
+  let rank = function
+    | True -> 0 | False -> 1 | Pred _ -> 2 | Not _ -> 3 | And _ -> 4 | Or _ -> 5
+  in
+  match (a, b) with
+  | True, True | False, False -> 0
+  | Pred p, Pred q -> Predicate.compare p q
+  | Not x, Not y -> compare_f x y
+  | And (x1, x2), And (y1, y2) | Or (x1, x2), Or (y1, y2) ->
+      let c = compare_f x1 y1 in
+      if c <> 0 then c else compare_f x2 y2
+  | _ -> compare (rank a) (rank b)
+
+let compare = compare_f
+
+let rec eval assign = function
+  | True -> true
+  | False -> false
+  | Pred p -> assign p
+  | Not f -> not (eval assign f)
+  | And (f, g) -> eval assign f && eval assign g
+  | Or (f, g) -> eval assign f || eval assign g
+
+module Pred_set = Set.Make (Predicate)
+
+let predicates f =
+  let rec go acc = function
+    | True | False -> acc
+    | Pred p -> Pred_set.add p acc
+    | Not g -> go acc g
+    | And (g, h) | Or (g, h) -> go (go acc g) h
+  in
+  Pred_set.elements (go Pred_set.empty f)
+
+let is_self_only f = List.for_all Predicate.is_self_only (predicates f)
+
+let validate ~k f = List.iter (Predicate.validate ~k) (predicates f)
+
+let conj = function
+  | [] -> True
+  | f :: fs -> List.fold_left (fun acc g -> And (acc, g)) f fs
+
+let disj = function
+  | [] -> False
+  | f :: fs -> List.fold_left (fun acc g -> Or (acc, g)) f fs
+
+let any_slot_of js = disj (List.map (fun j -> Pred (Predicate.Slot j)) js)
+
+let unassigned ~k =
+  conj (List.init k (fun i -> Not (Pred (Predicate.Slot (i + 1)))))
+
+let rec simplify f =
+  match f with
+  | True | False | Pred _ -> f
+  | Not g -> (
+      match simplify g with
+      | True -> False
+      | False -> True
+      | Not h -> h
+      | g' -> Not g')
+  | And (g, h) -> (
+      match (simplify g, simplify h) with
+      | False, _ | _, False -> False
+      | True, h' -> h'
+      | g', True -> g'
+      | g', h' -> And (g', h'))
+  | Or (g, h) -> (
+      match (simplify g, simplify h) with
+      | True, _ | _, True -> True
+      | False, h' -> h'
+      | g', False -> g'
+      | g', h' -> Or (g', h'))
+
+(* --- Semantic comparison ---------------------------------------------- *)
+
+(* Truth-table enumeration over a fixed atom list.  Note this treats atoms
+   as independent booleans — consistent with [eval]'s contract (the caller
+   supplies an arbitrary assignment); outcome-level constraints such as
+   "at most one slot" are a property of outcomes, not of formulas. *)
+let for_all_assignments atoms predicate =
+  let atoms = Array.of_list atoms in
+  let count = Array.length atoms in
+  let rec go mask =
+    if mask >= 1 lsl count then true
+    else begin
+      let assign p =
+        let rec find i =
+          if i >= count then false
+          else if Predicate.equal atoms.(i) p then mask land (1 lsl i) <> 0
+          else find (i + 1)
+        in
+        find 0
+      in
+      predicate assign && go (mask + 1)
+    end
+  in
+  go 0
+
+let union_atoms f g =
+  List.sort_uniq Predicate.compare (predicates f @ predicates g)
+
+let check_guard ~max_atoms atoms =
+  if List.length atoms > max_atoms then
+    invalid_arg
+      (Printf.sprintf "Formula: %d atoms exceed the enumeration guard (%d)"
+         (List.length atoms) max_atoms)
+
+let equivalent ?(max_atoms = 16) f g =
+  let atoms = union_atoms f g in
+  check_guard ~max_atoms atoms;
+  for_all_assignments atoms (fun assign -> eval assign f = eval assign g)
+
+let is_tautology ?(max_atoms = 16) f =
+  let atoms = predicates f in
+  check_guard ~max_atoms atoms;
+  for_all_assignments atoms (fun assign -> eval assign f)
+
+let is_unsatisfiable ?(max_atoms = 16) f =
+  let atoms = predicates f in
+  check_guard ~max_atoms atoms;
+  for_all_assignments atoms (fun assign -> not (eval assign f))
+
+(* --- Printing --------------------------------------------------------- *)
+
+(* Precedence: Or(1) < And(2) < Not(3). *)
+let rec pp_prec prec ppf f =
+  let paren p body =
+    if prec > p then Format.fprintf ppf "(%t)" body else body ppf
+  in
+  match f with
+  | True -> Format.pp_print_string ppf "true"
+  | False -> Format.pp_print_string ppf "false"
+  | Pred p -> Predicate.pp ppf p
+  | Not g -> Format.fprintf ppf "!%a" (pp_prec 3) g
+  | And (g, h) ->
+      (* The grammar is right-associative (and ::= not ('&' and)?), so the
+         left operand needs the tighter context. *)
+      paren 2 (fun ppf -> Format.fprintf ppf "%a & %a" (pp_prec 3) g (pp_prec 2) h)
+  | Or (g, h) ->
+      paren 1 (fun ppf -> Format.fprintf ppf "%a | %a" (pp_prec 2) g (pp_prec 1) h)
+
+let pp ppf f = pp_prec 0 ppf f
+let to_string f = Format.asprintf "%a" pp f
+
+(* --- Parsing ---------------------------------------------------------- *)
+
+exception Parse_error of { position : int; message : string }
+
+type parser_state = { input : string; mutable pos : int }
+
+let error st message = raise (Parse_error { position = st.pos; message })
+
+let rec skip_ws st =
+  if st.pos < String.length st.input then
+    match st.input.[st.pos] with
+    | ' ' | '\t' | '\n' | '\r' ->
+        st.pos <- st.pos + 1;
+        skip_ws st
+    | _ -> ()
+
+let peek st =
+  if st.pos < String.length st.input then Some st.input.[st.pos] else None
+
+let advance st = st.pos <- st.pos + 1
+
+let is_alpha c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+let is_digit c = c >= '0' && c <= '9'
+
+let read_word st =
+  let start = st.pos in
+  while st.pos < String.length st.input && is_alpha st.input.[st.pos] do
+    advance st
+  done;
+  String.lowercase_ascii (String.sub st.input start (st.pos - start))
+
+let read_int st =
+  let start = st.pos in
+  while st.pos < String.length st.input && is_digit st.input.[st.pos] do
+    advance st
+  done;
+  if st.pos = start then error st "expected a slot number";
+  int_of_string (String.sub st.input start (st.pos - start))
+
+let rec parse_or st =
+  let left = parse_and st in
+  skip_ws st;
+  match peek st with
+  | Some '|' ->
+      advance st;
+      Or (left, parse_or st)
+  | _ -> left
+
+and parse_and st =
+  let left = parse_not st in
+  skip_ws st;
+  match peek st with
+  | Some '&' ->
+      advance st;
+      And (left, parse_and st)
+  | _ -> left
+
+and parse_not st =
+  skip_ws st;
+  match peek st with
+  | Some '!' ->
+      advance st;
+      Not (parse_not st)
+  | _ -> parse_atom st
+
+and parse_atom st =
+  skip_ws st;
+  match peek st with
+  | Some '(' ->
+      advance st;
+      let f = parse_or st in
+      skip_ws st;
+      (match peek st with
+      | Some ')' -> advance st
+      | _ -> error st "expected ')'");
+      f
+  | Some c when is_alpha c -> (
+      match read_word st with
+      | "true" -> True
+      | "false" -> False
+      | "click" -> Pred Predicate.Click
+      | "purchase" -> Pred Predicate.Purchase
+      | "slot" -> Pred (Predicate.Slot (read_int st))
+      | "heavy" -> Pred (Predicate.Heavy_in_slot (read_int st))
+      | "light" -> Pred (Predicate.Light_in_slot (read_int st))
+      | w -> error st (Printf.sprintf "unknown atom %S" w))
+  | Some c -> error st (Printf.sprintf "unexpected character %C" c)
+  | None -> error st "unexpected end of input"
+
+let of_string s =
+  let st = { input = s; pos = 0 } in
+  let f = parse_or st in
+  skip_ws st;
+  if st.pos <> String.length s then error st "trailing input";
+  f
+
+let of_string_opt s = match of_string s with f -> Some f | exception Parse_error _ -> None

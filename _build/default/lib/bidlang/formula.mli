@@ -1,0 +1,75 @@
+(** Boolean combinations of bid predicates — the formulas that populate a
+    Bids table row (Fig. 3 of the paper, e.g. [Slot1 ∨ Slot2] or
+    [Click ∧ Slot1]). *)
+
+type t =
+  | True
+  | False
+  | Pred of Predicate.t
+  | Not of t
+  | And of t * t
+  | Or of t * t
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+
+val eval : (Predicate.t -> bool) -> t -> bool
+(** Evaluate under a truth assignment for the atoms. *)
+
+val predicates : t -> Predicate.t list
+(** Distinct atoms, in {!Predicate.compare} order. *)
+
+val is_self_only : t -> bool
+(** All atoms are {!Predicate.is_self_only} — the formula denotes a
+    1-dependent event under the Section III-A probability assumptions. *)
+
+val validate : k:int -> t -> unit
+(** Validate every atom's slot index against [k] slots.
+    @raise Invalid_argument *)
+
+val conj : t list -> t
+(** n-ary conjunction ([True] for the empty list). *)
+
+val disj : t list -> t
+(** n-ary disjunction ([False] for the empty list). *)
+
+val any_slot_of : int list -> t
+(** [any_slot_of js] = the bidder lands in one of slots [js]. *)
+
+val unassigned : k:int -> t
+(** The bidder gets no slot: [¬Slot1 ∧ … ∧ ¬Slotk]. *)
+
+val simplify : t -> t
+(** Constant folding and involution/identity laws; preserves semantics
+    (checked by property tests), does not canonicalize. *)
+
+val equivalent : ?max_atoms:int -> t -> t -> bool
+(** Semantic equivalence by truth-table enumeration over the union of the
+    two formulas' atoms.  Exponential in the atom count, so guarded by
+    [max_atoms] (default 16).
+    @raise Invalid_argument if the union exceeds the guard. *)
+
+val is_tautology : ?max_atoms:int -> t -> bool
+val is_unsatisfiable : ?max_atoms:int -> t -> bool
+
+(** {1 Concrete syntax}
+
+    [formula  ::= or]
+    [or       ::= and ('|' and)*]
+    [and      ::= not ('&' not)*]
+    [not      ::= '!' not | atom]
+    [atom     ::= 'true' | 'false' | 'click' | 'purchase'
+                | 'slot' INT | 'heavy' INT | 'light' INT | '(' formula ')']
+
+    Case-insensitive; whitespace insignificant.  [pp]/[to_string] emit this
+    syntax, so printing then parsing round-trips. *)
+
+exception Parse_error of { position : int; message : string }
+
+val of_string : string -> t
+(** @raise Parse_error *)
+
+val of_string_opt : string -> t option
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,57 @@
+type slot_class = Empty | Heavy | Light
+
+type t = {
+  slot : int option;
+  clicked : bool;
+  purchased : bool;
+  classes : slot_class array option;
+}
+
+let make ?slot ?(clicked = false) ?(purchased = false) ?classes () =
+  (match slot with
+  | Some j when j < 1 -> invalid_arg "Outcome.make: slot must be >= 1"
+  | _ -> ());
+  if purchased && not clicked then
+    invalid_arg "Outcome.make: a purchase requires a click";
+  if clicked && slot = None then
+    invalid_arg "Outcome.make: a click requires an assigned slot";
+  { slot; clicked; purchased; classes }
+
+let assign t = function
+  | Predicate.Slot j -> t.slot = Some j
+  | Predicate.Click -> t.clicked
+  | Predicate.Purchase -> t.purchased
+  | Predicate.Heavy_in_slot j | Predicate.Light_in_slot j as p -> (
+      match t.classes with
+      | None ->
+          invalid_arg
+            "Outcome.assign: class predicate on an outcome without classes"
+      | Some classes ->
+          if j < 1 || j > Array.length classes then false
+          else begin
+            match (p, classes.(j - 1)) with
+            | Predicate.Heavy_in_slot _, Heavy -> true
+            | Predicate.Light_in_slot _, Light -> true
+            | _, (Empty | Heavy | Light) -> false
+          end)
+
+let eval t f = Formula.eval (assign t) f
+
+let all_user_states ~slot =
+  match slot with
+  | None -> [ (false, false) ]
+  | Some _ -> [ (false, false); (true, false); (true, true) ]
+
+let pp ppf t =
+  let slot_str = match t.slot with None -> "-" | Some j -> string_of_int j in
+  Format.fprintf ppf "{slot=%s; click=%b; purchase=%b%t}" slot_str t.clicked
+    t.purchased (fun ppf ->
+      match t.classes with
+      | None -> ()
+      | Some classes ->
+          Format.fprintf ppf "; classes=%s"
+            (String.concat ""
+               (Array.to_list
+                  (Array.map
+                     (function Empty -> "." | Heavy -> "H" | Light -> "L")
+                     classes))))

@@ -1,0 +1,39 @@
+(** Auction outcomes as seen by one advertiser.
+
+    An outcome fixes everything the advertiser's predicates can mention:
+    which slot (if any) the advertiser received, whether the user clicked
+    its ad, whether the user purchased through it, and — when the
+    heavyweight model of Section III-F is in play — which advertiser class
+    occupies each slot. *)
+
+type slot_class = Empty | Heavy | Light
+
+type t = private {
+  slot : int option;       (** slot the bidder received, 1-based *)
+  clicked : bool;
+  purchased : bool;
+  classes : slot_class array option;
+      (** [classes.(j-1)] is the class occupying slot [j]; [None] when the
+          auction does not model advertiser classes. *)
+}
+
+val make :
+  ?slot:int -> ?clicked:bool -> ?purchased:bool ->
+  ?classes:slot_class array -> unit -> t
+(** Construct an outcome.  Enforces the model invariants:
+    - a purchase implies a click (purchases happen via the ad's link);
+    - a click implies the ad was shown (some slot was assigned).
+    @raise Invalid_argument if violated, or if [slot] < 1. *)
+
+val assign : t -> Predicate.t -> bool
+(** Truth of a predicate in this outcome.
+    @raise Invalid_argument if a class predicate is used on an outcome
+    without class information. *)
+
+val eval : t -> Formula.t -> bool
+
+val all_user_states : slot:int option -> (bool * bool) list
+(** The possible (clicked, purchased) pairs given the slot: unassigned
+    admits only (false, false); assigned admits (F,F), (T,F), (T,T). *)
+
+val pp : Format.formatter -> t -> unit

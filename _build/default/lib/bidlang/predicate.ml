@@ -1,0 +1,48 @@
+type t =
+  | Slot of int
+  | Click
+  | Purchase
+  | Heavy_in_slot of int
+  | Light_in_slot of int
+
+let equal a b =
+  match (a, b) with
+  | Slot i, Slot j | Heavy_in_slot i, Heavy_in_slot j | Light_in_slot i, Light_in_slot j
+    -> i = j
+  | Click, Click | Purchase, Purchase -> true
+  | (Slot _ | Click | Purchase | Heavy_in_slot _ | Light_in_slot _), _ -> false
+
+let rank = function
+  | Slot _ -> 0
+  | Click -> 1
+  | Purchase -> 2
+  | Heavy_in_slot _ -> 3
+  | Light_in_slot _ -> 4
+
+let index = function
+  | Slot i | Heavy_in_slot i | Light_in_slot i -> i
+  | Click | Purchase -> 0
+
+let compare a b =
+  let c = compare (rank a) (rank b) in
+  if c <> 0 then c else compare (index a) (index b)
+
+let is_self_only = function
+  | Slot _ | Click | Purchase -> true
+  | Heavy_in_slot _ | Light_in_slot _ -> false
+
+let validate ~k = function
+  | Slot j | Heavy_in_slot j | Light_in_slot j ->
+      if j < 1 || j > k then
+        invalid_arg
+          (Printf.sprintf "Predicate.validate: slot %d out of range [1,%d]" j k)
+  | Click | Purchase -> ()
+
+let to_string = function
+  | Slot j -> Printf.sprintf "slot%d" j
+  | Click -> "click"
+  | Purchase -> "purchase"
+  | Heavy_in_slot j -> Printf.sprintf "heavy%d" j
+  | Light_in_slot j -> Printf.sprintf "light%d" j
+
+let pp ppf p = Format.pp_print_string ppf (to_string p)

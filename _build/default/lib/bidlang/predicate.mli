@@ -1,0 +1,37 @@
+(** The atomic predicates advertisers can bid on (Section II-A, extended
+    with the heavyweight/lightweight predicates of Section III-F).
+
+    All predicates are interpreted relative to one advertiser — the bidder —
+    and one auction outcome:
+
+    - [Slot j]: the bidder's ad was placed in slot [j] (1-based; slot 1 is
+      the topmost position);
+    - [Click]: the user clicked the bidder's ad;
+    - [Purchase]: the user made a purchase via the bidder's ad;
+    - [Heavy_in_slot j] / [Light_in_slot j]: slot [j] is occupied by a
+      heavyweight / lightweight advertiser (any advertiser, not necessarily
+      the bidder).  These make a bid depend on the *class pattern* of the
+      whole allocation and are only admitted by the heavyweight-aware
+      winner-determination path. *)
+
+type t =
+  | Slot of int
+  | Click
+  | Purchase
+  | Heavy_in_slot of int
+  | Light_in_slot of int
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+
+val is_self_only : t -> bool
+(** [true] for [Slot]/[Click]/[Purchase] — predicates whose truth depends
+    only on the bidder's own slot and user actions (the 1-dependent
+    fragment, Definition 1 / Theorem 2). *)
+
+val validate : k:int -> t -> unit
+(** Check slot indices lie in [\[1, k\]].
+    @raise Invalid_argument otherwise. *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

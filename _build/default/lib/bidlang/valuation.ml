@@ -1,0 +1,69 @@
+type row = {
+  slot : int option;
+  clicked : bool;
+  purchased : bool;
+  value : int;
+}
+
+let outcome_of ~slot ~clicked ~purchased =
+  match slot with
+  | None -> Outcome.make ()
+  | Some j -> Outcome.make ~slot:j ~clicked ~purchased ()
+
+let rows ~k bids =
+  let assigned =
+    List.concat_map
+      (fun j ->
+        let slot = Some (j + 1) in
+        List.map
+          (fun (clicked, purchased) ->
+            let outcome = outcome_of ~slot ~clicked ~purchased in
+            { slot; clicked; purchased; value = Bids.payment bids outcome })
+          (Outcome.all_user_states ~slot))
+      (List.init k (fun j -> j))
+  in
+  let unassigned =
+    {
+      slot = None;
+      clicked = false;
+      purchased = false;
+      value = Bids.payment bids (Outcome.make ());
+    }
+  in
+  assigned @ [ unassigned ]
+
+let single_feature v = Bids.of_list [ { formula = Pred Predicate.Click; amount = v } ]
+
+let row_formula ~k { slot; clicked; purchased; _ } =
+  let slot_part =
+    match slot with
+    | Some j -> Formula.Pred (Predicate.Slot j)
+    | None -> Formula.unassigned ~k
+  in
+  let lit pred b = if b then Formula.Pred pred else Formula.Not (Pred pred) in
+  Formula.conj [ slot_part; lit Predicate.Click clicked; lit Predicate.Purchase purchased ]
+
+let of_rows ~k table =
+  Bids.of_list
+    (List.filter_map
+       (fun r ->
+         if r.value = 0 then None
+         else Some { Bids.formula = row_formula ~k r; amount = r.value })
+       table)
+
+let pp ~k ppf table =
+  let yn b = if b then "Y" else "N" in
+  Format.fprintf ppf "@[<v>| Purchase | Click |";
+  for j = 1 to k do
+    Format.fprintf ppf " Slot%d |" j
+  done;
+  Format.fprintf ppf " value |";
+  List.iter
+    (fun r ->
+      Format.fprintf ppf "@,|        %s |     %s |" (yn r.purchased) (yn r.clicked);
+      for j = 1 to k do
+        Format.fprintf ppf "     %s |" (yn (r.slot = Some j))
+      done;
+      Format.fprintf ppf " %5d |" r.value)
+    table;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,34 @@
+(** Truth-table valuations — the Fig. 1 / Fig. 2 view of a bid.
+
+    A multi-feature valuation conceptually assigns a value to each truth
+    assignment of the predicates (Fig. 2); that representation is
+    exponential, which is why the paper uses Bids tables instead (Fig. 3).
+    This module materializes the (small-k) table for a Bids table so the
+    equivalence can be demonstrated and tested: the value of a consistent
+    outcome row equals the OR-bid payment. *)
+
+type row = {
+  slot : int option;     (** which slot predicate is true, if any *)
+  clicked : bool;
+  purchased : bool;
+  value : int;           (** OR-bid payment in this outcome, cents *)
+}
+
+val rows : k:int -> Bids.t -> row list
+(** All *consistent* truth assignments — at most one slot true, purchase
+    implies click, click implies a slot — paired with the OR-bid value.
+    There are exactly [3k + 1] such rows.  Ordered: assigned slots in
+    ascending order with user states (F,F), (T,F), (T,T), then the
+    unassigned row. *)
+
+val single_feature : int -> Bids.t
+(** [single_feature v] is the classical single-feature bid of Fig. 1: pay
+    [v] per click, i.e. the one-row Bids table [(Click, v)]. *)
+
+val of_rows : k:int -> row list -> Bids.t
+(** Inverse direction: lower a truth table back to a Bids table with one
+    conjunctive row per non-zero-valued outcome.  [rows ~k (of_rows ~k t)]
+    reproduces [t]'s values (tested). *)
+
+val pp : k:int -> Format.formatter -> row list -> unit
+(** Fig. 2-style matrix: Purchase | Click | Slot1 … Slotk | value. *)

@@ -1,0 +1,1 @@
+lib/core/auction.ml: Array Essa_bidlang Essa_matching Essa_prob Essa_util Float List Option Pricing Winner_determination

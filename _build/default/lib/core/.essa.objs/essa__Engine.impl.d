@@ -1,0 +1,1 @@
+lib/core/engine.ml: Array Essa_lp Essa_matching Essa_strategy Essa_ta Essa_util Float Hashtbl Int Int64 List Option Pricing Printf Seq Set

@@ -1,0 +1,1 @@
+lib/core/engine.mli: Essa_matching Essa_strategy

@@ -1,0 +1,1 @@
+lib/core/fas_reduction.ml: Array Essa_matching List

@@ -1,0 +1,1 @@
+lib/core/fas_reduction.mli: Essa_matching

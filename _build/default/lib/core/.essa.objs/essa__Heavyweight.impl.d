@@ -1,0 +1,1 @@
+lib/core/heavyweight.ml: Array Domain Essa_bidlang Essa_matching Essa_prob Essa_util Int List

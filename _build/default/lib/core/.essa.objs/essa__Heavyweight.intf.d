@@ -1,0 +1,1 @@
+lib/core/heavyweight.mli: Essa_bidlang Essa_matching Essa_prob Essa_util

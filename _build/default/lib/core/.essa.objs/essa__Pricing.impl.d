@@ -1,0 +1,1 @@
+lib/core/pricing.ml: Array Essa_matching Float Hashtbl List Winner_determination

@@ -1,0 +1,1 @@
+lib/core/pricing.mli: Essa_matching Winner_determination

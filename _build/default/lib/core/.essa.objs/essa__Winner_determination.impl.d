@@ -1,0 +1,1 @@
+lib/core/winner_determination.ml: Array Essa_lp Essa_matching

@@ -1,0 +1,1 @@
+lib/core/winner_determination.mli: Essa_matching

@@ -1,0 +1,102 @@
+type config = {
+  method_ : Winner_determination.method_;
+  pricing : [ `Pay_as_bid | `Gsp | `Vcg ];
+}
+
+let default_config = { method_ = `Rh; pricing = `Gsp }
+
+type advertiser_outcome = {
+  adv : int;
+  slot : int;
+  clicked : bool;
+  purchased : bool;
+  price_per_click : int;
+  charged : int;
+}
+
+type result = {
+  assignment : Essa_matching.Assignment.t;
+  expected_revenue : float;
+  winners : advertiser_outcome list;
+  realized_revenue : int;
+}
+
+let per_click_of_expected ~expected ~click_prob =
+  if click_prob <= 0.0 then 0
+  else int_of_float (Float.ceil ((expected /. click_prob) -. 1e-9))
+
+let run ?(config = default_config) ~model ~bids ~rng () =
+  let n = Essa_prob.Model.n model and k = Essa_prob.Model.k model in
+  if Array.length bids <> n then
+    invalid_arg "Auction.run: bids length <> model advertisers";
+  Array.iter
+    (fun b ->
+      Essa_bidlang.Bids.validate ~k b;
+      if not (Essa_bidlang.Bids.is_self_only b) then
+        invalid_arg "Auction.run: class predicates require Heavyweight.run")
+    bids;
+  let w, base = Essa_prob.Model.revenue_matrix model ~bids in
+  let assignment = Winner_determination.solve ~method_:config.method_ ~w ~base in
+  let expected_revenue =
+    Essa_matching.Assignment.total_value ~w ~base assignment
+  in
+  let ctr ~adv ~slot = Essa_prob.Model.click_prob model ~adv ~slot in
+  let prices_per_click =
+    match config.pricing with
+    | `Gsp -> Pricing.gsp_per_click ~w ~ctr ~assignment ()
+    | `Pay_as_bid ->
+        let expected = Pricing.pay_as_bid ~w ~assignment in
+        Array.mapi
+          (fun j0 cell ->
+            Option.map
+              (fun i ->
+                per_click_of_expected ~expected:expected.(i)
+                  ~click_prob:(ctr ~adv:i ~slot:(j0 + 1)))
+              cell)
+          assignment
+    | `Vcg ->
+        let expected =
+          Pricing.vcg ~method_:config.method_ ~w ~base ~assignment ()
+        in
+        Array.mapi
+          (fun j0 cell ->
+            Option.map
+              (fun i ->
+                per_click_of_expected ~expected:expected.(i)
+                  ~click_prob:(ctr ~adv:i ~slot:(j0 + 1)))
+              cell)
+          assignment
+  in
+  (* Sample user behaviour slot by slot (top to bottom, like a user
+     scanning the page). *)
+  let winners = ref [] in
+  let realized = ref 0 in
+  Array.iteri
+    (fun j0 cell ->
+      match cell with
+      | None -> ()
+      | Some adv ->
+          let slot = j0 + 1 in
+          let clicked =
+            Essa_util.Rng.bernoulli rng (ctr ~adv ~slot)
+          in
+          let purchased =
+            clicked
+            && Essa_util.Rng.bernoulli rng
+                 (Essa_prob.Model.purchase_given_click model ~adv ~slot)
+          in
+          let price_per_click =
+            match prices_per_click.(j0) with Some p -> p | None -> 0
+          in
+          let charged = if clicked then price_per_click else 0 in
+          realized := !realized + charged;
+          winners :=
+            { adv; slot; clicked; purchased; price_per_click; charged }
+            :: !winners)
+    assignment;
+  {
+    assignment;
+    expected_revenue;
+    winners = List.rev !winners;
+    realized_revenue = !realized;
+  }

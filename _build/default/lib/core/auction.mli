@@ -1,0 +1,51 @@
+(** A complete single multi-feature auction — the paper's steps 3–6 for one
+    user search: evaluate bids, determine winners, price, sample the user's
+    actions, and bill.
+
+    This is the general expressive path: advertisers submit full Bids
+    tables (any Boolean combination of their own Slot/Click/Purchase
+    predicates), the probability model supplies click and conversion
+    probabilities, and any winner-determination method can be plugged in.
+    The repeated-auction benchmark engine ({!Engine}) specializes this to
+    the Section V workload. *)
+
+type config = {
+  method_ : Winner_determination.method_;
+  pricing : [ `Pay_as_bid | `Gsp | `Vcg ];
+}
+
+val default_config : config
+(** RH winner determination with GSP pricing — the paper's recommended
+    operating point. *)
+
+type advertiser_outcome = {
+  adv : int;
+  slot : int;                    (** 1-based slot won *)
+  clicked : bool;
+  purchased : bool;
+  price_per_click : int;         (** cents (GSP / pay-as-bid equivalents) *)
+  charged : int;                 (** cents actually billed this auction *)
+}
+
+type result = {
+  assignment : Essa_matching.Assignment.t;
+  expected_revenue : float;      (** WD objective value, cents *)
+  winners : advertiser_outcome list;  (** slot order *)
+  realized_revenue : int;        (** cents actually billed *)
+}
+
+val run :
+  ?config:config ->
+  model:Essa_prob.Model.t ->
+  bids:Essa_bidlang.Bids.t array ->
+  rng:Essa_util.Rng.t ->
+  unit ->
+  result
+(** Run one auction.  [bids.(i)] is advertiser [i]'s Bids table (validated
+    against the model's slot count; must be self-only — class predicates
+    need {!Heavyweight}).  User actions are sampled from [model] using
+    [rng]; billing is per click at the configured price (for [`Vcg] and
+    [`Pay_as_bid] the expected payment is converted to a per-click price
+    by dividing by the winner's click probability, keeping the auction
+    pay-per-click as in the paper).
+    @raise Invalid_argument on malformed inputs. *)

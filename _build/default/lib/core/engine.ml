@@ -1,0 +1,361 @@
+type method_ = [ `Lp | `Lp_dense | `H | `Rh | `Rhtalu ]
+
+type summary = {
+  auction_time : int;
+  keyword : int;
+  assignment : Essa_matching.Assignment.t;
+  prices : int array;
+  clicks : bool array;
+  revenue : int;
+}
+
+type pricing = [ `Gsp | `Vcg | `Pay_as_bid ]
+
+type t = {
+  method_ : method_;
+  pricing : pricing;
+  reserve : int;  (* per-click floor, cents; bids below it cannot win *)
+  n : int;
+  k : int;
+  nk : int;
+  ctr : float array array;
+  fleet : Essa_strategy.Roi_fleet.t;
+  (* Per-slot advertisers sorted by click probability (descending,
+     ties by index) — the static sorted-access lists of Section IV-A. *)
+  ctr_sorted : (int * float) array array;
+  (* Static Click∧Slot1 premiums: premiums.(kw).(adv), plus per-keyword
+     descending lists for the slot-1 threshold algorithm. *)
+  premiums : int array array;
+  premium_sorted : (int * float) array array;
+  user_rng : Essa_util.Rng.t;
+  mutable time : int;
+  mutable total_revenue : int;
+  mutable auctions : int;
+  (* Reusable buffer for the full weight matrix (`Lp`, `H`, `Rh`). *)
+  w_buffer : float array array;
+  (* Cumulative per-phase wall time (ns), for the phase-breakdown
+     ablation; updated on every auction at negligible cost. *)
+  mutable ns_program_eval : int64;
+  mutable ns_winner_determination : int64;
+  mutable ns_pricing : int64;
+  mutable ns_user : int64;
+}
+
+let create ~reserve ~pricing ~method_ ~ctr ~states ~user_seed =
+  let n = Array.length ctr in
+  if n = 0 then invalid_arg "Engine.create: no advertisers";
+  let k = Array.length ctr.(0) in
+  if k = 0 then invalid_arg "Engine.create: no slots";
+  Array.iter
+    (fun row ->
+      if Array.length row <> k then invalid_arg "Engine.create: ragged ctr";
+      Array.iter
+        (fun p ->
+          if not (p >= 0.0 && p <= 1.0) then
+            invalid_arg "Engine.create: click probability outside [0,1]")
+        row)
+    ctr;
+  if Array.length states <> n then
+    invalid_arg "Engine.create: states length <> ctr rows";
+  let fleet =
+    match method_ with
+    | `Lp | `Lp_dense | `H | `Rh -> Essa_strategy.Roi_fleet.tabular states
+    | `Rhtalu -> Essa_strategy.Roi_fleet.logical states
+  in
+  let desc_sort entries =
+    Array.sort
+      (fun (ia, pa) (ib, pb) ->
+        let c = Float.compare pb pa in
+        if c <> 0 then c else Int.compare ia ib)
+      entries;
+    entries
+  in
+  let ctr_sorted =
+    Array.init k (fun j -> desc_sort (Array.init n (fun i -> (i, ctr.(i).(j)))))
+  in
+  let nk = Essa_strategy.Roi_state.num_keywords states.(0) in
+  let premiums =
+    Array.init nk (fun keyword ->
+        Array.init n (fun i -> Essa_strategy.Roi_state.premium states.(i) ~keyword))
+  in
+  let premium_sorted =
+    Array.init nk (fun keyword ->
+        desc_sort
+          (Array.init n (fun i -> (i, float_of_int premiums.(keyword).(i)))))
+  in
+  if reserve < 0 then invalid_arg "Engine.create: negative reserve";
+  {
+    method_;
+    pricing;
+    reserve;
+    n;
+    k;
+    nk = Essa_strategy.Roi_fleet.num_keywords fleet;
+    ctr;
+    fleet;
+    ctr_sorted;
+    premiums;
+    premium_sorted;
+    user_rng = Essa_util.Rng.create user_seed;
+    time = 0;
+    total_revenue = 0;
+    auctions = 0;
+    w_buffer = Array.make_matrix n k 0.0;
+    ns_program_eval = 0L;
+    ns_winner_determination = 0L;
+    ns_pricing = 0L;
+    ns_user = 0L;
+  }
+
+let n t = t.n
+let k t = t.k
+let num_keywords t = t.nk
+let time t = t.time
+let total_revenue t = t.total_revenue
+let auctions_run t = t.auctions
+let fleet t = t.fleet
+
+let bid t ~adv ~keyword = Essa_strategy.Roi_fleet.bid t.fleet ~adv ~keyword
+
+(* Full expected-revenue matrix for the naive methods: w(i,j) = ctr(i,j)
+   times the advertiser's current bid on the queried keyword. *)
+let fill_weights t ~keyword =
+  let prem = t.premiums.(keyword) in
+  for i = 0 to t.n - 1 do
+    let bid_c = Essa_strategy.Roi_fleet.bid t.fleet ~adv:i ~keyword in
+    let ctr_row = t.ctr.(i) and w_row = t.w_buffer.(i) in
+    if bid_c < t.reserve then
+      (* Below the per-click reserve: cannot win any slot (zero-weight
+         edges are never matched). *)
+      Array.fill w_row 0 t.k 0.0
+    else begin
+      let b = float_of_int bid_c in
+      (* Slot 1 carries the Click∧Slot1 premium; same float expression as
+         the TA aggregation below, to keep RH and RHTALU bit-identical. *)
+      w_row.(0) <- ctr_row.(0) *. (b +. float_of_int prem.(i));
+      for j = 1 to t.k - 1 do
+        w_row.(j) <- ctr_row.(j) *. b
+      done
+    end
+  done;
+  t.w_buffer
+
+(* Per-slot top lists via the threshold algorithm: sorted access on the
+   static ctr list and on the maintained bid lists; the product is the
+   same float expression as [fill_weights], so the lists are identical to
+   a heap scan of the full matrix. *)
+let ta_top_lists t ~keyword ~count =
+  let bids_source =
+    {
+      Essa_ta.Threshold.sorted =
+        (fun () ->
+          Seq.map
+            (fun (adv, b) -> (adv, float_of_int b))
+            (Essa_strategy.Roi_fleet.bids_desc t.fleet ~keyword));
+      lookup =
+        (fun adv ->
+          float_of_int (Essa_strategy.Roi_fleet.bid t.fleet ~adv ~keyword));
+    }
+  in
+  let premium_source =
+    {
+      Essa_ta.Threshold.sorted = (fun () -> Array.to_seq t.premium_sorted.(keyword));
+      lookup = (fun adv -> float_of_int t.premiums.(keyword).(adv));
+    }
+  in
+  Array.init t.k (fun j ->
+      let ctr_source =
+        {
+          Essa_ta.Threshold.sorted =
+            (fun () -> Array.to_seq t.ctr_sorted.(j));
+          lookup = (fun adv -> t.ctr.(adv).(j));
+        }
+      in
+      let reserve = float_of_int t.reserve in
+      (* Sub-reserve bids score 0, exactly like the matrix paths; the
+         step form keeps f monotone in every attribute. *)
+      let top, _stats =
+        if j = 0 then
+          Essa_ta.Threshold.top_k ~k:count
+            ~f:(fun attrs ->
+              if attrs.(1) < reserve then 0.0
+              else attrs.(0) *. (attrs.(1) +. attrs.(2)))
+            [| ctr_source; bids_source; premium_source |]
+        else
+          Essa_ta.Threshold.top_k ~k:count
+            ~f:(fun attrs ->
+              if attrs.(1) < reserve then 0.0 else attrs.(0) *. attrs.(1))
+            [| ctr_source; bids_source |]
+      in
+      top)
+
+let run_auction t ~keyword =
+  if keyword < 0 || keyword >= t.nk then
+    invalid_arg (Printf.sprintf "Engine.run_auction: keyword %d" keyword);
+  t.time <- t.time + 1;
+  t.auctions <- t.auctions + 1;
+  let stamp = Essa_util.Timing.now_ns () in
+  Essa_strategy.Roi_fleet.on_auction t.fleet ~time:t.time ~keyword;
+  let stamp =
+    let now = Essa_util.Timing.now_ns () in
+    t.ns_program_eval <- Int64.add t.ns_program_eval (Int64.sub now stamp);
+    now
+  in
+  let ctr ~adv ~slot = t.ctr.(adv).(slot - 1) in
+  (* Winner determination.  Besides the global assignment, every branch
+     produces a *pricing view*: the weight (sub)matrix and the advertiser
+     index mapping it is expressed in.  The reduced views built from
+     top-(k+1) lists support exact GSP and exact VCG (removing a winner
+     never pushes the removal-optimum outside the lists). *)
+  let reduced_from_top top =
+    let advertisers =
+      let module Int_set = Set.Make (Int) in
+      Array.fold_left
+        (fun acc lst ->
+          List.fold_left (fun acc (i, _) -> Int_set.add i acc) acc lst)
+        Int_set.empty top
+      |> Int_set.elements |> Array.of_list
+    in
+    let prem = t.premiums.(keyword) in
+    let reduced_w =
+      Array.map
+        (fun i ->
+          let bid_c = bid t ~adv:i ~keyword in
+          if bid_c < t.reserve then Array.make t.k 0.0
+          else begin
+            let b = float_of_int bid_c in
+            Array.init t.k (fun j ->
+                if j = 0 then t.ctr.(i).(0) *. (b +. float_of_int prem.(i))
+                else t.ctr.(i).(j) *. b)
+          end)
+        advertisers
+    in
+    (advertisers, reduced_w)
+  in
+  let assignment, view_advertisers, view_w, top =
+    match t.method_ with
+    | `Lp ->
+        let w = fill_weights t ~keyword in
+        (Essa_lp.Assignment_lp.solve ~w (), None, w, None)
+    | `Lp_dense ->
+        let w = fill_weights t ~keyword in
+        (Essa_lp.Assignment_lp.solve ~solver:`Tableau ~w (), None, w, None)
+    | `H ->
+        let w = fill_weights t ~keyword in
+        (Essa_matching.Hungarian.solve_classic ~w, None, w, None)
+    | `Rh ->
+        let w = fill_weights t ~keyword in
+        let top = Essa_matching.Reduction.top_per_slot ~w ~count:(t.k + 1) in
+        let advertisers, reduced_w = reduced_from_top top in
+        let reduced = Essa_matching.Hungarian.solve ~w:reduced_w in
+        let assignment =
+          Array.map (Option.map (fun local -> advertisers.(local))) reduced
+        in
+        (assignment, Some advertisers, reduced_w, Some top)
+    | `Rhtalu ->
+        let top = ta_top_lists t ~keyword ~count:(t.k + 1) in
+        (* The full matrix is never materialized: weights travel inside
+           the top lists and the reduced view. *)
+        let advertisers, reduced_w = reduced_from_top top in
+        let reduced = Essa_matching.Hungarian.solve ~w:reduced_w in
+        let assignment =
+          Array.map (Option.map (fun local -> advertisers.(local))) reduced
+        in
+        (assignment, Some advertisers, reduced_w, Some top)
+  in
+  let stamp =
+    let now = Essa_util.Timing.now_ns () in
+    t.ns_winner_determination <- Int64.add t.ns_winner_determination (Int64.sub now stamp);
+    now
+  in
+  let per_click_of_expected ~expected ~slot ~adv =
+    let p = ctr ~adv ~slot in
+    if p <= 0.0 || expected <= 0.0 then 0
+    else int_of_float (Float.ceil ((expected /. p) -. 1e-9))
+  in
+  let prices =
+    match t.pricing with
+    | `Gsp ->
+        let prices_opt = Pricing.gsp_per_click ~w:view_w ~ctr ?top ~assignment () in
+        Array.map
+          (function None -> 0 | Some p -> max p t.reserve)
+          prices_opt
+    | `Pay_as_bid ->
+        Array.mapi
+          (fun j0 cell ->
+            match cell with
+            | None -> 0
+            | Some adv ->
+                (* Slot 1 winners owe their Click∧Slot1 premium too. *)
+                bid t ~adv ~keyword
+                + (if j0 = 0 then t.premiums.(keyword).(adv) else 0))
+          assignment
+    | `Vcg ->
+        (* Solve on the pricing view (local indices), then translate. *)
+        let to_local =
+          match view_advertisers with
+          | None -> fun i -> i
+          | Some advs ->
+              let table = Hashtbl.create 64 in
+              Array.iteri (fun local i -> Hashtbl.replace table i local) advs;
+              fun i -> Hashtbl.find table i
+        in
+        let local_assignment = Array.map (Option.map to_local) assignment in
+        let base = Array.make (Array.length view_w) 0.0 in
+        let payments =
+          Pricing.vcg ~method_:`Rh ~w:view_w ~base ~assignment:local_assignment ()
+        in
+        Array.mapi
+          (fun j0 cell ->
+            match cell with
+            | None -> 0
+            | Some adv ->
+                per_click_of_expected ~expected:payments.(to_local adv)
+                  ~slot:(j0 + 1) ~adv)
+          assignment
+  in
+  let stamp =
+    let now = Essa_util.Timing.now_ns () in
+    t.ns_pricing <- Int64.add t.ns_pricing (Int64.sub now stamp);
+    now
+  in
+  (* Sample the user's clicks top-to-bottom; bill per click. *)
+  let clicks = Array.make t.k false in
+  let revenue = ref 0 in
+  Array.iteri
+    (fun j0 cell ->
+      match cell with
+      | None -> ()
+      | Some adv ->
+          let clicked = Essa_util.Rng.bernoulli t.user_rng (ctr ~adv ~slot:(j0 + 1)) in
+          clicks.(j0) <- clicked;
+          if clicked then revenue := !revenue + prices.(j0);
+          Essa_strategy.Roi_fleet.record_win t.fleet ~time:t.time ~adv ~keyword
+            ~price:prices.(j0) ~clicked)
+    assignment;
+  t.total_revenue <- t.total_revenue + !revenue;
+  t.ns_user <- Int64.add t.ns_user (Int64.sub (Essa_util.Timing.now_ns ()) stamp);
+  {
+    auction_time = t.time;
+    keyword;
+    assignment;
+    prices;
+    clicks;
+    revenue = !revenue;
+  }
+
+type phase_breakdown = {
+  program_eval_ms : float;
+  winner_determination_ms : float;
+  pricing_ms : float;
+  user_ms : float;
+}
+
+let phase_breakdown t =
+  let ms x = Int64.to_float x /. 1e6 in
+  {
+    program_eval_ms = ms t.ns_program_eval;
+    winner_determination_ms = ms t.ns_winner_determination;
+    pricing_ms = ms t.ns_pricing;
+    user_ms = ms t.ns_user;
+  }

@@ -1,0 +1,186 @@
+type bid2 = {
+  bidder : int;
+  other : int;
+  amount : int;
+}
+
+let position assignment adv =
+  (* Slot index (0-based) held by [adv], or None. *)
+  let rec go j =
+    if j >= Array.length assignment then None
+    else if assignment.(j) = Some adv then Some j
+    else go (j + 1)
+  in
+  go 0
+
+let revenue ~bids ~assignment =
+  List.fold_left
+    (fun acc { bidder; other; amount } ->
+      match position assignment bidder with
+      | None -> acc
+      | Some pb -> (
+          match position assignment other with
+          | None -> acc + amount         (* other unplaced: bidder is "above" *)
+          | Some po -> if pb < po then acc + amount else acc))
+    0 bids
+
+let solve_brute ~n ~k ~bids =
+  let current = Essa_matching.Assignment.empty ~k in
+  let taken = Array.make n false in
+  let best = ref (Essa_matching.Assignment.empty ~k) in
+  let best_value = ref min_int in
+  let rec go slot =
+    if slot > k then begin
+      let v = revenue ~bids ~assignment:current in
+      if v > !best_value then begin
+        best_value := v;
+        best := Array.copy current
+      end
+    end
+    else begin
+      current.(slot - 1) <- None;
+      go (slot + 1);
+      for i = 0 to n - 1 do
+        if not taken.(i) then begin
+          taken.(i) <- true;
+          current.(slot - 1) <- Some i;
+          go (slot + 1);
+          current.(slot - 1) <- None;
+          taken.(i) <- false
+        end
+      done
+    end
+  in
+  go 1;
+  (!best, !best_value)
+
+let of_digraph ~weights =
+  let n = Array.length weights in
+  let bids = ref [] in
+  for i = 0 to n - 1 do
+    for i' = 0 to n - 1 do
+      if i <> i' && weights.(i).(i') > 0 then
+        bids := { bidder = i; other = i'; amount = weights.(i).(i') } :: !bids
+    done
+  done;
+  List.rev !bids
+
+let acyclic_subgraph_value ~weights ~order =
+  let n = Array.length weights in
+  let rank = Array.make n max_int in
+  List.iteri (fun pos i -> rank.(i) <- pos) order;
+  let total = ref 0 in
+  List.iter
+    (fun i ->
+      for i' = 0 to n - 1 do
+        if i' <> i && weights.(i).(i') > 0 && rank.(i) < rank.(i') then
+          total := !total + weights.(i).(i')
+      done)
+    order;
+  !total
+
+let solve_greedy ~n ~k ~bids =
+  let assignment = Essa_matching.Assignment.empty ~k in
+  let taken = Array.make n false in
+  let rec fill slot =
+    if slot <= k then begin
+      (* Marginal gain of placing advertiser i in this slot now. *)
+      let base = revenue ~bids ~assignment in
+      let best = ref None in
+      for i = 0 to n - 1 do
+        if not taken.(i) then begin
+          assignment.(slot - 1) <- Some i;
+          let gain = revenue ~bids ~assignment - base in
+          assignment.(slot - 1) <- None;
+          match !best with
+          | None -> if gain > 0 then best := Some (i, gain)
+          | Some (_, bg) -> if gain > bg then best := Some (i, gain)
+        end
+      done;
+      match !best with
+      | None -> ()  (* no positive marginal gain: stop placing *)
+      | Some (i, _) ->
+          taken.(i) <- true;
+          assignment.(slot - 1) <- Some i;
+          fill (slot + 1)
+    end
+  in
+  fill 1;
+  (assignment, revenue ~bids ~assignment)
+
+let solve_local_search ?(max_rounds = 1000) ~n ~k ~bids () =
+  let start, _ = solve_greedy ~n ~k ~bids in
+  let current = Array.copy start in
+  let score a = revenue ~bids ~assignment:a in
+  let best = ref (score current) in
+  let try_change mutate undo =
+    mutate ();
+    let v = score current in
+    if v > !best then begin
+      best := v;
+      true
+    end
+    else begin
+      undo ();
+      false
+    end
+  in
+  let placed j = current.(j) in
+  let unplaced () =
+    let used = Array.make n false in
+    Array.iter (function Some i -> used.(i) <- true | None -> ()) current;
+    let rec go i acc = if i < 0 then acc else go (i - 1) (if used.(i) then acc else i :: acc) in
+    go (n - 1) []
+  in
+  let improved = ref true in
+  let rounds = ref 0 in
+  while !improved && !rounds < max_rounds do
+    improved := false;
+    incr rounds;
+    (* Swap the occupants of two slots. *)
+    for a = 0 to k - 1 do
+      for b = a + 1 to k - 1 do
+        if
+          try_change
+            (fun () ->
+              let t = current.(a) in
+              current.(a) <- current.(b);
+              current.(b) <- t)
+            (fun () ->
+              let t = current.(a) in
+              current.(a) <- current.(b);
+              current.(b) <- t)
+        then improved := true
+      done
+    done;
+    (* Replace a slot's occupant with an unplaced advertiser (or fill an
+       empty slot). *)
+    List.iter
+      (fun candidate ->
+        (* Once the candidate lands in a slot it is no longer unplaced;
+           stop offering it (a second placement would duplicate it). *)
+        let landed = ref false in
+        for j = 0 to k - 1 do
+          if not !landed then begin
+            let old = placed j in
+            if
+              try_change
+                (fun () -> current.(j) <- Some candidate)
+                (fun () -> current.(j) <- old)
+            then begin
+              improved := true;
+              landed := true
+            end
+          end
+        done)
+      (unplaced ());
+    (* Empty a slot outright. *)
+    for j = 0 to k - 1 do
+      let old = placed j in
+      if old <> None then
+        if
+          try_change (fun () -> current.(j) <- None) (fun () -> current.(j) <- old)
+        then improved := true
+    done
+  done;
+  (current, !best)

@@ -1,0 +1,52 @@
+(** The hardness side of the story: Theorem 3's reduction from weighted
+    feedback arc set to winner determination with 2-dependent bids.
+
+    A 2-dependent bid "pay [amount] if I am placed above advertiser
+    [other]" (where [other] may also be unplaced) cannot be expressed with
+    self-only predicates; this module represents such bids directly,
+    implements their exact (exponential) winner determination, and the
+    encoding of an arbitrary weighted digraph as a bid set such that
+    expected revenue of an allocation equals the weight of the arcs it
+    respects — i.e. winner determination = maximum-weight feedback arc set
+    over size-k subgraphs, which is APX-hard.  A greedy heuristic is
+    included to show the approximation gap on random digraphs. *)
+
+type bid2 = {
+  bidder : int;
+  other : int;
+  amount : int;  (** cents, paid iff [bidder] gets a slot and is above
+                     [other] (or [other] gets no slot) *)
+}
+
+val revenue : bids:bid2 list -> assignment:Essa_matching.Assignment.t -> int
+(** Total payment of an allocation under pay-as-bid. *)
+
+val solve_brute :
+  n:int -> k:int -> bids:bid2 list -> Essa_matching.Assignment.t * int
+(** Exact winner determination by enumeration — exponential, small
+    instances only. *)
+
+val of_digraph : weights:int array array -> bid2 list
+(** [of_digraph ~weights] encodes a weighted digraph ([weights.(i).(i')] =
+    arc i → i', 0 = absent, diagonal ignored) as the Theorem 3 bid set:
+    advertiser [i] bids [weights.(i).(i')] on being above [i']. *)
+
+val acyclic_subgraph_value :
+  weights:int array array -> order:int list -> int
+(** Weight of arcs respected by placing [order] (top to bottom, the rest
+    unplaced): arcs from placed advertisers to advertisers below them or
+    unplaced. *)
+
+val solve_greedy : n:int -> k:int -> bids:bid2 list -> Essa_matching.Assignment.t * int
+(** A natural polynomial heuristic: repeatedly place the advertiser with
+    the largest marginal revenue gain in the next slot.  Optimal on DAG-like
+    instances, provably suboptimal in general — the tests exhibit gaps. *)
+
+val solve_local_search :
+  ?max_rounds:int -> n:int -> k:int -> bids:bid2 list -> unit ->
+  Essa_matching.Assignment.t * int
+(** Greedy followed by hill climbing over three moves — swap two placed
+    advertisers, replace a placed advertiser by an unplaced one, empty a
+    slot — until a local optimum (or [max_rounds], default 1000).  Never
+    worse than greedy (property-tested); still not optimal in general,
+    as Theorem 3 predicts for any polynomial method. *)

@@ -1,0 +1,84 @@
+let assigned_set assignment =
+  let set = Hashtbl.create 16 in
+  Array.iter
+    (function None -> () | Some i -> Hashtbl.replace set i ())
+    assignment;
+  set
+
+let runner_up ~w ?top ~assignment ~slot () =
+  let assigned = assigned_set assignment in
+  match top with
+  | Some lists ->
+      (* Lists hold ≥ k+1 candidates; at most k advertisers are assigned,
+         so the best unassigned candidate for the slot — which dominates
+         every advertiser outside the list — appears in it.  [w] is not
+         consulted on this path. *)
+      List.find_opt (fun (i, _) -> not (Hashtbl.mem assigned i)) lists.(slot - 1)
+  | None ->
+      let n = Array.length w in
+      let best = ref None in
+      for i = 0 to n - 1 do
+        if not (Hashtbl.mem assigned i) then
+          match !best with
+          | None -> best := Some (i, w.(i).(slot - 1))
+          | Some (_, bw) ->
+              if w.(i).(slot - 1) > bw then best := Some (i, w.(i).(slot - 1))
+      done;
+      !best
+
+let gsp_per_click ~w ~ctr ?top ~assignment () =
+  Array.mapi
+    (fun j0 cell ->
+      match cell with
+      | None -> None
+      | Some winner ->
+          let slot = j0 + 1 in
+          let price =
+            match runner_up ~w ?top ~assignment ~slot () with
+            | None -> 0
+            | Some (_, runner_weight) ->
+                let p = ctr ~adv:winner ~slot in
+                if p <= 0.0 || runner_weight <= 0.0 then 0
+                else int_of_float (Float.ceil ((runner_weight /. p) -. 1e-9))
+          in
+          Some price)
+    assignment
+
+let pay_as_bid ~w ~assignment =
+  let n = Array.length w in
+  let payments = Array.make n 0.0 in
+  Array.iteri
+    (fun j0 cell ->
+      match cell with None -> () | Some i -> payments.(i) <- w.(i).(j0))
+    assignment;
+  payments
+
+let vcg ?(method_ = `Rh) ~w ~base ~assignment () =
+  let n = Array.length w in
+  let total = Essa_matching.Assignment.total_value ~w ~base assignment in
+  let payments = Array.make n 0.0 in
+  Array.iteri
+    (fun j0 cell ->
+      match cell with
+      | None -> ()
+      | Some i ->
+          (* Genuinely remove advertiser i's row (a zeroed row could still
+             be assigned a slot and block the others). *)
+          let keep i' = i' <> i in
+          let w' =
+            Array.of_list
+              (List.filteri (fun i' _ -> keep i') (Array.to_list w))
+          in
+          let base' =
+            Array.of_list
+              (List.filteri (fun i' _ -> keep i') (Array.to_list base))
+          in
+          let without = Winner_determination.solve ~method_ ~w:w' ~base:base' in
+          let opt_without =
+            Essa_matching.Assignment.total_value ~w:w' ~base:base' without
+          in
+          let contribution = w.(i).(j0) in
+          let others_now = total -. contribution in
+          payments.(i) <- max 0.0 (opt_without -. others_now))
+    assignment;
+  payments

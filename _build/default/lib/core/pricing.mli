@@ -1,0 +1,58 @@
+(** Pricing rules (Section III preamble, Section V).
+
+    Winner determination fixes the allocation; a pricing rule then decides
+    what winners actually pay.  The paper's point is that given winner
+    determination as a subroutine, the standard rules are simple
+    computations — we provide the three it names:
+
+    - pay-as-bid: winners pay their expected bid (what the
+      winner-determination objective assumed);
+    - GSP, the "slight generalization of generalized second-pricing" used
+      in the paper's experiments: the winner of slot [j] pays, per click,
+      the smallest whole-cent amount that keeps its expected revenue for
+      slot [j] at least that of the best advertiser left unassigned;
+    - VCG: each winner pays the externality it imposes on the other
+      advertisers (k+1 winner-determination calls). *)
+
+val runner_up :
+  w:float array array ->
+  ?top:(int * float) list array ->
+  assignment:Essa_matching.Assignment.t ->
+  slot:int ->
+  unit ->
+  (int * float) option
+(** The highest-weight advertiser for 1-based [slot] that is left without
+    any slot (ties: smallest index) — the displaced competitor whose bid
+    sets the GSP price.  When [top] per-slot lists are supplied (at least
+    k+1 entries per slot, e.g. from the RH reduction), the answer is read
+    from them without touching the full matrix; the two paths agree
+    (tested).  [None] when every other advertiser is assigned or [w] has
+    no positive candidate. *)
+
+val gsp_per_click :
+  w:float array array ->
+  ctr:(adv:int -> slot:int -> float) ->
+  ?top:(int * float) list array ->
+  assignment:Essa_matching.Assignment.t ->
+  unit ->
+  int option array
+(** Per-slot per-click price in whole cents for each assigned slot:
+    [ceil (runner_weight / ctr winner slot)] — 0 when there is no runner-up
+    or the winner's click probability is 0.  [None] for empty slots. *)
+
+val pay_as_bid :
+  w:float array array -> assignment:Essa_matching.Assignment.t -> float array
+(** Per-advertiser expected payment: [w.(i).(slot)] for winners, 0
+    otherwise. *)
+
+val vcg :
+  ?method_:Winner_determination.method_ ->
+  w:float array array ->
+  base:float array ->
+  assignment:Essa_matching.Assignment.t ->
+  unit ->
+  float array
+(** Per-advertiser VCG payment (expected cents per auction) for an
+    *optimal* [assignment]: [payment_i = opt(-i) - (opt - contribution_i)].
+    Non-negative, and never exceeds pay-as-bid (individual rationality);
+    both are property-tested.  [method_] defaults to [`Rh]. *)

@@ -1,0 +1,1 @@
+lib/lp/assignment_lp.ml: Array Essa_matching Printf Problem Simplex_revised Simplex_tableau

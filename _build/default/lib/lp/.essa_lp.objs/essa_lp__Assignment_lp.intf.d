@@ -1,0 +1,1 @@
+lib/lp/assignment_lp.mli: Essa_matching Problem

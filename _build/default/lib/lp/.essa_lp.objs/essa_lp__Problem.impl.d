@@ -1,0 +1,1 @@
+lib/lp/problem.ml: Array Hashtbl List Printf

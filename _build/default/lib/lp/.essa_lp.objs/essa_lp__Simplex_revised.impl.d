@@ -1,0 +1,1 @@
+lib/lp/simplex_revised.ml: Array List Problem

@@ -1,0 +1,43 @@
+let build ~w =
+  let n = Array.length w in
+  let k = if n = 0 then 0 else Array.length w.(0) in
+  let num_vars = n * k in
+  let objective = Array.make num_vars 0.0 in
+  let columns = Array.make num_vars [] in
+  for i = 0 to n - 1 do
+    for j = 0 to k - 1 do
+      let v = (i * k) + j in
+      objective.(v) <- w.(i).(j);
+      (* Row i: advertiser capacity; row n+j: slot capacity. *)
+      columns.(v) <- [ (i, 1.0); (n + j, 1.0) ]
+    done
+  done;
+  Problem.make ~num_constraints:(n + k) ~objective ~columns
+    ~rhs:(Array.make (n + k) 1.0)
+
+let extract ~w (sol : Problem.solution) =
+  let n = Array.length w in
+  let k = if n = 0 then 0 else Array.length w.(0) in
+  let assignment = Essa_matching.Assignment.empty ~k in
+  Array.iteri
+    (fun v x ->
+      if abs_float x > 1e-4 && abs_float (x -. 1.0) > 1e-4 then
+        failwith
+          (Printf.sprintf "Assignment_lp.extract: fractional value %g at %d" x v);
+      if x > 0.5 then begin
+        let i = v / k and j = v mod k in
+        assignment.(j) <- Some i
+      end)
+    sol.x;
+  assignment
+
+let solve ?(solver = `Revised) ~w () =
+  let p = build ~w in
+  let status =
+    match solver with
+    | `Tableau -> Simplex_tableau.solve p
+    | `Revised -> Simplex_revised.solve p
+  in
+  match status with
+  | Problem.Optimal sol -> extract ~w sol
+  | Problem.Unbounded -> failwith "Assignment_lp.solve: unbounded (impossible)"

@@ -1,0 +1,25 @@
+(** The linear-programming formulation of winner determination — the
+    paper's baseline method "LP" (Section V).
+
+    Variables [x_ij ∈ [0,1]] say "advertiser i holds slot j"; constraints
+    give each advertiser at most one slot and each slot at most one
+    advertiser; the objective is the expected-revenue weight matrix.  By
+    Chvátal's theorem (the constraint rows are the maximal cliques of a
+    perfect graph — equivalently, the polytope is the Birkhoff/assignment
+    polytope) the LP optimum is integral, so a simplex vertex solution *is*
+    an allocation; {!extract} checks this and rounds. *)
+
+val build : w:float array array -> Problem.t
+(** [build ~w] for an [n × k] weight matrix.  Variable [i·k + j] is
+    [x_{i,j+1}].  Edges with non-positive weight keep their variables (the
+    solver simply never enters them), mirroring the naive formulation the
+    paper benchmarks. *)
+
+val extract : w:float array array -> Problem.solution -> Essa_matching.Assignment.t
+(** Round a vertex solution to an assignment.
+    @raise Failure if any variable is further than 1e-4 from {0,1} (would
+    indicate a non-vertex solution; excluded by theory + tests). *)
+
+val solve : ?solver:[ `Tableau | `Revised ] -> w:float array array -> unit -> Essa_matching.Assignment.t
+(** Build, solve (default [`Revised]), extract.
+    @raise Failure on solver failure (the problem is always bounded). *)

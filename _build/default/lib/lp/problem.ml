@@ -1,0 +1,60 @@
+type t = {
+  num_vars : int;
+  num_constraints : int;
+  objective : float array;
+  columns : (int * float) list array;
+  rhs : float array;
+}
+
+let make ~num_constraints ~objective ~columns ~rhs =
+  let num_vars = Array.length objective in
+  if Array.length columns <> num_vars then
+    invalid_arg "Problem.make: columns length <> objective length";
+  if Array.length rhs <> num_constraints then
+    invalid_arg "Problem.make: rhs length <> num_constraints";
+  Array.iter
+    (fun b ->
+      if b < 0.0 then
+        invalid_arg "Problem.make: negative right-hand side (phase-I not supported)")
+    rhs;
+  Array.iter
+    (fun col ->
+      let seen = Hashtbl.create 4 in
+      List.iter
+        (fun (row, _) ->
+          if row < 0 || row >= num_constraints then
+            invalid_arg (Printf.sprintf "Problem.make: row %d out of range" row);
+          if Hashtbl.mem seen row then
+            invalid_arg "Problem.make: duplicate row in column";
+          Hashtbl.add seen row ())
+        col)
+    columns;
+  { num_vars; num_constraints; objective; columns; rhs }
+
+let dense_row_major t =
+  let a = Array.make_matrix t.num_constraints t.num_vars 0.0 in
+  Array.iteri
+    (fun j col -> List.iter (fun (i, v) -> a.(i).(j) <- v) col)
+    t.columns;
+  a
+
+type solution = { value : float; x : float array }
+
+type status =
+  | Optimal of solution
+  | Unbounded
+
+let check_feasible ?(tol = 1e-7) t x =
+  Array.length x = t.num_vars
+  && Array.for_all (fun xi -> xi >= -.tol) x
+  && begin
+       let lhs = Array.make t.num_constraints 0.0 in
+       Array.iteri
+         (fun j col ->
+           if x.(j) <> 0.0 then
+             List.iter (fun (i, v) -> lhs.(i) <- lhs.(i) +. (v *. x.(j))) col)
+         t.columns;
+       let ok = ref true in
+       Array.iteri (fun i l -> if l > t.rhs.(i) +. tol then ok := false) lhs;
+       !ok
+     end

@@ -1,0 +1,41 @@
+(** Linear programs in the computational form used by both simplex
+    implementations:
+
+    maximize [c·x] subject to [A·x ≤ b], [x ≥ 0], with [b ≥ 0].
+
+    [b ≥ 0] makes the all-slack basis feasible, so no phase-I is needed;
+    the winner-determination LP (all right-hand sides are 1) satisfies it,
+    as do the classic textbook LPs in the test suite.  The constraint
+    matrix is stored by sparse columns because the assignment LP has only
+    two non-zeros per column. *)
+
+type t = private {
+  num_vars : int;
+  num_constraints : int;
+  objective : float array;              (** length [num_vars] *)
+  columns : (int * float) list array;   (** per variable: (row, coefficient) *)
+  rhs : float array;                    (** length [num_constraints], all ≥ 0 *)
+}
+
+val make :
+  num_constraints:int ->
+  objective:float array ->
+  columns:(int * float) list array ->
+  rhs:float array ->
+  t
+(** @raise Invalid_argument on shape mismatch, a negative right-hand side,
+    an out-of-range row index, or a duplicate row within a column. *)
+
+val dense_row_major : t -> float array array
+(** Materialize [A] densely ([num_constraints × num_vars]) — used by the
+    tableau solver and by tests. *)
+
+type solution = { value : float; x : float array }
+
+type status =
+  | Optimal of solution
+  | Unbounded
+
+val check_feasible : ?tol:float -> t -> float array -> bool
+(** Does a point satisfy all constraints and nonnegativity (tolerance
+    [tol], default 1e-7)?  Used to validate solver output in tests. *)

@@ -1,0 +1,159 @@
+let eps = 1e-9
+
+type outcome = { status : Problem.status; pivots : int }
+
+let run ?max_iters (p : Problem.t) =
+  let m = p.num_constraints and n = p.num_vars in
+  let max_iters =
+    match max_iters with Some v -> v | None -> (50 * (m + n)) + 1000
+  in
+  (* Variable indexing: structural 0..n-1, slack n..n+m-1. *)
+  let cost j = if j < n then p.objective.(j) else 0.0 in
+  let binv = Array.init m (fun i -> Array.init m (fun j -> if i = j then 1.0 else 0.0)) in
+  let basis = Array.init m (fun i -> n + i) in
+  let in_basis = Array.make (n + m) false in
+  for i = 0 to m - 1 do
+    in_basis.(n + i) <- true
+  done;
+  let xb = Array.copy p.rhs in
+  let y = Array.make m 0.0 in
+  let u = Array.make m 0.0 in
+  let compute_y () =
+    for i = 0 to m - 1 do
+      y.(i) <- 0.0
+    done;
+    for r = 0 to m - 1 do
+      let cb = cost basis.(r) in
+      if cb <> 0.0 then begin
+        let row = binv.(r) in
+        for i = 0 to m - 1 do
+          y.(i) <- y.(i) +. (cb *. row.(i))
+        done
+      end
+    done
+  in
+  (* Reduced cost of a nonbasic variable. *)
+  let reduced j =
+    if j < n then
+      cost j
+      -. List.fold_left (fun acc (i, v) -> acc +. (y.(i) *. v)) 0.0 p.columns.(j)
+    else -.y.(j - n)
+  in
+  let entering ~bland =
+    if bland then begin
+      let rec go j =
+        if j >= n + m then None
+        else if (not in_basis.(j)) && reduced j > eps then Some j
+        else go (j + 1)
+      in
+      go 0
+    end
+    else begin
+      let best = ref (-1) and best_val = ref eps in
+      for j = 0 to n + m - 1 do
+        if not in_basis.(j) then begin
+          let d = reduced j in
+          if d > !best_val then begin
+            best_val := d;
+            best := j
+          end
+        end
+      done;
+      if !best < 0 then None else Some !best
+    end
+  in
+  let compute_direction q =
+    for i = 0 to m - 1 do
+      u.(i) <- 0.0
+    done;
+    if q < n then
+      List.iter
+        (fun (row, v) ->
+          for i = 0 to m - 1 do
+            u.(i) <- u.(i) +. (v *. binv.(i).(row))
+          done)
+        p.columns.(q)
+    else begin
+      let row = q - n in
+      for i = 0 to m - 1 do
+        u.(i) <- binv.(i).(row)
+      done
+    end
+  in
+  let leaving ~bland =
+    let best = ref (-1) and best_ratio = ref infinity in
+    for i = 0 to m - 1 do
+      if u.(i) > eps then begin
+        let ratio = xb.(i) /. u.(i) in
+        if
+          ratio < !best_ratio -. eps
+          || (ratio < !best_ratio +. eps
+             && !best >= 0
+             && bland
+             && basis.(i) < basis.(!best))
+        then begin
+          best_ratio := ratio;
+          best := i
+        end
+      end
+    done;
+    if !best < 0 then None else Some !best
+  in
+  let pivot ~row ~col =
+    let ur = u.(row) in
+    let brow = binv.(row) in
+    for j = 0 to m - 1 do
+      brow.(j) <- brow.(j) /. ur
+    done;
+    xb.(row) <- xb.(row) /. ur;
+    for i = 0 to m - 1 do
+      if i <> row && abs_float u.(i) > 0.0 then begin
+        let f = u.(i) in
+        let bi = binv.(i) in
+        for j = 0 to m - 1 do
+          bi.(j) <- bi.(j) -. (f *. brow.(j))
+        done;
+        xb.(i) <- xb.(i) -. (f *. xb.(row));
+        if xb.(i) < 0.0 && xb.(i) > -.eps then xb.(i) <- 0.0
+      end
+    done;
+    in_basis.(basis.(row)) <- false;
+    in_basis.(col) <- true;
+    basis.(row) <- col
+  in
+  let objective_value () =
+    let acc = ref 0.0 in
+    for i = 0 to m - 1 do
+      acc := !acc +. (cost basis.(i) *. xb.(i))
+    done;
+    !acc
+  in
+  let rec iterate iter stall last_obj =
+    if iter > max_iters then
+      failwith "Simplex_revised.solve: iteration limit exceeded";
+    let bland = stall > m + n in
+    compute_y ();
+    match entering ~bland with
+    | None ->
+        let x = Array.make n 0.0 in
+        Array.iteri (fun i b -> if b < n then x.(b) <- max 0.0 xb.(i)) basis;
+        let value =
+          Array.fold_left ( +. ) 0.0
+            (Array.mapi (fun j c -> c *. x.(j)) p.objective)
+        in
+        { status = Problem.Optimal { value; x }; pivots = iter }
+    | Some col -> (
+        compute_direction col;
+        match leaving ~bland with
+        | None -> { status = Problem.Unbounded; pivots = iter }
+        | Some row ->
+            pivot ~row ~col;
+            let obj = objective_value () in
+            let stall' = if obj > last_obj +. eps then 0 else stall + 1 in
+            iterate (iter + 1) stall' (max obj last_obj))
+  in
+  iterate 0 0 0.0
+
+let solve ?max_iters p = (run ?max_iters p).status
+
+let iterations p = (run p).pivots

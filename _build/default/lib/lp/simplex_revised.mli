@@ -1,0 +1,19 @@
+(** Revised primal simplex with an explicitly maintained basis inverse.
+
+    Works column-wise on the sparse constraint matrix, so each iteration
+    costs [O(m²)] for the basis-inverse update plus [O(nnz)] for pricing —
+    dramatically cheaper than the dense tableau on the winner-determination
+    LP, whose columns have only two non-zeros.  This is the solver behind
+    the paper's "LP" baseline method at experiment scale; the tableau
+    solver cross-checks it on small instances.
+
+    Same pivoting policy as the tableau: Dantzig pricing with a Bland
+    fallback on degeneracy stalls. *)
+
+val solve : ?max_iters:int -> Problem.t -> Problem.status
+(** [max_iters] defaults to [50 · (vars + constraints) + 1000]; exceeding
+    it raises [Failure]. *)
+
+val iterations : Problem.t -> int
+(** Number of pivots [solve] performs on this problem (runs the solver) —
+    exposed for the ablation bench on simplex behaviour. *)

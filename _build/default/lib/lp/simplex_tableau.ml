@@ -1,0 +1,107 @@
+let eps = 1e-9
+
+let solve ?max_iters (p : Problem.t) =
+  let m = p.num_constraints and n = p.num_vars in
+  let max_iters =
+    match max_iters with Some v -> v | None -> (50 * (m + n)) + 1000
+  in
+  let total = n + m in
+  (* tableau.(i) has [total] structural+slack coefficients then the rhs. *)
+  let a = Problem.dense_row_major p in
+  let tableau =
+    Array.init m (fun i ->
+        Array.init (total + 1) (fun j ->
+            if j < n then a.(i).(j)
+            else if j < total then if j - n = i then 1.0 else 0.0
+            else p.rhs.(i)))
+  in
+  (* Objective row: z_j - c_j, stored negated as reduced costs r_j = c_j;
+     we keep the familiar form obj.(j) = -c_j and maximize. *)
+  let obj = Array.init (total + 1) (fun j -> if j < n then -.p.objective.(j) else 0.0) in
+  let basis = Array.init m (fun i -> n + i) in
+  let pivot ~row ~col =
+    let piv = tableau.(row).(col) in
+    for j = 0 to total do
+      tableau.(row).(j) <- tableau.(row).(j) /. piv
+    done;
+    for i = 0 to m - 1 do
+      if i <> row && abs_float tableau.(i).(col) > 0.0 then begin
+        let factor = tableau.(i).(col) in
+        for j = 0 to total do
+          tableau.(i).(j) <- tableau.(i).(j) -. (factor *. tableau.(row).(j))
+        done
+      end
+    done;
+    let factor = obj.(col) in
+    if abs_float factor > 0.0 then
+      for j = 0 to total do
+        obj.(j) <- obj.(j) -. (factor *. tableau.(row).(j))
+      done;
+    basis.(row) <- col
+  in
+  let entering ~bland =
+    if bland then begin
+      (* Smallest index with negative reduced cost. *)
+      let rec go j =
+        if j >= total then None else if obj.(j) < -.eps then Some j else go (j + 1)
+      in
+      go 0
+    end
+    else begin
+      let best = ref (-1) and best_val = ref (-.eps) in
+      for j = 0 to total - 1 do
+        if obj.(j) < !best_val then begin
+          best_val := obj.(j);
+          best := j
+        end
+      done;
+      if !best < 0 then None else Some !best
+    end
+  in
+  let leaving ~bland col =
+    let best = ref (-1) and best_ratio = ref infinity in
+    for i = 0 to m - 1 do
+      let aij = tableau.(i).(col) in
+      if aij > eps then begin
+        let ratio = tableau.(i).(total) /. aij in
+        if
+          ratio < !best_ratio -. eps
+          || (ratio < !best_ratio +. eps
+             && !best >= 0
+             && bland
+             && basis.(i) < basis.(!best))
+        then begin
+          best_ratio := ratio;
+          best := i
+        end
+      end
+    done;
+    if !best < 0 then None else Some !best
+  in
+  let rec iterate iter stall last_obj =
+    if iter > max_iters then
+      failwith "Simplex_tableau.solve: iteration limit exceeded";
+    (* Switch to Bland's rule if the objective has stalled (degeneracy). *)
+    let bland = stall > m + n in
+    match entering ~bland with
+    | None ->
+        let x = Array.make n 0.0 in
+        Array.iteri
+          (fun i b -> if b < n then x.(b) <- tableau.(i).(total))
+          basis;
+        let value =
+          Array.fold_left ( +. ) 0.0 (Array.mapi (fun j c -> c *. x.(j)) p.objective)
+        in
+        Problem.Optimal { value; x }
+    | Some col -> (
+        match leaving ~bland col with
+        | None -> Problem.Unbounded
+        | Some row ->
+            pivot ~row ~col;
+            let objective_now = -.obj.(total) in
+            let stall' =
+              if objective_now > last_obj +. eps then 0 else stall + 1
+            in
+            iterate (iter + 1) stall' (max objective_now last_obj))
+  in
+  iterate 0 0 0.0

@@ -1,0 +1,12 @@
+(** Dense-tableau primal simplex — the textbook method, kept as the
+    reference implementation for the test suite (its every step is easy to
+    audit) and cross-checked against {!Simplex_revised} on random LPs.
+
+    Dantzig pricing (most negative reduced cost) with an automatic switch
+    to Bland's rule after a stall, which guarantees termination on
+    degenerate instances such as the assignment polytope. *)
+
+val solve : ?max_iters:int -> Problem.t -> Problem.status
+(** [max_iters] defaults to [50 · (vars + constraints) + 1000]; exceeding
+    it raises [Failure] (indicates a cycling bug — never observed under
+    the Bland fallback, and the tests would catch it). *)

@@ -1,0 +1,1 @@
+lib/matching/assignment.ml: Array Format Hashtbl List Printf

@@ -1,0 +1,1 @@
+lib/matching/reduction.ml: Array Assignment Essa_util Float Hungarian Int List Option Set

@@ -1,0 +1,1 @@
+lib/matching/tree_topk.ml: Array Domain Essa_util List Reduction

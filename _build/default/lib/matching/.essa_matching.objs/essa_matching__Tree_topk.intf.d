@@ -1,0 +1,1 @@
+lib/matching/tree_topk.mli: Essa_util

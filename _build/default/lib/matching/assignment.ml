@@ -1,0 +1,66 @@
+type t = int option array
+
+let empty ~k = Array.make k None
+
+let validate ~n t =
+  let seen = Hashtbl.create 16 in
+  Array.iter
+    (function
+      | None -> ()
+      | Some i ->
+          if i < 0 || i >= n then
+            invalid_arg (Printf.sprintf "Assignment.validate: advertiser %d" i);
+          if Hashtbl.mem seen i then
+            invalid_arg
+              (Printf.sprintf "Assignment.validate: advertiser %d holds two slots" i);
+          Hashtbl.add seen i ())
+    t
+
+let advertisers t =
+  Array.to_list t |> List.filter_map (fun x -> x)
+
+let slot_of t i =
+  let rec go j =
+    if j >= Array.length t then None
+    else if t.(j) = Some i then Some (j + 1)
+    else go (j + 1)
+  in
+  go 0
+
+let matching_weight ~w t =
+  let acc = ref 0.0 in
+  Array.iteri
+    (fun j cell ->
+      match cell with None -> () | Some i -> acc := !acc +. w.(i).(j))
+    t;
+  !acc
+
+let total_value ~w ~base t =
+  let n = Array.length base in
+  let assigned = Array.make n false in
+  let acc = ref 0.0 in
+  Array.iteri
+    (fun j cell ->
+      match cell with
+      | None -> ()
+      | Some i ->
+          assigned.(i) <- true;
+          acc := !acc +. w.(i).(j))
+    t;
+  for i = 0 to n - 1 do
+    if not assigned.(i) then acc := !acc +. base.(i)
+  done;
+  !acc
+
+let equal a b =
+  Array.length a = Array.length b
+  && Array.for_all2 (fun x y -> x = y) a b
+
+let pp ppf t =
+  Format.fprintf ppf "[%a]"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf "; ")
+       (fun ppf -> function
+         | None -> Format.pp_print_string ppf "-"
+         | Some i -> Format.pp_print_int ppf i))
+    (Array.to_list t)

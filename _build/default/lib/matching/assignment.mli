@@ -1,0 +1,31 @@
+(** Slot assignments — the output of winner determination.
+
+    [t.(j-1) = Some i] means slot [j] (1-based) is given to advertiser [i]
+    (0-based); [None] leaves the slot empty.  Policy (Section III-A): no
+    advertiser holds more than one slot. *)
+
+type t = int option array
+
+val empty : k:int -> t
+
+val validate : n:int -> t -> unit
+(** Check advertiser indices are in range and pairwise distinct.
+    @raise Invalid_argument *)
+
+val advertisers : t -> int list
+(** Assigned advertisers, in slot order. *)
+
+val slot_of : t -> int -> int option
+(** [slot_of t i] is the 1-based slot advertiser [i] holds, if any. *)
+
+val matching_weight : w:float array array -> t -> float
+(** [Σ_j w.(i).(j)] over assigned pairs ([w] is advertisers × slots,
+    0-based). *)
+
+val total_value : w:float array array -> base:float array -> t -> float
+(** Expected revenue of the allocation: assigned advertisers contribute
+    their edge weight, unassigned ones their baseline (bids can pay on
+    non-assignment, e.g. [¬Slot1 ∧ … ∧ ¬Slotk]). *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,49 @@
+let best ?(allowed = fun ~adv:_ ~slot:_ -> true) ~w ~base () =
+  let n = Array.length w in
+  let k = if n = 0 then 0 else Array.length w.(0) in
+  if Array.length base <> n then
+    invalid_arg "Brute.best: base length <> number of advertisers";
+  let current = Assignment.empty ~k in
+  let taken = Array.make n false in
+  let best_assignment = ref (Assignment.empty ~k) in
+  let best_value = ref neg_infinity in
+  let rec go slot =
+    if slot > k then begin
+      let value = Assignment.total_value ~w ~base current in
+      if value > !best_value then begin
+        best_value := value;
+        best_assignment := Array.copy current
+      end
+    end
+    else begin
+      (* Leave the slot empty... *)
+      current.(slot - 1) <- None;
+      go (slot + 1);
+      (* ... or try each free, admissible advertiser. *)
+      for i = 0 to n - 1 do
+        if (not taken.(i)) && allowed ~adv:i ~slot then begin
+          taken.(i) <- true;
+          current.(slot - 1) <- Some i;
+          go (slot + 1);
+          current.(slot - 1) <- None;
+          taken.(i) <- false
+        end
+      done
+    end
+  in
+  go 1;
+  (!best_assignment, !best_value)
+
+let count_allocations ~n ~k =
+  (* Σ_m C(k,m) · n!/(n-m)! *)
+  let rec falling n m = if m = 0 then 1 else n * falling (n - 1) (m - 1) in
+  let rec choose k m =
+    if m = 0 then 1
+    else if m > k then 0
+    else choose (k - 1) (m - 1) * k / m
+  in
+  let total = ref 0 in
+  for m = 0 to min n k do
+    total := !total + (choose k m * falling n m)
+  done;
+  !total

@@ -1,0 +1,24 @@
+(** Exhaustive winner determination — the ground truth for tests.
+
+    Enumerates every allocation (each slot gets a distinct advertiser or
+    stays empty): there are at most [(n+1)^k] of them, so this is only for
+    small instances.  Optionally restricted by an admissibility predicate
+    (used by the heavyweight model, where a class pattern constrains who
+    may sit where). *)
+
+val best :
+  ?allowed:(adv:int -> slot:int -> bool) ->
+  w:float array array ->
+  base:float array ->
+  unit ->
+  Assignment.t * float
+(** [best ~w ~base ()] maximizes {!Assignment.total_value}; returns an
+    optimal assignment and its value.  [w] is [n × k]; [base.(i)] is
+    advertiser [i]'s value when unassigned.  [allowed] defaults to
+    everything.  Deterministic: among equal optima the lexicographically
+    first in slot-major enumeration order wins.
+    @raise Invalid_argument on shape mismatch. *)
+
+val count_allocations : n:int -> k:int -> int
+(** Number of feasible allocations [(Σ_{m=0..min(n,k)} C(k,m)·P(n,m))] —
+    used by tests and the complexity discussion in the docs. *)

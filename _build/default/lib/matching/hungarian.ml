@@ -1,0 +1,112 @@
+(* Jonker–Volgenant successive shortest augmenting paths with dual
+   potentials (the standard O(rows · cols · path) LAP formulation).  Rows
+   are always all matched; "leave unmatched" is modelled with null columns
+   of cost 0, so the minimum-cost perfect row-matching equals the
+   maximum-weight (possibly partial) matching under cost = -weight. *)
+
+let lap ~nrows ~ncols ~cost =
+  (* 1-indexed internals; column 0 is the virtual start column. *)
+  let u = Array.make (nrows + 1) 0.0 in
+  let v = Array.make (ncols + 1) 0.0 in
+  let p = Array.make (ncols + 1) 0 in
+  (* p.(j) = row matched to column j, 0 if free *)
+  let way = Array.make (ncols + 1) 0 in
+  for i = 1 to nrows do
+    p.(0) <- i;
+    let j0 = ref 0 in
+    let minv = Array.make (ncols + 1) infinity in
+    let used = Array.make (ncols + 1) false in
+    let augmenting = ref true in
+    while !augmenting do
+      used.(!j0) <- true;
+      let i0 = p.(!j0) in
+      let delta = ref infinity and j1 = ref 0 in
+      for j = 1 to ncols do
+        if not used.(j) then begin
+          let cur = cost (i0 - 1) (j - 1) -. u.(i0) -. v.(j) in
+          if cur < minv.(j) then begin
+            minv.(j) <- cur;
+            way.(j) <- !j0
+          end;
+          if minv.(j) < !delta then begin
+            delta := minv.(j);
+            j1 := j
+          end
+        end
+      done;
+      (* A free finite-cost column is always reachable (null columns). *)
+      assert (!delta < infinity);
+      for j = 0 to ncols do
+        if used.(j) then begin
+          u.(p.(j)) <- u.(p.(j)) +. !delta;
+          v.(j) <- v.(j) -. !delta
+        end
+        else minv.(j) <- minv.(j) -. !delta
+      done;
+      j0 := !j1;
+      if p.(!j0) = 0 then augmenting := false
+    done;
+    (* Flip matched edges along the augmenting path. *)
+    let j = ref !j0 in
+    while !j <> 0 do
+      let j' = way.(!j) in
+      p.(!j) <- p.(j');
+      j := j'
+    done
+  done;
+  p
+
+let check_matrix w =
+  let n = Array.length w in
+  if n = 0 then (0, 0)
+  else begin
+    let k = Array.length w.(0) in
+    Array.iter
+      (fun row ->
+        if Array.length row <> k then
+          invalid_arg "Hungarian: ragged weight matrix")
+      w;
+    (n, k)
+  end
+
+let solve ~w =
+  let n, k = check_matrix w in
+  let assignment = Assignment.empty ~k in
+  if n = 0 || k = 0 then assignment
+  else begin
+    (* Rows = slots (k phases); columns = n advertisers then k nulls.
+       Non-positive edges are excluded outright, so a slot is left empty
+       rather than given to an advertiser with nothing to gain from it
+       (matches Brute.best's preference for the empty allocation). *)
+    let cost r c =
+      if c < n then (if w.(c).(r) > 0.0 then -.w.(c).(r) else infinity) else 0.0
+    in
+    let p = lap ~nrows:k ~ncols:(n + k) ~cost in
+    for j = 1 to n do
+      if p.(j) <> 0 then assignment.(p.(j) - 1) <- Some (j - 1)
+    done;
+    assignment
+  end
+
+let solve_classic ~w =
+  let n, k = check_matrix w in
+  let assignment = Assignment.empty ~k in
+  if n = 0 || k = 0 then assignment
+  else begin
+    (* Rows = advertisers (n phases); columns = k slots then one private
+       null column per advertiser.  This is the "advertisers on the left"
+       orientation: Θ(nk(n+k)), quadratic in n, as reported in the paper
+       for method H. *)
+    let cost r c =
+      if c < k then (if w.(r).(c) > 0.0 then -.w.(r).(c) else infinity)
+      else if c = k + r then 0.0
+      else infinity
+    in
+    let p = lap ~nrows:n ~ncols:(k + n) ~cost in
+    for c = 1 to k do
+      if p.(c) <> 0 then assignment.(c - 1) <- Some (p.(c) - 1)
+    done;
+    assignment
+  end
+
+let optimal_weight ~w = Assignment.matching_weight ~w (solve ~w)

@@ -1,0 +1,60 @@
+type t = {
+  advertisers : int array;
+  reduced_w : float array array;
+}
+
+(* Order candidates by weight; ties favour the smaller advertiser index
+   (Topk rejects non-strict improvements, so earlier advertisers win). *)
+let candidate_compare (_, wa) (_, wb) = Float.compare wa wb
+
+(* Allocation-conscious scan: most candidates lose to the current heap
+   minimum, and testing that against a cached threshold first avoids
+   boxing a tuple per rejected candidate (which would otherwise dominate
+   GC pressure, and serialize multi-domain scans on the collector). *)
+let scan_top ~count ~get lo hi =
+  let heap = Essa_util.Topk.create ~k:count ~compare:candidate_compare in
+  let threshold = ref neg_infinity in
+  let full = ref (count = 0) in
+  for i = lo to hi - 1 do
+    let x = get i in
+    if (not !full) || x > !threshold then begin
+      ignore (Essa_util.Topk.offer heap (i, x));
+      match Essa_util.Topk.threshold heap with
+      | Some (_, t) ->
+          threshold := t;
+          full := true
+      | None -> ()
+    end
+  done;
+  Essa_util.Topk.to_sorted_list heap
+
+let top_per_slot ~w ~count =
+  let n = Array.length w in
+  let k = if n = 0 then 0 else Array.length w.(0) in
+  Array.init k (fun j -> scan_top ~count ~get:(fun i -> w.(i).(j)) 0 n)
+
+let reduce ?top ~w () =
+  let n = Array.length w in
+  let k = if n = 0 then 0 else Array.length w.(0) in
+  let top = match top with Some t -> t | None -> top_per_slot ~w ~count:k in
+  let module Int_set = Set.Make (Int) in
+  let selected =
+    Array.fold_left
+      (fun acc lst -> List.fold_left (fun acc (i, _) -> Int_set.add i acc) acc lst)
+      Int_set.empty top
+  in
+  let advertisers = Array.of_list (Int_set.elements selected) in
+  let reduced_w = Array.map (fun i -> Array.copy w.(i)) advertisers in
+  { advertisers; reduced_w }
+
+let solve ?top ~w () =
+  let n = Array.length w in
+  let k = if n = 0 then 0 else Array.length w.(0) in
+  if n = 0 || k = 0 then Assignment.empty ~k
+  else begin
+    let r = reduce ?top ~w () in
+    let reduced_assignment = Hungarian.solve ~w:r.reduced_w in
+    Array.map
+      (Option.map (fun local -> r.advertisers.(local)))
+      reduced_assignment
+  end

@@ -1,0 +1,72 @@
+let merge ~count xs ys =
+  let rec go n xs ys acc =
+    if n = 0 then List.rev acc
+    else
+      match (xs, ys) with
+      | [], [] -> List.rev acc
+      | x :: xs', [] -> go (n - 1) xs' [] (x :: acc)
+      | [], y :: ys' -> go (n - 1) [] ys' (y :: acc)
+      | ((_, wx) as x) :: xs', ((_, wy) as y) :: ys' ->
+          (* Ties favour the left (lower-index) subtree, matching the
+             heap scan's first-seen-wins rule. *)
+          if wx >= wy then go (n - 1) xs' ys (x :: acc)
+          else go (n - 1) xs ys' (y :: acc)
+  in
+  go count xs ys []
+
+let shape w =
+  let n = Array.length w in
+  let k = if n = 0 then 0 else Array.length w.(0) in
+  (n, k)
+
+let tree_merge ~w ~count =
+  let n, k = shape w in
+  let depth = ref 0 in
+  let tops =
+    Array.init k (fun j ->
+        (* Combine leaves [lo, hi) bottom-up; track recursion depth. *)
+        let rec combine lo hi level =
+          if level > !depth then depth := level;
+          if hi - lo = 1 then [ (lo, w.(lo).(j)) ]
+          else begin
+            let mid = (lo + hi) / 2 in
+            merge ~count (combine lo mid (level + 1)) (combine mid hi (level + 1))
+          end
+        in
+        if n = 0 then [] else combine 0 n 0)
+  in
+  (tops, !depth)
+
+let chunk_tops ~w ~count ~k lo hi =
+  Array.init k (fun j -> Reduction.scan_top ~count ~get:(fun i -> w.(i).(j)) lo hi)
+
+let parallel ?pool ~domains ~w ~count () =
+  if domains < 1 then invalid_arg "Tree_topk.parallel: domains < 1";
+  let n, k = shape w in
+  if n = 0 || k = 0 then Array.make k []
+  else if domains = 1 || n < domains then chunk_tops ~w ~count ~k 0 n
+  else begin
+    let bounds =
+      Array.init domains (fun d ->
+          (d * n / domains, (d + 1) * n / domains))
+    in
+    let tasks =
+      Array.to_list
+        (Array.map (fun (lo, hi) () -> chunk_tops ~w ~count ~k lo hi) bounds)
+    in
+    let partials =
+      Array.of_list
+        (match pool with
+        | Some pool -> Essa_util.Domain_pool.run pool tasks
+        | None ->
+            (* No standing pool: spawn ad-hoc domains (costly; a pool is
+               the realistic deployment). *)
+            List.map Domain.join (List.map Domain.spawn tasks))
+    in
+    (* Root merge: chunks are index-ordered, so left-favouring ties keep
+       first-seen-wins semantics. *)
+    Array.init k (fun j ->
+        Array.fold_left
+          (fun acc partial -> merge ~count acc partial.(j))
+          [] partials)
+  end

@@ -1,0 +1,38 @@
+(** Tree-structured top-k aggregation (the parallelization of
+    Section III-E).
+
+    The paper builds, per slot, a binary tree with the n advertisers at the
+    leaves; each internal node merges its children's top-k lists, so the
+    root holds the slot's top-k bidders after O(log n) parallel rounds of
+    O(k) work.  We reproduce the combining structure in-process:
+
+    - {!tree_merge} simulates the tree sequentially (and reports its
+      depth), demonstrating that the combining operator is associative and
+      yields exactly the heap-based answer;
+    - {!parallel} maps the tree onto real parallelism: [domains] OCaml 5
+      domains each reduce a contiguous leaf range (the "run more than one
+      program sequentially on each machine" regime of the paper), and the
+      per-domain partial lists are merged at the root.
+
+    Both return the same per-slot lists as {!Reduction.top_per_slot}
+    (property-tested), so they can be passed straight to
+    {!Reduction.solve}. *)
+
+val merge : count:int -> (int * float) list -> (int * float) list -> (int * float) list
+(** Merge two descending top lists into the descending top-[count] of
+    their union — the internal-node combine step, O(count). *)
+
+val tree_merge : w:float array array -> count:int -> (int * float) list array * int
+(** [(tops, depth)]: per-slot top-[count] lists computed by binary-tree
+    combining, and the tree height (number of combining levels). *)
+
+val parallel :
+  ?pool:Essa_util.Domain_pool.t ->
+  domains:int -> w:float array array -> count:int -> unit ->
+  (int * float) list array
+(** Domain-parallel evaluation: splits advertisers into [domains]
+    contiguous chunks, computes per-chunk per-slot tops concurrently with
+    heaps, then root-merges.  With [pool] the chunks run on standing
+    workers (the realistic deployment — domain spawn costs ~1 ms);
+    without it, ad-hoc domains are spawned.  [domains <= 1] degrades to
+    the sequential heap scan.  @raise Invalid_argument if [domains < 1]. *)

@@ -1,0 +1,1 @@
+lib/prob/class_model.ml: Array Bids Essa_bidlang List Outcome Printf

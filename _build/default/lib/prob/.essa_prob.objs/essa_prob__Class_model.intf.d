@@ -1,0 +1,1 @@
+lib/prob/class_model.mli: Essa_bidlang

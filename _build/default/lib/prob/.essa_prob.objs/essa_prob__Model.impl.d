@@ -1,0 +1,1 @@
+lib/prob/model.ml: Array Bids Essa_bidlang Formula List Outcome Printf

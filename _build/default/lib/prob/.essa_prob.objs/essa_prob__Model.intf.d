@@ -1,0 +1,1 @@
+lib/prob/model.mli: Essa_bidlang

@@ -1,0 +1,1 @@
+lib/prob/separability.ml: Array

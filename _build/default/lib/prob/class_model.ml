@@ -1,0 +1,125 @@
+open Essa_bidlang
+
+type advertiser_class = Heavy | Light
+
+type t = {
+  k : int;
+  classes : advertiser_class array;
+  ctr : adv:int -> slot:int -> heavy_slots:bool array -> float;
+  cvr : adv:int -> slot:int -> heavy_slots:bool array -> float;
+}
+
+let create ~k ~classes ~ctr ~cvr =
+  if k < 1 then invalid_arg "Class_model.create: k < 1";
+  if Array.length classes = 0 then invalid_arg "Class_model.create: no advertisers";
+  { k; classes = Array.copy classes; ctr; cvr }
+
+let k t = t.k
+let n t = Array.length t.classes
+
+let class_of t i =
+  if i < 0 || i >= n t then
+    invalid_arg (Printf.sprintf "Class_model.class_of: advertiser %d" i);
+  t.classes.(i)
+
+let advertisers_of_class t cls =
+  let acc = ref [] in
+  for i = n t - 1 downto 0 do
+    if t.classes.(i) = cls then acc := i :: !acc
+  done;
+  !acc
+
+let heavy_advertisers t = advertisers_of_class t Heavy
+let light_advertisers t = advertisers_of_class t Light
+
+let classes_of_pattern t ~heavy_slots =
+  if Array.length heavy_slots <> t.k then
+    invalid_arg "Class_model.classes_of_pattern: pattern length <> k";
+  Array.map (fun h -> if h then Outcome.Heavy else Outcome.Light) heavy_slots
+
+let check_prob name p =
+  if not (p >= 0.0 && p <= 1.0) then
+    invalid_arg (Printf.sprintf "Class_model: %s probability %g outside [0,1]" name p)
+
+let outcome_distribution t ~adv ~slot ~heavy_slots =
+  let classes = classes_of_pattern t ~heavy_slots in
+  match slot with
+  | None -> [ (Outcome.make ~classes (), 1.0) ]
+  | Some j ->
+      if j < 1 || j > t.k then
+        invalid_arg (Printf.sprintf "Class_model: slot %d outside [1,%d]" j t.k);
+      let p_click = t.ctr ~adv ~slot:j ~heavy_slots in
+      let p_buy = t.cvr ~adv ~slot:j ~heavy_slots in
+      check_prob "click" p_click;
+      check_prob "purchase" p_buy;
+      [
+        (Outcome.make ~slot:j ~classes (), 1.0 -. p_click);
+        (Outcome.make ~slot:j ~clicked:true ~classes (), p_click *. (1.0 -. p_buy));
+        ( Outcome.make ~slot:j ~clicked:true ~purchased:true ~classes (),
+          p_click *. p_buy );
+      ]
+
+let expected_payment t ~adv ~slot ~heavy_slots bids =
+  List.fold_left
+    (fun acc (outcome, p) ->
+      if p = 0.0 then acc
+      else acc +. (p *. float_of_int (Bids.payment bids outcome)))
+    0.0
+    (outcome_distribution t ~adv ~slot ~heavy_slots)
+
+let revenue_matrix t ~bids ~heavy_slots =
+  if Array.length bids <> n t then
+    invalid_arg "Class_model.revenue_matrix: bids length <> n";
+  let w =
+    Array.init (n t) (fun i ->
+        Array.init t.k (fun j ->
+            expected_payment t ~adv:i ~slot:(Some (j + 1)) ~heavy_slots bids.(i)))
+  in
+  let base =
+    Array.init (n t) (fun i ->
+        expected_payment t ~adv:i ~slot:None ~heavy_slots bids.(i))
+  in
+  (w, base)
+
+let admissible t ~adv ~slot ~heavy_slots =
+  if slot < 1 || slot > t.k then false
+  else
+    match class_of t adv with
+    | Heavy -> heavy_slots.(slot - 1)
+    | Light -> not heavy_slots.(slot - 1)
+
+let pattern_mask ~heavy_slots =
+  let mask = ref 0 in
+  Array.iteri (fun j h -> if h then mask := !mask lor (1 lsl j)) heavy_slots;
+  !mask
+
+let check_table name ~n ~k table =
+  if Array.length table <> n then
+    invalid_arg (Printf.sprintf "Class_model.of_tables: %s has %d advertisers" name
+                   (Array.length table));
+  Array.iter
+    (fun per_slot ->
+      if Array.length per_slot <> k then
+        invalid_arg (Printf.sprintf "Class_model.of_tables: %s slot arity" name);
+      Array.iter
+        (fun per_pattern ->
+          if Array.length per_pattern <> 1 lsl k then
+            invalid_arg
+              (Printf.sprintf "Class_model.of_tables: %s needs 2^k patterns" name);
+          Array.iter
+            (fun p ->
+              if not (p >= 0.0 && p <= 1.0) then
+                invalid_arg
+                  (Printf.sprintf "Class_model.of_tables: %s probability %g" name p))
+            per_pattern)
+        per_slot)
+    table
+
+let of_tables ~k ~classes ~ctr_table ~cvr_table =
+  let n = Array.length classes in
+  check_table "ctr" ~n ~k ctr_table;
+  check_table "cvr" ~n ~k cvr_table;
+  let lookup table ~adv ~slot ~heavy_slots =
+    table.(adv).(slot - 1).(pattern_mask ~heavy_slots)
+  in
+  create ~k ~classes ~ctr:(lookup ctr_table) ~cvr:(lookup cvr_table)

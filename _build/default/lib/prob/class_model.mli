@@ -1,0 +1,78 @@
+(** The heavyweight/lightweight extension of the probability model
+    (Section III-F).
+
+    Advertisers are classified as heavyweights (famous) or lightweights.
+    Click and purchase probabilities may now depend, beyond the
+    advertiser's own slot, on *which slots are occupied by heavyweights* —
+    the [heavy_slots] pattern.  Advertisers may also bid on the pattern
+    through the [Heavy_in_slot]/[Light_in_slot] predicates.
+
+    Representation note (paper): the conditional tables are
+    [O(k·2^(k-1))] per advertiser and independent of [n]; we expose them as
+    functions so table-backed and closed-form models both fit. *)
+
+type advertiser_class = Heavy | Light
+
+type t
+
+val create :
+  k:int ->
+  classes:advertiser_class array ->
+  ctr:(adv:int -> slot:int -> heavy_slots:bool array -> float) ->
+  cvr:(adv:int -> slot:int -> heavy_slots:bool array -> float) ->
+  t
+(** [classes.(i)] is advertiser [i]'s class; [ctr]/[cvr] give click and
+    purchase-given-click probabilities conditioned on the heavy-slot
+    pattern ([heavy_slots.(j-1)] = slot [j] hosts a heavyweight).
+    Probabilities are validated lazily (on use).
+    @raise Invalid_argument if [k < 1] or [classes] is empty. *)
+
+val pattern_mask : heavy_slots:bool array -> int
+(** Bit [j-1] set iff slot [j] is heavy — the index into the explicit
+    tables below. *)
+
+val of_tables :
+  k:int ->
+  classes:advertiser_class array ->
+  ctr_table:float array array array ->
+  cvr_table:float array array array ->
+  t
+(** The paper's explicit representation, [O(k·2^k)] per advertiser:
+    [ctr_table.(i).(j-1).(m)] is advertiser [i]'s click probability in
+    slot [j] under the heavy-slot pattern with mask [m] (and likewise for
+    the conversion table).  Shapes are validated eagerly; probabilities
+    must lie in [0,1].
+    @raise Invalid_argument on any shape or range violation. *)
+
+val k : t -> int
+val n : t -> int
+val class_of : t -> int -> advertiser_class
+val heavy_advertisers : t -> int list
+val light_advertisers : t -> int list
+
+val classes_of_pattern : t -> heavy_slots:bool array -> Essa_bidlang.Outcome.slot_class array
+(** The slot-class array induced by a pattern: [Heavy] where the pattern is
+    set, [Light] elsewhere (the paper's model decides every slot's class
+    up front; emptiness is resolved by the matching and does not affect
+    class predicates). *)
+
+val outcome_distribution :
+  t -> adv:int -> slot:int option -> heavy_slots:bool array ->
+  (Essa_bidlang.Outcome.t * float) list
+(** Conditional outcome distribution, with class information attached to
+    each outcome so class predicates evaluate. *)
+
+val expected_payment :
+  t -> adv:int -> slot:int option -> heavy_slots:bool array ->
+  Essa_bidlang.Bids.t -> float
+(** Expected OR-bid payment given assignment and pattern; admits class
+    predicates in the bids. *)
+
+val revenue_matrix :
+  t -> bids:Essa_bidlang.Bids.t array -> heavy_slots:bool array ->
+  float array array * float array
+(** As {!Model.revenue_matrix}, conditioned on the pattern. *)
+
+val admissible : t -> adv:int -> slot:int -> heavy_slots:bool array -> bool
+(** Whether assigning [adv] to [slot] respects the pattern: heavyweights
+    only in heavy slots, lightweights only in light slots. *)

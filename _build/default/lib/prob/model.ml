@@ -1,0 +1,102 @@
+open Essa_bidlang
+
+type t = {
+  n : int;
+  k : int;
+  ctr : float array array;
+  cvr : float array array;
+}
+
+let check_matrix name n k m =
+  if Array.length m <> n then
+    invalid_arg (Printf.sprintf "Model.create: %s has %d rows, expected %d" name
+                   (Array.length m) n);
+  Array.iter
+    (fun row ->
+      if Array.length row <> k then
+        invalid_arg
+          (Printf.sprintf "Model.create: %s row has %d entries, expected %d" name
+             (Array.length row) k);
+      Array.iter
+        (fun p ->
+          if not (p >= 0.0 && p <= 1.0) then
+            invalid_arg
+              (Printf.sprintf "Model.create: %s probability %g outside [0,1]" name p))
+        row)
+    m
+
+let create ~ctr ~cvr =
+  let n = Array.length ctr in
+  if n = 0 then invalid_arg "Model.create: no advertisers";
+  let k = Array.length ctr.(0) in
+  if k = 0 then invalid_arg "Model.create: no slots";
+  check_matrix "ctr" n k ctr;
+  check_matrix "cvr" n k cvr;
+  { n; k; ctr; cvr }
+
+let n t = t.n
+let k t = t.k
+
+let check_adv t adv =
+  if adv < 0 || adv >= t.n then
+    invalid_arg (Printf.sprintf "Model: advertiser %d outside [0,%d)" adv t.n)
+
+let check_slot t slot =
+  if slot < 1 || slot > t.k then
+    invalid_arg (Printf.sprintf "Model: slot %d outside [1,%d]" slot t.k)
+
+let click_prob t ~adv ~slot =
+  check_adv t adv;
+  check_slot t slot;
+  t.ctr.(adv).(slot - 1)
+
+let purchase_given_click t ~adv ~slot =
+  check_adv t adv;
+  check_slot t slot;
+  t.cvr.(adv).(slot - 1)
+
+let outcome_distribution t ~adv ~slot =
+  match slot with
+  | None -> [ (Outcome.make (), 1.0) ]
+  | Some j ->
+      let p_click = click_prob t ~adv ~slot:j in
+      let p_buy = purchase_given_click t ~adv ~slot:j in
+      [
+        (Outcome.make ~slot:j (), 1.0 -. p_click);
+        (Outcome.make ~slot:j ~clicked:true (), p_click *. (1.0 -. p_buy));
+        ( Outcome.make ~slot:j ~clicked:true ~purchased:true (),
+          p_click *. p_buy );
+      ]
+
+let formula_prob t ~adv ~slot formula =
+  if not (Formula.is_self_only formula) then
+    invalid_arg
+      "Model.formula_prob: class predicates require the heavyweight model";
+  List.fold_left
+    (fun acc (outcome, p) ->
+      if Outcome.eval outcome formula then acc +. p else acc)
+    0.0
+    (outcome_distribution t ~adv ~slot)
+
+let expected_payment t ~adv ~slot bids =
+  let dist = outcome_distribution t ~adv ~slot in
+  List.fold_left
+    (fun acc (outcome, p) ->
+      if p = 0.0 then acc
+      else acc +. (p *. float_of_int (Bids.payment bids outcome)))
+    0.0 dist
+
+let revenue_matrix t ~bids =
+  if Array.length bids <> t.n then
+    invalid_arg
+      (Printf.sprintf "Model.revenue_matrix: %d bid tables for %d advertisers"
+         (Array.length bids) t.n);
+  let w =
+    Array.init t.n (fun i ->
+        Array.init t.k (fun j ->
+            expected_payment t ~adv:i ~slot:(Some (j + 1)) bids.(i)))
+  in
+  let base =
+    Array.init t.n (fun i -> expected_payment t ~adv:i ~slot:None bids.(i))
+  in
+  (w, base)

@@ -1,0 +1,54 @@
+(** The Section III-A probability model.
+
+    First-order assumptions of the paper:
+    - the probability that advertiser [i] is clicked depends only on the
+      slot assigned to [i]: [ctr.(i).(j-1)];
+    - the probability that [i] receives a purchase depends only on whether
+      [i] was clicked and on [i]'s slot: [cvr.(i).(j-1)] is the conversion
+      probability *given a click* (no purchase without a click);
+    - an advertiser without a slot receives neither clicks nor purchases.
+
+    Under these assumptions every Boolean combination of an advertiser's own
+    [Slot]/[Click]/[Purchase] predicates is a 1-dependent event, which is
+    what makes winner determination a bipartite matching problem
+    (Theorem 2). *)
+
+type t
+
+val create : ctr:float array array -> cvr:float array array -> t
+(** [create ~ctr ~cvr] with [ctr] and [cvr] of identical shape
+    [n × k].  @raise Invalid_argument on shape mismatch, empty dimensions,
+    or probabilities outside [\[0,1\]]. *)
+
+val n : t -> int
+(** Number of advertisers. *)
+
+val k : t -> int
+(** Number of slots. *)
+
+val click_prob : t -> adv:int -> slot:int -> float
+(** [click_prob t ~adv ~slot] — [adv] is 0-based, [slot] is 1-based. *)
+
+val purchase_given_click : t -> adv:int -> slot:int -> float
+
+val outcome_distribution :
+  t -> adv:int -> slot:int option -> (Essa_bidlang.Outcome.t * float) list
+(** The full conditional distribution on the advertiser's outcomes given
+    its assignment: one point mass when unassigned, three otherwise
+    (no-click / click-only / click-and-purchase).  Probabilities sum to 1. *)
+
+val formula_prob : t -> adv:int -> slot:int option -> Essa_bidlang.Formula.t -> float
+(** Exact probability that a self-only formula holds given the assignment.
+    @raise Invalid_argument if the formula mentions class predicates
+    ([Heavy_in_slot]/[Light_in_slot]) — those need {!Class_model}. *)
+
+val expected_payment : t -> adv:int -> slot:int option -> Essa_bidlang.Bids.t -> float
+(** Expected OR-bid payment (cents) of the advertiser's Bids table given
+    its assignment, assuming advertisers pay what they bid — the edge
+    weight of the winner-determination bipartite graph. *)
+
+val revenue_matrix : t -> bids:Essa_bidlang.Bids.t array -> float array array * float array
+(** [revenue_matrix t ~bids] = [(w, base)] where [w.(i).(j-1)] is the
+    expected payment of advertiser [i] in slot [j] and [base.(i)] its
+    expected payment when unassigned.  [bids] must have length [n t].
+    Winner determination maximizes [Σ_assigned w + Σ_unassigned base]. *)

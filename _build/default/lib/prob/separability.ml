@@ -1,0 +1,86 @@
+let is_separable ?(eps = 1e-9) m =
+  let n = Array.length m in
+  if n = 0 then true
+  else begin
+    let k = Array.length m.(0) in
+    let ok = ref true in
+    for i = 0 to n - 1 do
+      for i' = i + 1 to n - 1 do
+        for j = 0 to k - 1 do
+          for j' = j + 1 to k - 1 do
+            let lhs = m.(i).(j) *. m.(i').(j') in
+            let rhs = m.(i).(j') *. m.(i').(j) in
+            let scale = max 1e-300 (max (abs_float lhs) (abs_float rhs)) in
+            if abs_float (lhs -. rhs) /. scale > eps then ok := false
+          done
+        done
+      done
+    done;
+    !ok
+  end
+
+let factorize ?(eps = 1e-9) m =
+  if not (is_separable ~eps m) then None
+  else begin
+    let n = Array.length m in
+    let k = if n = 0 then 0 else Array.length m.(0) in
+    (* Pick a pivot entry with the largest magnitude; its row and column
+       determine the factors. *)
+    let pi = ref (-1) and pj = ref (-1) and best = ref 0.0 in
+    for i = 0 to n - 1 do
+      for j = 0 to k - 1 do
+        if abs_float m.(i).(j) > !best then begin
+          best := abs_float m.(i).(j);
+          pi := i;
+          pj := j
+        end
+      done
+    done;
+    if !pi < 0 then
+      (* All-zero matrix: 0 × 0 factors. *)
+      Some (Array.make n 0.0, Array.make k 0.0)
+    else begin
+      let i0 = !pi and j0 = !pj in
+      (* Normalize: slot factor of the pivot column = pivot value, so the
+         pivot advertiser's factor is 1. *)
+      let s = Array.init k (fun j -> m.(i0).(j)) in
+      let a = Array.init n (fun i -> m.(i).(j0) /. m.(i0).(j0)) in
+      Some (a, s)
+    end
+  end
+
+let greedy_with_factors ~n ~k a s values =
+  let adv_order = Array.init n (fun i -> i) in
+  Array.sort
+    (fun i i' -> compare (values.(i') *. a.(i')) (values.(i) *. a.(i)))
+    adv_order;
+  let slot_order = Array.init k (fun j -> j) in
+  Array.sort (fun j j' -> compare s.(j') s.(j)) slot_order;
+  let assignment = Array.make k None in
+  let assignable = min n k in
+  for t = 0 to assignable - 1 do
+    assignment.(slot_order.(t)) <- Some adv_order.(t)
+  done;
+  assignment
+
+let greedy_allocation m values =
+  let n = Array.length m in
+  let k = if n = 0 then 0 else Array.length m.(0) in
+  match factorize m with
+  | Some (a, s) -> greedy_with_factors ~n ~k a s values
+  | None ->
+      (* Heuristic fallback used to demonstrate suboptimality: take column
+         averages as slot factors and row averages as advertiser factors. *)
+      let a =
+        Array.init n (fun i ->
+            Array.fold_left ( +. ) 0.0 m.(i) /. float_of_int (max k 1))
+      in
+      let s =
+        Array.init k (fun j ->
+            let acc = ref 0.0 in
+            for i = 0 to n - 1 do
+              acc := !acc +. m.(i).(j)
+            done;
+            !acc /. float_of_int (max n 1))
+      in
+      greedy_with_factors ~n ~k a s values

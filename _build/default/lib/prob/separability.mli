@@ -1,0 +1,28 @@
+(** Separability of click probabilities (Section III-C, Figs. 7 and 8).
+
+    A click-probability matrix [m] (advertisers × slots) is *separable* when
+    it factors as [m.(i).(j) = a.(i) *. s.(j)] — an advertiser-specific
+    factor times a slot-specific factor.  Google/Yahoo-style allocation
+    exploits separability: sort advertisers by [a], slots by [s], and pair
+    them off greedily.  The paper's point is that separability is a much
+    stronger condition than 1-dependence; this module lets us test for it,
+    recover factors, and generate both separable and non-separable
+    instances. *)
+
+val is_separable : ?eps:float -> float array array -> bool
+(** All 2×2 minors vanish (up to relative tolerance [eps], default 1e-9):
+    [m.(i).(j) *. m.(i').(j') = m.(i).(j') *. m.(i').(j)]. *)
+
+val factorize : ?eps:float -> float array array -> (float array * float array) option
+(** [factorize m] returns [(a, s)] with [m.(i).(j) ≈ a.(i) *. s.(j)] if
+    separable, normalizing the largest slot factor to the largest entry of
+    its column so factors are deterministic.  [None] if not separable.
+    Zero rows/columns are handled (their factor is 0). *)
+
+val greedy_allocation : float array array -> float array -> int option array
+(** The separable-case allocator: given a separable click matrix and
+    per-click values, assign the advertiser with the t-th largest
+    [value × advertiser-factor] to the slot with the t-th largest slot
+    factor.  Returns [assignment.(j-1) = Some advertiser] per slot.  Only
+    correct on separable inputs (callers check); on non-separable inputs it
+    is a heuristic — which is exactly the paper's criticism. *)

@@ -1,0 +1,1 @@
+lib/relalg/database.ml: Array Expr Hashtbl List Schema Stmt String Table Value

@@ -1,0 +1,1 @@
+lib/relalg/database.mli: Expr Schema Stmt Table Value

@@ -1,0 +1,1 @@
+lib/relalg/derive.ml: Array Database Expr List Schema String Table Value

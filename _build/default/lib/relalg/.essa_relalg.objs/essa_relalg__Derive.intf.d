@@ -1,0 +1,1 @@
+lib/relalg/derive.mli: Expr Table Value

@@ -1,0 +1,1 @@
+lib/relalg/expr.ml: Array Format Schema Table Value

@@ -1,0 +1,1 @@
+lib/relalg/stmt.ml: Array Expr Format List Table Value

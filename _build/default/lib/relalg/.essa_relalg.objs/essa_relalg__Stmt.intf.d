@@ -1,0 +1,1 @@
+lib/relalg/stmt.mli: Expr Format Table Value

@@ -1,0 +1,1 @@
+lib/relalg/table.ml: Array Format List Schema String Value

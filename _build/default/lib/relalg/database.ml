@@ -1,0 +1,118 @@
+type trigger = { trigger_name : string; subject : string; body : Stmt.t list }
+
+type t = {
+  tables : (string, Table.t) Hashtbl.t;
+  vars : (string, Value.t) Hashtbl.t;
+  mutable triggers : trigger list;  (* registration order *)
+  max_trigger_depth : int;
+  mutable depth : int;
+}
+
+exception Unknown_table of string
+exception Trigger_depth_exceeded of string
+
+let create ?(max_trigger_depth = 8) () =
+  {
+    tables = Hashtbl.create 8;
+    vars = Hashtbl.create 8;
+    triggers = [];
+    max_trigger_depth;
+    depth = 0;
+  }
+
+let add_table t table =
+  let name = Table.name table in
+  if Hashtbl.mem t.tables name then
+    invalid_arg ("Database.add_table: duplicate table " ^ name);
+  Hashtbl.replace t.tables name table
+
+let create_table t ~name schema =
+  let table = Table.create ~name schema in
+  add_table t table;
+  table
+
+let table t name =
+  match Hashtbl.find_opt t.tables name with
+  | Some tbl -> tbl
+  | None -> raise (Unknown_table name)
+
+let table_names t =
+  List.sort String.compare (Hashtbl.fold (fun k _ acc -> k :: acc) t.tables [])
+
+let set_var t name v = Hashtbl.replace t.vars name v
+let var_opt t name = Hashtbl.find_opt t.vars name
+
+let var t name =
+  match var_opt t name with
+  | Some v -> v
+  | None -> raise (Expr.Unknown_variable name)
+
+let create_trigger t ~name ~on_insert body =
+  ignore (table t on_insert);
+  if List.exists (fun tr -> String.equal tr.trigger_name name) t.triggers then
+    invalid_arg ("Database.create_trigger: duplicate trigger " ^ name);
+  t.triggers <- t.triggers @ [ { trigger_name = name; subject = on_insert; body } ]
+
+let trigger_names t = List.map (fun tr -> tr.trigger_name) t.triggers
+
+let rec exec_ctx t row : Stmt.exec_ctx =
+  {
+    Stmt.lookup_table = table t;
+    lookup_var = var_opt t;
+    set_var = set_var t;
+    on_insert = fire_triggers t;
+    row;
+  }
+
+and fire_triggers t subject_table row =
+  let subject = Table.name subject_table in
+  let firing = List.filter (fun tr -> String.equal tr.subject subject) t.triggers in
+  if firing <> [] then begin
+    if t.depth >= t.max_trigger_depth then raise (Trigger_depth_exceeded subject);
+    t.depth <- t.depth + 1;
+    let scope = Some (Table.schema subject_table, row) in
+    let finally () = t.depth <- t.depth - 1 in
+    (try List.iter (fun tr -> Stmt.exec_all (exec_ctx t scope) tr.body) firing
+     with e -> finally (); raise e);
+    finally ()
+  end
+
+let insert t name row =
+  let tbl = table t name in
+  Table.insert tbl row;
+  fire_triggers t tbl row
+
+let exec t stmt = Stmt.exec (exec_ctx t None) stmt
+let exec_program t stmts = List.iter (exec t) stmts
+
+let eval t e =
+  Expr.eval
+    { Expr.lookup_table = table t; lookup_var = var_opt t; row = None; outer = None }
+    e
+
+let query t ~table:name ?where ?order_by () =
+  let tbl = table t name in
+  let schema = Table.schema tbl in
+  let keep row =
+    match where with
+    | None -> true
+    | Some w ->
+        Expr.eval_bool
+          { Expr.lookup_table = table t; lookup_var = var_opt t;
+            row = Some (schema, row); outer = None }
+          w
+  in
+  let rows =
+    Table.fold tbl ~init:[] ~f:(fun acc row ->
+        if keep row then Array.copy row :: acc else acc)
+    |> List.rev
+  in
+  match order_by with
+  | None -> rows
+  | Some (col, dir) ->
+      let i = Schema.index_of schema col in
+      let cmp a b =
+        let c = Value.compare_total a.(i) b.(i) in
+        match dir with `Asc -> c | `Desc -> -c
+      in
+      List.stable_sort cmp rows

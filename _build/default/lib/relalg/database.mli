@@ -1,0 +1,67 @@
+(** A named collection of tables, scalar variables and AFTER INSERT
+    triggers — the execution environment of one bidding program (its private
+    tables) or of the shared read-only state (the [Query] table).
+
+    Trigger model (Section II-B): [CREATE TRIGGER t AFTER INSERT ON tbl]
+    registers a statement list that runs after each insert into [tbl], with
+    the inserted row bound as the innermost row scope.  Trigger cascades are
+    depth-limited; exceeding the limit raises {!Trigger_depth_exceeded}
+    (the paper's language forbids recursion). *)
+
+type t
+
+exception Unknown_table of string
+exception Trigger_depth_exceeded of string
+
+val create : ?max_trigger_depth:int -> unit -> t
+(** [max_trigger_depth] defaults to 8. *)
+
+(** {1 Tables} *)
+
+val create_table : t -> name:string -> Schema.t -> Table.t
+(** @raise Invalid_argument if the name is taken. *)
+
+val add_table : t -> Table.t -> unit
+(** Register an existing table (e.g. a shared read-only table owned by the
+    auctioneer).  @raise Invalid_argument if the name is taken. *)
+
+val table : t -> string -> Table.t
+(** @raise Unknown_table *)
+
+val table_names : t -> string list
+
+(** {1 Scalar variables} *)
+
+val set_var : t -> string -> Value.t -> unit
+val var : t -> string -> Value.t
+(** @raise Expr.Unknown_variable *)
+
+val var_opt : t -> string -> Value.t option
+
+(** {1 Triggers} *)
+
+val create_trigger : t -> name:string -> on_insert:string -> Stmt.t list -> unit
+(** @raise Unknown_table if the subject table is not registered.
+    @raise Invalid_argument on duplicate trigger name. *)
+
+val trigger_names : t -> string list
+
+(** {1 Execution} *)
+
+val insert : t -> string -> Value.t array -> unit
+(** Insert a row and fire AFTER INSERT triggers on that table, in
+    registration order. *)
+
+val exec : t -> Stmt.t -> unit
+(** Run one statement with no row scope. *)
+
+val exec_program : t -> Stmt.t list -> unit
+
+val query :
+  t -> table:string -> ?where:Expr.t -> ?order_by:string * [ `Asc | `Desc ] ->
+  unit -> Value.t array list
+(** Simple SELECT *: filtered, optionally sorted rows (copies). *)
+
+val eval : t -> Expr.t -> Value.t
+(** Evaluate a standalone expression (no row scope), e.g. an aggregate
+    subquery, against this database. *)

@@ -1,0 +1,43 @@
+let no_tables name = raise (Database.Unknown_table name)
+let no_vars _ = None
+
+let ctx ?(lookup_table = no_tables) ?(lookup_var = no_vars) scope : Expr.ctx =
+  { Expr.lookup_table; lookup_var; row = scope; outer = None }
+
+let project ?lookup_table ?lookup_var ~from ~columns ?where ~name () =
+  let schema =
+    Schema.make
+      (List.map (fun (col, ty, _) -> { Schema.name = col; ty }) columns)
+  in
+  let result = Table.create ~name schema in
+  let from_schema = Table.schema from in
+  Table.iter from (fun row ->
+      let c = ctx ?lookup_table ?lookup_var (Some (from_schema, row)) in
+      let keep = match where with None -> true | Some w -> Expr.eval_bool c w in
+      if keep then
+        Table.insert result
+          (Array.of_list (List.map (fun (_, _, e) -> Expr.eval c e) columns)));
+  result
+
+let qualified table =
+  let prefix = Table.name table in
+  List.map
+    (fun (col : Schema.column) ->
+      { Schema.name = prefix ^ "." ^ col.name; ty = col.ty })
+    (Schema.columns (Table.schema table))
+
+let nested_loop_join ?lookup_table ?lookup_var ~left ~right ~on ~name () =
+  if String.equal (Table.name left) (Table.name right) then
+    invalid_arg "Derive.nested_loop_join: tables share a name";
+  let schema = Schema.make (qualified left @ qualified right) in
+  let result = Table.create ~name schema in
+  let left_arity = Schema.arity (Table.schema left) in
+  let right_arity = Schema.arity (Table.schema right) in
+  let combined = Array.make (left_arity + right_arity) Value.Null in
+  Table.iter left (fun lrow ->
+      Array.blit lrow 0 combined 0 left_arity;
+      Table.iter right (fun rrow ->
+          Array.blit rrow 0 combined left_arity right_arity;
+          let c = ctx ?lookup_table ?lookup_var (Some (schema, combined)) in
+          if Expr.eval_bool c on then Table.insert result combined));
+  result

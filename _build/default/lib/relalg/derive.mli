@@ -1,0 +1,38 @@
+(** Derived tables: projection and nested-loop join.
+
+    The bidding programs of the paper only need UPDATE-style statements,
+    but the auctioneer's own book-keeping (and this repo's analytics
+    examples) want read-side relational algebra too: build a new table
+    from an old one through computed columns, or join two tables on a
+    predicate.  Joined schemas qualify column names as
+    ["table.column"], so join predicates and downstream projections are
+    written with {!Expr.Col} ["Left.x"] / ["Right.y"]. *)
+
+val project :
+  ?lookup_table:(string -> Table.t) ->
+  ?lookup_var:(string -> Value.t option) ->
+  from:Table.t ->
+  columns:(string * Value.ty * Expr.t) list ->
+  ?where:Expr.t ->
+  name:string ->
+  unit ->
+  Table.t
+(** [project ~from ~columns ~name ()] evaluates each [(col, ty, expr)]
+    against every [from] row passing [where] and materializes the results
+    as a new table.  The optional lookups let projection expressions use
+    variables and aggregate subqueries.
+    @raise Value.Type_error if an expression produces the wrong type. *)
+
+val nested_loop_join :
+  ?lookup_table:(string -> Table.t) ->
+  ?lookup_var:(string -> Value.t option) ->
+  left:Table.t ->
+  right:Table.t ->
+  on:Expr.t ->
+  name:string ->
+  unit ->
+  Table.t
+(** Inner join: every (left, right) row pair satisfying [on], with the
+    combined schema qualified as ["<left name>.<col>"] /
+    ["<right name>.<col>"].  O(|left| · |right|).
+    @raise Invalid_argument if the two tables share a name. *)

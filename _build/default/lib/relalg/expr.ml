@@ -1,0 +1,159 @@
+type agg = Count | Sum | Avg | Min | Max
+
+type binop =
+  | Add | Sub | Mul | Div
+  | Eq | Ne | Lt | Le | Gt | Ge
+  | And | Or
+
+type t =
+  | Const of Value.t
+  | Col of string
+  | Outer of string
+  | Var of string
+  | Not of t
+  | Neg of t
+  | Bin of binop * t * t
+  | Agg of { agg : agg; over : t; table : string; where : t option }
+
+exception Unknown_variable of string
+exception No_row_scope of string
+
+type scope = Schema.t * Value.t array
+
+type ctx = {
+  lookup_table : string -> Table.t;
+  lookup_var : string -> Value.t option;
+  row : scope option;
+  outer : scope option;
+}
+
+let binop_fn = function
+  | Add -> Value.add
+  | Sub -> Value.sub
+  | Mul -> Value.mul
+  | Div -> Value.div
+  | Eq -> Value.eq
+  | Ne -> Value.ne
+  | Lt -> Value.lt
+  | Le -> Value.le
+  | Gt -> Value.gt
+  | Ge -> Value.ge
+  | And -> Value.logical_and
+  | Or -> Value.logical_or
+
+let read_scope scope_name scope col =
+  match scope with
+  | None -> raise (No_row_scope col)
+  | Some (schema, row) ->
+      ignore scope_name;
+      row.(Schema.index_of schema col)
+
+let rec eval ctx expr =
+  match expr with
+  | Const v -> v
+  | Col c -> read_scope "row" ctx.row c
+  | Outer c -> read_scope "outer" ctx.outer c
+  | Var v -> (
+      match ctx.lookup_var v with
+      | Some value -> value
+      | None -> raise (Unknown_variable v))
+  | Not e -> Value.logical_not (eval ctx e)
+  | Neg e -> Value.neg (eval ctx e)
+  | Bin (And, a, b) ->
+      (* Short-circuit, so guards like [relevance > 0 AND bid < maxbid] do
+         not evaluate their right side needlessly. *)
+      if Value.to_bool (eval ctx a) then eval ctx b else Value.Bool false
+  | Bin (Or, a, b) ->
+      if Value.to_bool (eval ctx a) then Value.Bool true else eval ctx b
+  | Bin (op, a, b) -> (binop_fn op) (eval ctx a) (eval ctx b)
+  | Agg { agg; over; table; where } -> eval_agg ctx agg over table where
+
+and eval_agg ctx agg over table_name where =
+  let table = ctx.lookup_table table_name in
+  let schema = Table.schema table in
+  (* Inside the subquery, its row is innermost and the previous innermost
+     row becomes the correlated outer scope. *)
+  let sub_ctx row = { ctx with row = Some (schema, row); outer = ctx.row } in
+  let matching f =
+    Table.iter table (fun row ->
+        let c = sub_ctx row in
+        let keep = match where with None -> true | Some w -> Value.to_bool (eval c w) in
+        if keep then f c)
+  in
+  match agg with
+  | Count ->
+      let n = ref 0 in
+      matching (fun _ -> incr n);
+      Value.Int !n
+  | Sum ->
+      let acc = ref (Value.Int 0) in
+      matching (fun c ->
+          let v = eval c over in
+          if not (Value.is_null v) then acc := Value.add !acc v);
+      !acc
+  | Avg ->
+      let acc = ref 0.0 and n = ref 0 in
+      matching (fun c ->
+          let v = eval c over in
+          if not (Value.is_null v) then begin
+            acc := !acc +. Value.to_float v;
+            incr n
+          end);
+      if !n = 0 then Value.Null else Value.Float (!acc /. float_of_int !n)
+  | Min | Max ->
+      let keep_left =
+        match agg with
+        | Min -> fun a b -> Value.compare_total a b <= 0
+        | _ -> fun a b -> Value.compare_total a b >= 0
+      in
+      let best = ref Value.Null in
+      matching (fun c ->
+          let v = eval c over in
+          if not (Value.is_null v) then
+            match !best with
+            | Value.Null -> best := v
+            | b -> if not (keep_left b v) then best := v);
+      !best
+
+let eval_bool ctx e = Value.to_bool (eval ctx e)
+
+let int n = Const (Value.Int n)
+let float f = Const (Value.Float f)
+let str s = Const (Value.String s)
+let bool b = Const (Value.Bool b)
+
+let bin op a b = Bin (op, a, b)
+let ( + ) = bin Add
+let ( - ) = bin Sub
+let ( * ) = bin Mul
+let ( / ) = bin Div
+let ( = ) = bin Eq
+let ( <> ) = bin Ne
+let ( < ) = bin Lt
+let ( <= ) = bin Le
+let ( > ) = bin Gt
+let ( >= ) = bin Ge
+let ( && ) = bin And
+let ( || ) = bin Or
+
+let binop_name = function
+  | Add -> "+" | Sub -> "-" | Mul -> "*" | Div -> "/"
+  | Eq -> "=" | Ne -> "<>" | Lt -> "<" | Le -> "<=" | Gt -> ">" | Ge -> ">="
+  | And -> "AND" | Or -> "OR"
+
+let agg_name = function
+  | Count -> "COUNT" | Sum -> "SUM" | Avg -> "AVG" | Min -> "MIN" | Max -> "MAX"
+
+let rec pp ppf = function
+  | Const v -> Value.pp ppf v
+  | Col c -> Format.pp_print_string ppf c
+  | Outer c -> Format.fprintf ppf "outer.%s" c
+  | Var v -> Format.fprintf ppf "@@%s" v
+  | Not e -> Format.fprintf ppf "NOT (%a)" pp e
+  | Neg e -> Format.fprintf ppf "-(%a)" pp e
+  | Bin (op, a, b) -> Format.fprintf ppf "(%a %s %a)" pp a (binop_name op) pp b
+  | Agg { agg; over; table; where } -> (
+      Format.fprintf ppf "(SELECT %s(%a) FROM %s" (agg_name agg) pp over table;
+      match where with
+      | None -> Format.pp_print_string ppf ")"
+      | Some w -> Format.fprintf ppf " WHERE %a)" pp w)

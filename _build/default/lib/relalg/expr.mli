@@ -1,0 +1,82 @@
+(** Scalar expressions of the bidding-program language.
+
+    Expressions appear in WHERE clauses, SET clauses and IF conditions of
+    bidding programs (Fig. 5 of the paper).  They can reference:
+
+    - [Col c]   — column [c] of the innermost row scope (the row being
+      tested/updated, or the subquery row inside a subquery);
+    - [Outer c] — column [c] of the enclosing row scope (the UPDATE row seen
+      from a correlated subquery, e.g. [Bids.formula] inside
+      [SELECT SUM(K.bid) FROM Keywords K WHERE K.formula = Bids.formula]);
+    - [Var v]   — a named scalar variable of the program environment
+      (e.g. [amtSpent], [time], [targetSpendRate]);
+    - [Agg]     — a scalar aggregate subquery over a named table.
+
+    Deviation from SQL, by design: [SUM] over an empty set is [Int 0] rather
+    than NULL — this matches the paper's Fig. 6, where the bid for a formula
+    with no sufficiently relevant keyword comes out as value 0. *)
+
+type agg = Count | Sum | Avg | Min | Max
+
+type binop =
+  | Add | Sub | Mul | Div
+  | Eq | Ne | Lt | Le | Gt | Ge
+  | And | Or
+
+type t =
+  | Const of Value.t
+  | Col of string
+  | Outer of string
+  | Var of string
+  | Not of t
+  | Neg of t
+  | Bin of binop * t * t
+  | Agg of { agg : agg; over : t; table : string; where : t option }
+      (** [Agg {agg; over; table; where}] evaluates [over] for every row of
+          [table] satisfying [where] (with that row as the innermost scope
+          and the previous innermost scope as [Outer]) and aggregates.
+          [Count] ignores [over]. *)
+
+exception Unknown_variable of string
+exception No_row_scope of string
+(** Raised when [Col]/[Outer] is used with no corresponding row bound. *)
+
+type scope = Schema.t * Value.t array
+(** A row visible to expression evaluation. *)
+
+type ctx = {
+  lookup_table : string -> Table.t;  (** resolve table names for [Agg] *)
+  lookup_var : string -> Value.t option;  (** resolve [Var] *)
+  row : scope option;
+  outer : scope option;
+}
+
+val eval : ctx -> t -> Value.t
+(** Evaluate under a context.
+    @raise Unknown_variable, No_row_scope, Schema.Unknown_column,
+           Value.Type_error as appropriate. *)
+
+val eval_bool : ctx -> t -> bool
+(** [eval] then {!Value.to_bool} (NULL is false). *)
+
+(** {1 Convenience constructors} — make program construction readable. *)
+
+val int : int -> t
+val float : float -> t
+val str : string -> t
+val bool : bool -> t
+val ( + ) : t -> t -> t
+val ( - ) : t -> t -> t
+val ( * ) : t -> t -> t
+val ( / ) : t -> t -> t
+val ( = ) : t -> t -> t
+val ( <> ) : t -> t -> t
+val ( < ) : t -> t -> t
+val ( <= ) : t -> t -> t
+val ( > ) : t -> t -> t
+val ( >= ) : t -> t -> t
+val ( && ) : t -> t -> t
+val ( || ) : t -> t -> t
+
+val pp : Format.formatter -> t -> unit
+(** SQL-flavoured rendering, for program listings in examples. *)

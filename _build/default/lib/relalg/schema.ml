@@ -1,0 +1,56 @@
+type column = { name : string; ty : Value.ty }
+
+type t = { cols : column array }
+
+exception Unknown_column of string
+
+let make cols =
+  if cols = [] then invalid_arg "Schema.make: empty column list";
+  let seen = Hashtbl.create 8 in
+  List.iter
+    (fun c ->
+      if Hashtbl.mem seen c.name then
+        invalid_arg ("Schema.make: duplicate column " ^ c.name);
+      Hashtbl.add seen c.name ())
+    cols;
+  { cols = Array.of_list cols }
+
+let columns t = Array.to_list t.cols
+let arity t = Array.length t.cols
+
+let index_of t name =
+  let rec go i =
+    if i >= Array.length t.cols then raise (Unknown_column name)
+    else if String.equal t.cols.(i).name name then i
+    else go (i + 1)
+  in
+  go 0
+
+let mem t name = match index_of t name with _ -> true | exception Unknown_column _ -> false
+
+let column_ty t name = t.cols.(index_of t name).ty
+
+let check_row t row =
+  if Array.length row <> arity t then
+    invalid_arg
+      (Printf.sprintf "Schema.check_row: expected %d values, got %d" (arity t)
+         (Array.length row));
+  Array.iteri
+    (fun i v ->
+      match Value.type_of v with
+      | None -> ()
+      | Some ty ->
+          if ty <> t.cols.(i).ty then
+            raise
+              (Value.Type_error
+                 (Printf.sprintf "column %s expects %s, got %s" t.cols.(i).name
+                    (Value.ty_to_string t.cols.(i).ty)
+                    (Value.ty_to_string ty))))
+    row
+
+let pp ppf t =
+  Format.fprintf ppf "(%a)"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+       (fun ppf c -> Format.fprintf ppf "%s:%s" c.name (Value.ty_to_string c.ty)))
+    (columns t)

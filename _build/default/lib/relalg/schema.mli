@@ -1,0 +1,27 @@
+(** Table schemas: ordered, named, typed columns. *)
+
+type column = { name : string; ty : Value.ty }
+
+type t
+(** An immutable schema. *)
+
+exception Unknown_column of string
+
+val make : column list -> t
+(** @raise Invalid_argument on duplicate column names or an empty list. *)
+
+val columns : t -> column list
+val arity : t -> int
+
+val index_of : t -> string -> int
+(** Position of a column.  @raise Unknown_column if absent. *)
+
+val mem : t -> string -> bool
+val column_ty : t -> string -> Value.ty
+
+val check_row : t -> Value.t array -> unit
+(** Validate arity and per-column types ([Null] is allowed anywhere).
+    @raise Invalid_argument on arity mismatch.
+    @raise Value.Type_error on a type mismatch. *)
+
+val pp : Format.formatter -> t -> unit

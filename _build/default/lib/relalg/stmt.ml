@@ -1,0 +1,110 @@
+type t =
+  | Update of { table : string; set : (string * Expr.t) list; where : Expr.t option }
+  | Insert of { table : string; values : Expr.t list }
+  | Delete of { table : string; where : Expr.t option }
+  | If of (Expr.t * t list) list * t list
+  | Set_var of string * Expr.t
+
+type exec_ctx = {
+  lookup_table : string -> Table.t;
+  lookup_var : string -> Value.t option;
+  set_var : string -> Value.t -> unit;
+  on_insert : Table.t -> Value.t array -> unit;
+  row : Expr.scope option;
+}
+
+let expr_ctx (ctx : exec_ctx) : Expr.ctx =
+  {
+    Expr.lookup_table = ctx.lookup_table;
+    lookup_var = ctx.lookup_var;
+    row = ctx.row;
+    outer = None;
+  }
+
+(* Expression context whose innermost scope is a row of the statement's
+   target table; the statement-level row (e.g. a trigger's inserted row)
+   remains reachable as the outer scope. *)
+let row_ctx (ctx : exec_ctx) schema row : Expr.ctx =
+  {
+    Expr.lookup_table = ctx.lookup_table;
+    lookup_var = ctx.lookup_var;
+    row = Some (schema, row);
+    outer = ctx.row;
+  }
+
+let rec exec ctx stmt =
+  match stmt with
+  | Update { table; set; where } ->
+      let t = ctx.lookup_table table in
+      let schema = Table.schema t in
+      let where_fn row =
+        match where with
+        | None -> true
+        | Some w -> Expr.eval_bool (row_ctx ctx schema row) w
+      in
+      let set_fn row =
+        let ectx = row_ctx ctx schema row in
+        List.map (fun (col, e) -> (col, Expr.eval ectx e)) set
+      in
+      ignore (Table.update t ~where:where_fn ~set:set_fn)
+  | Insert { table; values } ->
+      let t = ctx.lookup_table table in
+      let ectx = expr_ctx ctx in
+      let row = Array.of_list (List.map (Expr.eval ectx) values) in
+      Table.insert t row;
+      ctx.on_insert t row
+  | Delete { table; where } ->
+      let t = ctx.lookup_table table in
+      let schema = Table.schema t in
+      let where_fn row =
+        match where with
+        | None -> true
+        | Some w -> Expr.eval_bool (row_ctx ctx schema row) w
+      in
+      ignore (Table.delete t ~where:where_fn)
+  | If (branches, else_) ->
+      let ectx = expr_ctx ctx in
+      let rec choose = function
+        | [] -> exec_all ctx else_
+        | (cond, body) :: rest ->
+            if Expr.eval_bool ectx cond then exec_all ctx body else choose rest
+      in
+      choose branches
+  | Set_var (name, e) -> ctx.set_var name (Expr.eval (expr_ctx ctx) e)
+
+and exec_all ctx stmts = List.iter (exec ctx) stmts
+
+let rec pp ppf = function
+  | Update { table; set; where } ->
+      Format.fprintf ppf "@[<v 2>UPDATE %s@,SET %a%a;@]" table
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.fprintf ppf ",@ ")
+           (fun ppf (c, e) -> Format.fprintf ppf "%s = %a" c Expr.pp e))
+        set pp_where where
+  | Insert { table; values } ->
+      Format.fprintf ppf "INSERT INTO %s VALUES (%a);" table
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
+           Expr.pp)
+        values
+  | Delete { table; where } ->
+      Format.fprintf ppf "DELETE FROM %s%a;" table pp_where where
+  | If (branches, else_) ->
+      let pp_branch kw ppf (cond, body) =
+        Format.fprintf ppf "@[<v 2>%s %a THEN@,%a@]" kw Expr.pp cond pp_block body
+      in
+      (match branches with
+      | [] -> ()
+      | first :: rest ->
+          Format.fprintf ppf "@[<v>%a" (pp_branch "IF") first;
+          List.iter (fun b -> Format.fprintf ppf "@,%a" (pp_branch "ELSEIF") b) rest;
+          if else_ <> [] then Format.fprintf ppf "@,@[<v 2>ELSE@,%a@]" pp_block else_;
+          Format.fprintf ppf "@,ENDIF;@]")
+  | Set_var (name, e) -> Format.fprintf ppf "SET @@%s = %a;" name Expr.pp e
+
+and pp_where ppf = function
+  | None -> ()
+  | Some w -> Format.fprintf ppf "@,WHERE %a" Expr.pp w
+
+and pp_block ppf stmts =
+  Format.pp_print_list ~pp_sep:Format.pp_print_cut pp ppf stmts

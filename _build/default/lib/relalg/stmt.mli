@@ -1,0 +1,39 @@
+(** Statements of the bidding-program language: the side-effecting subset of
+    SQL that Section II-B allows (updates without recursion), plus IF/ELSEIF
+    control flow and environment-variable assignment.
+
+    Execution is deliberately simple and total: statements run against a
+    {!Database.t}-like context provided by the caller (see {!exec_ctx}),
+    mutate tables in place, and cannot loop. *)
+
+type t =
+  | Update of { table : string; set : (string * Expr.t) list; where : Expr.t option }
+      (** [UPDATE table SET col = e, ... WHERE w].  SET expressions are
+          evaluated against the pre-update row (SQL semantics); correlated
+          subqueries inside them see that row as [Outer]. *)
+  | Insert of { table : string; values : Expr.t list }
+      (** [INSERT INTO table VALUES (e, ...)] — positional. *)
+  | Delete of { table : string; where : Expr.t option }
+  | If of (Expr.t * t list) list * t list
+      (** [If (branches, else_)] — first branch whose condition holds runs;
+          otherwise [else_].  Encodes IF/ELSEIF/ELSE of Fig. 5. *)
+  | Set_var of string * Expr.t
+      (** Assign a scalar environment variable. *)
+
+type exec_ctx = {
+  lookup_table : string -> Table.t;
+  lookup_var : string -> Value.t option;
+  set_var : string -> Value.t -> unit;
+  on_insert : Table.t -> Value.t array -> unit;
+      (** Called after a row lands in a table, so the host can fire AFTER
+          INSERT triggers.  Pass [fun _ _ -> ()] to disable. *)
+  row : Expr.scope option;
+      (** Innermost row visible to the statement's expressions — for trigger
+          bodies this is the inserted row. *)
+}
+
+val exec : exec_ctx -> t -> unit
+val exec_all : exec_ctx -> t list -> unit
+
+val pp : Format.formatter -> t -> unit
+(** SQL-flavoured listing (used to print Fig. 5-style programs). *)

@@ -1,0 +1,114 @@
+type t = {
+  name : string;
+  schema : Schema.t;
+  mutable rows : Value.t array array;  (* dense in [0, size) *)
+  mutable size : int;
+}
+
+let create ~name schema = { name; schema; rows = [||]; size = 0 }
+
+let name t = t.name
+let schema t = t.schema
+let cardinality t = t.size
+
+let ensure_capacity t =
+  let cap = Array.length t.rows in
+  if t.size >= cap then begin
+    let cap' = max 8 (2 * cap) in
+    let rows' = Array.make cap' [||] in
+    Array.blit t.rows 0 rows' 0 t.size;
+    t.rows <- rows'
+  end
+
+let insert t row =
+  Schema.check_row t.schema row;
+  ensure_capacity t;
+  t.rows.(t.size) <- Array.copy row;
+  t.size <- t.size + 1
+
+let iter t f =
+  for i = 0 to t.size - 1 do
+    f t.rows.(i)
+  done
+
+let fold t ~init ~f =
+  let acc = ref init in
+  iter t (fun row -> acc := f !acc row);
+  !acc
+
+let to_rows t = List.rev (fold t ~init:[] ~f:(fun acc row -> Array.copy row :: acc))
+
+let get_value t row col = row.(Schema.index_of t.schema col)
+
+let update t ~where ~set =
+  (* Two phases: plan all writes against the pre-update state, then apply. *)
+  let plans = ref [] in
+  for i = 0 to t.size - 1 do
+    let row = t.rows.(i) in
+    if where row then
+      let assignments =
+        List.map
+          (fun (col, v) -> (Schema.index_of t.schema col, v))
+          (set row)
+      in
+      plans := (i, assignments) :: !plans
+  done;
+  let count = List.length !plans in
+  List.iter
+    (fun (i, assignments) ->
+      List.iter (fun (j, v) -> t.rows.(i).(j) <- v) assignments;
+      Schema.check_row t.schema t.rows.(i))
+    !plans;
+  count
+
+let delete t ~where =
+  let keep = ref 0 and removed = ref 0 in
+  for i = 0 to t.size - 1 do
+    if where t.rows.(i) then incr removed
+    else begin
+      t.rows.(!keep) <- t.rows.(i);
+      incr keep
+    end
+  done;
+  (* Drop stale references so deleted rows can be collected. *)
+  for i = !keep to t.size - 1 do
+    t.rows.(i) <- [||]
+  done;
+  t.size <- !keep;
+  !removed
+
+let clear t = ignore (delete t ~where:(fun _ -> true))
+
+let find_first t pred =
+  let rec go i =
+    if i >= t.size then None
+    else if pred t.rows.(i) then Some (Array.copy t.rows.(i))
+    else go (i + 1)
+  in
+  go 0
+
+let pp ppf t =
+  let cols = Schema.columns t.schema in
+  let headers = List.map (fun (c : Schema.column) -> c.name) cols in
+  let cells =
+    fold t ~init:[] ~f:(fun acc row ->
+        Array.to_list (Array.map Value.to_display row) :: acc)
+    |> List.rev
+  in
+  let widths =
+    List.mapi
+      (fun i h ->
+        List.fold_left (fun w r -> max w (String.length (List.nth r i)))
+          (String.length h) cells)
+      headers
+  in
+  let pad s w = s ^ String.make (w - String.length s) ' ' in
+  let render_line parts =
+    Format.fprintf ppf "| %s |@,"
+      (String.concat " | " (List.map2 pad parts widths))
+  in
+  Format.fprintf ppf "@[<v>%s@," t.name;
+  render_line headers;
+  render_line (List.map (fun w -> String.make w '-') widths);
+  List.iter render_line cells;
+  Format.fprintf ppf "@]"

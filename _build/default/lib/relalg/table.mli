@@ -1,0 +1,44 @@
+(** Mutable in-memory tables.
+
+    Rows are value arrays laid out per the table's schema.  Bidding programs
+    keep their private state (the [Keywords] and [Bids] tables of Figures 3
+    and 4) in these. *)
+
+type t
+
+val create : name:string -> Schema.t -> t
+val name : t -> string
+val schema : t -> Schema.t
+val cardinality : t -> int
+
+val insert : t -> Value.t array -> unit
+(** Appends a row after schema validation.  The array is copied; callers may
+    reuse their buffer. *)
+
+val iter : t -> (Value.t array -> unit) -> unit
+(** Iterate rows in insertion order.  The callback receives the live row
+    array; treat it as read-only (use {!update} to mutate). *)
+
+val fold : t -> init:'a -> f:('a -> Value.t array -> 'a) -> 'a
+
+val to_rows : t -> Value.t array list
+(** Snapshot of all rows (copies), insertion order. *)
+
+val get_value : t -> Value.t array -> string -> Value.t
+(** [get_value t row col] reads [col] of a row of this table. *)
+
+val update : t -> where:(Value.t array -> bool) -> set:(Value.t array -> (string * Value.t) list) -> int
+(** [update t ~where ~set] applies [set] to every row satisfying [where];
+    returns the number of rows changed.  [set] is computed against the
+    *pre-update* row, and all matching rows are located before any write, so
+    the statement sees a consistent snapshot (SQL UPDATE semantics). *)
+
+val delete : t -> where:(Value.t array -> bool) -> int
+(** Removes satisfying rows; returns how many. *)
+
+val clear : t -> unit
+
+val find_first : t -> (Value.t array -> bool) -> Value.t array option
+
+val pp : Format.formatter -> t -> unit
+(** Render as an aligned ASCII table (for examples and debugging). *)

@@ -1,0 +1,137 @@
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+
+type ty = T_bool | T_int | T_float | T_string
+
+exception Type_error of string
+
+let type_error fmt = Format.kasprintf (fun s -> raise (Type_error s)) fmt
+
+let type_of = function
+  | Null -> None
+  | Bool _ -> Some T_bool
+  | Int _ -> Some T_int
+  | Float _ -> Some T_float
+  | String _ -> Some T_string
+
+let ty_to_string = function
+  | T_bool -> "bool"
+  | T_int -> "int"
+  | T_float -> "float"
+  | T_string -> "string"
+
+let is_null = function Null -> true | Bool _ | Int _ | Float _ | String _ -> false
+
+let pp ppf = function
+  | Null -> Format.pp_print_string ppf "NULL"
+  | Bool b -> Format.pp_print_bool ppf b
+  | Int n -> Format.pp_print_int ppf n
+  | Float f -> Format.fprintf ppf "%g" f
+  | String s -> Format.fprintf ppf "%S" s
+
+let to_display v = Format.asprintf "%a" pp v
+
+(* Numeric binary op with promotion; Null absorbing. *)
+let arith name int_op float_op a b =
+  match (a, b) with
+  | Null, _ | _, Null -> Null
+  | Int x, Int y -> Int (int_op x y)
+  | Int x, Float y -> Float (float_op (float_of_int x) y)
+  | Float x, Int y -> Float (float_op x (float_of_int y))
+  | Float x, Float y -> Float (float_op x y)
+  | _ -> type_error "%s: expected numeric operands, got %a and %a" name pp a pp b
+
+let add = arith "add" ( + ) ( +. )
+let sub = arith "sub" ( - ) ( -. )
+let mul = arith "mul" ( * ) ( *. )
+
+let div a b =
+  match (a, b) with
+  | Null, _ | _, Null -> Null
+  | _, Int 0 -> type_error "div: division by zero"
+  | _, Float 0.0 -> type_error "div: division by zero"
+  | Int x, Int y -> Float (float_of_int x /. float_of_int y)
+  | Int x, Float y -> Float (float_of_int x /. y)
+  | Float x, Int y -> Float (x /. float_of_int y)
+  | Float x, Float y -> Float (x /. y)
+  | _ -> type_error "div: expected numeric operands, got %a and %a" pp a pp b
+
+let neg = function
+  | Null -> Null
+  | Int n -> Int (-n)
+  | Float f -> Float (-.f)
+  | v -> type_error "neg: expected numeric operand, got %a" pp v
+
+(* Comparison returning an int, for values of compatible type. *)
+let cmp_compatible a b =
+  match (a, b) with
+  | Int x, Int y -> Some (compare x y)
+  | Float x, Float y -> Some (compare x y)
+  | Int x, Float y -> Some (compare (float_of_int x) y)
+  | Float x, Int y -> Some (compare x (float_of_int y))
+  | String x, String y -> Some (compare x y)
+  | Bool x, Bool y -> Some (compare x y)
+  | _ -> None
+
+let comparison name keep a b =
+  match (a, b) with
+  | Null, _ | _, Null -> Bool false
+  | _ -> (
+      match cmp_compatible a b with
+      | Some c -> Bool (keep c)
+      | None ->
+          type_error "%s: incomparable values %a and %a" name pp a pp b)
+
+let eq = comparison "eq" (fun c -> c = 0)
+let ne = comparison "ne" (fun c -> c <> 0)
+let lt = comparison "lt" (fun c -> c < 0)
+let le = comparison "le" (fun c -> c <= 0)
+let gt = comparison "gt" (fun c -> c > 0)
+let ge = comparison "ge" (fun c -> c >= 0)
+
+let to_bool = function
+  | Bool b -> b
+  | Null -> false
+  | v -> type_error "to_bool: expected bool, got %a" pp v
+
+let logical_and a b = Bool (to_bool a && to_bool b)
+let logical_or a b = Bool (to_bool a || to_bool b)
+let logical_not a = Bool (not (to_bool a))
+
+let to_float = function
+  | Int n -> float_of_int n
+  | Float f -> f
+  | v -> type_error "to_float: expected numeric, got %a" pp v
+
+let to_int = function
+  | Int n -> n
+  | v -> type_error "to_int: expected int, got %a" pp v
+
+let to_string_exn = function
+  | String s -> s
+  | v -> type_error "to_string: expected string, got %a" pp v
+
+let rank = function
+  | Null -> 0
+  | Bool _ -> 1
+  | Int _ | Float _ -> 2
+  | String _ -> 3
+
+let compare_total a b =
+  match (a, b) with
+  | Null, Null -> 0
+  | Bool x, Bool y -> compare x y
+  | String x, String y -> compare x y
+  | (Int _ | Float _), (Int _ | Float _) -> (
+      match cmp_compatible a b with Some c -> c | None -> 0)
+  | _ -> compare (rank a) (rank b)
+
+let equal a b =
+  match (a, b) with
+  | Null, Null -> true
+  | _, Null | Null, _ -> false
+  | _ -> ( match cmp_compatible a b with Some c -> c = 0 | None -> false)

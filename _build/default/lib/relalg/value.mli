@@ -1,0 +1,79 @@
+(** Scalar values of the mini relational engine.
+
+    Bidding programs (Section II-B of the paper) are SQL-style programs over
+    private tables; this module defines the cell values those tables hold.
+    Arithmetic follows SQL-ish numeric promotion: [Int op Int = Int] except
+    division, and any operation touching a [Float] yields a [Float].
+    [Null] propagates through arithmetic and makes comparisons false
+    (three-valued logic collapsed to two values, which is all the bidding
+    language needs). *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+
+type ty = T_bool | T_int | T_float | T_string
+
+exception Type_error of string
+(** Raised on ill-typed operations, e.g. adding a string to an int. *)
+
+val type_of : t -> ty option
+(** [None] for [Null]. *)
+
+val ty_to_string : ty -> string
+
+val is_null : t -> bool
+
+(** {1 Arithmetic} — [Null] absorbing, numeric promotion, division by zero
+    raises [Type_error]. *)
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+val div : t -> t -> t
+val neg : t -> t
+
+(** {1 Comparison} — comparisons involving [Null] are [Bool false]; values
+    of different numeric types compare numerically; comparing other
+    incompatible types raises [Type_error]. *)
+
+val eq : t -> t -> t
+val ne : t -> t -> t
+val lt : t -> t -> t
+val le : t -> t -> t
+val gt : t -> t -> t
+val ge : t -> t -> t
+
+(** {1 Logic} — operands must be [Bool] or [Null] (treated as false). *)
+
+val logical_and : t -> t -> t
+val logical_or : t -> t -> t
+val logical_not : t -> t
+
+(** {1 Coercion and ordering} *)
+
+val to_bool : t -> bool
+(** [Bool b] → [b]; [Null] → [false]; anything else raises [Type_error]. *)
+
+val to_float : t -> float
+(** Numeric values to float.  @raise Type_error otherwise. *)
+
+val to_int : t -> int
+(** [Int n] → [n].  @raise Type_error otherwise (floats are not silently
+    truncated). *)
+
+val to_string_exn : t -> string
+(** The payload of a [String].  @raise Type_error otherwise. *)
+
+val compare_total : t -> t -> int
+(** Total order for sorting: Null < Bool < numbers < String, numbers
+    compared numerically across Int/Float. *)
+
+val equal : t -> t -> bool
+(** Structural equality with cross-type numeric equality. *)
+
+val pp : Format.formatter -> t -> unit
+val to_display : t -> string

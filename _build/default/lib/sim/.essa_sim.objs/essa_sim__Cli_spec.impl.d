@@ -1,0 +1,1 @@
+lib/sim/cli_spec.ml: Array Essa_bidlang List Printf String

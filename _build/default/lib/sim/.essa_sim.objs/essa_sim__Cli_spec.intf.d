@@ -1,0 +1,1 @@
+lib/sim/cli_spec.mli: Essa_bidlang

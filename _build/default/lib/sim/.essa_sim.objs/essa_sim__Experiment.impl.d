@@ -1,0 +1,1 @@
+lib/sim/experiment.ml: Array Buffer Essa Essa_util Int Int64 List Logs Printf Seq String Workload

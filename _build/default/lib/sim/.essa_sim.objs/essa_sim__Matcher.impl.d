@@ -1,0 +1,1 @@
+lib/sim/matcher.ml: Buffer Char Float Hashtbl Int List Map Set String

@@ -1,0 +1,1 @@
+lib/sim/ramp_engine.ml: Array Essa Essa_matching Essa_strategy Essa_util Float Int List Option Set

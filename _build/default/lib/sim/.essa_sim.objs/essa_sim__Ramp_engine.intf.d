@@ -1,0 +1,1 @@
+lib/sim/ramp_engine.mli: Essa_matching

@@ -1,0 +1,1 @@
+lib/sim/workload.ml: Array Essa Essa_strategy Essa_util Seq

@@ -1,0 +1,40 @@
+let parse_bids spec =
+  String.split_on_char ',' spec
+  |> List.map (fun entry ->
+         match String.rindex_opt entry ':' with
+         | None ->
+             raise
+               (Invalid_argument
+                  (Printf.sprintf "bid entry %S must look like formula:amount" entry))
+         | Some i ->
+             let formula = String.trim (String.sub entry 0 i) in
+             let amount_text =
+               String.trim (String.sub entry (i + 1) (String.length entry - i - 1))
+             in
+             let amount =
+               match int_of_string_opt amount_text with
+               | Some a -> a
+               | None ->
+                   raise
+                     (Invalid_argument
+                        (Printf.sprintf "amount %S is not an integer" amount_text))
+             in
+             (formula, amount))
+  |> Essa_bidlang.Bids.of_strings
+
+let parse_probs ~k spec =
+  let entries = String.split_on_char ',' spec in
+  let probs =
+    List.map
+      (fun s ->
+        match float_of_string_opt (String.trim s) with
+        | Some f -> f
+        | None ->
+            raise (Invalid_argument (Printf.sprintf "probability %S is not a float" s)))
+      entries
+  in
+  if List.length probs <> k then
+    raise
+      (Invalid_argument
+         (Printf.sprintf "expected %d probabilities, got %d" k (List.length probs)));
+  Array.of_list probs

@@ -1,0 +1,14 @@
+(** Parsers for the command-line auction front end (tested here so the
+    binary stays a thin shell).
+
+    Bid-table syntax: ["formula:amount,formula:amount,..."] — formulas in
+    the {!Essa_bidlang.Formula} concrete syntax, amounts in whole cents.
+    Probability lists: comma-separated floats, one per slot. *)
+
+val parse_bids : string -> Essa_bidlang.Bids.t
+(** @raise Invalid_argument on a malformed entry;
+    @raise Essa_bidlang.Formula.Parse_error on a bad formula;
+    @raise Essa_bidlang.Bids.Invalid_bid on a negative amount. *)
+
+val parse_probs : k:int -> string -> float array
+(** @raise Invalid_argument on a wrong count or non-float entry. *)

@@ -1,0 +1,105 @@
+module String_map = Map.Make (String)
+module Int_set = Set.Make (Int)
+
+type t = {
+  mutable index : Int_set.t String_map.t;  (* token -> interested advertisers *)
+  keywords : (int, string list) Hashtbl.t; (* advertiser -> keyword phrases *)
+}
+
+let create () = { index = String_map.empty; keywords = Hashtbl.create 64 }
+
+let tokens s =
+  let buf = Buffer.create 8 in
+  let out = ref [] in
+  let flush () =
+    if Buffer.length buf > 0 then begin
+      out := Buffer.contents buf :: !out;
+      Buffer.clear buf
+    end
+  in
+  String.iter
+    (fun c ->
+      match Char.lowercase_ascii c with
+      | 'a' .. 'z' | '0' .. '9' as lc -> Buffer.add_char buf lc
+      | _ -> flush ())
+    s;
+  flush ();
+  List.rev !out
+
+let remove_advertiser t ~adv =
+  match Hashtbl.find_opt t.keywords adv with
+  | None -> ()
+  | Some keywords ->
+      List.iter
+        (fun kw ->
+          List.iter
+            (fun token ->
+              t.index <-
+                String_map.update token
+                  (function
+                    | None -> None
+                    | Some set ->
+                        let set = Int_set.remove adv set in
+                        if Int_set.is_empty set then None else Some set)
+                  t.index)
+            (tokens kw))
+        keywords;
+      Hashtbl.remove t.keywords adv
+
+let add_advertiser t ~adv ~keywords =
+  if adv < 0 then invalid_arg "Matcher.add_advertiser: negative advertiser id";
+  remove_advertiser t ~adv;
+  Hashtbl.replace t.keywords adv keywords;
+  List.iter
+    (fun kw ->
+      List.iter
+        (fun token ->
+          t.index <-
+            String_map.update token
+              (function
+                | None -> Some (Int_set.singleton adv)
+                | Some set -> Some (Int_set.add adv set))
+              t.index)
+        (tokens kw))
+    keywords
+
+let num_advertisers t = Hashtbl.length t.keywords
+
+let candidates t ~query =
+  List.fold_left
+    (fun acc token ->
+      match String_map.find_opt token t.index with
+      | None -> acc
+      | Some set -> Int_set.union acc set)
+    Int_set.empty (tokens query)
+  |> Int_set.elements
+
+let relevance t ~adv ~keyword ~query =
+  match Hashtbl.find_opt t.keywords adv with
+  | None -> 0.0
+  | Some owned ->
+      if not (List.mem keyword owned) then 0.0
+      else begin
+        let kw_tokens = tokens keyword in
+        match kw_tokens with
+        | [] -> 0.0
+        | _ ->
+            let query_tokens = tokens query in
+            let hits =
+              List.length (List.filter (fun tok -> List.mem tok query_tokens) kw_tokens)
+            in
+            float_of_int hits /. float_of_int (List.length kw_tokens)
+      end
+
+let best_keyword t ~adv ~query =
+  match Hashtbl.find_opt t.keywords adv with
+  | None -> None
+  | Some owned ->
+      let scored =
+        List.map (fun kw -> (kw, relevance t ~adv ~keyword:kw ~query)) owned
+        |> List.filter (fun (_, r) -> r > 0.0)
+        |> List.sort (fun (ka, ra) (kb, rb) ->
+               let c = Float.compare rb ra in
+               if c <> 0 then c else String.compare ka kb)
+      in
+      match scored with [] -> None | best :: _ -> Some best

@@ -1,0 +1,40 @@
+(** Provider-side keyword matching — the pruning step the paper assumes:
+    "search providers use their proprietary keyword matching algorithms to
+    prune away advertisers who are not interested in the search keywords".
+
+    A simple inverted index from keyword tokens to the advertisers
+    interested in them, with a relevance score per (advertiser, keyword,
+    query).  Queries are bags of lowercase tokens; an advertiser is a
+    candidate iff it is interested in at least one query token.  The
+    relevance of one of the advertiser's keywords against a query is the
+    fraction of the keyword's tokens the query contains (so the
+    single-token keywords of the Section V workload score exactly 1/0,
+    and multi-token keywords like "running shoe" score fractionally —
+    enough to drive the Fig. 5 program's [relevance > 0.7] filter). *)
+
+type t
+
+val create : unit -> t
+
+val add_advertiser : t -> adv:int -> keywords:string list -> unit
+(** Register an advertiser's keyword list (each keyword is a
+    whitespace-separated token phrase; matching is case-insensitive).
+    Re-adding an advertiser replaces its keywords. *)
+
+val num_advertisers : t -> int
+
+val candidates : t -> query:string -> int list
+(** Ascending advertiser ids with at least one token in common with the
+    query. *)
+
+val relevance : t -> adv:int -> keyword:string -> query:string -> float
+(** Fraction of [keyword]'s tokens present in [query]; 0. if the
+    advertiser does not own the keyword. *)
+
+val best_keyword : t -> adv:int -> query:string -> (string * float) option
+(** The advertiser's most relevant keyword for the query (ties: the
+    lexicographically first), if any scores above 0. *)
+
+val tokens : string -> string list
+(** The tokenizer used throughout: lowercase, split on whitespace and
+    punctuation, drop empties. *)

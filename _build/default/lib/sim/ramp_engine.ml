@@ -1,0 +1,114 @@
+type mode = [ `Scan | `Ta ]
+
+type summary = {
+  auction_time : int;
+  assignment : Essa_matching.Assignment.t;
+  prices : int array;
+  clicks : bool array;
+  revenue : int;
+}
+
+type t = {
+  mode : mode;
+  n : int;
+  k : int;
+  ctr : float array array;
+  ctr_sorted : (int * float) array array;
+  fleet : Essa_strategy.Ramp_fleet.t;
+  user_rng : Essa_util.Rng.t;
+  mutable time : int;
+  mutable total_revenue : int;
+}
+
+let create ~mode ~ctr ~starts ~rates ~budgets ~user_seed =
+  let n = Array.length ctr in
+  if n = 0 then invalid_arg "Ramp_engine.create: no advertisers";
+  let k = Array.length ctr.(0) in
+  if Array.length starts <> n || Array.length rates <> n || Array.length budgets <> n
+  then invalid_arg "Ramp_engine.create: parameter arrays must have length n";
+  let ctr_sorted =
+    Array.init k (fun j ->
+        let entries = Array.init n (fun i -> (i, ctr.(i).(j))) in
+        Array.sort
+          (fun (ia, pa) (ib, pb) ->
+            let c = Float.compare pb pa in
+            if c <> 0 then c else Int.compare ia ib)
+          entries;
+        entries)
+  in
+  {
+    mode;
+    n;
+    k;
+    ctr;
+    ctr_sorted;
+    fleet = Essa_strategy.Ramp_fleet.create ~starts ~rates ~budgets;
+    user_rng = Essa_util.Rng.create user_seed;
+    time = 0;
+    total_revenue = 0;
+  }
+
+let n t = t.n
+let k t = t.k
+let time t = t.time
+let total_revenue t = t.total_revenue
+let remaining t ~adv = Essa_strategy.Ramp_fleet.remaining t.fleet ~adv
+
+let top_lists t =
+  let count = t.k + 1 in
+  match t.mode with
+  | `Ta ->
+      Array.init t.k (fun j ->
+          fst
+            (Essa_strategy.Ramp_fleet.top_k_ta t.fleet ~ctr_sorted:t.ctr_sorted.(j)
+               ~ctr_lookup:(fun adv -> t.ctr.(adv).(j))
+               ~time:t.time ~k:count))
+  | `Scan ->
+      Array.init t.k (fun j ->
+          Essa_strategy.Ramp_fleet.top_k_naive t.fleet
+            ~ctr_lookup:(fun adv -> t.ctr.(adv).(j))
+            ~time:t.time ~k:count)
+
+let run_auction t =
+  t.time <- t.time + 1;
+  let top = top_lists t in
+  (* Reduced-graph winner determination over the union. *)
+  let module Int_set = Set.Make (Int) in
+  let advertisers =
+    Array.fold_left
+      (fun acc lst -> List.fold_left (fun acc (i, _) -> Int_set.add i acc) acc lst)
+      Int_set.empty top
+    |> Int_set.elements |> Array.of_list
+  in
+  let reduced_w =
+    Array.map
+      (fun i ->
+        let b =
+          float_of_int (Essa_strategy.Ramp_fleet.bid t.fleet ~adv:i ~time:t.time)
+        in
+        Array.init t.k (fun j -> t.ctr.(i).(j) *. b))
+      advertisers
+  in
+  let reduced = Essa_matching.Hungarian.solve ~w:reduced_w in
+  let assignment =
+    Array.map (Option.map (fun local -> advertisers.(local))) reduced
+  in
+  let ctr ~adv ~slot = t.ctr.(adv).(slot - 1) in
+  let prices_opt = Essa.Pricing.gsp_per_click ~w:[||] ~ctr ~top ~assignment () in
+  let prices = Array.map (function None -> 0 | Some p -> p) prices_opt in
+  let clicks = Array.make t.k false in
+  let revenue = ref 0 in
+  Array.iteri
+    (fun j0 cell ->
+      match cell with
+      | None -> ()
+      | Some adv ->
+          let clicked = Essa_util.Rng.bernoulli t.user_rng (ctr ~adv ~slot:(j0 + 1)) in
+          clicks.(j0) <- clicked;
+          if clicked then begin
+            revenue := !revenue + prices.(j0);
+            Essa_strategy.Ramp_fleet.record_win t.fleet ~adv ~price:prices.(j0)
+          end)
+    assignment;
+  t.total_revenue <- t.total_revenue + !revenue;
+  { auction_time = t.time; assignment; prices; clicks; revenue = !revenue }

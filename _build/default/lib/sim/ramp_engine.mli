@@ -1,0 +1,49 @@
+(** A complete repeated-auction engine for the Section IV-A ramp workload
+    — the second full strategy family, alongside {!Essa.Engine}'s ROI
+    fleet.
+
+    Every advertiser bids [min (start + rate·t, remaining)] per click;
+    queries are keyword-less (one product market); winner determination is
+    the reduced-graph algorithm, pricing is GSP, users are sampled, and
+    winners pay per click out of their budgets.
+
+    Two execution modes mirror the paper's Section IV contrast:
+    - [`Scan]: per-slot top lists by full scan over the n advertisers;
+    - [`Ta]: top lists by the threshold algorithm over the slot's CTR list
+      and the three maintained parameter lists — only winners are
+      repositioned.
+
+    The two modes produce bit-identical auction streams from equal seeds
+    (tested), like RH vs RHTALU in the main engine. *)
+
+type mode = [ `Scan | `Ta ]
+
+type t
+
+val create :
+  mode:mode ->
+  ctr:float array array ->
+  starts:int array ->
+  rates:int array ->
+  budgets:int array ->
+  user_seed:int ->
+  t
+(** [ctr] is n × k; parameter arrays are length n (cents).
+    @raise Invalid_argument on shape mismatch. *)
+
+val n : t -> int
+val k : t -> int
+val time : t -> int
+val total_revenue : t -> int
+
+type summary = {
+  auction_time : int;
+  assignment : Essa_matching.Assignment.t;
+  prices : int array;
+  clicks : bool array;
+  revenue : int;
+}
+
+val run_auction : t -> summary
+
+val remaining : t -> adv:int -> int

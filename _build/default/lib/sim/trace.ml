@@ -1,0 +1,100 @@
+type t = {
+  n : int;
+  k : int;
+  mutable auctions : int;
+  mutable revenue : int;
+  impressions : int array;
+  clicks : int array;
+  spend : int array;
+  value_gained : int array;
+  buffer : Buffer.t;                  (* CSV rows, appended as we go *)
+  mutable per_auction_revenue : int list;  (* reversed *)
+}
+
+let create ~n ~k =
+  if n < 1 || k < 1 then invalid_arg "Trace.create: empty dimensions";
+  {
+    n;
+    k;
+    auctions = 0;
+    revenue = 0;
+    impressions = Array.make n 0;
+    clicks = Array.make n 0;
+    spend = Array.make n 0;
+    value_gained = Array.make n 0;
+    buffer = Buffer.create 4096;
+    per_auction_revenue = [];
+  }
+
+let record t ~values (s : Essa.Engine.summary) =
+  t.auctions <- t.auctions + 1;
+  t.revenue <- t.revenue + s.revenue;
+  t.per_auction_revenue <- s.revenue :: t.per_auction_revenue;
+  Array.iteri
+    (fun j0 cell ->
+      match cell with
+      | None -> ()
+      | Some adv ->
+          t.impressions.(adv) <- t.impressions.(adv) + 1;
+          let clicked = s.clicks.(j0) in
+          if clicked then begin
+            t.clicks.(adv) <- t.clicks.(adv) + 1;
+            t.spend.(adv) <- t.spend.(adv) + s.prices.(j0);
+            t.value_gained.(adv) <-
+              t.value_gained.(adv) + values ~adv ~keyword:s.keyword
+          end;
+          Buffer.add_string t.buffer
+            (Printf.sprintf "%d,%d,%d,%d,%d,%b,%d\n" s.auction_time s.keyword
+               (j0 + 1) adv s.prices.(j0) clicked s.revenue))
+    s.assignment
+
+let auctions t = t.auctions
+let revenue t = t.revenue
+
+type advertiser_report = {
+  adv : int;
+  impressions : int;
+  clicks : int;
+  spend : int;
+  value_gained : int;
+  surplus : int;
+}
+
+let report t =
+  Array.init t.n (fun adv ->
+      {
+        adv;
+        impressions = t.impressions.(adv);
+        clicks = t.clicks.(adv);
+        spend = t.spend.(adv);
+        value_gained = t.value_gained.(adv);
+        surplus = t.value_gained.(adv) - t.spend.(adv);
+      })
+
+let top_spenders t ~count =
+  report t |> Array.to_list
+  |> List.sort (fun a b ->
+         let c = Int.compare b.spend a.spend in
+         if c <> 0 then c else Int.compare a.adv b.adv)
+  |> List.filteri (fun i _ -> i < count)
+
+let revenue_series t ~bucket =
+  if bucket <= 0 then invalid_arg "Trace.revenue_series: bucket <= 0";
+  let chronological = List.rev t.per_auction_revenue in
+  let rec go acc current count = function
+    | [] ->
+        let acc =
+          if count > 0 then (float_of_int current /. float_of_int count) :: acc
+          else acc
+        in
+        List.rev acc
+    | r :: rest ->
+        if count = bucket then
+          go ((float_of_int current /. float_of_int count) :: acc) r 1 rest
+        else go acc (current + r) (count + 1) rest
+  in
+  go [] 0 0 chronological
+
+let to_csv t =
+  "auction,keyword,slot,advertiser,price,clicked,revenue\n"
+  ^ Buffer.contents t.buffer

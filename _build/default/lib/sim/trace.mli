@@ -1,0 +1,44 @@
+(** Auction traces and advertiser-level analysis.
+
+    Records a stream of {!Essa.Engine.summary} values and turns it into
+    the reports an operator (or a reviewer of this reproduction) wants:
+    provider revenue over time, per-advertiser spend / clicks /
+    impressions / surplus, and a CSV export of the raw stream. *)
+
+type t
+
+val create : n:int -> k:int -> t
+(** A fresh trace for an engine with [n] advertisers and [k] slots. *)
+
+val record : t -> values:(adv:int -> keyword:int -> int) -> Essa.Engine.summary -> unit
+(** Append one auction.  [values ~adv ~keyword] is the advertiser's
+    per-click value on the auction's keyword (used for surplus
+    accounting); pass [Essa_strategy.Roi_state.value] via the engine's
+    fleet, or a constant for value-agnostic traces. *)
+
+val auctions : t -> int
+val revenue : t -> int
+
+type advertiser_report = {
+  adv : int;
+  impressions : int;   (** auctions in which the advertiser held a slot *)
+  clicks : int;
+  spend : int;         (** cents paid *)
+  value_gained : int;  (** cents of click value accrued *)
+  surplus : int;       (** value_gained - spend *)
+}
+
+val report : t -> advertiser_report array
+(** Per-advertiser totals, indexed by advertiser. *)
+
+val top_spenders : t -> count:int -> advertiser_report list
+(** The [count] advertisers with the highest spend, descending. *)
+
+val revenue_series : t -> bucket:int -> float list
+(** Mean revenue per auction in consecutive buckets of [bucket] auctions —
+    a cheap convergence view of the ROI fleet's spend dynamics.
+    @raise Invalid_argument if [bucket <= 0]. *)
+
+val to_csv : t -> string
+(** One row per (auction, occupied slot):
+    [auction,keyword,slot,advertiser,price,clicked,revenue]. *)

@@ -1,0 +1,88 @@
+type t = {
+  seed : int;
+  n : int;
+  k : int;
+  num_keywords : int;
+  ctr : float array array;
+  values : int array array;        (* n × num_keywords *)
+  targets : float array;
+  initial_bids : int array array;
+  premiums : int array array;      (* n × num_keywords, Click∧Slot1 extras *)
+  budgets : int option array;      (* per-advertiser daily spend caps *)
+}
+
+let slot_bounds ~k ~slot =
+  (* Partition [0.1, 0.9] into k equal intervals; slot 1 gets the highest. *)
+  let width = 0.8 /. float_of_int k in
+  let hi = 0.9 -. (float_of_int (slot - 1) *. width) in
+  (hi -. width, hi)
+
+let section5 ?(k = 15) ?(num_keywords = 10) ?(max_value = 50)
+    ?(brand_fraction = 0.0) ?(budgeted_fraction = 0.0) ~seed ~n () =
+  if n < 1 then invalid_arg "Workload.section5: n < 1";
+  if k < 1 then invalid_arg "Workload.section5: k < 1";
+  if num_keywords < 1 then invalid_arg "Workload.section5: num_keywords < 1";
+  let rng = Essa_util.Rng.create seed in
+  let ctr =
+    Array.init n (fun _ ->
+        Array.init k (fun j ->
+            let lo, hi = slot_bounds ~k ~slot:(j + 1) in
+            Essa_util.Rng.float_in rng lo hi))
+  in
+  let values =
+    Array.init n (fun _ ->
+        let v =
+          Array.init num_keywords (fun _ -> Essa_util.Rng.int rng (max_value + 1))
+        in
+        (* "subject to each bidder having at least one non-zero value" *)
+        if Array.for_all (fun x -> x = 0) v then
+          v.(Essa_util.Rng.int rng num_keywords) <- 1 + Essa_util.Rng.int rng max_value;
+        v)
+  in
+  let targets =
+    Array.init n (fun i ->
+        let max_v = Array.fold_left max 1 values.(i) in
+        Essa_util.Rng.float_in rng 1.0 (float_of_int max_v))
+  in
+  let initial_bids =
+    Array.map (Array.map (fun v -> min v ((v + 1) / 2))) values
+  in
+  let premiums =
+    Array.init n (fun i ->
+        Array.init num_keywords (fun kw ->
+            (* Brand-conscious advertisers pay extra for the top slot on
+               their highest-value keyword (the boot seller of §II-C). *)
+            if
+              brand_fraction > 0.0
+              && Essa_util.Rng.bernoulli rng brand_fraction
+              && values.(i).(kw) = Array.fold_left max 0 values.(i)
+            then 1 + Essa_util.Rng.int rng (max_value / 2)
+            else 0))
+  in
+  let budgets =
+    Array.init n (fun _ ->
+        if budgeted_fraction > 0.0 && Essa_util.Rng.bernoulli rng budgeted_fraction
+        then Some (50 + Essa_util.Rng.int rng 450)
+        else None)
+  in
+  { seed; n; k; num_keywords; ctr; values; targets; initial_bids; premiums; budgets }
+
+let n t = t.n
+let k t = t.k
+let num_keywords t = t.num_keywords
+let ctr t = t.ctr
+let slot_interval t ~slot = slot_bounds ~k:t.k ~slot
+
+let fresh_states t =
+  Array.init t.n (fun i ->
+      Essa_strategy.Roi_state.create ~values:t.values.(i)
+        ~initial_bids:t.initial_bids.(i) ~premiums:t.premiums.(i)
+        ?budget:t.budgets.(i) ~target_rate:t.targets.(i) ())
+
+let make_engine ?(pricing = `Gsp) ?(reserve = 0) t ~method_ =
+  Essa.Engine.create ~reserve ~pricing ~method_ ~ctr:t.ctr
+    ~states:(fresh_states t) ~user_seed:(t.seed lxor 0x5eed)
+
+let query_stream t ~seed =
+  let rng = Essa_util.Rng.create seed in
+  Seq.forever (fun () -> Essa_util.Rng.int rng t.num_keywords)

@@ -1,0 +1,53 @@
+(** The Section V experimental workload, parameter for parameter:
+
+    - [k] = 15 slots, 10 keywords;
+    - queries arrive at a constant rate, each containing one keyword
+      uniformly at random; that keyword has relevance 1, the others 0;
+    - every bidder runs the ROI-equalizing heuristic;
+    - per-keyword click values uniform in [0, 50] cents, with at least one
+      non-zero value per bidder; maxbid = value;
+    - target spending rates uniform in [1, bidder's maximum value];
+    - [0.1, 0.9] is partitioned into [k] disjoint equal intervals, the
+      j-th highest associated with slot j, and each advertiser's click
+      probability for a slot is uniform within the slot's interval.
+
+    A workload is generated once per instance size from a seed, then
+    instantiated per engine (each engine needs its own mutable advertiser
+    states). *)
+
+type t
+
+val section5 :
+  ?k:int -> ?num_keywords:int -> ?max_value:int -> ?brand_fraction:float ->
+  ?budgeted_fraction:float -> seed:int -> n:int -> unit -> t
+(** Defaults: [k = 15], [num_keywords = 10], [max_value = 50],
+    [brand_fraction = 0.], [budgeted_fraction = 0.] (the paper's exact
+    Section V setup).  A positive [brand_fraction] gives that share of
+    advertisers a static [Click ∧ Slot1] premium on their favourite
+    keyword — the Section II-C boot seller — exercising multi-feature bids
+    in the scalable engine; a positive [budgeted_fraction] gives that
+    share a daily budget of 50-500 cents (bids retire on exhaustion). *)
+
+val n : t -> int
+val k : t -> int
+val num_keywords : t -> int
+
+val ctr : t -> float array array
+(** The (shared, immutable) click-probability matrix. *)
+
+val slot_interval : t -> slot:int -> float * float
+(** The CTR interval of a 1-based slot. *)
+
+val fresh_states : t -> Essa_strategy.Roi_state.t array
+(** A new independent copy of all advertiser states (same initial values
+    every call). *)
+
+val make_engine :
+  ?pricing:Essa.Engine.pricing -> ?reserve:int -> t ->
+  method_:Essa.Engine.method_ -> Essa.Engine.t
+(** Convenience: engine over fresh states ([pricing] defaults to GSP as
+    in Section V); the user-click seed is derived from the workload seed,
+    so engines created from the same workload see identical users. *)
+
+val query_stream : t -> seed:int -> int Seq.t
+(** Infinite uniform keyword stream. *)

@@ -1,0 +1,1 @@
+lib/strategy/adjustment_list.mli: Seq

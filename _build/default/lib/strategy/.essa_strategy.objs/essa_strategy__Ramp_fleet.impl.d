@@ -1,0 +1,1 @@
+lib/strategy/ramp_fleet.ml: Array Essa_ta Essa_util Float Int Printf

@@ -1,0 +1,1 @@
+lib/strategy/ramp_fleet.mli: Essa_ta

@@ -1,0 +1,1 @@
+lib/strategy/roi_fleet.ml: Adjustment_list Array Essa_relalg Essa_util Int List Printf Roi_state Seq Sql_program

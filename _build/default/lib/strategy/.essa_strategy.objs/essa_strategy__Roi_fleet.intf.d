@@ -1,0 +1,1 @@
+lib/strategy/roi_fleet.mli: Roi_state Seq

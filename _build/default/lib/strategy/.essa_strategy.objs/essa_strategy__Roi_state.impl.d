@@ -1,0 +1,1 @@
+lib/strategy/roi_state.ml: Array Printf

@@ -1,0 +1,1 @@
+lib/strategy/sql_program.ml: Database Essa_bidlang Essa_relalg Expr Format Hashtbl List Schema Stmt String Table Value

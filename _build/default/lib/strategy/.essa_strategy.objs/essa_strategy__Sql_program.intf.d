@@ -1,0 +1,1 @@
+lib/strategy/sql_program.mli: Essa_bidlang Essa_relalg

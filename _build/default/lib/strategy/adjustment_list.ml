@@ -1,0 +1,29 @@
+type t = {
+  ranked : Essa_ta.Ranked_list.t;  (* scores are stored (pre-adjustment) bids *)
+  mutable adjustment : int;
+}
+
+let create () = { ranked = Essa_ta.Ranked_list.create (); adjustment = 0 }
+
+let size t = Essa_ta.Ranked_list.size t.ranked
+let adjustment t = t.adjustment
+let bulk_adjust t delta = t.adjustment <- t.adjustment + delta
+
+let insert t ~id ~effective =
+  Essa_ta.Ranked_list.insert t.ranked ~id ~value:(float_of_int (effective - t.adjustment))
+
+let remove t ~id = Essa_ta.Ranked_list.remove t.ranked ~id
+let mem t id = Essa_ta.Ranked_list.mem t.ranked id
+
+let stored_of t id =
+  Option.map int_of_float (Essa_ta.Ranked_list.value_of t.ranked id)
+
+let effective_of t id = Option.map (fun s -> s + t.adjustment) (stored_of t id)
+
+let to_seq_desc t =
+  (* Capture the adjustment now: the sequence is consumed lazily and must
+     reflect the list as of this call. *)
+  let adjustment = t.adjustment in
+  Seq.map
+    (fun (id, stored) -> (id, int_of_float stored + adjustment))
+    (Essa_ta.Ranked_list.to_seq_desc t.ranked)

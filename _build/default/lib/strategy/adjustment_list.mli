@@ -1,0 +1,30 @@
+(** A ranked list of integer bids with a shared adjustment variable — the
+    core datum of the paper's logical-update technique (Section IV-B).
+
+    Every member's *effective* bid is [stored + adjustment]; decrementing
+    every member is one [bulk_adjust] ([adjustment - 1]) instead of n
+    writes, and the descending order is preserved because all members move
+    by the same amount. *)
+
+type t
+
+val create : unit -> t
+val size : t -> int
+val adjustment : t -> int
+
+val bulk_adjust : t -> int -> unit
+(** Add a delta to every member's effective bid, O(1). *)
+
+val insert : t -> id:int -> effective:int -> unit
+(** Add (or reposition) a member at an effective bid. *)
+
+val remove : t -> id:int -> unit
+val mem : t -> int -> bool
+
+val effective_of : t -> int -> int option
+val stored_of : t -> int -> int option
+(** The frozen stored value ([effective - adjustment at insert time]);
+    bound triggers key on it. *)
+
+val to_seq_desc : t -> (int * int) Seq.t
+(** (id, effective bid), descending by bid then ascending by id. *)

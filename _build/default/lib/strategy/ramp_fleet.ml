@@ -1,0 +1,91 @@
+type t = {
+  starts : int array;
+  rates : int array;
+  remaining : int array;
+  (* Ranked lists over each advertiser-specific parameter (Y_j in the
+     paper); the shared time-of-day needs no list. *)
+  start_list : Essa_ta.Ranked_list.t;
+  rate_list : Essa_ta.Ranked_list.t;
+  remaining_list : Essa_ta.Ranked_list.t;
+}
+
+let create ~starts ~rates ~budgets =
+  let n = Array.length starts in
+  if n = 0 then invalid_arg "Ramp_fleet.create: no advertisers";
+  if Array.length rates <> n || Array.length budgets <> n then
+    invalid_arg "Ramp_fleet.create: array length mismatch";
+  Array.iteri
+    (fun i s ->
+      if s < 0 || rates.(i) < 0 || budgets.(i) < 0 then
+        invalid_arg "Ramp_fleet.create: negative parameter")
+    starts;
+  let ranked_of a =
+    Essa_ta.Ranked_list.of_array
+      (Array.mapi (fun i v -> (i, float_of_int v)) a)
+  in
+  {
+    starts = Array.copy starts;
+    rates = Array.copy rates;
+    remaining = Array.copy budgets;
+    start_list = ranked_of starts;
+    rate_list = ranked_of rates;
+    remaining_list = ranked_of budgets;
+  }
+
+let n t = Array.length t.starts
+
+let check_adv t adv =
+  if adv < 0 || adv >= n t then
+    invalid_arg (Printf.sprintf "Ramp_fleet: advertiser %d out of range" adv)
+
+let bid t ~adv ~time =
+  check_adv t adv;
+  min (t.starts.(adv) + (t.rates.(adv) * time)) t.remaining.(adv)
+
+let remaining t ~adv =
+  check_adv t adv;
+  t.remaining.(adv)
+
+let record_win t ~adv ~price =
+  check_adv t adv;
+  if price < 0 then invalid_arg "Ramp_fleet.record_win: negative price";
+  t.remaining.(adv) <- max 0 (t.remaining.(adv) - price);
+  Essa_ta.Ranked_list.insert t.remaining_list ~id:adv
+    ~value:(float_of_int t.remaining.(adv))
+
+let source_of_list list lookup =
+  {
+    Essa_ta.Threshold.sorted = (fun () -> Essa_ta.Ranked_list.to_seq_desc list);
+    lookup;
+  }
+
+let param_sources t =
+  [|
+    source_of_list t.start_list (fun adv -> float_of_int t.starts.(adv));
+    source_of_list t.rate_list (fun adv -> float_of_int t.rates.(adv));
+    source_of_list t.remaining_list (fun adv -> float_of_int t.remaining.(adv));
+  |]
+
+let aggregation ~ctr ~time attrs =
+  ignore ctr;
+  let z = float_of_int time in
+  attrs.(0) *. Float.min (attrs.(1) +. (attrs.(2) *. z)) attrs.(3)
+
+let top_k_ta t ~ctr_sorted ~ctr_lookup ~time ~k =
+  let ctr_source =
+    { Essa_ta.Threshold.sorted = (fun () -> Array.to_seq ctr_sorted);
+      lookup = ctr_lookup }
+  in
+  let sources = Array.append [| ctr_source |] (param_sources t) in
+  Essa_ta.Threshold.top_k ~k ~f:(aggregation ~ctr:ctr_lookup ~time) sources
+
+let top_k_naive t ~ctr_lookup ~time ~k =
+  let scored =
+    Array.init (n t) (fun adv ->
+        (adv, ctr_lookup adv *. float_of_int (bid t ~adv ~time)))
+  in
+  let canonical (ia, sa) (ib, sb) =
+    let c = Float.compare sa sb in
+    if c <> 0 then c else Int.compare ib ia
+  in
+  Essa_util.Topk.of_array ~k ~compare:canonical scored

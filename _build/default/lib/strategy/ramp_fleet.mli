@@ -1,0 +1,61 @@
+(** The Section IV-A threshold-algorithm setting, in its full
+    multi-parameter form.
+
+    The paper's example: every advertiser runs the same strategy — "start
+    each day bidding low and gradually increase as the day progresses" —
+    but with advertiser-specific parameters: a starting amount, a ramp
+    rate, and (the winner-updated parameter) a remaining budget.  The bid
+    for a click at shared time-of-day [z] is
+
+      bid_i(z) = min(start_i + rate_i · z, remaining_i)
+
+    which is monotone in each of (start, rate, remaining), so per-slot
+    top-k winners can be found by the threshold algorithm over four
+    sorted lists — the slot's click probabilities plus one list per
+    advertiser-specific parameter — with no per-advertiser work as [z]
+    advances (no list is kept for shared parameters, exactly as the paper
+    prescribes).  Only winners are repositioned: a win decreases
+    [remaining], one O(log n) update in one list.
+
+    This fleet maintains those ranked parameter lists and exposes them as
+    {!Essa_ta.Threshold.source}s. *)
+
+type t
+
+val create : starts:int array -> rates:int array -> budgets:int array -> t
+(** All in integer cents (rates in cents per time unit); arrays must have
+    equal positive length and non-negative entries.
+    @raise Invalid_argument otherwise. *)
+
+val n : t -> int
+
+val bid : t -> adv:int -> time:int -> int
+(** [min (start + rate·time) remaining] — random access. *)
+
+val remaining : t -> adv:int -> int
+
+val record_win : t -> adv:int -> price:int -> unit
+(** Charge a winner: [remaining] decreases (floored at 0) and the
+    advertiser is repositioned in the remaining-budget list.
+    @raise Invalid_argument if [price < 0]. *)
+
+val param_sources : t -> Essa_ta.Threshold.source array
+(** Three sorted/random-access sources over (start, rate, remaining), in
+    that order.  Fresh snapshots: safe to use for one query evaluation. *)
+
+val aggregation : ctr:(int -> float) -> time:int -> float array -> float
+(** The monotone scoring function for {!Essa_ta.Threshold.top_k} when the
+    sources are [ctr :: param_sources]: attrs.(0) is the click
+    probability, attrs.(1..3) are (start, rate, remaining); the result is
+    [ctr × min(start + rate·time, remaining)].  [ctr] is unused (the
+    probability arrives as attrs.(0)) — kept for documentation symmetry. *)
+
+val top_k_ta :
+  t -> ctr_sorted:(int * float) array -> ctr_lookup:(int -> float) ->
+  time:int -> k:int -> (int * float) list * Essa_ta.Threshold.stats
+(** Slot-local top-k by TA over [ctr list + the three parameter lists].
+    [ctr_sorted] must be descending (ties by index). *)
+
+val top_k_naive :
+  t -> ctr_lookup:(int -> float) -> time:int -> k:int -> (int * float) list
+(** Reference full scan (same canonical order). *)

@@ -1,0 +1,463 @@
+type tag = In_inc | In_dec | In_const
+
+type logical_state = {
+  inc : Adjustment_list.t array;
+  dec : Adjustment_list.t array;
+  const_ : Adjustment_list.t array;
+  tag : tag array array;                              (* kw × adv *)
+  cell_version : int array array;                     (* kw × adv *)
+  inc_bounds : (int * int) Essa_util.Min_heap.t array;  (* (adv, version) *)
+  dec_bounds : (int * int) Essa_util.Min_heap.t array;
+  time_triggers : (int * int) Essa_util.Min_heap.t;
+  adv_version : int array;
+  (* stored.(kw).(adv) mirrors the stored (pre-adjustment) bid kept in the
+     program's current list, so random access to an effective bid is two
+     array reads instead of a hash-map lookup — the TA hot path. *)
+  stored : int array array;
+}
+
+(* Tabular mode: each program's per-keyword state lives in boxed
+   relational rows (as in the paper's architecture, where strategies are
+   SQL programs over private Keywords/Bids tables), and every auction
+   evaluates every program against those rows — relevance refresh,
+   spend-rate condition, bid update, Bids-table refresh.  This is the
+   realistic per-program cost that Section IV's techniques eliminate; the
+   ultra-lean [Naive] mode remains as the compiled-strategy lower bound
+   used by unit tests. *)
+type tabular_state = {
+  (* rows.(adv).(kw) = [| maxbid; roi; bid; relevance; kvalue; gained; spent |] *)
+  rows : Essa_relalg.Value.t array array array;
+  out_bids : Essa_relalg.Value.t array;  (* per adv: refreshed output bid *)
+}
+
+(* Sql mode: every program is a full Sql_program — the Fig. 5 trigger
+   machinery interpreted over relational tables.  The most faithful and
+   most expensive execution strategy; used to validate that the entire
+   interpretation stack (parser, statement AST, correlated subqueries,
+   triggers) agrees with the lean modes. *)
+type sql_state = { programs : Sql_program.t array }
+
+type strategy =
+  | Naive
+  | Tabular of tabular_state
+  | Logical of logical_state
+  | Sql of sql_state
+
+type t = {
+  states : Roi_state.t array;
+  nk : int;
+  strategy : strategy;
+}
+
+let n t = Array.length t.states
+let num_keywords t = t.nk
+
+let state t ~adv = t.states.(adv)
+let amt_spent t ~adv = Roi_state.amt_spent t.states.(adv)
+let target_rate t ~adv = Roi_state.target_rate t.states.(adv)
+
+(* ------------------------------------------------------------------ *)
+(* Spend-rate flip times.  The spending rate amt/t of a losing program
+   decreases monotonically in t, so "overspending" flips to "at target"
+   to "underspending" at computable critical times.  The predicates below
+   are evaluated with exactly the comparison Roi_state.classify uses. *)
+
+let first_matching ~flipped ~estimate ~after =
+  let t = ref (max (after + 1) (max 1 estimate)) in
+  (* The estimate can overshoot by a float ulp or two; walk back to the
+     boundary, then forward to the exact first flip after [after]. *)
+  while !t > after + 1 && flipped (!t - 1) do
+    decr t
+  done;
+  while not (flipped !t) do
+    incr t
+  done;
+  !t
+
+let first_not_over ~amt ~target ~after =
+  let flipped time = not (float_of_int amt > target *. float_of_int time) in
+  let estimate = int_of_float (ceil (float_of_int amt /. target)) in
+  first_matching ~flipped ~estimate ~after
+
+let first_under ~amt ~target ~after =
+  let flipped time = float_of_int amt < target *. float_of_int time in
+  let estimate = int_of_float (floor (float_of_int amt /. target)) + 1 in
+  first_matching ~flipped ~estimate ~after
+
+(* ------------------------------------------------------------------ *)
+(* Logical-strategy internals *)
+
+let list_of ls ~keyword = function
+  | In_inc -> ls.inc.(keyword)
+  | In_dec -> ls.dec.(keyword)
+  | In_const -> ls.const_.(keyword)
+
+let effective_bid ls ~adv ~keyword =
+  ls.stored.(keyword).(adv)
+  + Adjustment_list.adjustment (list_of ls ~keyword ls.tag.(keyword).(adv))
+
+(* Move [adv] into the list dictated by its current condition, installing
+   the bound trigger that will evict it when the shared adjustment carries
+   its bid to a boundary.  The caller has already removed it from its
+   previous list. *)
+let place ls states ~adv ~keyword ~time ~effective =
+  let st = states.(adv) in
+  ls.cell_version.(keyword).(adv) <- ls.cell_version.(keyword).(adv) + 1;
+  let version = ls.cell_version.(keyword).(adv) in
+  let maxbid = Roi_state.maxbid st ~keyword in
+  (* Budget exhaustion retires the bid: mirror Roi_state.record_win, which
+     zeroes every bid the moment the budget is reached. *)
+  let effective = if Roi_state.exhausted st then 0 else effective in
+  match
+    Roi_state.classify ~budget:(Roi_state.budget st)
+      ~amt_spent:(Roi_state.amt_spent st)
+      ~target_rate:(Roi_state.target_rate st) ~time ~bid:effective ~maxbid
+  with
+  | Roi_state.Inc ->
+      let list = ls.inc.(keyword) in
+      Adjustment_list.insert list ~id:adv ~effective;
+      ls.tag.(keyword).(adv) <- In_inc;
+      let stored = effective - Adjustment_list.adjustment list in
+      ls.stored.(keyword).(adv) <- stored;
+      Essa_util.Min_heap.push ls.inc_bounds.(keyword)
+        ~priority:(float_of_int (maxbid - stored))
+        (adv, version)
+  | Roi_state.Dec ->
+      let list = ls.dec.(keyword) in
+      Adjustment_list.insert list ~id:adv ~effective;
+      ls.tag.(keyword).(adv) <- In_dec;
+      let stored = effective - Adjustment_list.adjustment list in
+      ls.stored.(keyword).(adv) <- stored;
+      Essa_util.Min_heap.push ls.dec_bounds.(keyword)
+        ~priority:(float_of_int stored)
+        (adv, version)
+  | Roi_state.Stay ->
+      let list = ls.const_.(keyword) in
+      Adjustment_list.insert list ~id:adv ~effective;
+      ls.tag.(keyword).(adv) <- In_const;
+      ls.stored.(keyword).(adv) <- effective - Adjustment_list.adjustment list
+
+let remove_from_current ls ~adv ~keyword =
+  let list = list_of ls ~keyword ls.tag.(keyword).(adv) in
+  let effective = ls.stored.(keyword).(adv) + Adjustment_list.adjustment list in
+  Adjustment_list.remove list ~id:adv;
+  effective
+
+let reclassify_all ls states ~adv ~time =
+  let nk = Array.length ls.inc in
+  for keyword = 0 to nk - 1 do
+    let effective = remove_from_current ls ~adv ~keyword in
+    place ls states ~adv ~keyword ~time ~effective
+  done
+
+(* Keep the invariant: whenever a program is not (strictly) underspending,
+   one valid spend-rate trigger is pending for the first future flip. *)
+let install_time_trigger ls states ~adv ~time =
+  let st = states.(adv) in
+  let amt = Roi_state.amt_spent st and target = Roi_state.target_rate st in
+  let spent = float_of_int amt and budgeted = target *. float_of_int time in
+  let critical =
+    if Roi_state.exhausted st then None
+      (* spend-rate flips no longer matter: classification is Stay forever *)
+    else if spent > budgeted then Some (first_not_over ~amt ~target ~after:time)
+    else if spent = budgeted then Some (first_under ~amt ~target ~after:time)
+    else None
+  in
+  match critical with
+  | None -> ()
+  | Some when_ ->
+      Essa_util.Min_heap.push ls.time_triggers ~priority:(float_of_int when_)
+        (adv, ls.adv_version.(adv))
+
+let fire_time_triggers ls states ~time =
+  List.iter
+    (fun (_, (adv, version)) ->
+      if version = ls.adv_version.(adv) then begin
+        reclassify_all ls states ~adv ~time;
+        install_time_trigger ls states ~adv ~time
+      end)
+    (Essa_util.Min_heap.pop_le ls.time_triggers (float_of_int time))
+
+let fire_bound_triggers ls states ~time ~keyword =
+  let fire_heap heap threshold expected_tag =
+    List.iter
+      (fun (_, (adv, version)) ->
+        if
+          version = ls.cell_version.(keyword).(adv)
+          && ls.tag.(keyword).(adv) = expected_tag
+        then begin
+          let effective = remove_from_current ls ~adv ~keyword in
+          place ls states ~adv ~keyword ~time ~effective
+        end)
+      (Essa_util.Min_heap.pop_le heap threshold)
+  in
+  fire_heap ls.inc_bounds.(keyword)
+    (float_of_int (Adjustment_list.adjustment ls.inc.(keyword)))
+    In_inc;
+  fire_heap ls.dec_bounds.(keyword)
+    (float_of_int (-Adjustment_list.adjustment ls.dec.(keyword)))
+    In_dec
+
+(* ------------------------------------------------------------------ *)
+(* Construction *)
+
+let check_states states =
+  let n = Array.length states in
+  if n = 0 then invalid_arg "Roi_fleet: no advertisers";
+  let nk = Roi_state.num_keywords states.(0) in
+  Array.iter
+    (fun st ->
+      if Roi_state.num_keywords st <> nk then
+        invalid_arg "Roi_fleet: keyword-count mismatch across advertisers")
+    states;
+  nk
+
+let naive states =
+  let nk = check_states states in
+  { states; nk; strategy = Naive }
+
+let keyword_name kw = Printf.sprintf "kw%d" kw
+
+let sql states =
+  let nk = check_states states in
+  let programs =
+    Array.map
+      (fun st ->
+        if Roi_state.budget st <> None then
+          invalid_arg "Roi_fleet.sql: budgets are not expressible in Sql_program";
+        let keywords =
+          List.init nk (fun kw ->
+              {
+                Sql_program.text = keyword_name kw;
+                formula = "click";
+                value = Roi_state.value st ~keyword:kw;
+                maxbid = Roi_state.maxbid st ~keyword:kw;
+                initial_bid = Roi_state.bid st ~keyword:kw;
+              })
+        in
+        Sql_program.create_simple ~keywords
+          ~target_rate:(Roi_state.target_rate st))
+      states
+  in
+  { states; nk; strategy = Sql { programs } }
+
+(* Row layout: 0 maxbid, 1 roi, 2 bid, 3 relevance, 4 value, 5 gained,
+   6 spent (the Fig. 4 Keywords columns that vary per keyword). *)
+let tabular states =
+  let module V = Essa_relalg.Value in
+  let nk = check_states states in
+  let rows =
+    Array.map
+      (fun st ->
+        Array.init nk (fun keyword ->
+            [|
+              V.Int (Roi_state.maxbid st ~keyword);
+              V.Float 0.0;
+              V.Int (Roi_state.bid st ~keyword);
+              V.Float 0.0;
+              V.Int (Roi_state.value st ~keyword);
+              V.Int 0;
+              V.Int 0;
+            |]))
+      states
+  in
+  let out_bids = Array.make (Array.length states) V.Null in
+  { states; nk; strategy = Tabular { rows; out_bids } }
+
+let tabular_on_auction ts states ~time ~keyword =
+  let module V = Essa_relalg.Value in
+  let nk = Array.length ts.rows.(0) in
+  let time_v = V.Int time in
+  Array.iteri
+    (fun adv program_rows ->
+      let st = states.(adv) in
+      (* Provider-side relevance refresh for this query. *)
+      for kw' = 0 to nk - 1 do
+        program_rows.(kw').(3) <- V.Float (if kw' = keyword then 1.0 else 0.0)
+      done;
+      if Roi_state.exhausted st then ()
+      else begin
+      (* Spend-rate condition, evaluated through the value layer with the
+         same float expression as Roi_state.classify. *)
+      let spent_v = V.Int (Roi_state.amt_spent st) in
+      let budget_v =
+        V.mul (V.Float (Roi_state.target_rate st)) time_v
+      in
+      let adjust delta guard =
+        for kw' = 0 to nk - 1 do
+          let row = program_rows.(kw') in
+          if V.to_bool (V.gt row.(3) (V.Float 0.0)) && guard row then
+            row.(2) <- V.add row.(2) (V.Int delta)
+        done
+      in
+      if V.to_bool (V.lt spent_v budget_v) then
+        adjust 1 (fun row -> V.to_bool (V.lt row.(2) row.(0)))
+      else if V.to_bool (V.gt spent_v budget_v) then
+        adjust (-1) (fun row -> V.to_bool (V.gt row.(2) (V.Int 0)));
+      (* Bids-table refresh: SUM(bid) over sufficiently relevant rows. *)
+      let total = ref (V.Int 0) in
+      for kw' = 0 to nk - 1 do
+        let row = program_rows.(kw') in
+        if V.to_bool (V.gt row.(3) (V.Float 0.7)) then
+          total := V.add !total row.(2)
+      done;
+      ts.out_bids.(adv) <- !total
+      end)
+    ts.rows
+
+let logical states =
+  let nk = check_states states in
+  let n = Array.length states in
+  let ls =
+    {
+      inc = Array.init nk (fun _ -> Adjustment_list.create ());
+      dec = Array.init nk (fun _ -> Adjustment_list.create ());
+      const_ = Array.init nk (fun _ -> Adjustment_list.create ());
+      tag = Array.make_matrix nk n In_const;
+      cell_version = Array.make_matrix nk n 0;
+      inc_bounds = Array.init nk (fun _ -> Essa_util.Min_heap.create ());
+      dec_bounds = Array.init nk (fun _ -> Essa_util.Min_heap.create ());
+      time_triggers = Essa_util.Min_heap.create ();
+      adv_version = Array.make n 0;
+      stored = Array.make_matrix nk n 0;
+    }
+  in
+  for adv = 0 to n - 1 do
+    for keyword = 0 to nk - 1 do
+      (* Fresh states have spent nothing, so they are underspending at
+         every time until their first win; placement at time 1 is safe. *)
+      place ls states ~adv ~keyword ~time:1
+        ~effective:(Roi_state.bid states.(adv) ~keyword)
+    done;
+    install_time_trigger ls states ~adv ~time:1
+  done;
+  { states; nk; strategy = Logical ls }
+
+(* ------------------------------------------------------------------ *)
+(* Shared interface *)
+
+let check_kw t keyword =
+  if keyword < 0 || keyword >= t.nk then
+    invalid_arg (Printf.sprintf "Roi_fleet: keyword %d out of range" keyword)
+
+let on_auction t ~time ~keyword =
+  check_kw t keyword;
+  match t.strategy with
+  | Naive ->
+      Array.iter (fun st -> Roi_state.on_auction st ~time ~keyword) t.states
+  | Tabular ts -> tabular_on_auction ts t.states ~time ~keyword
+  | Sql { programs } ->
+      let name = keyword_name keyword in
+      Array.iter
+        (fun program ->
+          Sql_program.run_auction program ~time
+            ~relevance:(fun kw -> if kw = name then 1.0 else 0.0))
+        programs
+  | Logical ls ->
+      fire_time_triggers ls t.states ~time;
+      Adjustment_list.bulk_adjust ls.inc.(keyword) 1;
+      Adjustment_list.bulk_adjust ls.dec.(keyword) (-1);
+      fire_bound_triggers ls t.states ~time ~keyword
+
+let bid t ~adv ~keyword =
+  check_kw t keyword;
+  match t.strategy with
+  | Naive -> Roi_state.bid t.states.(adv) ~keyword
+  | Tabular ts -> Essa_relalg.Value.to_int ts.rows.(adv).(keyword).(2)
+  | Sql { programs } -> Sql_program.bid_on programs.(adv) ~keyword:(keyword_name keyword)
+  | Logical ls -> effective_bid ls ~adv ~keyword
+
+let sorted_bid_entries entries =
+  Array.sort
+    (fun (ia, ba) (ib, bb) ->
+      let c = Int.compare bb ba in
+      if c <> 0 then c else Int.compare ia ib)
+    entries;
+  Array.to_seq entries
+
+let bids_desc t ~keyword =
+  check_kw t keyword;
+  match t.strategy with
+  | Naive ->
+      sorted_bid_entries
+        (Array.mapi (fun adv st -> (adv, Roi_state.bid st ~keyword)) t.states)
+  | Tabular ts ->
+      sorted_bid_entries
+        (Array.mapi
+           (fun adv rows -> (adv, Essa_relalg.Value.to_int rows.(keyword).(2)))
+           ts.rows)
+  | Sql { programs } ->
+      sorted_bid_entries
+        (Array.mapi
+           (fun adv program ->
+             (adv, Sql_program.bid_on program ~keyword:(keyword_name keyword)))
+           programs)
+  | Logical ls ->
+      (* Specialized allocation-light 3-way merge: this sequence feeds the
+         threshold algorithm's sorted access in the auction hot path.
+         Order: higher bid first, ties to the smaller advertiser id —
+         matching the naive sort exactly. *)
+      let earlier (ia, ba) (ib, bb) = ba > bb || (ba = bb && ia < ib) in
+      (* A drained stream's head is a sentinel no real entry loses to
+         (bids are non-negative). *)
+      let sentinel = (max_int, min_int) in
+      let head = function Seq.Cons (x, _) -> x | Seq.Nil -> sentinel in
+      let rec node h1 h2 h3 =
+        match (h1, h2, h3) with
+        | Seq.Nil, Seq.Nil, Seq.Nil -> Seq.Nil
+        | _ ->
+            let x1 = head h1 and x2 = head h2 and x3 = head h3 in
+            let pick12 = if earlier x2 x1 then `Second else `First in
+            let pick =
+              match pick12 with
+              | `First -> if earlier x3 x1 then `Third else `First
+              | `Second -> if earlier x3 x2 then `Third else `Second
+            in
+            (match (pick, h1, h2, h3) with
+            | `First, Seq.Cons (x, rest), _, _ ->
+                Seq.Cons (x, fun () -> node (rest ()) h2 h3)
+            | `Second, _, Seq.Cons (x, rest), _ ->
+                Seq.Cons (x, fun () -> node h1 (rest ()) h3)
+            | `Third, _, _, Seq.Cons (x, rest) ->
+                Seq.Cons (x, fun () -> node h1 h2 (rest ()))
+            | _ -> assert false)
+      in
+      let s1 = Adjustment_list.to_seq_desc ls.inc.(keyword) in
+      let s2 = Adjustment_list.to_seq_desc ls.dec.(keyword) in
+      let s3 = Adjustment_list.to_seq_desc ls.const_.(keyword) in
+      fun () -> node (s1 ()) (s2 ()) (s3 ())
+
+let record_win t ~time ~adv ~keyword ~price ~clicked =
+  check_kw t keyword;
+  Roi_state.record_win t.states.(adv) ~keyword ~price ~clicked;
+  match t.strategy with
+  | Naive -> ()
+  | Sql { programs } ->
+      Sql_program.record_win programs.(adv) ~keyword:(keyword_name keyword)
+        ~price ~clicked
+  | Tabular ts ->
+      if clicked then begin
+        let module V = Essa_relalg.Value in
+        let row = ts.rows.(adv).(keyword) in
+        row.(5) <- V.add row.(5) row.(4);
+        row.(6) <- V.add row.(6) (V.Int price);
+        let spent = V.to_int row.(6) and gained = V.to_int row.(5) in
+        row.(1) <-
+          V.Float
+            (if spent > 0 then float_of_int gained /. float_of_int spent
+             else if gained > 0 then infinity
+             else 0.0);
+        if Roi_state.exhausted t.states.(adv) then
+          Array.iter (fun r -> r.(2) <- V.Int 0) ts.rows.(adv)
+      end
+  | Logical ls ->
+      if clicked && price > 0 then begin
+        (* The spend trajectory changed: retire pending spend-rate
+           triggers, re-seat the program everywhere, re-arm. *)
+        ls.adv_version.(adv) <- ls.adv_version.(adv) + 1;
+        reclassify_all ls t.states ~adv ~time;
+        install_time_trigger ls t.states ~adv ~time
+      end
+
+let snapshot_bids t ~keyword =
+  Array.init (n t) (fun adv -> bid t ~adv ~keyword)

@@ -1,0 +1,83 @@
+(** A fleet of ROI-equalizing bidding programs behind one interface, with
+    two interchangeable execution strategies:
+
+    - {!naive} runs every program on every auction (the Section III
+      engines: each of the n programs gets an explicit bid adjustment);
+    - {!logical} is the Section IV-B machinery: per keyword, programs live
+      on an increment / decrement / constant list with a shared adjustment
+      variable, so the per-auction adjustment of all n programs is O(1);
+      programs move between lists only when a *trigger* fires — either a
+      bound trigger (the shared adjustment carried their bid to 0 or to
+      their maxbid) or a spend-rate trigger (a losing program's spending
+      rate, a monotonically decreasing function of the global auction
+      clock, crossed its target) — or when they win and are updated
+      explicitly.
+
+    The two strategies are observationally identical — same [bid] answers,
+    same descending bid iterators, same state after any interleaving of
+    auctions and win notifications.  The test suite drives both on random
+    traces and asserts exact agreement; the RHTALU engine relies on it.
+
+    Time is the global auction counter, starting at 1, non-decreasing
+    across {!on_auction} calls (shared monotone variable). *)
+
+type t
+
+val naive : Roi_state.t array -> t
+(** Takes ownership of the states.  Ultra-lean compiled-strategy loop —
+    the lower bound on per-program cost, used by unit tests. *)
+
+val tabular : Roi_state.t array -> t
+(** Takes ownership.  Every auction runs every program against its boxed
+    relational rows (relevance refresh, spend-rate condition, bid update,
+    Bids refresh) — the realistic program-evaluation cost of the paper's
+    architecture, which the naive engines (LP/H/RH) pay and the logical
+    machinery avoids.  Observationally identical to the other modes. *)
+
+val logical : Roi_state.t array -> t
+(** Takes ownership; bids are answered from the list machinery (the
+    states' own bid arrays are no longer consulted). *)
+
+val sql : Roi_state.t array -> t
+(** Takes ownership.  Every program becomes a full {!Sql_program}
+    (the ungated Fig. 5 body) interpreted over its private relational
+    tables on every auction — the most faithful and the slowest strategy,
+    here to validate the whole interpretation stack against the lean
+    modes (the test suite drives all four in lockstep).
+    @raise Invalid_argument if any state carries a budget (not
+    expressible in the SQL body). *)
+
+val n : t -> int
+val num_keywords : t -> int
+
+val on_auction : t -> time:int -> keyword:int -> unit
+(** An auction for [keyword] begins at [time]: apply every program's bid
+    adjustment (naive: n updates; logical: trigger processing + two O(1)
+    bulk adjustments). *)
+
+val bid : t -> adv:int -> keyword:int -> int
+(** Advertiser's current bid on the keyword. *)
+
+val bids_desc : t -> keyword:int -> (int * int) Seq.t
+(** All (advertiser, bid) pairs, descending by bid then ascending by
+    advertiser — the sorted access list the threshold algorithm consumes.
+    Naive: built by sorting (O(n log n)); logical: a 3-way merge of the
+    maintained lists (O(1) per element). *)
+
+val record_win :
+  t -> time:int -> adv:int -> keyword:int -> price:int -> clicked:bool -> unit
+(** The advertiser won a slot in the auction at [time] on [keyword]; if
+    clicked it pays [price] and gains its click value.  Logical strategy:
+    the winner is explicitly removed, updated and re-inserted, and its
+    spend-rate trigger is re-armed. *)
+
+val state : t -> adv:int -> Roi_state.t
+(** Read access to an advertiser's scalar state (amt_spent, gained, …).
+    For the logical strategy the per-keyword bid arrays inside are stale;
+    use {!bid}. *)
+
+val amt_spent : t -> adv:int -> int
+val target_rate : t -> adv:int -> float
+
+val snapshot_bids : t -> keyword:int -> int array
+(** Current bid of every advertiser on a keyword (test helper). *)

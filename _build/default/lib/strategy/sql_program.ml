@@ -1,0 +1,293 @@
+open Essa_relalg
+
+type keyword_spec = {
+  text : string;
+  formula : string;
+  value : int;
+  maxbid : int;
+  initial_bid : int;
+}
+
+type t = {
+  database : Database.t;
+  keywords : keyword_spec list;
+  body : Stmt.t list;
+}
+
+let keywords_schema =
+  Schema.make
+    [
+      { Schema.name = "text"; ty = Value.T_string };
+      { Schema.name = "formula"; ty = Value.T_string };
+      { Schema.name = "maxbid"; ty = Value.T_int };
+      { Schema.name = "roi"; ty = Value.T_float };
+      { Schema.name = "bid"; ty = Value.T_int };
+      { Schema.name = "relevance"; ty = Value.T_float };
+      { Schema.name = "value"; ty = Value.T_int };
+      { Schema.name = "gained"; ty = Value.T_int };
+      { Schema.name = "spent"; ty = Value.T_int };
+    ]
+
+let bids_schema =
+  Schema.make
+    [
+      { Schema.name = "formula"; ty = Value.T_string };
+      { Schema.name = "value"; ty = Value.T_int };
+    ]
+
+let query_schema =
+  Schema.make
+    [
+      { Schema.name = "text"; ty = Value.T_string };
+      { Schema.name = "time"; ty = Value.T_int };
+    ]
+
+(* UPDATE Bids SET value = (SELECT SUM(bid) FROM Keywords
+                            WHERE relevance > 0.7 AND formula = Bids.formula) *)
+let refresh_bids_stmt =
+  Stmt.Update
+    {
+      table = "Bids";
+      set =
+        [
+          ( "value",
+            Expr.Agg
+              {
+                agg = Expr.Sum;
+                over = Expr.Col "bid";
+                table = "Keywords";
+                where =
+                  Some
+                    Expr.(
+                      Bin
+                        ( And,
+                          Bin (Gt, Col "relevance", float 0.7),
+                          Bin (Eq, Col "formula", Outer "formula") ));
+              } );
+        ];
+      where = None;
+    }
+
+(* The literal Fig. 5 body: adjustment gated on the extreme-ROI keyword. *)
+let fig5_body =
+  let underspending =
+    Expr.(Bin (Lt, Bin (Div, Var "amtSpent", Var "time"), Var "targetSpendRate"))
+  in
+  let overspending =
+    Expr.(Bin (Gt, Bin (Div, Var "amtSpent", Var "time"), Var "targetSpendRate"))
+  in
+  let increment =
+    Stmt.Update
+      {
+        table = "Keywords";
+        set = [ ("bid", Expr.(Bin (Add, Col "bid", int 1))) ];
+        where =
+          Some
+            Expr.(
+              Bin
+                ( And,
+                  Bin
+                    ( And,
+                      Bin
+                        ( Eq,
+                          Col "roi",
+                          Agg
+                            {
+                              agg = Max;
+                              over = Col "roi";
+                              table = "Keywords";
+                              where = None;
+                            } ),
+                      Bin (Gt, Col "relevance", float 0.0) ),
+                  Bin (Lt, Col "bid", Col "maxbid") ));
+      }
+  in
+  let decrement =
+    Stmt.Update
+      {
+        table = "Keywords";
+        set = [ ("bid", Expr.(Bin (Sub, Col "bid", int 1))) ];
+        where =
+          Some
+            Expr.(
+              Bin
+                ( And,
+                  Bin
+                    ( And,
+                      Bin
+                        ( Eq,
+                          Col "roi",
+                          Agg
+                            {
+                              agg = Min;
+                              over = Col "roi";
+                              table = "Keywords";
+                              where = None;
+                            } ),
+                      Bin (Gt, Col "relevance", float 0.0) ),
+                  Bin (Gt, Col "bid", int 0) ));
+      }
+  in
+  [
+    Stmt.If ([ (underspending, [ increment ]); (overspending, [ decrement ]) ], []);
+    refresh_bids_stmt;
+  ]
+
+(* The ungated variant, with the spend-rate test in multiplied form so it
+   is decision-for-decision identical to Roi_state.classify. *)
+let simple_body =
+  let underspending =
+    Expr.(Bin (Lt, Var "amtSpent", Bin (Mul, Var "targetSpendRate", Var "time")))
+  in
+  let overspending =
+    Expr.(Bin (Gt, Var "amtSpent", Bin (Mul, Var "targetSpendRate", Var "time")))
+  in
+  let increment =
+    Stmt.Update
+      {
+        table = "Keywords";
+        set = [ ("bid", Expr.(Bin (Add, Col "bid", int 1))) ];
+        where =
+          Some
+            Expr.(
+              Bin
+                ( And,
+                  Bin (Gt, Col "relevance", float 0.0),
+                  Bin (Lt, Col "bid", Col "maxbid") ));
+      }
+  in
+  let decrement =
+    Stmt.Update
+      {
+        table = "Keywords";
+        set = [ ("bid", Expr.(Bin (Sub, Col "bid", int 1))) ];
+        where =
+          Some
+            Expr.(
+              Bin
+                ( And,
+                  Bin (Gt, Col "relevance", float 0.0),
+                  Bin (Gt, Col "bid", int 0) ));
+      }
+  in
+  [
+    Stmt.If ([ (underspending, [ increment ]); (overspending, [ decrement ]) ], []);
+    refresh_bids_stmt;
+  ]
+
+let create ~keywords ~target_rate body =
+  if keywords = [] then invalid_arg "Sql_program: no keywords";
+  let seen = Hashtbl.create 8 in
+  List.iter
+    (fun kw ->
+      if Hashtbl.mem seen kw.text then
+        invalid_arg ("Sql_program: duplicate keyword " ^ kw.text);
+      Hashtbl.add seen kw.text ();
+      if kw.initial_bid < 0 || kw.initial_bid > kw.maxbid then
+        invalid_arg ("Sql_program: initial bid outside [0, maxbid] for " ^ kw.text);
+      if kw.value < 0 then invalid_arg ("Sql_program: negative value for " ^ kw.text);
+      (* Validate the formula syntax eagerly. *)
+      ignore (Essa_bidlang.Formula.of_string kw.formula))
+    keywords;
+  let database = Database.create () in
+  let kw_table = Database.create_table database ~name:"Keywords" keywords_schema in
+  let bids_table = Database.create_table database ~name:"Bids" bids_schema in
+  ignore (Database.create_table database ~name:"Query" query_schema);
+  List.iter
+    (fun kw ->
+      Table.insert kw_table
+        [|
+          Value.String kw.text;
+          Value.String kw.formula;
+          Value.Int kw.maxbid;
+          Value.Float 0.0;
+          Value.Int kw.initial_bid;
+          Value.Float 0.0;
+          Value.Int kw.value;
+          Value.Int 0;
+          Value.Int 0;
+        |])
+    keywords;
+  let formulas = List.sort_uniq String.compare (List.map (fun kw -> kw.formula) keywords) in
+  List.iter
+    (fun f -> Table.insert bids_table [| Value.String f; Value.Int 0 |])
+    formulas;
+  Database.set_var database "amtSpent" (Value.Int 0);
+  Database.set_var database "time" (Value.Int 0);
+  Database.set_var database "targetSpendRate" (Value.Float target_rate);
+  Database.create_trigger database ~name:"bid" ~on_insert:"Query" body;
+  { database; keywords; body }
+
+let create_fig5 ~keywords ~target_rate = create ~keywords ~target_rate fig5_body
+let create_simple ~keywords ~target_rate = create ~keywords ~target_rate simple_body
+
+let db t = t.database
+
+let run_auction t ~time ~relevance =
+  if time < 1 then invalid_arg "Sql_program.run_auction: time must be >= 1";
+  Database.set_var t.database "time" (Value.Int time);
+  (* Provider-maintained relevance scores for this query. *)
+  let kw_table = Database.table t.database "Keywords" in
+  ignore
+    (Table.update kw_table
+       ~where:(fun _ -> true)
+       ~set:(fun row ->
+         let text = Value.to_string_exn (Table.get_value kw_table row "text") in
+         [ ("relevance", Value.Float (relevance text)) ]));
+  Database.insert t.database "Query"
+    [| Value.String "<query>"; Value.Int time |]
+
+let bids t =
+  let bids_table = Database.table t.database "Bids" in
+  Table.fold bids_table ~init:[] ~f:(fun acc row ->
+      let formula = Value.to_string_exn (Table.get_value bids_table row "formula") in
+      match Table.get_value bids_table row "value" with
+      | Value.Null | Value.Int 0 -> acc
+      | v ->
+          { Essa_bidlang.Bids.formula = Essa_bidlang.Formula.of_string formula;
+            amount = Value.to_int v }
+          :: acc)
+  |> List.rev |> Essa_bidlang.Bids.of_list
+
+let bid_on t ~keyword =
+  let kw_table = Database.table t.database "Keywords" in
+  match
+    Table.find_first kw_table (fun row ->
+        Value.equal (Table.get_value kw_table row "text") (Value.String keyword))
+  with
+  | None -> raise Not_found
+  | Some row -> Value.to_int (Table.get_value kw_table row "bid")
+
+let amt_spent t = Value.to_int (Database.var t.database "amtSpent")
+
+let record_win t ~keyword ~price ~clicked =
+  if price < 0 then invalid_arg "Sql_program.record_win: negative price";
+  if clicked then begin
+    Database.set_var t.database "amtSpent" (Value.Int (amt_spent t + price));
+    let kw_table = Database.table t.database "Keywords" in
+    ignore
+      (Table.update kw_table
+         ~where:(fun row ->
+           Value.equal (Table.get_value kw_table row "text") (Value.String keyword))
+         ~set:(fun row ->
+           let gained =
+             Value.to_int (Table.get_value kw_table row "gained")
+             + Value.to_int (Table.get_value kw_table row "value")
+           in
+           let spent = Value.to_int (Table.get_value kw_table row "spent") + price in
+           let roi =
+             if spent > 0 then float_of_int gained /. float_of_int spent
+             else if gained > 0 then infinity
+             else 0.0
+           in
+           [
+             ("gained", Value.Int gained);
+             ("spent", Value.Int spent);
+             ("roi", Value.Float roi);
+           ]))
+  end
+
+let listing t =
+  Format.asprintf "CREATE TRIGGER bid AFTER INSERT ON Query@.{@.%a@.}"
+    (Format.pp_print_list ~pp_sep:Format.pp_print_newline Stmt.pp)
+    t.body

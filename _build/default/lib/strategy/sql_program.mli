@@ -1,0 +1,63 @@
+(** Bidding strategies as SQL-trigger programs (Section II-B) — the
+    interpreted, fully expressive execution path.
+
+    Each program owns a private database with:
+    - a [Keywords] table (Fig. 4): text, formula, maxbid, roi, bid,
+      relevance, value, gained, spent;
+    - a [Bids] table (Fig. 3): formula, value — one row per distinct
+      formula appearing in [Keywords];
+    - scalar variables [amtSpent], [time], [targetSpendRate];
+    - an AFTER INSERT trigger on the shared [Query] table holding the
+      strategy body.
+
+    Two strategy bodies are provided:
+    - {!create_fig5} — the verbatim ROI-equalizing program of Fig. 5
+      (bid adjustment gated on the keyword having the extreme ROI);
+    - {!create_simple} — the ungated variant that adjusts every relevant
+      keyword's bid; this is semantically identical to {!Roi_state} (the
+      native path) and the equivalence is property-tested.
+
+    The host (auctioneer) drives the program with {!run_auction} — set the
+    per-keyword relevance of the incoming query, bump [time], insert into
+    [Query] — and notifies outcomes with {!record_win}, which maintains
+    the provider-managed columns (roi, gained, spent) as the paper
+    prescribes. *)
+
+type keyword_spec = {
+  text : string;
+  formula : string;  (** concrete {!Essa_bidlang.Formula} syntax *)
+  value : int;       (** value gained per click, cents *)
+  maxbid : int;
+  initial_bid : int;
+}
+
+type t
+
+val create_fig5 : keywords:keyword_spec list -> target_rate:float -> t
+val create_simple : keywords:keyword_spec list -> target_rate:float -> t
+(** @raise Invalid_argument on empty/duplicate keywords or bid-bound
+    violations; @raise Essa_bidlang.Formula.Parse_error on a bad formula. *)
+
+val db : t -> Essa_relalg.Database.t
+(** The program's private database (for inspection and examples). *)
+
+val run_auction : t -> time:int -> relevance:(string -> float) -> unit
+(** Trigger the program for a new search query: [relevance kw] scores each
+    of the program's keywords against the query (the paper's
+    provider-side keyword matching); [time] is the global auction counter
+    (must be ≥ 1 and non-decreasing). *)
+
+val bids : t -> Essa_bidlang.Bids.t
+(** Parse the current [Bids] table.  Rows with NULL or zero value are
+    dropped (no formula was sufficiently relevant). *)
+
+val bid_on : t -> keyword:string -> int
+(** Current tentative bid for one keyword.  @raise Not_found. *)
+
+val record_win : t -> keyword:string -> price:int -> clicked:bool -> unit
+(** Outcome notification; maintains amtSpent / gained / spent / roi. *)
+
+val amt_spent : t -> int
+val listing : t -> string
+(** The program body pretty-printed as SQL (compare with the paper's
+    Fig. 5). *)

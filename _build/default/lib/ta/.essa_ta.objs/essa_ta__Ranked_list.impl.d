@@ -1,0 +1,1 @@
+lib/ta/ranked_list.ml: Array Float Hashtbl Int List Map Seq

@@ -1,0 +1,1 @@
+lib/ta/ranked_list.mli: Seq

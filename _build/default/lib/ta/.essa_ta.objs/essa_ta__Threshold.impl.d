@@ -1,0 +1,1 @@
+lib/ta/threshold.ml: Array Essa_util Float Hashtbl Int Seq

@@ -1,0 +1,1 @@
+lib/ta/threshold.mli: Seq

@@ -1,0 +1,101 @@
+type source = {
+  sorted : unit -> (int * float) Seq.t;
+  lookup : int -> float;
+}
+
+type stats = {
+  sorted_accesses : int;
+  random_accesses : int;
+  seen_objects : int;
+  rounds : int;
+}
+
+let top_k ~k ~f sources =
+  let d = Array.length sources in
+  if d = 0 then invalid_arg "Threshold.top_k: no sources";
+  if k < 0 then invalid_arg "Threshold.top_k: k < 0";
+  (* Canonical order: higher score first, then smaller id.  Combined with
+     the strict stopping rule below, the result is exactly the top-k under
+     this total order — so TA-based and scan-based winner determination
+     select identical candidate sets even in the presence of score ties. *)
+  let canonical (ia, sa) (ib, sb) =
+    let c = Float.compare sa sb in
+    if c <> 0 then c else Int.compare ib ia
+  in
+  let heap = Essa_util.Topk.create ~k ~compare:canonical in
+  let seen = Hashtbl.create 64 in
+  let cursors = Array.map (fun s -> ref (s.sorted ())) sources in
+  let last = Array.make d infinity in
+  let exhausted = Array.make d false in
+  let sorted_accesses = ref 0 and random_accesses = ref 0 and rounds = ref 0 in
+  (* Scratch buffer handed to [f]; [f] must not retain it (it never does —
+     both callers compute a product). *)
+  let attrs = Array.make d 0.0 in
+  let resolve id =
+    if not (Hashtbl.mem seen id) then begin
+      Hashtbl.add seen id ();
+      for i = 0 to d - 1 do
+        incr random_accesses;
+        attrs.(i) <- sources.(i).lookup id
+      done;
+      ignore (Essa_util.Topk.offer heap (id, f attrs))
+    end
+  in
+  let threshold () =
+    if Array.exists (fun e -> not e) exhausted then f last
+    else neg_infinity
+    (* all lists drained: every object has been seen, nothing can beat the
+       heap anymore *)
+  in
+  let can_stop () =
+    Essa_util.Topk.size heap >= k
+    &&
+    match Essa_util.Topk.threshold heap with
+    | None -> k = 0
+    | Some (_, score) ->
+        (* Strictly above τ: an unseen object could still tie the boundary
+           score with a smaller id, so boundary ties force further sorted
+           access.  Costs a little extra I/O, buys a canonical answer. *)
+        score > threshold ()
+  in
+  let step_list i =
+    if not exhausted.(i) then begin
+      match !(cursors.(i)) () with
+      | Seq.Nil -> exhausted.(i) <- true
+      | Seq.Cons ((id, v), rest) ->
+          incr sorted_accesses;
+          cursors.(i) := rest;
+          last.(i) <- v;
+          resolve id
+    end
+  in
+  let running = ref true in
+  while !running do
+    if Array.for_all (fun e -> e) exhausted then running := false
+    else begin
+      incr rounds;
+      for i = 0 to d - 1 do
+        step_list i
+      done;
+      if can_stop () then running := false
+    end
+  done;
+  ( Essa_util.Topk.to_sorted_list heap,
+    {
+      sorted_accesses = !sorted_accesses;
+      random_accesses = !random_accesses;
+      seen_objects = Hashtbl.length seen;
+      rounds = !rounds;
+    } )
+
+let top_k_naive ~k ~f ~universe sources =
+  let scored =
+    Array.map
+      (fun id -> (id, f (Array.map (fun s -> s.lookup id) sources)))
+      universe
+  in
+  let canonical (ia, sa) (ib, sb) =
+    let c = Float.compare sa sb in
+    if c <> 0 then c else Int.compare ib ia
+  in
+  Essa_util.Topk.of_array ~k ~compare:canonical scored

@@ -1,0 +1,43 @@
+(** The threshold algorithm of Fagin, Lotem and Naor (PODS '01), as used in
+    Section IV-A to find each slot's top-k bidders without evaluating every
+    advertiser.
+
+    Inputs: d attribute lists over a common object universe, each
+    accessible in descending attribute order ("sorted access") and by
+    object id ("random access"), and a monotone aggregation function.
+    The algorithm does sorted access round-robin; each newly seen object is
+    fully resolved by random access; it halts as soon as k objects score at
+    least the threshold τ = f(last values seen under sorted access in each
+    list).  Instance-optimal among algorithms without wild guesses. *)
+
+type source = {
+  sorted : unit -> (int * float) Seq.t;
+      (** fresh descending traversal of (object, attribute) *)
+  lookup : int -> float;
+      (** random access; must agree with [sorted] *)
+}
+
+type stats = {
+  sorted_accesses : int;
+  random_accesses : int;
+  seen_objects : int;  (** distinct objects fully resolved *)
+  rounds : int;        (** round-robin depth reached *)
+}
+
+val top_k :
+  k:int -> f:(float array -> float) -> source array -> (int * float) list * stats
+(** [top_k ~k ~f sources] returns the k objects with the highest
+    [f [|v_1; …; v_d|]] and access statistics.  Ties are broken
+    canonically (higher score, then smaller id) and the stopping rule is
+    strict ([best-k score > τ]), so the answer is the unique top-k under
+    that total order — identical to a full scan, which is what lets the
+    TA-based auction engine replicate the scan-based one exactly.  [f]
+    must be monotone non-decreasing in every coordinate — the correctness
+    condition of TA; violations are not detected.
+    @raise Invalid_argument if [sources] is empty or [k < 0]. *)
+
+val top_k_naive :
+  k:int -> f:(float array -> float) -> universe:int array -> source array ->
+  (int * float) list
+(** Full-scan reference: score every object in [universe] by random access
+    and sort.  Used by tests and the TA-vs-scan ablation bench. *)

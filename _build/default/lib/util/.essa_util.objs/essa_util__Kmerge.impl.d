@@ -1,0 +1,1 @@
+lib/util/kmerge.ml: List Seq

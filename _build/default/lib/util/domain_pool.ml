@@ -1,0 +1,99 @@
+type task = Task of (unit -> unit) | Quit
+
+type t = {
+  mutex : Mutex.t;
+  todo : Condition.t;            (* signalled when work or Quit arrives *)
+  queue : task Queue.t;
+  workers : unit Domain.t array;
+  mutable alive : bool;
+}
+
+let worker_loop t () =
+  let rec loop () =
+    Mutex.lock t.mutex;
+    while Queue.is_empty t.queue do
+      Condition.wait t.todo t.mutex
+    done;
+    let task = Queue.pop t.queue in
+    Mutex.unlock t.mutex;
+    match task with
+    | Quit -> ()
+    | Task f ->
+        f ();
+        loop ()
+  in
+  loop ()
+
+let create d =
+  if d < 1 then invalid_arg "Domain_pool.create: need at least one worker";
+  (* The workers share the skeleton's mutex/queue; the caller-facing record
+     additionally carries the worker handles. *)
+  let skeleton =
+    {
+      mutex = Mutex.create ();
+      todo = Condition.create ();
+      queue = Queue.create ();
+      workers = [||];
+      alive = true;
+    }
+  in
+  let workers = Array.init d (fun _ -> Domain.spawn (worker_loop skeleton)) in
+  { skeleton with workers }
+
+let size t = Array.length t.workers
+
+type 'a slot = Pending | Done of 'a | Failed of exn
+
+let run t tasks =
+  if not t.alive then invalid_arg "Domain_pool.run: pool is shut down";
+  let n = List.length tasks in
+  if n = 0 then []
+  else begin
+    let results = Array.make n Pending in
+    let remaining = Atomic.make n in
+    let done_mutex = Mutex.create () in
+    let done_cond = Condition.create () in
+    let wrap i f () =
+      let outcome = match f () with v -> Done v | exception e -> Failed e in
+      results.(i) <- outcome;
+      if Atomic.fetch_and_add remaining (-1) = 1 then begin
+        Mutex.lock done_mutex;
+        Condition.signal done_cond;
+        Mutex.unlock done_mutex
+      end
+    in
+    Mutex.lock t.mutex;
+    List.iteri (fun i f -> Queue.push (Task (wrap i f)) t.queue) tasks;
+    Condition.broadcast t.todo;
+    Mutex.unlock t.mutex;
+    Mutex.lock done_mutex;
+    while Atomic.get remaining > 0 do
+      Condition.wait done_cond done_mutex
+    done;
+    Mutex.unlock done_mutex;
+    Array.to_list results
+    |> List.map (function
+         | Done v -> v
+         | Failed e -> raise e
+         | Pending -> assert false)
+  end
+
+let shutdown t =
+  if t.alive then begin
+    t.alive <- false;
+    Mutex.lock t.mutex;
+    Array.iter (fun _ -> Queue.push Quit t.queue) t.workers;
+    Condition.broadcast t.todo;
+    Mutex.unlock t.mutex;
+    Array.iter Domain.join t.workers
+  end
+
+let with_pool d f =
+  let t = create d in
+  match f t with
+  | v ->
+      shutdown t;
+      v
+  | exception e ->
+      shutdown t;
+      raise e

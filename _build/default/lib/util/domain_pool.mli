@@ -1,0 +1,32 @@
+(** A pool of long-lived worker domains.
+
+    The paper's parallel algorithms (tree top-k aggregation, the 2^k
+    heavyweight pattern enumeration) assume a standing fleet of machines.
+    Spawning an OCaml domain costs around a millisecond — far more than
+    the work shipped to it at auction granularity — so the in-process
+    analogue of that standing fleet is a pool of workers created once and
+    fed closures. *)
+
+type t
+
+val create : int -> t
+(** [create d] spawns [d] worker domains (at least 1).
+    @raise Invalid_argument if [d < 1]. *)
+
+val size : t -> int
+
+val run : t -> (unit -> 'a) list -> 'a list
+(** [run t tasks] executes the tasks on the pool's workers and returns
+    their results in order.  Blocks until all complete.  If a task raises,
+    the first exception (in task order) is re-raised after all tasks have
+    settled.  Tasks must not themselves call [run] on the same pool
+    (no nesting).  Thread-safe against concurrent [run] calls is NOT
+    provided — one orchestrator at a time, which is how the auction engine
+    uses it. *)
+
+val shutdown : t -> unit
+(** Stop and join all workers.  Idempotent.  [run] after shutdown raises
+    [Invalid_argument]. *)
+
+val with_pool : int -> (t -> 'a) -> 'a
+(** [with_pool d f] runs [f] over a fresh pool and always shuts it down. *)

@@ -1,0 +1,52 @@
+(* For the small k of interest (3 lists in the logical-update design, ≤ 20
+   in general) a linear scan over the current heads beats a heap. *)
+
+let merge_desc ~compare seqs =
+  let rec next heads () =
+    (* Find the index of the largest available head; earliest wins ties. *)
+    let best = ref (-1) in
+    let best_val = ref None in
+    List.iteri
+      (fun i head ->
+        match head with
+        | Seq.Nil -> ()
+        | Seq.Cons (x, _) -> (
+            match !best_val with
+            | None ->
+                best := i;
+                best_val := Some x
+            | Some y ->
+                if compare x y > 0 then begin
+                  best := i;
+                  best_val := Some x
+                end))
+      heads;
+    match !best_val with
+    | None -> Seq.Nil
+    | Some x ->
+        let heads' =
+          List.mapi
+            (fun i head ->
+              if i = !best then
+                match head with
+                | Seq.Cons (_, rest) -> rest ()
+                | Seq.Nil -> Seq.Nil
+              else head)
+            heads
+        in
+        Seq.Cons (x, next heads')
+  in
+  fun () -> next (List.map (fun s -> s ()) seqs) ()
+
+let merge_desc_lists ~compare lists =
+  List.of_seq (merge_desc ~compare (List.map List.to_seq lists))
+
+let take n seq =
+  let rec go n seq acc =
+    if n <= 0 then List.rev acc
+    else
+      match seq () with
+      | Seq.Nil -> List.rev acc
+      | Seq.Cons (x, rest) -> go (n - 1) rest (x :: acc)
+  in
+  go n seq []

@@ -1,0 +1,21 @@
+(** K-way merge of sorted sequences.
+
+    The logical-update machinery of Section IV-B partitions bidding programs
+    into increment / decrement / constant lists, each internally sorted by
+    effective bid, and the threshold algorithm consumes a single descending
+    iterator over their union.  This is the general k-way merge of that
+    shape; the auction hot path uses a specialized allocation-light 3-way
+    variant inside [Essa_strategy.Roi_fleet] (whose output order the fleet
+    equivalence tests check against a plain sort). *)
+
+val merge_desc : compare:('a -> 'a -> int) -> 'a Seq.t list -> 'a Seq.t
+(** [merge_desc ~compare seqs] lazily merges sequences that are each sorted
+    in descending order under [compare] into one descending sequence.
+    Stable across inputs: ties are emitted in the order the input sequences
+    are listed. *)
+
+val merge_desc_lists : compare:('a -> 'a -> int) -> 'a list list -> 'a list
+(** Eager list version of {!merge_desc}. *)
+
+val take : int -> 'a Seq.t -> 'a list
+(** First [n] elements of a sequence (fewer if it is shorter). *)

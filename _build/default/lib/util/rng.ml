@@ -1,0 +1,63 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let mix64 z =
+  let z = Int64.(mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L) in
+  let z = Int64.(mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL) in
+  Int64.(logxor z (shift_right_logical z 31))
+
+let create seed = { state = mix64 (Int64.of_int seed) }
+
+let copy t = { state = t.state }
+
+let bits64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  mix64 t.state
+
+let split t =
+  let s = bits64 t in
+  { state = mix64 s }
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  (* Rejection sampling on the top bits to avoid modulo bias. *)
+  let bound64 = Int64.of_int bound in
+  let rec go () =
+    let r = Int64.shift_right_logical (bits64 t) 1 in
+    let v = Int64.rem r bound64 in
+    (* Reject the tail of the range where values are over-represented. *)
+    if Int64.(compare (sub r v) (sub (sub max_int bound64) 1L)) > 0 then go ()
+    else Int64.to_int v
+  in
+  go ()
+
+let int_in t lo hi =
+  if hi < lo then invalid_arg "Rng.int_in: hi < lo";
+  lo + int t (hi - lo + 1)
+
+let float t bound =
+  (* 53 uniform mantissa bits. *)
+  let r = Int64.shift_right_logical (bits64 t) 11 in
+  Int64.to_float r /. 9007199254740992.0 *. bound
+
+let float_in t lo hi = lo +. float t (hi -. lo)
+
+let bool t = Int64.compare (Int64.logand (bits64 t) 1L) 0L <> 0
+
+let bernoulli t p =
+  if p <= 0.0 then false
+  else if p >= 1.0 then true
+  else float t 1.0 < p
+
+let shuffle t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+let pick t a =
+  if Array.length a = 0 then invalid_arg "Rng.pick: empty array";
+  a.(int t (Array.length a))

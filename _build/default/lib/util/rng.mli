@@ -1,0 +1,53 @@
+(** Deterministic pseudo-random number generation.
+
+    All randomness in the library flows through an explicit [Rng.t] state so
+    that every experiment and test is reproducible from a seed.  The
+    generator is SplitMix64 (Steele, Lea & Flood, OOPSLA 2014): tiny state,
+    excellent statistical quality for simulation workloads, and trivially
+    splittable, which we use to give independent streams to independent
+    advertisers. *)
+
+type t
+(** Mutable generator state. *)
+
+val create : int -> t
+(** [create seed] returns a fresh generator seeded deterministically from
+    [seed].  Equal seeds yield equal streams. *)
+
+val copy : t -> t
+(** [copy t] is an independent generator that will produce the same future
+    stream as [t] does from this point. *)
+
+val split : t -> t
+(** [split t] advances [t] and returns a new generator whose stream is
+    statistically independent of [t]'s subsequent output. *)
+
+val bits64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [\[0, bound)].  @raise Invalid_argument if
+    [bound <= 0]. *)
+
+val int_in : t -> int -> int -> int
+(** [int_in t lo hi] is uniform in [\[lo, hi\]] inclusive.
+    @raise Invalid_argument if [hi < lo]. *)
+
+val float : t -> float -> float
+(** [float t bound] is uniform in [\[0, bound)]. *)
+
+val float_in : t -> float -> float -> float
+(** [float_in t lo hi] is uniform in [\[lo, hi)]. *)
+
+val bool : t -> bool
+(** Fair coin. *)
+
+val bernoulli : t -> float -> bool
+(** [bernoulli t p] is [true] with probability [p] (clamped to [\[0,1\]]). *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher-Yates shuffle. *)
+
+val pick : t -> 'a array -> 'a
+(** Uniform element of a non-empty array.
+    @raise Invalid_argument on an empty array. *)

@@ -1,0 +1,47 @@
+let sum a =
+  let total = ref 0.0 and comp = ref 0.0 in
+  Array.iter
+    (fun x ->
+      let y = x -. !comp in
+      let t = !total +. y in
+      comp := t -. !total -. y;
+      total := t)
+    a;
+  !total
+
+let mean a =
+  let n = Array.length a in
+  if n = 0 then nan else sum a /. float_of_int n
+
+let stddev a =
+  let n = Array.length a in
+  if n <= 1 then 0.0
+  else begin
+    let m = mean a in
+    let acc = Array.map (fun x -> (x -. m) *. (x -. m)) a in
+    sqrt (sum acc /. float_of_int (n - 1))
+  end
+
+let sorted_copy a =
+  let b = Array.copy a in
+  Array.sort compare b;
+  b
+
+let percentile a p =
+  let n = Array.length a in
+  if n = 0 then nan
+  else begin
+    let b = sorted_copy a in
+    let rank = p /. 100.0 *. float_of_int (n - 1) in
+    let lo = int_of_float (floor rank) and hi = int_of_float (ceil rank) in
+    let frac = rank -. floor rank in
+    (b.(lo) *. (1.0 -. frac)) +. (b.(min hi (n - 1)) *. frac)
+  end
+
+let median a = percentile a 50.0
+
+let min_max a =
+  if Array.length a = 0 then invalid_arg "Stats.min_max: empty array";
+  Array.fold_left
+    (fun (lo, hi) x -> (min lo x, max hi x))
+    (a.(0), a.(0)) a

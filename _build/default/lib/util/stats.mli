@@ -1,0 +1,21 @@
+(** Small descriptive-statistics helpers used by the experiment harness. *)
+
+val mean : float array -> float
+(** Arithmetic mean; [nan] on an empty array. *)
+
+val stddev : float array -> float
+(** Sample standard deviation (n-1 denominator); [0.] for arrays of length
+    ≤ 1. *)
+
+val median : float array -> float
+(** Median (average of middle two for even length); [nan] on empty. *)
+
+val percentile : float array -> float -> float
+(** [percentile a p] for [p] in [\[0,100\]], nearest-rank with linear
+    interpolation; [nan] on empty. *)
+
+val min_max : float array -> float * float
+(** Smallest and largest element.  @raise Invalid_argument on empty. *)
+
+val sum : float array -> float
+(** Kahan-compensated sum. *)

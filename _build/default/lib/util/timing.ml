@@ -1,0 +1,20 @@
+(* Wall-clock source: bechamel's monotonic clock (CLOCK_MONOTONIC), which is
+   in our sealed dependency set.  [Sys.time] would report CPU time and
+   misrepresent Domain-parallel runs. *)
+
+let now_ns () = Monotonic_clock.now ()
+
+let time_ms f =
+  let t0 = now_ns () in
+  let result = f () in
+  let t1 = now_ns () in
+  (result, Int64.to_float (Int64.sub t1 t0) /. 1e6)
+
+let repeat_time_ms n f =
+  if n <= 0 then invalid_arg "Timing.repeat_time_ms: n <= 0";
+  let t0 = now_ns () in
+  for _ = 1 to n do
+    f ()
+  done;
+  let t1 = now_ns () in
+  Int64.to_float (Int64.sub t1 t0) /. 1e6 /. float_of_int n

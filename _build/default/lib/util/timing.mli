@@ -1,0 +1,12 @@
+(** Monotonic wall-clock timing for the experiment harness. *)
+
+val now_ns : unit -> int64
+(** Monotonic clock reading in nanoseconds. *)
+
+val time_ms : (unit -> 'a) -> 'a * float
+(** [time_ms f] runs [f ()] and returns its result together with the elapsed
+    wall time in milliseconds. *)
+
+val repeat_time_ms : int -> (unit -> unit) -> float
+(** [repeat_time_ms n f] runs [f] [n] times and returns the *average*
+    elapsed milliseconds per run.  @raise Invalid_argument if [n <= 0]. *)

@@ -1,0 +1,69 @@
+type 'a t = {
+  k : int;
+  compare : 'a -> 'a -> int;
+  (* Min-heap in [0, size).  Allocated lazily on the first [offer] so that
+     we never need a dummy element (which would be unsound for float
+     elements due to OCaml's flat float arrays). *)
+  mutable heap : 'a array;
+  mutable size : int;
+}
+
+let create ~k ~compare =
+  if k < 0 then invalid_arg "Topk.create: k < 0";
+  { k; compare; heap = [||]; size = 0 }
+
+let swap h i j =
+  let tmp = h.(i) in
+  h.(i) <- h.(j);
+  h.(j) <- tmp
+
+let rec sift_up t i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if t.compare t.heap.(i) t.heap.(parent) < 0 then begin
+      swap t.heap i parent;
+      sift_up t parent
+    end
+  end
+
+let rec sift_down t i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = ref i in
+  if l < t.size && t.compare t.heap.(l) t.heap.(!smallest) < 0 then smallest := l;
+  if r < t.size && t.compare t.heap.(r) t.heap.(!smallest) < 0 then smallest := r;
+  if !smallest <> i then begin
+    swap t.heap i !smallest;
+    sift_down t !smallest
+  end
+
+let offer t x =
+  if t.k = 0 then false
+  else if t.size < t.k then begin
+    if Array.length t.heap = 0 then t.heap <- Array.make t.k x;
+    t.heap.(t.size) <- x;
+    t.size <- t.size + 1;
+    sift_up t (t.size - 1);
+    true
+  end
+  else if t.compare x t.heap.(0) > 0 then begin
+    t.heap.(0) <- x;
+    sift_down t 0;
+    true
+  end
+  else false
+
+let size t = t.size
+
+let threshold t = if t.size < t.k || t.size = 0 then None else Some t.heap.(0)
+
+let to_list_unordered t =
+  let rec go i acc = if i < 0 then acc else go (i - 1) (t.heap.(i) :: acc) in
+  go (t.size - 1) []
+
+let to_sorted_list t =
+  List.sort (fun a b -> t.compare b a) (to_list_unordered t)
+
+let of_array ~k ~compare a =
+  let t = create ~k ~compare in
+  Array.iter (fun x -> ignore (offer t x)) a;
+  to_sorted_list t

@@ -1,0 +1,1 @@
+test/test_bidlang.ml: Alcotest Bids Essa_bidlang Format Formula List Outcome Predicate QCheck2 QCheck_alcotest String Valuation

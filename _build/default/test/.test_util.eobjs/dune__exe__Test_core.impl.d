@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Array Essa Essa_bidlang Essa_matching Essa_prob Essa_sim Essa_strategy Essa_util Float Hashtbl Int List Option Printf QCheck2 QCheck_alcotest Seq Set

@@ -1,0 +1,1 @@
+test/test_lp.ml: Alcotest Array Assignment_lp Essa_lp Essa_matching List Problem QCheck2 QCheck_alcotest Simplex_revised Simplex_tableau

@@ -1,0 +1,1 @@
+test/test_matching.ml: Alcotest Array Assignment Brute Essa_matching Essa_util Float Hungarian List QCheck2 QCheck_alcotest Reduction Tree_topk

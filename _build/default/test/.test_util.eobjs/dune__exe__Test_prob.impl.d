@@ -1,0 +1,1 @@
+test/test_prob.ml: Alcotest Array Bids Class_model Essa_bidlang Essa_matching Essa_prob Formula List Model Outcome Predicate QCheck2 QCheck_alcotest Separability

@@ -1,0 +1,1 @@
+test/test_relalg.ml: Alcotest Array Database Derive Essa_relalg Expr Format List Option QCheck2 QCheck_alcotest Schema Stmt String Table Value

@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array Essa Essa_bidlang Essa_matching Essa_sim Essa_strategy Essa_util List QCheck2 QCheck_alcotest Seq String

@@ -1,0 +1,1 @@
+test/test_strategy.ml: Adjustment_list Alcotest Array Essa_bidlang Essa_relalg Essa_strategy Essa_util Float Int List Printf QCheck2 QCheck_alcotest Ramp_fleet Roi_fleet Roi_state Sql_program String

@@ -1,0 +1,1 @@
+test/test_ta.ml: Alcotest Array Essa_ta Float Hashtbl Int List QCheck2 QCheck_alcotest Ranked_list Threshold

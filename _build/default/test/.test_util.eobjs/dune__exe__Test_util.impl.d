@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Domain_pool Essa_util Float Int Int64 Kmerge List Min_heap QCheck2 QCheck_alcotest Rng Stats Timing Topk

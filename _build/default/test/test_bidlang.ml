@@ -1,0 +1,408 @@
+(* Tests for the bidding language (essa_bidlang). *)
+
+open Essa_bidlang
+
+let qtest ?(count = 300) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen prop)
+
+(* Random formula generator over k slots. *)
+let gen_formula ~k =
+  let open QCheck2.Gen in
+  let pred =
+    oneof
+      [
+        map (fun j -> Formula.Pred (Predicate.Slot (1 + j))) (int_bound (k - 1));
+        return (Formula.Pred Predicate.Click);
+        return (Formula.Pred Predicate.Purchase);
+      ]
+  in
+  sized
+  @@ fix (fun self n ->
+         if n <= 0 then oneof [ pred; return Formula.True; return Formula.False ]
+         else
+           oneof
+             [
+               pred;
+               map (fun f -> Formula.Not f) (self (n / 2));
+               map2 (fun f g -> Formula.And (f, g)) (self (n / 2)) (self (n / 2));
+               map2 (fun f g -> Formula.Or (f, g)) (self (n / 2)) (self (n / 2));
+             ])
+
+let gen_outcome ~k =
+  let open QCheck2.Gen in
+  let* assigned = bool in
+  if not assigned then return (Outcome.make ())
+  else
+    let* slot = int_range 1 k in
+    let* clicked = bool in
+    let* purchased = if clicked then bool else return false in
+    return (Outcome.make ~slot ~clicked ~purchased ())
+
+(* ------------------------------------------------------------------ *)
+(* Predicate *)
+
+let test_predicate_validate () =
+  Predicate.validate ~k:3 (Predicate.Slot 3);
+  Predicate.validate ~k:3 Predicate.Click;
+  Alcotest.(check bool) "slot 0" true
+    (match Predicate.validate ~k:3 (Predicate.Slot 0) with
+    | exception Invalid_argument _ -> true
+    | _ -> false);
+  Alcotest.(check bool) "slot 4" true
+    (match Predicate.validate ~k:3 (Predicate.Slot 4) with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_predicate_self_only () =
+  Alcotest.(check bool) "slot" true (Predicate.is_self_only (Predicate.Slot 1));
+  Alcotest.(check bool) "click" true (Predicate.is_self_only Predicate.Click);
+  Alcotest.(check bool) "heavy" false (Predicate.is_self_only (Predicate.Heavy_in_slot 1))
+
+let test_predicate_strings () =
+  Alcotest.(check string) "slot" "slot3" (Predicate.to_string (Predicate.Slot 3));
+  Alcotest.(check string) "heavy" "heavy2" (Predicate.to_string (Predicate.Heavy_in_slot 2))
+
+(* ------------------------------------------------------------------ *)
+(* Formula *)
+
+let test_formula_eval () =
+  let f = Formula.of_string "click & (slot1 | slot2)" in
+  let o1 = Outcome.make ~slot:1 ~clicked:true () in
+  let o2 = Outcome.make ~slot:3 ~clicked:true () in
+  Alcotest.(check bool) "slot1 click" true (Outcome.eval o1 f);
+  Alcotest.(check bool) "slot3 click" false (Outcome.eval o2 f)
+
+let test_formula_parser_examples () =
+  let cases =
+    [
+      ("purchase", Formula.Pred Predicate.Purchase);
+      ("slot1 | slot2", Formula.Or (Pred (Slot 1), Pred (Slot 2)));
+      ("!click", Formula.Not (Pred Click));
+      ("TRUE", Formula.True);
+      ("click & slot1 | purchase", Formula.Or (And (Pred Click, Pred (Slot 1)), Pred Purchase));
+      ("click & (slot1 | purchase)", Formula.And (Pred Click, Or (Pred (Slot 1), Pred Purchase)));
+      ("  click  ", Formula.Pred Click);
+      ("heavy2 & light1", Formula.And (Pred (Heavy_in_slot 2), Pred (Light_in_slot 1)));
+    ]
+  in
+  List.iter
+    (fun (s, expected) ->
+      Alcotest.(check bool) s true (Formula.equal (Formula.of_string s) expected))
+    cases
+
+let test_formula_parser_errors () =
+  List.iter
+    (fun s ->
+      Alcotest.(check bool) ("rejects " ^ s) true (Formula.of_string_opt s = None))
+    [ ""; "slot"; "click &"; "(click"; "click)"; "frobnicate"; "click click"; "slot1 |" ]
+
+let test_formula_precedence () =
+  (* & binds tighter than | ; ! tighter than &. *)
+  let f = Formula.of_string "!slot1 & slot2 | click" in
+  Alcotest.(check bool) "precedence" true
+    (Formula.equal f (Or (And (Not (Pred (Slot 1)), Pred (Slot 2)), Pred Click)))
+
+let prop_parser_roundtrip =
+  qtest "print-parse roundtrip" (gen_formula ~k:5) (fun f ->
+      Formula.equal (Formula.of_string (Formula.to_string f)) f)
+
+let gen_formula_with_classes ~k =
+  let open QCheck2.Gen in
+  let pred =
+    oneof
+      [
+        map (fun j -> Formula.Pred (Predicate.Slot (1 + j))) (int_bound (k - 1));
+        map (fun j -> Formula.Pred (Predicate.Heavy_in_slot (1 + j))) (int_bound (k - 1));
+        map (fun j -> Formula.Pred (Predicate.Light_in_slot (1 + j))) (int_bound (k - 1));
+        return (Formula.Pred Predicate.Click);
+        return (Formula.Pred Predicate.Purchase);
+      ]
+  in
+  sized
+  @@ fix (fun self n ->
+         if n <= 0 then pred
+         else
+           oneof
+             [
+               pred;
+               map (fun f -> Formula.Not f) (self (n / 2));
+               map2 (fun f g -> Formula.And (f, g)) (self (n / 2)) (self (n / 2));
+               map2 (fun f g -> Formula.Or (f, g)) (self (n / 2)) (self (n / 2));
+             ])
+
+let prop_parser_roundtrip_classes =
+  qtest "roundtrip with class predicates" (gen_formula_with_classes ~k:4) (fun f ->
+      Formula.equal (Formula.of_string (Formula.to_string f)) f)
+
+let prop_payment_matches_truth_table =
+  (* OR-bid payment of any consistent outcome equals the value of that
+     outcome's row in the Fig. 2 truth table. *)
+  qtest ~count:150 "payment = truth-table row value"
+    QCheck2.Gen.(
+      pair
+        (list_size (int_bound 4) (pair (gen_formula ~k:3) (int_bound 20)))
+        (gen_outcome ~k:3))
+    (fun (rows_spec, outcome) ->
+      match
+        Bids.of_list
+          (List.map (fun (f, a) -> { Bids.formula = f; amount = a }) rows_spec)
+      with
+      | exception Bids.Invalid_bid _ -> true
+      | bids ->
+          let table = Valuation.rows ~k:3 bids in
+          let row =
+            List.find
+              (fun (r : Valuation.row) ->
+                r.slot = outcome.Outcome.slot
+                && r.clicked = outcome.Outcome.clicked
+                && r.purchased = outcome.Outcome.purchased)
+              table
+          in
+          row.value = Bids.payment bids outcome)
+
+let prop_simplify_preserves_semantics =
+  qtest "simplify preserves truth"
+    QCheck2.Gen.(pair (gen_formula ~k:4) (gen_outcome ~k:4))
+    (fun (f, o) -> Outcome.eval o f = Outcome.eval o (Formula.simplify f))
+
+let test_simplify_laws () =
+  let open Formula in
+  Alcotest.(check bool) "not not" true (equal (simplify (Not (Not (Pred Click)))) (Pred Click));
+  Alcotest.(check bool) "and false" true (equal (simplify (And (Pred Click, False))) False);
+  Alcotest.(check bool) "or true" true (equal (simplify (Or (Pred Click, True))) True);
+  Alcotest.(check bool) "and true" true (equal (simplify (And (True, Pred Click))) (Pred Click))
+
+let test_formula_predicates_sorted () =
+  let f = Formula.of_string "purchase & slot2 | click & slot1 & slot2" in
+  Alcotest.(check (list string)) "distinct sorted"
+    [ "slot1"; "slot2"; "click"; "purchase" ]
+    (List.map Predicate.to_string (Formula.predicates f))
+
+let test_formula_helpers () =
+  let open Formula in
+  Alcotest.(check bool) "conj empty" true (equal (conj []) True);
+  Alcotest.(check bool) "disj empty" true (equal (disj []) False);
+  let u = unassigned ~k:2 in
+  Alcotest.(check bool) "unassigned true" true (Outcome.eval (Outcome.make ()) u);
+  Alcotest.(check bool) "unassigned false" false (Outcome.eval (Outcome.make ~slot:1 ()) u);
+  let any = any_slot_of [ 1; 3 ] in
+  Alcotest.(check bool) "any slot hit" true (Outcome.eval (Outcome.make ~slot:3 ()) any);
+  Alcotest.(check bool) "any slot miss" false (Outcome.eval (Outcome.make ~slot:2 ()) any)
+
+let test_formula_equivalent () =
+  let f s = Formula.of_string s in
+  Alcotest.(check bool) "de morgan" true
+    (Formula.equivalent (f "!(click & slot1)") (f "!click | !slot1"));
+  Alcotest.(check bool) "distribution" true
+    (Formula.equivalent (f "click & (slot1 | slot2)") (f "click & slot1 | click & slot2"));
+  Alcotest.(check bool) "not equivalent" false
+    (Formula.equivalent (f "click") (f "purchase"));
+  Alcotest.(check bool) "tautology" true (Formula.is_tautology (f "click | !click"));
+  Alcotest.(check bool) "unsat" true (Formula.is_unsatisfiable (f "click & !click"));
+  Alcotest.(check bool) "satisfiable" false (Formula.is_unsatisfiable (f "click"))
+
+let test_formula_equivalence_guard () =
+  let wide =
+    Formula.disj (List.init 20 (fun j -> Formula.Pred (Predicate.Slot (j + 1))))
+  in
+  Alcotest.(check bool) "guard trips" true
+    (match Formula.equivalent ~max_atoms:10 wide wide with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let prop_simplify_equivalent =
+  qtest "simplify yields an equivalent formula" (gen_formula ~k:4) (fun f ->
+      Formula.equivalent f (Formula.simplify f))
+
+(* ------------------------------------------------------------------ *)
+(* Outcome *)
+
+let test_outcome_invariants () =
+  Alcotest.(check bool) "purchase without click" true
+    (match Outcome.make ~slot:1 ~purchased:true () with
+    | exception Invalid_argument _ -> true
+    | _ -> false);
+  Alcotest.(check bool) "click without slot" true
+    (match Outcome.make ~clicked:true () with
+    | exception Invalid_argument _ -> true
+    | _ -> false);
+  Alcotest.(check bool) "slot 0" true
+    (match Outcome.make ~slot:0 () with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_outcome_class_predicates () =
+  let classes = [| Outcome.Heavy; Outcome.Light; Outcome.Empty |] in
+  let o = Outcome.make ~slot:2 ~classes () in
+  Alcotest.(check bool) "heavy1" true (Outcome.assign o (Predicate.Heavy_in_slot 1));
+  Alcotest.(check bool) "light2" true (Outcome.assign o (Predicate.Light_in_slot 2));
+  Alcotest.(check bool) "empty slot3 is neither" false
+    (Outcome.assign o (Predicate.Heavy_in_slot 3) || Outcome.assign o (Predicate.Light_in_slot 3));
+  let o' = Outcome.make ~slot:1 () in
+  Alcotest.(check bool) "class pred without classes" true
+    (match Outcome.assign o' (Predicate.Heavy_in_slot 1) with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_outcome_user_states () =
+  Alcotest.(check int) "unassigned" 1 (List.length (Outcome.all_user_states ~slot:None));
+  Alcotest.(check int) "assigned" 3 (List.length (Outcome.all_user_states ~slot:(Some 2)))
+
+(* ------------------------------------------------------------------ *)
+(* Bids *)
+
+let fig3_bids =
+  Bids.of_strings [ ("purchase", 5); ("slot1 | slot2", 2) ]
+
+let test_bids_fig3_or_semantics () =
+  (* The paper's Fig. 3 example: 5 for a purchase, 2 for slots 1-2, 7 when
+     both formulas hold. *)
+  let pay ~slot ~clicked ~purchased =
+    Bids.payment fig3_bids (Outcome.make ~slot ~clicked ~purchased ())
+  in
+  Alcotest.(check int) "purchase in slot 1" 7 (pay ~slot:1 ~clicked:true ~purchased:true);
+  Alcotest.(check int) "purchase in slot 3" 5 (pay ~slot:3 ~clicked:true ~purchased:true);
+  Alcotest.(check int) "impression slot 2" 2 (pay ~slot:2 ~clicked:false ~purchased:false);
+  Alcotest.(check int) "impression slot 3" 0 (pay ~slot:3 ~clicked:false ~purchased:false);
+  Alcotest.(check int) "unassigned" 0 (Bids.payment fig3_bids (Outcome.make ()))
+
+let test_bids_negative_rejected () =
+  Alcotest.(check bool) "negative amount" true
+    (match Bids.of_strings [ ("click", -1) ] with
+    | exception Bids.Invalid_bid _ -> true
+    | _ -> false)
+
+let test_bids_validate_slots () =
+  let b = Bids.of_strings [ ("slot9", 1) ] in
+  Alcotest.(check bool) "slot out of range" true
+    (match Bids.validate ~k:3 b with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_bids_self_only () =
+  Alcotest.(check bool) "self-only" true (Bids.is_self_only fig3_bids);
+  Alcotest.(check bool) "class bid" false
+    (Bids.is_self_only (Bids.of_strings [ ("heavy1", 3) ]))
+
+let test_bids_max_payment () =
+  Alcotest.(check int) "sum" 7 (Bids.max_payment fig3_bids)
+
+let test_bids_add () =
+  let b = Bids.add Bids.empty (Formula.of_string "click") 3 in
+  Alcotest.(check int) "size" 1 (Bids.size b);
+  Alcotest.(check bool) "empty" true (Bids.is_empty Bids.empty)
+
+(* ------------------------------------------------------------------ *)
+(* Valuation: Fig. 1 / Fig. 2 *)
+
+let test_valuation_row_count () =
+  let rows = Valuation.rows ~k:3 fig3_bids in
+  (* 3 user states per assigned slot + 1 unassigned row. *)
+  Alcotest.(check int) "3k+1 rows" 10 (List.length rows)
+
+let test_valuation_single_feature () =
+  let rows = Valuation.rows ~k:2 (Valuation.single_feature 3) in
+  List.iter
+    (fun (r : Valuation.row) ->
+      let expected = if r.clicked then 3 else 0 in
+      Alcotest.(check int) "click value only" expected r.value)
+    rows
+
+let prop_valuation_roundtrip =
+  (* Lowering the truth table back to a Bids table preserves every row's
+     value — the Fig. 2 <-> Fig. 3 equivalence. *)
+  qtest ~count:100 "rows (of_rows rows) = rows"
+    QCheck2.Gen.(
+      list_size (int_bound 4)
+        (pair (gen_formula ~k:3) (int_bound 20)))
+    (fun rows_spec ->
+      match Bids.of_list (List.map (fun (f, a) -> { Bids.formula = f; amount = a }) rows_spec) with
+      | exception Bids.Invalid_bid _ -> true
+      | bids ->
+          let table = Valuation.rows ~k:3 bids in
+          let lowered = Valuation.of_rows ~k:3 table in
+          Valuation.rows ~k:3 lowered = table)
+
+let test_bids_normalize () =
+  let b =
+    Bids.of_strings
+      [
+        ("click & slot1", 3);
+        ("slot1 & click", 4);          (* equivalent: merges to 7 *)
+        ("purchase & !purchase", 9);   (* unsatisfiable: dropped *)
+        ("slot2", 2);
+      ]
+  in
+  let n = Bids.normalize b in
+  Alcotest.(check int) "two rows" 2 (Bids.size n);
+  Alcotest.(check int) "merged amount" 9 (Bids.max_payment n)
+
+let prop_normalize_preserves_payment =
+  qtest ~count:150 "normalize preserves payments"
+    QCheck2.Gen.(
+      pair
+        (list_size (int_bound 5) (pair (gen_formula ~k:3) (int_bound 15)))
+        (gen_outcome ~k:3))
+    (fun (rows_spec, outcome) ->
+      match
+        Bids.of_list (List.map (fun (f, a) -> { Bids.formula = f; amount = a }) rows_spec)
+      with
+      | exception Bids.Invalid_bid _ -> true
+      | bids -> Bids.payment bids outcome = Bids.payment (Bids.normalize bids) outcome)
+
+let test_valuation_pp_smoke () =
+  let s = Format.asprintf "%a" (fun ppf -> Valuation.pp ~k:2 ppf) (Valuation.rows ~k:2 fig3_bids) in
+  Alcotest.(check bool) "renders header" true
+    (String.length s > 0 && String.sub s 0 1 = "|")
+
+let () =
+  Alcotest.run "essa_bidlang"
+    [
+      ( "predicate",
+        [
+          Alcotest.test_case "validate" `Quick test_predicate_validate;
+          Alcotest.test_case "self-only" `Quick test_predicate_self_only;
+          Alcotest.test_case "strings" `Quick test_predicate_strings;
+        ] );
+      ( "formula",
+        [
+          Alcotest.test_case "eval" `Quick test_formula_eval;
+          Alcotest.test_case "parser examples" `Quick test_formula_parser_examples;
+          Alcotest.test_case "parser errors" `Quick test_formula_parser_errors;
+          Alcotest.test_case "precedence" `Quick test_formula_precedence;
+          prop_parser_roundtrip;
+          prop_parser_roundtrip_classes;
+          prop_simplify_preserves_semantics;
+          Alcotest.test_case "simplify laws" `Quick test_simplify_laws;
+          Alcotest.test_case "predicates sorted" `Quick test_formula_predicates_sorted;
+          Alcotest.test_case "equivalence" `Quick test_formula_equivalent;
+          Alcotest.test_case "equivalence guard" `Quick test_formula_equivalence_guard;
+          prop_simplify_equivalent;
+          Alcotest.test_case "helpers" `Quick test_formula_helpers;
+        ] );
+      ( "outcome",
+        [
+          Alcotest.test_case "invariants" `Quick test_outcome_invariants;
+          Alcotest.test_case "class predicates" `Quick test_outcome_class_predicates;
+          Alcotest.test_case "user states" `Quick test_outcome_user_states;
+        ] );
+      ( "bids",
+        [
+          Alcotest.test_case "Fig.3 OR-bids" `Quick test_bids_fig3_or_semantics;
+          Alcotest.test_case "negative rejected" `Quick test_bids_negative_rejected;
+          Alcotest.test_case "slot validation" `Quick test_bids_validate_slots;
+          Alcotest.test_case "self-only" `Quick test_bids_self_only;
+          Alcotest.test_case "max payment" `Quick test_bids_max_payment;
+          Alcotest.test_case "add/empty" `Quick test_bids_add;
+          Alcotest.test_case "normalize" `Quick test_bids_normalize;
+          prop_normalize_preserves_payment;
+        ] );
+      ( "valuation",
+        [
+          Alcotest.test_case "row count" `Quick test_valuation_row_count;
+          Alcotest.test_case "single feature (Fig. 1)" `Quick test_valuation_single_feature;
+          prop_valuation_roundtrip;
+          prop_payment_matches_truth_table;
+          Alcotest.test_case "pp" `Quick test_valuation_pp_smoke;
+        ] );
+    ]

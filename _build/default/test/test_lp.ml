@@ -1,0 +1,171 @@
+(* Tests for the linear-programming substrate (essa_lp). *)
+
+open Essa_lp
+
+let qtest ?(count = 150) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen prop)
+
+let value_of = function
+  | Problem.Optimal s -> s.Problem.value
+  | Problem.Unbounded -> Alcotest.fail "unexpected unbounded"
+
+(* A classic textbook LP with known optimum:
+   max 3x + 5y  s.t.  x <= 4;  2y <= 12;  3x + 2y <= 18  -> x=2, y=6, z=36. *)
+let textbook =
+  Problem.make ~num_constraints:3
+    ~objective:[| 3.0; 5.0 |]
+    ~columns:[| [ (0, 1.0); (2, 3.0) ]; [ (1, 2.0); (2, 2.0) ] |]
+    ~rhs:[| 4.0; 12.0; 18.0 |]
+
+let test_textbook_tableau () =
+  let s = match Simplex_tableau.solve textbook with
+    | Problem.Optimal s -> s
+    | Problem.Unbounded -> Alcotest.fail "unbounded"
+  in
+  Alcotest.(check (float 1e-9)) "objective" 36.0 s.Problem.value;
+  Alcotest.(check (float 1e-9)) "x" 2.0 s.Problem.x.(0);
+  Alcotest.(check (float 1e-9)) "y" 6.0 s.Problem.x.(1)
+
+let test_textbook_revised () =
+  Alcotest.(check (float 1e-9)) "objective" 36.0 (value_of (Simplex_revised.solve textbook))
+
+let test_unbounded_detected () =
+  (* max x with no binding constraint on x. *)
+  let p =
+    Problem.make ~num_constraints:1 ~objective:[| 1.0; 0.0 |]
+      ~columns:[| []; [ (0, 1.0) ] |] ~rhs:[| 5.0 |]
+  in
+  Alcotest.(check bool) "tableau unbounded" true (Simplex_tableau.solve p = Problem.Unbounded);
+  Alcotest.(check bool) "revised unbounded" true (Simplex_revised.solve p = Problem.Unbounded)
+
+let test_degenerate_lp () =
+  (* Beale-style degeneracy: both solvers must terminate and agree. *)
+  let p =
+    Problem.make ~num_constraints:3
+      ~objective:[| 0.75; -150.0; 0.02; -6.0 |]
+      ~columns:
+        [|
+          [ (0, 0.25); (1, 0.5) ];
+          [ (0, -60.0); (1, -90.0) ];
+          [ (0, -0.04); (1, -0.02); (2, 1.0) ];
+          [ (0, 9.0); (1, 3.0) ];
+        |]
+      ~rhs:[| 0.0; 0.0; 1.0 |]
+  in
+  let v1 = value_of (Simplex_tableau.solve p) in
+  let v2 = value_of (Simplex_revised.solve p) in
+  Alcotest.(check (float 1e-6)) "agree" v1 v2;
+  Alcotest.(check (float 1e-6)) "known optimum 1/20" 0.05 v1
+
+let test_problem_validation () =
+  let bad f = match f () with exception Invalid_argument _ -> true | _ -> false in
+  Alcotest.(check bool) "negative rhs" true
+    (bad (fun () ->
+         Problem.make ~num_constraints:1 ~objective:[| 1.0 |] ~columns:[| [ (0, 1.0) ] |]
+           ~rhs:[| -1.0 |]));
+  Alcotest.(check bool) "row out of range" true
+    (bad (fun () ->
+         Problem.make ~num_constraints:1 ~objective:[| 1.0 |] ~columns:[| [ (3, 1.0) ] |]
+           ~rhs:[| 1.0 |]));
+  Alcotest.(check bool) "duplicate row" true
+    (bad (fun () ->
+         Problem.make ~num_constraints:1 ~objective:[| 1.0 |]
+           ~columns:[| [ (0, 1.0); (0, 2.0) ] |] ~rhs:[| 1.0 |]))
+
+let test_check_feasible () =
+  Alcotest.(check bool) "feasible point" true (Problem.check_feasible textbook [| 2.0; 6.0 |]);
+  Alcotest.(check bool) "infeasible point" false (Problem.check_feasible textbook [| 5.0; 0.0 |]);
+  Alcotest.(check bool) "negative x" false (Problem.check_feasible textbook [| -1.0; 0.0 |])
+
+let gen_random_lp =
+  (* Random ≤-form LPs with nonnegative rhs: bounded iff every improving
+     direction is blocked; we only compare the two solvers on whatever
+     status they return. *)
+  let open QCheck2.Gen in
+  let* m = int_range 1 6 in
+  let* n = int_range 1 6 in
+  let* objective = array_size (return n) (float_range (-5.0) 5.0) in
+  let* dense =
+    array_size (return m) (array_size (return n) (float_range (-2.0) 4.0))
+  in
+  let* rhs = array_size (return m) (float_range 0.0 10.0) in
+  let columns =
+    Array.init n (fun j ->
+        List.filter_map
+          (fun i -> if dense.(i).(j) <> 0.0 then Some (i, dense.(i).(j)) else None)
+          (List.init m (fun i -> i)))
+  in
+  return (Problem.make ~num_constraints:m ~objective ~columns ~rhs)
+
+let prop_solvers_agree =
+  qtest "tableau and revised agree on random LPs" gen_random_lp (fun p ->
+      match (Simplex_tableau.solve p, Simplex_revised.solve p) with
+      | Problem.Unbounded, Problem.Unbounded -> true
+      | Problem.Optimal a, Problem.Optimal b ->
+          abs_float (a.Problem.value -. b.Problem.value) < 1e-6
+          && Problem.check_feasible p a.Problem.x
+          && Problem.check_feasible p b.Problem.x
+      | _ -> false)
+
+(* ------------------------------------------------------------------ *)
+(* Assignment LP *)
+
+let gen_weights =
+  let open QCheck2.Gen in
+  let* n = int_range 1 30 in
+  let* k = int_range 1 4 in
+  array_size (return n) (array_size (return k) (float_range (-5.0) 30.0))
+
+let prop_assignment_lp_integral_and_optimal =
+  qtest "assignment LP = Hungarian (both solvers)" gen_weights (fun w ->
+      let opt = Essa_matching.Hungarian.optimal_weight ~w in
+      let check solver =
+        let a = Assignment_lp.solve ~solver ~w () in
+        Essa_matching.Assignment.validate ~n:(Array.length w) a;
+        abs_float (Essa_matching.Assignment.matching_weight ~w a -. opt) < 1e-6
+      in
+      check `Tableau && check `Revised)
+
+let test_assignment_lp_build_shape () =
+  let w = [| [| 1.0; 2.0 |]; [| 3.0; 4.0 |] |] in
+  let p = Assignment_lp.build ~w in
+  Alcotest.(check int) "vars" 4 p.Problem.num_vars;
+  Alcotest.(check int) "constraints" 4 p.Problem.num_constraints;
+  (* Column for x_{1,2} (var index 1*2+1=3) hits advertiser row 1 and slot row 2+1=3. *)
+  Alcotest.(check (list (pair int (float 0.0)))) "column structure"
+    [ (1, 1.0); (3, 1.0) ] p.Problem.columns.(3)
+
+let test_assignment_lp_ties_integral () =
+  (* All-equal weights: highly degenerate, still must come out integral. *)
+  let w = Array.make_matrix 6 3 1.0 in
+  let a = Assignment_lp.solve ~w () in
+  Essa_matching.Assignment.validate ~n:6 a;
+  Alcotest.(check (float 1e-9)) "value 3" 3.0
+    (Essa_matching.Assignment.matching_weight ~w a)
+
+let test_revised_iterations_positive () =
+  let w = [| [| 1.0; 2.0 |]; [| 3.0; 4.0 |] |] in
+  Alcotest.(check bool) "some pivots" true
+    (Simplex_revised.iterations (Assignment_lp.build ~w) > 0)
+
+let () =
+  Alcotest.run "essa_lp"
+    [
+      ( "simplex",
+        [
+          Alcotest.test_case "textbook (tableau)" `Quick test_textbook_tableau;
+          Alcotest.test_case "textbook (revised)" `Quick test_textbook_revised;
+          Alcotest.test_case "unbounded" `Quick test_unbounded_detected;
+          Alcotest.test_case "degenerate (Beale)" `Quick test_degenerate_lp;
+          Alcotest.test_case "problem validation" `Quick test_problem_validation;
+          Alcotest.test_case "check_feasible" `Quick test_check_feasible;
+          prop_solvers_agree;
+        ] );
+      ( "assignment_lp",
+        [
+          prop_assignment_lp_integral_and_optimal;
+          Alcotest.test_case "build shape" `Quick test_assignment_lp_build_shape;
+          Alcotest.test_case "degenerate ties integral" `Quick test_assignment_lp_ties_integral;
+          Alcotest.test_case "iterations" `Quick test_revised_iterations_positive;
+        ] );
+    ]

@@ -1,0 +1,310 @@
+(* Tests for bipartite matching (essa_matching): Hungarian in both
+   orientations, the reduced-graph technique, brute force, and the tree
+   top-k aggregation. *)
+
+open Essa_matching
+
+let qtest ?(count = 300) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen prop)
+
+let gen_weights =
+  let open QCheck2.Gen in
+  let* n = int_range 1 7 in
+  let* k = int_range 1 4 in
+  array_size (return n) (array_size (return k) (float_range (-10.0) 30.0))
+
+let gen_weights_large =
+  let open QCheck2.Gen in
+  let* n = int_range 1 60 in
+  let* k = int_range 1 8 in
+  array_size (return n) (array_size (return k) (float_range (-10.0) 30.0))
+
+let zeros w = Array.make (Array.length w) 0.0
+
+(* ------------------------------------------------------------------ *)
+(* Assignment *)
+
+let test_assignment_utilities () =
+  let a = [| Some 2; None; Some 0 |] in
+  Assignment.validate ~n:3 a;
+  Alcotest.(check (list int)) "advertisers" [ 2; 0 ] (Assignment.advertisers a);
+  Alcotest.(check (option int)) "slot_of" (Some 3) (Assignment.slot_of a 0);
+  Alcotest.(check (option int)) "unassigned" None (Assignment.slot_of a 1);
+  let w = [| [| 1.; 2.; 3. |]; [| 4.; 5.; 6. |]; [| 7.; 8.; 9. |] |] in
+  Alcotest.(check (float 1e-9)) "matching weight" 10.0 (Assignment.matching_weight ~w a);
+  let base = [| 0.5; 0.25; 0.125 |] in
+  Alcotest.(check (float 1e-9)) "total with base" 10.25 (Assignment.total_value ~w ~base a)
+
+let test_assignment_validate_rejects () =
+  Alcotest.(check bool) "duplicate" true
+    (match Assignment.validate ~n:3 [| Some 1; Some 1 |] with
+    | exception Invalid_argument _ -> true
+    | _ -> false);
+  Alcotest.(check bool) "out of range" true
+    (match Assignment.validate ~n:2 [| Some 5 |] with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+(* ------------------------------------------------------------------ *)
+(* Hungarian vs brute force *)
+
+let prop_hungarian_optimal =
+  qtest "hungarian = brute force" gen_weights (fun w ->
+      let base = zeros w in
+      let _, best = Brute.best ~w ~base () in
+      let a = Hungarian.solve ~w in
+      Assignment.validate ~n:(Array.length w) a;
+      abs_float (Assignment.total_value ~w ~base a -. best) < 1e-6)
+
+let prop_classic_equals_fast =
+  qtest "classic = slot-major optimum" gen_weights_large (fun w ->
+      let a = Hungarian.solve ~w in
+      let b = Hungarian.solve_classic ~w in
+      Assignment.validate ~n:(Array.length w) b;
+      abs_float (Assignment.matching_weight ~w a -. Assignment.matching_weight ~w b) < 1e-6)
+
+let test_hungarian_negative_weights_unused () =
+  let w = [| [| -5.0; -1.0 |]; [| -2.0; -3.0 |] |] in
+  let a = Hungarian.solve ~w in
+  Alcotest.(check bool) "all empty" true (Array.for_all (fun c -> c = None) a);
+  let b = Hungarian.solve_classic ~w in
+  Alcotest.(check bool) "classic all empty" true (Array.for_all (fun c -> c = None) b)
+
+let test_hungarian_zero_weights_leave_slots_empty () =
+  (* Worthless (zero-weight) assignments are never made — an advertiser
+     who bid nothing on this query cannot be shown. *)
+  let w = [| [| 0.0; 0.0 |]; [| 0.0; 5.0 |] |] in
+  Alcotest.(check bool) "only the real edge" true
+    (Hungarian.solve ~w = [| None; Some 1 |]);
+  Alcotest.(check bool) "classic agrees" true
+    (Hungarian.solve_classic ~w = [| None; Some 1 |]);
+  let all_zero = Array.make_matrix 4 3 0.0 in
+  Alcotest.(check bool) "all-zero -> all empty" true
+    (Array.for_all (fun c -> c = None) (Hungarian.solve ~w:all_zero))
+
+let test_hungarian_more_slots_than_advertisers () =
+  let w = [| [| 3.0; 7.0; 1.0 |] |] in
+  let a = Hungarian.solve ~w in
+  Alcotest.(check bool) "takes best slot" true (a = [| None; Some 0; None |])
+
+let test_hungarian_empty () =
+  Alcotest.(check bool) "no advertisers" true (Hungarian.solve ~w:[||] = [||])
+
+let test_hungarian_ragged_rejected () =
+  Alcotest.(check bool) "ragged" true
+    (match Hungarian.solve ~w:[| [| 1.0 |]; [| 1.0; 2.0 |] |] with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+(* ------------------------------------------------------------------ *)
+(* Reduction (RH) *)
+
+let prop_rh_equals_hungarian =
+  qtest "reduced graph preserves the optimum" gen_weights_large (fun w ->
+      let rh = Reduction.solve ~w () in
+      Assignment.validate ~n:(Array.length w) rh;
+      abs_float (Assignment.matching_weight ~w rh -. Hungarian.optimal_weight ~w) < 1e-6)
+
+let prop_rh_with_ties =
+  (* Integer weights force many ties — the reduction must still be optimal. *)
+  qtest "reduction optimal under ties"
+    QCheck2.Gen.(
+      let* n = int_range 1 20 in
+      let* k = int_range 1 5 in
+      array_size (return n) (array_size (return k) (map float_of_int (int_range 0 4))))
+    (fun w ->
+      let rh = Reduction.solve ~w () in
+      abs_float (Assignment.matching_weight ~w rh -. Hungarian.optimal_weight ~w) < 1e-6)
+
+let test_fig9_example () =
+  (* The paper's Fig. 9 revenue matrix: Nike, Adidas, Reebok, Sketchers ×
+     2 slots.  Top-2 for slot 1 = {Nike, Adidas}; for slot 2 = {Adidas,
+     Reebok}; Sketchers drops out (Fig. 11). *)
+  let w = [| [| 9.; 5. |]; [| 8.; 7. |]; [| 7.; 6. |]; [| 7.; 4. |] |] in
+  let top = Reduction.top_per_slot ~w ~count:2 in
+  Alcotest.(check (list int)) "slot1 top2" [ 0; 1 ] (List.map fst top.(0));
+  Alcotest.(check (list int)) "slot2 top2" [ 1; 2 ] (List.map fst top.(1));
+  let r = Reduction.reduce ~w () in
+  Alcotest.(check (array int)) "reduced advertisers" [| 0; 1; 2 |] r.advertisers;
+  let a = Reduction.solve ~w () in
+  (* Optimal: Nike slot1 (9) + Adidas slot2 (7) = 16. *)
+  Alcotest.(check bool) "optimal allocation" true (a = [| Some 0; Some 1 |]);
+  Alcotest.(check (float 1e-9)) "value 16" 16.0 (Assignment.matching_weight ~w a)
+
+let test_reduction_tie_canonical () =
+  (* Equal weights: earlier advertiser wins the list slot. *)
+  let w = [| [| 5.0 |]; [| 5.0 |]; [| 5.0 |] |] in
+  let top = Reduction.top_per_slot ~w ~count:2 in
+  Alcotest.(check (list int)) "first two ids" [ 0; 1 ] (List.map fst top.(0))
+
+let prop_adding_advertiser_never_hurts =
+  qtest ~count:200 "optimum is monotone in the advertiser set"
+    QCheck2.Gen.(
+      pair gen_weights (array_size (return 3) (float_range 0.0 30.0)))
+    (fun (w, extra_seed) ->
+      let k = Array.length w.(0) in
+      (* Build the new advertiser's row by cycling the generated values. *)
+      let extra =
+        Array.init k (fun j -> extra_seed.(j mod Array.length extra_seed))
+      in
+      let before = Hungarian.optimal_weight ~w in
+      let after = Hungarian.optimal_weight ~w:(Array.append w [| extra |]) in
+      after >= before -. 1e-9)
+
+let prop_rh_with_kplus1_lists_optimal =
+  (* The engines reduce with k+1 candidates per slot (for pricing); the
+     matching over that wider reduction must still be optimal. *)
+  qtest ~count:200 "reduction with k+1 lists stays optimal" gen_weights_large
+    (fun w ->
+      let k = Array.length w.(0) in
+      let top = Reduction.top_per_slot ~w ~count:(k + 1) in
+      let a = Reduction.solve ~top ~w () in
+      abs_float (Assignment.matching_weight ~w a -. Hungarian.optimal_weight ~w)
+      < 1e-6)
+
+let prop_hungarian_extreme_scales =
+  (* Weights spanning twelve orders of magnitude: the potential updates
+     must not lose the optimum (relative tolerance). *)
+  qtest ~count:200 "optimal under extreme weight scales"
+    QCheck2.Gen.(
+      let* n = int_range 1 6 in
+      let* k = int_range 1 3 in
+      array_size (return n)
+        (array_size (return k)
+           (map2 (fun mantissa expo -> mantissa *. (10.0 ** float_of_int expo))
+              (float_range 0.1 1.0) (int_range (-6) 6))))
+    (fun w ->
+      let base = Array.make (Array.length w) 0.0 in
+      let _, best = Brute.best ~w ~base () in
+      let got =
+        Essa_matching.Assignment.total_value ~w ~base (Hungarian.solve ~w)
+      in
+      abs_float (got -. best) <= 1e-9 *. Float.max 1.0 (abs_float best))
+
+(* ------------------------------------------------------------------ *)
+(* Brute *)
+
+let test_count_allocations () =
+  (* n=2,k=2: empty, 2×(a in slot1), 2×(a in slot2), 2 orderings = 1+2+2+2 = 7 *)
+  Alcotest.(check int) "2x2" 7 (Brute.count_allocations ~n:2 ~k:2);
+  Alcotest.(check int) "n=1,k=1" 2 (Brute.count_allocations ~n:1 ~k:1);
+  Alcotest.(check int) "n=0" 1 (Brute.count_allocations ~n:0 ~k:3)
+
+let test_brute_respects_allowed () =
+  let w = [| [| 10.0 |]; [| 5.0 |] |] in
+  let allowed ~adv ~slot = ignore slot; adv = 1 in
+  let a, v = Brute.best ~allowed ~w ~base:[| 0.0; 0.0 |] () in
+  Alcotest.(check bool) "constrained" true (a = [| Some 1 |]);
+  Alcotest.(check (float 1e-9)) "value" 5.0 v
+
+let prop_brute_uses_baselines =
+  qtest ~count:100 "brute prefers baseline when edges are worse"
+    QCheck2.Gen.(array_size (return 3) (float_range 0.0 5.0))
+    (fun base ->
+      (* Edge weights strictly below every baseline: best = leave all out. *)
+      let w = Array.map (fun b -> [| b -. 1.0; b -. 2.0 |]) base in
+      let a, v = Brute.best ~w ~base () in
+      Array.for_all (fun c -> c = None) a
+      && abs_float (v -. Array.fold_left ( +. ) 0.0 base) < 1e-9)
+
+(* ------------------------------------------------------------------ *)
+(* Tree top-k *)
+
+let prop_tree_merge_equals_heap =
+  qtest ~count:150 "tree combining = heap scan" gen_weights_large (fun w ->
+      let k = Array.length w.(0) in
+      let tops, depth = Tree_topk.tree_merge ~w ~count:k in
+      let expected = Reduction.top_per_slot ~w ~count:k in
+      tops = expected && depth <= 1 + int_of_float (ceil (log (float_of_int (max 2 (Array.length w))) /. log 2.0)))
+
+let prop_parallel_equals_heap =
+  qtest ~count:50 "domain-parallel = heap scan" gen_weights_large (fun w ->
+      let k = Array.length w.(0) in
+      Tree_topk.parallel ~domains:3 ~w ~count:k () = Reduction.top_per_slot ~w ~count:k)
+
+let test_tree_merge_op () =
+  let xs = [ (0, 9.0); (1, 5.0) ] and ys = [ (2, 7.0); (3, 5.0) ] in
+  Alcotest.(check (list (pair int (float 0.0)))) "merge"
+    [ (0, 9.0); (2, 7.0); (1, 5.0) ]
+    (Tree_topk.merge ~count:3 xs ys);
+  (* Ties favour the left list (lower leaf indices). *)
+  Alcotest.(check (list (pair int (float 0.0)))) "tie"
+    [ (1, 5.0) ]
+    (Tree_topk.merge ~count:1 [ (1, 5.0) ] [ (0, 5.0) ])
+
+let test_parallel_with_pool () =
+  let rng = Essa_util.Rng.create 5 in
+  let w = Array.init 3000 (fun _ -> Array.init 6 (fun _ -> Essa_util.Rng.float rng 50.0)) in
+  Essa_util.Domain_pool.with_pool 3 (fun pool ->
+      Alcotest.(check bool) "pooled = sequential" true
+        (Tree_topk.parallel ~pool ~domains:3 ~w ~count:6 ()
+        = Reduction.top_per_slot ~w ~count:6))
+
+let test_parallel_invalid_domains () =
+  Alcotest.(check bool) "domains < 1" true
+    (match Tree_topk.parallel ~domains:0 ~w:[| [| 1.0 |] |] ~count:1 () with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+(* ------------------------------------------------------------------ *)
+(* LP cross-check lives in test_lp; here: the three matching paths agree
+   on one bigger deterministic instance. *)
+
+let test_three_way_agreement_big () =
+  let rng = Essa_util.Rng.create 123 in
+  let w =
+    Array.init 500 (fun _ -> Array.init 15 (fun _ -> Essa_util.Rng.float rng 50.0))
+  in
+  let v1 = Hungarian.optimal_weight ~w in
+  let v2 = Assignment.matching_weight ~w (Hungarian.solve_classic ~w) in
+  let v3 = Assignment.matching_weight ~w (Reduction.solve ~w ()) in
+  Alcotest.(check (float 1e-6)) "classic" v1 v2;
+  Alcotest.(check (float 1e-6)) "rh" v1 v3
+
+let () =
+  Alcotest.run "essa_matching"
+    [
+      ( "assignment",
+        [
+          Alcotest.test_case "utilities" `Quick test_assignment_utilities;
+          Alcotest.test_case "validate rejects" `Quick test_assignment_validate_rejects;
+        ] );
+      ( "hungarian",
+        [
+          prop_hungarian_optimal;
+          prop_classic_equals_fast;
+          Alcotest.test_case "negative weights" `Quick test_hungarian_negative_weights_unused;
+          Alcotest.test_case "zero weights unassigned" `Quick
+            test_hungarian_zero_weights_leave_slots_empty;
+          Alcotest.test_case "more slots than advertisers" `Quick
+            test_hungarian_more_slots_than_advertisers;
+          Alcotest.test_case "empty" `Quick test_hungarian_empty;
+          Alcotest.test_case "ragged rejected" `Quick test_hungarian_ragged_rejected;
+        ] );
+      ( "reduction",
+        [
+          prop_rh_equals_hungarian;
+          prop_rh_with_ties;
+          prop_rh_with_kplus1_lists_optimal;
+          prop_adding_advertiser_never_hurts;
+          prop_hungarian_extreme_scales;
+          Alcotest.test_case "Fig. 9-11 example" `Quick test_fig9_example;
+          Alcotest.test_case "tie canonical" `Quick test_reduction_tie_canonical;
+        ] );
+      ( "brute",
+        [
+          Alcotest.test_case "count allocations" `Quick test_count_allocations;
+          Alcotest.test_case "allowed predicate" `Quick test_brute_respects_allowed;
+          prop_brute_uses_baselines;
+        ] );
+      ( "tree_topk",
+        [
+          prop_tree_merge_equals_heap;
+          prop_parallel_equals_heap;
+          Alcotest.test_case "merge op" `Quick test_tree_merge_op;
+          Alcotest.test_case "pooled workers" `Quick test_parallel_with_pool;
+          Alcotest.test_case "invalid domains" `Quick test_parallel_invalid_domains;
+        ] );
+      ( "integration",
+        [ Alcotest.test_case "3-way agreement n=500" `Quick test_three_way_agreement_big ] );
+    ]

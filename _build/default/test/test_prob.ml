@@ -1,0 +1,362 @@
+(* Tests for the probability model (essa_prob). *)
+
+open Essa_prob
+open Essa_bidlang
+
+let qtest ?(count = 200) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen prop)
+
+let gen_model ~n ~k =
+  let open QCheck2.Gen in
+  let probs rows cols = array_size (return rows) (array_size (return cols) (float_range 0.0 1.0)) in
+  let* ctr = probs n k in
+  let* cvr = probs n k in
+  return (Model.create ~ctr ~cvr)
+
+(* ------------------------------------------------------------------ *)
+
+let fig8_model () =
+  (* Fig. 8's separable click matrix, any conversion rates. *)
+  Model.create
+    ~ctr:[| [| 0.8; 0.4 |]; [| 0.6; 0.3 |] |]
+    ~cvr:[| [| 0.5; 0.5 |]; [| 0.25; 0.25 |] |]
+
+let test_model_validation () =
+  let bad f = match f () with exception Invalid_argument _ -> true | _ -> false in
+  Alcotest.(check bool) "ragged" true
+    (bad (fun () -> Model.create ~ctr:[| [| 0.1 |]; [| 0.1; 0.2 |] |] ~cvr:[| [| 0.1 |]; [| 0.1 |] |]));
+  Alcotest.(check bool) "probability > 1" true
+    (bad (fun () -> Model.create ~ctr:[| [| 1.5 |] |] ~cvr:[| [| 0.1 |] |]));
+  Alcotest.(check bool) "shape mismatch" true
+    (bad (fun () -> Model.create ~ctr:[| [| 0.5 |] |] ~cvr:[| [| 0.1; 0.2 |] |]));
+  Alcotest.(check bool) "empty" true
+    (bad (fun () -> Model.create ~ctr:[||] ~cvr:[||]))
+
+let test_model_accessors () =
+  let m = fig8_model () in
+  Alcotest.(check int) "n" 2 (Model.n m);
+  Alcotest.(check int) "k" 2 (Model.k m);
+  Alcotest.(check (float 1e-12)) "ctr" 0.4 (Model.click_prob m ~adv:0 ~slot:2);
+  Alcotest.(check (float 1e-12)) "cvr" 0.25 (Model.purchase_given_click m ~adv:1 ~slot:1);
+  Alcotest.(check bool) "bad slot" true
+    (match Model.click_prob m ~adv:0 ~slot:3 with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let prop_distribution_sums_to_one =
+  qtest "outcome distribution sums to 1"
+    QCheck2.Gen.(pair (gen_model ~n:3 ~k:2) (pair (int_bound 2) (int_range 1 2)))
+    (fun (m, (adv, slot)) ->
+      let total =
+        List.fold_left (fun acc (_, p) -> acc +. p) 0.0
+          (Model.outcome_distribution m ~adv ~slot:(Some slot))
+      in
+      abs_float (total -. 1.0) < 1e-9)
+
+let test_distribution_unassigned () =
+  let m = fig8_model () in
+  match Model.outcome_distribution m ~adv:0 ~slot:None with
+  | [ (o, p) ] ->
+      Alcotest.(check (float 0.0)) "point mass" 1.0 p;
+      Alcotest.(check bool) "no click" false (Outcome.eval o (Formula.Pred Predicate.Click))
+  | _ -> Alcotest.fail "expected one outcome"
+
+let test_formula_prob_click () =
+  let m = fig8_model () in
+  Alcotest.(check (float 1e-12)) "P(click)" 0.8
+    (Model.formula_prob m ~adv:0 ~slot:(Some 1) (Formula.Pred Predicate.Click));
+  Alcotest.(check (float 1e-12)) "P(purchase) = ctr*cvr" 0.4
+    (Model.formula_prob m ~adv:0 ~slot:(Some 1) (Formula.Pred Predicate.Purchase));
+  Alcotest.(check (float 1e-12)) "P(slot1 | in slot 1)" 1.0
+    (Model.formula_prob m ~adv:0 ~slot:(Some 1) (Formula.Pred (Predicate.Slot 1)));
+  Alcotest.(check (float 1e-12)) "P(slot2 | in slot 1)" 0.0
+    (Model.formula_prob m ~adv:0 ~slot:(Some 1) (Formula.Pred (Predicate.Slot 2)));
+  Alcotest.(check (float 1e-12)) "P(click | unassigned)" 0.0
+    (Model.formula_prob m ~adv:0 ~slot:None (Formula.Pred Predicate.Click))
+
+let test_formula_prob_compound () =
+  let m = fig8_model () in
+  (* click & !purchase in slot 1 for adv 0: 0.8 * (1 - 0.5) *)
+  let f = Formula.of_string "click & !purchase" in
+  Alcotest.(check (float 1e-12)) "compound" 0.4
+    (Model.formula_prob m ~adv:0 ~slot:(Some 1) f)
+
+let test_formula_prob_rejects_class_preds () =
+  let m = fig8_model () in
+  Alcotest.(check bool) "heavy rejected" true
+    (match Model.formula_prob m ~adv:0 ~slot:(Some 1) (Formula.of_string "heavy1") with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let prop_formula_prob_negation =
+  qtest "P(f) + P(!f) = 1"
+    QCheck2.Gen.(pair (gen_model ~n:2 ~k:3) (int_range 1 3))
+    (fun (m, slot) ->
+      let f = Formula.of_string "click & slot1 | purchase" in
+      let p = Model.formula_prob m ~adv:0 ~slot:(Some slot) f in
+      let q = Model.formula_prob m ~adv:0 ~slot:(Some slot) (Formula.Not f) in
+      abs_float (p +. q -. 1.0) < 1e-9)
+
+let test_expected_payment_click_bid () =
+  let m = fig8_model () in
+  let bids = Bids.of_strings [ ("click", 10) ] in
+  Alcotest.(check (float 1e-9)) "ctr × bid" 8.0
+    (Model.expected_payment m ~adv:0 ~slot:(Some 1) bids);
+  Alcotest.(check (float 1e-9)) "unassigned" 0.0
+    (Model.expected_payment m ~adv:0 ~slot:None bids)
+
+let test_expected_payment_or_bid () =
+  let m = fig8_model () in
+  (* purchase pays 5; slot1 pays 2: E = 0.8*0.5*5 + 2 = 4.0 in slot 1 *)
+  let bids = Bids.of_strings [ ("purchase", 5); ("slot1", 2) ] in
+  Alcotest.(check (float 1e-9)) "or-bid expectation" 4.0
+    (Model.expected_payment m ~adv:0 ~slot:(Some 1) bids)
+
+let test_expected_payment_unassigned_baseline () =
+  let m = fig8_model () in
+  (* A bid that pays on NOT being shown. *)
+  let bids = Bids.of_list [ { Bids.formula = Formula.unassigned ~k:2; amount = 3 } ] in
+  Alcotest.(check (float 1e-9)) "baseline" 3.0
+    (Model.expected_payment m ~adv:0 ~slot:None bids);
+  Alcotest.(check (float 1e-9)) "assigned kills it" 0.0
+    (Model.expected_payment m ~adv:0 ~slot:(Some 2) bids)
+
+let test_revenue_matrix () =
+  let m = fig8_model () in
+  let bids = [| Bids.of_strings [ ("click", 10) ]; Bids.of_strings [ ("click", 20) ] |] in
+  let w, base = Model.revenue_matrix m ~bids in
+  Alcotest.(check (float 1e-9)) "w00" 8.0 w.(0).(0);
+  Alcotest.(check (float 1e-9)) "w11" 6.0 w.(1).(1);
+  Alcotest.(check (float 1e-9)) "base" 0.0 base.(0)
+
+let prop_theorem2_slot_decomposition =
+  (* The Theorem 2 proof device: a bid on a 1-dependent event E contributes
+     the same as OR-bids on E∧Slot_1, …, E∧Slot_k, E∧(no slot), because
+     the slot events partition the outcome space.  Check the probability
+     identity P(E | slot j) summed against the decomposed formulas. *)
+  qtest ~count:150 "P(E) decomposes over slot events"
+    QCheck2.Gen.(pair (gen_model ~n:2 ~k:3) (int_range 0 2))
+    (fun (m, slot0) ->
+      let e = Essa_bidlang.Formula.of_string "click & !purchase | slot2" in
+      let slot = if slot0 = 0 then None else Some slot0 in
+      let p_direct = Model.formula_prob m ~adv:0 ~slot e in
+      let parts =
+        List.init 3 (fun j ->
+            Model.formula_prob m ~adv:0 ~slot
+              (Essa_bidlang.Formula.And (e, Pred (Essa_bidlang.Predicate.Slot (j + 1)))))
+      in
+      let unassigned_part =
+        Model.formula_prob m ~adv:0 ~slot
+          (Essa_bidlang.Formula.And (e, Essa_bidlang.Formula.unassigned ~k:3))
+      in
+      let total = List.fold_left ( +. ) unassigned_part parts in
+      abs_float (total -. p_direct) < 1e-9)
+
+(* ------------------------------------------------------------------ *)
+(* Separability *)
+
+let test_fig7_not_separable () =
+  Alcotest.(check bool) "Fig. 7" false
+    (Separability.is_separable [| [| 0.7; 0.4 |]; [| 0.6; 0.3 |] |])
+
+let test_fig8_separable () =
+  let m = [| [| 0.8; 0.4 |]; [| 0.6; 0.3 |] |] in
+  Alcotest.(check bool) "Fig. 8" true (Separability.is_separable m);
+  match Separability.factorize m with
+  | None -> Alcotest.fail "factorize failed"
+  | Some (a, s) ->
+      Array.iteri
+        (fun i row ->
+          Array.iteri
+            (fun j v -> Alcotest.(check (float 1e-9)) "reconstruct" v (a.(i) *. s.(j)))
+            row)
+        m
+
+let prop_constructed_separable =
+  qtest "a_i * s_j is always separable"
+    QCheck2.Gen.(
+      pair
+        (array_size (return 4) (float_range 0.1 4.0))
+        (array_size (return 3) (float_range 0.05 0.25)))
+    (fun (a, s) ->
+      let m = Array.map (fun ai -> Array.map (fun sj -> ai *. sj) s) a in
+      Separability.is_separable m
+      &&
+      match Separability.factorize m with
+      | None -> false
+      | Some (a', s') ->
+          Array.for_all
+            (fun i ->
+              Array.for_all
+                (fun j -> abs_float ((a'.(i) *. s'.(j)) -. m.(i).(j)) < 1e-9)
+                (Array.init 3 (fun j -> j)))
+            (Array.init 4 (fun i -> i)))
+
+let test_zero_matrix_separable () =
+  let m = [| [| 0.0; 0.0 |]; [| 0.0; 0.0 |] |] in
+  Alcotest.(check bool) "zeros separable" true (Separability.is_separable m);
+  Alcotest.(check bool) "factorizes" true (Separability.factorize m <> None)
+
+let prop_greedy_optimal_on_separable =
+  (* On separable matrices the greedy allocator matches the optimal
+     matching — the claim behind existing Google/Yahoo allocation. *)
+  qtest ~count:100 "greedy = optimal on separable"
+    QCheck2.Gen.(
+      triple
+        (array_size (return 5) (float_range 0.1 4.0))
+        (array_size (return 3) (float_range 0.05 0.25))
+        (array_size (return 5) (float_range 0.0 50.0)))
+    (fun (a, s, values) ->
+      let m = Array.map (fun ai -> Array.map (fun sj -> ai *. sj) s) a in
+      let assignment = Separability.greedy_allocation m values in
+      let w = Array.mapi (fun i row -> Array.map (fun p -> p *. values.(i)) row) m in
+      let greedy_value = Essa_matching.Assignment.matching_weight ~w assignment in
+      let optimal = Essa_matching.Hungarian.optimal_weight ~w in
+      abs_float (greedy_value -. optimal) < 1e-6)
+
+let test_greedy_suboptimal_on_nonseparable () =
+  (* A concrete 1-dependent but non-separable instance where greedy by
+     factors is strictly worse than the optimal matching — the paper's
+     argument for needing real winner determination. *)
+  let m = [| [| 0.9; 0.1 |]; [| 0.8; 0.79 |] |] in
+  let values = [| 10.0; 10.0 |] in
+  let w = Array.mapi (fun i row -> Array.map (fun p -> p *. values.(i)) row) m in
+  let assignment = Separability.greedy_allocation m values in
+  let greedy_value = Essa_matching.Assignment.matching_weight ~w assignment in
+  let optimal = Essa_matching.Hungarian.optimal_weight ~w in
+  Alcotest.(check bool) "greedy < optimal" true (greedy_value < optimal -. 1e-9)
+
+(* ------------------------------------------------------------------ *)
+(* Class model (Section III-F) *)
+
+let tiny_class_model () =
+  let classes = [| Class_model.Heavy; Class_model.Light; Class_model.Light |] in
+  let ctr ~adv ~slot ~heavy_slots =
+    (* Clicks drop when slot 1 hosts a heavyweight and you are below it. *)
+    let base = 0.5 -. (0.1 *. float_of_int (slot - 1)) in
+    let penalty = if heavy_slots.(0) && slot > 1 then 0.5 else 1.0 in
+    ignore adv;
+    base *. penalty
+  in
+  let cvr ~adv:_ ~slot:_ ~heavy_slots:_ = 0.2 in
+  Class_model.create ~k:2 ~classes ~ctr ~cvr
+
+let test_class_model_basics () =
+  let m = tiny_class_model () in
+  Alcotest.(check int) "n" 3 (Class_model.n m);
+  Alcotest.(check int) "k" 2 (Class_model.k m);
+  Alcotest.(check (list int)) "heavy" [ 0 ] (Class_model.heavy_advertisers m);
+  Alcotest.(check (list int)) "light" [ 1; 2 ] (Class_model.light_advertisers m)
+
+let test_class_model_admissible () =
+  let m = tiny_class_model () in
+  let heavy_slots = [| true; false |] in
+  Alcotest.(check bool) "heavy in heavy slot" true
+    (Class_model.admissible m ~adv:0 ~slot:1 ~heavy_slots);
+  Alcotest.(check bool) "heavy in light slot" false
+    (Class_model.admissible m ~adv:0 ~slot:2 ~heavy_slots);
+  Alcotest.(check bool) "light in light slot" true
+    (Class_model.admissible m ~adv:1 ~slot:2 ~heavy_slots)
+
+let test_class_model_pattern_affects_payment () =
+  let m = tiny_class_model () in
+  let bids = Bids.of_strings [ ("click", 10) ] in
+  let p_no_heavy =
+    Class_model.expected_payment m ~adv:1 ~slot:(Some 2) ~heavy_slots:[| false; false |] bids
+  in
+  let p_heavy_above =
+    Class_model.expected_payment m ~adv:1 ~slot:(Some 2) ~heavy_slots:[| true; false |] bids
+  in
+  Alcotest.(check bool) "heavyweight above halves clicks" true
+    (abs_float (p_heavy_above -. (p_no_heavy /. 2.0)) < 1e-9)
+
+let test_class_model_class_bids () =
+  let m = tiny_class_model () in
+  (* Pay 7 iff slot 1 hosts a lightweight — depends only on the pattern. *)
+  let bids = Bids.of_strings [ ("light1", 7) ] in
+  Alcotest.(check (float 1e-9)) "pattern true" 7.0
+    (Class_model.expected_payment m ~adv:1 ~slot:None ~heavy_slots:[| false; true |] bids);
+  Alcotest.(check (float 1e-9)) "pattern false" 0.0
+    (Class_model.expected_payment m ~adv:1 ~slot:None ~heavy_slots:[| true; false |] bids)
+
+let test_class_model_of_tables () =
+  let k = 2 in
+  let classes = [| Class_model.Heavy; Class_model.Light |] in
+  (* ctr_table.(adv).(slot-1).(mask) *)
+  let ctr_table =
+    Array.init 2 (fun adv ->
+        Array.init k (fun j ->
+            Array.init (1 lsl k) (fun mask ->
+                0.1 +. (0.05 *. float_of_int adv) +. (0.02 *. float_of_int j)
+                +. (0.01 *. float_of_int mask))))
+  in
+  let cvr_table = Array.init 2 (fun _ -> Array.init k (fun _ -> Array.make (1 lsl k) 0.2)) in
+  let m = Class_model.of_tables ~k ~classes ~ctr_table ~cvr_table in
+  (* Lookup matches the table at an arbitrary pattern. *)
+  let heavy_slots = [| true; false |] in
+  Alcotest.(check int) "mask" 1 (Class_model.pattern_mask ~heavy_slots);
+  let dist = Class_model.outcome_distribution m ~adv:1 ~slot:(Some 2) ~heavy_slots in
+  let p_click =
+    List.fold_left
+      (fun acc (o, p) ->
+        if Essa_bidlang.Outcome.eval o (Essa_bidlang.Formula.Pred Essa_bidlang.Predicate.Click)
+        then acc +. p
+        else acc)
+      0.0 dist
+  in
+  Alcotest.(check (float 1e-12)) "table lookup" ctr_table.(1).(1).(1) p_click
+
+let test_class_model_of_tables_validation () =
+  let classes = [| Class_model.Heavy |] in
+  let bad f = match f () with exception Invalid_argument _ -> true | _ -> false in
+  Alcotest.(check bool) "wrong pattern count" true
+    (bad (fun () ->
+         Class_model.of_tables ~k:2 ~classes
+           ~ctr_table:[| [| [| 0.1 |]; [| 0.1 |] |] |]
+           ~cvr_table:[| [| [| 0.1 |]; [| 0.1 |] |] |]));
+  Alcotest.(check bool) "probability range" true
+    (bad (fun () ->
+         Class_model.of_tables ~k:1 ~classes
+           ~ctr_table:[| [| [| 1.5; 0.2 |] |] |]
+           ~cvr_table:[| [| [| 0.1; 0.2 |] |] |]))
+
+let () =
+  Alcotest.run "essa_prob"
+    [
+      ( "model",
+        [
+          Alcotest.test_case "validation" `Quick test_model_validation;
+          Alcotest.test_case "accessors" `Quick test_model_accessors;
+          prop_distribution_sums_to_one;
+          Alcotest.test_case "unassigned distribution" `Quick test_distribution_unassigned;
+          Alcotest.test_case "formula prob basics" `Quick test_formula_prob_click;
+          Alcotest.test_case "formula prob compound" `Quick test_formula_prob_compound;
+          Alcotest.test_case "class preds rejected" `Quick test_formula_prob_rejects_class_preds;
+          prop_formula_prob_negation;
+          Alcotest.test_case "expected payment (click)" `Quick test_expected_payment_click_bid;
+          Alcotest.test_case "expected payment (or-bid)" `Quick test_expected_payment_or_bid;
+          Alcotest.test_case "unassigned baseline" `Quick test_expected_payment_unassigned_baseline;
+          Alcotest.test_case "revenue matrix" `Quick test_revenue_matrix;
+          prop_theorem2_slot_decomposition;
+        ] );
+      ( "separability",
+        [
+          Alcotest.test_case "Fig. 7 non-separable" `Quick test_fig7_not_separable;
+          Alcotest.test_case "Fig. 8 separable + factors" `Quick test_fig8_separable;
+          prop_constructed_separable;
+          Alcotest.test_case "zero matrix" `Quick test_zero_matrix_separable;
+          prop_greedy_optimal_on_separable;
+          Alcotest.test_case "greedy suboptimal (non-separable)" `Quick
+            test_greedy_suboptimal_on_nonseparable;
+        ] );
+      ( "class model",
+        [
+          Alcotest.test_case "basics" `Quick test_class_model_basics;
+          Alcotest.test_case "admissible" `Quick test_class_model_admissible;
+          Alcotest.test_case "pattern affects payment" `Quick
+            test_class_model_pattern_affects_payment;
+          Alcotest.test_case "class bids" `Quick test_class_model_class_bids;
+          Alcotest.test_case "table-backed model" `Quick test_class_model_of_tables;
+          Alcotest.test_case "table validation" `Quick test_class_model_of_tables_validation;
+        ] );
+    ]

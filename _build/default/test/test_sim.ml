@@ -1,0 +1,448 @@
+(* Tests for the simulation layer (essa_sim): the Section V workload
+   generator and the experiment harness plumbing. *)
+
+let qtest ?(count = 50) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen prop)
+
+(* ------------------------------------------------------------------ *)
+(* Workload *)
+
+let test_workload_shape () =
+  let wl = Essa_sim.Workload.section5 ~seed:1 ~n:37 () in
+  Alcotest.(check int) "n" 37 (Essa_sim.Workload.n wl);
+  Alcotest.(check int) "k default" 15 (Essa_sim.Workload.k wl);
+  Alcotest.(check int) "keywords default" 10 (Essa_sim.Workload.num_keywords wl);
+  let ctr = Essa_sim.Workload.ctr wl in
+  Alcotest.(check int) "ctr rows" 37 (Array.length ctr);
+  Alcotest.(check int) "ctr cols" 15 (Array.length ctr.(0))
+
+let test_workload_slot_intervals () =
+  let wl = Essa_sim.Workload.section5 ~seed:1 ~n:100 () in
+  let lo1, hi1 = Essa_sim.Workload.slot_interval wl ~slot:1 in
+  let lo15, hi15 = Essa_sim.Workload.slot_interval wl ~slot:15 in
+  (* Paper: [0.1, 0.9] partitioned into 15 disjoint intervals, higher
+     intervals for higher slots. *)
+  Alcotest.(check (float 1e-9)) "top ends at 0.9" 0.9 hi1;
+  Alcotest.(check (float 1e-9)) "bottom starts at 0.1" 0.1 lo15;
+  Alcotest.(check bool) "disjoint downward" true (lo1 > hi15);
+  Alcotest.(check (float 1e-9)) "equal widths" (hi1 -. lo1) (hi15 -. lo15)
+
+let prop_workload_ctr_within_intervals =
+  qtest "every ctr lies in its slot's interval"
+    QCheck2.Gen.(int_range 0 10_000)
+    (fun seed ->
+      let wl = Essa_sim.Workload.section5 ~seed ~n:30 () in
+      let ctr = Essa_sim.Workload.ctr wl in
+      Array.for_all
+        (fun row ->
+          Array.for_all (fun x -> x)
+            (Array.mapi
+               (fun j p ->
+                 let lo, hi = Essa_sim.Workload.slot_interval wl ~slot:(j + 1) in
+                 p >= lo && p <= hi)
+               row))
+        ctr)
+
+let prop_workload_values_and_targets =
+  qtest "values in [0,50] with a nonzero; targets in [1, max value]"
+    QCheck2.Gen.(int_range 0 10_000)
+    (fun seed ->
+      let wl = Essa_sim.Workload.section5 ~seed ~n:25 () in
+      let states = Essa_sim.Workload.fresh_states wl in
+      Array.for_all
+        (fun st ->
+          let nk = Essa_strategy.Roi_state.num_keywords st in
+          let values = List.init nk (fun kw -> Essa_strategy.Roi_state.value st ~keyword:kw) in
+          let max_v = List.fold_left max 0 values in
+          List.for_all (fun v -> v >= 0 && v <= 50) values
+          && max_v >= 1
+          && Essa_strategy.Roi_state.target_rate st >= 1.0
+          && Essa_strategy.Roi_state.target_rate st <= float_of_int max_v)
+        states)
+
+let test_workload_fresh_states_independent () =
+  let wl = Essa_sim.Workload.section5 ~seed:3 ~n:5 () in
+  let a = Essa_sim.Workload.fresh_states wl in
+  let b = Essa_sim.Workload.fresh_states wl in
+  (* Same initial content... *)
+  Alcotest.(check bool) "equal initially" true
+    (Array.for_all2 Essa_strategy.Roi_state.equal a b);
+  (* ...but mutating one copy must not affect the other. *)
+  Essa_strategy.Roi_state.record_win a.(0) ~keyword:0 ~price:5 ~clicked:true;
+  Alcotest.(check bool) "independent" false (Essa_strategy.Roi_state.equal a.(0) b.(0))
+
+let test_workload_determinism () =
+  let w1 = Essa_sim.Workload.section5 ~seed:7 ~n:10 () in
+  let w2 = Essa_sim.Workload.section5 ~seed:7 ~n:10 () in
+  Alcotest.(check bool) "same ctr" true (Essa_sim.Workload.ctr w1 = Essa_sim.Workload.ctr w2)
+
+let test_query_stream_uniform_range () =
+  let wl = Essa_sim.Workload.section5 ~seed:1 ~n:5 () in
+  let seen = Array.make 10 false in
+  let q = ref (Essa_sim.Workload.query_stream wl ~seed:2) in
+  for _ = 1 to 500 do
+    match !q () with
+    | Seq.Cons (kw, rest) ->
+        q := rest;
+        if kw < 0 || kw >= 10 then Alcotest.fail "keyword out of range";
+        seen.(kw) <- true
+    | Seq.Nil -> Alcotest.fail "stream ended"
+  done;
+  Alcotest.(check bool) "all keywords appear" true (Array.for_all (fun b -> b) seen)
+
+(* ------------------------------------------------------------------ *)
+(* Experiment harness *)
+
+let tiny_series () =
+  Essa_sim.Experiment.run_series ~warmup:2 ~method_:`Rh ~seed:1 ~ns:[ 20; 40 ]
+    ~auctions:5 ()
+
+let test_run_series_points () =
+  let s = tiny_series () in
+  Alcotest.(check string) "label" "RH" s.label;
+  Alcotest.(check (list int)) "ns" [ 20; 40 ]
+    (List.map (fun (p : Essa_sim.Experiment.point) -> p.n) s.points);
+  List.iter
+    (fun (p : Essa_sim.Experiment.point) ->
+      Alcotest.(check bool) "positive time" true (p.ms_per_auction > 0.0);
+      Alcotest.(check int) "measured all" 5 p.auctions_measured)
+    s.points
+
+let test_give_up_truncates () =
+  (* A brutal give-up threshold keeps only the first point. *)
+  let s =
+    Essa_sim.Experiment.run_series ~warmup:1 ~give_up_ms:0.0 ~method_:`Rh ~seed:1
+      ~ns:[ 10; 20; 30 ] ~auctions:2 ()
+  in
+  Alcotest.(check int) "one point" 1 (List.length s.points)
+
+let test_csv_format () =
+  let s = tiny_series () in
+  let csv = Essa_sim.Experiment.to_csv [ s ] in
+  let lines = String.split_on_char '\n' (String.trim csv) in
+  Alcotest.(check string) "header" "method,n,auctions,ms_per_auction" (List.hd lines);
+  Alcotest.(check int) "rows" 3 (List.length lines);
+  List.iter
+    (fun line ->
+      if line <> List.hd lines then
+        Alcotest.(check bool) "starts with RH," true
+          (String.length line > 3 && String.sub line 0 3 = "RH,"))
+    (List.tl lines)
+
+let test_table_format () =
+  let s = tiny_series () in
+  let table = Essa_sim.Experiment.to_table [ s ] in
+  Alcotest.(check bool) "has header" true
+    (String.length table > 0
+    &&
+    let first_line = List.hd (String.split_on_char '\n' table) in
+    String.length first_line > 0)
+
+let test_table_renders_missing_points () =
+  let full = tiny_series () in
+  let truncated = { full with Essa_sim.Experiment.points = [ List.hd full.points ] } in
+  let table = Essa_sim.Experiment.to_table [ full; truncated ] in
+  Alcotest.(check bool) "dash for missing n" true (String.contains table '-')
+
+let test_ascii_plot_smoke () =
+  let s = tiny_series () in
+  let plot = Essa_sim.Experiment.to_ascii_plot [ s ] in
+  Alcotest.(check bool) "marks present" true (String.contains plot 'R');
+  Alcotest.(check bool) "legend" true (String.contains plot '=');
+  Alcotest.(check string) "empty data" "(no data)\n"
+    (Essa_sim.Experiment.to_ascii_plot [ { s with points = [] } ])
+
+let test_method_labels () =
+  Alcotest.(check string) "LP" "LP" (Essa_sim.Experiment.method_label `Lp);
+  Alcotest.(check string) "LPdense" "LPdense" (Essa_sim.Experiment.method_label `Lp_dense);
+  Alcotest.(check string) "H" "H" (Essa_sim.Experiment.method_label `H);
+  Alcotest.(check string) "RH" "RH" (Essa_sim.Experiment.method_label `Rh);
+  Alcotest.(check string) "RHTALU" "RHTALU" (Essa_sim.Experiment.method_label `Rhtalu)
+
+(* ------------------------------------------------------------------ *)
+(* Matcher (provider-side keyword matching) *)
+
+let make_matcher () =
+  let m = Essa_sim.Matcher.create () in
+  Essa_sim.Matcher.add_advertiser m ~adv:0 ~keywords:[ "boot"; "running shoe" ];
+  Essa_sim.Matcher.add_advertiser m ~adv:1 ~keywords:[ "shoe" ];
+  Essa_sim.Matcher.add_advertiser m ~adv:2 ~keywords:[ "piano" ];
+  m
+
+let test_matcher_tokens () =
+  Alcotest.(check (list string)) "tokenizer"
+    [ "red"; "running"; "shoes"; "42" ]
+    (Essa_sim.Matcher.tokens "Red, RUNNING shoes!  42")
+
+let test_matcher_candidates () =
+  let m = make_matcher () in
+  Alcotest.(check (list int)) "shoe query" [ 0; 1 ]
+    (Essa_sim.Matcher.candidates m ~query:"cheap shoe");
+  Alcotest.(check (list int)) "piano query" [ 2 ]
+    (Essa_sim.Matcher.candidates m ~query:"grand PIANO");
+  Alcotest.(check (list int)) "no match" []
+    (Essa_sim.Matcher.candidates m ~query:"automobile")
+
+let test_matcher_relevance () =
+  let m = make_matcher () in
+  Alcotest.(check (float 1e-9)) "full phrase" 1.0
+    (Essa_sim.Matcher.relevance m ~adv:0 ~keyword:"running shoe" ~query:"best running shoe deals");
+  Alcotest.(check (float 1e-9)) "half phrase" 0.5
+    (Essa_sim.Matcher.relevance m ~adv:0 ~keyword:"running shoe" ~query:"running socks");
+  Alcotest.(check (float 1e-9)) "not owned" 0.0
+    (Essa_sim.Matcher.relevance m ~adv:1 ~keyword:"boot" ~query:"boot");
+  Alcotest.(check (float 1e-9)) "no overlap" 0.0
+    (Essa_sim.Matcher.relevance m ~adv:2 ~keyword:"piano" ~query:"boot")
+
+let test_matcher_best_keyword () =
+  let m = make_matcher () in
+  (match Essa_sim.Matcher.best_keyword m ~adv:0 ~query:"buy running shoe" with
+  | Some (kw, r) ->
+      Alcotest.(check string) "best" "running shoe" kw;
+      Alcotest.(check (float 1e-9)) "score" 1.0 r
+  | None -> Alcotest.fail "expected a match");
+  Alcotest.(check bool) "no match" true
+    (Essa_sim.Matcher.best_keyword m ~adv:2 ~query:"shoe" = None)
+
+let test_matcher_replace_advertiser () =
+  let m = make_matcher () in
+  Essa_sim.Matcher.add_advertiser m ~adv:1 ~keywords:[ "sandal" ];
+  Alcotest.(check (list int)) "old keyword dropped" [ 0 ]
+    (Essa_sim.Matcher.candidates m ~query:"shoe");
+  Alcotest.(check (list int)) "new keyword live" [ 1 ]
+    (Essa_sim.Matcher.candidates m ~query:"sandal");
+  Alcotest.(check int) "count unchanged" 3 (Essa_sim.Matcher.num_advertisers m)
+
+let test_matcher_pruning_preserves_winners () =
+  (* Winner determination over the pruned candidate set equals WD over
+     everyone, because non-candidates bid 0 on this query. *)
+  let rng = Essa_util.Rng.create 9 in
+  let n = 40 and k = 3 in
+  let m = Essa_sim.Matcher.create () in
+  let vocab = [| "boot"; "shoe"; "piano"; "guitar"; "sofa" |] in
+  let owned = Array.init n (fun _ -> vocab.(Essa_util.Rng.int rng 5)) in
+  Array.iteri (fun adv kw -> Essa_sim.Matcher.add_advertiser m ~adv ~keywords:[ kw ]) owned;
+  let query = "boot" in
+  let candidates = Essa_sim.Matcher.candidates m ~query in
+  let bid adv = if List.mem adv candidates then 1 + (adv mod 17) else 0 in
+  let ctr = Array.init n (fun i -> Array.init k (fun j ->
+      0.1 +. (0.8 /. float_of_int (1 + i + j)))) in
+  let w_full = Array.init n (fun i -> Array.map (fun p -> p *. float_of_int (bid i)) ctr.(i)) in
+  let full_value = Essa_matching.Hungarian.optimal_weight ~w:w_full in
+  let cands = Array.of_list candidates in
+  let w_pruned = Array.map (fun i -> w_full.(i)) cands in
+  let pruned_value = Essa_matching.Hungarian.optimal_weight ~w:w_pruned in
+  Alcotest.(check (float 1e-9)) "pruning is lossless" full_value pruned_value
+
+(* ------------------------------------------------------------------ *)
+(* Trace *)
+
+let run_traced ~auctions =
+  let wl = Essa_sim.Workload.section5 ~seed:9 ~n:40 ~k:4 () in
+  let engine = Essa_sim.Workload.make_engine wl ~method_:`Rh in
+  let trace = Essa_sim.Trace.create ~n:40 ~k:4 in
+  let fleet = Essa.Engine.fleet engine in
+  let values ~adv ~keyword =
+    Essa_strategy.Roi_state.value
+      (Essa_strategy.Roi_fleet.state fleet ~adv)
+      ~keyword
+  in
+  for t = 1 to auctions do
+    Essa_sim.Trace.record trace ~values (Essa.Engine.run_auction engine ~keyword:(t mod 10))
+  done;
+  (engine, trace)
+
+let test_trace_accounting () =
+  let engine, trace = run_traced ~auctions:200 in
+  Alcotest.(check int) "auctions" 200 (Essa_sim.Trace.auctions trace);
+  Alcotest.(check int) "revenue matches engine" (Essa.Engine.total_revenue engine)
+    (Essa_sim.Trace.revenue trace);
+  let reports = Essa_sim.Trace.report trace in
+  let total_spend = Array.fold_left (fun acc r -> acc + r.Essa_sim.Trace.spend) 0 reports in
+  Alcotest.(check int) "spend = revenue" (Essa_sim.Trace.revenue trace) total_spend;
+  Array.iter
+    (fun (r : Essa_sim.Trace.advertiser_report) ->
+      Alcotest.(check bool) "clicks <= impressions" true (r.clicks <= r.impressions);
+      Alcotest.(check int) "surplus identity" r.surplus (r.value_gained - r.spend))
+    reports
+
+let test_trace_top_spenders_sorted () =
+  let _, trace = run_traced ~auctions:150 in
+  let top = Essa_sim.Trace.top_spenders trace ~count:5 in
+  Alcotest.(check int) "five" 5 (List.length top);
+  let rec sorted = function
+    | (a : Essa_sim.Trace.advertiser_report) :: b :: rest ->
+        a.spend >= b.spend && sorted (b :: rest)
+    | _ -> true
+  in
+  Alcotest.(check bool) "descending spend" true (sorted top)
+
+let test_trace_revenue_series () =
+  let _, trace = run_traced ~auctions:100 in
+  let series = Essa_sim.Trace.revenue_series trace ~bucket:25 in
+  Alcotest.(check int) "4 buckets" 4 (List.length series);
+  let mean = List.fold_left ( +. ) 0.0 series /. 4.0 in
+  Alcotest.(check (float 1e-6)) "bucket means average to overall mean"
+    (float_of_int (Essa_sim.Trace.revenue trace) /. 100.0)
+    mean
+
+let test_trace_bucket_validation () =
+  let _, trace = run_traced ~auctions:10 in
+  Alcotest.(check bool) "bucket <= 0" true
+    (match Essa_sim.Trace.revenue_series trace ~bucket:0 with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_trace_csv_shape () =
+  let _, trace = run_traced ~auctions:20 in
+  let csv = Essa_sim.Trace.to_csv trace in
+  let lines = String.split_on_char '\n' (String.trim csv) in
+  Alcotest.(check string) "header" "auction,keyword,slot,advertiser,price,clicked,revenue"
+    (List.hd lines);
+  Alcotest.(check bool) "one row per occupied slot" true (List.length lines > 20)
+
+(* ------------------------------------------------------------------ *)
+(* Cli_spec *)
+
+let test_cli_parse_bids () =
+  let b = Essa_sim.Cli_spec.parse_bids "click:10,purchase & slot1:5" in
+  Alcotest.(check int) "rows" 2 (Essa_bidlang.Bids.size b);
+  Alcotest.(check int) "sum" 15 (Essa_bidlang.Bids.max_payment b)
+
+let test_cli_parse_bids_errors () =
+  let bad f = match f () with exception _ -> true | _ -> false in
+  Alcotest.(check bool) "missing colon" true
+    (bad (fun () -> Essa_sim.Cli_spec.parse_bids "click"));
+  Alcotest.(check bool) "bad amount" true
+    (bad (fun () -> Essa_sim.Cli_spec.parse_bids "click:lots"));
+  Alcotest.(check bool) "bad formula" true
+    (bad (fun () -> Essa_sim.Cli_spec.parse_bids "clack:3"));
+  Alcotest.(check bool) "negative" true
+    (bad (fun () -> Essa_sim.Cli_spec.parse_bids "click:-2"))
+
+let test_cli_parse_probs () =
+  Alcotest.(check (array (float 1e-9))) "three" [| 0.5; 0.25; 0.1 |]
+    (Essa_sim.Cli_spec.parse_probs ~k:3 "0.5, 0.25 ,0.1");
+  let bad f = match f () with exception Invalid_argument _ -> true | _ -> false in
+  Alcotest.(check bool) "count" true
+    (bad (fun () -> Essa_sim.Cli_spec.parse_probs ~k:2 "0.5"));
+  Alcotest.(check bool) "not a float" true
+    (bad (fun () -> Essa_sim.Cli_spec.parse_probs ~k:1 "zed"))
+
+(* ------------------------------------------------------------------ *)
+(* Ramp_engine *)
+
+let make_ramp_engines seed n k =
+  let rng = Essa_util.Rng.create seed in
+  let ctr =
+    Array.init n (fun _ ->
+        Array.init k (fun j ->
+            let hi = 0.9 -. (0.8 /. float_of_int k *. float_of_int j) in
+            Essa_util.Rng.float_in rng (hi -. (0.8 /. float_of_int k)) hi))
+  in
+  let starts = Array.init n (fun _ -> Essa_util.Rng.int rng 20) in
+  let rates = Array.init n (fun _ -> Essa_util.Rng.int rng 4) in
+  let budgets = Array.init n (fun _ -> 100 + Essa_util.Rng.int rng 900) in
+  let make mode =
+    Essa_sim.Ramp_engine.create ~mode ~ctr ~starts ~rates ~budgets
+      ~user_seed:(seed + 1)
+  in
+  (make `Scan, make `Ta)
+
+let test_ramp_engine_modes_bit_identical () =
+  let scan, ta = make_ramp_engines 17 300 6 in
+  for _ = 1 to 400 do
+    let s1 = Essa_sim.Ramp_engine.run_auction scan in
+    let s2 = Essa_sim.Ramp_engine.run_auction ta in
+    if s1 <> s2 then Alcotest.fail "scan and TA modes diverged"
+  done;
+  Alcotest.(check int) "revenues" (Essa_sim.Ramp_engine.total_revenue scan)
+    (Essa_sim.Ramp_engine.total_revenue ta);
+  for adv = 0 to 299 do
+    Alcotest.(check int) "budgets in sync"
+      (Essa_sim.Ramp_engine.remaining scan ~adv)
+      (Essa_sim.Ramp_engine.remaining ta ~adv)
+  done
+
+let test_ramp_engine_budgets_deplete () =
+  let _, ta = make_ramp_engines 3 50 4 in
+  let initial_total =
+    List.init 50 (fun adv -> Essa_sim.Ramp_engine.remaining ta ~adv)
+    |> List.fold_left ( + ) 0
+  in
+  for _ = 1 to 300 do
+    ignore (Essa_sim.Ramp_engine.run_auction ta)
+  done;
+  let final_total =
+    List.init 50 (fun adv -> Essa_sim.Ramp_engine.remaining ta ~adv)
+    |> List.fold_left ( + ) 0
+  in
+  (* Every cent of revenue left somebody's budget. *)
+  Alcotest.(check int) "budget conservation"
+    (initial_total - final_total)
+    (Essa_sim.Ramp_engine.total_revenue ta)
+
+let test_ramp_engine_validation () =
+  Alcotest.(check bool) "shape mismatch" true
+    (match
+       Essa_sim.Ramp_engine.create ~mode:`Ta ~ctr:[| [| 0.5 |] |] ~starts:[| 1; 2 |]
+         ~rates:[| 1 |] ~budgets:[| 1 |] ~user_seed:0
+     with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let () =
+  Alcotest.run "essa_sim"
+    [
+      ( "workload",
+        [
+          Alcotest.test_case "shape" `Quick test_workload_shape;
+          Alcotest.test_case "slot intervals" `Quick test_workload_slot_intervals;
+          prop_workload_ctr_within_intervals;
+          prop_workload_values_and_targets;
+          Alcotest.test_case "fresh states independent" `Quick
+            test_workload_fresh_states_independent;
+          Alcotest.test_case "determinism" `Quick test_workload_determinism;
+          Alcotest.test_case "query stream" `Quick test_query_stream_uniform_range;
+        ] );
+      ( "matcher",
+        [
+          Alcotest.test_case "tokens" `Quick test_matcher_tokens;
+          Alcotest.test_case "candidates" `Quick test_matcher_candidates;
+          Alcotest.test_case "relevance" `Quick test_matcher_relevance;
+          Alcotest.test_case "best keyword" `Quick test_matcher_best_keyword;
+          Alcotest.test_case "replace advertiser" `Quick test_matcher_replace_advertiser;
+          Alcotest.test_case "pruning lossless" `Quick test_matcher_pruning_preserves_winners;
+        ] );
+      ( "cli_spec",
+        [
+          Alcotest.test_case "parse bids" `Quick test_cli_parse_bids;
+          Alcotest.test_case "parse bids errors" `Quick test_cli_parse_bids_errors;
+          Alcotest.test_case "parse probs" `Quick test_cli_parse_probs;
+        ] );
+      ( "ramp_engine",
+        [
+          Alcotest.test_case "scan = TA (bit-identical)" `Quick
+            test_ramp_engine_modes_bit_identical;
+          Alcotest.test_case "budget conservation" `Quick test_ramp_engine_budgets_deplete;
+          Alcotest.test_case "validation" `Quick test_ramp_engine_validation;
+        ] );
+      ( "trace",
+        [
+          Alcotest.test_case "accounting" `Quick test_trace_accounting;
+          Alcotest.test_case "top spenders" `Quick test_trace_top_spenders_sorted;
+          Alcotest.test_case "revenue series" `Quick test_trace_revenue_series;
+          Alcotest.test_case "csv shape" `Quick test_trace_csv_shape;
+          Alcotest.test_case "bucket validation" `Quick test_trace_bucket_validation;
+        ] );
+      ( "experiment",
+        [
+          Alcotest.test_case "run_series" `Quick test_run_series_points;
+          Alcotest.test_case "give-up truncation" `Quick test_give_up_truncates;
+          Alcotest.test_case "csv" `Quick test_csv_format;
+          Alcotest.test_case "table" `Quick test_table_format;
+          Alcotest.test_case "missing points render" `Quick test_table_renders_missing_points;
+          Alcotest.test_case "ascii plot" `Quick test_ascii_plot_smoke;
+          Alcotest.test_case "labels" `Quick test_method_labels;
+        ] );
+    ]

@@ -1,0 +1,622 @@
+(* Tests for bidding strategies (essa_strategy): the native ROI state, the
+   SQL program form, and the three-way fleet equivalence at the heart of
+   RHTALU. *)
+
+open Essa_strategy
+
+let qtest ?(count = 60) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen prop)
+
+(* ------------------------------------------------------------------ *)
+(* Roi_state *)
+
+let mk_state ?initial_bids ?(values = [| 10; 20 |]) ?(target = 5.0) () =
+  Roi_state.create ~values ?initial_bids ~target_rate:target ()
+
+let test_roi_state_defaults () =
+  let st = mk_state () in
+  Alcotest.(check int) "maxbid = value" 10 (Roi_state.maxbid st ~keyword:0);
+  Alcotest.(check int) "initial bid = half" 5 (Roi_state.bid st ~keyword:0);
+  Alcotest.(check int) "initial spend" 0 (Roi_state.amt_spent st);
+  Alcotest.(check (float 0.0)) "roi 0/0" 0.0 (Roi_state.roi st ~keyword:0)
+
+let test_roi_state_validation () =
+  let bad f = match f () with exception Invalid_argument _ -> true | _ -> false in
+  Alcotest.(check bool) "no keywords" true
+    (bad (fun () -> Roi_state.create ~values:[||] ~target_rate:1.0 ()));
+  Alcotest.(check bool) "bad target" true
+    (bad (fun () -> Roi_state.create ~values:[| 1 |] ~target_rate:0.0 ()));
+  Alcotest.(check bool) "bid beyond maxbid" true
+    (bad (fun () ->
+         Roi_state.create ~values:[| 5 |] ~initial_bids:[| 6 |] ~target_rate:1.0 ()))
+
+let test_roi_underspending_increments () =
+  let st = mk_state () in
+  Roi_state.on_auction st ~time:1 ~keyword:0;
+  Alcotest.(check int) "bid + 1" 6 (Roi_state.bid st ~keyword:0);
+  Alcotest.(check int) "other keyword untouched" 10 (Roi_state.bid st ~keyword:1)
+
+let test_roi_increment_capped_at_maxbid () =
+  let st = mk_state ~initial_bids:[| 10; 10 |] () in
+  Roi_state.on_auction st ~time:1 ~keyword:0;
+  Alcotest.(check int) "stays at maxbid" 10 (Roi_state.bid st ~keyword:0)
+
+let test_roi_overspending_decrements () =
+  let st = mk_state () in
+  Roi_state.record_win st ~keyword:0 ~price:50 ~clicked:true;
+  (* 50 spent at time 1 > target 5 -> overspending. *)
+  Roi_state.on_auction st ~time:1 ~keyword:0;
+  Alcotest.(check int) "bid - 1" 4 (Roi_state.bid st ~keyword:0)
+
+let test_roi_decrement_floored_at_zero () =
+  let st = mk_state ~initial_bids:[| 0; 0 |] () in
+  Roi_state.record_win st ~keyword:0 ~price:50 ~clicked:true;
+  Roi_state.on_auction st ~time:1 ~keyword:0;
+  Alcotest.(check int) "stays at 0" 0 (Roi_state.bid st ~keyword:0)
+
+let test_roi_at_target_stays () =
+  let st = mk_state ~target:10.0 () in
+  Roi_state.record_win st ~keyword:0 ~price:10 ~clicked:true;
+  (* 10 = 10 × 1: exactly at target. *)
+  Roi_state.on_auction st ~time:1 ~keyword:0;
+  Alcotest.(check int) "unchanged" 5 (Roi_state.bid st ~keyword:0)
+
+let test_roi_unclicked_win_costs_nothing () =
+  let st = mk_state () in
+  Roi_state.record_win st ~keyword:0 ~price:50 ~clicked:false;
+  Alcotest.(check int) "pay-per-click" 0 (Roi_state.amt_spent st);
+  Alcotest.(check int) "no gain" 0 (Roi_state.gained st ~keyword:0)
+
+let test_roi_roi_accounting () =
+  let st = mk_state () in
+  Roi_state.record_win st ~keyword:0 ~price:4 ~clicked:true;
+  Roi_state.record_win st ~keyword:0 ~price:6 ~clicked:true;
+  (* gained 2×10 = 20; spent 10 -> roi 2. *)
+  Alcotest.(check (float 1e-9)) "roi" 2.0 (Roi_state.roi st ~keyword:0);
+  Alcotest.(check int) "amt spent" 10 (Roi_state.amt_spent st)
+
+let test_roi_classify_matrix () =
+  let cases =
+    [
+      (* amt, target, time, bid, maxbid, expected *)
+      (0, 5.0, 1, 3, 10, Roi_state.Inc);
+      (0, 5.0, 1, 10, 10, Roi_state.Stay);   (* at maxbid *)
+      (100, 5.0, 1, 3, 10, Roi_state.Dec);
+      (100, 5.0, 1, 0, 10, Roi_state.Stay);  (* at zero *)
+      (10, 5.0, 2, 3, 10, Roi_state.Stay);   (* exactly at target *)
+      (10, 5.0, 3, 3, 10, Roi_state.Inc);    (* rate decayed below target *)
+    ]
+  in
+  List.iteri
+    (fun i (amt_spent, target_rate, time, bid, maxbid, expected) ->
+      let got =
+        Roi_state.classify ~budget:None ~amt_spent ~target_rate ~time ~bid ~maxbid
+      in
+      Alcotest.(check bool) (Printf.sprintf "case %d" i) true (got = expected))
+    cases
+
+let test_roi_budget_exhaustion () =
+  let st =
+    Roi_state.create ~values:[| 10; 20 |] ~budget:15 ~target_rate:5.0 ()
+  in
+  Alcotest.(check bool) "fresh" false (Roi_state.exhausted st);
+  Roi_state.record_win st ~keyword:0 ~price:10 ~clicked:true;
+  Alcotest.(check bool) "under budget" false (Roi_state.exhausted st);
+  Alcotest.(check bool) "bids alive" true (Roi_state.bid st ~keyword:0 > 0);
+  Roi_state.record_win st ~keyword:1 ~price:10 ~clicked:true;
+  Alcotest.(check bool) "exhausted" true (Roi_state.exhausted st);
+  Alcotest.(check int) "bid 0 zeroed" 0 (Roi_state.bid st ~keyword:0);
+  Alcotest.(check int) "bid 1 zeroed" 0 (Roi_state.bid st ~keyword:1);
+  (* Stays retired even after the spending rate decays below target. *)
+  for time = 100 to 110 do
+    Roi_state.on_auction st ~time ~keyword:0
+  done;
+  Alcotest.(check int) "still zero" 0 (Roi_state.bid st ~keyword:0)
+
+let test_roi_budget_validation () =
+  Alcotest.(check bool) "negative budget" true
+    (match Roi_state.create ~values:[| 1 |] ~budget:(-1) ~target_rate:1.0 () with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let prop_fleet_equivalence_with_budgets =
+  qtest ~count:25 "fleet equivalence holds with budgets"
+    QCheck2.Gen.(int_range 0 100_000)
+    (fun seed ->
+      let rng = Essa_util.Rng.create seed in
+      let n = 2 + Essa_util.Rng.int rng 15 in
+      let nk = 1 + Essa_util.Rng.int rng 3 in
+      let base =
+        Array.init n (fun _ ->
+            let values = Array.init nk (fun _ -> 1 + Essa_util.Rng.int rng 50) in
+            let maxv = Array.fold_left max 1 values in
+            Roi_state.create ~values
+              ~budget:(5 + Essa_util.Rng.int rng 60)
+              ~target_rate:(Essa_util.Rng.float_in rng 1.0 (float_of_int maxv))
+              ())
+      in
+      let fleets =
+        List.map
+          (fun make -> make (Array.map Roi_state.copy base))
+          [ Roi_fleet.naive; Roi_fleet.tabular; Roi_fleet.logical ]
+      in
+      let ok = ref true in
+      for time = 1 to 200 do
+        let kw = Essa_util.Rng.int rng nk in
+        List.iter (fun f -> Roi_fleet.on_auction f ~time ~keyword:kw) fleets;
+        let winners =
+          List.sort_uniq compare
+            (List.init (Essa_util.Rng.int rng 3) (fun _ -> Essa_util.Rng.int rng n))
+        in
+        List.iter
+          (fun adv ->
+            let clicked = Essa_util.Rng.bool rng in
+            let price = Essa_util.Rng.int rng 25 in
+            List.iter
+              (fun f -> Roi_fleet.record_win f ~time ~adv ~keyword:kw ~price ~clicked)
+              fleets)
+          winners;
+        (match List.map (fun f -> Roi_fleet.snapshot_bids f ~keyword:kw) fleets with
+        | [ a; b; c ] -> if not (a = b && b = c) then ok := false
+        | _ -> ok := false)
+      done;
+      !ok)
+
+(* ------------------------------------------------------------------ *)
+(* Adjustment_list *)
+
+let test_adjustment_list () =
+  let l = Adjustment_list.create () in
+  Adjustment_list.insert l ~id:1 ~effective:5;
+  Adjustment_list.insert l ~id:2 ~effective:9;
+  Adjustment_list.bulk_adjust l (-2);
+  Alcotest.(check (option int)) "adjusted" (Some 3) (Adjustment_list.effective_of l 1);
+  Adjustment_list.insert l ~id:3 ~effective:4;
+  Alcotest.(check (option int)) "late joiner" (Some 4) (Adjustment_list.effective_of l 3);
+  Adjustment_list.bulk_adjust l 1;
+  Alcotest.(check (list (pair int int))) "order preserved"
+    [ (2, 8); (3, 5); (1, 4) ]
+    (List.of_seq (Adjustment_list.to_seq_desc l));
+  Adjustment_list.remove l ~id:2;
+  Alcotest.(check int) "size" 2 (Adjustment_list.size l);
+  Alcotest.(check bool) "mem" false (Adjustment_list.mem l 2)
+
+let test_adjustment_list_seq_snapshot () =
+  let l = Adjustment_list.create () in
+  Adjustment_list.insert l ~id:1 ~effective:5;
+  let s = Adjustment_list.to_seq_desc l in
+  Adjustment_list.bulk_adjust l 100;
+  (* The previously created sequence must reflect the state at call time. *)
+  Alcotest.(check (list (pair int int))) "snapshot" [ (1, 5) ] (List.of_seq s)
+
+(* ------------------------------------------------------------------ *)
+(* Sql_program: the paper's Fig. 4 -> Fig. 6 example *)
+
+let fig4_keywords =
+  [
+    { Sql_program.text = "boot"; formula = "click & slot1"; value = 10; maxbid = 5; initial_bid = 4 };
+    { Sql_program.text = "shoe"; formula = "click"; value = 10; maxbid = 6; initial_bid = 6 };
+  ]
+
+let test_fig5_program_produces_fig6 () =
+  let p = Sql_program.create_fig5 ~keywords:fig4_keywords ~target_rate:2.0 in
+  (* Arrange exact at-target spending so lines 1-20 leave bids unchanged,
+     then Fig. 4 relevances: boot 0.8, shoe 0.2. *)
+  Essa_relalg.Database.set_var (Sql_program.db p) "amtSpent" (Essa_relalg.Value.Int 2);
+  Sql_program.run_auction p ~time:1
+    ~relevance:(fun kw -> if kw = "boot" then 0.8 else 0.2);
+  (* Fig. 6: (click & slot1, 4) and (click, 0). *)
+  let bids_table = Essa_relalg.Database.table (Sql_program.db p) "Bids" in
+  let rows =
+    Essa_relalg.Table.fold bids_table ~init:[] ~f:(fun acc row ->
+        ( Essa_relalg.Value.to_string_exn (Essa_relalg.Table.get_value bids_table row "formula"),
+          Essa_relalg.Value.to_int (Essa_relalg.Table.get_value bids_table row "value") )
+        :: acc)
+    |> List.sort compare
+  in
+  Alcotest.(check (list (pair string int))) "Fig. 6"
+    [ ("click", 0); ("click & slot1", 4) ]
+    rows;
+  (* The parsed Bids table keeps only the funded formula. *)
+  let bids = Sql_program.bids p in
+  Alcotest.(check int) "one funded row" 1 (Essa_bidlang.Bids.size bids)
+
+let test_fig5_roi_gate () =
+  (* Underspending increments only the extreme-ROI relevant keyword. *)
+  let p = Sql_program.create_fig5 ~keywords:fig4_keywords ~target_rate:2.0 in
+  (* boot gets positive ROI; shoe none.  amtSpent 1 < target×time. *)
+  Sql_program.record_win p ~keyword:"boot" ~price:1 ~clicked:true;
+  Sql_program.run_auction p ~time:10 ~relevance:(fun _ -> 1.0);
+  (* max ROI keyword is boot (10/1); both relevant; only boot bumps. *)
+  Alcotest.(check int) "boot bumped" 5 (Sql_program.bid_on p ~keyword:"boot");
+  Alcotest.(check int) "shoe unchanged" 6 (Sql_program.bid_on p ~keyword:"shoe")
+
+let test_sql_program_validation () =
+  let bad f = match f () with exception _ -> true | _ -> false in
+  Alcotest.(check bool) "duplicate keyword" true
+    (bad (fun () ->
+         Sql_program.create_simple
+           ~keywords:[ List.hd fig4_keywords; List.hd fig4_keywords ]
+           ~target_rate:1.0));
+  Alcotest.(check bool) "bad formula" true
+    (bad (fun () ->
+         Sql_program.create_simple
+           ~keywords:[ { Sql_program.text = "x"; formula = "wat"; value = 1; maxbid = 1; initial_bid = 0 } ]
+           ~target_rate:1.0))
+
+let test_sql_listing_mentions_fig5_shape () =
+  let p = Sql_program.create_fig5 ~keywords:fig4_keywords ~target_rate:2.0 in
+  let s = Sql_program.listing p in
+  List.iter
+    (fun fragment ->
+      let contains hay needle =
+        let lh = String.length hay and ln = String.length needle in
+        let rec go i = i + ln <= lh && (String.sub hay i ln = needle || go (i + 1)) in
+        go 0
+      in
+      Alcotest.(check bool) ("mentions " ^ fragment) true (contains s fragment))
+    [ "CREATE TRIGGER"; "UPDATE Keywords"; "UPDATE Bids"; "ELSEIF"; "MAX(roi)" ]
+
+(* SQL simple program ≡ native Roi_state on random traces. *)
+let prop_sql_simple_equals_native =
+  qtest ~count:30 "simple SQL program = native state"
+    QCheck2.Gen.(int_range 0 10_000)
+    (fun seed ->
+      let rng = Essa_util.Rng.create seed in
+      let nk = 1 + Essa_util.Rng.int rng 3 in
+      let values = Array.init nk (fun _ -> 1 + Essa_util.Rng.int rng 50) in
+      let maxbids = Array.copy values in
+      let initial = Array.map (fun v -> v / 2) values in
+      let target = Essa_util.Rng.float_in rng 1.0 20.0 in
+      let keywords =
+        List.init nk (fun i ->
+            { Sql_program.text = Printf.sprintf "kw%d" i; formula = "click";
+              value = values.(i); maxbid = maxbids.(i); initial_bid = initial.(i) })
+      in
+      let sql = Sql_program.create_simple ~keywords ~target_rate:target in
+      let native =
+        Roi_state.create ~values ~maxbids ~initial_bids:initial ~target_rate:target ()
+      in
+      let ok = ref true in
+      for time = 1 to 60 do
+        let kw = Essa_util.Rng.int rng nk in
+        let kw_name = Printf.sprintf "kw%d" kw in
+        (* The SQL host sets amtSpent/time vars before triggering. *)
+        Essa_relalg.Database.set_var (Sql_program.db sql) "amtSpent"
+          (Essa_relalg.Value.Int (Roi_state.amt_spent native));
+        Sql_program.run_auction sql ~time
+          ~relevance:(fun name -> if name = kw_name then 1.0 else 0.0);
+        Roi_state.on_auction native ~time ~keyword:kw;
+        if Essa_util.Rng.bernoulli rng 0.3 then begin
+          let price = Essa_util.Rng.int rng 20 in
+          let clicked = Essa_util.Rng.bool rng in
+          Sql_program.record_win sql ~keyword:kw_name ~price ~clicked;
+          Roi_state.record_win native ~keyword:kw ~price ~clicked
+        end;
+        for kw' = 0 to nk - 1 do
+          if Sql_program.bid_on sql ~keyword:(Printf.sprintf "kw%d" kw')
+             <> Roi_state.bid native ~keyword:kw'
+          then ok := false
+        done;
+        if Sql_program.amt_spent sql <> Roi_state.amt_spent native then ok := false
+      done;
+      !ok)
+
+(* ------------------------------------------------------------------ *)
+(* Roi_fleet: three-way equivalence *)
+
+(* Integer target rates make amt = target×time equalities common,
+   hammering the Stay/trigger-boundary paths of the logical machinery. *)
+let prop_fleet_equivalence_integer_boundaries =
+  qtest ~count:20 "equivalence at exact spend-rate boundaries"
+    QCheck2.Gen.(int_range 0 100_000)
+    (fun seed ->
+      let rng = Essa_util.Rng.create seed in
+      let n = 2 + Essa_util.Rng.int rng 10 in
+      let nk = 1 + Essa_util.Rng.int rng 2 in
+      let base =
+        Array.init n (fun _ ->
+            let values = Array.init nk (fun _ -> 1 + Essa_util.Rng.int rng 20) in
+            Roi_state.create ~values
+              ~target_rate:(float_of_int (1 + Essa_util.Rng.int rng 5))
+              ())
+      in
+      let fleets =
+        List.map
+          (fun make -> make (Array.map Roi_state.copy base))
+          [ Roi_fleet.naive; Roi_fleet.logical ]
+      in
+      let ok = ref true in
+      for time = 1 to 300 do
+        let kw = Essa_util.Rng.int rng nk in
+        List.iter (fun f -> Roi_fleet.on_auction f ~time ~keyword:kw) fleets;
+        (* Integer prices that frequently make amt an exact multiple of
+           the target rate. *)
+        if Essa_util.Rng.bernoulli rng 0.4 then begin
+          let adv = Essa_util.Rng.int rng n in
+          let price = (1 + Essa_util.Rng.int rng 5) * (1 + Essa_util.Rng.int rng 4) in
+          List.iter
+            (fun f -> Roi_fleet.record_win f ~time ~adv ~keyword:kw ~price ~clicked:true)
+            fleets
+        end;
+        match List.map (fun f -> Roi_fleet.snapshot_bids f ~keyword:kw) fleets with
+        | [ a; b ] -> if a <> b then ok := false
+        | _ -> ok := false
+      done;
+      !ok)
+
+let random_states rng n nk =
+  Array.init n (fun _ ->
+      let values = Array.init nk (fun _ -> Essa_util.Rng.int rng 51) in
+      if Array.for_all (fun v -> v = 0) values then
+        values.(0) <- 1 + Essa_util.Rng.int rng 50;
+      let maxv = Array.fold_left max 1 values in
+      Roi_state.create ~values
+        ~target_rate:(Essa_util.Rng.float_in rng 1.0 (float_of_int maxv))
+        ())
+
+let prop_fleet_three_way_equivalence =
+  qtest ~count:25 "naive = tabular = logical over random traces"
+    QCheck2.Gen.(int_range 0 100_000)
+    (fun seed ->
+      let rng = Essa_util.Rng.create seed in
+      let n = 2 + Essa_util.Rng.int rng 25 in
+      let nk = 1 + Essa_util.Rng.int rng 4 in
+      let base = random_states rng n nk in
+      let fleets =
+        List.map
+          (fun make -> make (Array.map Roi_state.copy base))
+          [ Roi_fleet.naive; Roi_fleet.tabular; Roi_fleet.logical ]
+      in
+      let ok = ref true in
+      for time = 1 to 250 do
+        let kw = Essa_util.Rng.int rng nk in
+        List.iter (fun f -> Roi_fleet.on_auction f ~time ~keyword:kw) fleets;
+        let winners =
+          List.sort_uniq compare
+            (List.init (Essa_util.Rng.int rng 4) (fun _ -> Essa_util.Rng.int rng n))
+        in
+        List.iter
+          (fun adv ->
+            let clicked = Essa_util.Rng.bool rng in
+            let price = Essa_util.Rng.int rng 30 in
+            List.iter
+              (fun f -> Roi_fleet.record_win f ~time ~adv ~keyword:kw ~price ~clicked)
+              fleets)
+          winners;
+        (match List.map (fun f -> Roi_fleet.snapshot_bids f ~keyword:kw) fleets with
+        | [ a; b; c ] -> if not (a = b && b = c) then ok := false
+        | _ -> ok := false);
+        (match List.map (fun f -> List.of_seq (Roi_fleet.bids_desc f ~keyword:kw)) fleets with
+        | [ a; b; c ] -> if not (a = b && b = c) then ok := false
+        | _ -> ok := false)
+      done;
+      !ok)
+
+let prop_fleet_four_way_with_sql =
+  (* The full interpretation stack: SQL programs over relational tables
+     agree with the naive / tabular / logical modes, auction for auction. *)
+  qtest ~count:10 "naive = tabular = logical = SQL"
+    QCheck2.Gen.(int_range 0 100_000)
+    (fun seed ->
+      let rng = Essa_util.Rng.create seed in
+      let n = 2 + Essa_util.Rng.int rng 8 in
+      let nk = 1 + Essa_util.Rng.int rng 3 in
+      let base = random_states rng n nk in
+      let fleets =
+        List.map
+          (fun make -> make (Array.map Roi_state.copy base))
+          [ Roi_fleet.naive; Roi_fleet.tabular; Roi_fleet.logical; Roi_fleet.sql ]
+      in
+      let ok = ref true in
+      for time = 1 to 120 do
+        let kw = Essa_util.Rng.int rng nk in
+        List.iter (fun f -> Roi_fleet.on_auction f ~time ~keyword:kw) fleets;
+        let winners =
+          List.sort_uniq compare
+            (List.init (Essa_util.Rng.int rng 3) (fun _ -> Essa_util.Rng.int rng n))
+        in
+        List.iter
+          (fun adv ->
+            let clicked = Essa_util.Rng.bool rng in
+            let price = Essa_util.Rng.int rng 25 in
+            List.iter
+              (fun f -> Roi_fleet.record_win f ~time ~adv ~keyword:kw ~price ~clicked)
+              fleets)
+          winners;
+        let snaps = List.map (fun f -> Roi_fleet.snapshot_bids f ~keyword:kw) fleets in
+        (match snaps with
+        | first :: rest -> if not (List.for_all (( = ) first) rest) then ok := false
+        | [] -> ok := false)
+      done;
+      !ok)
+
+let test_fleet_sql_rejects_budgets () =
+  let st = Roi_state.create ~values:[| 5 |] ~budget:10 ~target_rate:1.0 () in
+  Alcotest.(check bool) "rejected" true
+    (match Roi_fleet.sql [| st |] with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_fleet_logical_bound_edges () =
+  (* One advertiser driven into both bounds: up to maxbid, then (after a
+     big win) down to zero, then (rate decayed) back up — exercising bound
+     triggers and the spend-rate trigger. *)
+  let states () =
+    [| Roi_state.create ~values:[| 4 |] ~initial_bids:[| 2 |] ~target_rate:2.0 () |]
+  in
+  let naive = Roi_fleet.naive (states ()) in
+  let logical = Roi_fleet.logical (states ()) in
+  let check time =
+    Alcotest.(check int)
+      (Printf.sprintf "bids agree at t=%d" time)
+      (Roi_fleet.bid naive ~adv:0 ~keyword:0)
+      (Roi_fleet.bid logical ~adv:0 ~keyword:0)
+  in
+  let both f = List.iter f [ naive; logical ] in
+  (* Climb to maxbid (2 -> 4) and sit there. *)
+  for time = 1 to 4 do
+    both (fun fl -> Roi_fleet.on_auction fl ~time ~keyword:0);
+    check time
+  done;
+  Alcotest.(check int) "clamped at maxbid" 4 (Roi_fleet.bid logical ~adv:0 ~keyword:0);
+  (* Big win at t=5: 100 cents ≫ 2/auction target -> overspending. *)
+  both (fun fl -> Roi_fleet.record_win fl ~time:5 ~adv:0 ~keyword:0 ~price:100 ~clicked:true);
+  for time = 6 to 12 do
+    both (fun fl -> Roi_fleet.on_auction fl ~time ~keyword:0);
+    check time
+  done;
+  Alcotest.(check int) "driven to zero" 0 (Roi_fleet.bid logical ~adv:0 ~keyword:0);
+  (* Spend rate decays below 2.0 at t=50; bids recover afterwards. *)
+  for time = 13 to 60 do
+    both (fun fl -> Roi_fleet.on_auction fl ~time ~keyword:0);
+    check time
+  done;
+  Alcotest.(check bool) "recovered" true (Roi_fleet.bid logical ~adv:0 ~keyword:0 > 0)
+
+let test_fleet_keyword_isolation () =
+  (* Auctions on keyword 0 must not move bids for keyword 1. *)
+  let fleet =
+    Roi_fleet.logical
+      [| Roi_state.create ~values:[| 10; 10 |] ~initial_bids:[| 5; 5 |] ~target_rate:1.0 () |]
+  in
+  for time = 1 to 3 do
+    Roi_fleet.on_auction fleet ~time ~keyword:0
+  done;
+  Alcotest.(check int) "keyword 0 moved" 8 (Roi_fleet.bid fleet ~adv:0 ~keyword:0);
+  Alcotest.(check int) "keyword 1 frozen" 5 (Roi_fleet.bid fleet ~adv:0 ~keyword:1)
+
+let test_fleet_interface_guards () =
+  let fleet = Roi_fleet.naive [| mk_state () |] in
+  Alcotest.(check int) "n" 1 (Roi_fleet.n fleet);
+  Alcotest.(check int) "nk" 2 (Roi_fleet.num_keywords fleet);
+  Alcotest.(check bool) "bad keyword" true
+    (match Roi_fleet.bid fleet ~adv:0 ~keyword:7 with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+(* ------------------------------------------------------------------ *)
+(* Ramp_fleet (Section IV-A, multi-parameter TA) *)
+
+let test_ramp_bid_formula () =
+  let fleet =
+    Ramp_fleet.create ~starts:[| 2; 10 |] ~rates:[| 3; 0 |] ~budgets:[| 100; 4 |]
+  in
+  Alcotest.(check int) "ramping" 14 (Ramp_fleet.bid fleet ~adv:0 ~time:4);
+  Alcotest.(check int) "capped by budget" 4 (Ramp_fleet.bid fleet ~adv:1 ~time:4)
+
+let test_ramp_win_updates_remaining () =
+  let fleet = Ramp_fleet.create ~starts:[| 5 |] ~rates:[| 1 |] ~budgets:[| 10 |] in
+  Ramp_fleet.record_win fleet ~adv:0 ~price:7;
+  Alcotest.(check int) "remaining" 3 (Ramp_fleet.remaining fleet ~adv:0);
+  Alcotest.(check int) "bid capped" 3 (Ramp_fleet.bid fleet ~adv:0 ~time:50);
+  Ramp_fleet.record_win fleet ~adv:0 ~price:100;
+  Alcotest.(check int) "floored at zero" 0 (Ramp_fleet.remaining fleet ~adv:0)
+
+let test_ramp_validation () =
+  let bad f = match f () with exception Invalid_argument _ -> true | _ -> false in
+  Alcotest.(check bool) "length mismatch" true
+    (bad (fun () -> Ramp_fleet.create ~starts:[| 1 |] ~rates:[||] ~budgets:[| 1 |]));
+  Alcotest.(check bool) "negative" true
+    (bad (fun () -> Ramp_fleet.create ~starts:[| -1 |] ~rates:[| 0 |] ~budgets:[| 0 |]))
+
+let prop_ramp_ta_equals_naive =
+  qtest ~count:40 "ramp TA top-k = full scan"
+    QCheck2.Gen.(int_range 0 100_000)
+    (fun seed ->
+      let rng = Essa_util.Rng.create seed in
+      let n = 5 + Essa_util.Rng.int rng 200 in
+      let starts = Array.init n (fun _ -> Essa_util.Rng.int rng 30) in
+      let rates = Array.init n (fun _ -> Essa_util.Rng.int rng 5) in
+      let budgets = Array.init n (fun _ -> Essa_util.Rng.int rng 300) in
+      let fleet = Ramp_fleet.create ~starts ~rates ~budgets in
+      let ctr = Array.init n (fun _ -> Essa_util.Rng.float_in rng 0.05 0.9) in
+      let ctr_sorted = Array.init n (fun i -> (i, ctr.(i))) in
+      Array.sort
+        (fun (ia, a) (ib, b) ->
+          let c = Float.compare b a in
+          if c <> 0 then c else Int.compare ia ib)
+        ctr_sorted;
+      let ok = ref true in
+      for round = 1 to 5 do
+        for _ = 1 to Essa_util.Rng.int rng 10 do
+          Ramp_fleet.record_win fleet ~adv:(Essa_util.Rng.int rng n)
+            ~price:(Essa_util.Rng.int rng 40)
+        done;
+        let time = round * (1 + Essa_util.Rng.int rng 10) in
+        let k = Essa_util.Rng.int rng 10 in
+        let ta, _ =
+          Ramp_fleet.top_k_ta fleet ~ctr_sorted ~ctr_lookup:(fun i -> ctr.(i)) ~time ~k
+        in
+        let naive = Ramp_fleet.top_k_naive fleet ~ctr_lookup:(fun i -> ctr.(i)) ~time ~k in
+        if ta <> naive then ok := false
+      done;
+      !ok)
+
+let test_ramp_ta_sublinear_on_skew () =
+  (* One advertiser with a huge budgeted ramp dominates: TA must finish
+     early even with four lists. *)
+  let n = 5000 in
+  let starts = Array.make n 1 in
+  starts.(42) <- 1000;
+  let fleet =
+    Ramp_fleet.create ~starts ~rates:(Array.make n 0)
+      ~budgets:(Array.make n 10_000)
+  in
+  let ctr_sorted = Array.init n (fun i -> (i, 0.5)) in
+  let _, stats =
+    Ramp_fleet.top_k_ta fleet ~ctr_sorted ~ctr_lookup:(fun _ -> 0.5) ~time:1 ~k:1
+  in
+  Alcotest.(check bool) "saw far fewer than n" true (stats.seen_objects < n / 2)
+
+let () =
+  Alcotest.run "essa_strategy"
+    [
+      ( "roi_state",
+        [
+          Alcotest.test_case "defaults" `Quick test_roi_state_defaults;
+          Alcotest.test_case "validation" `Quick test_roi_state_validation;
+          Alcotest.test_case "underspending increments" `Quick test_roi_underspending_increments;
+          Alcotest.test_case "capped at maxbid" `Quick test_roi_increment_capped_at_maxbid;
+          Alcotest.test_case "overspending decrements" `Quick test_roi_overspending_decrements;
+          Alcotest.test_case "floored at zero" `Quick test_roi_decrement_floored_at_zero;
+          Alcotest.test_case "at target stays" `Quick test_roi_at_target_stays;
+          Alcotest.test_case "pay per click" `Quick test_roi_unclicked_win_costs_nothing;
+          Alcotest.test_case "roi accounting" `Quick test_roi_roi_accounting;
+          Alcotest.test_case "classify matrix" `Quick test_roi_classify_matrix;
+          Alcotest.test_case "budget exhaustion" `Quick test_roi_budget_exhaustion;
+          Alcotest.test_case "budget validation" `Quick test_roi_budget_validation;
+        ] );
+      ( "adjustment_list",
+        [
+          Alcotest.test_case "bulk adjust" `Quick test_adjustment_list;
+          Alcotest.test_case "seq snapshot" `Quick test_adjustment_list_seq_snapshot;
+        ] );
+      ( "sql_program",
+        [
+          Alcotest.test_case "Fig. 4 -> Fig. 6" `Quick test_fig5_program_produces_fig6;
+          Alcotest.test_case "ROI gate" `Quick test_fig5_roi_gate;
+          Alcotest.test_case "validation" `Quick test_sql_program_validation;
+          Alcotest.test_case "listing" `Quick test_sql_listing_mentions_fig5_shape;
+          prop_sql_simple_equals_native;
+        ] );
+      ( "roi_fleet",
+        [
+          prop_fleet_three_way_equivalence;
+          prop_fleet_four_way_with_sql;
+          prop_fleet_equivalence_integer_boundaries;
+          Alcotest.test_case "sql rejects budgets" `Quick test_fleet_sql_rejects_budgets;
+          prop_fleet_equivalence_with_budgets;
+          Alcotest.test_case "bound + spend-rate triggers" `Quick test_fleet_logical_bound_edges;
+          Alcotest.test_case "keyword isolation" `Quick test_fleet_keyword_isolation;
+          Alcotest.test_case "interface guards" `Quick test_fleet_interface_guards;
+        ] );
+      ( "ramp_fleet",
+        [
+          Alcotest.test_case "bid formula" `Quick test_ramp_bid_formula;
+          Alcotest.test_case "win updates remaining" `Quick test_ramp_win_updates_remaining;
+          Alcotest.test_case "validation" `Quick test_ramp_validation;
+          prop_ramp_ta_equals_naive;
+          Alcotest.test_case "sublinear on skew" `Quick test_ramp_ta_sublinear_on_skew;
+        ] );
+    ]

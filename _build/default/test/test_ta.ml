@@ -1,0 +1,207 @@
+(* Tests for the threshold-algorithm substrate (essa_ta). *)
+
+open Essa_ta
+
+let qtest ?(count = 200) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen prop)
+
+(* ------------------------------------------------------------------ *)
+(* Ranked_list *)
+
+let test_ranked_list_basics () =
+  let r = Ranked_list.create () in
+  Ranked_list.insert r ~id:1 ~value:5.0;
+  Ranked_list.insert r ~id:2 ~value:9.0;
+  Ranked_list.insert r ~id:3 ~value:7.0;
+  Alcotest.(check int) "size" 3 (Ranked_list.size r);
+  Alcotest.(check (list (pair int (float 0.0)))) "desc order"
+    [ (2, 9.0); (3, 7.0); (1, 5.0) ]
+    (Ranked_list.to_list_desc r);
+  Alcotest.(check bool) "max" true (Ranked_list.max_entry r = Some (2, 9.0))
+
+let test_ranked_list_reposition () =
+  let r = Ranked_list.create () in
+  Ranked_list.insert r ~id:1 ~value:5.0;
+  Ranked_list.insert r ~id:2 ~value:9.0;
+  Ranked_list.insert r ~id:1 ~value:12.0;
+  Alcotest.(check int) "no duplicate" 2 (Ranked_list.size r);
+  Alcotest.(check (list int)) "moved to front" [ 1; 2 ]
+    (List.map fst (Ranked_list.to_list_desc r))
+
+let test_ranked_list_remove () =
+  let r = Ranked_list.create () in
+  Ranked_list.insert r ~id:1 ~value:5.0;
+  Ranked_list.remove r ~id:1;
+  Ranked_list.remove r ~id:42 (* absent: no-op *);
+  Alcotest.(check int) "empty" 0 (Ranked_list.size r);
+  Alcotest.(check bool) "value gone" true (Ranked_list.value_of r 1 = None)
+
+let test_ranked_list_tie_order () =
+  let r = Ranked_list.create () in
+  Ranked_list.insert r ~id:9 ~value:5.0;
+  Ranked_list.insert r ~id:3 ~value:5.0;
+  Alcotest.(check (list int)) "equal scores by ascending id" [ 3; 9 ]
+    (List.map fst (Ranked_list.to_list_desc r))
+
+let prop_ranked_list_matches_sort =
+  qtest "ranked list = sort reference"
+    QCheck2.Gen.(
+      list_size (int_bound 100) (pair (int_bound 30) (float_range (-10.0) 10.0)))
+    (fun ops ->
+      let r = Ranked_list.create () in
+      let reference = Hashtbl.create 16 in
+      List.iter
+        (fun (id, value) ->
+          Ranked_list.insert r ~id ~value;
+          Hashtbl.replace reference id value)
+        ops;
+      let expected =
+        Hashtbl.fold (fun id v acc -> (id, v) :: acc) reference []
+        |> List.sort (fun (ia, va) (ib, vb) ->
+               let c = Float.compare vb va in
+               if c <> 0 then c else Int.compare ia ib)
+      in
+      Ranked_list.to_list_desc r = expected)
+
+(* ------------------------------------------------------------------ *)
+(* Threshold algorithm *)
+
+let make_sources attrs =
+  (* attrs.(d).(id) — build a source per dimension. *)
+  Array.map
+    (fun column ->
+      let sorted =
+        Array.mapi (fun id v -> (id, v)) column |> Array.to_list
+        |> List.sort (fun (ia, va) (ib, vb) ->
+               let c = Float.compare vb va in
+               if c <> 0 then c else Int.compare ia ib)
+      in
+      { Threshold.sorted = (fun () -> List.to_seq sorted); lookup = (fun id -> column.(id)) })
+    attrs
+
+let gen_instance =
+  let open QCheck2.Gen in
+  let* n = int_range 1 60 in
+  let* d = int_range 1 3 in
+  let* attrs =
+    array_size (return d) (array_size (return n) (float_range 0.0 10.0))
+  in
+  let* k = int_range 0 8 in
+  return (attrs, k)
+
+let reference_top_k ~k ~f attrs =
+  let n = Array.length attrs.(0) in
+  Array.init n (fun id -> (id, f (Array.map (fun col -> col.(id)) attrs)))
+  |> Array.to_list
+  |> List.sort (fun (ia, sa) (ib, sb) ->
+         let c = Float.compare sb sa in
+         if c <> 0 then c else Int.compare ia ib)
+  |> List.filteri (fun i _ -> i < k)
+
+let prop_ta_product =
+  qtest "TA = full sort (product)" gen_instance (fun (attrs, k) ->
+      let f a = Array.fold_left ( *. ) 1.0 a in
+      let sources = make_sources attrs in
+      let got, _ = Threshold.top_k ~k ~f sources in
+      got = reference_top_k ~k ~f attrs)
+
+let prop_ta_weighted_sum =
+  qtest "TA = full sort (weighted sum)" gen_instance (fun (attrs, k) ->
+      let d = Array.length attrs in
+      let weights = Array.init d (fun i -> 1.0 +. float_of_int i) in
+      let f a =
+        let acc = ref 0.0 in
+        Array.iteri (fun i v -> acc := !acc +. (weights.(i) *. v)) a;
+        !acc
+      in
+      let sources = make_sources attrs in
+      let got, _ = Threshold.top_k ~k ~f sources in
+      got = reference_top_k ~k ~f attrs)
+
+let prop_ta_min =
+  qtest "TA = full sort (min aggregation)" gen_instance (fun (attrs, k) ->
+      let f a = Array.fold_left min infinity a in
+      let sources = make_sources attrs in
+      let got, _ = Threshold.top_k ~k ~f sources in
+      got = reference_top_k ~k ~f attrs)
+
+let prop_ta_ties =
+  (* Discrete attributes force heavy ties; the canonical order must hold. *)
+  qtest "TA canonical under ties"
+    QCheck2.Gen.(
+      let* n = int_range 1 40 in
+      let* attrs =
+        array_size (return 2) (array_size (return n) (map float_of_int (int_range 0 3)))
+      in
+      let* k = int_range 0 6 in
+      return (attrs, k))
+    (fun (attrs, k) ->
+      let f a = a.(0) *. a.(1) in
+      let sources = make_sources attrs in
+      let got, _ = Threshold.top_k ~k ~f sources in
+      got = reference_top_k ~k ~f attrs)
+
+let test_ta_stats_sublinear_when_skewed () =
+  (* One object dominates; TA must stop long before exhausting the lists. *)
+  let n = 10_000 in
+  let col = Array.init n (fun i -> if i = 7 then 100.0 else 1.0) in
+  let attrs = [| col; col |] in
+  let sources = make_sources attrs in
+  let top, stats = Threshold.top_k ~k:1 ~f:(fun a -> a.(0) +. a.(1)) sources in
+  Alcotest.(check (list (pair int (float 0.0)))) "winner" [ (7, 200.0) ] top;
+  Alcotest.(check bool) "early termination" true (stats.sorted_accesses < 100)
+
+let test_ta_k_larger_than_n () =
+  let attrs = [| [| 3.0; 1.0 |] |] in
+  let sources = make_sources attrs in
+  let top, _ = Threshold.top_k ~k:5 ~f:(fun a -> a.(0)) sources in
+  Alcotest.(check (list (pair int (float 0.0)))) "all objects" [ (0, 3.0); (1, 1.0) ] top
+
+let test_ta_no_sources_rejected () =
+  Alcotest.(check bool) "empty sources" true
+    (match Threshold.top_k ~k:1 ~f:(fun _ -> 0.0) [||] with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_ta_naive_reference () =
+  let attrs = [| [| 1.0; 5.0; 3.0 |]; [| 2.0; 1.0; 4.0 |] |] in
+  let sources = make_sources attrs in
+  let naive =
+    Threshold.top_k_naive ~k:2 ~f:(fun a -> a.(0) *. a.(1)) ~universe:[| 0; 1; 2 |] sources
+  in
+  Alcotest.(check (list (pair int (float 0.0)))) "naive" [ (2, 12.0); (1, 5.0) ] naive
+
+let prop_ta_access_counts_bounded =
+  qtest ~count:100 "TA does no more sorted accesses than full drain"
+    gen_instance
+    (fun (attrs, k) ->
+      let f a = Array.fold_left ( +. ) 0.0 a in
+      let sources = make_sources attrs in
+      let _, stats = Threshold.top_k ~k ~f sources in
+      let n = Array.length attrs.(0) and d = Array.length attrs in
+      stats.sorted_accesses <= n * d && stats.seen_objects <= n)
+
+let () =
+  Alcotest.run "essa_ta"
+    [
+      ( "ranked_list",
+        [
+          Alcotest.test_case "basics" `Quick test_ranked_list_basics;
+          Alcotest.test_case "reposition" `Quick test_ranked_list_reposition;
+          Alcotest.test_case "remove" `Quick test_ranked_list_remove;
+          Alcotest.test_case "tie order" `Quick test_ranked_list_tie_order;
+          prop_ranked_list_matches_sort;
+        ] );
+      ( "threshold",
+        [
+          prop_ta_product;
+          prop_ta_weighted_sum;
+          prop_ta_min;
+          prop_ta_ties;
+          Alcotest.test_case "sublinear on skew" `Quick test_ta_stats_sublinear_when_skewed;
+          Alcotest.test_case "k > n" `Quick test_ta_k_larger_than_n;
+          Alcotest.test_case "no sources" `Quick test_ta_no_sources_rejected;
+          Alcotest.test_case "naive reference" `Quick test_ta_naive_reference;
+          prop_ta_access_counts_bounded;
+        ] );
+    ]

@@ -1,0 +1,369 @@
+(* Unit and property tests for the essa_util substrate. *)
+
+open Essa_util
+
+let qtest ?(count = 300) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen prop)
+
+(* ------------------------------------------------------------------ *)
+(* Rng *)
+
+let test_rng_determinism () =
+  let a = Rng.create 42 and b = Rng.create 42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rng.bits64 a) (Rng.bits64 b)
+  done
+
+let test_rng_seeds_differ () =
+  let a = Rng.create 1 and b = Rng.create 2 in
+  let same = ref true in
+  for _ = 1 to 10 do
+    if Rng.bits64 a <> Rng.bits64 b then same := false
+  done;
+  Alcotest.(check bool) "different streams" false !same
+
+let test_rng_copy () =
+  let a = Rng.create 7 in
+  ignore (Rng.bits64 a);
+  let b = Rng.copy a in
+  for _ = 1 to 50 do
+    Alcotest.(check int64) "copy continues identically" (Rng.bits64 a) (Rng.bits64 b)
+  done
+
+let test_rng_split_independent () =
+  let a = Rng.create 7 in
+  let b = Rng.split a in
+  let same = ref true in
+  for _ = 1 to 10 do
+    if Rng.bits64 a <> Rng.bits64 b then same := false
+  done;
+  Alcotest.(check bool) "split independent" false !same
+
+let test_rng_int_bounds () =
+  let rng = Rng.create 3 in
+  for _ = 1 to 10_000 do
+    let v = Rng.int rng 7 in
+    if not (v >= 0 && v < 7) then Alcotest.fail "out of [0,7)"
+  done
+
+let test_rng_int_in_bounds () =
+  let rng = Rng.create 3 in
+  for _ = 1 to 10_000 do
+    let v = Rng.int_in rng (-5) 5 in
+    if not (v >= -5 && v <= 5) then Alcotest.fail "out of [-5,5]"
+  done
+
+let test_rng_int_invalid () =
+  let rng = Rng.create 1 in
+  Alcotest.check_raises "bound 0"
+    (Invalid_argument "Rng.int: bound must be positive") (fun () ->
+      ignore (Rng.int rng 0))
+
+let test_rng_float_bounds () =
+  let rng = Rng.create 5 in
+  for _ = 1 to 10_000 do
+    let v = Rng.float rng 2.5 in
+    if not (v >= 0.0 && v < 2.5) then Alcotest.fail "out of [0,2.5)"
+  done
+
+let test_rng_int_covers_range () =
+  let rng = Rng.create 11 in
+  let seen = Array.make 5 false in
+  for _ = 1 to 1000 do
+    seen.(Rng.int rng 5) <- true
+  done;
+  Alcotest.(check bool) "all values hit" true (Array.for_all (fun b -> b) seen)
+
+let test_rng_bernoulli_extremes () =
+  let rng = Rng.create 2 in
+  for _ = 1 to 100 do
+    if Rng.bernoulli rng 0.0 then Alcotest.fail "p=0 returned true";
+    if not (Rng.bernoulli rng 1.0) then Alcotest.fail "p=1 returned false"
+  done
+
+let test_rng_shuffle_permutation () =
+  let rng = Rng.create 9 in
+  let a = Array.init 50 (fun i -> i) in
+  Rng.shuffle rng a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "is a permutation" (Array.init 50 (fun i -> i)) sorted
+
+let test_rng_pick_empty () =
+  let rng = Rng.create 1 in
+  Alcotest.check_raises "empty" (Invalid_argument "Rng.pick: empty array")
+    (fun () -> ignore (Rng.pick rng ([||] : int array)))
+
+(* ------------------------------------------------------------------ *)
+(* Topk *)
+
+let topk_reference k l =
+  List.filteri (fun i _ -> i < k) (List.sort (fun a b -> compare b a) l)
+
+let prop_topk_matches_sort =
+  qtest "topk = sort-take-k"
+    QCheck2.Gen.(pair (int_bound 20) (list_size (int_bound 200) (int_range (-50) 50)))
+    (fun (k, l) ->
+      let t = Topk.create ~k ~compare:Int.compare in
+      List.iter (fun x -> ignore (Topk.offer t x)) l;
+      (* Values (not identities) must match the sorted prefix. *)
+      Topk.to_sorted_list t = topk_reference k l)
+
+let test_topk_zero () =
+  let t = Topk.create ~k:0 ~compare:Int.compare in
+  Alcotest.(check bool) "offer rejected" false (Topk.offer t 5);
+  Alcotest.(check (list int)) "empty" [] (Topk.to_sorted_list t)
+
+let test_topk_threshold () =
+  let t = Topk.create ~k:2 ~compare:Int.compare in
+  Alcotest.(check (option int)) "not full" None (Topk.threshold t);
+  ignore (Topk.offer t 3);
+  ignore (Topk.offer t 7);
+  Alcotest.(check (option int)) "min retained" (Some 3) (Topk.threshold t);
+  ignore (Topk.offer t 5);
+  Alcotest.(check (option int)) "evicted 3" (Some 5) (Topk.threshold t)
+
+let test_topk_tie_rejected () =
+  let t = Topk.create ~k:1 ~compare:(fun (a, _) (b, _) -> Int.compare a b) in
+  ignore (Topk.offer t (5, "first"));
+  Alcotest.(check bool) "equal element rejected" false (Topk.offer t (5, "second"));
+  Alcotest.(check (list (pair int string))) "first wins" [ (5, "first") ]
+    (Topk.to_sorted_list t)
+
+let test_topk_floats () =
+  (* Regression guard: float elements exercise the lazily allocated heap
+     (flat float arrays would be unsound with a magic dummy element). *)
+  let t = Topk.create ~k:3 ~compare:Float.compare in
+  List.iter (fun x -> ignore (Topk.offer t x)) [ 0.5; -1.0; 3.25; 2.0; 0.1 ];
+  Alcotest.(check (list (float 1e-9))) "top3" [ 3.25; 2.0; 0.5 ] (Topk.to_sorted_list t)
+
+let test_topk_negative_k () =
+  Alcotest.check_raises "k<0" (Invalid_argument "Topk.create: k < 0") (fun () ->
+      ignore (Topk.create ~k:(-1) ~compare:Int.compare))
+
+let test_topk_of_array () =
+  Alcotest.(check (list int)) "of_array" [ 9; 8 ]
+    (Topk.of_array ~k:2 ~compare:Int.compare [| 3; 9; 1; 8; 2 |])
+
+(* ------------------------------------------------------------------ *)
+(* Kmerge *)
+
+let prop_kmerge_sorted =
+  qtest "merge_desc yields sorted union"
+    QCheck2.Gen.(list_size (int_bound 5) (list_size (int_bound 30) (int_range 0 100)))
+    (fun lists ->
+      let sorted_desc = List.map (fun l -> List.sort (fun a b -> compare b a) l) lists in
+      let merged = Kmerge.merge_desc_lists ~compare:Int.compare sorted_desc in
+      let expected = List.sort (fun a b -> compare b a) (List.concat sorted_desc) in
+      merged = expected)
+
+let test_kmerge_take () =
+  let s = List.to_seq [ 9; 7; 5 ] in
+  Alcotest.(check (list int)) "take 2" [ 9; 7 ] (Kmerge.take 2 s);
+  Alcotest.(check (list int)) "take beyond" [ 9; 7; 5 ] (Kmerge.take 10 s)
+
+let test_kmerge_stability () =
+  let merged =
+    Kmerge.merge_desc_lists
+      ~compare:(fun (a, _) (b, _) -> Int.compare a b)
+      [ [ (5, "a") ]; [ (5, "b") ] ]
+  in
+  Alcotest.(check (list (pair int string))) "ties from earlier list first"
+    [ (5, "a"); (5, "b") ] merged
+
+(* ------------------------------------------------------------------ *)
+(* Min_heap *)
+
+let prop_min_heap_sorts =
+  qtest "pop order is ascending"
+    QCheck2.Gen.(list_size (int_bound 200) (float_range (-100.0) 100.0))
+    (fun l ->
+      let h = Min_heap.create () in
+      List.iter (fun p -> Min_heap.push h ~priority:p p) l;
+      let rec drain acc =
+        match Min_heap.pop h with
+        | None -> List.rev acc
+        | Some (p, _) -> drain (p :: acc)
+      in
+      drain [] = List.sort compare l)
+
+let test_min_heap_pop_le () =
+  let h = Min_heap.create () in
+  List.iter (fun p -> Min_heap.push h ~priority:(float_of_int p) p) [ 5; 1; 9; 3; 7 ];
+  let popped = Min_heap.pop_le h 5.0 in
+  Alcotest.(check (list int)) "ascending <= 5" [ 1; 3; 5 ] (List.map snd popped);
+  Alcotest.(check int) "rest remains" 2 (Min_heap.size h)
+
+let test_min_heap_empty () =
+  let h : int Min_heap.t = Min_heap.create () in
+  Alcotest.(check bool) "is_empty" true (Min_heap.is_empty h);
+  Alcotest.(check bool) "min of empty" true (Min_heap.min_priority h = None);
+  Alcotest.(check bool) "pop empty" true (Min_heap.pop h = None)
+
+(* ------------------------------------------------------------------ *)
+(* Stats *)
+
+let test_stats_mean () =
+  Alcotest.(check (float 1e-9)) "mean" 2.5 (Stats.mean [| 1.; 2.; 3.; 4. |])
+
+let test_stats_empty_mean () =
+  Alcotest.(check bool) "nan" true (Float.is_nan (Stats.mean [||]))
+
+let test_stats_stddev () =
+  (* values 1,2,3,5: mean 2.75, Σ(x-μ)² = 8.75, sample variance 8.75/3 *)
+  Alcotest.(check (float 1e-9)) "stddev" (sqrt (8.75 /. 3.0))
+    (Stats.stddev [| 1.; 2.; 3.; 5. |]);
+  Alcotest.(check (float 1e-9)) "single" 0.0 (Stats.stddev [| 42.0 |])
+
+let test_stats_median () =
+  Alcotest.(check (float 1e-9)) "odd" 3.0 (Stats.median [| 5.; 1.; 3. |]);
+  Alcotest.(check (float 1e-9)) "even" 2.5 (Stats.median [| 4.; 1.; 2.; 3. |])
+
+let test_stats_percentile () =
+  let a = [| 10.; 20.; 30.; 40. |] in
+  Alcotest.(check (float 1e-9)) "p0" 10.0 (Stats.percentile a 0.0);
+  Alcotest.(check (float 1e-9)) "p100" 40.0 (Stats.percentile a 100.0);
+  Alcotest.(check (float 1e-9)) "p50" 25.0 (Stats.percentile a 50.0)
+
+let test_stats_min_max () =
+  Alcotest.(check (pair (float 0.) (float 0.))) "min/max" (1.0, 9.0)
+    (Stats.min_max [| 3.; 1.; 9.; 4. |])
+
+let prop_kahan_sum =
+  qtest "kahan sum close to sorted naive sum"
+    QCheck2.Gen.(list_size (int_bound 100) (float_range (-1000.0) 1000.0))
+    (fun l ->
+      let a = Array.of_list l in
+      let naive = List.fold_left ( +. ) 0.0 (List.sort compare l) in
+      abs_float (Stats.sum a -. naive) < 1e-6)
+
+(* ------------------------------------------------------------------ *)
+(* Domain_pool *)
+
+let test_pool_runs_tasks () =
+  Domain_pool.with_pool 3 (fun pool ->
+      Alcotest.(check (list int)) "in order"
+        (List.init 30 (fun i -> i * i))
+        (Domain_pool.run pool (List.init 30 (fun i () -> i * i))))
+
+let test_pool_empty_task_list () =
+  Domain_pool.with_pool 2 (fun pool ->
+      Alcotest.(check (list int)) "empty" [] (Domain_pool.run pool []))
+
+let test_pool_propagates_exception () =
+  Domain_pool.with_pool 2 (fun pool ->
+      Alcotest.(check bool) "raises" true
+        (match Domain_pool.run pool [ (fun () -> 1); (fun () -> failwith "boom") ] with
+        | exception Failure msg -> msg = "boom"
+        | _ -> false);
+      (* The pool survives a failing batch. *)
+      Alcotest.(check (list int)) "still alive" [ 7 ]
+        (Domain_pool.run pool [ (fun () -> 7) ]))
+
+let test_pool_reuse_across_batches () =
+  Domain_pool.with_pool 2 (fun pool ->
+      for batch = 1 to 20 do
+        let expected = List.init 5 (fun i -> batch * i) in
+        Alcotest.(check (list int)) "batch" expected
+          (Domain_pool.run pool (List.init 5 (fun i () -> batch * i)))
+      done)
+
+let test_pool_shutdown_rejects () =
+  let pool = Domain_pool.create 1 in
+  Domain_pool.shutdown pool;
+  Domain_pool.shutdown pool (* idempotent *);
+  Alcotest.(check bool) "run after shutdown" true
+    (match Domain_pool.run pool [ (fun () -> 0) ] with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_pool_invalid_size () =
+  Alcotest.check_raises "zero workers"
+    (Invalid_argument "Domain_pool.create: need at least one worker") (fun () ->
+      ignore (Domain_pool.create 0))
+
+(* ------------------------------------------------------------------ *)
+(* Timing *)
+
+let test_timing_monotonic () =
+  let a = Timing.now_ns () in
+  let b = Timing.now_ns () in
+  Alcotest.(check bool) "non-decreasing" true (Int64.compare b a >= 0)
+
+let test_timing_time_ms () =
+  let result, ms = Timing.time_ms (fun () -> 40 + 2) in
+  Alcotest.(check int) "result" 42 result;
+  Alcotest.(check bool) "non-negative" true (ms >= 0.0)
+
+let test_timing_repeat_invalid () =
+  Alcotest.check_raises "n<=0" (Invalid_argument "Timing.repeat_time_ms: n <= 0")
+    (fun () -> ignore (Timing.repeat_time_ms 0 (fun () -> ())))
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "essa_util"
+    [
+      ( "rng",
+        [
+          Alcotest.test_case "determinism" `Quick test_rng_determinism;
+          Alcotest.test_case "seeds differ" `Quick test_rng_seeds_differ;
+          Alcotest.test_case "copy" `Quick test_rng_copy;
+          Alcotest.test_case "split" `Quick test_rng_split_independent;
+          Alcotest.test_case "int bounds" `Quick test_rng_int_bounds;
+          Alcotest.test_case "int_in bounds" `Quick test_rng_int_in_bounds;
+          Alcotest.test_case "int invalid" `Quick test_rng_int_invalid;
+          Alcotest.test_case "float bounds" `Quick test_rng_float_bounds;
+          Alcotest.test_case "int covers range" `Quick test_rng_int_covers_range;
+          Alcotest.test_case "bernoulli extremes" `Quick test_rng_bernoulli_extremes;
+          Alcotest.test_case "shuffle permutation" `Quick test_rng_shuffle_permutation;
+          Alcotest.test_case "pick empty" `Quick test_rng_pick_empty;
+        ] );
+      ( "topk",
+        [
+          prop_topk_matches_sort;
+          Alcotest.test_case "k=0" `Quick test_topk_zero;
+          Alcotest.test_case "threshold" `Quick test_topk_threshold;
+          Alcotest.test_case "tie rejected" `Quick test_topk_tie_rejected;
+          Alcotest.test_case "float elements" `Quick test_topk_floats;
+          Alcotest.test_case "negative k" `Quick test_topk_negative_k;
+          Alcotest.test_case "of_array" `Quick test_topk_of_array;
+        ] );
+      ( "kmerge",
+        [
+          prop_kmerge_sorted;
+          Alcotest.test_case "take" `Quick test_kmerge_take;
+          Alcotest.test_case "stability" `Quick test_kmerge_stability;
+        ] );
+      ( "min_heap",
+        [
+          prop_min_heap_sorts;
+          Alcotest.test_case "pop_le" `Quick test_min_heap_pop_le;
+          Alcotest.test_case "empty" `Quick test_min_heap_empty;
+        ] );
+      ( "stats",
+        [
+          Alcotest.test_case "mean" `Quick test_stats_mean;
+          Alcotest.test_case "mean empty" `Quick test_stats_empty_mean;
+          Alcotest.test_case "stddev" `Quick test_stats_stddev;
+          Alcotest.test_case "median" `Quick test_stats_median;
+          Alcotest.test_case "percentile" `Quick test_stats_percentile;
+          Alcotest.test_case "min_max" `Quick test_stats_min_max;
+          prop_kahan_sum;
+        ] );
+      ( "domain_pool",
+        [
+          Alcotest.test_case "runs tasks" `Quick test_pool_runs_tasks;
+          Alcotest.test_case "empty batch" `Quick test_pool_empty_task_list;
+          Alcotest.test_case "exception propagation" `Quick test_pool_propagates_exception;
+          Alcotest.test_case "reuse across batches" `Quick test_pool_reuse_across_batches;
+          Alcotest.test_case "shutdown" `Quick test_pool_shutdown_rejects;
+          Alcotest.test_case "invalid size" `Quick test_pool_invalid_size;
+        ] );
+      ( "timing",
+        [
+          Alcotest.test_case "monotonic" `Quick test_timing_monotonic;
+          Alcotest.test_case "time_ms" `Quick test_timing_time_ms;
+          Alcotest.test_case "repeat invalid" `Quick test_timing_repeat_invalid;
+        ] );
+    ]
