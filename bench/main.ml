@@ -218,6 +218,31 @@ let ablation_ramp () =
                   ~ctr_lookup:(fun i -> ctr.(i)) ~time:25 ~k:16)));
     ]
 
+let ablation_obs () =
+  (* The observability substrate itself: the record path must be cheap
+     enough to sit inside run_auction without perturbing what it
+     measures. *)
+  let h = Essa_obs.Histogram.create () in
+  let c = Essa_obs.Counter.create () in
+  let filled = Essa_obs.Histogram.create () in
+  let rng = Essa_util.Rng.create 11 in
+  for _ = 1 to 100_000 do
+    Essa_obs.Histogram.record filled (Essa_util.Rng.int rng 1_000_000_000)
+  done;
+  let sample = ref 1 in
+  Test.make_grouped ~name:"ablation/obs"
+    [
+      Test.make ~name:"histogram-record"
+        (Staged.stage (fun () ->
+             sample := (!sample * 7) land 0xFFFFFF;
+             Essa_obs.Histogram.record h !sample));
+      Test.make ~name:"counter-incr"
+        (Staged.stage (fun () -> Essa_obs.Counter.incr c));
+      Test.make ~name:"percentile-p99/100k-samples"
+        (Staged.stage (fun () ->
+             ignore (Essa_obs.Histogram.percentile filled 99.0)));
+    ]
+
 (* ------------------------------------------------------------------ *)
 (* Runner *)
 
@@ -266,6 +291,7 @@ let () =
       ("Heavyweight pattern enumeration", ablation_heavyweight);
       ("Pricing", ablation_pricing);
       ("Section IV-A ramp strategies", ablation_ramp);
+      ("Observability primitives (Essa_obs)", ablation_obs);
     ]
   in
   List.iter

@@ -22,7 +22,18 @@ let default_ctr ~rng ~k =
       let hi = 0.9 -. (float_of_int j *. width) in
       Essa_util.Rng.float_in rng (hi -. width) hi)
 
-let run slots seed advs ctrs cvrs pricing =
+let run slots seed advs ctrs cvrs pricing metrics =
+  let metrics_fmt =
+    match metrics with
+    | None -> None
+    | Some s -> (
+        match Essa_obs.Export.format_of_string s with
+        | Some fmt -> Some fmt
+        | None ->
+            prerr_endline
+              ("unknown metrics format " ^ s ^ " (expected text | json | prom)");
+            exit 2)
+  in
   if advs = [] then begin
     prerr_endline "no advertisers; pass at least one --adv \"formula:amount,...\"";
     exit 2
@@ -51,7 +62,9 @@ let run slots seed advs ctrs cvrs pricing =
         exit 2
   in
   let config = { Essa.Auction.method_ = `Rh; pricing = pricing_rule } in
+  let t0 = Essa_util.Timing.now_ns () in
   let result = Essa.Auction.run ~config ~model ~bids ~rng () in
+  let elapsed_ns = Int64.to_int (Int64.sub (Essa_util.Timing.now_ns ()) t0) in
   Format.printf "allocation: %a@." Essa_matching.Assignment.pp result.assignment;
   Format.printf "expected revenue: %.3f cents@." result.expected_revenue;
   List.iter
@@ -60,7 +73,37 @@ let run slots seed advs ctrs cvrs pricing =
         "slot %d -> advertiser %d  clicked=%b purchased=%b  price/click=%dc charged=%dc@."
         o.slot o.adv o.clicked o.purchased o.price_per_click o.charged)
     result.winners;
-  Format.printf "realized revenue: %d cents@." result.realized_revenue
+  Format.printf "realized revenue: %d cents@." result.realized_revenue;
+  match metrics_fmt with
+  | None -> ()
+  | Some fmt ->
+      let registry = Essa_obs.Registry.create () in
+      let h =
+        Essa_obs.Registry.histogram
+          ~help:"End-to-end one-shot auction latency (run_auction analogue)"
+          registry "essa.cli.auction_ns"
+      in
+      Essa_obs.Histogram.record h elapsed_ns;
+      let clicks =
+        Essa_obs.Registry.counter ~help:"Clicks sampled from the user model"
+          registry "essa.cli.clicks"
+      in
+      List.iter
+        (fun (o : Essa.Auction.advertiser_outcome) ->
+          if o.clicked then Essa_obs.Counter.incr clicks)
+        result.winners;
+      let revenue =
+        Essa_obs.Registry.counter ~help:"Realized revenue, cents" registry
+          "essa.cli.realized_revenue_cents"
+      in
+      Essa_obs.Counter.add revenue result.realized_revenue;
+      let expected =
+        Essa_obs.Registry.gauge ~help:"WD objective value, cents" registry
+          "essa.cli.expected_revenue_cents"
+      in
+      Essa_obs.Gauge.set expected result.expected_revenue;
+      print_newline ();
+      print_string (Essa_obs.Export.render fmt registry)
 
 open Cmdliner
 
@@ -87,10 +130,16 @@ let cvrs_t =
 let pricing_t =
   Arg.(value & opt string "gsp" & info [ "pricing" ] ~doc:"gsp | vcg | pay-as-bid.")
 
+let metrics_t =
+  Arg.(value & opt (some string) None
+       & info [ "metrics" ]
+           ~doc:"Print an Essa_obs metrics snapshot after the auction: text | json | prom.")
+
 let run_cmd =
   Cmd.v
     (Cmd.info "run" ~doc:"Run one expressive auction")
-    Term.(const run $ slots_t $ seed_t $ advs_t $ ctrs_t $ cvrs_t $ pricing_t)
+    Term.(const run $ slots_t $ seed_t $ advs_t $ ctrs_t $ cvrs_t $ pricing_t
+          $ metrics_t)
 
 let main =
   Cmd.group

@@ -26,9 +26,67 @@ let parse_ns = function
       Some (List.map int_of_string (String.split_on_char ',' (String.trim s)))
 
 (* ------------------------------------------------------------------ *)
+(* --metrics: a shared Essa_obs registry accumulates phase-latency
+   histograms and access counters across every engine a figure run
+   creates; the snapshot lands next to the CSV trace. *)
+
+let phase_histograms =
+  [
+    ("program eval", "essa.auction.phase.program_eval_ns");
+    ("winner determination", "essa.auction.phase.winner_determination_ns");
+    ("pricing", "essa.auction.phase.pricing_ns");
+    ("user simulation", "essa.auction.phase.user_ns");
+    ("total", "essa.auction.total_ns");
+  ]
+
+let print_latency_summary registry =
+  Printf.printf "%-22s %12s %10s %10s %10s\n" "phase latency" "auctions"
+    "p50 (ms)" "p99 (ms)" "max (ms)";
+  List.iter
+    (fun (label, name) ->
+      match Essa_obs.Registry.find registry name with
+      | Some (Essa_obs.Registry.Histogram h)
+        when Essa_obs.Histogram.count h > 0 ->
+          let ms v = v /. 1e6 in
+          Printf.printf "%-22s %12d %10.4f %10.4f %10.4f\n" label
+            (Essa_obs.Histogram.count h)
+            (ms (Essa_obs.Histogram.percentile h 50.0))
+            (ms (Essa_obs.Histogram.percentile h 99.0))
+            (ms (Essa_obs.Histogram.max_value h))
+      | _ -> ())
+    phase_histograms;
+  print_newline ()
+
+let parse_metrics = function
+  | None -> None
+  | Some s -> (
+      match Essa_obs.Export.format_of_string s with
+      | Some fmt -> Some (fmt, Essa_obs.Registry.create ())
+      | None ->
+          prerr_endline
+            ("unknown metrics format " ^ s ^ " (expected text | json | prom)");
+          exit 2)
+
+let report_metrics ~out ~name = function
+  | None -> ()
+  | Some (fmt, registry) -> (
+      print_latency_summary registry;
+      match out with
+      | None -> print_string (Essa_obs.Export.render fmt registry)
+      | Some dir ->
+          ensure_dir dir;
+          let path =
+            Filename.concat dir
+              (name ^ "_metrics." ^ Essa_obs.Export.extension fmt)
+          in
+          write_file path (Essa_obs.Export.render fmt registry);
+          Printf.printf "wrote %s\n%!" path)
+
+(* ------------------------------------------------------------------ *)
 (* Figure 12 *)
 
-let fig12 seed auctions ns out skip_lp_dense quick brand =
+let fig12 seed auctions ns out skip_lp_dense quick brand metrics =
+  let metrics = parse_metrics metrics in
   let ns =
     match parse_ns ns with
     | Some ns -> ns
@@ -47,19 +105,22 @@ let fig12 seed auctions ns out skip_lp_dense quick brand =
     List.map
       (fun method_ ->
         let s =
-          Essa_sim.Experiment.run_series ~brand_fraction:brand ~method_ ~seed ~ns
-            ~auctions ()
+          Essa_sim.Experiment.run_series
+            ?metrics:(Option.map snd metrics)
+            ~brand_fraction:brand ~method_ ~seed ~ns ~auctions ()
         in
         Printf.printf "  measured %s (%d points)\n%!" s.label (List.length s.points);
         s)
       methods
   in
-  report ~out ~name:"fig12" series
+  report ~out ~name:"fig12" series;
+  report_metrics ~out ~name:"fig12" metrics
 
 (* ------------------------------------------------------------------ *)
 (* Figure 13 *)
 
-let fig13 seed auctions ns out quick brand =
+let fig13 seed auctions ns out quick brand metrics =
+  let metrics = parse_metrics metrics in
   let ns =
     match parse_ns ns with
     | Some ns -> ns
@@ -73,14 +134,16 @@ let fig13 seed auctions ns out quick brand =
     List.map
       (fun method_ ->
         let s =
-          Essa_sim.Experiment.run_series ~brand_fraction:brand ~method_ ~seed ~ns
-            ~auctions ()
+          Essa_sim.Experiment.run_series
+            ?metrics:(Option.map snd metrics)
+            ~brand_fraction:brand ~method_ ~seed ~ns ~auctions ()
         in
         Printf.printf "  measured %s (%d points)\n%!" s.label (List.length s.points);
         s)
       [ `Rh; `Rhtalu ]
   in
-  report ~out ~name:"fig13" series
+  report ~out ~name:"fig13" series;
+  report_metrics ~out ~name:"fig13" metrics
 
 (* ------------------------------------------------------------------ *)
 (* Ablations *)
@@ -505,6 +568,12 @@ let brand_t =
        & info [ "brand" ]
            ~doc:"Fraction of advertisers with Click&Slot1 premiums (multi-feature sweep).")
 
+let metrics_t =
+  Arg.(value & opt (some string) None
+       & info [ "metrics" ]
+           ~doc:"Emit an Essa_obs metrics snapshot (phase-latency histograms, \
+                 TA access counters) alongside the CSV: text | json | prom.")
+
 let lp_dense_t =
   Arg.(value & flag
        & info [ "skip-lp-dense" ]
@@ -512,19 +581,21 @@ let lp_dense_t =
 
 let fig12_cmd =
   Cmd.v (Cmd.info "fig12" ~doc:"Winner-determination performance (Fig. 12)")
-    Term.(const fig12 $ seed_t $ auctions_t $ ns_t $ out_t $ lp_dense_t $ quick_t $ brand_t)
+    Term.(const fig12 $ seed_t $ auctions_t $ ns_t $ out_t $ lp_dense_t $ quick_t
+          $ brand_t $ metrics_t)
 
 let fig13_cmd =
   Cmd.v (Cmd.info "fig13" ~doc:"Reducing program evaluation (Fig. 13)")
-    Term.(const fig13 $ seed_t $ auctions_t $ ns_t $ out_t $ quick_t $ brand_t)
+    Term.(const fig13 $ seed_t $ auctions_t $ ns_t $ out_t $ quick_t $ brand_t
+          $ metrics_t)
 
 let ablation_cmd name doc f =
   Cmd.v (Cmd.info name ~doc) Term.(const f $ seed_t)
 
 let all_cmd =
   let run seed =
-    fig12 seed None None (Some "results") false true 0.0;
-    fig13 seed None None (Some "results") true 0.0;
+    fig12 seed None None (Some "results") false true 0.0 (Some "text");
+    fig13 seed None None (Some "results") true 0.0 (Some "text");
     ablation_ta seed;
     ablation_logical seed;
     ablation_parallel seed;

@@ -11,6 +11,85 @@ type summary = {
 
 type pricing = [ `Gsp | `Vcg | `Pay_as_bid ]
 
+(* Metric handles resolved once at engine construction; the per-auction
+   record path touches only the handles (allocation-free), never the
+   registry.  Engines given the same registry share these metrics, so a
+   sweep's auctions aggregate into one set of histograms. *)
+type engine_metrics = {
+  registry : Essa_obs.Registry.t;
+  h_program_eval : Essa_obs.Histogram.t;
+  h_winner_determination : Essa_obs.Histogram.t;
+  h_pricing : Essa_obs.Histogram.t;
+  h_user : Essa_obs.Histogram.t;
+  h_total : Essa_obs.Histogram.t;
+  c_auctions : Essa_obs.Counter.t;
+  c_revenue : Essa_obs.Counter.t;
+  c_clicks : Essa_obs.Counter.t;
+  c_slots_filled : Essa_obs.Counter.t;
+  c_ta_sorted : Essa_obs.Counter.t;
+  c_ta_random : Essa_obs.Counter.t;
+  c_ta_seen : Essa_obs.Counter.t;
+  c_reduced_candidates : Essa_obs.Counter.t;
+}
+
+let engine_metrics registry =
+  let h name ~help = Essa_obs.Registry.histogram ~help registry name in
+  let c name ~help = Essa_obs.Registry.counter ~help registry name in
+  (* Bound one by one (not inside the record literal, whose fields OCaml
+     evaluates right-to-left) so registration — and hence export — order
+     is the declaration order below. *)
+  let h_program_eval =
+    h "essa.auction.phase.program_eval_ns"
+      ~help:"Per-auction bidding-program evaluation latency (ns)"
+  in
+  let h_winner_determination =
+    h "essa.auction.phase.winner_determination_ns"
+      ~help:"Per-auction winner-determination latency (ns)"
+  in
+  let h_pricing =
+    h "essa.auction.phase.pricing_ns" ~help:"Per-auction pricing latency (ns)"
+  in
+  let h_user =
+    h "essa.auction.phase.user_ns"
+      ~help:"Per-auction click sampling + billing + notification latency (ns)"
+  in
+  let h_total =
+    h "essa.auction.total_ns" ~help:"End-to-end per-auction latency (ns)"
+  in
+  let c_auctions = c "essa.auctions" ~help:"Auctions run" in
+  let c_revenue = c "essa.revenue_cents" ~help:"Cents billed across all auctions" in
+  let c_clicks = c "essa.clicks" ~help:"User clicks sampled" in
+  let c_slots_filled = c "essa.slots_filled" ~help:"Slots assigned a winner" in
+  let c_ta_sorted =
+    c "essa.ta.sorted_accesses" ~help:"Threshold-algorithm sorted accesses"
+  in
+  let c_ta_random =
+    c "essa.ta.random_accesses" ~help:"Threshold-algorithm random accesses"
+  in
+  let c_ta_seen =
+    c "essa.ta.seen_objects" ~help:"Threshold-algorithm objects fully resolved"
+  in
+  let c_reduced_candidates =
+    c "essa.reduction.candidates"
+      ~help:"Advertisers surviving the per-slot top-(k+1) graph reduction"
+  in
+  {
+    registry;
+    h_program_eval;
+    h_winner_determination;
+    h_pricing;
+    h_user;
+    h_total;
+    c_auctions;
+    c_revenue;
+    c_clicks;
+    c_slots_filled;
+    c_ta_sorted;
+    c_ta_random;
+    c_ta_seen;
+    c_reduced_candidates;
+  }
+
 type t = {
   method_ : method_;
   pricing : pricing;
@@ -33,15 +112,12 @@ type t = {
   mutable auctions : int;
   (* Reusable buffer for the full weight matrix (`Lp`, `H`, `Rh`). *)
   w_buffer : float array array;
-  (* Cumulative per-phase wall time (ns), for the phase-breakdown
-     ablation; updated on every auction at negligible cost. *)
-  mutable ns_program_eval : int64;
-  mutable ns_winner_determination : int64;
-  mutable ns_pricing : int64;
-  mutable ns_user : int64;
+  (* Per-phase latency histograms and event counters; updated on every
+     auction at negligible (allocation-free) cost. *)
+  m : engine_metrics;
 }
 
-let create ~reserve ~pricing ~method_ ~ctr ~states ~user_seed =
+let create ?metrics ~reserve ~pricing ~method_ ~ctr ~states ~user_seed () =
   let n = Array.length ctr in
   if n = 0 then invalid_arg "Engine.create: no advertisers";
   let k = Array.length ctr.(0) in
@@ -57,6 +133,20 @@ let create ~reserve ~pricing ~method_ ~ctr ~states ~user_seed =
     ctr;
   if Array.length states <> n then
     invalid_arg "Engine.create: states length <> ctr rows";
+  (* Every state must agree on the keyword universe: [premiums] is sized
+     from states.(0) while [t.nk] comes from the fleet, so a disagreeing
+     state would read out of bounds inside [run_auction] instead of
+     failing here. *)
+  let nk = Essa_strategy.Roi_state.num_keywords states.(0) in
+  Array.iteri
+    (fun i s ->
+      let nk_i = Essa_strategy.Roi_state.num_keywords s in
+      if nk_i <> nk then
+        invalid_arg
+          (Printf.sprintf
+             "Engine.create: state %d has %d keywords where state 0 has %d" i
+             nk_i nk))
+    states;
   let fleet =
     match method_ with
     | `Lp | `Lp_dense | `H | `Rh -> Essa_strategy.Roi_fleet.tabular states
@@ -73,7 +163,6 @@ let create ~reserve ~pricing ~method_ ~ctr ~states ~user_seed =
   let ctr_sorted =
     Array.init k (fun j -> desc_sort (Array.init n (fun i -> (i, ctr.(i).(j)))))
   in
-  let nk = Essa_strategy.Roi_state.num_keywords states.(0) in
   let premiums =
     Array.init nk (fun keyword ->
         Array.init n (fun i -> Essa_strategy.Roi_state.premium states.(i) ~keyword))
@@ -84,6 +173,9 @@ let create ~reserve ~pricing ~method_ ~ctr ~states ~user_seed =
           (Array.init n (fun i -> (i, float_of_int premiums.(keyword).(i)))))
   in
   if reserve < 0 then invalid_arg "Engine.create: negative reserve";
+  let registry =
+    match metrics with Some r -> r | None -> Essa_obs.Registry.create ()
+  in
   {
     method_;
     pricing;
@@ -101,10 +193,7 @@ let create ~reserve ~pricing ~method_ ~ctr ~states ~user_seed =
     total_revenue = 0;
     auctions = 0;
     w_buffer = Array.make_matrix n k 0.0;
-    ns_program_eval = 0L;
-    ns_winner_determination = 0L;
-    ns_pricing = 0L;
-    ns_user = 0L;
+    m = engine_metrics registry;
   }
 
 let n t = t.n
@@ -114,6 +203,7 @@ let time t = t.time
 let total_revenue t = t.total_revenue
 let auctions_run t = t.auctions
 let fleet t = t.fleet
+let metrics t = t.m.registry
 
 let bid t ~adv ~keyword = Essa_strategy.Roi_fleet.bid t.fleet ~adv ~keyword
 
@@ -174,7 +264,7 @@ let ta_top_lists t ~keyword ~count =
       let reserve = float_of_int t.reserve in
       (* Sub-reserve bids score 0, exactly like the matrix paths; the
          step form keeps f monotone in every attribute. *)
-      let top, _stats =
+      let top, stats =
         if j = 0 then
           Essa_ta.Threshold.top_k ~k:count
             ~f:(fun attrs ->
@@ -187,6 +277,9 @@ let ta_top_lists t ~keyword ~count =
               if attrs.(1) < reserve then 0.0 else attrs.(0) *. attrs.(1))
             [| ctr_source; bids_source |]
       in
+      Essa_obs.Counter.add t.m.c_ta_sorted stats.sorted_accesses;
+      Essa_obs.Counter.add t.m.c_ta_random stats.random_accesses;
+      Essa_obs.Counter.add t.m.c_ta_seen stats.seen_objects;
       top)
 
 let run_auction t ~keyword =
@@ -194,11 +287,13 @@ let run_auction t ~keyword =
     invalid_arg (Printf.sprintf "Engine.run_auction: keyword %d" keyword);
   t.time <- t.time + 1;
   t.auctions <- t.auctions + 1;
-  let stamp = Essa_util.Timing.now_ns () in
+  Essa_obs.Counter.incr t.m.c_auctions;
+  let t0 = Essa_util.Timing.now_ns () in
+  let stamp = t0 in
   Essa_strategy.Roi_fleet.on_auction t.fleet ~time:t.time ~keyword;
   let stamp =
     let now = Essa_util.Timing.now_ns () in
-    t.ns_program_eval <- Int64.add t.ns_program_eval (Int64.sub now stamp);
+    Essa_obs.Histogram.record t.m.h_program_eval (Int64.to_int (Int64.sub now stamp));
     now
   in
   let ctr ~adv ~slot = t.ctr.(adv).(slot - 1) in
@@ -230,6 +325,7 @@ let run_auction t ~keyword =
           end)
         advertisers
     in
+    Essa_obs.Counter.add t.m.c_reduced_candidates (Array.length advertisers);
     (advertisers, reduced_w)
   in
   let assignment, view_advertisers, view_w, top =
@@ -265,7 +361,8 @@ let run_auction t ~keyword =
   in
   let stamp =
     let now = Essa_util.Timing.now_ns () in
-    t.ns_winner_determination <- Int64.add t.ns_winner_determination (Int64.sub now stamp);
+    Essa_obs.Histogram.record t.m.h_winner_determination
+      (Int64.to_int (Int64.sub now stamp));
     now
   in
   let per_click_of_expected ~expected ~slot ~adv =
@@ -316,25 +413,35 @@ let run_auction t ~keyword =
   in
   let stamp =
     let now = Essa_util.Timing.now_ns () in
-    t.ns_pricing <- Int64.add t.ns_pricing (Int64.sub now stamp);
+    Essa_obs.Histogram.record t.m.h_pricing (Int64.to_int (Int64.sub now stamp));
     now
   in
   (* Sample the user's clicks top-to-bottom; bill per click. *)
   let clicks = Array.make t.k false in
   let revenue = ref 0 in
+  let filled = ref 0 and clicked_count = ref 0 in
   Array.iteri
     (fun j0 cell ->
       match cell with
       | None -> ()
       | Some adv ->
+          incr filled;
           let clicked = Essa_util.Rng.bernoulli t.user_rng (ctr ~adv ~slot:(j0 + 1)) in
           clicks.(j0) <- clicked;
-          if clicked then revenue := !revenue + prices.(j0);
+          if clicked then begin
+            revenue := !revenue + prices.(j0);
+            incr clicked_count
+          end;
           Essa_strategy.Roi_fleet.record_win t.fleet ~time:t.time ~adv ~keyword
             ~price:prices.(j0) ~clicked)
     assignment;
   t.total_revenue <- t.total_revenue + !revenue;
-  t.ns_user <- Int64.add t.ns_user (Int64.sub (Essa_util.Timing.now_ns ()) stamp);
+  Essa_obs.Counter.add t.m.c_revenue !revenue;
+  Essa_obs.Counter.add t.m.c_clicks !clicked_count;
+  Essa_obs.Counter.add t.m.c_slots_filled !filled;
+  let now = Essa_util.Timing.now_ns () in
+  Essa_obs.Histogram.record t.m.h_user (Int64.to_int (Int64.sub now stamp));
+  Essa_obs.Histogram.record t.m.h_total (Int64.to_int (Int64.sub now t0));
   {
     auction_time = t.time;
     keyword;
@@ -351,11 +458,13 @@ type phase_breakdown = {
   user_ms : float;
 }
 
+(* Compatibility view over the histograms: the cumulative sums the
+   pre-metrics engine exposed directly. *)
 let phase_breakdown t =
-  let ms x = Int64.to_float x /. 1e6 in
+  let ms h = float_of_int (Essa_obs.Histogram.sum h) /. 1e6 in
   {
-    program_eval_ms = ms t.ns_program_eval;
-    winner_determination_ms = ms t.ns_winner_determination;
-    pricing_ms = ms t.ns_pricing;
-    user_ms = ms t.ns_user;
+    program_eval_ms = ms t.m.h_program_eval;
+    winner_determination_ms = ms t.m.h_winner_determination;
+    pricing_ms = ms t.m.h_pricing;
+    user_ms = ms t.m.h_user;
   }

@@ -29,12 +29,14 @@ type pricing = [ `Gsp | `Vcg | `Pay_as_bid ]
 type t
 
 val create :
+  ?metrics:Essa_obs.Registry.t ->
   reserve:int ->
   pricing:pricing ->
   method_:method_ ->
   ctr:float array array ->
   states:Essa_strategy.Roi_state.t array ->
   user_seed:int ->
+  unit ->
   t
 (** [ctr.(i).(j)] is advertiser [i]'s click probability in slot [j+1]
     (shape n × k defines the instance size); [states] are the per-
@@ -45,8 +47,13 @@ val create :
     [reserve] is a per-click floor (0 disables it): advertisers bidding below
     it cannot win a slot, and GSP prices are floored at it — the standard
     sponsored-search extension of the paper's pricing step.
-    @raise Invalid_argument on shape mismatch or probabilities outside
-    [0,1]. *)
+    [metrics] is the registry this engine records into (default: a fresh
+    private one, readable via {!metrics}); passing a shared registry makes
+    several engines aggregate into the same histograms/counters, which is
+    how sweep harnesses collect one snapshot per run.
+    @raise Invalid_argument on shape mismatch, probabilities outside
+    [0,1], or advertiser states that disagree on the number of
+    keywords. *)
 
 val n : t -> int
 val k : t -> int
@@ -74,6 +81,14 @@ val bid : t -> adv:int -> keyword:int -> int
 
 val fleet : t -> Essa_strategy.Roi_fleet.t
 
+val metrics : t -> Essa_obs.Registry.t
+(** The engine's metrics registry.  Per-phase latency histograms
+    ([essa.auction.phase.*_ns], plus [essa.auction.total_ns]) give
+    p50/p90/p99/max per-auction latencies; counters cover auctions,
+    revenue, clicks, filled slots, threshold-algorithm access statistics
+    ([essa.ta.*]) and reduced-graph candidate counts
+    ([essa.reduction.candidates]).  Export with {!Essa_obs.Export}. *)
+
 type phase_breakdown = {
   program_eval_ms : float;          (** cumulative, all auctions so far *)
   winner_determination_ms : float;
@@ -84,4 +99,6 @@ type phase_breakdown = {
 val phase_breakdown : t -> phase_breakdown
 (** Where this engine's wall time went, cumulatively — the basis of the
     phase-breakdown ablation (program evaluation dominates the naive
-    methods at scale; winner determination dominates RHTALU). *)
+    methods at scale; winner determination dominates RHTALU).  A thin
+    compatibility view over the {!metrics} histograms' sums; use the
+    registry directly for percentiles. *)

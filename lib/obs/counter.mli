@@ -1,0 +1,16 @@
+(** Monotone event counters (auctions run, TA sorted accesses, cents
+    billed, ...).  Single-writer by design — the hot path is an unguarded
+    int increment; cross-domain aggregation goes through per-domain
+    registries merged after the fact ({!Registry.merge_into}). *)
+
+type t
+
+val create : unit -> t
+val incr : t -> unit
+
+val add : t -> int -> unit
+(** @raise Invalid_argument on a negative increment (counters are
+    monotone; use a {!Gauge} for values that go down). *)
+
+val value : t -> int
+val reset : t -> unit

@@ -1,0 +1,184 @@
+(* Snapshot serializers.  All three walk Registry.entries (registration
+   order) and read metric values once; they are not atomic with respect to
+   concurrent recording, which is fine for the end-of-run snapshots the
+   experiment harness emits. *)
+
+let quantiles = [ 50.0; 90.0; 99.0 ]
+
+let float_repr x =
+  if Float.is_nan x then "nan"
+  else if Float.is_integer x && Float.abs x < 1e15 then
+    Printf.sprintf "%.0f" x
+  else Printf.sprintf "%.6g" x
+
+(* ------------------------------------------------------------------ *)
+(* Plain text *)
+
+let to_text reg =
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun { Registry.name; metric; _ } ->
+      match metric with
+      | Registry.Counter c ->
+          Buffer.add_string buf
+            (Printf.sprintf "counter %s %d\n" name (Counter.value c))
+      | Registry.Gauge g ->
+          Buffer.add_string buf
+            (Printf.sprintf "gauge %s %s\n" name (float_repr (Gauge.value g)))
+      | Registry.Histogram h ->
+          Buffer.add_string buf
+            (Printf.sprintf "histogram %s count=%d sum=%d" name
+               (Histogram.count h) (Histogram.sum h));
+          if Histogram.count h > 0 then begin
+            let lo, hi = Option.get (Histogram.min_max h) in
+            Buffer.add_string buf
+              (Printf.sprintf " min=%d max=%d mean=%s" lo hi
+                 (float_repr (Histogram.mean h)));
+            List.iter
+              (fun q ->
+                Buffer.add_string buf
+                  (Printf.sprintf " p%g=%s" q (float_repr (Histogram.percentile h q))))
+              quantiles
+          end;
+          Buffer.add_char buf '\n')
+    (Registry.entries reg);
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* JSON *)
+
+let json_string s =
+  let buf = Buffer.create (String.length s + 2) in
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"';
+  Buffer.contents buf
+
+let json_float x = if Float.is_nan x then "null" else float_repr x
+
+let to_json reg =
+  let buf = Buffer.create 2048 in
+  Buffer.add_string buf "{\n";
+  let first = ref true in
+  List.iter
+    (fun { Registry.name; help; metric } ->
+      if not !first then Buffer.add_string buf ",\n";
+      first := false;
+      Buffer.add_string buf (Printf.sprintf "  %s: {" (json_string name));
+      if help <> "" then
+        Buffer.add_string buf (Printf.sprintf "\"help\": %s, " (json_string help));
+      (match metric with
+      | Registry.Counter c ->
+          Buffer.add_string buf
+            (Printf.sprintf "\"type\": \"counter\", \"value\": %d" (Counter.value c))
+      | Registry.Gauge g ->
+          Buffer.add_string buf
+            (Printf.sprintf "\"type\": \"gauge\", \"value\": %s"
+               (json_float (Gauge.value g)))
+      | Registry.Histogram h ->
+          Buffer.add_string buf
+            (Printf.sprintf "\"type\": \"histogram\", \"count\": %d, \"sum\": %d"
+               (Histogram.count h) (Histogram.sum h));
+          (match Histogram.min_max h with
+          | None -> ()
+          | Some (lo, hi) ->
+              Buffer.add_string buf
+                (Printf.sprintf ", \"min\": %d, \"max\": %d, \"mean\": %s" lo hi
+                   (json_float (Histogram.mean h)));
+              List.iter
+                (fun q ->
+                  Buffer.add_string buf
+                    (Printf.sprintf ", \"p%g\": %s" q
+                       (json_float (Histogram.percentile h q))))
+                quantiles);
+          Buffer.add_string buf ", \"buckets\": [";
+          let first_b = ref true in
+          Histogram.iter_nonempty_cumulative h (fun ~upper ~cumulative ->
+              if not !first_b then Buffer.add_string buf ", ";
+              first_b := false;
+              let le =
+                match upper with Some u -> string_of_int u | None -> "null"
+              in
+              Buffer.add_string buf
+                (Printf.sprintf "{\"le\": %s, \"count\": %d}" le cumulative));
+          Buffer.add_char buf ']');
+      Buffer.add_char buf '}')
+    (Registry.entries reg);
+  Buffer.add_string buf "\n}\n";
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* Prometheus exposition format *)
+
+let prom_name name =
+  let b = Bytes.of_string name in
+  Bytes.iteri
+    (fun i c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | ':' -> ()
+      | _ -> Bytes.set b i '_')
+    b;
+  let s = Bytes.to_string b in
+  match s.[0] with '0' .. '9' -> "_" ^ s | _ -> s
+
+let to_prometheus reg =
+  let buf = Buffer.create 2048 in
+  List.iter
+    (fun { Registry.name; help; metric } ->
+      let pname = prom_name name in
+      if help <> "" then
+        Buffer.add_string buf (Printf.sprintf "# HELP %s %s\n" pname help);
+      match metric with
+      | Registry.Counter c ->
+          Buffer.add_string buf (Printf.sprintf "# TYPE %s counter\n" pname);
+          Buffer.add_string buf (Printf.sprintf "%s %d\n" pname (Counter.value c))
+      | Registry.Gauge g ->
+          Buffer.add_string buf (Printf.sprintf "# TYPE %s gauge\n" pname);
+          Buffer.add_string buf
+            (Printf.sprintf "%s %s\n" pname (float_repr (Gauge.value g)))
+      | Registry.Histogram h ->
+          Buffer.add_string buf (Printf.sprintf "# TYPE %s histogram\n" pname);
+          let last_cum = ref 0 in
+          Histogram.iter_nonempty_cumulative h (fun ~upper ~cumulative ->
+              last_cum := cumulative;
+              match upper with
+              | Some u ->
+                  Buffer.add_string buf
+                    (Printf.sprintf "%s_bucket{le=\"%d\"} %d\n" pname u cumulative)
+              | None -> ());
+          Buffer.add_string buf
+            (Printf.sprintf "%s_bucket{le=\"+Inf\"} %d\n" pname (Histogram.count h));
+          Buffer.add_string buf
+            (Printf.sprintf "%s_sum %d\n" pname (Histogram.sum h));
+          Buffer.add_string buf
+            (Printf.sprintf "%s_count %d\n" pname (Histogram.count h)))
+    (Registry.entries reg);
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+
+type format = [ `Text | `Json | `Prometheus ]
+
+let render fmt reg =
+  match fmt with
+  | `Text -> to_text reg
+  | `Json -> to_json reg
+  | `Prometheus -> to_prometheus reg
+
+let extension = function `Text -> "txt" | `Json -> "json" | `Prometheus -> "prom"
+
+let format_of_string = function
+  | "text" | "txt" -> Some `Text
+  | "json" -> Some `Json
+  | "prom" | "prometheus" -> Some `Prometheus
+  | _ -> None

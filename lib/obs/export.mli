@@ -1,0 +1,25 @@
+(** Registry snapshot serializers: human-readable text, JSON, and the
+    Prometheus text exposition format.
+
+    Histogram lines report count/sum/min/max/mean and p50/p90/p99 (the
+    quantile set the Section V latency discussion is judged on); the JSON
+    and Prometheus forms additionally carry the non-empty buckets with
+    cumulative counts, so downstream tooling can recompute any quantile.
+    Values are exported in their recorded unit — the repo's convention is
+    nanoseconds for latency histograms, flagged by a [_ns] name suffix. *)
+
+val to_text : Registry.t -> string
+val to_json : Registry.t -> string
+
+val to_prometheus : Registry.t -> string
+(** Metric names are sanitized to Prometheus rules (invalid characters,
+    including the ['.'] separators, become ['_']). *)
+
+type format = [ `Text | `Json | `Prometheus ]
+
+val render : format -> Registry.t -> string
+val extension : format -> string
+(** "txt" / "json" / "prom" — for snapshot file naming. *)
+
+val format_of_string : string -> format option
+(** Accepts "text"/"txt", "json", "prom"/"prometheus". *)

@@ -1,0 +1,6 @@
+type t = { mutable value : float }
+
+let create ?(initial = 0.0) () = { value = initial }
+let set t v = t.value <- v
+let add t v = t.value <- t.value +. v
+let value t = t.value

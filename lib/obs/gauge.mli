@@ -1,0 +1,10 @@
+(** Point-in-time float values (queue depth, current bid level, ...).
+    Last write wins; a registry merge overwrites the destination with the
+    source's value. *)
+
+type t
+
+val create : ?initial:float -> unit -> t
+val set : t -> float -> unit
+val add : t -> float -> unit
+val value : t -> float

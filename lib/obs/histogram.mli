@@ -1,0 +1,63 @@
+(** Fixed-bucket log-scale latency histograms.
+
+    The observability substrate for the per-auction latency claims of the
+    paper's Section V: integer samples (nanoseconds by convention) land in
+    geometric buckets (~8 per octave, < 9.1% relative quantile error) via a
+    pure-int binary search — the record path performs no allocation and no
+    float work, so it can sit inside [Engine.run_auction] without
+    perturbing the measurement.
+
+    Histograms with the same bucket layout are mergeable, which is how
+    per-domain (or per-engine) recorders aggregate into one snapshot:
+    record locally, [merge_into] after joining. *)
+
+type t
+
+val default_bounds : int array
+(** The shared default layout: 1 ns .. 200 s, growth factor 2{^1/8}, exact
+    linear region below 16.  About 300 buckets. *)
+
+val create : ?bounds:int array -> unit -> t
+(** A fresh empty histogram.  [bounds] are inclusive upper bounds, strictly
+    increasing, first >= 1 (an overflow bucket is added internally).
+    @raise Invalid_argument on an empty or non-increasing layout. *)
+
+val record : t -> int -> unit
+(** Record one sample (negative samples clamp to 0).  Allocation-free. *)
+
+val count : t -> int
+val sum : t -> int
+
+val min_max : t -> (int * int) option
+(** Exact smallest and largest recorded sample; [None] when empty. *)
+
+val mean : t -> float
+(** Exact mean ([sum/count]); [nan] when empty. *)
+
+val percentile : t -> float -> float
+(** [percentile t q] estimates the [q]-th percentile ([q] clamped to
+    [\[0,100\]]) by linear interpolation inside the owning bucket, clamped
+    to the exact observed [min,max] (so p0 and p100 are exact).  [nan]
+    when empty.  @raise Invalid_argument on NaN [q]. *)
+
+val max_value : t -> float
+(** Exact maximum as a float; [nan] when empty.  Convenience for
+    p50/p90/p99/max reporting rows. *)
+
+val merge_into : into:t -> t -> unit
+(** Add all of the source's samples into [into].
+    @raise Invalid_argument if the bucket layouts differ. *)
+
+val merge : t -> t -> t
+(** Fresh histogram holding both inputs' samples (layouts must agree). *)
+
+val reset : t -> unit
+
+val bounds : t -> int array
+(** A copy of the bucket upper bounds (for building a mergeable twin). *)
+
+val iter_nonempty_cumulative :
+  t -> (upper:int option -> cumulative:int -> unit) -> unit
+(** Iterate non-empty buckets in increasing order with running cumulative
+    counts — the shape Prometheus-style exporters need.  [upper = None]
+    is the overflow bucket (le = +Inf). *)

@@ -21,9 +21,10 @@ let method_label = function
   | `Rh -> "RH"
   | `Rhtalu -> "RHTALU"
 
-let measure_point ~brand_fraction ~method_ ~seed ~n ~auctions ~warmup ~point_budget_ms =
+let measure_point ?metrics ~brand_fraction ~method_ ~seed ~n ~auctions ~warmup
+    ~point_budget_ms () =
   let workload = Workload.section5 ~brand_fraction ~seed ~n () in
-  let engine = Workload.make_engine workload ~method_ in
+  let engine = Workload.make_engine ?metrics workload ~method_ in
   let queries = Workload.query_stream workload ~seed:(seed + 17) in
   let next =
     let state = ref queries in
@@ -64,30 +65,33 @@ let measure_point ~brand_fraction ~method_ ~seed ~n ~auctions ~warmup ~point_bud
         point.ms_per_auction point.auctions_measured);
   point
 
-let run_series ?(warmup = 10) ?(point_budget_ms = 15_000.0) ?(give_up_ms = 5_000.0)
-    ?(brand_fraction = 0.0) ~method_ ~seed ~ns ~auctions () =
+let run_series ?metrics ?(warmup = 10) ?(point_budget_ms = 15_000.0)
+    ?(give_up_ms = 5_000.0) ?(brand_fraction = 0.0) ~method_ ~seed ~ns ~auctions
+    () =
   let rec go acc = function
     | [] -> List.rev acc
     | n :: rest ->
         let point =
-          measure_point ~brand_fraction ~method_ ~seed ~n ~auctions ~warmup
-            ~point_budget_ms
+          measure_point ?metrics ~brand_fraction ~method_ ~seed ~n ~auctions
+            ~warmup ~point_budget_ms ()
         in
         if point.ms_per_auction > give_up_ms then List.rev (point :: acc)
         else go (point :: acc) rest
   in
   { label = method_label method_; method_; points = go [] ns }
 
-let fig12 ?(seed = 1) ?(ns = [ 250; 500; 1000; 2000; 3000; 4000; 5000 ])
+let fig12 ?metrics ?(seed = 1) ?(ns = [ 250; 500; 1000; 2000; 3000; 4000; 5000 ])
     ?(auctions = 100) ?brand_fraction () =
   List.map
-    (fun method_ -> run_series ?brand_fraction ~method_ ~seed ~ns ~auctions ())
+    (fun method_ ->
+      run_series ?metrics ?brand_fraction ~method_ ~seed ~ns ~auctions ())
     [ `Lp_dense; `Lp; `H; `Rh; `Rhtalu ]
 
-let fig13 ?(seed = 1) ?(ns = [ 1000; 2500; 5000; 10000; 15000; 20000 ])
+let fig13 ?metrics ?(seed = 1) ?(ns = [ 1000; 2500; 5000; 10000; 15000; 20000 ])
     ?(auctions = 1000) ?brand_fraction () =
   List.map
-    (fun method_ -> run_series ?brand_fraction ~method_ ~seed ~ns ~auctions ())
+    (fun method_ ->
+      run_series ?metrics ?brand_fraction ~method_ ~seed ~ns ~auctions ())
     [ `Rh; `Rhtalu ]
 
 (* ------------------------------------------------------------------ *)

@@ -25,6 +25,7 @@ val method_label : Essa.Engine.method_ -> string
 (** "LP", "H", "RH", "RHTALU" — the paper's names. *)
 
 val run_series :
+  ?metrics:Essa_obs.Registry.t ->
   ?warmup:int ->
   ?point_budget_ms:float ->
   ?give_up_ms:float ->
@@ -41,9 +42,12 @@ val run_series :
     stops growing once a point averages over [give_up_ms] (default 5000)
     per auction.  [brand_fraction] (default 0) gives that share of
     advertisers Click∧Slot1 premiums, exercising multi-feature bids in
-    the sweep. *)
+    the sweep.  [metrics], when given, is shared by every engine the
+    sweep creates, so phase-latency histograms and access counters
+    accumulate across the whole series (warmup auctions included). *)
 
 val fig12 :
+  ?metrics:Essa_obs.Registry.t ->
   ?seed:int -> ?ns:int list -> ?auctions:int -> ?brand_fraction:float ->
   unit -> series list
 (** The Fig. 12 methods (plus the dense-tableau LP, whose series the
@@ -52,6 +56,7 @@ val fig12 :
     paper). *)
 
 val fig13 :
+  ?metrics:Essa_obs.Registry.t ->
   ?seed:int -> ?ns:int list -> ?auctions:int -> ?brand_fraction:float ->
   unit -> series list
 (** RH vs RHTALU, Fig. 13.  Defaults: seed 1, n ∈ {1000, 2500, 5000,

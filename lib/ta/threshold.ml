@@ -27,6 +27,7 @@ let top_k ~k ~f sources =
   let cursors = Array.map (fun s -> ref (s.sorted ())) sources in
   let last = Array.make d infinity in
   let exhausted = Array.make d false in
+  let yielded = Array.make d false in
   let sorted_accesses = ref 0 and random_accesses = ref 0 and rounds = ref 0 in
   (* Scratch buffer handed to [f]; [f] must not retain it (it never does —
      both callers compute a product). *)
@@ -42,8 +43,19 @@ let top_k ~k ~f sources =
     end
   in
   let threshold () =
-    if Array.exists (fun e -> not e) exhausted then f last
-    else neg_infinity
+    (* A drained list that never yielded enumerates no objects; since
+       sorted access must agree with random access, nothing unseen can
+       exist, so τ collapses to -inf.  Without this case its [last] entry
+       would stay +inf, poisoning τ and degrading TA to a full scan of the
+       other lists (the empty-bid-list regression). *)
+    let all_drained = ref true and empty_list = ref false in
+    for i = 0 to d - 1 do
+      if exhausted.(i) then begin
+        if not yielded.(i) then empty_list := true
+      end
+      else all_drained := false
+    done;
+    if !all_drained || !empty_list then neg_infinity else f last
     (* all lists drained: every object has been seen, nothing can beat the
        heap anymore *)
   in
@@ -64,6 +76,7 @@ let top_k ~k ~f sources =
       | Seq.Nil -> exhausted.(i) <- true
       | Seq.Cons ((id, v), rest) ->
           incr sorted_accesses;
+          yielded.(i) <- true;
           cursors.(i) := rest;
           last.(i) <- v;
           resolve id

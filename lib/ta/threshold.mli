@@ -34,6 +34,10 @@ val top_k :
     TA-based auction engine replicate the scan-based one exactly.  [f]
     must be monotone non-decreasing in every coordinate — the correctness
     condition of TA; violations are not detected.
+    A source whose sorted list is exhausted without ever yielding (an
+    empty list) enumerates no objects, so the threshold collapses to -inf
+    once it drains: the algorithm stops as soon as k objects are in hand
+    instead of degenerating to a full scan of the remaining lists.
     @raise Invalid_argument if [sources] is empty or [k < 0]. *)
 
 val top_k_naive :

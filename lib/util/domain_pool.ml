@@ -5,7 +5,10 @@ type t = {
   todo : Condition.t;            (* signalled when work or Quit arrives *)
   queue : task Queue.t;
   workers : unit Domain.t array;
-  mutable alive : bool;
+  (* Atomic, not plain mutable: [run] (orchestrator domain) and
+     [shutdown] (any domain) read/write it without holding [mutex], and a
+     plain field would be a data race under the OCaml memory model. *)
+  alive : bool Atomic.t;
 }
 
 let worker_loop t () =
@@ -34,7 +37,7 @@ let create d =
       todo = Condition.create ();
       queue = Queue.create ();
       workers = [||];
-      alive = true;
+      alive = Atomic.make true;
     }
   in
   let workers = Array.init d (fun _ -> Domain.spawn (worker_loop skeleton)) in
@@ -45,7 +48,7 @@ let size t = Array.length t.workers
 type 'a slot = Pending | Done of 'a | Failed of exn
 
 let run t tasks =
-  if not t.alive then invalid_arg "Domain_pool.run: pool is shut down";
+  if not (Atomic.get t.alive) then invalid_arg "Domain_pool.run: pool is shut down";
   let n = List.length tasks in
   if n = 0 then []
   else begin
@@ -79,8 +82,9 @@ let run t tasks =
   end
 
 let shutdown t =
-  if t.alive then begin
-    t.alive <- false;
+  (* compare_and_set makes concurrent shutdowns race-free: exactly one
+     caller pushes the Quit tokens and joins the workers. *)
+  if Atomic.compare_and_set t.alive true false then begin
     Mutex.lock t.mutex;
     Array.iter (fun _ -> Queue.push Quit t.queue) t.workers;
     Condition.broadcast t.todo;

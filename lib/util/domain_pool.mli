@@ -19,14 +19,18 @@ val run : t -> (unit -> 'a) list -> 'a list
 (** [run t tasks] executes the tasks on the pool's workers and returns
     their results in order.  Blocks until all complete.  If a task raises,
     the first exception (in task order) is re-raised after all tasks have
-    settled.  Tasks must not themselves call [run] on the same pool
-    (no nesting).  Thread-safe against concurrent [run] calls is NOT
-    provided — one orchestrator at a time, which is how the auction engine
-    uses it. *)
+    settled.  Tasks must not themselves call [run] on the same pool: the
+    inner call would block a worker waiting for tasks that can only run on
+    the workers it is occupying — self-deadlock, not detected.
+    Thread-safe against concurrent [run] calls is NOT provided — one
+    orchestrator at a time, which is how the auction engine uses it. *)
 
 val shutdown : t -> unit
-(** Stop and join all workers.  Idempotent.  [run] after shutdown raises
-    [Invalid_argument]. *)
+(** Stop and join all workers.  Idempotent, and safe to call from a
+    different domain than [run]'s orchestrator (the liveness flag is
+    atomic); a [run] racing a concurrent [shutdown] either completes
+    normally or raises [Invalid_argument] — it never hangs on a dead
+    pool.  [run] after shutdown raises [Invalid_argument]. *)
 
 val with_pool : int -> (t -> 'a) -> 'a
 (** [with_pool d f] runs [f] over a fresh pool and always shuts it down. *)

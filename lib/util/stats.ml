@@ -22,15 +22,21 @@ let stddev a =
     sqrt (sum acc /. float_of_int (n - 1))
   end
 
+(* Float.compare, not polymorphic compare: NaN ordering is defined (NaNs
+   sort first) and no polymorphic-comparison dispatch per element. *)
 let sorted_copy a =
   let b = Array.copy a in
-  Array.sort compare b;
+  Array.sort Float.compare b;
   b
 
 let percentile a p =
+  if Float.is_nan p then invalid_arg "Stats.percentile: NaN percentile";
   let n = Array.length a in
   if n = 0 then nan
   else begin
+    (* Clamp rather than extrapolate: p < 0 used to index out of bounds
+       and p > 100 silently extrapolated past the largest element. *)
+    let p = Float.max 0.0 (Float.min 100.0 p) in
     let b = sorted_copy a in
     let rank = p /. 100.0 *. float_of_int (n - 1) in
     let lo = int_of_float (floor rank) and hi = int_of_float (ceil rank) in

@@ -11,8 +11,10 @@ val median : float array -> float
 (** Median (average of middle two for even length); [nan] on empty. *)
 
 val percentile : float array -> float -> float
-(** [percentile a p] for [p] in [\[0,100\]], nearest-rank with linear
-    interpolation; [nan] on empty. *)
+(** [percentile a p], nearest-rank with linear interpolation; [p] is
+    clamped to [\[0,100\]]; [nan] on empty.  Elements are ordered by
+    [Float.compare], so NaN elements sort first (smallest) rather than
+    scrambling the order.  @raise Invalid_argument on NaN [p]. *)
 
 val min_max : float array -> float * float
 (** Smallest and largest element.  @raise Invalid_argument on empty. *)

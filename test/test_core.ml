@@ -572,7 +572,7 @@ let test_engine_premium_changes_top_slot () =
   let ctr = [| [| 0.5; 0.3 |]; [| 0.5; 0.3 |] |] in
   let e =
     Essa.Engine.create ~reserve:0 ~pricing:`Gsp ~method_:`Rh ~ctr ~states
-      ~user_seed:1
+      ~user_seed:1 ()
   in
   let s = Essa.Engine.run_auction e ~keyword:0 in
   Alcotest.(check bool) "premium bidder on top" true
@@ -592,6 +592,60 @@ let test_roi_state_premium_accessor () =
      with
     | exception Invalid_argument _ -> true
     | _ -> false)
+
+let test_engine_mismatched_states_rejected () =
+  (* Regression: premiums was sized from states.(0) while nk came from
+     the fleet, so a state with a different keyword universe read out of
+     bounds at auction time instead of failing at construction. *)
+  let states =
+    [|
+      Essa_strategy.Roi_state.create ~values:[| 10 |] ~target_rate:100.0 ();
+      Essa_strategy.Roi_state.create ~values:[| 10; 5 |] ~target_rate:100.0 ();
+    |]
+  in
+  let ctr = [| [| 0.5 |]; [| 0.5 |] |] in
+  Alcotest.(check bool) "keyword-universe mismatch rejected" true
+    (match
+       Essa.Engine.create ~reserve:0 ~pricing:`Gsp ~method_:`Rh ~ctr ~states
+         ~user_seed:1 ()
+     with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_engine_shared_metrics_registry () =
+  (* Two engines on one registry: their auctions aggregate into the same
+     histograms and counters, and the TA counters move under RHTALU. *)
+  let registry = Essa_obs.Registry.create () in
+  let wl = Essa_sim.Workload.section5 ~seed:9 ~n:50 ~k:4 () in
+  let e1 = Essa_sim.Workload.make_engine ~metrics:registry wl ~method_:`Rh in
+  let e2 = Essa_sim.Workload.make_engine ~metrics:registry wl ~method_:`Rhtalu in
+  Alcotest.(check bool) "engines expose the registry" true
+    (Essa.Engine.metrics e1 == registry && Essa.Engine.metrics e2 == registry);
+  let auctions = 60 in
+  for t = 1 to auctions do
+    ignore (Essa.Engine.run_auction e1 ~keyword:(t mod 10));
+    ignore (Essa.Engine.run_auction e2 ~keyword:(t mod 10))
+  done;
+  (match Essa_obs.Registry.find registry "essa.auctions" with
+  | Some (Essa_obs.Registry.Counter c) ->
+      Alcotest.(check int) "shared auction counter" (2 * auctions)
+        (Essa_obs.Counter.value c)
+  | _ -> Alcotest.fail "essa.auctions missing");
+  (match Essa_obs.Registry.find registry "essa.auction.total_ns" with
+  | Some (Essa_obs.Registry.Histogram h) ->
+      Alcotest.(check int) "total latency histogram count" (2 * auctions)
+        (Essa_obs.Histogram.count h);
+      Alcotest.(check bool) "p50 positive" true
+        (Essa_obs.Histogram.percentile h 50.0 > 0.0);
+      Alcotest.(check bool) "p50 <= p99" true
+        (Essa_obs.Histogram.percentile h 50.0
+        <= Essa_obs.Histogram.percentile h 99.0)
+  | _ -> Alcotest.fail "essa.auction.total_ns missing");
+  match Essa_obs.Registry.find registry "essa.ta.sorted_accesses" with
+  | Some (Essa_obs.Registry.Counter c) ->
+      Alcotest.(check bool) "RHTALU recorded TA accesses" true
+        (Essa_obs.Counter.value c > 0)
+  | _ -> Alcotest.fail "essa.ta.sorted_accesses missing"
 
 let test_engine_deterministic_stream () =
   let make () =
@@ -824,6 +878,10 @@ let () =
             test_engine_premium_changes_top_slot;
           Alcotest.test_case "premium accessor" `Quick test_roi_state_premium_accessor;
           Alcotest.test_case "deterministic stream" `Quick test_engine_deterministic_stream;
+          Alcotest.test_case "mismatched states rejected" `Quick
+            test_engine_mismatched_states_rejected;
+          Alcotest.test_case "shared metrics registry" `Quick
+            test_engine_shared_metrics_registry;
           Alcotest.test_case "reserve: equivalence + floor" `Quick
             test_engine_reserve_equivalence_and_floor;
           Alcotest.test_case "reserve raises prices" `Quick test_engine_reserve_raises_prices;

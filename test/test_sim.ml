@@ -108,6 +108,32 @@ let test_run_series_points () =
       Alcotest.(check int) "measured all" 5 p.auctions_measured)
     s.points
 
+let test_run_series_metrics () =
+  (* A shared registry accumulates every auction of the sweep — warmup
+     included — with per-phase latency histograms alongside. *)
+  let registry = Essa_obs.Registry.create () in
+  let s =
+    Essa_sim.Experiment.run_series ~metrics:registry ~warmup:2 ~method_:`Rh
+      ~seed:1 ~ns:[ 20; 40 ] ~auctions:5 ()
+  in
+  let measured =
+    List.fold_left
+      (fun acc (p : Essa_sim.Experiment.point) -> acc + p.auctions_measured)
+      0 s.points
+  in
+  (match Essa_obs.Registry.find registry "essa.auctions" with
+  | Some (Essa_obs.Registry.Counter c) ->
+      Alcotest.(check int) "auctions = measured + warmup" (measured + 4)
+        (Essa_obs.Counter.value c)
+  | _ -> Alcotest.fail "essa.auctions missing");
+  match Essa_obs.Registry.find registry "essa.auction.phase.winner_determination_ns" with
+  | Some (Essa_obs.Registry.Histogram h) ->
+      Alcotest.(check int) "WD histogram covers every auction" (measured + 4)
+        (Essa_obs.Histogram.count h);
+      Alcotest.(check bool) "exportable" true
+        (String.length (Essa_obs.Export.to_text registry) > 0)
+  | _ -> Alcotest.fail "phase histogram missing"
+
 let test_give_up_truncates () =
   (* A brutal give-up threshold keeps only the first point. *)
   let s =
@@ -438,6 +464,7 @@ let () =
       ( "experiment",
         [
           Alcotest.test_case "run_series" `Quick test_run_series_points;
+          Alcotest.test_case "run_series metrics" `Quick test_run_series_metrics;
           Alcotest.test_case "give-up truncation" `Quick test_give_up_truncates;
           Alcotest.test_case "csv" `Quick test_csv_format;
           Alcotest.test_case "table" `Quick test_table_format;

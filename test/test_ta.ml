@@ -171,6 +171,34 @@ let test_ta_naive_reference () =
   in
   Alcotest.(check (list (pair int (float 0.0)))) "naive" [ (2, 12.0); (1, 5.0) ] naive
 
+let test_ta_empty_list_stops_early () =
+  (* Regression: a source whose sorted list drains without ever yielding
+     used to leave last.(i) = +inf, so τ stayed +inf and TA degenerated to
+     a full scan of the other lists.  The empty list enumerates no
+     objects, so τ must collapse to -inf and TA stop after ~k rounds. *)
+  let n = 10_000 and k = 8 in
+  let values = Array.init n (fun i -> float_of_int (n - i)) in
+  let full =
+    {
+      Threshold.sorted =
+        (fun () -> Array.to_seq (Array.init n (fun i -> (i, values.(i)))));
+      lookup = (fun id -> values.(id));
+    }
+  in
+  let empty =
+    { Threshold.sorted = (fun () -> Seq.empty); lookup = (fun _ -> 0.0) }
+  in
+  let f a = Array.fold_left ( +. ) 0.0 a in
+  let top, stats = Threshold.top_k ~k ~f [| full; empty |] in
+  let naive =
+    Threshold.top_k_naive ~k ~f ~universe:(Array.init n Fun.id)
+      [| full; empty |]
+  in
+  Alcotest.(check (list (pair int (float 0.0)))) "matches full scan" naive top;
+  Alcotest.(check bool) "bounded sorted accesses"
+    true
+    (stats.sorted_accesses <= k + 2)
+
 let prop_ta_access_counts_bounded =
   qtest ~count:100 "TA does no more sorted accesses than full drain"
     gen_instance
@@ -200,6 +228,8 @@ let () =
           prop_ta_ties;
           Alcotest.test_case "sublinear on skew" `Quick test_ta_stats_sublinear_when_skewed;
           Alcotest.test_case "k > n" `Quick test_ta_k_larger_than_n;
+          Alcotest.test_case "empty list stops early" `Quick
+            test_ta_empty_list_stops_early;
           Alcotest.test_case "no sources" `Quick test_ta_no_sources_rejected;
           Alcotest.test_case "naive reference" `Quick test_ta_naive_reference;
           prop_ta_access_counts_bounded;

@@ -225,6 +225,24 @@ let test_stats_percentile () =
   Alcotest.(check (float 1e-9)) "p100" 40.0 (Stats.percentile a 100.0);
   Alcotest.(check (float 1e-9)) "p50" 25.0 (Stats.percentile a 50.0)
 
+let test_stats_percentile_clamp () =
+  (* Regression: p < 0 used to index out of bounds, p > 100 silently
+     extrapolated past the largest element. *)
+  let a = [| 10.; 20.; 30.; 40. |] in
+  Alcotest.(check (float 1e-9)) "p<0 clamps to min" 10.0
+    (Stats.percentile a (-5.0));
+  Alcotest.(check (float 1e-9)) "p>100 clamps to max" 40.0
+    (Stats.percentile a 120.0);
+  Alcotest.check_raises "NaN percentile"
+    (Invalid_argument "Stats.percentile: NaN percentile") (fun () ->
+      ignore (Stats.percentile a Float.nan))
+
+let test_stats_sort_nan_first () =
+  (* Float.compare gives NaN a defined position (first); the old
+     polymorphic compare left the sort order unspecified. *)
+  Alcotest.(check (float 1e-9)) "p100 with a NaN present" 2.0
+    (Stats.percentile [| Float.nan; 2.; 1. |] 100.0)
+
 let test_stats_min_max () =
   Alcotest.(check (pair (float 0.) (float 0.))) "min/max" (1.0, 9.0)
     (Stats.min_max [| 3.; 1.; 9.; 4. |])
@@ -348,6 +366,8 @@ let () =
           Alcotest.test_case "stddev" `Quick test_stats_stddev;
           Alcotest.test_case "median" `Quick test_stats_median;
           Alcotest.test_case "percentile" `Quick test_stats_percentile;
+          Alcotest.test_case "percentile clamp" `Quick test_stats_percentile_clamp;
+          Alcotest.test_case "NaN sorts first" `Quick test_stats_sort_nan_first;
           Alcotest.test_case "min_max" `Quick test_stats_min_max;
           prop_kahan_sum;
         ] );
