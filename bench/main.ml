@@ -82,9 +82,10 @@ let ablation_topk () =
         (Staged.stage (fun () ->
              ignore (Essa_matching.Tree_topk.parallel ~domains:4 ~w ~count:15 ())));
       (let pool = Essa_util.Domain_pool.create 4 in
+       (* [domains] defaults to the pool's size. *)
        Test.make ~name:"pool-4/n=50000"
          (Staged.stage (fun () ->
-              ignore (Essa_matching.Tree_topk.parallel ~pool ~domains:4 ~w ~count:15 ()))));
+              ignore (Essa_matching.Tree_topk.parallel ~pool ~w ~count:15 ()))));
     ]
 
 let ablation_lp () =
@@ -246,9 +247,10 @@ let ablation_obs () =
 (* ------------------------------------------------------------------ *)
 (* Runner *)
 
-let run_group group =
+let run_group ~quota group =
   let cfg =
-    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.6) ~kde:None ~stabilize:false ()
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second quota) ~kde:None
+      ~stabilize:false ()
   in
   let raw = Benchmark.all cfg [ Instance.monotonic_clock ] group in
   let ols =
@@ -277,26 +279,107 @@ let run_group group =
         else Printf.sprintf "%8.1f ns" ns
       in
       Printf.printf "  %-44s %s\n%!" name pretty)
-    rows
+    rows;
+  rows
+
+(* JSON emission, by hand (no JSON dependency): schema "essa-bench/1" is
+   {schema, quota_s, results: [{name, ns_per_run|null}]} — the contract
+   the CI bench-smoke job checks and archives. *)
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let write_json ~path ~quota rows =
+  let oc = open_out path in
+  Printf.fprintf oc "{\n  \"schema\": \"essa-bench/1\",\n  \"quota_s\": %g,\n  \"results\": [" quota;
+  List.iteri
+    (fun i (name, ns) ->
+      let value =
+        (* NaN is not JSON; estimate absence becomes null. *)
+        if Float.is_nan ns then "null" else Printf.sprintf "%.3f" ns
+      in
+      Printf.fprintf oc "%s\n    { \"name\": \"%s\", \"ns_per_run\": %s }"
+        (if i = 0 then "" else ",")
+        (json_escape name) value)
+    rows;
+  Printf.fprintf oc "\n  ]\n}\n";
+  close_out oc;
+  Printf.printf "wrote %s\n%!" path
+
+let usage () =
+  prerr_endline
+    "usage: bench/main.exe [--json PATH] [--only SUBSTRING] [--quota SECS]\n\
+     \  --json PATH      also write per-test ns estimates as JSON (schema essa-bench/1)\n\
+     \  --only SUBSTRING run only groups whose key contains SUBSTRING (e.g. ablation/obs)\n\
+     \  --quota SECS     per-test measurement quota (default 0.6)";
+  exit 2
 
 let () =
+  let json_path = ref None and only = ref None and quota = ref 0.6 in
+  let rec parse = function
+    | [] -> ()
+    | "--json" :: path :: rest ->
+        json_path := Some path;
+        parse rest
+    | "--only" :: substring :: rest ->
+        only := Some substring;
+        parse rest
+    | "--quota" :: secs :: rest -> (
+        match float_of_string_opt secs with
+        | Some q when q > 0.0 ->
+            quota := q;
+            parse rest
+        | _ -> usage ())
+    | _ -> usage ()
+  in
+  parse (List.tl (Array.to_list Sys.argv));
   let groups =
     [
-      ("Figure 12 contenders (time per auction)", fig12_group);
-      ("Figure 13 contenders (time per auction)", fig13_group);
-      ("Matching algorithms", ablation_matching);
-      ("Per-slot top-k", ablation_topk);
-      ("Simplex solvers (assignment LP)", ablation_lp);
-      ("Program evaluation strategies", ablation_fleet);
-      ("Heavyweight pattern enumeration", ablation_heavyweight);
-      ("Pricing", ablation_pricing);
-      ("Section IV-A ramp strategies", ablation_ramp);
-      ("Observability primitives (Essa_obs)", ablation_obs);
+      ("fig12", "Figure 12 contenders (time per auction)", fig12_group);
+      ("fig13", "Figure 13 contenders (time per auction)", fig13_group);
+      ("ablation/matching", "Matching algorithms", ablation_matching);
+      ("ablation/topk", "Per-slot top-k", ablation_topk);
+      ("ablation/lp", "Simplex solvers (assignment LP)", ablation_lp);
+      ("ablation/program-eval", "Program evaluation strategies", ablation_fleet);
+      ("ablation/heavyweight", "Heavyweight pattern enumeration", ablation_heavyweight);
+      ("ablation/pricing", "Pricing", ablation_pricing);
+      ("ablation/ramp", "Section IV-A ramp strategies", ablation_ramp);
+      ("ablation/obs", "Observability primitives (Essa_obs)", ablation_obs);
     ]
   in
-  List.iter
-    (fun (title, make_group) ->
-      Printf.printf "== %s ==\n%!" title;
-      run_group (make_group ());
-      print_newline ())
-    groups
+  let groups =
+    match !only with
+    | None -> groups
+    | Some sub ->
+        List.filter
+          (fun (key, _, _) ->
+            (* substring match on the group key *)
+            let kl = String.length key and sl = String.length sub in
+            let rec at i = i + sl <= kl && (String.sub key i sl = sub || at (i + 1)) in
+            at 0)
+          groups
+  in
+  if groups = [] then begin
+    prerr_endline "bench: --only matched no groups";
+    exit 2
+  end;
+  let all_rows =
+    List.concat_map
+      (fun (_, title, make_group) ->
+        Printf.printf "== %s ==\n%!" title;
+        let rows = run_group ~quota:!quota (make_group ()) in
+        print_newline ();
+        rows)
+      groups
+  in
+  Option.iter (fun path -> write_json ~path ~quota:!quota all_rows) !json_path

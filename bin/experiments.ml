@@ -85,7 +85,14 @@ let report_metrics ~out ~name = function
 (* ------------------------------------------------------------------ *)
 (* Figure 12 *)
 
-let fig12 seed auctions ns out skip_lp_dense quick brand metrics =
+(* Run [f pool_opt] with an optional standing pool of [domains] workers:
+   0 means serial (no pool created). *)
+let with_opt_pool domains f =
+  if domains <= 0 then f None
+  else
+    Essa_util.Domain_pool.with_pool domains (fun pool -> f (Some pool))
+
+let fig12 seed auctions ns out skip_lp_dense quick brand metrics pool_domains =
   let metrics = parse_metrics metrics in
   let ns =
     match parse_ns ns with
@@ -102,16 +109,18 @@ let fig12 seed auctions ns out skip_lp_dense quick brand metrics =
     (if skip_lp_dense then [] else [ `Lp_dense ]) @ [ `Lp; `H; `Rh; `Rhtalu ]
   in
   let series =
-    List.map
-      (fun method_ ->
-        let s =
-          Essa_sim.Experiment.run_series
-            ?metrics:(Option.map snd metrics)
-            ~brand_fraction:brand ~method_ ~seed ~ns ~auctions ()
-        in
-        Printf.printf "  measured %s (%d points)\n%!" s.label (List.length s.points);
-        s)
-      methods
+    with_opt_pool pool_domains (fun pool ->
+        List.map
+          (fun method_ ->
+            let s =
+              Essa_sim.Experiment.run_series
+                ?metrics:(Option.map snd metrics) ?pool
+                ~brand_fraction:brand ~method_ ~seed ~ns ~auctions ()
+            in
+            Printf.printf "  measured %s (%d points)\n%!" s.label
+              (List.length s.points);
+            s)
+          methods)
   in
   report ~out ~name:"fig12" series;
   report_metrics ~out ~name:"fig12" metrics
@@ -119,7 +128,7 @@ let fig12 seed auctions ns out skip_lp_dense quick brand metrics =
 (* ------------------------------------------------------------------ *)
 (* Figure 13 *)
 
-let fig13 seed auctions ns out quick brand metrics =
+let fig13 seed auctions ns out quick brand metrics pool_domains =
   let metrics = parse_metrics metrics in
   let ns =
     match parse_ns ns with
@@ -131,16 +140,18 @@ let fig13 seed auctions ns out quick brand metrics =
     "Figure 13: reducing program evaluation — RH vs RHTALU (seed %d, %d auctions/point)\n\n%!"
     seed auctions;
   let series =
-    List.map
-      (fun method_ ->
-        let s =
-          Essa_sim.Experiment.run_series
-            ?metrics:(Option.map snd metrics)
-            ~brand_fraction:brand ~method_ ~seed ~ns ~auctions ()
-        in
-        Printf.printf "  measured %s (%d points)\n%!" s.label (List.length s.points);
-        s)
-      [ `Rh; `Rhtalu ]
+    with_opt_pool pool_domains (fun pool ->
+        List.map
+          (fun method_ ->
+            let s =
+              Essa_sim.Experiment.run_series
+                ?metrics:(Option.map snd metrics) ?pool
+                ~brand_fraction:brand ~method_ ~seed ~ns ~auctions ()
+            in
+            Printf.printf "  measured %s (%d points)\n%!" s.label
+              (List.length s.points);
+            s)
+          [ `Rh; `Rhtalu ])
   in
   report ~out ~name:"fig13" series;
   report_metrics ~out ~name:"fig13" metrics
@@ -574,6 +585,13 @@ let metrics_t =
            ~doc:"Emit an Essa_obs metrics snapshot (phase-latency histograms, \
                  TA access counters) alongside the CSV: text | json | prom.")
 
+let pool_t =
+  Arg.(value & opt int 0
+       & info [ "pool" ]
+           ~doc:"Fan a sweep's points out over this many standing worker \
+                 domains (0 = serial).  Points, labels and merged metrics \
+                 are identical to a serial sweep's.")
+
 let lp_dense_t =
   Arg.(value & flag
        & info [ "skip-lp-dense" ]
@@ -582,20 +600,20 @@ let lp_dense_t =
 let fig12_cmd =
   Cmd.v (Cmd.info "fig12" ~doc:"Winner-determination performance (Fig. 12)")
     Term.(const fig12 $ seed_t $ auctions_t $ ns_t $ out_t $ lp_dense_t $ quick_t
-          $ brand_t $ metrics_t)
+          $ brand_t $ metrics_t $ pool_t)
 
 let fig13_cmd =
   Cmd.v (Cmd.info "fig13" ~doc:"Reducing program evaluation (Fig. 13)")
     Term.(const fig13 $ seed_t $ auctions_t $ ns_t $ out_t $ quick_t $ brand_t
-          $ metrics_t)
+          $ metrics_t $ pool_t)
 
 let ablation_cmd name doc f =
   Cmd.v (Cmd.info name ~doc) Term.(const f $ seed_t)
 
 let all_cmd =
   let run seed =
-    fig12 seed None None (Some "results") false true 0.0 (Some "text");
-    fig13 seed None None (Some "results") true 0.0 (Some "text");
+    fig12 seed None None (Some "results") false true 0.0 (Some "text") 0;
+    fig13 seed None None (Some "results") true 0.0 (Some "text") 0;
     ablation_ta seed;
     ablation_logical seed;
     ablation_parallel seed;

@@ -112,12 +112,28 @@ type t = {
   mutable auctions : int;
   (* Reusable buffer for the full weight matrix (`Lp`, `H`, `Rh`). *)
   w_buffer : float array array;
+  (* Scratch state for the reduced pricing view, owned by the engine so
+     [run_auction] allocates O(k²) small views instead of a fresh
+     Set/Hashtbl/list chain per auction.  [stamp.(i) = stamp_token] marks
+     advertiser i as a member of the current auction's reduced set, and
+     [local_of.(i)] is then its row in the reduced matrix. *)
+  stamp : int array;
+  mutable stamp_token : int;
+  local_of : int array;
+  reduced_advs : int array;            (* capacity k·(k+1) candidates *)
+  reduced_w_rows : float array array;  (* capacity k·(k+1) rows of k *)
+  (* Standing worker pool for the `Rh` top-list scan on large fleets.
+     Must not be a pool this engine is itself running on (a sweep
+     harness's point pool): nested Domain_pool.run deadlocks. *)
+  pool : Essa_util.Domain_pool.t option;
+  parallel_threshold : int;
   (* Per-phase latency histograms and event counters; updated on every
      auction at negligible (allocation-free) cost. *)
   m : engine_metrics;
 }
 
-let create ?metrics ~reserve ~pricing ~method_ ~ctr ~states ~user_seed () =
+let create ?metrics ?pool ?(parallel_threshold = 4096) ~reserve ~pricing
+    ~method_ ~ctr ~states ~user_seed () =
   let n = Array.length ctr in
   if n = 0 then invalid_arg "Engine.create: no advertisers";
   let k = Array.length ctr.(0) in
@@ -173,9 +189,14 @@ let create ?metrics ~reserve ~pricing ~method_ ~ctr ~states ~user_seed () =
           (Array.init n (fun i -> (i, float_of_int premiums.(keyword).(i)))))
   in
   if reserve < 0 then invalid_arg "Engine.create: negative reserve";
+  if parallel_threshold < 0 then
+    invalid_arg "Engine.create: negative parallel threshold";
   let registry =
     match metrics with Some r -> r | None -> Essa_obs.Registry.create ()
   in
+  (* The per-slot top lists carry k+1 candidates each, so the reduced set
+     never exceeds k·(k+1) (nor n). *)
+  let reduced_capacity = min n (k * (k + 1)) in
   {
     method_;
     pricing;
@@ -193,6 +214,13 @@ let create ?metrics ~reserve ~pricing ~method_ ~ctr ~states ~user_seed () =
     total_revenue = 0;
     auctions = 0;
     w_buffer = Array.make_matrix n k 0.0;
+    stamp = Array.make n 0;
+    stamp_token = 0;
+    local_of = Array.make n 0;
+    reduced_advs = Array.make reduced_capacity 0;
+    reduced_w_rows = Array.make_matrix reduced_capacity k 0.0;
+    pool;
+    parallel_threshold;
     m = engine_metrics registry;
   }
 
@@ -302,31 +330,46 @@ let run_auction t ~keyword =
      index mapping it is expressed in.  The reduced views built from
      top-(k+1) lists support exact GSP and exact VCG (removing a winner
      never pushes the removal-optimum outside the lists). *)
+  (* Reduced pricing view out of the engine-owned scratch buffers: a
+     stamp pass dedupes the top lists (no Set), the candidate ids are
+     sorted in place (ascending, as before — ≤ k·(k+1) ints), and the
+     weight rows are refilled rather than reallocated.  The two
+     [Array.sub] views are the only per-auction allocation left, and they
+     are O(k²) pointers, independent of n. *)
   let reduced_from_top top =
-    let advertisers =
-      let module Int_set = Set.Make (Int) in
-      Array.fold_left
-        (fun acc lst ->
-          List.fold_left (fun acc (i, _) -> Int_set.add i acc) acc lst)
-        Int_set.empty top
-      |> Int_set.elements |> Array.of_list
-    in
+    t.stamp_token <- t.stamp_token + 1;
+    let token = t.stamp_token in
+    let count = ref 0 in
+    Array.iter
+      (fun lst ->
+        List.iter
+          (fun (i, _) ->
+            if t.stamp.(i) <> token then begin
+              t.stamp.(i) <- token;
+              t.reduced_advs.(!count) <- i;
+              incr count
+            end)
+          lst)
+      top;
+    let advertisers = Array.sub t.reduced_advs 0 !count in
+    Array.sort Int.compare advertisers;
     let prem = t.premiums.(keyword) in
-    let reduced_w =
-      Array.map
-        (fun i ->
-          let bid_c = bid t ~adv:i ~keyword in
-          if bid_c < t.reserve then Array.make t.k 0.0
-          else begin
-            let b = float_of_int bid_c in
-            Array.init t.k (fun j ->
-                if j = 0 then t.ctr.(i).(0) *. (b +. float_of_int prem.(i))
-                else t.ctr.(i).(j) *. b)
-          end)
-        advertisers
-    in
-    Essa_obs.Counter.add t.m.c_reduced_candidates (Array.length advertisers);
-    (advertisers, reduced_w)
+    for r = 0 to !count - 1 do
+      let i = advertisers.(r) in
+      t.local_of.(i) <- r;
+      let row = t.reduced_w_rows.(r) in
+      let bid_c = bid t ~adv:i ~keyword in
+      if bid_c < t.reserve then Array.fill row 0 t.k 0.0
+      else begin
+        let b = float_of_int bid_c in
+        row.(0) <- t.ctr.(i).(0) *. (b +. float_of_int prem.(i));
+        for j = 1 to t.k - 1 do
+          row.(j) <- t.ctr.(i).(j) *. b
+        done
+      end
+    done;
+    Essa_obs.Counter.add t.m.c_reduced_candidates !count;
+    (advertisers, Array.sub t.reduced_w_rows 0 !count)
   in
   let assignment, view_advertisers, view_w, top =
     match t.method_ with
@@ -341,7 +384,12 @@ let run_auction t ~keyword =
         (Essa_matching.Hungarian.solve_classic ~w, None, w, None)
     | `Rh ->
         let w = fill_weights t ~keyword in
-        let top = Essa_matching.Reduction.top_per_slot ~w ~count:(t.k + 1) in
+        let top =
+          match t.pool with
+          | Some pool when t.n >= t.parallel_threshold ->
+              Essa_matching.Tree_topk.parallel ~pool ~w ~count:(t.k + 1) ()
+          | _ -> Essa_matching.Reduction.top_per_slot ~w ~count:(t.k + 1)
+        in
         let advertisers, reduced_w = reduced_from_top top in
         let reduced = Essa_matching.Hungarian.solve ~w:reduced_w in
         let assignment =
@@ -392,10 +440,10 @@ let run_auction t ~keyword =
         let to_local =
           match view_advertisers with
           | None -> fun i -> i
-          | Some advs ->
-              let table = Hashtbl.create 64 in
-              Array.iteri (fun local i -> Hashtbl.replace table i local) advs;
-              fun i -> Hashtbl.find table i
+          | Some _ ->
+              (* [reduced_from_top] recorded each candidate's reduced row
+                 in [local_of] for this very auction. *)
+              fun i -> t.local_of.(i)
         in
         let local_assignment = Array.map (Option.map to_local) assignment in
         let base = Array.make (Array.length view_w) 0.0 in

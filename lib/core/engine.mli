@@ -30,6 +30,8 @@ type t
 
 val create :
   ?metrics:Essa_obs.Registry.t ->
+  ?pool:Essa_util.Domain_pool.t ->
+  ?parallel_threshold:int ->
   reserve:int ->
   pricing:pricing ->
   method_:method_ ->
@@ -51,9 +53,16 @@ val create :
     private one, readable via {!metrics}); passing a shared registry makes
     several engines aggregate into the same histograms/counters, which is
     how sweep harnesses collect one snapshot per run.
+    [pool] lends the [`Rh] winner-determination step a standing worker
+    pool: when [n >= parallel_threshold] (default 4096) the per-slot
+    top-(k+1) scan runs through {!Essa_matching.Tree_topk.parallel}
+    instead of the sequential heap scan — same lists, property-tested, so
+    the auction stream is unchanged.  Do {b not} pass a pool that is
+    itself running this engine (e.g. the sweep harness's point pool):
+    nested {!Essa_util.Domain_pool.run} deadlocks.
     @raise Invalid_argument on shape mismatch, probabilities outside
-    [0,1], or advertiser states that disagree on the number of
-    keywords. *)
+    [0,1], negative [parallel_threshold], or advertiser states that
+    disagree on the number of keywords. *)
 
 val n : t -> int
 val k : t -> int

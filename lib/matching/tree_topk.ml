@@ -40,7 +40,13 @@ let tree_merge ~w ~count =
 let chunk_tops ~w ~count ~k lo hi =
   Array.init k (fun j -> Reduction.scan_top ~count ~get:(fun i -> w.(i).(j)) lo hi)
 
-let parallel ?pool ~domains ~w ~count () =
+let parallel ?pool ?domains ~w ~count () =
+  let domains =
+    match (domains, pool) with
+    | Some d, _ -> d
+    | None, Some pool -> Essa_util.Domain_pool.size pool
+    | None, None -> 1
+  in
   if domains < 1 then invalid_arg "Tree_topk.parallel: domains < 1";
   let n, k = shape w in
   if n = 0 || k = 0 then Array.make k []

@@ -28,11 +28,14 @@ val tree_merge : w:float array array -> count:int -> (int * float) list array * 
 
 val parallel :
   ?pool:Essa_util.Domain_pool.t ->
-  domains:int -> w:float array array -> count:int -> unit ->
+  ?domains:int -> w:float array array -> count:int -> unit ->
   (int * float) list array
 (** Domain-parallel evaluation: splits advertisers into [domains]
     contiguous chunks, computes per-chunk per-slot tops concurrently with
     heaps, then root-merges.  With [pool] the chunks run on standing
     workers (the realistic deployment — domain spawn costs ~1 ms);
-    without it, ad-hoc domains are spawned.  [domains <= 1] degrades to
-    the sequential heap scan.  @raise Invalid_argument if [domains < 1]. *)
+    without it, ad-hoc domains are spawned.  [domains] defaults to the
+    pool's worker count when [pool] is supplied (so the two can no longer
+    drift apart) and to 1 — the sequential heap scan — otherwise;
+    [domains <= 1] likewise degrades to the sequential scan.
+    @raise Invalid_argument if [domains < 1]. *)

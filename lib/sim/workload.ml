@@ -79,9 +79,11 @@ let fresh_states t =
         ~initial_bids:t.initial_bids.(i) ~premiums:t.premiums.(i)
         ?budget:t.budgets.(i) ~target_rate:t.targets.(i) ())
 
-let make_engine ?metrics ?(pricing = `Gsp) ?(reserve = 0) t ~method_ =
-  Essa.Engine.create ?metrics ~reserve ~pricing ~method_ ~ctr:t.ctr
-    ~states:(fresh_states t) ~user_seed:(t.seed lxor 0x5eed) ()
+let make_engine ?metrics ?pool ?parallel_threshold ?(pricing = `Gsp)
+    ?(reserve = 0) t ~method_ =
+  Essa.Engine.create ?metrics ?pool ?parallel_threshold ~reserve ~pricing
+    ~method_ ~ctr:t.ctr ~states:(fresh_states t)
+    ~user_seed:(t.seed lxor 0x5eed) ()
 
 let query_stream t ~seed =
   let rng = Essa_util.Rng.create seed in

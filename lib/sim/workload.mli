@@ -43,13 +43,18 @@ val fresh_states : t -> Essa_strategy.Roi_state.t array
     every call). *)
 
 val make_engine :
-  ?metrics:Essa_obs.Registry.t -> ?pricing:Essa.Engine.pricing ->
+  ?metrics:Essa_obs.Registry.t ->
+  ?pool:Essa_util.Domain_pool.t ->
+  ?parallel_threshold:int ->
+  ?pricing:Essa.Engine.pricing ->
   ?reserve:int -> t -> method_:Essa.Engine.method_ -> Essa.Engine.t
 (** Convenience: engine over fresh states ([pricing] defaults to GSP as
     in Section V); the user-click seed is derived from the workload seed,
     so engines created from the same workload see identical users.
-    [metrics] is forwarded to {!Essa.Engine.create}, letting every engine
-    of a sweep record into one shared registry. *)
+    [metrics], [pool] and [parallel_threshold] are forwarded to
+    {!Essa.Engine.create} — a shared registry lets every engine of a
+    sweep record into one snapshot, and a pool parallelizes the [`Rh]
+    top-list scan on large fleets. *)
 
 val query_stream : t -> seed:int -> int Seq.t
 (** Infinite uniform keyword stream. *)

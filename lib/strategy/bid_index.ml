@@ -1,0 +1,182 @@
+(* Canonical order, shared with Roi_fleet.sorted_bid_entries and the
+   logical strategy's merge: higher bid first, ties to the smaller
+   advertiser id. *)
+let earlier ~bid1 ~adv1 ~bid2 ~adv2 =
+  bid1 > bid2 || (bid1 = bid2 && adv1 < adv2)
+
+type t = {
+  n : int;
+  nk : int;
+  advs : int array array;     (* nk × n: advertiser at sorted position *)
+  bids : int array array;     (* nk × n: its bid at that position *)
+  pos : int array array;      (* nk × n: advertiser -> sorted position *)
+  latest : int array array;   (* nk × n: advertiser -> current bid (mirror) *)
+  dirty : int array array;    (* nk × n: stack of advertisers to relocate *)
+  dirty_len : int array;      (* per keyword *)
+  is_dirty : bool array array;
+}
+
+let debug_checks = ref false
+
+let create ~num_keywords ~n ~bid =
+  if n < 1 then invalid_arg "Bid_index.create: n < 1";
+  if num_keywords < 1 then invalid_arg "Bid_index.create: num_keywords < 1";
+  let t =
+    {
+      n;
+      nk = num_keywords;
+      advs = Array.init num_keywords (fun _ -> Array.init n (fun a -> a));
+      bids =
+        Array.init num_keywords (fun keyword ->
+            Array.init n (fun adv -> bid ~keyword ~adv));
+      pos = Array.make_matrix num_keywords n 0;
+      latest =
+        Array.init num_keywords (fun keyword ->
+            Array.init n (fun adv -> bid ~keyword ~adv));
+      dirty = Array.make_matrix num_keywords n 0;
+      dirty_len = Array.make num_keywords 0;
+      is_dirty = Array.make_matrix num_keywords n false;
+    }
+  in
+  for kw = 0 to num_keywords - 1 do
+    let advs = t.advs.(kw) and bids = t.bids.(kw) in
+    (* One initial sort; everything afterwards is incremental. *)
+    let entries = Array.init n (fun i -> (advs.(i), bids.(i))) in
+    Array.sort
+      (fun (ia, ba) (ib, bb) ->
+        let c = Int.compare bb ba in
+        if c <> 0 then c else Int.compare ia ib)
+      entries;
+    Array.iteri
+      (fun i (a, b) ->
+        advs.(i) <- a;
+        bids.(i) <- b;
+        t.pos.(kw).(a) <- i)
+      entries
+  done;
+  t
+
+let check_kw t keyword =
+  if keyword < 0 || keyword >= t.nk then
+    invalid_arg (Printf.sprintf "Bid_index: keyword %d out of range" keyword)
+
+let note t ~keyword ~adv ~bid =
+  check_kw t keyword;
+  if t.latest.(keyword).(adv) <> bid then begin
+    t.latest.(keyword).(adv) <- bid;
+    if not t.is_dirty.(keyword).(adv) then begin
+      t.is_dirty.(keyword).(adv) <- true;
+      t.dirty.(keyword).(t.dirty_len.(keyword)) <- adv;
+      t.dirty_len.(keyword) <- t.dirty_len.(keyword) + 1
+    end
+  end
+
+let note_all t ~adv ~bid =
+  for keyword = 0 to t.nk - 1 do
+    note t ~keyword ~adv ~bid
+  done
+
+let bid t ~keyword ~adv =
+  check_kw t keyword;
+  t.latest.(keyword).(adv)
+
+(* Relocate [adv] (whose mirrored bid changed) inside the sorted arrays:
+   one binary search for the target position over the still-sorted
+   remainder, then one blit of the span between old and new position.
+   Everything outside the span keeps its position. *)
+let relocate t ~keyword ~adv =
+  let advs = t.advs.(keyword) and bids = t.bids.(keyword) in
+  let pos = t.pos.(keyword) in
+  let p = pos.(adv) in
+  let b = t.latest.(keyword).(adv) in
+  let moved_left =
+    (* Target in [0, p): first position whose entry should come after the
+       new (b, adv).  The range excludes p, so stale data never enters the
+       comparison. *)
+    p > 0 && earlier ~bid1:b ~adv1:adv ~bid2:bids.(p - 1) ~adv2:advs.(p - 1)
+  in
+  if moved_left then begin
+    let lo = ref 0 and hi = ref p in
+    (* invariant: entries before !lo come before (b, adv); !hi works *)
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      if earlier ~bid1:b ~adv1:adv ~bid2:bids.(mid) ~adv2:advs.(mid) then
+        hi := mid
+      else lo := mid + 1
+    done;
+    let target = !lo in
+    Array.blit advs target advs (target + 1) (p - target);
+    Array.blit bids target bids (target + 1) (p - target);
+    advs.(target) <- adv;
+    bids.(target) <- b;
+    for i = target to p do
+      pos.(advs.(i)) <- i
+    done
+  end
+  else begin
+    let n = t.n in
+    let moved_right =
+      p < n - 1
+      && earlier ~bid1:bids.(p + 1) ~adv1:advs.(p + 1) ~bid2:b ~adv2:adv
+    in
+    if moved_right then begin
+      (* Target in (p, n): last position whose entry comes before (b, adv). *)
+      let lo = ref (p + 1) and hi = ref n in
+      (* invariant: entries before !lo come before (b, adv); entries from
+         !hi on come after *)
+      while !lo < !hi do
+        let mid = (!lo + !hi) / 2 in
+        if earlier ~bid1:bids.(mid) ~adv1:advs.(mid) ~bid2:b ~adv2:adv then
+          lo := mid + 1
+        else hi := mid
+      done;
+      let target = !lo - 1 in
+      Array.blit advs (p + 1) advs p (target - p);
+      Array.blit bids (p + 1) bids p (target - p);
+      advs.(target) <- adv;
+      bids.(target) <- b;
+      for i = p to target do
+        pos.(advs.(i)) <- i
+      done
+    end
+    else bids.(p) <- b (* same position, new value (or unchanged) *)
+  end
+
+let assert_matches_full_sort t ~keyword =
+  let advs = t.advs.(keyword) and bids = t.bids.(keyword) in
+  let pos = t.pos.(keyword) and latest = t.latest.(keyword) in
+  let reference = Array.init t.n (fun adv -> (adv, latest.(adv))) in
+  Array.sort
+    (fun (ia, ba) (ib, bb) ->
+      let c = Int.compare bb ba in
+      if c <> 0 then c else Int.compare ia ib)
+    reference;
+  Array.iteri
+    (fun i (a, b) ->
+      assert (advs.(i) = a);
+      assert (bids.(i) = b);
+      assert (pos.(a) = i))
+    reference
+
+let repair t ~keyword =
+  check_kw t keyword;
+  let d = t.dirty_len.(keyword) in
+  if d > 0 then begin
+    let dirty = t.dirty.(keyword) and is_dirty = t.is_dirty.(keyword) in
+    for i = 0 to d - 1 do
+      let adv = dirty.(i) in
+      is_dirty.(adv) <- false;
+      relocate t ~keyword ~adv
+    done;
+    t.dirty_len.(keyword) <- 0;
+    if !debug_checks then assert_matches_full_sort t ~keyword
+  end
+
+let to_seq_desc t ~keyword =
+  repair t ~keyword;
+  let advs = t.advs.(keyword) and bids = t.bids.(keyword) in
+  let n = t.n in
+  let rec from i () =
+    if i >= n then Seq.Nil else Seq.Cons ((advs.(i), bids.(i)), from (i + 1))
+  in
+  from 0

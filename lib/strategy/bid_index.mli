@@ -1,0 +1,56 @@
+(** Incremental per-keyword sorted bid indexes (the Section IV premise
+    made concrete for the explicit execution strategies).
+
+    The threshold algorithm consumes, per keyword, the list of
+    [(advertiser, bid)] pairs in canonical descending order (higher bid
+    first, ties to the smaller advertiser id).  Between consecutive
+    auctions almost all bids are unchanged — under logical updates "only
+    winners update their state" — so re-sorting all n bids on every TA
+    open is pure waste.  This module keeps one persistent sorted array per
+    keyword and repairs it incrementally:
+
+    - {!note} records a bid change (O(1): mirror the new value, push the
+      advertiser onto the keyword's dirty stack);
+    - the repair pass, run lazily on the next read, relocates each dirty
+      entry with one binary search plus one localized [Array.blit] —
+      O(changed · (log n + move distance)) — instead of an O(n log n)
+      full sort.
+
+    Reads ({!to_seq_desc}) therefore cost O(changed) amortized repair
+    work, after which the sequence itself is O(1) per element.
+
+    Enabling {!debug_checks} makes every repair verify the resulting
+    array against a full re-sort of the mirrored bids (and the
+    position-map inverse), turning any divergence into an immediate
+    [Assert_failure]; the property-based test suite runs with it on. *)
+
+type t
+
+val create : num_keywords:int -> n:int -> bid:(keyword:int -> adv:int -> int) -> t
+(** A fresh index over [n] advertisers and [num_keywords] keywords,
+    initialized (by sorting once) from the ground-truth [bid] lookup.
+    @raise Invalid_argument if [n < 1] or [num_keywords < 1]. *)
+
+val note : t -> keyword:int -> adv:int -> bid:int -> unit
+(** The advertiser's bid on [keyword] is now [bid].  O(1); the positional
+    repair is deferred to the next read.  Redundant notes (same value, or
+    a change that is undone before the next read) cost nothing extra. *)
+
+val note_all : t -> adv:int -> bid:int -> unit
+(** {!note} on every keyword — the budget-exhaustion path, where every
+    bid of the advertiser drops to the same value at once. *)
+
+val bid : t -> keyword:int -> adv:int -> int
+(** The mirrored current bid (reflects pending notes). *)
+
+val to_seq_desc : t -> keyword:int -> (int * int) Seq.t
+(** All [(advertiser, bid)] pairs in canonical descending order.  Runs
+    the pending repair for [keyword] first.  The sequence reads the live
+    index: it is valid until the next {!note} on this keyword. *)
+
+val repair : t -> keyword:int -> unit
+(** Force the pending repair now (normally implicit in {!to_seq_desc}). *)
+
+val debug_checks : bool ref
+(** When true, every repair asserts the incremental result against a full
+    re-sort.  Global, off by default; meant for tests and debugging. *)

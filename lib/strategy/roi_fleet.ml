@@ -28,6 +28,7 @@ type tabular_state = {
   (* rows.(adv).(kw) = [| maxbid; roi; bid; relevance; kvalue; gained; spent |] *)
   rows : Essa_relalg.Value.t array array array;
   out_bids : Essa_relalg.Value.t array;  (* per adv: refreshed output bid *)
+  t_index : Bid_index.t;
 }
 
 (* Sql mode: every program is a full Sql_program — the Fig. 5 trigger
@@ -38,7 +39,7 @@ type tabular_state = {
 type sql_state = { programs : Sql_program.t array }
 
 type strategy =
-  | Naive
+  | Naive of Bid_index.t
   | Tabular of tabular_state
   | Logical of logical_state
   | Sql of sql_state
@@ -214,7 +215,11 @@ let check_states states =
 
 let naive states =
   let nk = check_states states in
-  { states; nk; strategy = Naive }
+  let index =
+    Bid_index.create ~num_keywords:nk ~n:(Array.length states)
+      ~bid:(fun ~keyword ~adv -> Roi_state.bid states.(adv) ~keyword)
+  in
+  { states; nk; strategy = Naive index }
 
 let keyword_name kw = Printf.sprintf "kw%d" kw
 
@@ -262,7 +267,11 @@ let tabular states =
       states
   in
   let out_bids = Array.make (Array.length states) V.Null in
-  { states; nk; strategy = Tabular { rows; out_bids } }
+  let t_index =
+    Bid_index.create ~num_keywords:nk ~n:(Array.length states)
+      ~bid:(fun ~keyword ~adv -> V.to_int rows.(adv).(keyword).(2))
+  in
+  { states; nk; strategy = Tabular { rows; out_bids; t_index } }
 
 let tabular_on_auction ts states ~time ~keyword =
   let module V = Essa_relalg.Value in
@@ -283,6 +292,7 @@ let tabular_on_auction ts states ~time ~keyword =
       let budget_v =
         V.mul (V.Float (Roi_state.target_rate st)) time_v
       in
+      let before = V.to_int program_rows.(keyword).(2) in
       let adjust delta guard =
         for kw' = 0 to nk - 1 do
           let row = program_rows.(kw') in
@@ -294,6 +304,10 @@ let tabular_on_auction ts states ~time ~keyword =
         adjust 1 (fun row -> V.to_bool (V.lt row.(2) row.(0)))
       else if V.to_bool (V.gt spent_v budget_v) then
         adjust (-1) (fun row -> V.to_bool (V.gt row.(2) (V.Int 0)));
+      (* Only the relevant (auctioned) keyword's bid can have moved. *)
+      let after = V.to_int program_rows.(keyword).(2) in
+      if after <> before then
+        Bid_index.note ts.t_index ~keyword ~adv ~bid:after;
       (* Bids-table refresh: SUM(bid) over sufficiently relevant rows. *)
       let total = ref (V.Int 0) in
       for kw' = 0 to nk - 1 do
@@ -343,8 +357,14 @@ let check_kw t keyword =
 let on_auction t ~time ~keyword =
   check_kw t keyword;
   match t.strategy with
-  | Naive ->
-      Array.iter (fun st -> Roi_state.on_auction st ~time ~keyword) t.states
+  | Naive index ->
+      Array.iteri
+        (fun adv st ->
+          Roi_state.on_auction st ~time ~keyword;
+          (* note early-exits against its latest-bid mirror, so only the
+             post-adjustment read is needed. *)
+          Bid_index.note index ~keyword ~adv ~bid:(Roi_state.bid st ~keyword))
+        t.states
   | Tabular ts -> tabular_on_auction ts t.states ~time ~keyword
   | Sql { programs } ->
       let name = keyword_name keyword in
@@ -362,7 +382,7 @@ let on_auction t ~time ~keyword =
 let bid t ~adv ~keyword =
   check_kw t keyword;
   match t.strategy with
-  | Naive -> Roi_state.bid t.states.(adv) ~keyword
+  | Naive _ -> Roi_state.bid t.states.(adv) ~keyword
   | Tabular ts -> Essa_relalg.Value.to_int ts.rows.(adv).(keyword).(2)
   | Sql { programs } -> Sql_program.bid_on programs.(adv) ~keyword:(keyword_name keyword)
   | Logical ls -> effective_bid ls ~adv ~keyword
@@ -375,17 +395,29 @@ let sorted_bid_entries entries =
     entries;
   Array.to_seq entries
 
+(* Debug mode: the incremental index must agree with a from-scratch sort
+   of the ground-truth bids (catching both relocation bugs and forgotten
+   [note] calls on some mutation path). *)
+let assert_index_matches_ground_truth seq entries =
+  assert (List.of_seq seq = List.of_seq (sorted_bid_entries entries))
+
 let bids_desc t ~keyword =
   check_kw t keyword;
   match t.strategy with
-  | Naive ->
-      sorted_bid_entries
-        (Array.mapi (fun adv st -> (adv, Roi_state.bid st ~keyword)) t.states)
+  | Naive index ->
+      let seq = Bid_index.to_seq_desc index ~keyword in
+      if !Bid_index.debug_checks then
+        assert_index_matches_ground_truth seq
+          (Array.mapi (fun adv st -> (adv, Roi_state.bid st ~keyword)) t.states);
+      seq
   | Tabular ts ->
-      sorted_bid_entries
-        (Array.mapi
-           (fun adv rows -> (adv, Essa_relalg.Value.to_int rows.(keyword).(2)))
-           ts.rows)
+      let seq = Bid_index.to_seq_desc ts.t_index ~keyword in
+      if !Bid_index.debug_checks then
+        assert_index_matches_ground_truth seq
+          (Array.mapi
+             (fun adv rows -> (adv, Essa_relalg.Value.to_int rows.(keyword).(2)))
+             ts.rows);
+      seq
   | Sql { programs } ->
       sorted_bid_entries
         (Array.mapi
@@ -429,9 +461,16 @@ let bids_desc t ~keyword =
 
 let record_win t ~time ~adv ~keyword ~price ~clicked =
   check_kw t keyword;
+  let was_exhausted = Roi_state.exhausted t.states.(adv) in
   Roi_state.record_win t.states.(adv) ~keyword ~price ~clicked;
+  let newly_exhausted =
+    (not was_exhausted) && Roi_state.exhausted t.states.(adv)
+  in
   match t.strategy with
-  | Naive -> ()
+  | Naive index ->
+      (* Budget exhaustion is the one win-path event that moves bids:
+         Roi_state.record_win just zeroed every keyword. *)
+      if newly_exhausted then Bid_index.note_all index ~adv ~bid:0
   | Sql { programs } ->
       Sql_program.record_win programs.(adv) ~keyword:(keyword_name keyword)
         ~price ~clicked
@@ -447,8 +486,10 @@ let record_win t ~time ~adv ~keyword ~price ~clicked =
             (if spent > 0 then float_of_int gained /. float_of_int spent
              else if gained > 0 then infinity
              else 0.0);
-        if Roi_state.exhausted t.states.(adv) then
-          Array.iter (fun r -> r.(2) <- V.Int 0) ts.rows.(adv)
+        if Roi_state.exhausted t.states.(adv) then begin
+          Array.iter (fun r -> r.(2) <- V.Int 0) ts.rows.(adv);
+          Bid_index.note_all ts.t_index ~adv ~bid:0
+        end
       end
   | Logical ls ->
       if clicked && price > 0 then begin

@@ -61,8 +61,13 @@ val bid : t -> adv:int -> keyword:int -> int
 val bids_desc : t -> keyword:int -> (int * int) Seq.t
 (** All (advertiser, bid) pairs, descending by bid then ascending by
     advertiser — the sorted access list the threshold algorithm consumes.
-    Naive: built by sorting (O(n log n)); logical: a 3-way merge of the
-    maintained lists (O(1) per element). *)
+    Naive/tabular: served from a persistent {!Bid_index} repaired in
+    O(changed · log n) from the bids that moved since the last call
+    (almost all bids are unchanged between auctions, so a TA open no
+    longer re-sorts all n); sql: built by sorting (O(n log n));
+    logical: a 3-way merge of the maintained lists (O(1) per element).
+    Enable {!Bid_index.debug_checks} to assert the incremental index
+    against a full re-sort on every call. *)
 
 val record_win :
   t -> time:int -> adv:int -> keyword:int -> price:int -> clicked:bool -> unit

@@ -240,6 +240,19 @@ let test_parallel_with_pool () =
         (Tree_topk.parallel ~pool ~domains:3 ~w ~count:6 ()
         = Reduction.top_per_slot ~w ~count:6))
 
+let test_parallel_domains_default () =
+  (* Without [domains], a pooled call splits across the pool's workers
+     and a bare call degrades to the sequential scan — both equal to the
+     heap scan. *)
+  let rng = Essa_util.Rng.create 6 in
+  let w = Array.init 2000 (fun _ -> Array.init 5 (fun _ -> Essa_util.Rng.float rng 50.0)) in
+  let expect = Reduction.top_per_slot ~w ~count:5 in
+  Essa_util.Domain_pool.with_pool 3 (fun pool ->
+      Alcotest.(check bool) "pool-sized default" true
+        (Tree_topk.parallel ~pool ~w ~count:5 () = expect));
+  Alcotest.(check bool) "no pool: sequential" true
+    (Tree_topk.parallel ~w ~count:5 () = expect)
+
 let test_parallel_invalid_domains () =
   Alcotest.(check bool) "domains < 1" true
     (match Tree_topk.parallel ~domains:0 ~w:[| [| 1.0 |] |] ~count:1 () with
@@ -303,6 +316,7 @@ let () =
           prop_parallel_equals_heap;
           Alcotest.test_case "merge op" `Quick test_tree_merge_op;
           Alcotest.test_case "pooled workers" `Quick test_parallel_with_pool;
+          Alcotest.test_case "domains default" `Quick test_parallel_domains_default;
           Alcotest.test_case "invalid domains" `Quick test_parallel_invalid_domains;
         ] );
       ( "integration",

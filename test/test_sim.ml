@@ -134,6 +134,64 @@ let test_run_series_metrics () =
         (String.length (Essa_obs.Export.to_text registry) > 0)
   | _ -> Alcotest.fail "phase histogram missing"
 
+let test_run_series_pooled_equals_serial () =
+  (* A pooled sweep must be indistinguishable from a serial one: same
+     labels, same points (deterministic fields — n, auctions_measured,
+     revenue; wall-clock timing is excluded), same merged metrics.
+     Budgets are generous so neither run truncates. *)
+  let run ?pool () =
+    let registry = Essa_obs.Registry.create () in
+    let s =
+      Essa_sim.Experiment.run_series ?pool ~metrics:registry ~warmup:2
+        ~method_:`Rhtalu ~seed:3 ~ns:[ 15; 30; 45; 60; 75 ] ~auctions:8 ()
+    in
+    (s, registry)
+  in
+  let serial, serial_reg = run () in
+  let pooled, pooled_reg =
+    Essa_util.Domain_pool.with_pool 4 (fun pool -> run ~pool ())
+  in
+  Alcotest.(check string) "label" serial.label pooled.label;
+  let strip (p : Essa_sim.Experiment.point) =
+    (p.n, p.auctions_measured, p.revenue)
+  in
+  Alcotest.(check (list (triple int int int)))
+    "points (deterministic fields)"
+    (List.map strip serial.points)
+    (List.map strip pooled.points);
+  (* Latency histogram *values* are wall-clock and differ run to run; the
+     deterministic shape — metric names in registration order, counter
+     values, histogram sample counts — must agree exactly. *)
+  let shape reg =
+    List.map
+      (fun (e : Essa_obs.Registry.entry) ->
+        let v =
+          match e.metric with
+          | Essa_obs.Registry.Counter c -> Essa_obs.Counter.value c
+          | Essa_obs.Registry.Gauge _ -> 0
+          | Essa_obs.Registry.Histogram h -> Essa_obs.Histogram.count h
+        in
+        (e.name, v))
+      (Essa_obs.Registry.entries reg)
+  in
+  Alcotest.(check (list (pair string int)))
+    "merged metrics shape" (shape serial_reg) (shape pooled_reg)
+
+let test_run_series_pooled_give_up () =
+  (* The give-up rule applies to the ordered wave results: a pooled sweep
+     keeps exactly the points a serial one would. *)
+  let run ?pool () =
+    Essa_sim.Experiment.run_series ?pool ~warmup:1 ~give_up_ms:0.0 ~method_:`Rh
+      ~seed:1 ~ns:[ 10; 20; 30 ] ~auctions:2 ()
+  in
+  let serial = run () in
+  let pooled = Essa_util.Domain_pool.with_pool 2 (fun pool -> run ~pool ()) in
+  let ns_of (s : Essa_sim.Experiment.series) =
+    List.map (fun (p : Essa_sim.Experiment.point) -> p.n) s.points
+  in
+  Alcotest.(check (list int)) "serial keeps first point" [ 10 ] (ns_of serial);
+  Alcotest.(check (list int)) "pooled keeps the same" [ 10 ] (ns_of pooled)
+
 let test_give_up_truncates () =
   (* A brutal give-up threshold keeps only the first point. *)
   let s =
@@ -465,6 +523,8 @@ let () =
         [
           Alcotest.test_case "run_series" `Quick test_run_series_points;
           Alcotest.test_case "run_series metrics" `Quick test_run_series_metrics;
+          Alcotest.test_case "pooled = serial" `Quick test_run_series_pooled_equals_serial;
+          Alcotest.test_case "pooled give-up" `Quick test_run_series_pooled_give_up;
           Alcotest.test_case "give-up truncation" `Quick test_give_up_truncates;
           Alcotest.test_case "csv" `Quick test_csv_format;
           Alcotest.test_case "table" `Quick test_table_format;

@@ -431,6 +431,120 @@ let prop_fleet_four_way_with_sql =
       done;
       !ok)
 
+let sorted_pairs_of_snapshot snapshot =
+  let pairs = Array.to_list (Array.mapi (fun adv b -> (adv, b)) snapshot) in
+  List.sort
+    (fun (ia, ba) (ib, bb) ->
+      let c = Int.compare bb ba in
+      if c <> 0 then c else Int.compare ia ib)
+    pairs
+
+let prop_bid_index_matches_resort =
+  (* The incremental per-keyword index (naive/tabular bids_desc) against
+     ground truth after randomized auction / win / budget-exhaustion
+     traces.  [debug_checks] additionally asserts the index against a full
+     re-sort inside every repair. *)
+  qtest ~count:25 "incremental bid index = full re-sort"
+    QCheck2.Gen.(int_range 0 100_000)
+    (fun seed ->
+      Bid_index.debug_checks := true;
+      Fun.protect
+        ~finally:(fun () -> Bid_index.debug_checks := false)
+        (fun () ->
+          let rng = Essa_util.Rng.create seed in
+          let n = 2 + Essa_util.Rng.int rng 20 in
+          let nk = 1 + Essa_util.Rng.int rng 4 in
+          let base =
+            Array.init n (fun _ ->
+                let values =
+                  Array.init nk (fun _ -> 1 + Essa_util.Rng.int rng 50)
+                in
+                let maxv = Array.fold_left max 1 values in
+                Roi_state.create ~values
+                  (* Small budgets so record_win's retire-all-bids path
+                     (note_all) fires often. *)
+                  ?budget:(if Essa_util.Rng.bool rng
+                           then Some (5 + Essa_util.Rng.int rng 40)
+                           else None)
+                  ~target_rate:(Essa_util.Rng.float_in rng 1.0 (float_of_int maxv))
+                  ())
+          in
+          let fleets =
+            List.map
+              (fun make -> make (Array.map Roi_state.copy base))
+              [ Roi_fleet.naive; Roi_fleet.tabular ]
+          in
+          let ok = ref true in
+          for time = 1 to 200 do
+            let kw = Essa_util.Rng.int rng nk in
+            List.iter (fun f -> Roi_fleet.on_auction f ~time ~keyword:kw) fleets;
+            List.iter
+              (fun adv ->
+                let clicked = Essa_util.Rng.bool rng in
+                let price = Essa_util.Rng.int rng 25 in
+                List.iter
+                  (fun f ->
+                    Roi_fleet.record_win f ~time ~adv ~keyword:kw ~price ~clicked)
+                  fleets)
+              (List.sort_uniq compare
+                 (List.init (Essa_util.Rng.int rng 3) (fun _ ->
+                      Essa_util.Rng.int rng n)));
+            (* Read a keyword other than the auctioned one too: its dirty
+               entries (budget retirements touch all keywords) repair on
+               this read. *)
+            List.iter
+              (fun kw ->
+                List.iter
+                  (fun f ->
+                    let expect =
+                      sorted_pairs_of_snapshot (Roi_fleet.snapshot_bids f ~keyword:kw)
+                    in
+                    if List.of_seq (Roi_fleet.bids_desc f ~keyword:kw) <> expect
+                    then ok := false)
+                  fleets)
+              [ kw; Essa_util.Rng.int rng nk ]
+          done;
+          !ok))
+
+let prop_bids_desc_cross_strategy =
+  (* All four strategies serve the same descending iterator — the naive /
+     tabular incremental indexes, the SQL re-sort and the logical 3-way
+     merge agree element for element. *)
+  qtest ~count:10 "bids_desc agrees across all strategies"
+    QCheck2.Gen.(int_range 0 100_000)
+    (fun seed ->
+      let rng = Essa_util.Rng.create seed in
+      let n = 2 + Essa_util.Rng.int rng 8 in
+      let nk = 1 + Essa_util.Rng.int rng 3 in
+      let base = random_states rng n nk in
+      let fleets =
+        List.map
+          (fun make -> make (Array.map Roi_state.copy base))
+          [ Roi_fleet.naive; Roi_fleet.tabular; Roi_fleet.logical; Roi_fleet.sql ]
+      in
+      let ok = ref true in
+      for time = 1 to 120 do
+        let kw = Essa_util.Rng.int rng nk in
+        List.iter (fun f -> Roi_fleet.on_auction f ~time ~keyword:kw) fleets;
+        List.iter
+          (fun adv ->
+            let clicked = Essa_util.Rng.bool rng in
+            let price = Essa_util.Rng.int rng 25 in
+            List.iter
+              (fun f -> Roi_fleet.record_win f ~time ~adv ~keyword:kw ~price ~clicked)
+              fleets)
+          (List.sort_uniq compare
+             (List.init (Essa_util.Rng.int rng 3) (fun _ -> Essa_util.Rng.int rng n)));
+        for kw = 0 to nk - 1 do
+          match
+            List.map (fun f -> List.of_seq (Roi_fleet.bids_desc f ~keyword:kw)) fleets
+          with
+          | first :: rest -> if not (List.for_all (( = ) first) rest) then ok := false
+          | [] -> ok := false
+        done
+      done;
+      !ok)
+
 let test_fleet_sql_rejects_budgets () =
   let st = Roi_state.create ~values:[| 5 |] ~budget:10 ~target_rate:1.0 () in
   Alcotest.(check bool) "rejected" true
@@ -607,6 +721,8 @@ let () =
           prop_fleet_equivalence_integer_boundaries;
           Alcotest.test_case "sql rejects budgets" `Quick test_fleet_sql_rejects_budgets;
           prop_fleet_equivalence_with_budgets;
+          prop_bid_index_matches_resort;
+          prop_bids_desc_cross_strategy;
           Alcotest.test_case "bound + spend-rate triggers" `Quick test_fleet_logical_bound_edges;
           Alcotest.test_case "keyword isolation" `Quick test_fleet_keyword_isolation;
           Alcotest.test_case "interface guards" `Quick test_fleet_interface_guards;
