@@ -9,12 +9,52 @@
 open Bechamel
 open Toolkit
 
+(* A result row: the OLS per-run estimate plus, where a latency
+   histogram backs the bench, distribution percentiles (the paper's
+   latency claims are about tails, not means) and, for the serving
+   pipeline, sustained throughput. *)
+type row = {
+  name : string;
+  ns_per_run : float;  (* nan = no estimate (null in JSON) *)
+  p50_ns : float option;
+  p95_ns : float option;
+  p99_ns : float option;
+  auctions_per_s : float option;
+}
+
+let bare name ns_per_run =
+  { name; ns_per_run; p50_ns = None; p95_ns = None; p99_ns = None;
+    auctions_per_s = None }
+
+let histogram_of registry hname =
+  match Essa_obs.Registry.find registry hname with
+  | Some (Essa_obs.Registry.Histogram h) -> Some h
+  | _ -> None
+
+let percentiles_of registry hname =
+  match histogram_of registry hname with
+  | Some h when Essa_obs.Histogram.count h > 0 ->
+      ( Some (Essa_obs.Histogram.percentile h 50.0),
+        Some (Essa_obs.Histogram.percentile h 95.0),
+        Some (Essa_obs.Histogram.percentile h 99.0) )
+  | _ -> (None, None, None)
+
 (* ------------------------------------------------------------------ *)
 (* Engine-backed benches: one auction per run, steady-state engines. *)
 
-let engine_auction ~method_ ~n ~k =
+(* Engine registries by full bench row name ("fig12/RH/n=1000"): after a
+   group runs, its rows pick up p50/p95/p99 from the engine's own
+   essa.auction.total_ns histogram — every measured run recorded one
+   sample, so the distribution covers exactly what the OLS mean
+   summarizes. *)
+let engine_registries : (string, Essa_obs.Registry.t) Hashtbl.t =
+  Hashtbl.create 16
+
+let engine_auction ~bench_name ~method_ ~n ~k =
   let workload = Essa_sim.Workload.section5 ~seed:1 ~n ~k () in
-  let engine = Essa_sim.Workload.make_engine workload ~method_ in
+  let registry = Essa_obs.Registry.create () in
+  Hashtbl.replace engine_registries bench_name registry;
+  let engine = Essa_sim.Workload.make_engine ~metrics:registry workload ~method_ in
   let queries = ref (Essa_sim.Workload.query_stream workload ~seed:17) in
   let next () =
     match !queries () with
@@ -27,6 +67,9 @@ let engine_auction ~method_ ~n ~k =
   for _ = 1 to 50 do
     ignore (Essa.Engine.run_auction engine ~keyword:(next ()))
   done;
+  (* Percentiles should describe measured runs, not the warmup. *)
+  Option.iter Essa_obs.Histogram.reset
+    (histogram_of registry "essa.auction.total_ns");
   Staged.stage (fun () -> ignore (Essa.Engine.run_auction engine ~keyword:(next ())))
 
 let fig12_group () =
@@ -35,19 +78,29 @@ let fig12_group () =
      baseline and already costs ~10 ms there.) *)
   Test.make_grouped ~name:"fig12"
     [
-      Test.make ~name:"LPdense/n=200" (engine_auction ~method_:`Lp_dense ~n:200 ~k:15);
-      Test.make ~name:"LP/n=1000" (engine_auction ~method_:`Lp ~n:1000 ~k:15);
-      Test.make ~name:"H/n=1000" (engine_auction ~method_:`H ~n:1000 ~k:15);
-      Test.make ~name:"RH/n=1000" (engine_auction ~method_:`Rh ~n:1000 ~k:15);
-      Test.make ~name:"RHTALU/n=1000" (engine_auction ~method_:`Rhtalu ~n:1000 ~k:15);
+      Test.make ~name:"LPdense/n=200"
+        (engine_auction ~bench_name:"fig12/LPdense/n=200" ~method_:`Lp_dense
+           ~n:200 ~k:15);
+      Test.make ~name:"LP/n=1000"
+        (engine_auction ~bench_name:"fig12/LP/n=1000" ~method_:`Lp ~n:1000 ~k:15);
+      Test.make ~name:"H/n=1000"
+        (engine_auction ~bench_name:"fig12/H/n=1000" ~method_:`H ~n:1000 ~k:15);
+      Test.make ~name:"RH/n=1000"
+        (engine_auction ~bench_name:"fig12/RH/n=1000" ~method_:`Rh ~n:1000 ~k:15);
+      Test.make ~name:"RHTALU/n=1000"
+        (engine_auction ~bench_name:"fig12/RHTALU/n=1000" ~method_:`Rhtalu
+           ~n:1000 ~k:15);
     ]
 
 let fig13_group () =
   (* Fig. 13: reducing program evaluation, larger fleet. *)
   Test.make_grouped ~name:"fig13"
     [
-      Test.make ~name:"RH/n=8000" (engine_auction ~method_:`Rh ~n:8000 ~k:15);
-      Test.make ~name:"RHTALU/n=8000" (engine_auction ~method_:`Rhtalu ~n:8000 ~k:15);
+      Test.make ~name:"RH/n=8000"
+        (engine_auction ~bench_name:"fig13/RH/n=8000" ~method_:`Rh ~n:8000 ~k:15);
+      Test.make ~name:"RHTALU/n=8000"
+        (engine_auction ~bench_name:"fig13/RHTALU/n=8000" ~method_:`Rhtalu
+           ~n:8000 ~k:15);
     ]
 
 (* ------------------------------------------------------------------ *)
@@ -245,7 +298,108 @@ let ablation_obs () =
     ]
 
 (* ------------------------------------------------------------------ *)
+(* Serving pipeline throughput (wall-clock, not bechamel: the unit of
+   interest is sustained auctions/sec through the whole pipeline, and
+   the latency of interest is enqueue→commit, which includes queueing —
+   an OLS per-run fit over an isolated closure measures neither). *)
+
+let serve_rows ~quota =
+  let n = 1000 and k = 15 and keywords = 10 in
+  (* Scale the measured stream to the quota: the serial engine runs this
+     workload at roughly 15-20k auctions/s, so quota seconds of budget
+     per contender is about quota * 8000 auctions with headroom. *)
+  let auctions = max 300 (int_of_float (quota *. 8000.0)) in
+  let warmup = 50 in
+  let workload =
+    Essa_sim.Workload.section5 ~seed:1 ~n ~k ~num_keywords:keywords ()
+  in
+  let serial_row =
+    let registry = Essa_obs.Registry.create () in
+    let engine =
+      Essa_sim.Workload.make_engine ~metrics:registry workload ~method_:`Rhtalu
+    in
+    let queries =
+      Essa_sim.Workload.queries workload ~seed:17 ~count:(warmup + auctions)
+    in
+    for i = 0 to warmup - 1 do
+      ignore (Essa.Engine.run_auction engine ~keyword:queries.(i))
+    done;
+    Option.iter Essa_obs.Histogram.reset
+      (histogram_of registry "essa.auction.total_ns");
+    let t0 = Essa_util.Timing.now_ns () in
+    for i = warmup to warmup + auctions - 1 do
+      ignore (Essa.Engine.run_auction engine ~keyword:queries.(i))
+    done;
+    let elapsed = Int64.to_float (Int64.sub (Essa_util.Timing.now_ns ()) t0) in
+    let p50, p95, p99 = percentiles_of registry "essa.auction.total_ns" in
+    {
+      name = Printf.sprintf "serve/serial/rhtalu/n=%d" n;
+      ns_per_run = elapsed /. float_of_int auctions;
+      p50_ns = p50;
+      p95_ns = p95;
+      p99_ns = p99;
+      auctions_per_s = Some (float_of_int auctions /. (elapsed /. 1e9));
+    }
+  in
+  let served_row ~workers =
+    let registry = Essa_obs.Registry.create () in
+    let engine =
+      Essa_sim.Workload.make_engine ~metrics:registry workload ~method_:`Rhtalu
+    in
+    let server =
+      Essa_serve.Server.create ~metrics:registry ~workers ~queue_capacity:256
+        ~max_batch:32 ~engine ()
+    in
+    let stream = Essa_sim.Workload.query_stream workload ~seed:17 in
+    ignore
+      (Essa_serve.Load_gen.closed_loop server ~keywords:stream ~total:warmup
+         ~window:16 ());
+    Option.iter Essa_obs.Histogram.reset
+      (histogram_of registry "essa.serve.commit_latency_ns");
+    let report =
+      Essa_serve.Load_gen.closed_loop server
+        ~keywords:(Seq.drop warmup stream) ~total:auctions ~window:16 ()
+    in
+    ignore (Essa_serve.Server.stop server);
+    let p50, p95, p99 = percentiles_of registry "essa.serve.commit_latency_ns" in
+    {
+      name = Printf.sprintf "serve/w=%d/rhtalu/n=%d" workers n;
+      ns_per_run =
+        Int64.to_float report.elapsed_ns /. float_of_int report.accepted;
+      p50_ns = p50;
+      p95_ns = p95;
+      p99_ns = p99;
+      auctions_per_s = Some report.throughput_per_s;
+    }
+  in
+  serial_row :: List.map (fun workers -> served_row ~workers) [ 1; 2; 4 ]
+
+(* ------------------------------------------------------------------ *)
 (* Runner *)
+
+let print_rows rows =
+  List.iter
+    (fun r ->
+      let pretty ns =
+        if ns > 1e9 then Printf.sprintf "%8.3f s " (ns /. 1e9)
+        else if ns > 1e6 then Printf.sprintf "%8.3f ms" (ns /. 1e6)
+        else if ns > 1e3 then Printf.sprintf "%8.3f us" (ns /. 1e3)
+        else Printf.sprintf "%8.1f ns" ns
+      in
+      let tail =
+        match (r.p50_ns, r.p95_ns, r.p99_ns) with
+        | Some p50, Some p95, Some p99 ->
+            Printf.sprintf "  p50 %s  p95 %s  p99 %s" (pretty p50) (pretty p95)
+              (pretty p99)
+        | _ -> ""
+      in
+      let rate =
+        match r.auctions_per_s with
+        | Some aps -> Printf.sprintf "  %8.0f auctions/s" aps
+        | None -> ""
+      in
+      Printf.printf "  %-44s %s%s%s\n%!" r.name (pretty r.ns_per_run) rate tail)
+    rows
 
 let run_group ~quota group =
   let cfg =
@@ -266,25 +420,27 @@ let run_group ~quota group =
           | Some (x :: _) -> x
           | Some [] | None -> nan
         in
-        (name, ns) :: acc)
+        let row =
+          match Hashtbl.find_opt engine_registries name with
+          | Some registry ->
+              let p50, p95, p99 =
+                percentiles_of registry "essa.auction.total_ns"
+              in
+              { (bare name ns) with p50_ns = p50; p95_ns = p95; p99_ns = p99 }
+          | None -> bare name ns
+        in
+        row :: acc)
       ols []
     |> List.sort compare
   in
-  List.iter
-    (fun (name, ns) ->
-      let pretty =
-        if ns > 1e9 then Printf.sprintf "%8.3f s " (ns /. 1e9)
-        else if ns > 1e6 then Printf.sprintf "%8.3f ms" (ns /. 1e6)
-        else if ns > 1e3 then Printf.sprintf "%8.3f us" (ns /. 1e3)
-        else Printf.sprintf "%8.1f ns" ns
-      in
-      Printf.printf "  %-44s %s\n%!" name pretty)
-    rows;
+  print_rows rows;
   rows
 
 (* JSON emission, by hand (no JSON dependency): schema "essa-bench/1" is
    {schema, quota_s, results: [{name, ns_per_run|null}]} — the contract
-   the CI bench-smoke job checks and archives. *)
+   the CI bench-smoke job checks and archives.  Rows backed by a latency
+   histogram additionally carry p50_ns/p95_ns/p99_ns, and serving rows
+   auctions_per_s; all additive, the schema version is unchanged. *)
 let json_escape s =
   let buf = Buffer.create (String.length s + 8) in
   String.iter
@@ -303,14 +459,20 @@ let write_json ~path ~quota rows =
   let oc = open_out path in
   Printf.fprintf oc "{\n  \"schema\": \"essa-bench/1\",\n  \"quota_s\": %g,\n  \"results\": [" quota;
   List.iteri
-    (fun i (name, ns) ->
-      let value =
+    (fun i r ->
+      let num ns =
         (* NaN is not JSON; estimate absence becomes null. *)
         if Float.is_nan ns then "null" else Printf.sprintf "%.3f" ns
       in
-      Printf.fprintf oc "%s\n    { \"name\": \"%s\", \"ns_per_run\": %s }"
+      let opt key = function
+        | None -> ""
+        | Some v -> Printf.sprintf ", \"%s\": %s" key (num v)
+      in
+      Printf.fprintf oc "%s\n    { \"name\": \"%s\", \"ns_per_run\": %s%s%s%s%s }"
         (if i = 0 then "" else ",")
-        (json_escape name) value)
+        (json_escape r.name) (num r.ns_per_run)
+        (opt "p50_ns" r.p50_ns) (opt "p95_ns" r.p95_ns) (opt "p99_ns" r.p99_ns)
+        (opt "auctions_per_s" r.auctions_per_s))
     rows;
   Printf.fprintf oc "\n  ]\n}\n";
   close_out oc;
@@ -343,18 +505,27 @@ let () =
     | _ -> usage ()
   in
   parse (List.tl (Array.to_list Sys.argv));
+  let bechamel make_group ~quota = run_group ~quota (make_group ()) in
+  let custom f ~quota =
+    let rows = f ~quota in
+    print_rows rows;
+    rows
+  in
   let groups =
     [
-      ("fig12", "Figure 12 contenders (time per auction)", fig12_group);
-      ("fig13", "Figure 13 contenders (time per auction)", fig13_group);
-      ("ablation/matching", "Matching algorithms", ablation_matching);
-      ("ablation/topk", "Per-slot top-k", ablation_topk);
-      ("ablation/lp", "Simplex solvers (assignment LP)", ablation_lp);
-      ("ablation/program-eval", "Program evaluation strategies", ablation_fleet);
-      ("ablation/heavyweight", "Heavyweight pattern enumeration", ablation_heavyweight);
-      ("ablation/pricing", "Pricing", ablation_pricing);
-      ("ablation/ramp", "Section IV-A ramp strategies", ablation_ramp);
-      ("ablation/obs", "Observability primitives (Essa_obs)", ablation_obs);
+      ("fig12", "Figure 12 contenders (time per auction)", bechamel fig12_group);
+      ("fig13", "Figure 13 contenders (time per auction)", bechamel fig13_group);
+      ("ablation/matching", "Matching algorithms", bechamel ablation_matching);
+      ("ablation/topk", "Per-slot top-k", bechamel ablation_topk);
+      ("ablation/lp", "Simplex solvers (assignment LP)", bechamel ablation_lp);
+      ("ablation/program-eval", "Program evaluation strategies",
+       bechamel ablation_fleet);
+      ("ablation/heavyweight", "Heavyweight pattern enumeration",
+       bechamel ablation_heavyweight);
+      ("ablation/pricing", "Pricing", bechamel ablation_pricing);
+      ("ablation/ramp", "Section IV-A ramp strategies", bechamel ablation_ramp);
+      ("ablation/obs", "Observability primitives (Essa_obs)", bechamel ablation_obs);
+      ("serve", "Serving pipeline (sustained auctions/s)", custom serve_rows);
     ]
   in
   let groups =
@@ -375,9 +546,9 @@ let () =
   end;
   let all_rows =
     List.concat_map
-      (fun (_, title, make_group) ->
+      (fun (_, title, runner) ->
         Printf.printf "== %s ==\n%!" title;
-        let rows = run_group ~quota:!quota (make_group ()) in
+        let rows = runner ~quota:!quota in
         print_newline ();
         rows)
       groups

@@ -1,0 +1,189 @@
+(* Drive the keyword-sharded serving pipeline from the command line:
+   build a Section V workload, stand up an [Essa_serve.Server] over it
+   and push a query stream through, then report throughput, commit
+   latency percentiles and shedding.
+
+     dune exec bin/serve_cli.exe -- run \
+       --n 2000 --keywords 10 --slots 15 --method rhtalu \
+       --workers 4 --auctions 20000
+
+   The default client is closed-loop (a fixed number of in-flight
+   queries, the admission-controlled regime); pass --rate to switch to
+   an open-loop client that offers queries on a fixed schedule whether
+   or not the server keeps up — the regime where the bounded ingress
+   queue sheds. *)
+
+let method_of_string = function
+  | "lp" -> `Lp
+  | "lp-dense" -> `Lp_dense
+  | "h" -> `H
+  | "rh" -> `Rh
+  | "rhtalu" -> `Rhtalu
+  | other ->
+      prerr_endline
+        ("unknown method " ^ other ^ " (expected lp|lp-dense|h|rh|rhtalu)");
+      exit 2
+
+let percentiles registry name =
+  match Essa_obs.Registry.find registry name with
+  | Some (Essa_obs.Registry.Histogram h) when Essa_obs.Histogram.count h > 0 ->
+      Some
+        ( Essa_obs.Histogram.percentile h 50.0,
+          Essa_obs.Histogram.percentile h 95.0,
+          Essa_obs.Histogram.percentile h 99.0 )
+  | _ -> None
+
+let run n slots keywords method_ seed workers queue_capacity max_batch auctions
+    rate window pool_size parallel_threshold metrics =
+  let metrics_fmt =
+    match metrics with
+    | None -> None
+    | Some s -> (
+        match Essa_obs.Export.format_of_string s with
+        | Some fmt -> Some fmt
+        | None ->
+            prerr_endline
+              ("unknown metrics format " ^ s ^ " (expected text | json | prom)");
+            exit 2)
+  in
+  let method_ = method_of_string method_ in
+  let workload =
+    Essa_sim.Workload.section5 ~seed ~n ~k:slots ~num_keywords:keywords ()
+  in
+  let registry = Essa_obs.Registry.create () in
+  let with_opt_pool f =
+    match pool_size with
+    | None -> f None
+    | Some d -> Essa_util.Domain_pool.with_pool d (fun pool -> f (Some pool))
+  in
+  with_opt_pool (fun pool ->
+      let engine =
+        Essa_sim.Workload.make_engine ~metrics:registry ?pool
+          ?parallel_threshold workload ~method_
+      in
+      let server =
+        Essa_serve.Server.create ~metrics:registry ~workers ~queue_capacity
+          ~max_batch ~engine ()
+      in
+      let keywords_seq =
+        Essa_sim.Workload.query_stream workload ~seed:(seed + 1)
+      in
+      let report =
+        match rate with
+        | Some rate_per_s ->
+            Essa_serve.Load_gen.open_loop server ~keywords:keywords_seq
+              ~offered:auctions ~rate_per_s ()
+        | None ->
+            Essa_serve.Load_gen.closed_loop server ~keywords:keywords_seq
+              ~total:auctions ~window ()
+      in
+      let stats = Essa_serve.Server.stop server in
+      Format.printf "workload: n=%d slots=%d keywords=%d seed=%d@." n slots
+        keywords seed;
+      Format.printf "server:   workers=%d queue=%d batch=%d%s@." workers
+        queue_capacity max_batch
+        (match pool_size with
+        | None -> ""
+        | Some d ->
+            Printf.sprintf " engine-pool=%d (threshold %s)" d
+              (match parallel_threshold with
+              | None -> "default"
+              | Some t -> string_of_int t));
+      Format.printf "client:   %s, %d offered@."
+        (match rate with
+        | Some r -> Printf.sprintf "open loop at %.0f/s" r
+        | None -> Printf.sprintf "closed loop, window %d" window)
+        report.offered;
+      Format.printf "accepted: %d   shed: %d   committed: %d@." report.accepted
+        report.shed stats.committed;
+      Format.printf "elapsed:  %.3f s   throughput: %.0f auctions/s@."
+        (Int64.to_float report.elapsed_ns /. 1e9)
+        report.throughput_per_s;
+      (match percentiles registry "essa.serve.commit_latency_ns" with
+      | Some (p50, p95, p99) ->
+          Format.printf
+            "enqueue->commit latency: p50 %.1f us   p95 %.1f us   p99 %.1f us@."
+            (p50 /. 1e3) (p95 /. 1e3) (p99 /. 1e3)
+      | None -> ());
+      (match percentiles registry "essa.auction.total_ns" with
+      | Some (p50, p95, p99) ->
+          Format.printf
+            "auction execution:       p50 %.1f us   p95 %.1f us   p99 %.1f us@."
+            (p50 /. 1e3) (p95 /. 1e3) (p99 /. 1e3)
+      | None -> ());
+      Format.printf "revenue:  %d cents@." stats.revenue;
+      match metrics_fmt with
+      | None -> ()
+      | Some fmt ->
+          print_newline ();
+          print_string (Essa_obs.Export.render fmt registry))
+
+open Cmdliner
+
+let n_t =
+  Arg.(value & opt int 1000
+       & info [ "n"; "advertisers" ] ~doc:"Number of advertisers.")
+
+let slots_t = Arg.(value & opt int 15 & info [ "slots" ] ~doc:"Ad slots (k).")
+
+let keywords_t =
+  Arg.(value & opt int 10 & info [ "keywords" ] ~doc:"Keyword universe size.")
+
+let method_t =
+  Arg.(value & opt string "rhtalu"
+       & info [ "method" ] ~doc:"Engine method: lp | lp-dense | h | rh | rhtalu.")
+
+let seed_t =
+  Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Workload + user-click seed.")
+
+let workers_t =
+  Arg.(value & opt int 2 & info [ "workers" ] ~doc:"Lane (worker domain) count.")
+
+let queue_t =
+  Arg.(value & opt int 1024
+       & info [ "queue" ] ~doc:"Ingress queue capacity (the shedding bound).")
+
+let batch_t =
+  Arg.(value & opt int 64 & info [ "batch" ] ~doc:"Maximum batch size.")
+
+let auctions_t =
+  Arg.(value & opt int 5000 & info [ "auctions" ] ~doc:"Queries to offer.")
+
+let rate_t =
+  Arg.(value & opt (some float) None
+       & info [ "rate" ]
+           ~doc:"Open-loop offered rate, queries/s (default: closed loop).")
+
+let window_t =
+  Arg.(value & opt int 32
+       & info [ "window" ] ~doc:"Closed-loop in-flight window.")
+
+let pool_t =
+  Arg.(value & opt (some int) None
+       & info [ "engine-pool" ]
+           ~doc:"Engine-internal worker pool size for intra-auction parallel WD.")
+
+let threshold_t =
+  Arg.(value & opt (some int) None
+       & info [ "parallel-threshold" ]
+           ~doc:"Fleet size above which the engine pool engages.")
+
+let metrics_t =
+  Arg.(value & opt (some string) None
+       & info [ "metrics" ]
+           ~doc:"Print the full Essa_obs snapshot afterwards: text | json | prom.")
+
+let run_cmd =
+  Cmd.v
+    (Cmd.info "run" ~doc:"Serve a query stream through the sharded pipeline")
+    Term.(const run $ n_t $ slots_t $ keywords_t $ method_t $ seed_t
+          $ workers_t $ queue_t $ batch_t $ auctions_t $ rate_t $ window_t
+          $ pool_t $ threshold_t $ metrics_t)
+
+let main =
+  Cmd.group
+    (Cmd.info "serve" ~version:"1.0"
+       ~doc:"Keyword-sharded auction serving pipeline driver")
+    [ run_cmd ]
+
+let () = exit (Cmd.eval main)

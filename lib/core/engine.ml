@@ -281,34 +281,48 @@ let ta_top_lists t ~keyword ~count =
       lookup = (fun adv -> float_of_int t.premiums.(keyword).(adv));
     }
   in
-  Array.init t.k (fun j ->
-      let ctr_source =
-        {
-          Essa_ta.Threshold.sorted =
-            (fun () -> Array.to_seq t.ctr_sorted.(j));
-          lookup = (fun adv -> t.ctr.(adv).(j));
-        }
-      in
-      let reserve = float_of_int t.reserve in
-      (* Sub-reserve bids score 0, exactly like the matrix paths; the
-         step form keeps f monotone in every attribute. *)
-      let top, stats =
-        if j = 0 then
-          Essa_ta.Threshold.top_k ~k:count
-            ~f:(fun attrs ->
-              if attrs.(1) < reserve then 0.0
-              else attrs.(0) *. (attrs.(1) +. attrs.(2)))
-            [| ctr_source; bids_source; premium_source |]
-        else
-          Essa_ta.Threshold.top_k ~k:count
-            ~f:(fun attrs ->
-              if attrs.(1) < reserve then 0.0 else attrs.(0) *. attrs.(1))
-            [| ctr_source; bids_source |]
-      in
+  let slot_top j =
+    let ctr_source =
+      {
+        Essa_ta.Threshold.sorted = (fun () -> Array.to_seq t.ctr_sorted.(j));
+        lookup = (fun adv -> t.ctr.(adv).(j));
+      }
+    in
+    let reserve = float_of_int t.reserve in
+    (* Sub-reserve bids score 0, exactly like the matrix paths; the
+       step form keeps f monotone in every attribute. *)
+    if j = 0 then
+      Essa_ta.Threshold.top_k ~k:count
+        ~f:(fun attrs ->
+          if attrs.(1) < reserve then 0.0
+          else attrs.(0) *. (attrs.(1) +. attrs.(2)))
+        [| ctr_source; bids_source; premium_source |]
+    else
+      Essa_ta.Threshold.top_k ~k:count
+        ~f:(fun attrs ->
+          if attrs.(1) < reserve then 0.0 else attrs.(0) *. attrs.(1))
+        [| ctr_source; bids_source |]
+  in
+  (* The k slot TAs only read the fleet (the RHTALU fleet is logical:
+     [bids_desc] is a pure 3-way merge and [bid] two array reads), so
+     with a pool they fan out across worker domains — the per-slot lists
+     and access statistics are computed independently either way, and the
+     stats are folded into the counters in slot order below, keeping the
+     metrics bit-identical to the sequential scan. *)
+  let tops =
+    match t.pool with
+    | Some pool when t.n >= t.parallel_threshold && t.k > 1 ->
+        Essa_util.Domain_pool.run_array pool
+          (Array.init t.k (fun j () -> slot_top j))
+    | _ -> Array.init t.k slot_top
+  in
+  Array.map
+    (fun ((top, stats) : _ * Essa_ta.Threshold.stats) ->
       Essa_obs.Counter.add t.m.c_ta_sorted stats.sorted_accesses;
       Essa_obs.Counter.add t.m.c_ta_random stats.random_accesses;
       Essa_obs.Counter.add t.m.c_ta_seen stats.seen_objects;
       top)
+    tops
 
 let run_auction t ~keyword =
   if keyword < 0 || keyword >= t.nk then

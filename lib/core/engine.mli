@@ -53,11 +53,14 @@ val create :
     private one, readable via {!metrics}); passing a shared registry makes
     several engines aggregate into the same histograms/counters, which is
     how sweep harnesses collect one snapshot per run.
-    [pool] lends the [`Rh] winner-determination step a standing worker
-    pool: when [n >= parallel_threshold] (default 4096) the per-slot
+    [pool] lends the winner-determination step a standing worker pool:
+    when [n >= parallel_threshold] (default 4096) the [`Rh] per-slot
     top-(k+1) scan runs through {!Essa_matching.Tree_topk.parallel}
-    instead of the sequential heap scan — same lists, property-tested, so
-    the auction stream is unchanged.  Do {b not} pass a pool that is
+    instead of the sequential heap scan, and the [`Rhtalu] per-slot
+    threshold-algorithm top lists are evaluated concurrently (one worker
+    task per slot; the TA only reads the logical fleet) — same lists,
+    property-tested, so the auction stream is unchanged.  Do {b not} pass
+    a pool that is
     itself running this engine (e.g. the sweep harness's point pool):
     nested {!Essa_util.Domain_pool.run} deadlocks.
     @raise Invalid_argument on shape mismatch, probabilities outside

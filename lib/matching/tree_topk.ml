@@ -56,18 +56,14 @@ let parallel ?pool ?domains ~w ~count () =
       Array.init domains (fun d ->
           (d * n / domains, (d + 1) * n / domains))
     in
-    let tasks =
-      Array.to_list
-        (Array.map (fun (lo, hi) () -> chunk_tops ~w ~count ~k lo hi) bounds)
-    in
+    let tasks = Array.map (fun (lo, hi) () -> chunk_tops ~w ~count ~k lo hi) bounds in
     let partials =
-      Array.of_list
-        (match pool with
-        | Some pool -> Essa_util.Domain_pool.run pool tasks
-        | None ->
-            (* No standing pool: spawn ad-hoc domains (costly; a pool is
-               the realistic deployment). *)
-            List.map Domain.join (List.map Domain.spawn tasks))
+      match pool with
+      | Some pool -> Essa_util.Domain_pool.run_array pool tasks
+      | None ->
+          (* No standing pool: spawn ad-hoc domains (costly; a pool is
+             the realistic deployment). *)
+          Array.map Domain.join (Array.map Domain.spawn tasks)
     in
     (* Root merge: chunks are index-ordered, so left-favouring ties keep
        first-seen-wins semantics. *)

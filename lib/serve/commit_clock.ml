@@ -1,0 +1,42 @@
+type t = {
+  mutex : Mutex.t;
+  advanced : Condition.t;
+  mutable next : int;
+}
+
+let create () =
+  { mutex = Mutex.create (); advanced = Condition.create (); next = 0 }
+
+let next t =
+  Mutex.lock t.mutex;
+  let v = t.next in
+  Mutex.unlock t.mutex;
+  v
+
+let await t ~seq =
+  Mutex.lock t.mutex;
+  if seq < t.next then begin
+    Mutex.unlock t.mutex;
+    invalid_arg "Commit_clock.await: sequence already committed"
+  end;
+  while t.next < seq do
+    Condition.wait t.advanced t.mutex
+  done;
+  Mutex.unlock t.mutex
+
+let commit t ~seq =
+  Mutex.lock t.mutex;
+  if seq <> t.next then begin
+    Mutex.unlock t.mutex;
+    invalid_arg "Commit_clock.commit: out-of-turn commit"
+  end;
+  t.next <- seq + 1;
+  Condition.broadcast t.advanced;
+  Mutex.unlock t.mutex
+
+let wait_past t ~seq =
+  Mutex.lock t.mutex;
+  while t.next <= seq do
+    Condition.wait t.advanced t.mutex
+  done;
+  Mutex.unlock t.mutex

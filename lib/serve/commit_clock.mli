@@ -1,0 +1,38 @@
+(** The deterministic commit clock: a ticketed turnstile over arrival
+    sequence numbers.
+
+    The ROI heuristic couples auctions across keywords — a clicked win
+    moves the winner's global [amt_spent] (and, in the logical machinery,
+    re-seats its programs on every keyword), the spend-rate predicate
+    reads the global auction clock, and click sampling consumes one
+    shared random stream — so auction state mutation forms a serial
+    dependency chain in arrival order.  Rather than relax the
+    serial-equivalence contract, the pipeline serializes exactly those
+    commits: a lane may only execute its next auction when the clock
+    reaches that query's arrival sequence number.  Cross-keyword commits
+    therefore happen in arrival order, per-keyword order is FIFO (lanes
+    process their local queues in arrival order), and the served stream
+    is bit-identical to a serial engine loop over the same queries.
+
+    All waiting is condition-variable based (no spinning), so the
+    turnstile is well-behaved even with more lanes than cores. *)
+
+type t
+
+val create : unit -> t
+(** A fresh clock; the next sequence number to commit is [0]. *)
+
+val next : t -> int
+(** The sequence number currently allowed to execute. *)
+
+val await : t -> seq:int -> unit
+(** Block until it is [seq]'s turn.  [seq] must not have already passed
+    (that would be a protocol violation; raises [Invalid_argument]). *)
+
+val commit : t -> seq:int -> unit
+(** Mark [seq] committed and wake all waiters.  Must be the current turn
+    holder ([seq = next t]); raises [Invalid_argument] otherwise. *)
+
+val wait_past : t -> seq:int -> unit
+(** Block until [next t > seq] — i.e. [seq] has committed.  The flush /
+    batch-window primitive. *)

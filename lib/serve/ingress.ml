@@ -1,0 +1,101 @@
+type query = { seq : int; keyword : int; enqueue_ns : int64 }
+
+type t = {
+  mutex : Mutex.t;
+  nonempty : Condition.t;  (* signalled on submit and on close *)
+  queue : query Queue.t;
+  capacity : int;
+  mutable next_seq : int;
+  mutable accepted : int;
+  mutable shed : int;
+  mutable closed : bool;
+  registry : Essa_obs.Registry.t;
+  g_depth : Essa_obs.Gauge.t;
+  c_accepted : Essa_obs.Counter.t;
+  c_shed : Essa_obs.Counter.t;
+}
+
+let create ?metrics ~capacity () =
+  if capacity < 1 then invalid_arg "Ingress.create: capacity < 1";
+  let registry =
+    match metrics with Some r -> r | None -> Essa_obs.Registry.create ()
+  in
+  {
+    mutex = Mutex.create ();
+    nonempty = Condition.create ();
+    queue = Queue.create ();
+    capacity;
+    next_seq = 0;
+    accepted = 0;
+    shed = 0;
+    closed = false;
+    registry;
+    g_depth =
+      Essa_obs.Registry.gauge registry "essa.serve.queue_depth"
+        ~help:"Queries accepted but not yet drained by the batcher";
+    c_accepted =
+      Essa_obs.Registry.counter registry "essa.serve.accepted"
+        ~help:"Queries admitted into the bounded ingress queue";
+    c_shed =
+      Essa_obs.Registry.counter registry "essa.serve.shed"
+        ~help:"Queries rejected because the ingress queue was full";
+  }
+
+type outcome = Accepted of int | Shed
+
+let submit t ~keyword =
+  let enqueue_ns = Essa_util.Timing.now_ns () in
+  Mutex.lock t.mutex;
+  let outcome =
+    if t.closed || Queue.length t.queue >= t.capacity then begin
+      t.shed <- t.shed + 1;
+      Essa_obs.Counter.incr t.c_shed;
+      Shed
+    end
+    else begin
+      let seq = t.next_seq in
+      t.next_seq <- seq + 1;
+      t.accepted <- t.accepted + 1;
+      Essa_obs.Counter.incr t.c_accepted;
+      Queue.push { seq; keyword; enqueue_ns } t.queue;
+      Essa_obs.Gauge.set t.g_depth (float_of_int (Queue.length t.queue));
+      Condition.signal t.nonempty;
+      Accepted seq
+    end
+  in
+  Mutex.unlock t.mutex;
+  outcome
+
+let close t =
+  Mutex.lock t.mutex;
+  t.closed <- true;
+  (* The consumer may be parked in [drain] on an empty queue. *)
+  Condition.broadcast t.nonempty;
+  Mutex.unlock t.mutex
+
+let drain t ~max =
+  if max < 1 then invalid_arg "Ingress.drain: max < 1";
+  Mutex.lock t.mutex;
+  while Queue.is_empty t.queue && not t.closed do
+    Condition.wait t.nonempty t.mutex
+  done;
+  let batch = ref [] in
+  let taken = ref 0 in
+  while !taken < max && not (Queue.is_empty t.queue) do
+    batch := Queue.pop t.queue :: !batch;
+    incr taken
+  done;
+  Essa_obs.Gauge.set t.g_depth (float_of_int (Queue.length t.queue));
+  Mutex.unlock t.mutex;
+  List.rev !batch
+
+let with_lock t f =
+  Mutex.lock t.mutex;
+  let v = f () in
+  Mutex.unlock t.mutex;
+  v
+
+let depth t = with_lock t (fun () -> Queue.length t.queue)
+let accepted t = with_lock t (fun () -> t.accepted)
+let shed t = with_lock t (fun () -> t.shed)
+let metrics t = t.registry

@@ -1,0 +1,55 @@
+(** Bounded ingress queue: where queries enter the serving pipeline.
+
+    The queue is the system's admission-control point.  Submission is
+    non-blocking by policy: when the queue is full the query is {e shed}
+    (rejected, counted) rather than the producer blocked — a serving
+    system protects its latency by refusing load it cannot absorb, it
+    does not push an unbounded wait back into the caller.  Acceptance
+    assigns the query its global arrival sequence number, which is the
+    commit order the rest of the pipeline preserves ({!Commit_clock}).
+
+    Observable state lives in [Essa_obs] metrics: a depth gauge
+    ([essa.serve.queue_depth], updated under the queue mutex on every
+    submit/drain), an accepted counter ([essa.serve.accepted]) and a shed
+    counter ([essa.serve.shed]).
+
+    Concurrency contract: any number of producers may [submit]; exactly
+    one consumer (the batcher) calls [drain]. *)
+
+type query = {
+  seq : int;  (** arrival index, 0-based: the global commit order *)
+  keyword : int;
+  enqueue_ns : int64;  (** monotonic clock at acceptance *)
+}
+
+type t
+
+val create : ?metrics:Essa_obs.Registry.t -> capacity:int -> unit -> t
+(** [capacity] bounds the number of accepted-but-undrained queries.
+    [metrics] is the registry the depth gauge and counters register into
+    (default: a fresh private one).
+    @raise Invalid_argument if [capacity < 1]. *)
+
+type outcome =
+  | Accepted of int  (** the query's arrival sequence number *)
+  | Shed  (** queue full (or closed): rejected, counted, not enqueued *)
+
+val submit : t -> keyword:int -> outcome
+(** Non-blocking admission.  Never raises on overload; [Shed] is the
+    load-shedding policy in action. *)
+
+val close : t -> unit
+(** Stop admitting ([submit] returns [Shed] from now on) and wake the
+    consumer; already-accepted queries remain drainable.  Idempotent. *)
+
+val drain : t -> max:int -> query list
+(** Block until at least one query is pending or the queue is closed,
+    then remove and return up to [max] queries in arrival (FIFO) order.
+    Returns [[]] only when the queue is closed and empty — the consumer's
+    termination signal.  Single consumer only.
+    @raise Invalid_argument if [max < 1]. *)
+
+val depth : t -> int
+val accepted : t -> int
+val shed : t -> int
+val metrics : t -> Essa_obs.Registry.t

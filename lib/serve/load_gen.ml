@@ -1,0 +1,92 @@
+type report = {
+  offered : int;
+  accepted : int;
+  shed : int;
+  elapsed_ns : int64;
+  throughput_per_s : float;
+}
+
+let next_keyword seq_ref =
+  match !seq_ref () with
+  | Seq.Cons (kw, rest) ->
+      seq_ref := rest;
+      kw
+  | Seq.Nil -> invalid_arg "Load_gen: keyword sequence exhausted"
+
+let report server ~offered ~accepted0 ~shed0 ~t0 =
+  Server.flush server;
+  let t1 = Essa_util.Timing.now_ns () in
+  let accepted = Server.accepted server - accepted0 in
+  let shed = Server.shed server - shed0 in
+  let elapsed_ns = Int64.sub t1 t0 in
+  let seconds = Int64.to_float elapsed_ns /. 1e9 in
+  {
+    offered;
+    accepted;
+    shed;
+    elapsed_ns;
+    throughput_per_s =
+      (if seconds > 0.0 then float_of_int accepted /. seconds else 0.0);
+  }
+
+let open_loop server ~keywords ~offered ?rate_per_s () =
+  if offered < 0 then invalid_arg "Load_gen.open_loop: offered < 0";
+  (match rate_per_s with
+  | Some r when r <= 0.0 -> invalid_arg "Load_gen.open_loop: rate <= 0"
+  | _ -> ());
+  let keywords = ref keywords in
+  let accepted0 = Server.accepted server and shed0 = Server.shed server in
+  let t0 = Essa_util.Timing.now_ns () in
+  for i = 0 to offered - 1 do
+    (match rate_per_s with
+    | None -> ()
+    | Some rate ->
+        (* The i-th arrival is due at t0 + i/rate: sleep off the bulk of
+           the gap, spin the last stretch (sleepf wakes late under load —
+           the schedule, not the server, drives an open-loop client). *)
+        let due =
+          Int64.add t0 (Int64.of_float (float_of_int i *. 1e9 /. rate))
+        in
+        let rec pace () =
+          let now = Essa_util.Timing.now_ns () in
+          let behind = Int64.sub due now in
+          if Int64.compare behind 0L > 0 then begin
+            let ns = Int64.to_float behind in
+            if ns > 2e6 then Unix.sleepf ((ns -. 1e6) /. 1e9)
+            else Domain.cpu_relax ();
+            pace ()
+          end
+        in
+        pace ());
+    ignore (Server.submit server ~keyword:(next_keyword keywords))
+  done;
+  report server ~offered ~accepted0 ~shed0 ~t0
+
+let closed_loop server ~keywords ~total ?(window = 1) () =
+  if total < 0 then invalid_arg "Load_gen.closed_loop: total < 0";
+  if window < 1 then invalid_arg "Load_gen.closed_loop: window < 1";
+  let keywords = ref keywords in
+  let accepted0 = Server.accepted server and shed0 = Server.shed server in
+  let t0 = Essa_util.Timing.now_ns () in
+  let submitted = ref 0 in
+  while !submitted < total do
+    (* Admission control: keep at most [window] queries in flight. *)
+    let in_flight () = Server.accepted server - Server.committed server in
+    if in_flight () >= window then
+      Server.await_committed server
+        ~count:(Server.accepted server - window + 1)
+    else begin
+      let kw = next_keyword keywords in
+      let rec admit () =
+        match Server.submit server ~keyword:kw with
+        | Ingress.Accepted _ -> incr submitted
+        | Ingress.Shed ->
+            (* Momentarily full (another producer, or window > capacity
+               slack): wait for one commit and retry. *)
+            Server.await_committed server ~count:(Server.committed server + 1);
+            admit ()
+      in
+      admit ()
+    end
+  done;
+  report server ~offered:total ~accepted0 ~shed0 ~t0

@@ -1,0 +1,39 @@
+(** Load generators for the serving pipeline.
+
+    Two standard shapes from the serving-systems literature:
+
+    - {b open loop}: queries arrive on a wall-clock schedule regardless
+      of how the server is doing (real traffic).  Under overload the
+      bounded ingress queue sheds — the generator never blocks on the
+      server, so measured throughput and shed rate are meaningful.
+    - {b closed loop}: at most [window] queries are in flight; the next
+      is submitted only when a commit frees a slot (a saturating client
+      fleet).  Nothing is shed by construction (the window must not
+      exceed the server's queue capacity), so this measures peak
+      sustainable throughput.
+
+    Both drive the generator from the caller's domain. *)
+
+type report = {
+  offered : int;  (** queries the generator tried to submit *)
+  accepted : int;  (** admitted by the ingress queue *)
+  shed : int;  (** rejected (open loop only; 0 in closed loop) *)
+  elapsed_ns : int64;  (** first submit to last commit *)
+  throughput_per_s : float;  (** committed auctions per second *)
+}
+
+val open_loop :
+  Server.t -> keywords:int Seq.t -> offered:int -> ?rate_per_s:float ->
+  unit -> report
+(** Submit [offered] queries drawn from [keywords], paced at
+    [rate_per_s] (omitted: as fast as possible), then flush.
+    @raise Invalid_argument on [offered < 0], a non-positive rate, or a
+    [keywords] sequence shorter than [offered]. *)
+
+val closed_loop :
+  Server.t -> keywords:int Seq.t -> total:int -> ?window:int -> unit -> report
+(** Keep [window] (default 1) queries in flight until [total] have been
+    submitted, then flush.  Retries admission after a commit if the
+    queue is momentarily full, so nothing is lost.
+    @raise Invalid_argument on [total < 0], [window < 1], or a
+    [keywords] sequence shorter than [total]. *)

@@ -1,0 +1,184 @@
+type stats = { accepted : int; shed : int; committed : int; revenue : int }
+
+type lane_msg = Work of Ingress.query list | Stop
+
+(* One mailbox per lane: the batcher is the only producer, the lane the
+   only consumer.  Unbounded, but the batcher's in-flight window (wait
+   for the previous batch before dispatching the next) keeps at most one
+   Work message outstanding per lane in steady state. *)
+type mailbox = {
+  mb_mutex : Mutex.t;
+  mb_nonempty : Condition.t;
+  mb_queue : lane_msg Queue.t;
+}
+
+let mailbox_create () =
+  {
+    mb_mutex = Mutex.create ();
+    mb_nonempty = Condition.create ();
+    mb_queue = Queue.create ();
+  }
+
+let mailbox_push mb msg =
+  Mutex.lock mb.mb_mutex;
+  Queue.push msg mb.mb_queue;
+  Condition.signal mb.mb_nonempty;
+  Mutex.unlock mb.mb_mutex
+
+let mailbox_pop mb =
+  Mutex.lock mb.mb_mutex;
+  while Queue.is_empty mb.mb_queue do
+    Condition.wait mb.mb_nonempty mb.mb_mutex
+  done;
+  let msg = Queue.pop mb.mb_queue in
+  Mutex.unlock mb.mb_mutex;
+  msg
+
+type t = {
+  engine : Essa.Engine.t;
+  ingress : Ingress.t;
+  clock : Commit_clock.t;
+  mailboxes : mailbox array;
+  registry : Essa_obs.Registry.t;
+  (* First lane failure (engine or on_commit exception).  The failing
+     lane records it and keeps committing sequence numbers without
+     executing, so the clock never stalls and [stop] always joins. *)
+  error : exn option Atomic.t;
+  mutable batcher : unit Domain.t option;
+  mutable lanes : unit Domain.t array;
+  mutable stopped : bool;
+}
+
+let lane_loop t ~on_commit ~h_latency ~c_committed mb =
+  let process (q : Ingress.query) =
+    Commit_clock.await t.clock ~seq:q.seq;
+    (if Atomic.get t.error = None then
+       match
+         let summary = Essa.Engine.run_auction t.engine ~keyword:q.keyword in
+         let now = Essa_util.Timing.now_ns () in
+         Essa_obs.Histogram.record h_latency
+           (Int64.to_int (Int64.sub now q.enqueue_ns));
+         Essa_obs.Counter.incr c_committed;
+         on_commit summary
+       with
+       | () -> ()
+       | exception e ->
+           ignore (Atomic.compare_and_set t.error None (Some e)));
+    Commit_clock.commit t.clock ~seq:q.seq
+  in
+  let rec loop () =
+    match mailbox_pop mb with
+    | Stop -> ()
+    | Work qs ->
+        List.iter process qs;
+        loop ()
+  in
+  loop ()
+
+let batcher_loop t ~max_batch ~c_batches ~h_batch_size =
+  let shards = Array.length t.mailboxes in
+  let rec loop last_dispatched =
+    match Ingress.drain t.ingress ~max:max_batch with
+    | [] ->
+        (* Closed and empty: the fleet is done once in-flight work lands. *)
+        Array.iter (fun mb -> mailbox_push mb Stop) t.mailboxes
+    | batch ->
+        (* Bound the in-flight window: the next batch is staged (the
+           drain above overlapped with execution) but not dispatched
+           until the previous batch has fully committed.  This keeps the
+           ingress queue — not the mailboxes — as the backpressure
+           surface. *)
+        (match last_dispatched with
+        | Some seq -> Commit_clock.wait_past t.clock ~seq
+        | None -> ());
+        Essa_obs.Counter.incr c_batches;
+        Essa_obs.Histogram.record h_batch_size (List.length batch);
+        let lanes_work = Shard.partition ~shards batch in
+        Array.iteri
+          (fun s qs -> if qs <> [] then mailbox_push t.mailboxes.(s) (Work qs))
+          lanes_work;
+        let last = List.fold_left (fun _ (q : Ingress.query) -> q.seq) 0 batch in
+        loop (Some last)
+  in
+  loop None
+
+let create ?metrics ?(on_commit = fun _ -> ()) ?(queue_capacity = 1024)
+    ?(max_batch = 64) ~workers ~engine () =
+  if workers < 1 then invalid_arg "Server.create: workers < 1";
+  if max_batch < 1 then invalid_arg "Server.create: max_batch < 1";
+  let registry =
+    match metrics with Some r -> r | None -> Essa_obs.Registry.create ()
+  in
+  let ingress = Ingress.create ~metrics:registry ~capacity:queue_capacity () in
+  let t =
+    {
+      engine;
+      ingress;
+      clock = Commit_clock.create ();
+      mailboxes = Array.init workers (fun _ -> mailbox_create ());
+      registry;
+      error = Atomic.make None;
+      batcher = None;
+      lanes = [||];
+      stopped = false;
+    }
+  in
+  let h_latency =
+    Essa_obs.Registry.histogram registry "essa.serve.commit_latency_ns"
+      ~help:"Enqueue-to-commit latency per served auction (ns)"
+  in
+  let c_committed =
+    Essa_obs.Registry.counter registry "essa.serve.committed"
+      ~help:"Auctions executed and committed"
+  in
+  let c_batches =
+    Essa_obs.Registry.counter registry "essa.serve.batches"
+      ~help:"Batches drained from the ingress queue"
+  in
+  let h_batch_size =
+    Essa_obs.Registry.histogram registry "essa.serve.batch_size"
+      ~help:"Queries per drained batch"
+  in
+  t.lanes <-
+    Array.map
+      (fun mb ->
+        Domain.spawn (fun () ->
+            lane_loop t ~on_commit ~h_latency ~c_committed mb))
+      t.mailboxes;
+  t.batcher <-
+    Some
+      (Domain.spawn (fun () -> batcher_loop t ~max_batch ~c_batches ~h_batch_size));
+  t
+
+let submit t ~keyword =
+  if keyword < 0 || keyword >= Essa.Engine.num_keywords t.engine then
+    invalid_arg (Printf.sprintf "Server.submit: keyword %d" keyword);
+  Ingress.submit t.ingress ~keyword
+
+let accepted t = Ingress.accepted t.ingress
+let shed t = Ingress.shed t.ingress
+let depth t = Ingress.depth t.ingress
+let committed t = Commit_clock.next t.clock
+
+let await_committed t ~count =
+  if count > 0 then Commit_clock.wait_past t.clock ~seq:(count - 1)
+
+let flush t = await_committed t ~count:(Ingress.accepted t.ingress)
+
+let stop t =
+  if not t.stopped then begin
+    t.stopped <- true;
+    Ingress.close t.ingress;
+    Option.iter Domain.join t.batcher;
+    Array.iter Domain.join t.lanes
+  end;
+  (match Atomic.get t.error with Some e -> raise e | None -> ());
+  {
+    accepted = Ingress.accepted t.ingress;
+    shed = Ingress.shed t.ingress;
+    committed = Commit_clock.next t.clock;
+    revenue = Essa.Engine.total_revenue t.engine;
+  }
+
+let engine t = t.engine
+let metrics t = t.registry

@@ -1,0 +1,89 @@
+(** The keyword-sharded auction server: bounded ingress → batcher →
+    shard-affine lanes → deterministic commit.
+
+    A [t] owns one {!Essa.Engine.t} and a standing fleet of domains: one
+    batcher and [workers] lane domains.  Producers {!submit} queries
+    (non-blocking; overload is shed — see {!Ingress}); the batcher drains
+    the ingress queue in arrival order, groups each batch by keyword
+    shard ({!Shard}) and hands every lane its keywords' queries; lanes
+    execute {!Essa.Engine.run_auction} under the {!Commit_clock}
+    turnstile, so commits happen in global arrival order (and hence
+    per-keyword FIFO order).
+
+    {b Determinism contract}: for the same engine seed and the same
+    accepted query sequence, the served stream — every summary delivered
+    to [on_commit], the engine's final advertiser states, clicks and
+    total revenue — is bit-identical to running the same queries through
+    [Engine.run_auction] serially, for any [workers] count.  The ROI
+    heuristic's cross-keyword coupling (global spend, global auction
+    clock, one shared click stream) makes auction execution a serial
+    dependency chain, so the turnstile serializes exactly those commits
+    rather than relax the contract; concurrency lives around that chain —
+    lanes overlap dequeue/dispatch with execution, and the engine's own
+    worker pool (if configured) fans each auction's winner determination
+    out across domains ([`Rh] tree top-k, [`Rhtalu] per-slot TA).
+
+    The in-flight window is bounded (at most one executing batch plus one
+    staged batch beyond the ingress queue), so the ingress queue is the
+    real backpressure surface: sustained overload fills it and sheds. *)
+
+type t
+
+type stats = {
+  accepted : int;  (** queries admitted (all of them committed) *)
+  shed : int;  (** queries rejected by the bounded ingress queue *)
+  committed : int;  (** auctions executed and committed *)
+  revenue : int;  (** engine total revenue, cents *)
+}
+
+val create :
+  ?metrics:Essa_obs.Registry.t ->
+  ?on_commit:(Essa.Engine.summary -> unit) ->
+  ?queue_capacity:int ->
+  ?max_batch:int ->
+  workers:int ->
+  engine:Essa.Engine.t ->
+  unit ->
+  t
+(** Spawn the serving fleet over [engine] (ownership transferred: do not
+    touch the engine until after {!stop}).  [workers] is the lane count
+    (>= 1; keep it below the core count in production — the batcher and
+    any engine-internal pool are additional domains).  [queue_capacity]
+    (default 1024) bounds the ingress queue; [max_batch] (default 64)
+    bounds one batch.  [on_commit] is invoked for every auction, in
+    commit (= arrival) order, on the committing lane's domain while it
+    holds the commit turn — keep it cheap, it is on the serial path.
+    [metrics] is the registry the pipeline gauges/counters/histograms
+    register into (default: a fresh private one; the engine keeps its
+    own unless you created it with this registry).
+    @raise Invalid_argument on [workers < 1], [queue_capacity < 1] or
+    [max_batch < 1]. *)
+
+val submit : t -> keyword:int -> Ingress.outcome
+(** Non-blocking admission of a query; [Shed] when the bounded queue is
+    full.  Safe from any domain.
+    @raise Invalid_argument on a keyword outside the engine's universe
+    (bad input is an error, not load to shed). *)
+
+val accepted : t -> int
+val shed : t -> int
+val depth : t -> int
+
+val committed : t -> int
+(** Auctions committed so far (the commit clock's position). *)
+
+val await_committed : t -> count:int -> unit
+(** Block until at least [count] auctions have committed. *)
+
+val flush : t -> unit
+(** Block until every query accepted before the call has committed. *)
+
+val stop : t -> stats
+(** Close the ingress queue, serve everything already accepted, join all
+    domains and return the final tallies.  After [stop] the engine may be
+    inspected again (final states, metrics).  If a lane failed (engine or
+    [on_commit] exception), the first failure is re-raised here — after
+    the fleet has been joined, so no domain leaks. *)
+
+val engine : t -> Essa.Engine.t
+val metrics : t -> Essa_obs.Registry.t

@@ -1,0 +1,13 @@
+let of_keyword ~shards keyword =
+  if shards < 1 then invalid_arg "Shard.of_keyword: shards < 1";
+  if keyword < 0 then invalid_arg "Shard.of_keyword: negative keyword";
+  keyword mod shards
+
+let partition ~shards batch =
+  let lanes = Array.make shards [] in
+  List.iter
+    (fun (q : Ingress.query) ->
+      let s = of_keyword ~shards q.keyword in
+      lanes.(s) <- q :: lanes.(s))
+    batch;
+  Array.map List.rev lanes

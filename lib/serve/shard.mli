@@ -1,0 +1,17 @@
+(** Keyword-shard assignment and batch partitioning.
+
+    Queries name exactly one keyword (the Section V workload shape), so
+    keyword identity is the pipeline's shard key: every keyword maps to a
+    fixed lane, giving that lane affinity for the keyword's engine-side
+    structures (maintained bid lists, premium lists, CTR columns) and
+    making the per-keyword FIFO guarantee structural — a keyword's
+    queries all flow through one lane in arrival order. *)
+
+val of_keyword : shards:int -> int -> int
+(** The owning shard of a keyword: a fixed modulo map.
+    @raise Invalid_argument if [shards < 1] or the keyword is negative. *)
+
+val partition : shards:int -> Ingress.query list -> Ingress.query list array
+(** Split a batch (in arrival order) into per-shard work lists, each in
+    arrival order — the property the commit protocol relies on: within a
+    lane, sequence numbers are strictly increasing. *)

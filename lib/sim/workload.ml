@@ -88,3 +88,8 @@ let make_engine ?metrics ?pool ?parallel_threshold ?(pricing = `Gsp)
 let query_stream t ~seed =
   let rng = Essa_util.Rng.create seed in
   Seq.forever (fun () -> Essa_util.Rng.int rng t.num_keywords)
+
+let queries t ~seed ~count =
+  if count < 0 then invalid_arg "Workload.queries: negative count";
+  let rng = Essa_util.Rng.create seed in
+  Array.init count (fun _ -> Essa_util.Rng.int rng t.num_keywords)

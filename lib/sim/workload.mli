@@ -58,3 +58,9 @@ val make_engine :
 
 val query_stream : t -> seed:int -> int Seq.t
 (** Infinite uniform keyword stream. *)
+
+val queries : t -> seed:int -> count:int -> int array
+(** The first [count] keywords of {!query_stream} materialized — the
+    replayable query trace the serving layer's equivalence tests and
+    throughput benchmarks feed to both contenders.
+    @raise Invalid_argument on a negative count. *)

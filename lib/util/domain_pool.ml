@@ -47,10 +47,11 @@ let size t = Array.length t.workers
 
 type 'a slot = Pending | Done of 'a | Failed of exn
 
-let run t tasks =
-  if not (Atomic.get t.alive) then invalid_arg "Domain_pool.run: pool is shut down";
-  let n = List.length tasks in
-  if n = 0 then []
+let run_array t tasks =
+  if not (Atomic.get t.alive) then
+    invalid_arg "Domain_pool.run_array: pool is shut down";
+  let n = Array.length tasks in
+  if n = 0 then [||]
   else begin
     let results = Array.make n Pending in
     let remaining = Atomic.make n in
@@ -66,7 +67,9 @@ let run t tasks =
       end
     in
     Mutex.lock t.mutex;
-    List.iteri (fun i f -> Queue.push (Task (wrap i f)) t.queue) tasks;
+    for i = 0 to n - 1 do
+      Queue.push (Task (wrap i tasks.(i))) t.queue
+    done;
     Condition.broadcast t.todo;
     Mutex.unlock t.mutex;
     Mutex.lock done_mutex;
@@ -74,12 +77,12 @@ let run t tasks =
       Condition.wait done_cond done_mutex
     done;
     Mutex.unlock done_mutex;
-    Array.to_list results
-    |> List.map (function
-         | Done v -> v
-         | Failed e -> raise e
-         | Pending -> assert false)
+    Array.map
+      (function Done v -> v | Failed e -> raise e | Pending -> assert false)
+      results
   end
+
+let run t tasks = Array.to_list (run_array t (Array.of_list tasks))
 
 let shutdown t =
   (* compare_and_set makes concurrent shutdowns race-free: exactly one

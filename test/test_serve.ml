@@ -1,0 +1,384 @@
+(* Tests for the keyword-sharded serving pipeline (essa_serve).
+
+   The load-bearing suite is the serial-equivalence property: for the
+   same workload seed and the same accepted query sequence, the server's
+   committed stream (summaries in arrival order), the engine's final
+   advertiser states and the total revenue must be bit-identical to a
+   serial [Engine.run_auction] loop — for both `Rh and `Rhtalu, and for
+   every worker count.  The worker counts exercised default to
+   [1; 2; 3]; set ESSA_TEST_DOMAINS=d to test [1; 2; d] instead (CI runs
+   the suite in a 2-domain configuration as well as the default). *)
+
+open Essa_serve
+
+let qtest ?(count = 6) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen prop)
+
+let worker_counts =
+  let extra =
+    match Option.map int_of_string_opt (Sys.getenv_opt "ESSA_TEST_DOMAINS") with
+    | Some (Some d) when d >= 1 -> d
+    | _ -> 3
+  in
+  List.sort_uniq compare [ 1; 2; extra ]
+
+(* ------------------------------------------------------------------ *)
+(* Serial-equivalence harness *)
+
+(* Everything observable and deterministic about a finished engine: the
+   full bid matrix, each advertiser's global spend and per-keyword
+   gained/spent, and the engine tallies. *)
+let fingerprint engine =
+  let n = Essa.Engine.n engine and nk = Essa.Engine.num_keywords engine in
+  let fleet = Essa.Engine.fleet engine in
+  let advs =
+    List.init n (fun adv ->
+        let st = Essa_strategy.Roi_fleet.state fleet ~adv in
+        let per_kw =
+          List.init nk (fun kw ->
+              ( Essa.Engine.bid engine ~adv ~keyword:kw,
+                Essa_strategy.Roi_state.gained st ~keyword:kw,
+                Essa_strategy.Roi_state.spent st ~keyword:kw ))
+        in
+        (Essa_strategy.Roi_state.amt_spent st, per_kw))
+  in
+  ( Essa.Engine.total_revenue engine,
+    Essa.Engine.auctions_run engine,
+    Essa.Engine.time engine,
+    advs )
+
+let strip (s : Essa.Engine.summary) =
+  ( s.auction_time,
+    s.keyword,
+    Array.to_list s.assignment,
+    Array.to_list s.prices,
+    Array.to_list s.clicks,
+    s.revenue )
+
+let run_serial workload ~method_ ~queries =
+  let engine = Essa_sim.Workload.make_engine workload ~method_ in
+  let summaries =
+    Array.to_list
+      (Array.map (fun kw -> strip (Essa.Engine.run_auction engine ~keyword:kw)) queries)
+  in
+  (summaries, fingerprint engine)
+
+let run_served workload ~method_ ~workers ~max_batch ~queries =
+  let engine = Essa_sim.Workload.make_engine workload ~method_ in
+  let acc = ref [] in
+  let server =
+    Server.create ~workers ~max_batch
+      ~queue_capacity:(max 1 (Array.length queries))
+      ~on_commit:(fun s -> acc := strip s :: !acc)
+      ~engine ()
+  in
+  Array.iter
+    (fun kw ->
+      match Server.submit server ~keyword:kw with
+      | Ingress.Accepted _ -> ()
+      | Ingress.Shed -> Alcotest.fail "shed with capacity = query count")
+    queries;
+  let stats = Server.stop server in
+  Alcotest.(check int) "all accepted" (Array.length queries) stats.accepted;
+  Alcotest.(check int) "all committed" stats.accepted stats.committed;
+  (List.rev !acc, fingerprint engine)
+
+let check_equivalence ?(max_batch = 7) ~workload ~method_ ~queries () =
+  let serial_summaries, serial_fp = run_serial workload ~method_ ~queries in
+  List.iter
+    (fun workers ->
+      let served_summaries, served_fp =
+        run_served workload ~method_ ~workers ~max_batch ~queries
+      in
+      let label fmt = Printf.sprintf fmt workers in
+      Alcotest.(check bool)
+        (label "summaries identical (workers=%d)")
+        true
+        (served_summaries = serial_summaries);
+      Alcotest.(check bool)
+        (label "final states identical (workers=%d)")
+        true
+        (served_fp = serial_fp))
+    worker_counts
+
+let test_equivalence_rh () =
+  let workload =
+    Essa_sim.Workload.section5 ~seed:11 ~n:40 ~k:4 ~num_keywords:6
+      ~brand_fraction:0.25 ~budgeted_fraction:0.25 ()
+  in
+  let queries = Essa_sim.Workload.queries workload ~seed:101 ~count:200 in
+  check_equivalence ~workload ~method_:`Rh ~queries ()
+
+let test_equivalence_rhtalu () =
+  let workload =
+    Essa_sim.Workload.section5 ~seed:12 ~n:40 ~k:4 ~num_keywords:6
+      ~brand_fraction:0.25 ~budgeted_fraction:0.25 ()
+  in
+  let queries = Essa_sim.Workload.queries workload ~seed:102 ~count:200 in
+  check_equivalence ~workload ~method_:`Rhtalu ~queries ()
+
+let prop_equivalence =
+  (* Random instance shapes, seeds and batch sizes; both methods. *)
+  qtest "served stream = serial stream"
+    QCheck2.Gen.(
+      tup5 (int_range 1 1000) (int_range 8 40) (int_range 2 6)
+        (int_range 30 90) (int_range 1 9))
+    (fun (seed, n, nk, count, max_batch) ->
+      let workload =
+        Essa_sim.Workload.section5 ~seed ~n ~k:3 ~num_keywords:nk
+          ~budgeted_fraction:0.2 ()
+      in
+      let queries = Essa_sim.Workload.queries workload ~seed:(seed + 1) ~count in
+      List.for_all
+        (fun method_ ->
+          let serial = run_serial workload ~method_ ~queries in
+          List.for_all
+            (fun workers ->
+              run_served workload ~method_ ~workers ~max_batch ~queries = serial)
+            worker_counts)
+        [ `Rh; `Rhtalu ])
+
+let test_engine_parallel_ta_identical () =
+  (* The `Rhtalu per-slot TA fan-out (engine + pool) is bit-identical to
+     the sequential scan, auction stream and TA counters included. *)
+  let workload =
+    Essa_sim.Workload.section5 ~seed:21 ~n:60 ~k:5 ~num_keywords:5 ()
+  in
+  let queries = Essa_sim.Workload.queries workload ~seed:22 ~count:150 in
+  let run ?pool ?parallel_threshold () =
+    let engine =
+      Essa_sim.Workload.make_engine ?pool ?parallel_threshold workload
+        ~method_:`Rhtalu
+    in
+    let summaries =
+      Array.to_list
+        (Array.map
+           (fun kw -> strip (Essa.Engine.run_auction engine ~keyword:kw))
+           queries)
+    in
+    let counter name =
+      match Essa_obs.Registry.find (Essa.Engine.metrics engine) name with
+      | Some (Essa_obs.Registry.Counter c) -> Essa_obs.Counter.value c
+      | _ -> Alcotest.failf "missing counter %s" name
+    in
+    ( summaries,
+      fingerprint engine,
+      ( counter "essa.ta.sorted_accesses",
+        counter "essa.ta.random_accesses",
+        counter "essa.ta.seen_objects" ) )
+  in
+  let serial = run () in
+  let parallel =
+    Essa_util.Domain_pool.with_pool 3 (fun pool ->
+        (* threshold 1 forces the fan-out even at this small n *)
+        run ~pool ~parallel_threshold:1 ())
+  in
+  Alcotest.(check bool) "pooled TA = serial TA" true (parallel = serial)
+
+(* ------------------------------------------------------------------ *)
+(* Commit protocol *)
+
+let test_commit_order_and_fifo () =
+  (* Commits happen in arrival order (auction_time 1,2,3,...) and the
+     committed keyword sequence is exactly the accepted one. *)
+  let workload =
+    Essa_sim.Workload.section5 ~seed:31 ~n:30 ~k:3 ~num_keywords:5 ()
+  in
+  let queries = Essa_sim.Workload.queries workload ~seed:32 ~count:120 in
+  let engine = Essa_sim.Workload.make_engine workload ~method_:`Rhtalu in
+  let order = ref [] in
+  let server =
+    Server.create ~workers:3 ~max_batch:5 ~queue_capacity:200
+      ~on_commit:(fun s -> order := (s.auction_time, s.keyword) :: !order)
+      ~engine ()
+  in
+  Array.iter (fun kw -> ignore (Server.submit server ~keyword:kw)) queries;
+  ignore (Server.stop server);
+  let order = List.rev !order in
+  Alcotest.(check (list (pair int int)))
+    "arrival order, per-keyword FIFO included"
+    (Array.to_list (Array.mapi (fun i kw -> (i + 1, kw)) queries))
+    order
+
+let test_commit_clock_protocol () =
+  let clock = Commit_clock.create () in
+  Alcotest.(check int) "starts at 0" 0 (Commit_clock.next clock);
+  Commit_clock.await clock ~seq:0;
+  Commit_clock.commit clock ~seq:0;
+  Alcotest.(check int) "advanced" 1 (Commit_clock.next clock);
+  Alcotest.check_raises "out-of-turn commit"
+    (Invalid_argument "Commit_clock.commit: out-of-turn commit") (fun () ->
+      Commit_clock.commit clock ~seq:5);
+  Alcotest.check_raises "await in the past"
+    (Invalid_argument "Commit_clock.await: sequence already committed")
+    (fun () -> Commit_clock.await clock ~seq:0);
+  Commit_clock.wait_past clock ~seq:0 (* already past: returns at once *)
+
+let test_shard_partition () =
+  let q seq keyword : Ingress.query = { seq; keyword; enqueue_ns = 0L } in
+  let batch = [ q 0 4; q 1 1; q 2 4; q 3 0; q 4 3 ] in
+  let lanes = Shard.partition ~shards:3 batch in
+  let seqs lane = List.map (fun (x : Ingress.query) -> x.seq) lane in
+  Alcotest.(check (list int)) "lane 0 (kw 0,3)" [ 3; 4 ] (seqs lanes.(0));
+  Alcotest.(check (list int)) "lane 1 (kw 1,4)" [ 0; 1; 2 ] (seqs lanes.(1));
+  Alcotest.(check (list int)) "lane 2 (empty)" [] (seqs lanes.(2));
+  Alcotest.check_raises "shards < 1"
+    (Invalid_argument "Shard.of_keyword: shards < 1") (fun () ->
+      ignore (Shard.of_keyword ~shards:0 1))
+
+(* ------------------------------------------------------------------ *)
+(* Backpressure *)
+
+let test_ingress_bounded_and_shedding () =
+  let registry = Essa_obs.Registry.create () in
+  let ingress = Ingress.create ~metrics:registry ~capacity:4 () in
+  let outcomes = List.init 6 (fun kw -> Ingress.submit ingress ~keyword:kw) in
+  Alcotest.(check int) "accepted" 4 (Ingress.accepted ingress);
+  Alcotest.(check int) "shed" 2 (Ingress.shed ingress);
+  Alcotest.(check int) "depth" 4 (Ingress.depth ingress);
+  Alcotest.(check bool) "sequence numbers are arrival order" true
+    (outcomes
+    = [
+        Ingress.Accepted 0;
+        Accepted 1;
+        Accepted 2;
+        Accepted 3;
+        Shed;
+        Shed;
+      ]);
+  (* The metrics are live, not derived at read time. *)
+  (match Essa_obs.Registry.find registry "essa.serve.queue_depth" with
+  | Some (Essa_obs.Registry.Gauge g) ->
+      Alcotest.(check (float 1e-9)) "depth gauge" 4.0 (Essa_obs.Gauge.value g)
+  | _ -> Alcotest.fail "queue_depth gauge not registered");
+  (match Essa_obs.Registry.find registry "essa.serve.shed" with
+  | Some (Essa_obs.Registry.Counter c) ->
+      Alcotest.(check int) "shed counter" 2 (Essa_obs.Counter.value c)
+  | _ -> Alcotest.fail "shed counter not registered");
+  let drained = Ingress.drain ingress ~max:3 in
+  Alcotest.(check (list int)) "FIFO drain"
+    [ 0; 1; 2 ]
+    (List.map (fun (q : Ingress.query) -> q.keyword) drained);
+  Alcotest.(check int) "one left" 1 (Ingress.depth ingress);
+  Ingress.close ingress;
+  Alcotest.(check bool) "closed sheds" true
+    (Ingress.submit ingress ~keyword:0 = Shed);
+  Alcotest.(check int) "drain remainder" 1 (List.length (Ingress.drain ingress ~max:8));
+  Alcotest.(check (list int)) "drain after close: empty" []
+    (List.map (fun (q : Ingress.query) -> q.seq) (Ingress.drain ingress ~max:8))
+
+let test_server_overrun_sheds () =
+  (* Overrun the bounded queue: a tiny capacity and a tight submission
+     loop must shed, and everything accepted must still commit. *)
+  let workload =
+    Essa_sim.Workload.section5 ~seed:41 ~n:400 ~k:5 ~num_keywords:4 ()
+  in
+  let engine = Essa_sim.Workload.make_engine workload ~method_:`Rh in
+  let registry = Essa_obs.Registry.create () in
+  let server =
+    Server.create ~metrics:registry ~workers:2 ~queue_capacity:2 ~max_batch:2
+      ~engine ()
+  in
+  let offered = 300 in
+  let queries = Essa_sim.Workload.queries workload ~seed:42 ~count:offered in
+  Array.iter (fun kw -> ignore (Server.submit server ~keyword:kw)) queries;
+  let stats = Server.stop server in
+  Alcotest.(check int) "nothing lost" offered (stats.accepted + stats.shed);
+  Alcotest.(check bool) "overrun shed something" true (stats.shed > 0);
+  Alcotest.(check bool) "something was served" true (stats.committed > 0);
+  Alcotest.(check int) "accepted = committed" stats.accepted stats.committed;
+  Alcotest.(check int) "engine ran exactly the accepted queries"
+    stats.accepted
+    (Essa.Engine.auctions_run engine);
+  (match Essa_obs.Registry.find registry "essa.serve.shed" with
+  | Some (Essa_obs.Registry.Counter c) ->
+      Alcotest.(check int) "shed counter agrees" stats.shed
+        (Essa_obs.Counter.value c)
+  | _ -> Alcotest.fail "shed counter not registered");
+  (match Essa_obs.Registry.find registry "essa.serve.commit_latency_ns" with
+  | Some (Essa_obs.Registry.Histogram h) ->
+      Alcotest.(check int) "latency histogram covers every commit"
+        stats.committed (Essa_obs.Histogram.count h)
+  | _ -> Alcotest.fail "commit latency histogram not registered")
+
+let test_submit_bad_keyword () =
+  let workload = Essa_sim.Workload.section5 ~seed:43 ~n:10 ~k:2 ~num_keywords:3 () in
+  let engine = Essa_sim.Workload.make_engine workload ~method_:`Rh in
+  let server = Server.create ~workers:1 ~engine () in
+  Alcotest.check_raises "bad keyword is an error, not shed"
+    (Invalid_argument "Server.submit: keyword 3") (fun () ->
+      ignore (Server.submit server ~keyword:3));
+  ignore (Server.stop server)
+
+(* ------------------------------------------------------------------ *)
+(* Load generators *)
+
+let test_closed_loop_never_sheds () =
+  let workload =
+    Essa_sim.Workload.section5 ~seed:51 ~n:30 ~k:3 ~num_keywords:4 ()
+  in
+  let engine = Essa_sim.Workload.make_engine workload ~method_:`Rhtalu in
+  let server = Server.create ~workers:2 ~queue_capacity:8 ~max_batch:4 ~engine () in
+  let report =
+    Load_gen.closed_loop server
+      ~keywords:(Essa_sim.Workload.query_stream workload ~seed:52)
+      ~total:60 ~window:4 ()
+  in
+  let stats = Server.stop server in
+  Alcotest.(check int) "offered" 60 report.offered;
+  Alcotest.(check int) "accepted all" 60 report.accepted;
+  Alcotest.(check int) "shed none" 0 report.shed;
+  Alcotest.(check int) "committed all" 60 stats.committed;
+  Alcotest.(check bool) "throughput measured" true (report.throughput_per_s > 0.0)
+
+let test_open_loop_counts () =
+  let workload =
+    Essa_sim.Workload.section5 ~seed:53 ~n:30 ~k:3 ~num_keywords:4 ()
+  in
+  let engine = Essa_sim.Workload.make_engine workload ~method_:`Rhtalu in
+  let server = Server.create ~workers:2 ~queue_capacity:64 ~max_batch:8 ~engine () in
+  let report =
+    Load_gen.open_loop server
+      ~keywords:(Essa_sim.Workload.query_stream workload ~seed:54)
+      ~offered:50 ()
+  in
+  let stats = Server.stop server in
+  Alcotest.(check int) "offered" 50 report.offered;
+  Alcotest.(check int) "accounted" 50 (report.accepted + report.shed);
+  Alcotest.(check int) "accepted all committed" report.accepted stats.committed
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "essa_serve"
+    [
+      ( "equivalence",
+        [
+          Alcotest.test_case "RH: served = serial" `Quick test_equivalence_rh;
+          Alcotest.test_case "RHTALU: served = serial" `Quick
+            test_equivalence_rhtalu;
+          prop_equivalence;
+          Alcotest.test_case "parallel TA bit-identical" `Quick
+            test_engine_parallel_ta_identical;
+        ] );
+      ( "commit",
+        [
+          Alcotest.test_case "arrival order + FIFO" `Quick
+            test_commit_order_and_fifo;
+          Alcotest.test_case "clock protocol" `Quick test_commit_clock_protocol;
+          Alcotest.test_case "shard partition" `Quick test_shard_partition;
+        ] );
+      ( "backpressure",
+        [
+          Alcotest.test_case "bounded ingress sheds" `Quick
+            test_ingress_bounded_and_shedding;
+          Alcotest.test_case "server overrun sheds" `Quick
+            test_server_overrun_sheds;
+          Alcotest.test_case "bad keyword" `Quick test_submit_bad_keyword;
+        ] );
+      ( "load_gen",
+        [
+          Alcotest.test_case "closed loop" `Quick test_closed_loop_never_sheds;
+          Alcotest.test_case "open loop" `Quick test_open_loop_counts;
+        ] );
+    ]

@@ -171,6 +171,41 @@ let test_kmerge_stability () =
   Alcotest.(check (list (pair int string))) "ties from earlier list first"
     [ (5, "a"); (5, "b") ] merged
 
+let prop_kmerge_lazy =
+  (* The lazy Seq merge agrees with sorting the concatenation, duplicate
+     keys included — the narrow value range forces collisions. *)
+  qtest "lazy merge_desc = sort of concatenation, dups preserved"
+    QCheck2.Gen.(list_size (int_bound 6) (list_size (int_bound 25) (int_range 0 8)))
+    (fun lists ->
+      let sorted_desc =
+        List.map (fun l -> List.sort (fun a b -> compare b a) l) lists
+      in
+      let merged =
+        List.of_seq
+          (Kmerge.merge_desc ~compare:Int.compare
+             (List.map List.to_seq sorted_desc))
+      in
+      merged = List.sort (fun a b -> compare b a) (List.concat lists))
+
+let prop_kmerge_lazy_prefix =
+  (* Laziness: taking a k-prefix never demands more of the inputs than a
+     full merge would, and the prefix matches the eager merge's prefix. *)
+  qtest "take k of lazy merge = prefix of eager merge"
+    QCheck2.Gen.(
+      pair (int_bound 12)
+        (list_size (int_bound 5) (list_size (int_bound 20) (int_range 0 50))))
+    (fun (k, lists) ->
+      let sorted_desc =
+        List.map (fun l -> List.sort (fun a b -> compare b a) l) lists
+      in
+      let eager = Kmerge.merge_desc_lists ~compare:Int.compare sorted_desc in
+      let lazy_prefix =
+        Kmerge.take k
+          (Kmerge.merge_desc ~compare:Int.compare
+             (List.map List.to_seq sorted_desc))
+      in
+      lazy_prefix = List.filteri (fun i _ -> i < k) eager)
+
 (* ------------------------------------------------------------------ *)
 (* Min_heap *)
 
@@ -199,6 +234,53 @@ let test_min_heap_empty () =
   Alcotest.(check bool) "is_empty" true (Min_heap.is_empty h);
   Alcotest.(check bool) "min of empty" true (Min_heap.min_priority h = None);
   Alcotest.(check bool) "pop empty" true (Min_heap.pop h = None)
+
+let prop_min_heap_multiset =
+  (* Popping everything returns exactly the pushed multiset: duplicate
+     priorities (forced by the tiny range) each surface once, with their
+     own payloads. *)
+  qtest "pop-all preserves the pushed multiset"
+    QCheck2.Gen.(list_size (int_bound 100) (int_range 0 6))
+    (fun l ->
+      let h = Min_heap.create () in
+      List.iteri
+        (fun i p -> Min_heap.push h ~priority:(float_of_int p) (p, i))
+        l;
+      let rec drain acc =
+        match Min_heap.pop h with
+        | None -> List.rev acc
+        | Some (pri, (p, i)) -> drain ((pri, p, i) :: acc)
+      in
+      let popped = drain [] in
+      List.for_all (fun (pri, p, _) -> pri = float_of_int p) popped
+      && (let pris = List.map (fun (pri, _, _) -> pri) popped in
+          pris = List.sort compare pris)
+      && List.sort compare (List.map (fun (_, p, i) -> (p, i)) popped)
+         = List.sort compare (List.mapi (fun i p -> (p, i)) l))
+
+let prop_min_heap_pop_le_exact =
+  (* pop_le returns exactly the ≤-threshold entries in ascending order
+     and leaves the rest intact. *)
+  qtest "pop_le = the <= v entries, ascending; remainder intact"
+    QCheck2.Gen.(
+      pair (int_range 0 6) (list_size (int_bound 80) (int_range 0 6)))
+    (fun (v, l) ->
+      let v = float_of_int v in
+      let h = Min_heap.create () in
+      List.iter (fun p -> Min_heap.push h ~priority:(float_of_int p) p) l;
+      let le = List.map fst (Min_heap.pop_le h v) in
+      let expected =
+        List.sort compare
+          (List.filter_map
+             (fun p -> if float_of_int p <= v then Some (float_of_int p) else None)
+             l)
+      in
+      le = expected
+      && Min_heap.size h = List.length l - List.length le
+      && (Min_heap.is_empty h
+         || match Min_heap.min_priority h with
+            | Some m -> m > v
+            | None -> false))
 
 (* ------------------------------------------------------------------ *)
 (* Stats *)
@@ -278,6 +360,32 @@ let test_pool_propagates_exception () =
       Alcotest.(check (list int)) "still alive" [ 7 ]
         (Domain_pool.run pool [ (fun () -> 7) ]))
 
+let test_pool_run_array () =
+  Domain_pool.with_pool 3 (fun pool ->
+      Alcotest.(check (array int)) "results land at their indices"
+        (Array.init 50 (fun i -> i * i))
+        (Domain_pool.run_array pool (Array.init 50 (fun i () -> i * i)));
+      Alcotest.(check (array int)) "empty" [||]
+        (Domain_pool.run_array pool [||]);
+      Alcotest.(check (array int)) "singleton" [| 3 |]
+        (Domain_pool.run_array pool [| (fun () -> 3) |]))
+
+let test_pool_run_array_first_failure () =
+  (* Two failing tasks: the re-raised exception is the earliest by index,
+     independent of which domain finished first. *)
+  Domain_pool.with_pool 2 (fun pool ->
+      let tasks =
+        [|
+          (fun () -> 0);
+          (fun () -> failwith "first");
+          (fun () -> failwith "second");
+        |]
+      in
+      Alcotest.(check bool) "earliest failure wins" true
+        (match Domain_pool.run_array pool tasks with
+        | exception Failure msg -> msg = "first"
+        | _ -> false))
+
 let test_pool_reuse_across_batches () =
   Domain_pool.with_pool 2 (fun pool ->
       for batch = 1 to 20 do
@@ -350,12 +458,16 @@ let () =
       ( "kmerge",
         [
           prop_kmerge_sorted;
+          prop_kmerge_lazy;
+          prop_kmerge_lazy_prefix;
           Alcotest.test_case "take" `Quick test_kmerge_take;
           Alcotest.test_case "stability" `Quick test_kmerge_stability;
         ] );
       ( "min_heap",
         [
           prop_min_heap_sorts;
+          prop_min_heap_multiset;
+          prop_min_heap_pop_le_exact;
           Alcotest.test_case "pop_le" `Quick test_min_heap_pop_le;
           Alcotest.test_case "empty" `Quick test_min_heap_empty;
         ] );
@@ -376,6 +488,9 @@ let () =
           Alcotest.test_case "runs tasks" `Quick test_pool_runs_tasks;
           Alcotest.test_case "empty batch" `Quick test_pool_empty_task_list;
           Alcotest.test_case "exception propagation" `Quick test_pool_propagates_exception;
+          Alcotest.test_case "run_array" `Quick test_pool_run_array;
+          Alcotest.test_case "run_array first failure" `Quick
+            test_pool_run_array_first_failure;
           Alcotest.test_case "reuse across batches" `Quick test_pool_reuse_across_batches;
           Alcotest.test_case "shutdown" `Quick test_pool_shutdown_rejects;
           Alcotest.test_case "invalid size" `Quick test_pool_invalid_size;
