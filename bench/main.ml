@@ -20,11 +20,13 @@ type row = {
   p95_ns : float option;
   p99_ns : float option;
   auctions_per_s : float option;
+  degraded : int option;  (* serving rows: deadline-degraded auctions *)
+  lane_restarts : int option;  (* serving rows: supervisor restarts *)
 }
 
 let bare name ns_per_run =
   { name; ns_per_run; p50_ns = None; p95_ns = None; p99_ns = None;
-    auctions_per_s = None }
+    auctions_per_s = None; degraded = None; lane_restarts = None }
 
 let histogram_of registry hname =
   match Essa_obs.Registry.find registry hname with
@@ -333,22 +335,23 @@ let serve_rows ~quota =
     let elapsed = Int64.to_float (Int64.sub (Essa_util.Timing.now_ns ()) t0) in
     let p50, p95, p99 = percentiles_of registry "essa.auction.total_ns" in
     {
-      name = Printf.sprintf "serve/serial/rhtalu/n=%d" n;
-      ns_per_run = elapsed /. float_of_int auctions;
+      (bare (Printf.sprintf "serve/serial/rhtalu/n=%d" n)
+         (elapsed /. float_of_int auctions))
+      with
       p50_ns = p50;
       p95_ns = p95;
       p99_ns = p99;
       auctions_per_s = Some (float_of_int auctions /. (elapsed /. 1e9));
     }
   in
-  let served_row ~workers =
+  let served_row ?deadline_budget_ns ~workers () =
     let registry = Essa_obs.Registry.create () in
     let engine =
       Essa_sim.Workload.make_engine ~metrics:registry workload ~method_:`Rhtalu
     in
     let server =
       Essa_serve.Server.create ~metrics:registry ~workers ~queue_capacity:256
-        ~max_batch:32 ~engine ()
+        ~max_batch:32 ?deadline_budget_ns ~engine ()
     in
     let stream = Essa_sim.Workload.query_stream workload ~seed:17 in
     ignore
@@ -360,19 +363,30 @@ let serve_rows ~quota =
       Essa_serve.Load_gen.closed_loop server
         ~keywords:(Seq.drop warmup stream) ~total:auctions ~window:16 ()
     in
-    ignore (Essa_serve.Server.stop server);
+    let stats = Essa_serve.Server.stop server in
     let p50, p95, p99 = percentiles_of registry "essa.serve.commit_latency_ns" in
+    let tag =
+      match deadline_budget_ns with
+      | None -> ""
+      | Some ns -> Printf.sprintf "/deadline=%dus" (ns / 1000)
+    in
     {
-      name = Printf.sprintf "serve/w=%d/rhtalu/n=%d" workers n;
-      ns_per_run =
-        Int64.to_float report.elapsed_ns /. float_of_int report.accepted;
+      (bare
+         (Printf.sprintf "serve/w=%d%s/rhtalu/n=%d" workers tag n)
+         (Int64.to_float report.elapsed_ns /. float_of_int report.accepted))
+      with
       p50_ns = p50;
       p95_ns = p95;
       p99_ns = p99;
       auctions_per_s = Some report.throughput_per_s;
+      degraded = Some stats.degraded;
+      lane_restarts = Some stats.lane_restarts;
     }
   in
-  serial_row :: List.map (fun workers -> served_row ~workers) [ 1; 2; 4 ]
+  (serial_row :: List.map (fun workers -> served_row ~workers ()) [ 1; 2; 4 ])
+  (* A deliberately tight budget: how fast the pipeline drains when most
+     auctions degrade to the cheap single-pass allocation. *)
+  @ [ served_row ~workers:2 ~deadline_budget_ns:20_000 () ]
 
 (* ------------------------------------------------------------------ *)
 (* Runner *)
@@ -440,7 +454,8 @@ let run_group ~quota group =
    {schema, quota_s, results: [{name, ns_per_run|null}]} — the contract
    the CI bench-smoke job checks and archives.  Rows backed by a latency
    histogram additionally carry p50_ns/p95_ns/p99_ns, and serving rows
-   auctions_per_s; all additive, the schema version is unchanged. *)
+   auctions_per_s plus integer degraded / lane_restarts tallies; all
+   additive, the schema version is unchanged. *)
 let json_escape s =
   let buf = Buffer.create (String.length s + 8) in
   String.iter
@@ -468,11 +483,18 @@ let write_json ~path ~quota rows =
         | None -> ""
         | Some v -> Printf.sprintf ", \"%s\": %s" key (num v)
       in
-      Printf.fprintf oc "%s\n    { \"name\": \"%s\", \"ns_per_run\": %s%s%s%s%s }"
+      let opt_int key = function
+        | None -> ""
+        | Some v -> Printf.sprintf ", \"%s\": %d" key v
+      in
+      Printf.fprintf oc
+        "%s\n    { \"name\": \"%s\", \"ns_per_run\": %s%s%s%s%s%s%s }"
         (if i = 0 then "" else ",")
         (json_escape r.name) (num r.ns_per_run)
         (opt "p50_ns" r.p50_ns) (opt "p95_ns" r.p95_ns) (opt "p99_ns" r.p99_ns)
-        (opt "auctions_per_s" r.auctions_per_s))
+        (opt "auctions_per_s" r.auctions_per_s)
+        (opt_int "degraded" r.degraded)
+        (opt_int "lane_restarts" r.lane_restarts))
     rows;
   Printf.fprintf oc "\n  ]\n}\n";
   close_out oc;

@@ -34,7 +34,26 @@ let percentiles registry name =
   | _ -> None
 
 let run n slots keywords method_ seed workers queue_capacity max_batch auctions
-    rate window pool_size parallel_threshold metrics =
+    rate window pool_size parallel_threshold metrics fault_specs
+    deadline_budget_ms max_restarts =
+  let faults =
+    match
+      List.fold_left
+        (fun acc s ->
+          match (acc, Essa_serve.Fault.parse s) with
+          | Error e, _ -> Error e
+          | Ok specs, Ok spec -> Ok (spec :: specs)
+          | Ok _, Error e -> Error e)
+        (Ok []) fault_specs
+    with
+    | Ok specs -> Essa_serve.Fault.create (List.rev specs)
+    | Error e ->
+        prerr_endline e;
+        exit 2
+  in
+  let deadline_budget_ns =
+    Option.map (fun ms -> int_of_float (ms *. 1e6)) deadline_budget_ms
+  in
   let metrics_fmt =
     match metrics with
     | None -> None
@@ -63,7 +82,7 @@ let run n slots keywords method_ seed workers queue_capacity max_batch auctions
       in
       let server =
         Essa_serve.Server.create ~metrics:registry ~workers ~queue_capacity
-          ~max_batch ~engine ()
+          ~max_batch ~max_restarts ?deadline_budget_ns ~faults ~engine ()
       in
       let keywords_seq =
         Essa_sim.Workload.query_stream workload ~seed:(seed + 1)
@@ -96,6 +115,26 @@ let run n slots keywords method_ seed workers queue_capacity max_batch auctions
         report.offered;
       Format.printf "accepted: %d   shed: %d   committed: %d@." report.accepted
         report.shed stats.committed;
+      (match Essa_serve.Fault.specs faults with
+      | [] -> ()
+      | specs ->
+          Format.printf "faults:   %s@."
+            (String.concat ", "
+               (List.map Essa_serve.Fault.to_string specs)));
+      if
+        stats.failed > 0 || stats.skipped > 0 || stats.degraded > 0
+        || stats.lane_restarts > 0 || stats.rejected_closed > 0
+      then
+        Format.printf
+          "faulted:  failed %d   restarts %d   skipped %d   degraded %d   \
+           rejected-closed %d@."
+          stats.failed stats.lane_restarts stats.skipped stats.degraded
+          stats.rejected_closed;
+      List.iter
+        (fun (e : Essa_serve.Server.error) ->
+          Format.printf "  error: lane %d seq %d keyword %d: %s@." e.lane e.seq
+            e.keyword (Printexc.to_string e.exn))
+        stats.errors;
       Format.printf "elapsed:  %.3f s   throughput: %.0f auctions/s@."
         (Int64.to_float report.elapsed_ns /. 1e9)
         report.throughput_per_s;
@@ -173,12 +212,33 @@ let metrics_t =
        & info [ "metrics" ]
            ~doc:"Print the full Essa_obs snapshot afterwards: text | json | prom.")
 
+let fault_t =
+  Arg.(value & opt_all string []
+       & info [ "fault" ]
+           ~doc:"Inject a fault (repeatable): exn\\@SEQ raises in the engine \
+                 on arrival SEQ, slow\\@SEQ:MS delays that auction by MS \
+                 milliseconds, stall\\@LANE:MS stalls a lane domain once.")
+
+let deadline_t =
+  Arg.(value & opt (some float) None
+       & info [ "deadline-budget" ]
+           ~doc:"Per-auction time budget in milliseconds, measured from \
+                 enqueue; auctions over budget degrade to a cheap \
+                 allocation or serve unfilled.")
+
+let max_restarts_t =
+  Arg.(value & opt int 2
+       & info [ "max-restarts" ]
+           ~doc:"Lane failures tolerated (with restart) before the \
+                 supervisor degrades the lane to skipping.")
+
 let run_cmd =
   Cmd.v
     (Cmd.info "run" ~doc:"Serve a query stream through the sharded pipeline")
     Term.(const run $ n_t $ slots_t $ keywords_t $ method_t $ seed_t
           $ workers_t $ queue_t $ batch_t $ auctions_t $ rate_t $ window_t
-          $ pool_t $ threshold_t $ metrics_t)
+          $ pool_t $ threshold_t $ metrics_t $ fault_t $ deadline_t
+          $ max_restarts_t)
 
 let main =
   Cmd.group

@@ -1,5 +1,7 @@
 type method_ = [ `Lp | `Lp_dense | `H | `Rh | `Rhtalu ]
 
+type degrade = Cheap_allocation | Unfilled
+
 type summary = {
   auction_time : int;
   keyword : int;
@@ -7,6 +9,7 @@ type summary = {
   prices : int array;
   clicks : bool array;
   revenue : int;
+  degraded : degrade option;
 }
 
 type pricing = [ `Gsp | `Vcg | `Pay_as_bid ]
@@ -30,6 +33,8 @@ type engine_metrics = {
   c_ta_random : Essa_obs.Counter.t;
   c_ta_seen : Essa_obs.Counter.t;
   c_reduced_candidates : Essa_obs.Counter.t;
+  c_degraded_cheap : Essa_obs.Counter.t;
+  c_degraded_unfilled : Essa_obs.Counter.t;
 }
 
 let engine_metrics registry =
@@ -73,6 +78,16 @@ let engine_metrics registry =
     c "essa.reduction.candidates"
       ~help:"Advertisers surviving the per-slot top-(k+1) graph reduction"
   in
+  let c_degraded_cheap =
+    c "essa.auction.degraded_cheap"
+      ~help:"Auctions whose deadline tripped after program evaluation: full \
+             winner determination replaced by the single-pass top-k fallback"
+  in
+  let c_degraded_unfilled =
+    c "essa.auction.degraded_unfilled"
+      ~help:"Auctions already past their deadline at start: served unfilled, \
+             bid-program updates shed"
+  in
   {
     registry;
     h_program_eval;
@@ -88,6 +103,8 @@ let engine_metrics registry =
     c_ta_random;
     c_ta_seen;
     c_reduced_candidates;
+    c_degraded_cheap;
+    c_degraded_unfilled;
   }
 
 type t = {
@@ -127,13 +144,18 @@ type t = {
      harness's point pool): nested Domain_pool.run deadlocks. *)
   pool : Essa_util.Domain_pool.t option;
   parallel_threshold : int;
+  (* Monotonic ns clock consulted by the deadline checks only (latency
+     metrics always read the real clock).  Injectable so deadline tests
+     can script exactly which check trips, without sleeps. *)
+  clock : unit -> int64;
   (* Per-phase latency histograms and event counters; updated on every
      auction at negligible (allocation-free) cost. *)
   m : engine_metrics;
 }
 
-let create ?metrics ?pool ?(parallel_threshold = 4096) ~reserve ~pricing
-    ~method_ ~ctr ~states ~user_seed () =
+let create ?metrics ?pool ?(parallel_threshold = 4096)
+    ?(clock = Essa_util.Timing.now_ns) ~reserve ~pricing ~method_ ~ctr ~states
+    ~user_seed () =
   let n = Array.length ctr in
   if n = 0 then invalid_arg "Engine.create: no advertisers";
   let k = Array.length ctr.(0) in
@@ -221,6 +243,7 @@ let create ?metrics ?pool ?(parallel_threshold = 4096) ~reserve ~pricing
     reduced_w_rows = Array.make_matrix reduced_capacity k 0.0;
     pool;
     parallel_threshold;
+    clock;
     m = engine_metrics registry;
   }
 
@@ -324,13 +347,112 @@ let ta_top_lists t ~keyword ~count =
       top)
     tops
 
-let run_auction t ~keyword =
+(* Degraded winner determination: one pass over the fleet taking the top-k
+   advertisers by slot-1 expected revenue (same float expression as the
+   matrix paths), assigned greedily to slots 1..k.  O(n log k), no
+   Hungarian, no reduced view — the deadline fallback tier.  Prices are
+   pay-as-bid (plus the slot-1 premium), floored at the reserve: under a
+   blown budget the system serves *something* billable rather than
+   computing incentive-clean prices it has no time for. *)
+let cheap_allocation t ~keyword =
+  let prem = t.premiums.(keyword) in
+  let top =
+    Essa_util.Topk.create ~k:t.k
+      ~compare:(fun (sa, ia, _) (sb, ib, _) ->
+        let c = Float.compare sa sb in
+        if c <> 0 then c else Int.compare ib ia)
+  in
+  for i = 0 to t.n - 1 do
+    let bid_c = Essa_strategy.Roi_fleet.bid t.fleet ~adv:i ~keyword in
+    if bid_c >= t.reserve then begin
+      let s = t.ctr.(i).(0) *. (float_of_int bid_c +. float_of_int prem.(i)) in
+      if s > 0.0 then ignore (Essa_util.Topk.offer top (s, i, bid_c))
+    end
+  done;
+  let assignment = Array.make t.k None in
+  let prices = Array.make t.k 0 in
+  List.iteri
+    (fun j (_, i, bid_c) ->
+      assignment.(j) <- Some i;
+      prices.(j) <- max t.reserve (bid_c + if j = 0 then prem.(i) else 0))
+    (Essa_util.Topk.to_sorted_list top);
+  (assignment, prices)
+
+let run_auction ?deadline_ns t ~keyword =
   if keyword < 0 || keyword >= t.nk then
     invalid_arg (Printf.sprintf "Engine.run_auction: keyword %d" keyword);
   t.time <- t.time + 1;
   t.auctions <- t.auctions + 1;
   Essa_obs.Counter.incr t.m.c_auctions;
   let t0 = Essa_util.Timing.now_ns () in
+  let over_deadline () =
+    match deadline_ns with
+    | None -> false
+    | Some d -> Int64.compare (t.clock ()) d >= 0
+  in
+  (* Sample the user's clicks top-to-bottom; bill per click.  Shared by
+     the full path and the deadline-degraded cheap path: a degraded
+     allocation is still a real allocation — clicks are sampled, winners
+     billed and notified, so the shared RNG and advertiser states stay on
+     one consistent timeline. *)
+  let finish ~stamp ~assignment ~prices ~degraded =
+    let clicks = Array.make t.k false in
+    let revenue = ref 0 in
+    let filled = ref 0 and clicked_count = ref 0 in
+    Array.iteri
+      (fun j0 cell ->
+        match cell with
+        | None -> ()
+        | Some adv ->
+            incr filled;
+            let clicked =
+              Essa_util.Rng.bernoulli t.user_rng t.ctr.(adv).(j0)
+            in
+            clicks.(j0) <- clicked;
+            if clicked then begin
+              revenue := !revenue + prices.(j0);
+              incr clicked_count
+            end;
+            Essa_strategy.Roi_fleet.record_win t.fleet ~time:t.time ~adv
+              ~keyword ~price:prices.(j0) ~clicked)
+      assignment;
+    t.total_revenue <- t.total_revenue + !revenue;
+    Essa_obs.Counter.add t.m.c_revenue !revenue;
+    Essa_obs.Counter.add t.m.c_clicks !clicked_count;
+    Essa_obs.Counter.add t.m.c_slots_filled !filled;
+    let now = Essa_util.Timing.now_ns () in
+    Essa_obs.Histogram.record t.m.h_user (Int64.to_int (Int64.sub now stamp));
+    Essa_obs.Histogram.record t.m.h_total (Int64.to_int (Int64.sub now t0));
+    {
+      auction_time = t.time;
+      keyword;
+      assignment;
+      prices;
+      clicks;
+      revenue = !revenue;
+      degraded;
+    }
+  in
+  if over_deadline () then begin
+    (* Already past the deadline before any work: the ultimate fallback.
+       Serve the query unfilled and shed this auction's bid-program
+       updates ([on_auction] is skipped; the fleet clock is monotone but
+       not contiguous, which the strategies support).  No clicks, no
+       billing, no RNG consumption. *)
+    Essa_obs.Counter.incr t.m.c_degraded_unfilled;
+    let now = Essa_util.Timing.now_ns () in
+    Essa_obs.Histogram.record t.m.h_total (Int64.to_int (Int64.sub now t0));
+    {
+      auction_time = t.time;
+      keyword;
+      assignment = Array.make t.k None;
+      prices = Array.make t.k 0;
+      clicks = Array.make t.k false;
+      revenue = 0;
+      degraded = Some Unfilled;
+    }
+  end
+  else begin
   let stamp = t0 in
   Essa_strategy.Roi_fleet.on_auction t.fleet ~time:t.time ~keyword;
   let stamp =
@@ -338,6 +460,22 @@ let run_auction t ~keyword =
     Essa_obs.Histogram.record t.m.h_program_eval (Int64.to_int (Int64.sub now stamp));
     now
   in
+  if over_deadline () then begin
+    (* Budget exhausted after program evaluation: skip the full winner
+       determination (the dominant cost at scale) for the single-pass
+       top-k fallback — the paper's RH reduction taken to its cheapest
+       limit. *)
+    let assignment, prices = cheap_allocation t ~keyword in
+    Essa_obs.Counter.incr t.m.c_degraded_cheap;
+    let stamp =
+      let now = Essa_util.Timing.now_ns () in
+      Essa_obs.Histogram.record t.m.h_winner_determination
+        (Int64.to_int (Int64.sub now stamp));
+      now
+    in
+    finish ~stamp ~assignment ~prices ~degraded:(Some Cheap_allocation)
+  end
+  else begin
   let ctr ~adv ~slot = t.ctr.(adv).(slot - 1) in
   (* Winner determination.  Besides the global assignment, every branch
      produces a *pricing view*: the weight (sub)matrix and the advertiser
@@ -478,40 +616,9 @@ let run_auction t ~keyword =
     Essa_obs.Histogram.record t.m.h_pricing (Int64.to_int (Int64.sub now stamp));
     now
   in
-  (* Sample the user's clicks top-to-bottom; bill per click. *)
-  let clicks = Array.make t.k false in
-  let revenue = ref 0 in
-  let filled = ref 0 and clicked_count = ref 0 in
-  Array.iteri
-    (fun j0 cell ->
-      match cell with
-      | None -> ()
-      | Some adv ->
-          incr filled;
-          let clicked = Essa_util.Rng.bernoulli t.user_rng (ctr ~adv ~slot:(j0 + 1)) in
-          clicks.(j0) <- clicked;
-          if clicked then begin
-            revenue := !revenue + prices.(j0);
-            incr clicked_count
-          end;
-          Essa_strategy.Roi_fleet.record_win t.fleet ~time:t.time ~adv ~keyword
-            ~price:prices.(j0) ~clicked)
-    assignment;
-  t.total_revenue <- t.total_revenue + !revenue;
-  Essa_obs.Counter.add t.m.c_revenue !revenue;
-  Essa_obs.Counter.add t.m.c_clicks !clicked_count;
-  Essa_obs.Counter.add t.m.c_slots_filled !filled;
-  let now = Essa_util.Timing.now_ns () in
-  Essa_obs.Histogram.record t.m.h_user (Int64.to_int (Int64.sub now stamp));
-  Essa_obs.Histogram.record t.m.h_total (Int64.to_int (Int64.sub now t0));
-  {
-    auction_time = t.time;
-    keyword;
-    assignment;
-    prices;
-    clicks;
-    revenue = !revenue;
-  }
+  finish ~stamp ~assignment ~prices ~degraded:None
+  end
+  end
 
 type phase_breakdown = {
   program_eval_ms : float;

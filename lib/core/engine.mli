@@ -32,6 +32,7 @@ val create :
   ?metrics:Essa_obs.Registry.t ->
   ?pool:Essa_util.Domain_pool.t ->
   ?parallel_threshold:int ->
+  ?clock:(unit -> int64) ->
   reserve:int ->
   pricing:pricing ->
   method_:method_ ->
@@ -63,6 +64,11 @@ val create :
     a pool that is
     itself running this engine (e.g. the sweep harness's point pool):
     nested {!Essa_util.Domain_pool.run} deadlocks.
+    [clock] is the monotonic nanosecond clock consulted by the
+    {!run_auction} deadline checks (default {!Essa_util.Timing.now_ns});
+    injecting a scripted clock lets tests pin exactly which degradation
+    tier trips, without sleeps.  Latency metrics always read the real
+    clock.
     @raise Invalid_argument on shape mismatch, probabilities outside
     [0,1], negative [parallel_threshold], or advertiser states that
     disagree on the number of keywords. *)
@@ -72,6 +78,17 @@ val k : t -> int
 val num_keywords : t -> int
 val time : t -> int
 
+type degrade =
+  | Cheap_allocation
+      (** deadline tripped after program evaluation: full winner
+          determination was replaced by a single-pass top-k allocation
+          (greedy by slot-1 expected revenue, pay-as-bid prices floored at
+          the reserve).  Clicks are still sampled and winners billed. *)
+  | Unfilled
+      (** deadline already blown when the auction started: served with
+          every slot empty, zero revenue, and this auction's bid-program
+          updates shed ([on_auction] skipped; no RNG consumed). *)
+
 type summary = {
   auction_time : int;
   keyword : int;
@@ -79,10 +96,30 @@ type summary = {
   prices : int array;   (** per-slot per-click price, 0 for empty slots *)
   clicks : bool array;  (** per-slot click outcomes *)
   revenue : int;        (** cents billed in this auction *)
+  degraded : degrade option;
+      (** [None] on the full path; [Some _] when a deadline degraded this
+          auction (see {!degrade}).  Fault-free runs with no deadline are
+          always [None], preserving the bit-identity contract. *)
 }
 
-val run_auction : t -> keyword:int -> summary
+val run_auction : ?deadline_ns:int64 -> t -> keyword:int -> summary
 (** Execute one full auction for a query on [keyword] (0-based).
+
+    [deadline_ns] is an absolute monotonic deadline (same clock as
+    [Essa_util.Timing.now_ns], or the engine's injected [clock]): when the
+    clock reaches it the auction degrades rather than keep burning time it
+    no longer has.  The ladder has two rungs, checked at phase boundaries
+    (the budget is advisory between checks, not preemptive):
+
+    - already past the deadline at the start → {!Unfilled};
+    - past it after program evaluation, before winner determination (the
+      dominant cost at scale) → {!Cheap_allocation}.
+
+    Pricing and click/billing are O(k²) and always run for filled
+    allocations.  Omitted deadline = never degrade (the paper's setting;
+    bit-identical streams).  The counters
+    [essa.auction.degraded_cheap] / [essa.auction.degraded_unfilled]
+    record trips.
     @raise Invalid_argument on a bad keyword index. *)
 
 val total_revenue : t -> int

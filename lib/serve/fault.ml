@@ -1,0 +1,101 @@
+type spec =
+  | Engine_exn of { seq : int }
+  | Slow_auction of { seq : int; delay_ns : int }
+  | Lane_stall of { lane : int; delay_ns : int }
+
+exception Injected of int
+
+(* Each armed spec carries a fired latch.  A spec is consulted by exactly
+   one lane (the lane owning its seq, or the named lane), but Atomic
+   keeps the latch safe even if a caller wires the hooks differently. *)
+type armed = { spec : spec; fired : bool Atomic.t }
+
+type t = armed array
+
+let none = [||]
+
+let validate = function
+  | Engine_exn { seq } ->
+      if seq < 0 then invalid_arg "Fault.create: negative seq"
+  | Slow_auction { seq; delay_ns } ->
+      if seq < 0 then invalid_arg "Fault.create: negative seq";
+      if delay_ns <= 0 then invalid_arg "Fault.create: non-positive delay"
+  | Lane_stall { lane; delay_ns } ->
+      if lane < 0 then invalid_arg "Fault.create: negative lane";
+      if delay_ns <= 0 then invalid_arg "Fault.create: non-positive delay"
+
+let create specs =
+  List.iter validate specs;
+  Array.of_list
+    (List.map (fun spec -> { spec; fired = Atomic.make false }) specs)
+
+let specs t = Array.to_list (Array.map (fun a -> a.spec) t)
+
+(* Fire-once claim: true for the caller that flips the latch. *)
+let claim a = Atomic.compare_and_set a.fired false true
+
+let sleep_ns delay_ns = Unix.sleepf (float_of_int delay_ns /. 1e9)
+
+let before_execute t ~seq =
+  if Array.length t > 0 then
+    Array.iter
+      (fun a ->
+        match a.spec with
+        | Slow_auction { seq = s; delay_ns } when s = seq && claim a ->
+            sleep_ns delay_ns
+        | Engine_exn { seq = s } when s = seq && claim a -> raise (Injected seq)
+        | _ -> ())
+      t
+
+let on_lane_work t ~lane =
+  if Array.length t > 0 then
+    Array.iter
+      (fun a ->
+        match a.spec with
+        | Lane_stall { lane = l; delay_ns } when l = lane && claim a ->
+            sleep_ns delay_ns
+        | _ -> ())
+      t
+
+let parse s =
+  let ms_to_ns f = int_of_float (f *. 1e6) in
+  match String.index_opt s '@' with
+  | None -> Error (Printf.sprintf "fault %S: expected KIND@ARGS" s)
+  | Some at -> (
+      let kind = String.sub s 0 at in
+      let args = String.sub s (at + 1) (String.length s - at - 1) in
+      let two () =
+        match String.index_opt args ':' with
+        | None -> None
+        | Some c ->
+            let a = String.sub args 0 c
+            and b = String.sub args (c + 1) (String.length args - c - 1) in
+            Option.bind (int_of_string_opt a) (fun a ->
+                Option.map (fun b -> (a, b)) (float_of_string_opt b))
+      in
+      match kind with
+      | "exn" -> (
+          match int_of_string_opt args with
+          | Some seq when seq >= 0 -> Ok (Engine_exn { seq })
+          | _ -> Error (Printf.sprintf "fault %S: expected exn@SEQ" s))
+      | "slow" -> (
+          match two () with
+          | Some (seq, ms) when seq >= 0 && ms > 0.0 ->
+              Ok (Slow_auction { seq; delay_ns = ms_to_ns ms })
+          | _ -> Error (Printf.sprintf "fault %S: expected slow@SEQ:MS" s))
+      | "stall" -> (
+          match two () with
+          | Some (lane, ms) when lane >= 0 && ms > 0.0 ->
+              Ok (Lane_stall { lane; delay_ns = ms_to_ns ms })
+          | _ -> Error (Printf.sprintf "fault %S: expected stall@LANE:MS" s))
+      | _ ->
+          Error
+            (Printf.sprintf "fault %S: unknown kind %s (expected exn|slow|stall)"
+               s kind))
+
+let to_string = function
+  | Engine_exn { seq } -> Printf.sprintf "exn@%d" seq
+  | Slow_auction { seq; delay_ns } ->
+      Printf.sprintf "slow@%d:%g" seq (float_of_int delay_ns /. 1e6)
+  | Lane_stall { lane; delay_ns } ->
+      Printf.sprintf "stall@%d:%g" lane (float_of_int delay_ns /. 1e6)

@@ -1,0 +1,64 @@
+(** Deterministic fault injection for the serving pipeline.
+
+    Every recovery path in {!Server} — lane restart, lane degradation,
+    deadline degradation, stall drain — is only trustworthy if it can be
+    exercised on demand.  This module is the switchboard: a set of armed
+    failure points, keyed on the query's global arrival sequence number
+    (so a given fault hits the same auction for {e any} worker count —
+    runs are reproducible across lane layouts) or on a lane index, that
+    the server consults at its injection hooks.
+
+    Faults are test/debug machinery: [Server.create ?faults] threads a
+    spec list through, and [bin/serve_cli.exe --fault SPEC] exposes the
+    same switchboard on the command line.  A server created without
+    faults pays one physically-equal-to-[none] check per query. *)
+
+type spec =
+  | Engine_exn of { seq : int }
+      (** raise {!Injected} out of the auction execution for the query
+          with arrival sequence [seq] — the "engine threw" failure the
+          lane supervisor must absorb. *)
+  | Slow_auction of { seq : int; delay_ns : int }
+      (** sleep [delay_ns] inside the commit turn of query [seq], before
+          the engine runs — an artificially slow auction.  With a server
+          deadline budget this deterministically trips the degradation
+          ladder for [seq] (and typically for the queued queries behind
+          it). *)
+  | Lane_stall of { lane : int; delay_ns : int }
+      (** the first time lane [lane] receives work, it sleeps [delay_ns]
+          before processing the batch — an unresponsive worker (long GC
+          pause, scheduling glitch).  The commit clock holds the stream
+          at the stalled lane's first sequence number until it wakes;
+          recovery is the backlog draining afterwards. *)
+
+exception Injected of int
+(** [Injected seq]: the planted engine failure for query [seq]. *)
+
+type t
+
+val none : t
+(** No faults armed; all hooks are free no-ops. *)
+
+val create : spec list -> t
+(** Arm [specs].  Each spec fires at most once.
+    @raise Invalid_argument on a negative [seq]/[lane] or non-positive
+    [delay_ns]. *)
+
+val specs : t -> spec list
+
+val before_execute : t -> seq:int -> unit
+(** Server hook: called while holding query [seq]'s commit turn, before
+    the engine runs.  Sleeps for a matching {!Slow_auction}; raises
+    {!Injected} for a matching {!Engine_exn}. *)
+
+val on_lane_work : t -> lane:int -> unit
+(** Server hook: called when a lane dequeues a work batch.  Sleeps once
+    for a matching {!Lane_stall}. *)
+
+val parse : string -> (spec, string) result
+(** Parse the CLI syntax (also produced by {!to_string}):
+    - ["exn@SEQ"] → [Engine_exn]
+    - ["slow@SEQ:MS"] → [Slow_auction] (delay in milliseconds)
+    - ["stall@LANE:MS"] → [Lane_stall] *)
+
+val to_string : spec -> string

@@ -8,11 +8,13 @@ type t = {
   mutable next_seq : int;
   mutable accepted : int;
   mutable shed : int;
+  mutable rejected_closed : int;
   mutable closed : bool;
   registry : Essa_obs.Registry.t;
   g_depth : Essa_obs.Gauge.t;
   c_accepted : Essa_obs.Counter.t;
   c_shed : Essa_obs.Counter.t;
+  c_rejected_closed : Essa_obs.Counter.t;
 }
 
 let create ?metrics ~capacity () =
@@ -28,6 +30,7 @@ let create ?metrics ~capacity () =
     next_seq = 0;
     accepted = 0;
     shed = 0;
+    rejected_closed = 0;
     closed = false;
     registry;
     g_depth =
@@ -39,15 +42,28 @@ let create ?metrics ~capacity () =
     c_shed =
       Essa_obs.Registry.counter registry "essa.serve.shed"
         ~help:"Queries rejected because the ingress queue was full";
+    c_rejected_closed =
+      Essa_obs.Registry.counter registry "essa.serve.rejected_closed"
+        ~help:
+          "Queries rejected because the ingress queue was closed (shutdown, \
+           not overload)";
   }
 
-type outcome = Accepted of int | Shed
+type outcome = Accepted of int | Shed | Closed
 
 let submit t ~keyword =
   let enqueue_ns = Essa_util.Timing.now_ns () in
   Mutex.lock t.mutex;
   let outcome =
-    if t.closed || Queue.length t.queue >= t.capacity then begin
+    (* Closed is shutdown, not overload: conflating the two turned every
+       post-stop submit into a phantom "shed" (and sent retrying clients
+       into a spin).  Distinct outcome, distinct counter. *)
+    if t.closed then begin
+      t.rejected_closed <- t.rejected_closed + 1;
+      Essa_obs.Counter.incr t.c_rejected_closed;
+      Closed
+    end
+    else if Queue.length t.queue >= t.capacity then begin
       t.shed <- t.shed + 1;
       Essa_obs.Counter.incr t.c_shed;
       Shed
@@ -98,4 +114,5 @@ let with_lock t f =
 let depth t = with_lock t (fun () -> Queue.length t.queue)
 let accepted t = with_lock t (fun () -> t.accepted)
 let shed t = with_lock t (fun () -> t.shed)
+let rejected_closed t = with_lock t (fun () -> t.rejected_closed)
 let metrics t = t.registry

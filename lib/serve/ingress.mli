@@ -10,8 +10,10 @@
 
     Observable state lives in [Essa_obs] metrics: a depth gauge
     ([essa.serve.queue_depth], updated under the queue mutex on every
-    submit/drain), an accepted counter ([essa.serve.accepted]) and a shed
-    counter ([essa.serve.shed]).
+    submit/drain), an accepted counter ([essa.serve.accepted]), a shed
+    counter ([essa.serve.shed], overload only) and a closed-rejection
+    counter ([essa.serve.rejected_closed], shutdown only — the two are
+    different signals and are never conflated).
 
     Concurrency contract: any number of producers may [submit]; exactly
     one consumer (the batcher) calls [drain]. *)
@@ -32,14 +34,17 @@ val create : ?metrics:Essa_obs.Registry.t -> capacity:int -> unit -> t
 
 type outcome =
   | Accepted of int  (** the query's arrival sequence number *)
-  | Shed  (** queue full (or closed): rejected, counted, not enqueued *)
+  | Shed  (** queue full: overload rejection, counted, not enqueued *)
+  | Closed
+      (** queue closed: shutdown rejection — retrying is pointless, the
+          server will never admit again.  Counted separately. *)
 
 val submit : t -> keyword:int -> outcome
 (** Non-blocking admission.  Never raises on overload; [Shed] is the
-    load-shedding policy in action. *)
+    load-shedding policy in action, [Closed] the shutdown signal. *)
 
 val close : t -> unit
-(** Stop admitting ([submit] returns [Shed] from now on) and wake the
+(** Stop admitting ([submit] returns [Closed] from now on) and wake the
     consumer; already-accepted queries remain drainable.  Idempotent. *)
 
 val drain : t -> max:int -> query list
@@ -52,4 +57,8 @@ val drain : t -> max:int -> query list
 val depth : t -> int
 val accepted : t -> int
 val shed : t -> int
+
+val rejected_closed : t -> int
+(** Submissions rejected after {!close} (distinct from overload {!shed}). *)
+
 val metrics : t -> Essa_obs.Registry.t

@@ -69,7 +69,8 @@ let closed_loop server ~keywords ~total ?(window = 1) () =
   let accepted0 = Server.accepted server and shed0 = Server.shed server in
   let t0 = Essa_util.Timing.now_ns () in
   let submitted = ref 0 in
-  while !submitted < total do
+  let closed = ref false in
+  while (not !closed) && !submitted < total do
     (* Admission control: keep at most [window] queries in flight. *)
     let in_flight () = Server.accepted server - Server.committed server in
     if in_flight () >= window then
@@ -85,8 +86,14 @@ let closed_loop server ~keywords ~total ?(window = 1) () =
                slack): wait for one commit and retry. *)
             Server.await_committed server ~count:(Server.committed server + 1);
             admit ()
+        | Ingress.Closed ->
+            (* The server began shutting down under us.  Retrying a
+               closed ingress can never succeed (the old Shed conflation
+               sent this loop into an await-retry spin on a commit that
+               would never come); stop generating instead. *)
+            closed := true
       in
       admit ()
     end
   done;
-  report server ~offered:total ~accepted0 ~shed0 ~t0
+  report server ~offered:!submitted ~accepted0 ~shed0 ~t0

@@ -34,6 +34,9 @@ val closed_loop :
   Server.t -> keywords:int Seq.t -> total:int -> ?window:int -> unit -> report
 (** Keep [window] (default 1) queries in flight until [total] have been
     submitted, then flush.  Retries admission after a commit if the
-    queue is momentarily full, so nothing is lost.
+    queue is momentarily full, so nothing is lost.  If the server closes
+    mid-run ([Closed] outcome — shutdown, not overload) the generator
+    stops rather than retry forever; [offered] then reflects what was
+    actually admitted before the close.
     @raise Invalid_argument on [total < 0], [window < 1], or a
     [keywords] sequence shorter than [total]. *)

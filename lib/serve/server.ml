@@ -1,4 +1,23 @@
-type stats = { accepted : int; shed : int; committed : int; revenue : int }
+type error = {
+  lane : int;
+  seq : int;
+  keyword : int;
+  exn : exn;
+  backtrace : string;
+}
+
+type stats = {
+  accepted : int;
+  shed : int;
+  rejected_closed : int;
+  committed : int;
+  failed : int;
+  skipped : int;
+  degraded : int;
+  lane_restarts : int;
+  revenue : int;
+  errors : error list;
+}
 
 type lane_msg = Work of Ingress.query list | Stop
 
@@ -34,27 +53,85 @@ let mailbox_pop mb =
   Mutex.unlock mb.mb_mutex;
   msg
 
+(* Per-lane supervisor state.  Mutated only by the owning lane, and only
+   while it holds the commit turn, so reads after [Domain.join] (and the
+   turnstile's own mutex) make these data-race-free without atomics. *)
+type lane_state = {
+  mutable restarts : int;  (* failures absorbed by Restart_lane so far *)
+  mutable lane_degraded : bool;  (* true once restarts are exhausted *)
+  mutable skipped : int;  (* queries blind-committed while degraded *)
+}
+
 type t = {
   engine : Essa.Engine.t;
   ingress : Ingress.t;
   clock : Commit_clock.t;
   mailboxes : mailbox array;
   registry : Essa_obs.Registry.t;
-  (* First lane failure (engine or on_commit exception).  The failing
-     lane records it and keeps committing sequence numbers without
-     executing, so the clock never stalls and [stop] always joins. *)
-  error : exn option Atomic.t;
+  faults : Fault.t;
+  max_restarts : int;
+  deadline_budget_ns : int option;
+  lane_states : lane_state array;
+  (* Aggregates below are written only inside the commit turn (the
+     failure handler and the degrade accounting both run between [await]
+     and [commit]), so like [lane_state] they need no synchronization
+     beyond the turnstile + join. *)
+  mutable failed : int;
+  mutable degraded_total : int;
+  mutable errors_rev : error list;  (* commit order, newest first *)
+  c_lane_restarts : Essa_obs.Counter.t;
+  c_lane_failures : Essa_obs.Counter.t;
+  c_lane_skipped : Essa_obs.Counter.t;
+  c_degraded : Essa_obs.Counter.t;
+  c_degraded_unfilled : Essa_obs.Counter.t;
   mutable batcher : unit Domain.t option;
   mutable lanes : unit Domain.t array;
-  mutable stopped : bool;
+  mutable final : stats option;  (* set once by the first [stop] *)
 }
 
-let lane_loop t ~on_commit ~h_latency ~c_committed mb =
+(* The lane body, under supervision.
+
+   A failure (engine or [on_commit] exception) while executing query [q]
+   never poisons the fleet: the error report — carrying the failing
+   query — is recorded, [q]'s sequence number still commits (the clock
+   must never stall), and the supervisor policy decides what the lane
+   does next:
+
+   - [Restart_lane] while [restarts < max_restarts]: the lane's auction
+     loop is re-entered and the next query executes normally.  The
+     restart is in-domain (the lane's only state is its mailbox, which
+     must survive, so tearing down the domain would buy nothing but a
+     spawn); observably it is exactly a supervisor respawn.
+   - [Degrade] once restarts are exhausted: the lane stops executing and
+     blind-commits its remaining sequence numbers (counted as
+     [skipped]), keeping the rest of the fleet live — one persistently
+     crashing keyword shard no longer takes the service down. *)
+let lane_loop t ~lane ~on_commit ~h_latency ~c_committed mb =
+  let ls = t.lane_states.(lane) in
   let process (q : Ingress.query) =
     Commit_clock.await t.clock ~seq:q.seq;
-    (if Atomic.get t.error = None then
+    (if ls.lane_degraded then begin
+       ls.skipped <- ls.skipped + 1;
+       Essa_obs.Counter.incr t.c_lane_skipped
+     end
+     else
        match
-         let summary = Essa.Engine.run_auction t.engine ~keyword:q.keyword in
+         Fault.before_execute t.faults ~seq:q.seq;
+         let deadline_ns =
+           match t.deadline_budget_ns with
+           | None -> None
+           | Some budget -> Some (Int64.add q.enqueue_ns (Int64.of_int budget))
+         in
+         let summary =
+           Essa.Engine.run_auction ?deadline_ns t.engine ~keyword:q.keyword
+         in
+         (match summary.degraded with
+         | None -> ()
+         | Some reason ->
+             t.degraded_total <- t.degraded_total + 1;
+             Essa_obs.Counter.incr t.c_degraded;
+             if reason = Essa.Engine.Unfilled then
+               Essa_obs.Counter.incr t.c_degraded_unfilled);
          let now = Essa_util.Timing.now_ns () in
          Essa_obs.Histogram.record h_latency
            (Int64.to_int (Int64.sub now q.enqueue_ns));
@@ -63,13 +140,29 @@ let lane_loop t ~on_commit ~h_latency ~c_committed mb =
        with
        | () -> ()
        | exception e ->
-           ignore (Atomic.compare_and_set t.error None (Some e)));
+           t.errors_rev <-
+             {
+               lane;
+               seq = q.seq;
+               keyword = q.keyword;
+               exn = e;
+               backtrace = Printexc.get_backtrace ();
+             }
+             :: t.errors_rev;
+           t.failed <- t.failed + 1;
+           Essa_obs.Counter.incr t.c_lane_failures;
+           if ls.restarts < t.max_restarts then begin
+             ls.restarts <- ls.restarts + 1;
+             Essa_obs.Counter.incr t.c_lane_restarts
+           end
+           else ls.lane_degraded <- true);
     Commit_clock.commit t.clock ~seq:q.seq
   in
   let rec loop () =
     match mailbox_pop mb with
     | Stop -> ()
     | Work qs ->
+        Fault.on_lane_work t.faults ~lane;
         List.iter process qs;
         loop ()
   in
@@ -103,9 +196,14 @@ let batcher_loop t ~max_batch ~c_batches ~h_batch_size =
   loop None
 
 let create ?metrics ?(on_commit = fun _ -> ()) ?(queue_capacity = 1024)
-    ?(max_batch = 64) ~workers ~engine () =
+    ?(max_batch = 64) ?(max_restarts = 2) ?deadline_budget_ns
+    ?(faults = Fault.none) ~workers ~engine () =
   if workers < 1 then invalid_arg "Server.create: workers < 1";
   if max_batch < 1 then invalid_arg "Server.create: max_batch < 1";
+  if max_restarts < 0 then invalid_arg "Server.create: max_restarts < 0";
+  (match deadline_budget_ns with
+  | Some b when b <= 0 -> invalid_arg "Server.create: deadline_budget_ns <= 0"
+  | _ -> ());
   let registry =
     match metrics with Some r -> r | None -> Essa_obs.Registry.create ()
   in
@@ -117,10 +215,41 @@ let create ?metrics ?(on_commit = fun _ -> ()) ?(queue_capacity = 1024)
       clock = Commit_clock.create ();
       mailboxes = Array.init workers (fun _ -> mailbox_create ());
       registry;
-      error = Atomic.make None;
+      faults;
+      max_restarts;
+      deadline_budget_ns;
+      lane_states =
+        Array.init workers (fun _ ->
+            { restarts = 0; lane_degraded = false; skipped = 0 });
+      failed = 0;
+      degraded_total = 0;
+      errors_rev = [];
+      c_lane_restarts =
+        Essa_obs.Registry.counter registry "essa.serve.lane_restarts"
+          ~help:"Lane supervisor restarts after an execution failure";
+      c_lane_failures =
+        Essa_obs.Registry.counter registry "essa.serve.lane_failures"
+          ~help:
+            "Query executions that raised (reported with the failing query, \
+             committed without a summary)";
+      c_lane_skipped =
+        Essa_obs.Registry.counter registry "essa.serve.lane_skipped"
+          ~help:
+            "Queries blind-committed by a lane degraded after exhausting \
+             max_restarts";
+      c_degraded =
+        Essa_obs.Registry.counter registry "essa.serve.degraded"
+          ~help:
+            "Auctions degraded by the per-auction deadline budget (cheap \
+             allocation or unfilled)";
+      c_degraded_unfilled =
+        Essa_obs.Registry.counter registry "essa.serve.degraded_unfilled"
+          ~help:
+            "Deadline-degraded auctions served with every slot empty \
+             (bid-program updates shed)";
       batcher = None;
       lanes = [||];
-      stopped = false;
+      final = None;
     }
   in
   let h_latency =
@@ -140,10 +269,10 @@ let create ?metrics ?(on_commit = fun _ -> ()) ?(queue_capacity = 1024)
       ~help:"Queries per drained batch"
   in
   t.lanes <-
-    Array.map
-      (fun mb ->
+    Array.mapi
+      (fun lane mb ->
         Domain.spawn (fun () ->
-            lane_loop t ~on_commit ~h_latency ~c_committed mb))
+            lane_loop t ~lane ~on_commit ~h_latency ~c_committed mb))
       t.mailboxes;
   t.batcher <-
     Some
@@ -157,28 +286,47 @@ let submit t ~keyword =
 
 let accepted t = Ingress.accepted t.ingress
 let shed t = Ingress.shed t.ingress
+let rejected_closed t = Ingress.rejected_closed t.ingress
 let depth t = Ingress.depth t.ingress
 let committed t = Commit_clock.next t.clock
+let lane_restarts t = Array.map (fun ls -> ls.restarts) t.lane_states
 
 let await_committed t ~count =
   if count > 0 then Commit_clock.wait_past t.clock ~seq:(count - 1)
 
 let flush t = await_committed t ~count:(Ingress.accepted t.ingress)
 
-let stop t =
-  if not t.stopped then begin
-    t.stopped <- true;
-    Ingress.close t.ingress;
-    Option.iter Domain.join t.batcher;
-    Array.iter Domain.join t.lanes
-  end;
-  (match Atomic.get t.error with Some e -> raise e | None -> ());
+let collect t =
   {
     accepted = Ingress.accepted t.ingress;
     shed = Ingress.shed t.ingress;
+    rejected_closed = Ingress.rejected_closed t.ingress;
     committed = Commit_clock.next t.clock;
+    failed = t.failed;
+    skipped = Array.fold_left (fun acc ls -> acc + ls.skipped) 0 t.lane_states;
+    degraded = t.degraded_total;
+    lane_restarts =
+      Array.fold_left (fun acc ls -> acc + ls.restarts) 0 t.lane_states;
     revenue = Essa.Engine.total_revenue t.engine;
+    errors = List.rev t.errors_rev;
   }
+
+let stop t =
+  (match t.final with
+  | Some _ -> ()
+  | None ->
+      Ingress.close t.ingress;
+      Option.iter Domain.join t.batcher;
+      Array.iter Domain.join t.lanes;
+      (* The tallies at shutdown are part of the result even when lanes
+         failed (they used to vanish behind a re-raised exception);
+         [errors] carries every failure with its query.  Caching makes
+         [stop] idempotent: later calls return the same snapshot. *)
+      t.final <- Some (collect t));
+  Option.get t.final
+
+let errors t =
+  match t.final with Some s -> s.errors | None -> List.rev t.errors_rev
 
 let engine t = t.engine
 let metrics t = t.registry

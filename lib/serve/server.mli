@@ -1,5 +1,5 @@
 (** The keyword-sharded auction server: bounded ingress → batcher →
-    shard-affine lanes → deterministic commit.
+    shard-affine lanes → deterministic commit, under lane supervision.
 
     A [t] owns one {!Essa.Engine.t} and a standing fleet of domains: one
     batcher and [workers] lane domains.  Producers {!submit} queries
@@ -11,9 +11,10 @@
     per-keyword FIFO order).
 
     {b Determinism contract}: for the same engine seed and the same
-    accepted query sequence, the served stream — every summary delivered
-    to [on_commit], the engine's final advertiser states, clicks and
-    total revenue — is bit-identical to running the same queries through
+    accepted query sequence, as long as {e no fault fires and no deadline
+    trips}, the served stream — every summary delivered to [on_commit],
+    the engine's final advertiser states, clicks and total revenue — is
+    bit-identical to running the same queries through
     [Engine.run_auction] serially, for any [workers] count.  The ROI
     heuristic's cross-keyword coupling (global spend, global auction
     clock, one shared click stream) makes auction execution a serial
@@ -23,17 +24,44 @@
     worker pool (if configured) fans each auction's winner determination
     out across domains ([`Rh] tree top-k, [`Rhtalu] per-slot TA).
 
+    {b Fault tolerance}: a lane whose execution raises (engine or
+    [on_commit] exception) no longer poisons the fleet.  The supervisor
+    records an {!error} report carrying the failing query, still commits
+    that sequence number (the clock never stalls), and applies the
+    policy: restart the lane up to [max_restarts] times, then degrade it
+    (remaining queries on that lane blind-commit, counted as [skipped],
+    while the other lanes keep serving).  An optional per-auction
+    deadline budget degrades slow auctions instead of letting them stall
+    the stream (see {!Essa.Engine.degrade}); once a fault has fired or a
+    deadline tripped, bit-identity is off the table by construction —
+    the run is degraded, and says so in its stats, counters and
+    summaries.
+
     The in-flight window is bounded (at most one executing batch plus one
     staged batch beyond the ingress queue), so the ingress queue is the
     real backpressure surface: sustained overload fills it and sheds. *)
 
 type t
 
+type error = {
+  lane : int;  (** the lane whose execution raised *)
+  seq : int;  (** the failing query's arrival sequence number *)
+  keyword : int;  (** the failing query's keyword *)
+  exn : exn;
+  backtrace : string;
+}
+
 type stats = {
   accepted : int;  (** queries admitted (all of them committed) *)
   shed : int;  (** queries rejected by the bounded ingress queue *)
-  committed : int;  (** auctions executed and committed *)
+  rejected_closed : int;  (** submissions after shutdown began *)
+  committed : int;  (** sequence numbers committed (= accepted at stop) *)
+  failed : int;  (** executions that raised; one {!error} each *)
+  skipped : int;  (** blind-committed by a degraded lane *)
+  degraded : int;  (** auctions degraded by the deadline budget *)
+  lane_restarts : int;  (** supervisor restarts, summed over lanes *)
   revenue : int;  (** engine total revenue, cents *)
+  errors : error list;  (** every failure report, in commit order *)
 }
 
 val create :
@@ -41,6 +69,9 @@ val create :
   ?on_commit:(Essa.Engine.summary -> unit) ->
   ?queue_capacity:int ->
   ?max_batch:int ->
+  ?max_restarts:int ->
+  ?deadline_budget_ns:int ->
+  ?faults:Fault.t ->
   workers:int ->
   engine:Essa.Engine.t ->
   unit ->
@@ -50,27 +81,49 @@ val create :
     (>= 1; keep it below the core count in production — the batcher and
     any engine-internal pool are additional domains).  [queue_capacity]
     (default 1024) bounds the ingress queue; [max_batch] (default 64)
-    bounds one batch.  [on_commit] is invoked for every auction, in
-    commit (= arrival) order, on the committing lane's domain while it
-    holds the commit turn — keep it cheap, it is on the serial path.
+    bounds one batch.  [on_commit] is invoked for every {e executed}
+    auction (deadline-degraded ones included; failed and skipped queries
+    deliver no summary), in commit (= arrival) order, on the committing
+    lane's domain while it holds the commit turn — keep it cheap, it is
+    on the serial path.
+    [max_restarts] (default 2) is the supervisor policy: failures a lane
+    absorbs by restarting before it degrades ([essa.serve.lane_restarts]
+    counts restarts, [essa.serve.lane_failures] failures,
+    [essa.serve.lane_skipped] blind commits by degraded lanes).
+    [deadline_budget_ns] arms per-auction deadlines at
+    [enqueue_ns + budget] — queueing delay counts, so a stalled stream
+    sheds its backlog's work instead of compounding the stall
+    ([essa.serve.degraded] / [essa.serve.degraded_unfilled] count trips).
+    [faults] arms the {!Fault} switchboard (default {!Fault.none}).
     [metrics] is the registry the pipeline gauges/counters/histograms
     register into (default: a fresh private one; the engine keeps its
     own unless you created it with this registry).
-    @raise Invalid_argument on [workers < 1], [queue_capacity < 1] or
-    [max_batch < 1]. *)
+    @raise Invalid_argument on [workers < 1], [queue_capacity < 1],
+    [max_batch < 1], [max_restarts < 0] or a non-positive budget. *)
 
 val submit : t -> keyword:int -> Ingress.outcome
 (** Non-blocking admission of a query; [Shed] when the bounded queue is
-    full.  Safe from any domain.
+    full, [Closed] after {!stop} began.  Safe from any domain.
     @raise Invalid_argument on a keyword outside the engine's universe
     (bad input is an error, not load to shed). *)
 
 val accepted : t -> int
 val shed : t -> int
+
+val rejected_closed : t -> int
+(** Submissions rejected because shutdown had begun (not overload). *)
+
 val depth : t -> int
 
 val committed : t -> int
 (** Auctions committed so far (the commit clock's position). *)
+
+val lane_restarts : t -> int array
+(** Per-lane supervisor restart counts (index = lane).  Stable once
+    {!stop} has returned; racy-but-tear-free reads while running. *)
+
+val errors : t -> error list
+(** Failure reports so far, in commit order.  Stable after {!stop}. *)
 
 val await_committed : t -> count:int -> unit
 (** Block until at least [count] auctions have committed. *)
@@ -81,9 +134,10 @@ val flush : t -> unit
 val stop : t -> stats
 (** Close the ingress queue, serve everything already accepted, join all
     domains and return the final tallies.  After [stop] the engine may be
-    inspected again (final states, metrics).  If a lane failed (engine or
-    [on_commit] exception), the first failure is re-raised here — after
-    the fleet has been joined, so no domain leaks. *)
+    inspected again (final states, metrics).  Never raises on lane
+    failure: the failures are in [stats.errors] (with their queries) and
+    the tallies at failure time are preserved.  Idempotent — later calls
+    return the same snapshot. *)
 
 val engine : t -> Essa.Engine.t
 val metrics : t -> Essa_obs.Registry.t

@@ -46,8 +46,16 @@ let percentile a p =
 
 let median a = percentile a 50.0
 
+(* Float.compare, not polymorphic min/max: under the latter a NaN's
+   effect depended on its array position (min nan x = x but min x nan =
+   nan), so two permutations of the same data disagreed.  This orders by
+   Float.compare — the NaN policy [sorted_copy] documents (NaNs sort
+   first): any NaN present is the minimum, and never the maximum unless
+   the array is all-NaN. *)
 let min_max a =
   if Array.length a = 0 then invalid_arg "Stats.min_max: empty array";
   Array.fold_left
-    (fun (lo, hi) x -> (min lo x, max hi x))
+    (fun (lo, hi) x ->
+      ( (if Float.compare x lo < 0 then x else lo),
+        if Float.compare x hi > 0 then x else hi ))
     (a.(0), a.(0)) a

@@ -17,7 +17,11 @@ val percentile : float array -> float -> float
     scrambling the order.  @raise Invalid_argument on NaN [p]. *)
 
 val min_max : float array -> float * float
-(** Smallest and largest element.  @raise Invalid_argument on empty. *)
+(** Smallest and largest element under [Float.compare] — the same NaN
+    policy as {!percentile}'s sort (NaNs order first), so the result is
+    independent of element order: with any NaN present the minimum is
+    NaN, and the maximum is the largest non-NaN value (NaN only for an
+    all-NaN array).  @raise Invalid_argument on empty. *)
 
 val sum : float array -> float
 (** Kahan-compensated sum. *)

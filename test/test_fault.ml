@@ -1,0 +1,457 @@
+(* Fault-tolerance tests for the serving pipeline: the Fault switchboard
+   itself, the lane supervisor (restart, then degrade), and the deadline
+   degradation ladder — at the engine level with a scripted clock (no
+   sleeps, fully deterministic) and at the server level with injected
+   slow auctions.
+
+   The sleep-based scenarios (lane stall recovery, server-level deadline
+   trips) are gated behind ESSA_TEST_FAULTS=1 — CI runs them; the default
+   suite stays sleep-free. *)
+
+open Essa_serve
+
+let extended = Sys.getenv_opt "ESSA_TEST_FAULTS" <> None
+
+let worker_counts =
+  let extra =
+    match Option.map int_of_string_opt (Sys.getenv_opt "ESSA_TEST_DOMAINS") with
+    | Some (Some d) when d >= 1 -> d
+    | _ -> 3
+  in
+  List.sort_uniq compare [ 1; 2; extra ]
+
+let counter registry name =
+  match Essa_obs.Registry.find registry name with
+  | Some (Essa_obs.Registry.Counter c) -> Essa_obs.Counter.value c
+  | _ -> Alcotest.failf "missing counter %s" name
+
+(* Same observable state the equivalence suite compares. *)
+let fingerprint engine =
+  let n = Essa.Engine.n engine and nk = Essa.Engine.num_keywords engine in
+  let fleet = Essa.Engine.fleet engine in
+  let advs =
+    List.init n (fun adv ->
+        let st = Essa_strategy.Roi_fleet.state fleet ~adv in
+        let per_kw =
+          List.init nk (fun kw ->
+              ( Essa.Engine.bid engine ~adv ~keyword:kw,
+                Essa_strategy.Roi_state.gained st ~keyword:kw,
+                Essa_strategy.Roi_state.spent st ~keyword:kw ))
+        in
+        (Essa_strategy.Roi_state.amt_spent st, per_kw))
+  in
+  (Essa.Engine.total_revenue engine, Essa.Engine.auctions_run engine, advs)
+
+let strip (s : Essa.Engine.summary) =
+  ( s.keyword,
+    Array.to_list s.assignment,
+    Array.to_list s.prices,
+    Array.to_list s.clicks,
+    s.revenue,
+    s.degraded )
+
+let run_serial workload ~method_ ~queries =
+  let engine = Essa_sim.Workload.make_engine workload ~method_ in
+  let summaries =
+    Array.to_list
+      (Array.map
+         (fun kw -> strip (Essa.Engine.run_auction engine ~keyword:kw))
+         queries)
+  in
+  (summaries, fingerprint engine)
+
+let run_served ?deadline_budget_ns ?max_restarts ~faults workload ~method_
+    ~workers ~queries () =
+  let engine = Essa_sim.Workload.make_engine workload ~method_ in
+  let acc = ref [] in
+  let server =
+    Server.create ~workers ~max_batch:5
+      ~queue_capacity:(max 1 (Array.length queries))
+      ?deadline_budget_ns ?max_restarts ~faults
+      ~on_commit:(fun s -> acc := strip s :: !acc)
+      ~engine ()
+  in
+  Array.iter
+    (fun kw ->
+      match Server.submit server ~keyword:kw with
+      | Ingress.Accepted _ -> ()
+      | Ingress.Shed | Ingress.Closed ->
+          Alcotest.fail "rejected with capacity = query count")
+    queries;
+  let stats = Server.stop server in
+  (List.rev !acc, fingerprint engine, stats, server)
+
+let workload () =
+  Essa_sim.Workload.section5 ~seed:61 ~n:40 ~k:4 ~num_keywords:6
+    ~budgeted_fraction:0.25 ()
+
+(* ------------------------------------------------------------------ *)
+(* The switchboard itself *)
+
+let test_parse_roundtrip () =
+  let cases =
+    [
+      ("exn@7", Fault.Engine_exn { seq = 7 });
+      ("slow@3:20", Fault.Slow_auction { seq = 3; delay_ns = 20_000_000 });
+      ("stall@1:50", Fault.Lane_stall { lane = 1; delay_ns = 50_000_000 });
+    ]
+  in
+  List.iter
+    (fun (s, spec) ->
+      (match Fault.parse s with
+      | Ok parsed ->
+          Alcotest.(check bool) (s ^ " parses") true (parsed = spec)
+      | Error e -> Alcotest.failf "%s: %s" s e);
+      match Fault.parse (Fault.to_string spec) with
+      | Ok reparsed ->
+          Alcotest.(check bool) (s ^ " roundtrips") true (reparsed = spec)
+      | Error e -> Alcotest.failf "roundtrip %s: %s" s e)
+    cases;
+  List.iter
+    (fun bad ->
+      match Fault.parse bad with
+      | Ok _ -> Alcotest.failf "%S should not parse" bad
+      | Error _ -> ())
+    [ ""; "exn"; "exn@"; "exn@x"; "exn@-1"; "slow@3"; "slow@3:0";
+      "stall@1:-5"; "boom@1"; "slow@:5" ]
+
+let test_create_validates () =
+  Alcotest.check_raises "negative seq"
+    (Invalid_argument "Fault.create: negative seq") (fun () ->
+      ignore (Fault.create [ Engine_exn { seq = -1 } ]));
+  Alcotest.check_raises "non-positive delay"
+    (Invalid_argument "Fault.create: non-positive delay") (fun () ->
+      ignore (Fault.create [ Slow_auction { seq = 0; delay_ns = 0 } ]))
+
+let test_fires_once () =
+  let faults = Fault.create [ Engine_exn { seq = 4 } ] in
+  Fault.before_execute faults ~seq:3 (* no match: no-op *);
+  (try
+     Fault.before_execute faults ~seq:4;
+     Alcotest.fail "armed fault did not fire"
+   with Fault.Injected 4 -> ());
+  (* Each spec fires at most once: the retried sequence executes. *)
+  Fault.before_execute faults ~seq:4
+
+(* ------------------------------------------------------------------ *)
+(* Lane supervision *)
+
+let test_restart_stream_completes () =
+  (* A lane crash mid-stream: the supervisor restarts the lane, the
+     failing query is reported (not silently dropped), every other query
+     executes, and the committed stream is exactly the serial run over
+     the surviving queries — commit order included. *)
+  let workload = workload () in
+  let queries = Essa_sim.Workload.queries workload ~seed:62 ~count:120 in
+  let fail_seq = 37 in
+  let survivors =
+    Array.of_list
+      (List.filteri (fun i _ -> i <> fail_seq) (Array.to_list queries))
+  in
+  let serial = run_serial workload ~method_:`Rhtalu ~queries:survivors in
+  List.iter
+    (fun workers ->
+      let summaries, fp, stats, server =
+        run_served
+          ~faults:(Fault.create [ Fault.Engine_exn { seq = fail_seq } ])
+          workload ~method_:`Rhtalu ~workers ~queries ()
+      in
+      let label fmt = Printf.sprintf fmt workers in
+      Alcotest.(check bool)
+        (label "served = serial over survivors (workers=%d)")
+        true
+        ((summaries, fp) = serial);
+      Alcotest.(check int) (label "all committed (workers=%d)") stats.accepted
+        stats.committed;
+      Alcotest.(check int) (label "one failure (workers=%d)") 1 stats.failed;
+      Alcotest.(check int) (label "one restart (workers=%d)") 1
+        stats.lane_restarts;
+      Alcotest.(check int) (label "no skips (workers=%d)") 0 stats.skipped;
+      Alcotest.(check int)
+        (label "restart array agrees (workers=%d)")
+        1
+        (Array.fold_left ( + ) 0 (Server.lane_restarts server));
+      (match stats.errors with
+      | [ e ] ->
+          Alcotest.(check int) (label "error seq (workers=%d)") fail_seq e.seq;
+          Alcotest.(check int)
+            (label "error keyword (workers=%d)")
+            queries.(fail_seq) e.keyword;
+          Alcotest.(check bool)
+            (label "error exn (workers=%d)")
+            true
+            (e.exn = Fault.Injected fail_seq)
+      | es -> Alcotest.failf "expected 1 error, got %d" (List.length es));
+      let registry = Server.metrics server in
+      Alcotest.(check int) (label "failures counter (workers=%d)") 1
+        (counter registry "essa.serve.lane_failures");
+      Alcotest.(check int) (label "restarts counter (workers=%d)") 1
+        (counter registry "essa.serve.lane_restarts"))
+    worker_counts
+
+let test_degrade_after_max_restarts () =
+  (* max_restarts = 0: the first failure degrades the lane, which then
+     blind-commits its remaining queries.  With one worker that is every
+     query after the failure. *)
+  let workload = workload () in
+  let total = 80 and fail_seq = 20 in
+  let queries = Essa_sim.Workload.queries workload ~seed:63 ~count:total in
+  let summaries, _, stats, server =
+    run_served ~max_restarts:0
+      ~faults:(Fault.create [ Fault.Engine_exn { seq = fail_seq } ])
+      workload ~method_:`Rh ~workers:1 ~queries ()
+  in
+  Alcotest.(check int) "all committed" total stats.committed;
+  Alcotest.(check int) "one failure" 1 stats.failed;
+  Alcotest.(check int) "no restarts" 0 stats.lane_restarts;
+  Alcotest.(check int) "rest skipped" (total - fail_seq - 1) stats.skipped;
+  Alcotest.(check int) "summaries only before the failure" fail_seq
+    (List.length summaries);
+  Alcotest.(check int) "skipped counter agrees" stats.skipped
+    (counter (Server.metrics server) "essa.serve.lane_skipped")
+
+let test_degraded_lane_keeps_fleet_live () =
+  (* Two lanes, restarts exhausted immediately: only the crashing lane's
+     shard degrades; the other lane keeps serving every query. *)
+  let workload = workload () in
+  let total = 120 and fail_seq = 15 in
+  let queries = Essa_sim.Workload.queries workload ~seed:64 ~count:total in
+  let workers = 2 in
+  let fail_shard = Shard.of_keyword ~shards:workers queries.(fail_seq) in
+  let expected_skipped = ref 0 in
+  Array.iteri
+    (fun i kw ->
+      if i > fail_seq && Shard.of_keyword ~shards:workers kw = fail_shard then
+        incr expected_skipped)
+    queries;
+  let summaries, _, stats, _ =
+    run_served ~max_restarts:0
+      ~faults:(Fault.create [ Fault.Engine_exn { seq = fail_seq } ])
+      workload ~method_:`Rhtalu ~workers ~queries ()
+  in
+  Alcotest.(check int) "all committed" total stats.committed;
+  Alcotest.(check int) "only the failing shard skipped" !expected_skipped
+    stats.skipped;
+  Alcotest.(check bool) "other lane kept serving" true (!expected_skipped < total - fail_seq - 1);
+  Alcotest.(check int) "every query accounted for" total
+    (List.length summaries + stats.failed + stats.skipped)
+
+let test_armed_but_unfired_is_bit_identical () =
+  (* The contract's boundary: faults armed but never firing (sequence
+     beyond the stream) change nothing — the served stream is still
+     bit-identical to serial, for every worker count. *)
+  let workload = workload () in
+  let queries = Essa_sim.Workload.queries workload ~seed:65 ~count:90 in
+  let serial = run_serial workload ~method_:`Rhtalu ~queries in
+  List.iter
+    (fun workers ->
+      let summaries, fp, stats, _ =
+        run_served
+          ~faults:(Fault.create [ Fault.Engine_exn { seq = 10_000 } ])
+          ~deadline_budget_ns:1_000_000_000 (* 1 s: never trips here *)
+          workload ~method_:`Rhtalu ~workers ~queries ()
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "bit-identical (workers=%d)" workers)
+        true
+        ((summaries, fp) = serial);
+      Alcotest.(check int) "nothing degraded" 0 stats.degraded;
+      Alcotest.(check int) "nothing failed" 0 stats.failed)
+    worker_counts
+
+let test_stop_idempotent_after_failure () =
+  let workload = workload () in
+  let queries = Essa_sim.Workload.queries workload ~seed:66 ~count:40 in
+  let _, _, stats, server =
+    run_served
+      ~faults:(Fault.create [ Fault.Engine_exn { seq = 5 } ])
+      workload ~method_:`Rh ~workers:2 ~queries ()
+  in
+  (* run_served already stopped once; stop again and compare. *)
+  let again = Server.stop server in
+  Alcotest.(check bool) "same snapshot" true (stats = again);
+  Alcotest.(check int) "errors accessor agrees" (List.length stats.errors)
+    (List.length (Server.errors server))
+
+(* ------------------------------------------------------------------ *)
+(* Deadline degradation ladder (engine level, scripted clock) *)
+
+let make_clocked_engine workload ~clock =
+  Essa.Engine.create ~clock ~reserve:0 ~pricing:`Gsp ~method_:`Rhtalu
+    ~ctr:(Essa_sim.Workload.ctr workload)
+    ~states:(Essa_sim.Workload.fresh_states workload)
+    ~user_seed:99 ()
+
+let test_engine_unfilled_tier () =
+  let workload = workload () in
+  (* Clock pinned past the deadline: already blown at the start check. *)
+  let engine = make_clocked_engine workload ~clock:(fun () -> 100L) in
+  let s = Essa.Engine.run_auction ~deadline_ns:50L engine ~keyword:0 in
+  Alcotest.(check bool) "degraded unfilled" true (s.degraded = Some Essa.Engine.Unfilled);
+  Alcotest.(check bool) "all slots empty" true
+    (Array.for_all Option.is_none s.assignment);
+  Alcotest.(check bool) "no prices" true (Array.for_all (( = ) 0) s.prices);
+  Alcotest.(check bool) "no clicks" true (Array.for_all not s.clicks);
+  Alcotest.(check int) "no revenue" 0 s.revenue;
+  Alcotest.(check int) "auction still counted" 1
+    (Essa.Engine.auctions_run engine);
+  let registry = Essa.Engine.metrics engine in
+  Alcotest.(check int) "unfilled counter" 1
+    (counter registry "essa.auction.degraded_unfilled");
+  Alcotest.(check int) "cheap counter untouched" 0
+    (counter registry "essa.auction.degraded_cheap");
+  (* The ladder is per-auction: the next query (no deadline) runs full. *)
+  let s2 = Essa.Engine.run_auction engine ~keyword:0 in
+  Alcotest.(check bool) "next auction full path" true (s2.degraded = None);
+  Alcotest.(check int) "time advanced through both" 2 s2.auction_time
+
+let test_engine_cheap_tier () =
+  let workload = workload () in
+  (* First clock read (start check) is inside the budget, every later
+     read is past it: exactly the post-program-eval rung trips. *)
+  let calls = ref 0 in
+  let clock () =
+    incr calls;
+    if !calls = 1 then 0L else 1_000L
+  in
+  let engine = make_clocked_engine workload ~clock in
+  let s = Essa.Engine.run_auction ~deadline_ns:500L engine ~keyword:1 in
+  Alcotest.(check bool) "degraded cheap" true
+    (s.degraded = Some Essa.Engine.Cheap_allocation);
+  Alcotest.(check bool) "allocation filled" true
+    (Array.exists Option.is_some s.assignment);
+  (* A degraded allocation is still a real one: billing is consistent. *)
+  let billed = ref 0 in
+  Array.iteri (fun j c -> if c then billed := !billed + s.prices.(j)) s.clicks;
+  Alcotest.(check int) "revenue = billed clicks" !billed s.revenue;
+  let registry = Essa.Engine.metrics engine in
+  Alcotest.(check int) "cheap counter" 1
+    (counter registry "essa.auction.degraded_cheap");
+  Alcotest.(check int) "unfilled counter untouched" 0
+    (counter registry "essa.auction.degraded_unfilled")
+
+let test_engine_no_deadline_never_degrades () =
+  let workload = workload () in
+  (* Even with a clock reading absurdly late, no deadline = no ladder. *)
+  let engine = make_clocked_engine workload ~clock:(fun () -> Int64.max_int) in
+  let s = Essa.Engine.run_auction engine ~keyword:2 in
+  Alcotest.(check bool) "full path" true (s.degraded = None)
+
+(* ------------------------------------------------------------------ *)
+(* Sleep-based scenarios (ESSA_TEST_FAULTS=1) *)
+
+let test_stall_recovery () =
+  (* An unresponsive lane holds the commit clock; once it wakes the
+     backlog drains and — with no deadline armed — the stream is still
+     bit-identical to serial.  Recovery must hold for any worker count. *)
+  let workload = workload () in
+  let queries = Essa_sim.Workload.queries workload ~seed:67 ~count:100 in
+  let serial = run_serial workload ~method_:`Rhtalu ~queries in
+  List.iter
+    (fun workers ->
+      let summaries, fp, stats, _ =
+        run_served
+          ~faults:
+            (Fault.create [ Fault.Lane_stall { lane = 0; delay_ns = 50_000_000 } ])
+          workload ~method_:`Rhtalu ~workers ~queries ()
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "stalled run = serial (workers=%d)" workers)
+        true
+        ((summaries, fp) = serial);
+      Alcotest.(check int) "all committed" stats.accepted stats.committed)
+    worker_counts
+
+let test_server_deadline_degrades () =
+  (* A 60 ms injected stall on the first auction against a 5 ms budget:
+     the first query (and the backlog queued behind it, whose enqueue
+     times are equally stale) must degrade rather than stall the stream.
+     Margins are 12x so scheduling noise cannot flip the outcome. *)
+  let workload = workload () in
+  let queries = Essa_sim.Workload.queries workload ~seed:68 ~count:60 in
+  let summaries, _, stats, server =
+    run_served
+      ~faults:
+        (Fault.create [ Fault.Slow_auction { seq = 0; delay_ns = 60_000_000 } ])
+      ~deadline_budget_ns:5_000_000 workload ~method_:`Rhtalu ~workers:2
+      ~queries ()
+  in
+  Alcotest.(check int) "all committed" stats.accepted stats.committed;
+  Alcotest.(check int) "no failures" 0 stats.failed;
+  Alcotest.(check bool) "deadline tripped" true (stats.degraded > 0);
+  (match summaries with
+  | (_, _, _, _, _, degraded) :: _ ->
+      Alcotest.(check bool) "first auction degraded unfilled" true
+        (degraded = Some Essa.Engine.Unfilled)
+  | [] -> Alcotest.fail "no summaries");
+  let registry = Server.metrics server in
+  Alcotest.(check int) "serve degraded counter" stats.degraded
+    (counter registry "essa.serve.degraded");
+  Alcotest.(check bool) "unfilled counted" true
+    (counter registry "essa.serve.degraded_unfilled" > 0)
+
+let test_crash_and_deadline_combined () =
+  (* Everything at once: a stall, a crash and a tight budget.  The
+     stream must still complete — every accepted sequence commits. *)
+  let workload = workload () in
+  let queries = Essa_sim.Workload.queries workload ~seed:69 ~count:80 in
+  let _, _, stats, _ =
+    run_served
+      ~faults:
+        (Fault.create
+           [
+             Fault.Lane_stall { lane = 0; delay_ns = 30_000_000 };
+             Fault.Engine_exn { seq = 10 };
+             Fault.Slow_auction { seq = 30; delay_ns = 30_000_000 };
+           ])
+      ~deadline_budget_ns:5_000_000 workload ~method_:`Rhtalu ~workers:2
+      ~queries ()
+  in
+  Alcotest.(check int) "all committed" stats.accepted stats.committed;
+  Alcotest.(check int) "crash reported" 1 stats.failed;
+  Alcotest.(check bool) "deadline tripped" true (stats.degraded > 0)
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let gated tests = if extended then tests else [] in
+  Alcotest.run "essa_serve faults"
+    [
+      ( "switchboard",
+        [
+          Alcotest.test_case "parse/to_string" `Quick test_parse_roundtrip;
+          Alcotest.test_case "create validates" `Quick test_create_validates;
+          Alcotest.test_case "fires once" `Quick test_fires_once;
+        ] );
+      ( "supervision",
+        [
+          Alcotest.test_case "crash -> restart -> stream completes" `Quick
+            test_restart_stream_completes;
+          Alcotest.test_case "restarts exhausted -> lane degrades" `Quick
+            test_degrade_after_max_restarts;
+          Alcotest.test_case "degraded lane keeps fleet live" `Quick
+            test_degraded_lane_keeps_fleet_live;
+          Alcotest.test_case "armed-but-unfired = bit-identical" `Quick
+            test_armed_but_unfired_is_bit_identical;
+          Alcotest.test_case "stop idempotent after failure" `Quick
+            test_stop_idempotent_after_failure;
+        ] );
+      ( "deadline",
+        [
+          Alcotest.test_case "unfilled tier (scripted clock)" `Quick
+            test_engine_unfilled_tier;
+          Alcotest.test_case "cheap tier (scripted clock)" `Quick
+            test_engine_cheap_tier;
+          Alcotest.test_case "no deadline, no degrade" `Quick
+            test_engine_no_deadline_never_degrades;
+        ] );
+      ( "injected-timing",
+        gated
+          [
+            Alcotest.test_case "lane stall recovery" `Slow test_stall_recovery;
+            Alcotest.test_case "server deadline degrades" `Slow
+              test_server_deadline_degrades;
+            Alcotest.test_case "crash + stall + deadline" `Slow
+              test_crash_and_deadline_combined;
+          ] );
+    ]

@@ -75,6 +75,40 @@ let test_histogram_overflow_bucket () =
   Alcotest.(check (float 1e-9)) "p100 from overflow bucket" (float_of_int big)
     (Histogram.percentile h 100.0)
 
+let test_histogram_percentile_edges () =
+  (* All samples landing in a single bucket: estimates must stay inside
+     the observed [min, max] envelope, with the extremes exact. *)
+  let h = Histogram.create ~bounds:[| 10; 100 |] () in
+  List.iter (Histogram.record h) [ 3; 5; 7 ];
+  Alcotest.(check (float 1e-9)) "one bucket: p0 = min" 3.0
+    (Histogram.percentile h 0.0);
+  Alcotest.(check (float 1e-9)) "one bucket: p100 = max" 7.0
+    (Histogram.percentile h 100.0);
+  let p50 = Histogram.percentile h 50.0 in
+  Alcotest.(check bool) "one bucket: p50 within envelope" true
+    (p50 >= 3.0 && p50 <= 7.0);
+  (* Every sample in the overflow bucket (> last bound): the bucket's
+     effective upper edge is the observed max, not infinity, so the
+     interpolation cannot run away. *)
+  let o = Histogram.create ~bounds:[| 10 |] () in
+  List.iter (Histogram.record o) [ 15; 18; 20 ];
+  Alcotest.(check (float 1e-9)) "overflow: p0 = min" 15.0
+    (Histogram.percentile o 0.0);
+  Alcotest.(check (float 1e-9)) "overflow: p100 = max" 20.0
+    (Histogram.percentile o 100.0);
+  let p50 = Histogram.percentile o 50.0 in
+  Alcotest.(check bool) "overflow: p50 within envelope" true
+    (p50 >= 15.0 && p50 <= 20.0);
+  (* A single sample: every quantile is that sample. *)
+  let s = Histogram.create () in
+  Histogram.record s 42;
+  List.iter
+    (fun q ->
+      Alcotest.(check (float 1e-9))
+        (Printf.sprintf "single sample p%g" q)
+        42.0 (Histogram.percentile s q))
+    [ 0.0; 50.0; 99.9; 100.0 ]
+
 let test_histogram_merge () =
   let a = Histogram.create () and b = Histogram.create () in
   for v = 1 to 500 do
@@ -96,10 +130,21 @@ let test_histogram_merge () =
 let test_histogram_merge_mismatch () =
   let a = Histogram.create ~bounds:[| 1; 10; 100 |] () in
   let b = Histogram.create () in
-  Alcotest.(check bool) "layout mismatch rejected" true
+  Alcotest.(check bool) "custom-vs-default rejected" true
     (match Histogram.merge_into ~into:a b with
     | exception Invalid_argument _ -> true
-    | () -> false)
+    | () -> false);
+  (* Two custom layouts that disagree must also be rejected — a silent
+     merge would misattribute every sample past the shorter layout. *)
+  let c = Histogram.create ~bounds:[| 1; 10 |] () in
+  Histogram.record a 5;
+  Histogram.record c 5;
+  Alcotest.(check bool) "mismatched custom bounds rejected" true
+    (match Histogram.merge_into ~into:a c with
+    | exception Invalid_argument _ -> true
+    | () -> false);
+  Alcotest.(check int) "target untouched by rejected merge" 1
+    (Histogram.count a)
 
 let test_histogram_invalid_bounds () =
   let rejected bounds =
@@ -317,6 +362,8 @@ let () =
           Alcotest.test_case "percentile clamps q" `Quick
             test_histogram_percentile_clamps_q;
           Alcotest.test_case "overflow bucket" `Quick test_histogram_overflow_bucket;
+          Alcotest.test_case "percentile edges" `Quick
+            test_histogram_percentile_edges;
           Alcotest.test_case "merge" `Quick test_histogram_merge;
           Alcotest.test_case "merge mismatch" `Quick test_histogram_merge_mismatch;
           Alcotest.test_case "invalid bounds" `Quick test_histogram_invalid_bounds;

@@ -76,7 +76,8 @@ let run_served workload ~method_ ~workers ~max_batch ~queries =
     (fun kw ->
       match Server.submit server ~keyword:kw with
       | Ingress.Accepted _ -> ()
-      | Ingress.Shed -> Alcotest.fail "shed with capacity = query count")
+      | Ingress.Shed -> Alcotest.fail "shed with capacity = query count"
+      | Ingress.Closed -> Alcotest.fail "closed while still submitting")
     queries;
   let stats = Server.stop server in
   Alcotest.(check int) "all accepted" (Array.length queries) stats.accepted;
@@ -261,8 +262,17 @@ let test_ingress_bounded_and_shedding () =
     (List.map (fun (q : Ingress.query) -> q.keyword) drained);
   Alcotest.(check int) "one left" 1 (Ingress.depth ingress);
   Ingress.close ingress;
-  Alcotest.(check bool) "closed sheds" true
-    (Ingress.submit ingress ~keyword:0 = Shed);
+  (* Closed is its own outcome, not a shed: shutdown must not read as
+     overload (and clients must not retry it). *)
+  Alcotest.(check bool) "closed rejects as Closed" true
+    (Ingress.submit ingress ~keyword:0 = Closed);
+  Alcotest.(check int) "shed unchanged by close" 2 (Ingress.shed ingress);
+  Alcotest.(check int) "rejected_closed" 1 (Ingress.rejected_closed ingress);
+  (match Essa_obs.Registry.find registry "essa.serve.rejected_closed" with
+  | Some (Essa_obs.Registry.Counter c) ->
+      Alcotest.(check int) "rejected_closed counter" 1
+        (Essa_obs.Counter.value c)
+  | _ -> Alcotest.fail "rejected_closed counter not registered");
   Alcotest.(check int) "drain remainder" 1 (List.length (Ingress.drain ingress ~max:8));
   Alcotest.(check (list int)) "drain after close: empty" []
     (List.map (fun (q : Ingress.query) -> q.seq) (Ingress.drain ingress ~max:8))

@@ -327,7 +327,27 @@ let test_stats_sort_nan_first () =
 
 let test_stats_min_max () =
   Alcotest.(check (pair (float 0.) (float 0.))) "min/max" (1.0, 9.0)
-    (Stats.min_max [| 3.; 1.; 9.; 4. |])
+    (Stats.min_max [| 3.; 1.; 9.; 4. |]);
+  Alcotest.check_raises "empty" (Invalid_argument "Stats.min_max: empty array")
+    (fun () -> ignore (Stats.min_max [||]))
+
+let test_stats_min_max_nan () =
+  (* Regression: under polymorphic min/max a NaN's effect depended on its
+     position (min nan x = x but min x nan = nan), so permutations of the
+     same data disagreed.  The Float.compare policy is position-free:
+     any NaN is the minimum, and the maximum ignores NaNs unless the
+     array is all-NaN. *)
+  let check_perm label a =
+    let lo, hi = Stats.min_max a in
+    Alcotest.(check bool) (label ^ ": min is NaN") true (Float.is_nan lo);
+    Alcotest.(check (float 0.)) (label ^ ": max ignores NaN") 2.0 hi
+  in
+  check_perm "nan first" [| Float.nan; 1.; 2. |];
+  check_perm "nan middle" [| 1.; Float.nan; 2. |];
+  check_perm "nan last" [| 1.; 2.; Float.nan |];
+  let lo, hi = Stats.min_max [| Float.nan; Float.nan |] in
+  Alcotest.(check bool) "all-NaN: min" true (Float.is_nan lo);
+  Alcotest.(check bool) "all-NaN: max" true (Float.is_nan hi)
 
 let prop_kahan_sum =
   qtest "kahan sum close to sorted naive sum"
@@ -481,6 +501,7 @@ let () =
           Alcotest.test_case "percentile clamp" `Quick test_stats_percentile_clamp;
           Alcotest.test_case "NaN sorts first" `Quick test_stats_sort_nan_first;
           Alcotest.test_case "min_max" `Quick test_stats_min_max;
+          Alcotest.test_case "min_max NaN policy" `Quick test_stats_min_max_nan;
           prop_kahan_sum;
         ] );
       ( "domain_pool",
