@@ -22,11 +22,17 @@ type row = {
   auctions_per_s : float option;
   degraded : int option;  (* serving rows: deadline-degraded auctions *)
   lane_restarts : int option;  (* serving rows: supervisor restarts *)
+  commit_mode : string option;  (* serving rows: "global" | "per-keyword" *)
+  turnstile_waits : int option;  (* serving rows: blocked global commits *)
+  lane_imbalance : float option;  (* serving rows: (max-min)/max committed *)
+  replay_ok : bool option;  (* per-keyword rows: replay checker verdict *)
 }
 
 let bare name ns_per_run =
   { name; ns_per_run; p50_ns = None; p95_ns = None; p99_ns = None;
-    auctions_per_s = None; degraded = None; lane_restarts = None }
+    auctions_per_s = None; degraded = None; lane_restarts = None;
+    commit_mode = None; turnstile_waits = None; lane_imbalance = None;
+    replay_ok = None }
 
 let histogram_of registry hname =
   match Essa_obs.Registry.find registry hname with
@@ -344,14 +350,16 @@ let serve_rows ~quota =
       auctions_per_s = Some (float_of_int auctions /. (elapsed /. 1e9));
     }
   in
-  let served_row ?deadline_budget_ns ~workers () =
+  let served_row ?deadline_budget_ns ?(commit = `Global) ~workers () =
+    let partitioned = commit = `Per_keyword in
     let registry = Essa_obs.Registry.create () in
     let engine =
-      Essa_sim.Workload.make_engine ~metrics:registry workload ~method_:`Rhtalu
+      Essa_sim.Workload.make_engine ~metrics:registry ~partitioned workload
+        ~method_:`Rhtalu
     in
     let server =
       Essa_serve.Server.create ~metrics:registry ~workers ~queue_capacity:256
-        ~max_batch:32 ?deadline_budget_ns ~engine ()
+        ~max_batch:32 ?deadline_budget_ns ~commit ~engine ()
     in
     let stream = Essa_sim.Workload.query_stream workload ~seed:17 in
     ignore
@@ -364,8 +372,20 @@ let serve_rows ~quota =
         ~keywords:(Seq.drop warmup stream) ~total:auctions ~window:16 ()
     in
     let stats = Essa_serve.Server.stop server in
+    (* The witness contract is cheap enough to check inside the bench:
+       replay every per-keyword commit log on a fresh engine. *)
+    let replay_ok =
+      if not partitioned then None
+      else
+        let fresh =
+          Essa_sim.Workload.make_engine ~partitioned workload ~method_:`Rhtalu
+        in
+        Some (Essa_serve.Replay.ok (Essa_serve.Replay.check_server server ~fresh))
+    in
     let p50, p95, p99 = percentiles_of registry "essa.serve.commit_latency_ns" in
     let tag =
+      (match commit with `Global -> "" | `Per_keyword -> "/commit=per-keyword")
+      ^
       match deadline_budget_ns with
       | None -> ""
       | Some ns -> Printf.sprintf "/deadline=%dus" (ns / 1000)
@@ -381,12 +401,25 @@ let serve_rows ~quota =
       auctions_per_s = Some report.throughput_per_s;
       degraded = Some stats.degraded;
       lane_restarts = Some stats.lane_restarts;
+      commit_mode =
+        Some
+          (match stats.commit_mode with
+          | `Global -> "global"
+          | `Per_keyword -> "per-keyword");
+      turnstile_waits = Some stats.turnstile_waits;
+      lane_imbalance = Some stats.lane_imbalance;
+      replay_ok;
     }
   in
   (serial_row :: List.map (fun workers -> served_row ~workers ()) [ 1; 2; 4 ])
   (* A deliberately tight budget: how fast the pipeline drains when most
      auctions degrade to the cheap single-pass allocation. *)
   @ [ served_row ~workers:2 ~deadline_budget_ns:20_000 () ]
+  (* The per-keyword commit mode: no cross-keyword turnstile, each row
+     replay-checked against its recorded spend snapshots. *)
+  @ List.map
+      (fun workers -> served_row ~commit:`Per_keyword ~workers ())
+      [ 1; 2 ]
 
 (* ------------------------------------------------------------------ *)
 (* Runner *)
@@ -454,8 +487,10 @@ let run_group ~quota group =
    {schema, quota_s, results: [{name, ns_per_run|null}]} — the contract
    the CI bench-smoke job checks and archives.  Rows backed by a latency
    histogram additionally carry p50_ns/p95_ns/p99_ns, and serving rows
-   auctions_per_s plus integer degraded / lane_restarts tallies; all
-   additive, the schema version is unchanged. *)
+   auctions_per_s plus integer degraded / lane_restarts tallies, a
+   commit_mode string, turnstile_waits / lane_imbalance load stats and
+   (per-keyword rows) a replay_ok verdict; all additive, the schema
+   version is unchanged. *)
 let json_escape s =
   let buf = Buffer.create (String.length s + 8) in
   String.iter
@@ -487,14 +522,26 @@ let write_json ~path ~quota rows =
         | None -> ""
         | Some v -> Printf.sprintf ", \"%s\": %d" key v
       in
+      let opt_str key = function
+        | None -> ""
+        | Some v -> Printf.sprintf ", \"%s\": \"%s\"" key (json_escape v)
+      in
+      let opt_bool key = function
+        | None -> ""
+        | Some v -> Printf.sprintf ", \"%s\": %b" key v
+      in
       Printf.fprintf oc
-        "%s\n    { \"name\": \"%s\", \"ns_per_run\": %s%s%s%s%s%s%s }"
+        "%s\n    { \"name\": \"%s\", \"ns_per_run\": %s%s%s%s%s%s%s%s%s%s%s }"
         (if i = 0 then "" else ",")
         (json_escape r.name) (num r.ns_per_run)
         (opt "p50_ns" r.p50_ns) (opt "p95_ns" r.p95_ns) (opt "p99_ns" r.p99_ns)
         (opt "auctions_per_s" r.auctions_per_s)
         (opt_int "degraded" r.degraded)
-        (opt_int "lane_restarts" r.lane_restarts))
+        (opt_int "lane_restarts" r.lane_restarts)
+        (opt_str "commit_mode" r.commit_mode)
+        (opt_int "turnstile_waits" r.turnstile_waits)
+        (opt "lane_imbalance" r.lane_imbalance)
+        (opt_bool "replay_ok" r.replay_ok))
     rows;
   Printf.fprintf oc "\n  ]\n}\n";
   close_out oc;

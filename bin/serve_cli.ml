@@ -24,6 +24,14 @@ let method_of_string = function
         ("unknown method " ^ other ^ " (expected lp|lp-dense|h|rh|rhtalu)");
       exit 2
 
+let commit_of_string = function
+  | "global" -> `Global
+  | "per-keyword" -> `Per_keyword
+  | other ->
+      prerr_endline
+        ("unknown commit mode " ^ other ^ " (expected global | per-keyword)");
+      exit 2
+
 let percentiles registry name =
   match Essa_obs.Registry.find registry name with
   | Some (Essa_obs.Registry.Histogram h) when Essa_obs.Histogram.count h > 0 ->
@@ -35,7 +43,7 @@ let percentiles registry name =
 
 let run n slots keywords method_ seed workers queue_capacity max_batch auctions
     rate window pool_size parallel_threshold metrics fault_specs
-    deadline_budget_ms max_restarts =
+    deadline_budget_ms max_restarts commit replay_check =
   let faults =
     match
       List.fold_left
@@ -66,6 +74,21 @@ let run n slots keywords method_ seed workers queue_capacity max_batch auctions
             exit 2)
   in
   let method_ = method_of_string method_ in
+  let commit = commit_of_string commit in
+  let partitioned = commit = `Per_keyword in
+  (match (commit, method_) with
+  | `Per_keyword, (`Lp | `Lp_dense | `H) ->
+      prerr_endline "--commit per-keyword requires --method rh or rhtalu";
+      exit 2
+  | _ -> ());
+  if partitioned && pool_size <> None then begin
+    prerr_endline "--commit per-keyword cannot be combined with --engine-pool";
+    exit 2
+  end;
+  if replay_check && not partitioned then begin
+    prerr_endline "--replay-check requires --commit per-keyword";
+    exit 2
+  end;
   let workload =
     Essa_sim.Workload.section5 ~seed ~n ~k:slots ~num_keywords:keywords ()
   in
@@ -78,11 +101,12 @@ let run n slots keywords method_ seed workers queue_capacity max_batch auctions
   with_opt_pool (fun pool ->
       let engine =
         Essa_sim.Workload.make_engine ~metrics:registry ?pool
-          ?parallel_threshold workload ~method_
+          ?parallel_threshold ~partitioned workload ~method_
       in
       let server =
         Essa_serve.Server.create ~metrics:registry ~workers ~queue_capacity
-          ~max_batch ~max_restarts ?deadline_budget_ns ~faults ~engine ()
+          ~max_batch ~max_restarts ?deadline_budget_ns ~faults ~commit ~engine
+          ()
       in
       let keywords_seq =
         Essa_sim.Workload.query_stream workload ~seed:(seed + 1)
@@ -115,6 +139,11 @@ let run n slots keywords method_ seed workers queue_capacity max_batch auctions
         report.offered;
       Format.printf "accepted: %d   shed: %d   committed: %d@." report.accepted
         report.shed stats.committed;
+      Format.printf "commit:   %s   turnstile-waits %d   lane-imbalance %.3f@."
+        (match stats.commit_mode with
+        | `Global -> "global"
+        | `Per_keyword -> "per-keyword")
+        stats.turnstile_waits stats.lane_imbalance;
       (match Essa_serve.Fault.specs faults with
       | [] -> ()
       | specs ->
@@ -151,6 +180,35 @@ let run n slots keywords method_ seed workers queue_capacity max_batch auctions
             (p50 /. 1e3) (p95 /. 1e3) (p99 /. 1e3)
       | None -> ());
       Format.printf "revenue:  %d cents@." stats.revenue;
+      if replay_check then begin
+        (* A second partitioned engine over the same workload and seeds,
+           on a private registry so the replay's auctions don't pollute
+           the served run's metrics. *)
+        let fresh =
+          Essa_sim.Workload.make_engine ~partitioned workload ~method_
+        in
+        let r = Essa_serve.Replay.check_server server ~fresh in
+        Format.printf
+          "replay:   %s   (%d auctions: replay %s, clocks %s, conservation \
+           %s, budgets %s)@."
+          (if Essa_serve.Replay.ok r then "OK" else "FAILED")
+          r.auctions_checked
+          (if r.replay_ok then "ok" else "MISMATCH")
+          (if r.clocks_monotone then "monotone" else "NON-MONOTONE")
+          (if r.spend_conserved then
+             Printf.sprintf "ok (%d = %d = %d cents)" r.log_revenue
+               r.served_revenue r.replayed_revenue
+           else
+             Printf.sprintf "BROKEN (log %d, served %d, replayed %d)"
+               r.log_revenue r.served_revenue r.replayed_revenue)
+          (if r.budgets_respected then "ok" else "VIOLATED");
+        List.iter
+          (fun (m : Essa_serve.Replay.mismatch) ->
+            Format.printf "  mismatch: keyword %d position %d field %s@."
+              m.keyword m.position m.field)
+          r.mismatches;
+        if not (Essa_serve.Replay.ok r) then exit 1
+      end;
       match metrics_fmt with
       | None -> ()
       | Some fmt ->
@@ -232,13 +290,30 @@ let max_restarts_t =
            ~doc:"Lane failures tolerated (with restart) before the \
                  supervisor degrades the lane to skipping.")
 
+let commit_t =
+  Arg.(value & opt string "global"
+       & info [ "commit" ]
+           ~doc:"Commit discipline: global (turnstile, bit-identical to a \
+                 serial run) or per-keyword (partitioned engine, each \
+                 keyword commits in its own FIFO order with no \
+                 cross-keyword wait; rh/rhtalu only).")
+
+let replay_check_t =
+  Arg.(value & flag
+       & info [ "replay-check" ]
+           ~doc:"After a per-keyword run, re-execute every keyword's commit \
+                 log from its recorded spend snapshots on a fresh \
+                 partitioned engine and verify bit-for-bit reproduction, \
+                 clock monotonicity, spend conservation and budget \
+                 admission; exit 1 on any violation.")
+
 let run_cmd =
   Cmd.v
     (Cmd.info "run" ~doc:"Serve a query stream through the sharded pipeline")
     Term.(const run $ n_t $ slots_t $ keywords_t $ method_t $ seed_t
           $ workers_t $ queue_t $ batch_t $ auctions_t $ rate_t $ window_t
           $ pool_t $ threshold_t $ metrics_t $ fault_t $ deadline_t
-          $ max_restarts_t)
+          $ max_restarts_t $ commit_t $ replay_check_t)
 
 let main =
   Cmd.group

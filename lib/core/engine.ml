@@ -10,6 +10,11 @@ type summary = {
   clicks : bool array;
   revenue : int;
   degraded : degrade option;
+  spend_snapshot : int array option;
+      (* Partitioned full/cheap path: the per-advertiser spend snapshot
+         every decision in this auction read — the witness that makes the
+         summary replayable bit-for-bit.  None on the serial path and on
+         Unfilled ticks (which read no spend). *)
 }
 
 type pricing = [ `Gsp | `Vcg | `Pay_as_bid ]
@@ -107,6 +112,36 @@ let engine_metrics registry =
     c_degraded_unfilled;
   }
 
+(* Per-auction mutable workspace: the full weight matrix buffer (`Lp`,
+   `H`, `Rh`) and the reduced-pricing-view scratch, owned by whoever runs
+   the auction so [run_auction] allocates O(k²) small views instead of a
+   fresh Set/Hashtbl/list chain per auction.  [stamp.(i) = stamp_token]
+   marks advertiser i as a member of the current auction's reduced set,
+   and [local_of.(i)] is then its row in the reduced matrix.  The serial
+   engine owns one; the partitioned engine gives each keyword its own
+   (lazily), so concurrent lanes never share scratch. *)
+type scratch = {
+  w_buffer : float array array;
+  stamp : int array;
+  mutable stamp_token : int;
+  local_of : int array;
+  reduced_advs : int array;            (* capacity k·(k+1) candidates *)
+  reduced_w_rows : float array array;  (* capacity k·(k+1) rows of k *)
+}
+
+(* Per-keyword execution state of the partitioned mode: an independent
+   click-sampling stream (split off the user seed by keyword), private
+   scratch, a private total-latency histogram (histograms are not
+   thread-safe; drained by [sync_partition_metrics]), and a local revenue
+   tally.  Exactly one lane owns each keyword, so no field needs
+   synchronization. *)
+type epartition = {
+  p_rng : Essa_util.Rng.t;
+  p_scratch : scratch;
+  p_h_total : Essa_obs.Histogram.t;
+  mutable p_revenue : int;
+}
+
 type t = {
   method_ : method_;
   pricing : pricing;
@@ -127,18 +162,14 @@ type t = {
   mutable time : int;
   mutable total_revenue : int;
   mutable auctions : int;
-  (* Reusable buffer for the full weight matrix (`Lp`, `H`, `Rh`). *)
-  w_buffer : float array array;
-  (* Scratch state for the reduced pricing view, owned by the engine so
-     [run_auction] allocates O(k²) small views instead of a fresh
-     Set/Hashtbl/list chain per auction.  [stamp.(i) = stamp_token] marks
-     advertiser i as a member of the current auction's reduced set, and
-     [local_of.(i)] is then its row in the reduced matrix. *)
-  stamp : int array;
-  mutable stamp_token : int;
-  local_of : int array;
-  reduced_advs : int array;            (* capacity k·(k+1) candidates *)
-  reduced_w_rows : float array array;  (* capacity k·(k+1) rows of k *)
+  scratch : scratch;
+  (* Partitioned mode: per-keyword execution state (lazy — only auctioned
+     keywords allocate), and atomic cross-keyword tallies replacing the
+     three mutable counters above. *)
+  is_partitioned : bool;
+  partitions : epartition option array;
+  a_revenue : int Atomic.t;
+  a_auctions : int Atomic.t;
   (* Standing worker pool for the `Rh` top-list scan on large fleets.
      Must not be a pool this engine is itself running on (a sweep
      harness's point pool): nested Domain_pool.run deadlocks. *)
@@ -154,8 +185,8 @@ type t = {
 }
 
 let create ?metrics ?pool ?(parallel_threshold = 4096)
-    ?(clock = Essa_util.Timing.now_ns) ~reserve ~pricing ~method_ ~ctr ~states
-    ~user_seed () =
+    ?(clock = Essa_util.Timing.now_ns) ?(partitioned = false) ~reserve ~pricing
+    ~method_ ~ctr ~states ~user_seed () =
   let n = Array.length ctr in
   if n = 0 then invalid_arg "Engine.create: no advertisers";
   let k = Array.length ctr.(0) in
@@ -185,10 +216,26 @@ let create ?metrics ?pool ?(parallel_threshold = 4096)
              "Engine.create: state %d has %d keywords where state 0 has %d" i
              nk_i nk))
     states;
+  if partitioned then begin
+    (match method_ with
+    | `Rh | `Rhtalu -> ()
+    | `Lp | `Lp_dense | `H ->
+        invalid_arg "Engine.create: partitioned mode supports `Rh and `Rhtalu only");
+    if pool <> None then
+      invalid_arg
+        "Engine.create: partitioned mode is lane-parallel; an engine pool \
+         cannot be shared across lanes"
+  end;
   let fleet =
-    match method_ with
-    | `Lp | `Lp_dense | `H | `Rh -> Essa_strategy.Roi_fleet.tabular states
-    | `Rhtalu -> Essa_strategy.Roi_fleet.logical states
+    match (method_, partitioned) with
+    | (`Lp | `Lp_dense | `H | `Rh), false -> Essa_strategy.Roi_fleet.tabular states
+    | `Rhtalu, false -> Essa_strategy.Roi_fleet.logical states
+    (* Partitioned `Rh runs the compiled per-program loop (the tabular
+       rows' relevance columns are cross-keyword mutable state, so the
+       boxed-row fleet cannot be keyword-partitioned). *)
+    | `Rh, true -> Essa_strategy.Roi_fleet.naive_p states
+    | `Rhtalu, true -> Essa_strategy.Roi_fleet.logical_p states
+    | (`Lp | `Lp_dense | `H), true -> assert false
   in
   let desc_sort entries =
     Array.sort
@@ -219,6 +266,16 @@ let create ?metrics ?pool ?(parallel_threshold = 4096)
   (* The per-slot top lists carry k+1 candidates each, so the reduced set
      never exceeds k·(k+1) (nor n). *)
   let reduced_capacity = min n (k * (k + 1)) in
+  let make_scratch ~with_w =
+    {
+      w_buffer = (if with_w then Array.make_matrix n k 0.0 else [||]);
+      stamp = Array.make n 0;
+      stamp_token = 0;
+      local_of = Array.make n 0;
+      reduced_advs = Array.make reduced_capacity 0;
+      reduced_w_rows = Array.make_matrix reduced_capacity k 0.0;
+    }
+  in
   {
     method_;
     pricing;
@@ -235,12 +292,14 @@ let create ?metrics ?pool ?(parallel_threshold = 4096)
     time = 0;
     total_revenue = 0;
     auctions = 0;
-    w_buffer = Array.make_matrix n k 0.0;
-    stamp = Array.make n 0;
-    stamp_token = 0;
-    local_of = Array.make n 0;
-    reduced_advs = Array.make reduced_capacity 0;
-    reduced_w_rows = Array.make_matrix reduced_capacity k 0.0;
+    scratch = make_scratch ~with_w:(not partitioned || method_ = `Rh);
+    is_partitioned = partitioned;
+    partitions =
+      (if partitioned then
+         Array.make (Essa_strategy.Roi_fleet.num_keywords fleet) None
+       else [||]);
+    a_revenue = Atomic.make 0;
+    a_auctions = Atomic.make 0;
     pool;
     parallel_threshold;
     clock;
@@ -250,21 +309,61 @@ let create ?metrics ?pool ?(parallel_threshold = 4096)
 let n t = t.n
 let k t = t.k
 let num_keywords t = t.nk
-let time t = t.time
-let total_revenue t = t.total_revenue
-let auctions_run t = t.auctions
+let partitioned t = t.is_partitioned
+let time t = if t.is_partitioned then Atomic.get t.a_auctions else t.time
+let total_revenue t =
+  if t.is_partitioned then Atomic.get t.a_revenue else t.total_revenue
+let auctions_run t =
+  if t.is_partitioned then Atomic.get t.a_auctions else t.auctions
 let fleet t = t.fleet
 let metrics t = t.m.registry
+
+let keyword_time t ~keyword =
+  if not t.is_partitioned then
+    invalid_arg "Engine.keyword_time: serial engine (one global clock)";
+  Essa_strategy.Roi_fleet.keyword_time t.fleet ~keyword
+
+(* The owning lane initializes its keywords' partitions on first use;
+   cells are disjoint across lanes, so no synchronization is needed.  The
+   keyed RNG split is pure (the base stream is never advanced), so the
+   partition family is independent of first-touch order. *)
+let partition_of t ~keyword =
+  match t.partitions.(keyword) with
+  | Some p -> p
+  | None ->
+      let reduced_capacity = min t.n (t.k * (t.k + 1)) in
+      let p =
+        {
+          p_rng = Essa_util.Rng.split t.user_rng ~key:keyword;
+          p_scratch =
+            {
+              w_buffer =
+                (if t.method_ = `Rh then Array.make_matrix t.n t.k 0.0
+                 else [||]);
+              stamp = Array.make t.n 0;
+              stamp_token = 0;
+              local_of = Array.make t.n 0;
+              reduced_advs = Array.make reduced_capacity 0;
+              reduced_w_rows = Array.make_matrix reduced_capacity t.k 0.0;
+            };
+          p_h_total = Essa_obs.Histogram.create ();
+          p_revenue = 0;
+        }
+      in
+      t.partitions.(keyword) <- Some p;
+      p
 
 let bid t ~adv ~keyword = Essa_strategy.Roi_fleet.bid t.fleet ~adv ~keyword
 
 (* Full expected-revenue matrix for the naive methods: w(i,j) = ctr(i,j)
-   times the advertiser's current bid on the queried keyword. *)
-let fill_weights t ~keyword =
+   times the advertiser's current bid on the queried keyword.  Fills the
+   given scratch's buffer (the engine's own on the serial path, the
+   keyword partition's on the partitioned path). *)
+let fill_weights t s ~keyword =
   let prem = t.premiums.(keyword) in
   for i = 0 to t.n - 1 do
     let bid_c = Essa_strategy.Roi_fleet.bid t.fleet ~adv:i ~keyword in
-    let ctr_row = t.ctr.(i) and w_row = t.w_buffer.(i) in
+    let ctr_row = t.ctr.(i) and w_row = s.w_buffer.(i) in
     if bid_c < t.reserve then
       (* Below the per-click reserve: cannot win any slot (zero-weight
          edges are never matched). *)
@@ -279,7 +378,7 @@ let fill_weights t ~keyword =
       done
     end
   done;
-  t.w_buffer
+  s.w_buffer
 
 (* Per-slot top lists via the threshold algorithm: sorted access on the
    static ctr list and on the maintained bid lists; the product is the
@@ -378,9 +477,140 @@ let cheap_allocation t ~keyword =
     (Essa_util.Topk.to_sorted_list top);
   (assignment, prices)
 
+(* Reduced pricing view out of the scratch buffers: a stamp pass dedupes
+   the top lists (no Set), the candidate ids are sorted in place
+   (ascending, as before — ≤ k·(k+1) ints), and the weight rows are
+   refilled rather than reallocated.  The two [Array.sub] views are the
+   only per-auction allocation left, and they are O(k²) pointers,
+   independent of n. *)
+let reduced_from_top t s ~keyword top =
+  s.stamp_token <- s.stamp_token + 1;
+  let token = s.stamp_token in
+  let count = ref 0 in
+  Array.iter
+    (fun lst ->
+      List.iter
+        (fun (i, _) ->
+          if s.stamp.(i) <> token then begin
+            s.stamp.(i) <- token;
+            s.reduced_advs.(!count) <- i;
+            incr count
+          end)
+        lst)
+    top;
+  let advertisers = Array.sub s.reduced_advs 0 !count in
+  Array.sort Int.compare advertisers;
+  let prem = t.premiums.(keyword) in
+  for r = 0 to !count - 1 do
+    let i = advertisers.(r) in
+    s.local_of.(i) <- r;
+    let row = s.reduced_w_rows.(r) in
+    let bid_c = bid t ~adv:i ~keyword in
+    if bid_c < t.reserve then Array.fill row 0 t.k 0.0
+    else begin
+      let b = float_of_int bid_c in
+      row.(0) <- t.ctr.(i).(0) *. (b +. float_of_int prem.(i));
+      for j = 1 to t.k - 1 do
+        row.(j) <- t.ctr.(i).(j) *. b
+      done
+    end
+  done;
+  Essa_obs.Counter.add t.m.c_reduced_candidates !count;
+  (advertisers, Array.sub s.reduced_w_rows 0 !count)
+
+(* Winner determination.  Besides the global assignment, every branch
+   produces a *pricing view*: the weight (sub)matrix and the advertiser
+   index mapping it is expressed in.  The reduced views built from
+   top-(k+1) lists support exact GSP and exact VCG (removing a winner
+   never pushes the removal-optimum outside the lists). *)
+let winner_determination t s ~keyword =
+  match t.method_ with
+  | `Lp ->
+      let w = fill_weights t s ~keyword in
+      (Essa_lp.Assignment_lp.solve ~w (), None, w, None)
+  | `Lp_dense ->
+      let w = fill_weights t s ~keyword in
+      (Essa_lp.Assignment_lp.solve ~solver:`Tableau ~w (), None, w, None)
+  | `H ->
+      let w = fill_weights t s ~keyword in
+      (Essa_matching.Hungarian.solve_classic ~w, None, w, None)
+  | `Rh ->
+      let w = fill_weights t s ~keyword in
+      let top =
+        match t.pool with
+        | Some pool when t.n >= t.parallel_threshold ->
+            Essa_matching.Tree_topk.parallel ~pool ~w ~count:(t.k + 1) ()
+        | _ -> Essa_matching.Reduction.top_per_slot ~w ~count:(t.k + 1)
+      in
+      let advertisers, reduced_w = reduced_from_top t s ~keyword top in
+      let reduced = Essa_matching.Hungarian.solve ~w:reduced_w in
+      let assignment =
+        Array.map (Option.map (fun local -> advertisers.(local))) reduced
+      in
+      (assignment, Some advertisers, reduced_w, Some top)
+  | `Rhtalu ->
+      let top = ta_top_lists t ~keyword ~count:(t.k + 1) in
+      (* The full matrix is never materialized: weights travel inside
+         the top lists and the reduced view. *)
+      let advertisers, reduced_w = reduced_from_top t s ~keyword top in
+      let reduced = Essa_matching.Hungarian.solve ~w:reduced_w in
+      let assignment =
+        Array.map (Option.map (fun local -> advertisers.(local))) reduced
+      in
+      (assignment, Some advertisers, reduced_w, Some top)
+
+let price_assignment t s ~keyword ~assignment ~view_advertisers ~view_w ~top =
+  let ctr ~adv ~slot = t.ctr.(adv).(slot - 1) in
+  let per_click_of_expected ~expected ~slot ~adv =
+    let p = ctr ~adv ~slot in
+    if p <= 0.0 || expected <= 0.0 then 0
+    else int_of_float (Float.ceil ((expected /. p) -. 1e-9))
+  in
+  match t.pricing with
+  | `Gsp ->
+      let prices_opt = Pricing.gsp_per_click ~w:view_w ~ctr ?top ~assignment () in
+      Array.map
+        (function None -> 0 | Some p -> max p t.reserve)
+        prices_opt
+  | `Pay_as_bid ->
+      Array.mapi
+        (fun j0 cell ->
+          match cell with
+          | None -> 0
+          | Some adv ->
+              (* Slot 1 winners owe their Click∧Slot1 premium too. *)
+              bid t ~adv ~keyword
+              + (if j0 = 0 then t.premiums.(keyword).(adv) else 0))
+        assignment
+  | `Vcg ->
+      (* Solve on the pricing view (local indices), then translate. *)
+      let to_local =
+        match view_advertisers with
+        | None -> fun i -> i
+        | Some _ ->
+            (* [reduced_from_top] recorded each candidate's reduced row
+               in [local_of] for this very auction. *)
+            fun i -> s.local_of.(i)
+      in
+      let local_assignment = Array.map (Option.map to_local) assignment in
+      let base = Array.make (Array.length view_w) 0.0 in
+      let payments =
+        Pricing.vcg ~method_:`Rh ~w:view_w ~base ~assignment:local_assignment ()
+      in
+      Array.mapi
+        (fun j0 cell ->
+          match cell with
+          | None -> 0
+          | Some adv ->
+              per_click_of_expected ~expected:payments.(to_local adv)
+                ~slot:(j0 + 1) ~adv)
+        assignment
+
 let run_auction ?deadline_ns t ~keyword =
   if keyword < 0 || keyword >= t.nk then
     invalid_arg (Printf.sprintf "Engine.run_auction: keyword %d" keyword);
+  if t.is_partitioned then
+    invalid_arg "Engine.run_auction: partitioned engine (use run_partitioned)";
   t.time <- t.time + 1;
   t.auctions <- t.auctions + 1;
   Essa_obs.Counter.incr t.m.c_auctions;
@@ -431,6 +661,7 @@ let run_auction ?deadline_ns t ~keyword =
       clicks;
       revenue = !revenue;
       degraded;
+      spend_snapshot = None;
     }
   in
   if over_deadline () then begin
@@ -450,6 +681,7 @@ let run_auction ?deadline_ns t ~keyword =
       clicks = Array.make t.k false;
       revenue = 0;
       degraded = Some Unfilled;
+      spend_snapshot = None;
     }
   end
   else begin
@@ -476,88 +708,9 @@ let run_auction ?deadline_ns t ~keyword =
     finish ~stamp ~assignment ~prices ~degraded:(Some Cheap_allocation)
   end
   else begin
-  let ctr ~adv ~slot = t.ctr.(adv).(slot - 1) in
-  (* Winner determination.  Besides the global assignment, every branch
-     produces a *pricing view*: the weight (sub)matrix and the advertiser
-     index mapping it is expressed in.  The reduced views built from
-     top-(k+1) lists support exact GSP and exact VCG (removing a winner
-     never pushes the removal-optimum outside the lists). *)
-  (* Reduced pricing view out of the engine-owned scratch buffers: a
-     stamp pass dedupes the top lists (no Set), the candidate ids are
-     sorted in place (ascending, as before — ≤ k·(k+1) ints), and the
-     weight rows are refilled rather than reallocated.  The two
-     [Array.sub] views are the only per-auction allocation left, and they
-     are O(k²) pointers, independent of n. *)
-  let reduced_from_top top =
-    t.stamp_token <- t.stamp_token + 1;
-    let token = t.stamp_token in
-    let count = ref 0 in
-    Array.iter
-      (fun lst ->
-        List.iter
-          (fun (i, _) ->
-            if t.stamp.(i) <> token then begin
-              t.stamp.(i) <- token;
-              t.reduced_advs.(!count) <- i;
-              incr count
-            end)
-          lst)
-      top;
-    let advertisers = Array.sub t.reduced_advs 0 !count in
-    Array.sort Int.compare advertisers;
-    let prem = t.premiums.(keyword) in
-    for r = 0 to !count - 1 do
-      let i = advertisers.(r) in
-      t.local_of.(i) <- r;
-      let row = t.reduced_w_rows.(r) in
-      let bid_c = bid t ~adv:i ~keyword in
-      if bid_c < t.reserve then Array.fill row 0 t.k 0.0
-      else begin
-        let b = float_of_int bid_c in
-        row.(0) <- t.ctr.(i).(0) *. (b +. float_of_int prem.(i));
-        for j = 1 to t.k - 1 do
-          row.(j) <- t.ctr.(i).(j) *. b
-        done
-      end
-    done;
-    Essa_obs.Counter.add t.m.c_reduced_candidates !count;
-    (advertisers, Array.sub t.reduced_w_rows 0 !count)
-  in
+  let s = t.scratch in
   let assignment, view_advertisers, view_w, top =
-    match t.method_ with
-    | `Lp ->
-        let w = fill_weights t ~keyword in
-        (Essa_lp.Assignment_lp.solve ~w (), None, w, None)
-    | `Lp_dense ->
-        let w = fill_weights t ~keyword in
-        (Essa_lp.Assignment_lp.solve ~solver:`Tableau ~w (), None, w, None)
-    | `H ->
-        let w = fill_weights t ~keyword in
-        (Essa_matching.Hungarian.solve_classic ~w, None, w, None)
-    | `Rh ->
-        let w = fill_weights t ~keyword in
-        let top =
-          match t.pool with
-          | Some pool when t.n >= t.parallel_threshold ->
-              Essa_matching.Tree_topk.parallel ~pool ~w ~count:(t.k + 1) ()
-          | _ -> Essa_matching.Reduction.top_per_slot ~w ~count:(t.k + 1)
-        in
-        let advertisers, reduced_w = reduced_from_top top in
-        let reduced = Essa_matching.Hungarian.solve ~w:reduced_w in
-        let assignment =
-          Array.map (Option.map (fun local -> advertisers.(local))) reduced
-        in
-        (assignment, Some advertisers, reduced_w, Some top)
-    | `Rhtalu ->
-        let top = ta_top_lists t ~keyword ~count:(t.k + 1) in
-        (* The full matrix is never materialized: weights travel inside
-           the top lists and the reduced view. *)
-        let advertisers, reduced_w = reduced_from_top top in
-        let reduced = Essa_matching.Hungarian.solve ~w:reduced_w in
-        let assignment =
-          Array.map (Option.map (fun local -> advertisers.(local))) reduced
-        in
-        (assignment, Some advertisers, reduced_w, Some top)
+    winner_determination t s ~keyword
   in
   let stamp =
     let now = Essa_util.Timing.now_ns () in
@@ -565,51 +718,8 @@ let run_auction ?deadline_ns t ~keyword =
       (Int64.to_int (Int64.sub now stamp));
     now
   in
-  let per_click_of_expected ~expected ~slot ~adv =
-    let p = ctr ~adv ~slot in
-    if p <= 0.0 || expected <= 0.0 then 0
-    else int_of_float (Float.ceil ((expected /. p) -. 1e-9))
-  in
   let prices =
-    match t.pricing with
-    | `Gsp ->
-        let prices_opt = Pricing.gsp_per_click ~w:view_w ~ctr ?top ~assignment () in
-        Array.map
-          (function None -> 0 | Some p -> max p t.reserve)
-          prices_opt
-    | `Pay_as_bid ->
-        Array.mapi
-          (fun j0 cell ->
-            match cell with
-            | None -> 0
-            | Some adv ->
-                (* Slot 1 winners owe their Click∧Slot1 premium too. *)
-                bid t ~adv ~keyword
-                + (if j0 = 0 then t.premiums.(keyword).(adv) else 0))
-          assignment
-    | `Vcg ->
-        (* Solve on the pricing view (local indices), then translate. *)
-        let to_local =
-          match view_advertisers with
-          | None -> fun i -> i
-          | Some _ ->
-              (* [reduced_from_top] recorded each candidate's reduced row
-                 in [local_of] for this very auction. *)
-              fun i -> t.local_of.(i)
-        in
-        let local_assignment = Array.map (Option.map to_local) assignment in
-        let base = Array.make (Array.length view_w) 0.0 in
-        let payments =
-          Pricing.vcg ~method_:`Rh ~w:view_w ~base ~assignment:local_assignment ()
-        in
-        Array.mapi
-          (fun j0 cell ->
-            match cell with
-            | None -> 0
-            | Some adv ->
-                per_click_of_expected ~expected:payments.(to_local adv)
-                  ~slot:(j0 + 1) ~adv)
-          assignment
+    price_assignment t s ~keyword ~assignment ~view_advertisers ~view_w ~top
   in
   let stamp =
     let now = Essa_util.Timing.now_ns () in
@@ -619,6 +729,143 @@ let run_auction ?deadline_ns t ~keyword =
   finish ~stamp ~assignment ~prices ~degraded:None
   end
   end
+
+(* Partitioned auction driver, shared by the live path ([run_partitioned],
+   [forced = None]: the deadline ladder decides the degrade tier) and the
+   replay path ([replay_auction], [forced = Some tier]: the recorded tier
+   is re-executed against the recorded snapshot, clock ignored).
+
+   Determinism contract: everything this function reads is either
+   keyword-local (fleet partition state, keyword clock, the per-keyword
+   click RNG — split off the user seed by keyword, so independent of lane
+   interleaving) or the spend snapshot taken at [begin_auction_p] (and
+   recorded in the summary).  Hence the summary is a pure function of
+   (keyword-local history, snapshot, forced tier), which is exactly what
+   the replay checker re-executes.  Phase histograms are skipped (they are
+   not thread-safe); total latency goes to the partition's private
+   histogram, drained by [sync_partition_metrics]. *)
+let run_partitioned_gen ?deadline_ns ?snapshot ~forced t ~keyword =
+  if keyword < 0 || keyword >= t.nk then
+    invalid_arg (Printf.sprintf "Engine.run_partitioned: keyword %d" keyword);
+  if not t.is_partitioned then
+    invalid_arg "Engine.run_partitioned: serial engine (use run_auction)";
+  let p = partition_of t ~keyword in
+  ignore (Atomic.fetch_and_add t.a_auctions 1);
+  Essa_obs.Counter.incr t.m.c_auctions;
+  let t0 = Essa_util.Timing.now_ns () in
+  let over_deadline () =
+    match deadline_ns with
+    | None -> false
+    | Some d -> Int64.compare (t.clock ()) d >= 0
+  in
+  let unfilled =
+    match forced with
+    | Some tier -> tier = Some Unfilled
+    | None -> over_deadline ()
+  in
+  if unfilled then begin
+    (* Shed everything except the keyword clock: no snapshot, no program
+       updates, no RNG consumption — so an Unfilled tick needs no witness
+       to replay ([spend_snapshot = None]). *)
+    let kt = Essa_strategy.Roi_fleet.tick_p t.fleet ~keyword in
+    Essa_obs.Counter.incr t.m.c_degraded_unfilled;
+    let now = Essa_util.Timing.now_ns () in
+    Essa_obs.Histogram.record p.p_h_total (Int64.to_int (Int64.sub now t0));
+    {
+      auction_time = kt;
+      keyword;
+      assignment = Array.make t.k None;
+      prices = Array.make t.k 0;
+      clicks = Array.make t.k false;
+      revenue = 0;
+      degraded = Some Unfilled;
+      spend_snapshot = None;
+    }
+  end
+  else begin
+    let kt, snap =
+      Essa_strategy.Roi_fleet.begin_auction_p t.fleet ~keyword ?snapshot ()
+    in
+    let spend_snapshot = Some (Array.copy snap) in
+    let cheap =
+      match forced with
+      | Some tier -> tier = Some Cheap_allocation
+      | None -> over_deadline ()
+    in
+    let assignment, prices, degraded =
+      if cheap then begin
+        let assignment, prices = cheap_allocation t ~keyword in
+        Essa_obs.Counter.incr t.m.c_degraded_cheap;
+        (assignment, prices, Some Cheap_allocation)
+      end
+      else
+        let assignment, view_advertisers, view_w, top =
+          winner_determination t p.p_scratch ~keyword
+        in
+        let prices =
+          price_assignment t p.p_scratch ~keyword ~assignment
+            ~view_advertisers ~view_w ~top
+        in
+        (assignment, prices, None)
+    in
+    let clicks = Array.make t.k false in
+    let revenue = ref 0 in
+    let filled = ref 0 and clicked_count = ref 0 in
+    Array.iteri
+      (fun j0 cell ->
+        match cell with
+        | None -> ()
+        | Some adv ->
+            incr filled;
+            let clicked = Essa_util.Rng.bernoulli p.p_rng t.ctr.(adv).(j0) in
+            clicks.(j0) <- clicked;
+            if clicked then begin
+              revenue := !revenue + prices.(j0);
+              incr clicked_count
+            end;
+            Essa_strategy.Roi_fleet.record_win_p t.fleet ~adv ~keyword
+              ~price:prices.(j0) ~clicked)
+      assignment;
+    p.p_revenue <- p.p_revenue + !revenue;
+    ignore (Atomic.fetch_and_add t.a_revenue !revenue);
+    Essa_obs.Counter.add t.m.c_revenue !revenue;
+    Essa_obs.Counter.add t.m.c_clicks !clicked_count;
+    Essa_obs.Counter.add t.m.c_slots_filled !filled;
+    let now = Essa_util.Timing.now_ns () in
+    Essa_obs.Histogram.record p.p_h_total (Int64.to_int (Int64.sub now t0));
+    {
+      auction_time = kt;
+      keyword;
+      assignment;
+      prices;
+      clicks;
+      revenue = !revenue;
+      degraded;
+      spend_snapshot;
+    }
+  end
+
+let run_partitioned ?deadline_ns t ~keyword =
+  run_partitioned_gen ?deadline_ns ~forced:None t ~keyword
+
+let replay_auction ?snapshot ~degraded t ~keyword =
+  run_partitioned_gen ?snapshot ~forced:(Some degraded) t ~keyword
+
+let keyword_revenue t ~keyword =
+  if not t.is_partitioned then
+    invalid_arg "Engine.keyword_revenue: serial engine";
+  match t.partitions.(keyword) with None -> 0 | Some p -> p.p_revenue
+
+let sync_partition_metrics t =
+  if not t.is_partitioned then
+    invalid_arg "Engine.sync_partition_metrics: serial engine";
+  Array.iter
+    (function
+      | None -> ()
+      | Some p ->
+          Essa_obs.Histogram.merge_into ~into:t.m.h_total p.p_h_total;
+          Essa_obs.Histogram.reset p.p_h_total)
+    t.partitions
 
 type phase_breakdown = {
   program_eval_ms : float;

@@ -33,6 +33,7 @@ val create :
   ?pool:Essa_util.Domain_pool.t ->
   ?parallel_threshold:int ->
   ?clock:(unit -> int64) ->
+  ?partitioned:bool ->
   reserve:int ->
   pricing:pricing ->
   method_:method_ ->
@@ -69,9 +70,20 @@ val create :
     injecting a scripted clock lets tests pin exactly which degradation
     tier trips, without sleeps.  Latency metrics always read the real
     clock.
+    [partitioned] (default false) builds a keyword-partitioned engine:
+    the fleet runs a partitioned strategy
+    ({!Essa_strategy.Roi_fleet.naive_p} for [`Rh],
+    {!Essa_strategy.Roi_fleet.logical_p} for [`Rhtalu]), each keyword
+    carries its own auction clock, click-sampling RNG stream (split off
+    [user_seed] by keyword) and scratch, and auctions are driven with
+    {!run_partitioned} instead of {!run_auction}.  Different keywords may
+    then be auctioned concurrently from different domains, as long as each
+    keyword has exactly one owning lane.  Only [`Rh] and [`Rhtalu] support
+    it, and [pool] cannot be combined with it.
     @raise Invalid_argument on shape mismatch, probabilities outside
-    [0,1], negative [parallel_threshold], or advertiser states that
-    disagree on the number of keywords. *)
+    [0,1], negative [parallel_threshold], advertiser states that
+    disagree on the number of keywords, or an unsupported [partitioned]
+    combination. *)
 
 val n : t -> int
 val k : t -> int
@@ -100,6 +112,12 @@ type summary = {
       (** [None] on the full path; [Some _] when a deadline degraded this
           auction (see {!degrade}).  Fault-free runs with no deadline are
           always [None], preserving the bit-identity contract. *)
+  spend_snapshot : int array option;
+      (** Partitioned full/cheap path only: the per-advertiser spend
+          snapshot every decision in this auction read — the witness that
+          makes the summary replayable bit-for-bit with {!replay_auction}.
+          [None] on the serial path and on {!Unfilled} ticks (which read
+          no spend). *)
 }
 
 val run_auction : ?deadline_ns:int64 -> t -> keyword:int -> summary
@@ -120,10 +138,57 @@ val run_auction : ?deadline_ns:int64 -> t -> keyword:int -> summary
     bit-identical streams).  The counters
     [essa.auction.degraded_cheap] / [essa.auction.degraded_unfilled]
     record trips.
-    @raise Invalid_argument on a bad keyword index. *)
+    @raise Invalid_argument on a bad keyword index, or on a partitioned
+    engine (use {!run_partitioned}). *)
 
 val total_revenue : t -> int
 val auctions_run : t -> int
+
+(** {2 Partitioned execution}
+
+    A [~partitioned:true] engine decomposes the global auction clock into
+    per-keyword clocks and samples clicks from per-keyword RNG streams, so
+    auctions on {e different} keywords commute: any per-keyword-FIFO
+    interleaving of {!run_partitioned} calls yields the same per-keyword
+    summary streams and the same final advertiser states up to the order
+    atomic spend updates land — which each auction makes explicit by
+    recording the spend snapshot it read.  Concurrency contract: each
+    keyword has exactly one owning lane; calls for different keywords may
+    run concurrently from different domains. *)
+
+val partitioned : t -> bool
+
+val keyword_time : t -> keyword:int -> int
+(** The keyword's local auction clock (0 before its first auction).
+    @raise Invalid_argument on a serial engine. *)
+
+val run_partitioned : ?deadline_ns:int64 -> t -> keyword:int -> summary
+(** Execute one auction on a partitioned engine.  Same degrade ladder as
+    {!run_auction}, with [auction_time] now the keyword-local clock and
+    [spend_snapshot] carrying the replay witness (except {!Unfilled},
+    which only ticks the clock).  Must be called by the keyword's owning
+    lane.
+    @raise Invalid_argument on a bad keyword index or a serial engine. *)
+
+val replay_auction :
+  ?snapshot:int array -> degraded:degrade option -> t -> keyword:int -> summary
+(** Re-execute one auction against a recorded witness: [snapshot] is the
+    recorded [spend_snapshot] (omitted for {!Unfilled}), [degraded] the
+    recorded tier (forced — the live deadline ladder is bypassed).  On a
+    fresh partitioned engine built with the same parameters and driven in
+    each keyword's recorded order, every replayed summary is bit-identical
+    to the recorded one; {!Essa_serve.Replay} packages the full check.
+    @raise Invalid_argument on a bad keyword index or a serial engine. *)
+
+val keyword_revenue : t -> keyword:int -> int
+(** Cents billed on one keyword's auctions (partitioned engines only). *)
+
+val sync_partition_metrics : t -> unit
+(** Drain every keyword partition's private latency histogram into the
+    shared [essa.auction.total_ns] histogram (merge, then reset).  Call
+    from a single domain while no lane is running auctions — e.g. after
+    {!Essa_serve.Server.stop}.
+    @raise Invalid_argument on a serial engine. *)
 
 val bid : t -> adv:int -> keyword:int -> int
 (** Current bid of an advertiser (inspection / tests). *)

@@ -1,11 +1,11 @@
-type t = { mutable value : int }
+type t = int Atomic.t
 
-let create () = { value = 0 }
-let incr t = t.value <- t.value + 1
+let create () = Atomic.make 0
+let incr t = ignore (Atomic.fetch_and_add t 1)
 
 let add t n =
   if n < 0 then invalid_arg "Counter.add: negative increment";
-  t.value <- t.value + n
+  ignore (Atomic.fetch_and_add t n)
 
-let value t = t.value
-let reset t = t.value <- 0
+let value t = Atomic.get t
+let reset t = Atomic.set t 0

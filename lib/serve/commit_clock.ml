@@ -2,14 +2,21 @@ type t = {
   mutex : Mutex.t;
   advanced : Condition.t;
   mutable next : int;
+  mutable waits : int;
 }
 
 let create () =
-  { mutex = Mutex.create (); advanced = Condition.create (); next = 0 }
+  { mutex = Mutex.create (); advanced = Condition.create (); next = 0; waits = 0 }
 
 let next t =
   Mutex.lock t.mutex;
   let v = t.next in
+  Mutex.unlock t.mutex;
+  v
+
+let waits t =
+  Mutex.lock t.mutex;
+  let v = t.waits in
   Mutex.unlock t.mutex;
   v
 
@@ -19,9 +26,15 @@ let await t ~seq =
     Mutex.unlock t.mutex;
     invalid_arg "Commit_clock.await: sequence already committed"
   end;
-  while t.next < seq do
-    Condition.wait t.advanced t.mutex
-  done;
+  if t.next < seq then begin
+    (* Arrived before our turn: a cross-keyword serialization stall.  The
+       per-keyword commit mode exists to make this counter structurally
+       zero. *)
+    t.waits <- t.waits + 1;
+    while t.next < seq do
+      Condition.wait t.advanced t.mutex
+    done
+  end;
   Mutex.unlock t.mutex
 
 let commit t ~seq =

@@ -25,6 +25,13 @@ val create : unit -> t
 val next : t -> int
 (** The sequence number currently allowed to execute. *)
 
+val waits : t -> int
+(** How many {!await} calls arrived before their turn and had to block —
+    the turnstile's cross-keyword serialization stalls.  A lane that
+    awaits its own just-committed successor never counts (it enters at
+    its turn); the per-keyword commit mode replaces the turnstile
+    precisely to drive this to a structural zero. *)
+
 val await : t -> seq:int -> unit
 (** Block until it is [seq]'s turn.  [seq] must not have already passed
     (that would be a protocol violation; raises [Invalid_argument]). *)

@@ -1,0 +1,53 @@
+type t = {
+  total : int Atomic.t;
+  per_keyword : int array;
+  waiters : int Atomic.t;
+  mutex : Mutex.t;
+  advanced : Condition.t;
+}
+
+let create ~num_keywords =
+  if num_keywords < 1 then invalid_arg "Commit_ledger.create: num_keywords < 1";
+  {
+    total = Atomic.make 0;
+    per_keyword = Array.make num_keywords 0;
+    waiters = Atomic.make 0;
+    mutex = Mutex.create ();
+    advanced = Condition.create ();
+  }
+
+let total t = Atomic.get t.total
+
+let keyword_count t ~keyword =
+  if keyword < 0 || keyword >= Array.length t.per_keyword then
+    invalid_arg (Printf.sprintf "Commit_ledger.keyword_count: keyword %d" keyword);
+  t.per_keyword.(keyword)
+
+let commit t ~keyword =
+  if keyword < 0 || keyword >= Array.length t.per_keyword then
+    invalid_arg (Printf.sprintf "Commit_ledger.commit: keyword %d" keyword);
+  (* Keyword cell: single-owner (the keyword's lane), plain write. *)
+  t.per_keyword.(keyword) <- t.per_keyword.(keyword) + 1;
+  ignore (Atomic.fetch_and_add t.total 1);
+  (* Wake waiters only when there are any, so the commit fast path is one
+     fetch-and-add plus one atomic load — no mutex.  The SC total order
+     makes the miss-miss interleaving impossible: a waiter increments
+     [waiters] (under the mutex) before re-checking [total], and we add to
+     [total] before reading [waiters], so either we see the waiter or the
+     waiter sees our count. *)
+  if Atomic.get t.waiters > 0 then begin
+    Mutex.lock t.mutex;
+    Condition.broadcast t.advanced;
+    Mutex.unlock t.mutex
+  end
+
+let wait_until t ~count =
+  if Atomic.get t.total < count then begin
+    Mutex.lock t.mutex;
+    ignore (Atomic.fetch_and_add t.waiters 1);
+    while Atomic.get t.total < count do
+      Condition.wait t.advanced t.mutex
+    done;
+    ignore (Atomic.fetch_and_add t.waiters (-1));
+    Mutex.unlock t.mutex
+  end

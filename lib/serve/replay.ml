@@ -1,0 +1,135 @@
+type mismatch = { keyword : int; position : int; field : string }
+
+type report = {
+  auctions_checked : int;
+  replay_ok : bool;
+  mismatches : mismatch list;
+  clocks_monotone : bool;
+  spend_conserved : bool;
+  budgets_respected : bool;
+  log_revenue : int;
+  served_revenue : int;
+  replayed_revenue : int;
+}
+
+let ok r =
+  r.replay_ok && r.clocks_monotone && r.spend_conserved && r.budgets_respected
+
+let summary_fields_equal (a : Essa.Engine.summary) (b : Essa.Engine.summary) =
+  let diffs = ref [] in
+  let check name cond = if not cond then diffs := name :: !diffs in
+  check "auction_time" (a.auction_time = b.auction_time);
+  check "assignment" (a.assignment = b.assignment);
+  check "prices" (a.prices = b.prices);
+  check "clicks" (a.clicks = b.clicks);
+  check "revenue" (a.revenue = b.revenue);
+  check "degraded" (a.degraded = b.degraded);
+  check "spend_snapshot" (a.spend_snapshot = b.spend_snapshot);
+  !diffs
+
+let check ~served ~fresh ~log =
+  if not (Essa.Engine.partitioned fresh) then
+    invalid_arg "Replay.check: fresh engine must be partitioned";
+  if Essa.Engine.auctions_run fresh <> 0 then
+    invalid_arg "Replay.check: fresh engine already ran auctions";
+  let nk = Essa.Engine.num_keywords served in
+  if Array.length log <> nk then
+    invalid_arg "Replay.check: log length <> num_keywords";
+  let checked = ref 0 in
+  let mismatches = ref [] in
+  let clocks_monotone = ref true in
+  let budgets_respected = ref true in
+  let log_revenue = ref 0 in
+  let served_fleet = Essa.Engine.fleet served in
+  (* Replay keyword by keyword: within a keyword the recorded order is
+     mandatory (the keyword's clock and RNG stream advance per auction);
+     across keywords any order works — that is the point of the recorded
+     snapshots — so the simple loop is enough. *)
+  Array.iteri
+    (fun keyword entries ->
+      let last_time = ref 0 in
+      List.iteri
+        (fun position (s : Essa.Engine.summary) ->
+          incr checked;
+          log_revenue := !log_revenue + s.revenue;
+          (* Per-keyword commit clocks are strictly monotone: each entry
+             consumed exactly one tick. *)
+          if s.auction_time <= !last_time then clocks_monotone := false;
+          last_time := s.auction_time;
+          (* Admission-time budget invariant, on the recorded witness: a
+             clicked winner with an exhausted snapshot could only have won
+             through a slot-1 premium (weight ctr·(0+premium) survives bid
+             retirement), so the invariant is scoped to premium-free
+             winners: their snapshot spend must be strictly under
+             budget. *)
+          (match s.spend_snapshot with
+          | None -> ()
+          | Some snap ->
+              Array.iteri
+                (fun j0 cell ->
+                  match cell with
+                  | Some adv when s.clicks.(j0) -> (
+                      let st =
+                        Essa_strategy.Roi_fleet.state served_fleet ~adv
+                      in
+                      match Essa_strategy.Roi_state.budget st with
+                      | Some b
+                        when Essa_strategy.Roi_state.premium st ~keyword = 0
+                             && snap.(adv) >= b ->
+                          budgets_respected := false
+                      | _ -> ())
+                  | _ -> ())
+                s.assignment);
+          (* Bit-for-bit re-execution from the witness. *)
+          let r =
+            Essa.Engine.replay_auction ?snapshot:s.spend_snapshot
+              ~degraded:s.degraded fresh ~keyword
+          in
+          match summary_fields_equal s r with
+          | [] -> ()
+          | fields ->
+              List.iter
+                (fun field ->
+                  mismatches := { keyword; position; field } :: !mismatches)
+                fields)
+        entries)
+    log;
+  (* Conservation: every clicked price in the log is an advertiser spend
+     delta and a cent of revenue, and nothing else moves spend.  Summed
+     three ways — the log itself, the served engine's atomic tallies, and
+     the replayed engine's — all must agree. *)
+  let served_revenue = Essa.Engine.total_revenue served in
+  let replayed_revenue = Essa.Engine.total_revenue fresh in
+  let fleet_spend engine =
+    let fleet = Essa.Engine.fleet engine in
+    let total = ref 0 in
+    for adv = 0 to Essa.Engine.n engine - 1 do
+      total := !total + Essa_strategy.Roi_fleet.amt_spent fleet ~adv
+    done;
+    !total
+  in
+  let spend_conserved =
+    !log_revenue = served_revenue
+    && !log_revenue = replayed_revenue
+    && !log_revenue = fleet_spend served
+    && !log_revenue = fleet_spend fresh
+  in
+  {
+    auctions_checked = !checked;
+    replay_ok = !mismatches = [];
+    mismatches = List.rev !mismatches;
+    clocks_monotone = !clocks_monotone;
+    spend_conserved;
+    budgets_respected = !budgets_respected;
+    log_revenue = !log_revenue;
+    served_revenue;
+    replayed_revenue;
+  }
+
+let check_server server ~fresh =
+  let served = Server.engine server in
+  let nk = Essa.Engine.num_keywords served in
+  let log =
+    Array.init nk (fun keyword -> Server.commit_log server ~keyword)
+  in
+  check ~served ~fresh ~log

@@ -1,3 +1,5 @@
+type commit_mode = [ `Global | `Per_keyword ]
+
 type error = {
   lane : int;
   seq : int;
@@ -16,8 +18,20 @@ type stats = {
   degraded : int;
   lane_restarts : int;
   revenue : int;
+  commit_mode : commit_mode;
+  turnstile_waits : int;
+  lane_imbalance : float;
   errors : error list;
 }
+
+(* The two commit disciplines.  The turnstile is the serial-equivalence
+   contract made concrete: one global arrival order, one committer at a
+   time.  The ledger only counts: each keyword commits in its own FIFO
+   order (structural — one owning lane per keyword) and nobody ever waits
+   for another keyword. *)
+type commit_impl =
+  | Turnstile of Commit_clock.t
+  | Ledger of Commit_ledger.t
 
 type lane_msg = Work of Ingress.query list | Stop
 
@@ -53,9 +67,8 @@ let mailbox_pop mb =
   Mutex.unlock mb.mb_mutex;
   msg
 
-(* Per-lane supervisor state.  Mutated only by the owning lane, and only
-   while it holds the commit turn, so reads after [Domain.join] (and the
-   turnstile's own mutex) make these data-race-free without atomics. *)
+(* Per-lane supervisor state.  Mutated only by the owning lane; reads
+   after [Domain.join] make these data-race-free without atomics. *)
 type lane_state = {
   mutable restarts : int;  (* failures absorbed by Restart_lane so far *)
   mutable lane_degraded : bool;  (* true once restarts are exhausted *)
@@ -65,36 +78,85 @@ type lane_state = {
 type t = {
   engine : Essa.Engine.t;
   ingress : Ingress.t;
-  clock : Commit_clock.t;
+  commit : commit_impl;
   mailboxes : mailbox array;
   registry : Essa_obs.Registry.t;
   faults : Fault.t;
   max_restarts : int;
   deadline_budget_ns : int option;
   lane_states : lane_state array;
-  (* Aggregates below are written only inside the commit turn (the
-     failure handler and the degrade accounting both run between [await]
-     and [commit]), so like [lane_state] they need no synchronization
-     beyond the turnstile + join. *)
+  tracker : Shard.tracker;
+  (* Per-keyword commit logs (Per_keyword mode; empty in Global mode):
+     each cell has a single writer — the keyword's owning lane — so the
+     refs need no lock; read them after the lanes have joined. *)
+  commit_logs : Essa.Engine.summary list ref array;
+  (* Failure/degrade aggregates.  Under the turnstile these were
+     implicitly serialized; the ledger commits concurrently, so they get
+     their own mutex (cold path: failures and degrades only). *)
+  fail_mutex : Mutex.t;
   mutable failed : int;
   mutable degraded_total : int;
-  mutable errors_rev : error list;  (* commit order, newest first *)
+  mutable errors_rev : error list;  (* newest first *)
   c_lane_restarts : Essa_obs.Counter.t;
   c_lane_failures : Essa_obs.Counter.t;
   c_lane_skipped : Essa_obs.Counter.t;
   c_degraded : Essa_obs.Counter.t;
   c_degraded_unfilled : Essa_obs.Counter.t;
+  (* Enqueue-to-commit latency: the registered histogram plus per-lane
+     private buffers.  Histograms are not thread-safe, so Global lanes
+     (serialized by the turnstile) record straight into the registered
+     one, while Per_keyword lanes record into their own buffer, merged in
+     by [stop]. *)
+  h_latency : Essa_obs.Histogram.t;
+  lane_hists : Essa_obs.Histogram.t array;
+  c_committed : Essa_obs.Counter.t;
   mutable batcher : unit Domain.t option;
   mutable lanes : unit Domain.t array;
   mutable final : stats option;  (* set once by the first [stop] *)
 }
 
+let commit_mode t =
+  match t.commit with Turnstile _ -> `Global | Ledger _ -> `Per_keyword
+
+let record_failure t ~lane ~ls ~(q : Ingress.query) e =
+  Mutex.lock t.fail_mutex;
+  t.errors_rev <-
+    {
+      lane;
+      seq = q.seq;
+      keyword = q.keyword;
+      exn = e;
+      backtrace = Printexc.get_backtrace ();
+    }
+    :: t.errors_rev;
+  t.failed <- t.failed + 1;
+  Mutex.unlock t.fail_mutex;
+  Essa_obs.Counter.incr t.c_lane_failures;
+  if ls.restarts < t.max_restarts then begin
+    ls.restarts <- ls.restarts + 1;
+    Essa_obs.Counter.incr t.c_lane_restarts
+  end
+  else ls.lane_degraded <- true
+
+let note_degraded t reason =
+  Mutex.lock t.fail_mutex;
+  t.degraded_total <- t.degraded_total + 1;
+  Mutex.unlock t.fail_mutex;
+  Essa_obs.Counter.incr t.c_degraded;
+  if reason = Essa.Engine.Unfilled then
+    Essa_obs.Counter.incr t.c_degraded_unfilled
+
+let deadline_of t (q : Ingress.query) =
+  match t.deadline_budget_ns with
+  | None -> None
+  | Some budget -> Some (Int64.add q.enqueue_ns (Int64.of_int budget))
+
 (* The lane body, under supervision.
 
    A failure (engine or [on_commit] exception) while executing query [q]
    never poisons the fleet: the error report — carrying the failing
-   query — is recorded, [q]'s sequence number still commits (the clock
-   must never stall), and the supervisor policy decides what the lane
+   query — is recorded, [q]'s commit still lands (neither commit
+   discipline may stall), and the supervisor policy decides what the lane
    does next:
 
    - [Restart_lane] while [restarts < max_restarts]: the lane's auction
@@ -103,13 +165,19 @@ type t = {
      must survive, so tearing down the domain would buy nothing but a
      spawn); observably it is exactly a supervisor respawn.
    - [Degrade] once restarts are exhausted: the lane stops executing and
-     blind-commits its remaining sequence numbers (counted as
-     [skipped]), keeping the rest of the fleet live — one persistently
-     crashing keyword shard no longer takes the service down. *)
-let lane_loop t ~lane ~on_commit ~h_latency ~c_committed mb =
+     blind-commits its remaining queries (counted as [skipped]), keeping
+     the rest of the fleet live — one persistently crashing keyword shard
+     no longer takes the service down. *)
+let lane_loop t ~lane ~on_commit mb =
   let ls = t.lane_states.(lane) in
+  (* Global: execute under the turnstile (await arrival turn, commit,
+     advance).  Per_keyword: execute immediately — the lane owns every
+     keyword it is handed, per-keyword FIFO is its queue order, and the
+     ledger commit never waits. *)
   let process (q : Ingress.query) =
-    Commit_clock.await t.clock ~seq:q.seq;
+    (match t.commit with
+    | Turnstile clock -> Commit_clock.await clock ~seq:q.seq
+    | Ledger _ -> ());
     (if ls.lane_degraded then begin
        ls.skipped <- ls.skipped + 1;
        Essa_obs.Counter.incr t.c_lane_skipped
@@ -117,46 +185,40 @@ let lane_loop t ~lane ~on_commit ~h_latency ~c_committed mb =
      else
        match
          Fault.before_execute t.faults ~seq:q.seq;
-         let deadline_ns =
-           match t.deadline_budget_ns with
-           | None -> None
-           | Some budget -> Some (Int64.add q.enqueue_ns (Int64.of_int budget))
-         in
+         Shard.note_executed t.tracker ~lane;
+         let deadline_ns = deadline_of t q in
          let summary =
-           Essa.Engine.run_auction ?deadline_ns t.engine ~keyword:q.keyword
+           match t.commit with
+           | Turnstile _ ->
+               Essa.Engine.run_auction ?deadline_ns t.engine ~keyword:q.keyword
+           | Ledger _ ->
+               Essa.Engine.run_partitioned ?deadline_ns t.engine
+                 ~keyword:q.keyword
          in
          (match summary.degraded with
          | None -> ()
-         | Some reason ->
-             t.degraded_total <- t.degraded_total + 1;
-             Essa_obs.Counter.incr t.c_degraded;
-             if reason = Essa.Engine.Unfilled then
-               Essa_obs.Counter.incr t.c_degraded_unfilled);
+         | Some reason -> note_degraded t reason);
          let now = Essa_util.Timing.now_ns () in
-         Essa_obs.Histogram.record h_latency
-           (Int64.to_int (Int64.sub now q.enqueue_ns));
-         Essa_obs.Counter.incr c_committed;
+         let h =
+           match t.commit with
+           | Turnstile _ -> t.h_latency
+           | Ledger _ -> t.lane_hists.(lane)
+         in
+         Essa_obs.Histogram.record h (Int64.to_int (Int64.sub now q.enqueue_ns));
+         Essa_obs.Counter.incr t.c_committed;
+         (match t.commit with
+         | Turnstile _ -> ()
+         | Ledger _ ->
+             let log = t.commit_logs.(q.keyword) in
+             log := summary :: !log);
          on_commit summary
        with
        | () -> ()
-       | exception e ->
-           t.errors_rev <-
-             {
-               lane;
-               seq = q.seq;
-               keyword = q.keyword;
-               exn = e;
-               backtrace = Printexc.get_backtrace ();
-             }
-             :: t.errors_rev;
-           t.failed <- t.failed + 1;
-           Essa_obs.Counter.incr t.c_lane_failures;
-           if ls.restarts < t.max_restarts then begin
-             ls.restarts <- ls.restarts + 1;
-             Essa_obs.Counter.incr t.c_lane_restarts
-           end
-           else ls.lane_degraded <- true);
-    Commit_clock.commit t.clock ~seq:q.seq
+       | exception e -> record_failure t ~lane ~ls ~q e);
+    (match t.commit with
+    | Turnstile clock -> Commit_clock.commit clock ~seq:q.seq
+    | Ledger ledger -> Commit_ledger.commit ledger ~keyword:q.keyword);
+    Shard.note_committed t.tracker ~lane
   in
   let rec loop () =
     match mailbox_pop mb with
@@ -167,6 +229,11 @@ let lane_loop t ~lane ~on_commit ~h_latency ~c_committed mb =
         loop ()
   in
   loop ()
+
+let committed_count t =
+  match t.commit with
+  | Turnstile clock -> Commit_clock.next clock
+  | Ledger ledger -> Commit_ledger.total ledger
 
 let batcher_loop t ~max_batch ~c_batches ~h_batch_size =
   let shards = Array.length t.mailboxes in
@@ -180,9 +247,15 @@ let batcher_loop t ~max_batch ~c_batches ~h_batch_size =
            drain above overlapped with execution) but not dispatched
            until the previous batch has fully committed.  This keeps the
            ingress queue — not the mailboxes — as the backpressure
-           surface. *)
+           surface.  Sequence numbers are contiguous from 0 and every
+           dispatched query commits exactly once, so "seq committed" and
+           "seq+1 commits landed" coincide — the window works under
+           either discipline. *)
         (match last_dispatched with
-        | Some seq -> Commit_clock.wait_past t.clock ~seq
+        | Some seq -> (
+            match t.commit with
+            | Turnstile clock -> Commit_clock.wait_past clock ~seq
+            | Ledger ledger -> Commit_ledger.wait_until ledger ~count:(seq + 1))
         | None -> ());
         Essa_obs.Counter.incr c_batches;
         Essa_obs.Histogram.record h_batch_size (List.length batch);
@@ -197,22 +270,40 @@ let batcher_loop t ~max_batch ~c_batches ~h_batch_size =
 
 let create ?metrics ?(on_commit = fun _ -> ()) ?(queue_capacity = 1024)
     ?(max_batch = 64) ?(max_restarts = 2) ?deadline_budget_ns
-    ?(faults = Fault.none) ~workers ~engine () =
+    ?(faults = Fault.none) ?(commit = `Global) ~workers ~engine () =
   if workers < 1 then invalid_arg "Server.create: workers < 1";
   if max_batch < 1 then invalid_arg "Server.create: max_batch < 1";
   if max_restarts < 0 then invalid_arg "Server.create: max_restarts < 0";
   (match deadline_budget_ns with
   | Some b when b <= 0 -> invalid_arg "Server.create: deadline_budget_ns <= 0"
   | _ -> ());
+  (match (commit, Essa.Engine.partitioned engine) with
+  | `Global, false | `Per_keyword, true -> ()
+  | `Per_keyword, false ->
+      invalid_arg
+        "Server.create: `Per_keyword commit requires a partitioned engine \
+         (Engine.create ~partitioned:true)"
+  | `Global, true ->
+      invalid_arg
+        "Server.create: `Global commit requires a serial engine (a \
+         partitioned engine has no global clock to serialize on)");
   let registry =
     match metrics with Some r -> r | None -> Essa_obs.Registry.create ()
   in
   let ingress = Ingress.create ~metrics:registry ~capacity:queue_capacity () in
+  let nk = Essa.Engine.num_keywords engine in
+  let h_latency =
+    Essa_obs.Registry.histogram registry "essa.serve.commit_latency_ns"
+      ~help:"Enqueue-to-commit latency per served auction (ns)"
+  in
   let t =
     {
       engine;
       ingress;
-      clock = Commit_clock.create ();
+      commit =
+        (match commit with
+        | `Global -> Turnstile (Commit_clock.create ())
+        | `Per_keyword -> Ledger (Commit_ledger.create ~num_keywords:nk));
       mailboxes = Array.init workers (fun _ -> mailbox_create ());
       registry;
       faults;
@@ -221,6 +312,12 @@ let create ?metrics ?(on_commit = fun _ -> ()) ?(queue_capacity = 1024)
       lane_states =
         Array.init workers (fun _ ->
             { restarts = 0; lane_degraded = false; skipped = 0 });
+      tracker = Shard.tracker ~metrics:registry ~shards:workers;
+      commit_logs =
+        (match commit with
+        | `Global -> [||]
+        | `Per_keyword -> Array.init nk (fun _ -> ref []));
+      fail_mutex = Mutex.create ();
       failed = 0;
       degraded_total = 0;
       errors_rev = [];
@@ -247,18 +344,16 @@ let create ?metrics ?(on_commit = fun _ -> ()) ?(queue_capacity = 1024)
           ~help:
             "Deadline-degraded auctions served with every slot empty \
              (bid-program updates shed)";
+      h_latency;
+      lane_hists =
+        Array.init workers (fun _ -> Essa_obs.Histogram.create ());
+      c_committed =
+        Essa_obs.Registry.counter registry "essa.serve.committed"
+          ~help:"Auctions executed and committed";
       batcher = None;
       lanes = [||];
       final = None;
     }
-  in
-  let h_latency =
-    Essa_obs.Registry.histogram registry "essa.serve.commit_latency_ns"
-      ~help:"Enqueue-to-commit latency per served auction (ns)"
-  in
-  let c_committed =
-    Essa_obs.Registry.counter registry "essa.serve.committed"
-      ~help:"Auctions executed and committed"
   in
   let c_batches =
     Essa_obs.Registry.counter registry "essa.serve.batches"
@@ -270,9 +365,7 @@ let create ?metrics ?(on_commit = fun _ -> ()) ?(queue_capacity = 1024)
   in
   t.lanes <-
     Array.mapi
-      (fun lane mb ->
-        Domain.spawn (fun () ->
-            lane_loop t ~lane ~on_commit ~h_latency ~c_committed mb))
+      (fun lane mb -> Domain.spawn (fun () -> lane_loop t ~lane ~on_commit mb))
       t.mailboxes;
   t.batcher <-
     Some
@@ -288,11 +381,19 @@ let accepted t = Ingress.accepted t.ingress
 let shed t = Ingress.shed t.ingress
 let rejected_closed t = Ingress.rejected_closed t.ingress
 let depth t = Ingress.depth t.ingress
-let committed t = Commit_clock.next t.clock
+let committed t = committed_count t
 let lane_restarts t = Array.map (fun ls -> ls.restarts) t.lane_states
 
+let turnstile_waits t =
+  match t.commit with
+  | Turnstile clock -> Commit_clock.waits clock
+  | Ledger _ -> 0
+
 let await_committed t ~count =
-  if count > 0 then Commit_clock.wait_past t.clock ~seq:(count - 1)
+  if count > 0 then
+    match t.commit with
+    | Turnstile clock -> Commit_clock.wait_past clock ~seq:(count - 1)
+    | Ledger ledger -> Commit_ledger.wait_until ledger ~count
 
 let flush t = await_committed t ~count:(Ingress.accepted t.ingress)
 
@@ -301,13 +402,16 @@ let collect t =
     accepted = Ingress.accepted t.ingress;
     shed = Ingress.shed t.ingress;
     rejected_closed = Ingress.rejected_closed t.ingress;
-    committed = Commit_clock.next t.clock;
+    committed = committed_count t;
     failed = t.failed;
     skipped = Array.fold_left (fun acc ls -> acc + ls.skipped) 0 t.lane_states;
     degraded = t.degraded_total;
     lane_restarts =
       Array.fold_left (fun acc ls -> acc + ls.restarts) 0 t.lane_states;
     revenue = Essa.Engine.total_revenue t.engine;
+    commit_mode = commit_mode t;
+    turnstile_waits = turnstile_waits t;
+    lane_imbalance = Shard.refresh_imbalance t.tracker;
     errors = List.rev t.errors_rev;
   }
 
@@ -318,6 +422,18 @@ let stop t =
       Ingress.close t.ingress;
       Option.iter Domain.join t.batcher;
       Array.iter Domain.join t.lanes;
+      (* Per_keyword bookkeeping now has a single domain again: fold the
+         lanes' private latency buffers into the registered histogram and
+         drain the engine's per-keyword latency partitions. *)
+      (match t.commit with
+      | Turnstile _ -> ()
+      | Ledger _ ->
+          Array.iter
+            (fun h ->
+              Essa_obs.Histogram.merge_into ~into:t.h_latency h;
+              Essa_obs.Histogram.reset h)
+            t.lane_hists;
+          Essa.Engine.sync_partition_metrics t.engine);
       (* The tallies at shutdown are part of the result even when lanes
          failed (they used to vanish behind a re-raised exception);
          [errors] carries every failure with its query.  Caching makes
@@ -327,6 +443,16 @@ let stop t =
 
 let errors t =
   match t.final with Some s -> s.errors | None -> List.rev t.errors_rev
+
+let commit_log t ~keyword =
+  (match t.commit with
+  | Turnstile _ ->
+      invalid_arg
+        "Server.commit_log: `Global commit records no per-keyword log"
+  | Ledger _ -> ());
+  if keyword < 0 || keyword >= Array.length t.commit_logs then
+    invalid_arg (Printf.sprintf "Server.commit_log: keyword %d" keyword);
+  List.rev !(t.commit_logs.(keyword))
 
 let engine t = t.engine
 let metrics t = t.registry

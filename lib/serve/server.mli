@@ -39,9 +39,26 @@
 
     The in-flight window is bounded (at most one executing batch plus one
     staged batch beyond the ingress queue), so the ingress queue is the
-    real backpressure surface: sustained overload fills it and sheds. *)
+    real backpressure surface: sustained overload fills it and sheds.
+
+    {b Commit modes}: [`Global] (the default) is everything above —
+    commits pass through the {!Commit_clock} turnstile in global arrival
+    order, and the serial-equivalence contract holds bit-for-bit.
+    [`Per_keyword] pairs the server with a {e partitioned} engine
+    ([Engine.create ~partitioned:true]): each keyword's auctions commit in
+    that keyword's own FIFO order with {e no cross-keyword wait} (the
+    turnstile is replaced by the counting {!Commit_ledger}; the
+    [turnstile_waits] stat is structurally zero).  The contract weakens
+    from one global stream to one stream {e per keyword}: every committed
+    summary records the spend snapshot its auction read, each keyword's
+    summary log is replayable bit-for-bit from those witnesses
+    ({!Essa_serve.Replay}), and conservation invariants (Σ clicked prices
+    = Σ advertiser spend; admission-time budget respect) hold across any
+    lane interleaving. *)
 
 type t
+
+type commit_mode = [ `Global | `Per_keyword ]
 
 type error = {
   lane : int;  (** the lane whose execution raised *)
@@ -61,6 +78,12 @@ type stats = {
   degraded : int;  (** auctions degraded by the deadline budget *)
   lane_restarts : int;  (** supervisor restarts, summed over lanes *)
   revenue : int;  (** engine total revenue, cents *)
+  commit_mode : commit_mode;
+  turnstile_waits : int;
+      (** [`Global]: how many commits had to block for another keyword's
+          turn; [`Per_keyword]: structurally 0 (there is no turnstile) *)
+  lane_imbalance : float;
+      (** (max-min)/max of per-lane committed counts (see {!Shard}) *)
   errors : error list;  (** every failure report, in commit order *)
 }
 
@@ -72,6 +95,7 @@ val create :
   ?max_restarts:int ->
   ?deadline_budget_ns:int ->
   ?faults:Fault.t ->
+  ?commit:commit_mode ->
   workers:int ->
   engine:Essa.Engine.t ->
   unit ->
@@ -98,8 +122,16 @@ val create :
     [metrics] is the registry the pipeline gauges/counters/histograms
     register into (default: a fresh private one; the engine keeps its
     own unless you created it with this registry).
+    [commit] selects the commit discipline (default [`Global]; see the
+    module description).  [`Per_keyword] requires a partitioned engine
+    and [`Global] a serial one — the pairing is validated here.  In
+    [`Per_keyword] mode [on_commit] runs {e concurrently} from several
+    lane domains (per-keyword FIFO, no cross-keyword order): it must be
+    thread-safe, or you can ignore it and read the per-keyword
+    {!commit_log} after {!stop}.
     @raise Invalid_argument on [workers < 1], [queue_capacity < 1],
-    [max_batch < 1], [max_restarts < 0] or a non-positive budget. *)
+    [max_batch < 1], [max_restarts < 0], a non-positive budget, or a
+    commit-mode/engine mismatch. *)
 
 val submit : t -> keyword:int -> Ingress.outcome
 (** Non-blocking admission of a query; [Shed] when the bounded queue is
@@ -116,7 +148,19 @@ val rejected_closed : t -> int
 val depth : t -> int
 
 val committed : t -> int
-(** Auctions committed so far (the commit clock's position). *)
+(** Auctions committed so far (the commit clock's position in [`Global]
+    mode, the ledger total in [`Per_keyword] mode). *)
+
+val turnstile_waits : t -> int
+(** Commits that had to block for another keyword's turn ([`Global]);
+    structurally 0 in [`Per_keyword] mode. *)
+
+val commit_log : t -> keyword:int -> Essa.Engine.summary list
+(** One keyword's committed summaries in commit (= that keyword's FIFO)
+    order, with their [spend_snapshot] replay witnesses.  Single-writer
+    while running — call after {!stop}.  Only recorded in [`Per_keyword]
+    mode; raises [Invalid_argument] under [`Global] or on a bad
+    keyword. *)
 
 val lane_restarts : t -> int array
 (** Per-lane supervisor restart counts (index = lane).  Stable once

@@ -11,3 +11,44 @@ let partition ~shards batch =
       lanes.(s) <- q :: lanes.(s))
     batch;
   Array.map List.rev lanes
+
+type tracker = {
+  executed : Essa_obs.Counter.t array;
+  committed : Essa_obs.Counter.t array;
+  imbalance : Essa_obs.Gauge.t;
+}
+
+let tracker ~metrics ~shards =
+  if shards < 1 then invalid_arg "Shard.tracker: shards < 1";
+  let per kind help =
+    Array.init shards (fun lane ->
+        Essa_obs.Registry.counter metrics
+          (Printf.sprintf "essa.serve.lane.%d.%s" lane kind)
+          ~help:(Printf.sprintf "%s (lane %d)" help lane))
+  in
+  let executed = per "executed" "Queries whose auction this lane executed" in
+  let committed = per "committed" "Commits this lane landed" in
+  let imbalance =
+    Essa_obs.Registry.gauge metrics "essa.serve.lane_imbalance"
+      ~help:
+        "Relative spread of per-lane committed counts, (max-min)/max in \
+         [0,1]; 0 = perfectly balanced shards"
+  in
+  { executed; committed; imbalance }
+
+let note_executed tr ~lane = Essa_obs.Counter.incr tr.executed.(lane)
+let note_committed tr ~lane = Essa_obs.Counter.incr tr.committed.(lane)
+
+let committed_counts tr = Array.map Essa_obs.Counter.value tr.committed
+
+let imbalance_of counts =
+  let mx = Array.fold_left max 0 counts in
+  if mx = 0 || Array.length counts < 2 then 0.0
+  else
+    let mn = Array.fold_left min max_int counts in
+    float_of_int (mx - mn) /. float_of_int mx
+
+let refresh_imbalance tr =
+  let v = imbalance_of (committed_counts tr) in
+  Essa_obs.Gauge.set tr.imbalance v;
+  v

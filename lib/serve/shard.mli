@@ -15,3 +15,32 @@ val partition : shards:int -> Ingress.query list -> Ingress.query list array
 (** Split a batch (in arrival order) into per-shard work lists, each in
     arrival order — the property the commit protocol relies on: within a
     lane, sequence numbers are strictly increasing. *)
+
+(** {2 Per-lane accounting}
+
+    The modulo map makes load balance a property of the keyword
+    distribution; the tracker makes it observable.  Each lane gets an
+    [essa.serve.lane.<i>.executed] and [essa.serve.lane.<i>.committed]
+    counter (atomic — lanes bump their own from their own domains), and
+    [essa.serve.lane_imbalance] gauges the relative spread of committed
+    counts: [(max - min) / max], 0 when balanced. *)
+
+type tracker
+
+val tracker : metrics:Essa_obs.Registry.t -> shards:int -> tracker
+(** Register the per-lane counters and the imbalance gauge.
+    @raise Invalid_argument if [shards < 1]. *)
+
+val note_executed : tracker -> lane:int -> unit
+val note_committed : tracker -> lane:int -> unit
+
+val committed_counts : tracker -> int array
+(** Per-lane committed counts (index = lane). *)
+
+val imbalance_of : int array -> float
+(** [(max - min) / max] of the counts; [0.] when all-zero or fewer than
+    two lanes. *)
+
+val refresh_imbalance : tracker -> float
+(** Recompute the imbalance from the current committed counts, publish it
+    to the gauge, and return it. *)

@@ -79,10 +79,10 @@ let fresh_states t =
         ~initial_bids:t.initial_bids.(i) ~premiums:t.premiums.(i)
         ?budget:t.budgets.(i) ~target_rate:t.targets.(i) ())
 
-let make_engine ?metrics ?pool ?parallel_threshold ?(pricing = `Gsp)
-    ?(reserve = 0) t ~method_ =
-  Essa.Engine.create ?metrics ?pool ?parallel_threshold ~reserve ~pricing
-    ~method_ ~ctr:t.ctr ~states:(fresh_states t)
+let make_engine ?metrics ?pool ?parallel_threshold ?partitioned
+    ?(pricing = `Gsp) ?(reserve = 0) t ~method_ =
+  Essa.Engine.create ?metrics ?pool ?parallel_threshold ?partitioned ~reserve
+    ~pricing ~method_ ~ctr:t.ctr ~states:(fresh_states t)
     ~user_seed:(t.seed lxor 0x5eed) ()
 
 let query_stream t ~seed =

@@ -46,15 +46,18 @@ val make_engine :
   ?metrics:Essa_obs.Registry.t ->
   ?pool:Essa_util.Domain_pool.t ->
   ?parallel_threshold:int ->
+  ?partitioned:bool ->
   ?pricing:Essa.Engine.pricing ->
   ?reserve:int -> t -> method_:Essa.Engine.method_ -> Essa.Engine.t
 (** Convenience: engine over fresh states ([pricing] defaults to GSP as
     in Section V); the user-click seed is derived from the workload seed,
     so engines created from the same workload see identical users.
-    [metrics], [pool] and [parallel_threshold] are forwarded to
-    {!Essa.Engine.create} — a shared registry lets every engine of a
-    sweep record into one snapshot, and a pool parallelizes the [`Rh]
-    top-list scan on large fleets. *)
+    [metrics], [pool], [parallel_threshold] and [partitioned] are
+    forwarded to {!Essa.Engine.create} — a shared registry lets every
+    engine of a sweep record into one snapshot, a pool parallelizes the
+    [`Rh] top-list scan on large fleets, and [partitioned] builds the
+    keyword-partitioned engine the serving layer's [`Per_keyword] commit
+    mode drives. *)
 
 val query_stream : t -> seed:int -> int Seq.t
 (** Infinite uniform keyword stream. *)

@@ -38,11 +38,44 @@ type tabular_state = {
    triggers) agrees with the lean modes. *)
 type sql_state = { programs : Sql_program.t array }
 
+(* Partitioned (per-keyword) execution strategies.  Decisions never read
+   the live atomic spend cells: every auction starts from a spend
+   *snapshot* taken through the {!State_store}, so the auction outcome is
+   a pure function of keyword-local state + snapshot — replayable
+   bit-for-bit from a recorded snapshot.  The cross-keyword effects of a
+   win (spend moved, possibly exhaustion) are applied lazily: each
+   keyword notices the spend change in its own next auction's snapshot
+   and re-seats / retires locally.  One lane owns each keyword, so all
+   per-keyword structures are single-writer. *)
+type naive_p_state = {
+  np_store : State_store.t;
+  np_index : Bid_index.t;
+  (* retired.(kw).(adv): this keyword has observed the advertiser's
+     exhaustion and zeroed its local bid (the deferred, keyword-local form
+     of Roi_state.record_win's global retirement). *)
+  np_retired : bool array array;
+}
+
+type logical_p_state = {
+  lp_base : logical_state;  (* time_triggers/adv_version fields unused *)
+  lp_store : State_store.t;
+  (* Per-keyword spend-rate trigger heaps, keyed on the keyword's local
+     clock; entries are (adv, lp_version.(kw).(adv)) for invalidation. *)
+  lp_time_triggers : (int * int) Essa_util.Min_heap.t array;
+  lp_version : int array array;  (* kw × adv *)
+  (* seen.(kw).(adv): the spend reading this keyword last classified the
+     advertiser against; a differing snapshot entry triggers the deferred
+     keyword-local re-seat. *)
+  lp_seen : int array array;
+}
+
 type strategy =
   | Naive of Bid_index.t
   | Tabular of tabular_state
   | Logical of logical_state
   | Sql of sql_state
+  | Naive_p of naive_p_state
+  | Logical_p of logical_p_state
 
 type t = {
   states : Roi_state.t array;
@@ -100,18 +133,19 @@ let effective_bid ls ~adv ~keyword =
 (* Move [adv] into the list dictated by its current condition, installing
    the bound trigger that will evict it when the shared adjustment carries
    its bid to a boundary.  The caller has already removed it from its
-   previous list. *)
-let place ls states ~adv ~keyword ~time ~effective =
+   previous list.  [amt] is the spend reading classification uses: the
+   live cell on the serial path, the auction's snapshot entry on the
+   partitioned path. *)
+let place ls states ~adv ~keyword ~time ~effective ~amt =
   let st = states.(adv) in
   ls.cell_version.(keyword).(adv) <- ls.cell_version.(keyword).(adv) + 1;
   let version = ls.cell_version.(keyword).(adv) in
   let maxbid = Roi_state.maxbid st ~keyword in
   (* Budget exhaustion retires the bid: mirror Roi_state.record_win, which
      zeroes every bid the moment the budget is reached. *)
-  let effective = if Roi_state.exhausted st then 0 else effective in
+  let effective = if Roi_state.exhausted_at st ~amt then 0 else effective in
   match
-    Roi_state.classify ~budget:(Roi_state.budget st)
-      ~amt_spent:(Roi_state.amt_spent st)
+    Roi_state.classify ~budget:(Roi_state.budget st) ~amt_spent:amt
       ~target_rate:(Roi_state.target_rate st) ~time ~bid:effective ~maxbid
   with
   | Roi_state.Inc ->
@@ -146,25 +180,28 @@ let remove_from_current ls ~adv ~keyword =
 
 let reclassify_all ls states ~adv ~time =
   let nk = Array.length ls.inc in
+  let amt = Roi_state.amt_spent states.(adv) in
   for keyword = 0 to nk - 1 do
     let effective = remove_from_current ls ~adv ~keyword in
-    place ls states ~adv ~keyword ~time ~effective
+    place ls states ~adv ~keyword ~time ~effective ~amt
   done
+
+(* The first future spend-rate flip for a program whose spend reading is
+   [amt], or None while it is (strictly) underspending / exhausted. *)
+let critical_time st ~amt ~time =
+  let target = Roi_state.target_rate st in
+  let spent = float_of_int amt and budgeted = target *. float_of_int time in
+  if Roi_state.exhausted_at st ~amt then None
+    (* spend-rate flips no longer matter: classification is Stay forever *)
+  else if spent > budgeted then Some (first_not_over ~amt ~target ~after:time)
+  else if spent = budgeted then Some (first_under ~amt ~target ~after:time)
+  else None
 
 (* Keep the invariant: whenever a program is not (strictly) underspending,
    one valid spend-rate trigger is pending for the first future flip. *)
 let install_time_trigger ls states ~adv ~time =
   let st = states.(adv) in
-  let amt = Roi_state.amt_spent st and target = Roi_state.target_rate st in
-  let spent = float_of_int amt and budgeted = target *. float_of_int time in
-  let critical =
-    if Roi_state.exhausted st then None
-      (* spend-rate flips no longer matter: classification is Stay forever *)
-    else if spent > budgeted then Some (first_not_over ~amt ~target ~after:time)
-    else if spent = budgeted then Some (first_under ~amt ~target ~after:time)
-    else None
-  in
-  match critical with
+  match critical_time st ~amt:(Roi_state.amt_spent st) ~time with
   | None -> ()
   | Some when_ ->
       Essa_util.Min_heap.push ls.time_triggers ~priority:(float_of_int when_)
@@ -179,7 +216,12 @@ let fire_time_triggers ls states ~time =
       end)
     (Essa_util.Min_heap.pop_le ls.time_triggers (float_of_int time))
 
-let fire_bound_triggers ls states ~time ~keyword =
+let fire_bound_triggers ?amt_of ls states ~time ~keyword =
+  let amt_of =
+    match amt_of with
+    | Some f -> f
+    | None -> fun adv -> Roi_state.amt_spent states.(adv)
+  in
   let fire_heap heap threshold expected_tag =
     List.iter
       (fun (_, (adv, version)) ->
@@ -188,7 +230,7 @@ let fire_bound_triggers ls states ~time ~keyword =
           && ls.tag.(keyword).(adv) = expected_tag
         then begin
           let effective = remove_from_current ls ~adv ~keyword in
-          place ls states ~adv ~keyword ~time ~effective
+          place ls states ~adv ~keyword ~time ~effective ~amt:(amt_of adv)
         end)
       (Essa_util.Min_heap.pop_le heap threshold)
   in
@@ -319,8 +361,7 @@ let tabular_on_auction ts states ~time ~keyword =
       end)
     ts.rows
 
-let logical states =
-  let nk = check_states states in
+let logical_state_of states ~nk =
   let n = Array.length states in
   let ls =
     {
@@ -342,10 +383,52 @@ let logical states =
          every time until their first win; placement at time 1 is safe. *)
       place ls states ~adv ~keyword ~time:1
         ~effective:(Roi_state.bid states.(adv) ~keyword)
-    done;
+        ~amt:(Roi_state.amt_spent states.(adv))
+    done
+  done;
+  ls
+
+let logical states =
+  let nk = check_states states in
+  let n = Array.length states in
+  let ls = logical_state_of states ~nk in
+  for adv = 0 to n - 1 do
     install_time_trigger ls states ~adv ~time:1
   done;
   { states; nk; strategy = Logical ls }
+
+let naive_p states =
+  let nk = check_states states in
+  let n = Array.length states in
+  let np_index =
+    Bid_index.create ~num_keywords:nk ~n
+      ~bid:(fun ~keyword ~adv -> Roi_state.bid states.(adv) ~keyword)
+  in
+  let np =
+    {
+      np_store = State_store.create states ~num_keywords:nk;
+      np_index;
+      np_retired = Array.make_matrix nk n false;
+    }
+  in
+  { states; nk; strategy = Naive_p np }
+
+let logical_p states =
+  let nk = check_states states in
+  let n = Array.length states in
+  (* Same initial placement as [logical] (fresh states are underspending,
+     so no spend-rate triggers are pending yet), but the trigger heaps are
+     per keyword and keyed on the keyword-local clock. *)
+  let lp =
+    {
+      lp_base = logical_state_of states ~nk;
+      lp_store = State_store.create states ~num_keywords:nk;
+      lp_time_triggers = Array.init nk (fun _ -> Essa_util.Min_heap.create ());
+      lp_version = Array.make_matrix nk n 0;
+      lp_seen = Array.make_matrix nk n 0;
+    }
+  in
+  { states; nk; strategy = Logical_p lp }
 
 (* ------------------------------------------------------------------ *)
 (* Shared interface *)
@@ -378,14 +461,17 @@ let on_auction t ~time ~keyword =
       Adjustment_list.bulk_adjust ls.inc.(keyword) 1;
       Adjustment_list.bulk_adjust ls.dec.(keyword) (-1);
       fire_bound_triggers ls t.states ~time ~keyword
+  | Naive_p _ | Logical_p _ ->
+      invalid_arg "Roi_fleet.on_auction: partitioned fleet (use begin_auction_p)"
 
 let bid t ~adv ~keyword =
   check_kw t keyword;
   match t.strategy with
-  | Naive _ -> Roi_state.bid t.states.(adv) ~keyword
+  | Naive _ | Naive_p _ -> Roi_state.bid t.states.(adv) ~keyword
   | Tabular ts -> Essa_relalg.Value.to_int ts.rows.(adv).(keyword).(2)
   | Sql { programs } -> Sql_program.bid_on programs.(adv) ~keyword:(keyword_name keyword)
   | Logical ls -> effective_bid ls ~adv ~keyword
+  | Logical_p lp -> effective_bid lp.lp_base ~adv ~keyword
 
 let sorted_bid_entries entries =
   Array.sort
@@ -401,11 +487,52 @@ let sorted_bid_entries entries =
 let assert_index_matches_ground_truth seq entries =
   assert (List.of_seq seq = List.of_seq (sorted_bid_entries entries))
 
+(* Specialized allocation-light 3-way merge: this sequence feeds the
+   threshold algorithm's sorted access in the auction hot path.
+   Order: higher bid first, ties to the smaller advertiser id —
+   matching the naive sort exactly. *)
+let logical_bids_desc ls ~keyword =
+  let earlier (ia, ba) (ib, bb) = ba > bb || (ba = bb && ia < ib) in
+  (* A drained stream's head is a sentinel no real entry loses to
+     (bids are non-negative). *)
+  let sentinel = (max_int, min_int) in
+  let head = function Seq.Cons (x, _) -> x | Seq.Nil -> sentinel in
+  let rec node h1 h2 h3 =
+    match (h1, h2, h3) with
+    | Seq.Nil, Seq.Nil, Seq.Nil -> Seq.Nil
+    | _ ->
+        let x1 = head h1 and x2 = head h2 and x3 = head h3 in
+        let pick12 = if earlier x2 x1 then `Second else `First in
+        let pick =
+          match pick12 with
+          | `First -> if earlier x3 x1 then `Third else `First
+          | `Second -> if earlier x3 x2 then `Third else `Second
+        in
+        (match (pick, h1, h2, h3) with
+        | `First, Seq.Cons (x, rest), _, _ ->
+            Seq.Cons (x, fun () -> node (rest ()) h2 h3)
+        | `Second, _, Seq.Cons (x, rest), _ ->
+            Seq.Cons (x, fun () -> node h1 (rest ()) h3)
+        | `Third, _, _, Seq.Cons (x, rest) ->
+            Seq.Cons (x, fun () -> node h1 h2 (rest ()))
+        | _ -> assert false)
+  in
+  let s1 = Adjustment_list.to_seq_desc ls.inc.(keyword) in
+  let s2 = Adjustment_list.to_seq_desc ls.dec.(keyword) in
+  let s3 = Adjustment_list.to_seq_desc ls.const_.(keyword) in
+  fun () -> node (s1 ()) (s2 ()) (s3 ())
+
 let bids_desc t ~keyword =
   check_kw t keyword;
   match t.strategy with
   | Naive index ->
       let seq = Bid_index.to_seq_desc index ~keyword in
+      if !Bid_index.debug_checks then
+        assert_index_matches_ground_truth seq
+          (Array.mapi (fun adv st -> (adv, Roi_state.bid st ~keyword)) t.states);
+      seq
+  | Naive_p np ->
+      let seq = Bid_index.to_seq_desc np.np_index ~keyword in
       if !Bid_index.debug_checks then
         assert_index_matches_ground_truth seq
           (Array.mapi (fun adv st -> (adv, Roi_state.bid st ~keyword)) t.states);
@@ -424,43 +551,16 @@ let bids_desc t ~keyword =
            (fun adv program ->
              (adv, Sql_program.bid_on program ~keyword:(keyword_name keyword)))
            programs)
-  | Logical ls ->
-      (* Specialized allocation-light 3-way merge: this sequence feeds the
-         threshold algorithm's sorted access in the auction hot path.
-         Order: higher bid first, ties to the smaller advertiser id —
-         matching the naive sort exactly. *)
-      let earlier (ia, ba) (ib, bb) = ba > bb || (ba = bb && ia < ib) in
-      (* A drained stream's head is a sentinel no real entry loses to
-         (bids are non-negative). *)
-      let sentinel = (max_int, min_int) in
-      let head = function Seq.Cons (x, _) -> x | Seq.Nil -> sentinel in
-      let rec node h1 h2 h3 =
-        match (h1, h2, h3) with
-        | Seq.Nil, Seq.Nil, Seq.Nil -> Seq.Nil
-        | _ ->
-            let x1 = head h1 and x2 = head h2 and x3 = head h3 in
-            let pick12 = if earlier x2 x1 then `Second else `First in
-            let pick =
-              match pick12 with
-              | `First -> if earlier x3 x1 then `Third else `First
-              | `Second -> if earlier x3 x2 then `Third else `Second
-            in
-            (match (pick, h1, h2, h3) with
-            | `First, Seq.Cons (x, rest), _, _ ->
-                Seq.Cons (x, fun () -> node (rest ()) h2 h3)
-            | `Second, _, Seq.Cons (x, rest), _ ->
-                Seq.Cons (x, fun () -> node h1 (rest ()) h3)
-            | `Third, _, _, Seq.Cons (x, rest) ->
-                Seq.Cons (x, fun () -> node h1 h2 (rest ()))
-            | _ -> assert false)
-      in
-      let s1 = Adjustment_list.to_seq_desc ls.inc.(keyword) in
-      let s2 = Adjustment_list.to_seq_desc ls.dec.(keyword) in
-      let s3 = Adjustment_list.to_seq_desc ls.const_.(keyword) in
-      fun () -> node (s1 ()) (s2 ()) (s3 ())
+  | Logical ls -> logical_bids_desc ls ~keyword
+  | Logical_p lp -> logical_bids_desc lp.lp_base ~keyword
 
 let record_win t ~time ~adv ~keyword ~price ~clicked =
   check_kw t keyword;
+  (match t.strategy with
+  | Naive_p _ | Logical_p _ ->
+      (* Guard before any state mutation below. *)
+      invalid_arg "Roi_fleet.record_win: partitioned fleet (use record_win_p)"
+  | Naive _ | Tabular _ | Logical _ | Sql _ -> ());
   let was_exhausted = Roi_state.exhausted t.states.(adv) in
   Roi_state.record_win t.states.(adv) ~keyword ~price ~clicked;
   let newly_exhausted =
@@ -499,6 +599,118 @@ let record_win t ~time ~adv ~keyword ~price ~clicked =
         reclassify_all ls t.states ~adv ~time;
         install_time_trigger ls t.states ~adv ~time
       end
+  | Naive_p _ | Logical_p _ ->
+      invalid_arg "Roi_fleet.record_win: partitioned fleet (use record_win_p)"
 
 let snapshot_bids t ~keyword =
   Array.init (n t) (fun adv -> bid t ~adv ~keyword)
+
+(* ------------------------------------------------------------------ *)
+(* Partitioned (per-keyword) interface *)
+
+let partitioned t =
+  match t.strategy with Naive_p _ | Logical_p _ -> true | _ -> false
+
+let store_of t =
+  match t.strategy with
+  | Naive_p np -> np.np_store
+  | Logical_p lp -> lp.lp_store
+  | _ -> invalid_arg "Roi_fleet: not a partitioned fleet"
+
+let keyword_time t ~keyword =
+  check_kw t keyword;
+  State_store.time (store_of t) ~keyword
+
+let tick_p t ~keyword =
+  check_kw t keyword;
+  State_store.tick (store_of t) ~keyword
+
+(* A keyword-local re-seat + trigger re-arm for one advertiser, driven by
+   a snapshot spend reading. *)
+let lp_reseat lp states ~adv ~keyword ~time ~amt =
+  let ls = lp.lp_base in
+  let effective = remove_from_current ls ~adv ~keyword in
+  place ls states ~adv ~keyword ~time ~effective ~amt;
+  match critical_time states.(adv) ~amt ~time with
+  | None -> ()
+  | Some when_ ->
+      Essa_util.Min_heap.push lp.lp_time_triggers.(keyword)
+        ~priority:(float_of_int when_)
+        (adv, lp.lp_version.(keyword).(adv))
+
+let begin_auction_p t ~keyword ?snapshot () =
+  check_kw t keyword;
+  match t.strategy with
+  | Naive_p np ->
+      let time = State_store.tick np.np_store ~keyword in
+      let snap = State_store.snapshot np.np_store ~keyword ?override:snapshot () in
+      Array.iteri
+        (fun adv st ->
+          let amt = snap.(adv) in
+          if Roi_state.exhausted_at st ~amt then begin
+            (* Deferred, keyword-local retirement: the first auction on
+               this keyword that observes the exhaustion zeroes the local
+               bid (record_win_p never touches bids). *)
+            if not np.np_retired.(keyword).(adv) then begin
+              np.np_retired.(keyword).(adv) <- true;
+              Roi_state.set_bid st ~keyword ~bid:0;
+              Bid_index.note np.np_index ~keyword ~adv ~bid:0
+            end
+          end
+          else begin
+            (match
+               Roi_state.classify ~budget:(Roi_state.budget st) ~amt_spent:amt
+                 ~target_rate:(Roi_state.target_rate st) ~time
+                 ~bid:(Roi_state.bid st ~keyword)
+                 ~maxbid:(Roi_state.maxbid st ~keyword)
+             with
+            | Roi_state.Inc ->
+                Roi_state.set_bid st ~keyword
+                  ~bid:(Roi_state.bid st ~keyword + 1)
+            | Roi_state.Dec ->
+                Roi_state.set_bid st ~keyword
+                  ~bid:(Roi_state.bid st ~keyword - 1)
+            | Roi_state.Stay -> ());
+            Bid_index.note np.np_index ~keyword ~adv
+              ~bid:(Roi_state.bid st ~keyword)
+          end)
+        t.states;
+      (time, snap)
+  | Logical_p lp ->
+      let time = State_store.tick lp.lp_store ~keyword in
+      let snap = State_store.snapshot lp.lp_store ~keyword ?override:snapshot () in
+      let seen = lp.lp_seen.(keyword) in
+      (* Apply the deferred cross-keyword effects locally: any advertiser
+         whose spend moved since this keyword last classified it is
+         re-seated here, against the snapshot. *)
+      Array.iteri
+        (fun adv amt ->
+          if amt <> seen.(adv) then begin
+            seen.(adv) <- amt;
+            lp.lp_version.(keyword).(adv) <- lp.lp_version.(keyword).(adv) + 1;
+            lp_reseat lp t.states ~adv ~keyword ~time ~amt
+          end)
+        snap;
+      (* Fire this keyword's due spend-rate triggers on its local clock. *)
+      List.iter
+        (fun (_, (adv, version)) ->
+          if version = lp.lp_version.(keyword).(adv) then
+            lp_reseat lp t.states ~adv ~keyword ~time ~amt:seen.(adv))
+        (Essa_util.Min_heap.pop_le lp.lp_time_triggers.(keyword)
+           (float_of_int time));
+      Adjustment_list.bulk_adjust lp.lp_base.inc.(keyword) 1;
+      Adjustment_list.bulk_adjust lp.lp_base.dec.(keyword) (-1);
+      fire_bound_triggers lp.lp_base t.states ~time ~keyword
+        ~amt_of:(fun adv -> seen.(adv));
+      (time, snap)
+  | _ -> invalid_arg "Roi_fleet.begin_auction_p: not a partitioned fleet"
+
+let record_win_p t ~adv ~keyword ~price ~clicked =
+  check_kw t keyword;
+  match t.strategy with
+  | Naive_p _ | Logical_p _ ->
+      if clicked then begin
+        ignore (State_store.charge (store_of t) ~adv ~price);
+        Roi_state.note_win_kw t.states.(adv) ~keyword ~price
+      end
+  | _ -> invalid_arg "Roi_fleet.record_win_p: not a partitioned fleet"

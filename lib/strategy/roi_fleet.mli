@@ -47,8 +47,28 @@ val sql : Roi_state.t array -> t
     @raise Invalid_argument if any state carries a budget (not
     expressible in the SQL body). *)
 
+val naive_p : Roi_state.t array -> t
+(** Takes ownership.  The partitioned counterpart of {!naive}: per-auction
+    bid adjustments classify against a per-keyword spend {e snapshot} and
+    the keyword's local clock (see {!State_store}), never the live atomic
+    spend cells, and budget retirement is applied lazily per keyword.
+    Drive it with {!begin_auction_p} / {!record_win_p}; the serial
+    {!on_auction} / {!record_win} raise. *)
+
+val logical_p : Roi_state.t array -> t
+(** Takes ownership.  The partitioned counterpart of {!logical}: the
+    Section IV-B list/trigger machinery with the spend-rate trigger heap
+    split per keyword (keyed on keyword-local clocks), and the winner
+    re-seat — cross-keyword in {!logical} — deferred: each keyword
+    notices spend movement in its next auction's snapshot and re-seats
+    the advertiser locally.  Observationally identical to {!naive_p}
+    under any per-keyword interleaving (property-tested). *)
+
 val n : t -> int
 val num_keywords : t -> int
+
+val partitioned : t -> bool
+(** True for {!naive_p} / {!logical_p} fleets. *)
 
 val on_auction : t -> time:int -> keyword:int -> unit
 (** An auction for [keyword] begins at [time]: apply every program's bid
@@ -86,3 +106,38 @@ val target_rate : t -> adv:int -> float
 
 val snapshot_bids : t -> keyword:int -> int array
 (** Current bid of every advertiser on a keyword (test helper). *)
+
+(** {2 Partitioned interface}
+
+    Only valid on {!naive_p} / {!logical_p} fleets; other fleets raise
+    [Invalid_argument].  Concurrency contract: each keyword has exactly
+    one owning lane, which is the only caller of {!begin_auction_p} /
+    {!tick_p} for that keyword; {!record_win_p} writes keyword-local
+    tallies plus the advertiser's atomic spend cell. *)
+
+val keyword_time : t -> keyword:int -> int
+(** The keyword's local auction clock (0 before its first auction). *)
+
+val tick_p : t -> keyword:int -> int
+(** Advance the keyword's clock without running bid adjustments — the
+    [Unfilled]-degrade path, which sheds program updates but keeps the
+    clock monotone.  Returns the new keyword time. *)
+
+val begin_auction_p :
+  t -> keyword:int -> ?snapshot:int array -> unit -> int * int array
+(** Start an auction on [keyword]: tick its clock, snapshot every
+    advertiser's spend (one atomic read each — or adopt [snapshot], the
+    replay path), apply the deferred cross-keyword effects locally
+    (re-seats / retirements for advertisers whose spend moved), then run
+    the per-auction bid adjustments against the snapshot and the new
+    keyword time.  Returns [(keyword_time, snapshot)]; the snapshot array
+    is an internal buffer, valid until the keyword's next call — copy it
+    to persist (the engine stores a copy in the commit summary). *)
+
+val record_win_p :
+  t -> adv:int -> keyword:int -> price:int -> clicked:bool -> unit
+(** Outcome notification on the partitioned path: a clicked win charges
+    the advertiser's atomic spend cell and bumps its keyword-local
+    gained/spent tallies.  No re-seat happens here — every keyword
+    (including this one) observes the spend change in its own next
+    auction's snapshot. *)

@@ -7,7 +7,11 @@ type t = {
   premiums : int array;
   target_rate : float;
   budget : int option;
-  mutable amt_spent : int;
+  amt_spent : int Atomic.t;
+      (* The one genuinely cross-keyword scalar: total spend.  Atomic so the
+         partitioned serve mode can charge from concurrent keyword lanes;
+         on the serial path it behaves exactly like the plain mutable it
+         replaced (single writer, sequential reads). *)
 }
 
 let create ~values ?maxbids ?initial_bids ?premiums ?budget ~target_rate () =
@@ -50,7 +54,7 @@ let create ~values ?maxbids ?initial_bids ?premiums ?budget ~target_rate () =
     premiums;
     target_rate;
     budget;
-    amt_spent = 0;
+    amt_spent = Atomic.make 0;
   }
 
 let num_keywords t = Array.length t.values
@@ -62,12 +66,15 @@ let check_kw t kw =
 let value t ~keyword = check_kw t keyword; t.values.(keyword)
 let maxbid t ~keyword = check_kw t keyword; t.maxbids.(keyword)
 let bid t ~keyword = check_kw t keyword; t.bids.(keyword)
-let amt_spent t = t.amt_spent
+let amt_spent t = Atomic.get t.amt_spent
 let target_rate t = t.target_rate
 let premium t ~keyword = check_kw t keyword; t.premiums.(keyword)
 let budget t = t.budget
 
-let exhausted t = match t.budget with Some b -> t.amt_spent >= b | None -> false
+let exhausted_at t ~amt =
+  match t.budget with Some b -> amt >= b | None -> false
+
+let exhausted t = exhausted_at t ~amt:(Atomic.get t.amt_spent)
 let gained t ~keyword = check_kw t keyword; t.gained_by.(keyword)
 let spent t ~keyword = check_kw t keyword; t.spent_by.(keyword)
 
@@ -96,22 +103,40 @@ let classify ~budget ~amt_spent ~target_rate ~time ~bid ~maxbid =
 let on_auction t ~time ~keyword =
   check_kw t keyword;
   match
-    classify ~budget:t.budget ~amt_spent:t.amt_spent ~target_rate:t.target_rate
-      ~time ~bid:t.bids.(keyword) ~maxbid:t.maxbids.(keyword)
+    classify ~budget:t.budget ~amt_spent:(Atomic.get t.amt_spent)
+      ~target_rate:t.target_rate ~time ~bid:t.bids.(keyword)
+      ~maxbid:t.maxbids.(keyword)
   with
   | Inc -> t.bids.(keyword) <- t.bids.(keyword) + 1
   | Dec -> t.bids.(keyword) <- t.bids.(keyword) - 1
   | Stay -> ()
 
+let set_bid t ~keyword ~bid =
+  check_kw t keyword;
+  if bid < 0 || bid > t.maxbids.(keyword) then
+    invalid_arg "Roi_state.set_bid: bid outside [0, maxbid]";
+  t.bids.(keyword) <- bid
+
+let charge t ~price =
+  if price < 0 then invalid_arg "Roi_state.charge: negative price";
+  Atomic.fetch_and_add t.amt_spent price + price
+
+let note_win_kw t ~keyword ~price =
+  check_kw t keyword;
+  if price < 0 then invalid_arg "Roi_state.note_win_kw: negative price";
+  t.spent_by.(keyword) <- t.spent_by.(keyword) + price;
+  t.gained_by.(keyword) <- t.gained_by.(keyword) + t.values.(keyword)
+
 let record_win t ~keyword ~price ~clicked =
   check_kw t keyword;
   if price < 0 then invalid_arg "Roi_state.record_win: negative price";
   if clicked then begin
-    t.amt_spent <- t.amt_spent + price;
+    let total = charge t ~price in
     t.spent_by.(keyword) <- t.spent_by.(keyword) + price;
     t.gained_by.(keyword) <- t.gained_by.(keyword) + t.values.(keyword);
     (* Budget exhaustion retires every bid permanently. *)
-    if exhausted t then Array.fill t.bids 0 (Array.length t.bids) 0
+    if exhausted_at t ~amt:total then
+      Array.fill t.bids 0 (Array.length t.bids) 0
   end
 
 let copy t =
@@ -124,7 +149,7 @@ let copy t =
     premiums = Array.copy t.premiums;
     target_rate = t.target_rate;
     budget = t.budget;
-    amt_spent = t.amt_spent;
+    amt_spent = Atomic.make (Atomic.get t.amt_spent);
   }
 
 let equal a b =
@@ -132,4 +157,4 @@ let equal a b =
   && a.gained_by = b.gained_by && a.spent_by = b.spent_by
   && a.premiums = b.premiums
   && a.target_rate = b.target_rate && a.budget = b.budget
-  && a.amt_spent = b.amt_spent
+  && Atomic.get a.amt_spent = Atomic.get b.amt_spent

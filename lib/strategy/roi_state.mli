@@ -53,6 +53,12 @@ val budget : t -> int option
 val exhausted : t -> bool
 (** [amt_spent >= budget]. *)
 
+val exhausted_at : t -> amt:int -> bool
+(** [exhausted_at t ~amt] is the exhaustion predicate evaluated against a
+    caller-supplied spend reading — the partitioned mode classifies
+    against its per-auction spend {e snapshot}, not the live cell, so the
+    decision is reproducible from the recorded snapshot. *)
+
 val gained : t -> keyword:int -> int
 val spent : t -> keyword:int -> int
 
@@ -71,6 +77,25 @@ val classify :
 
 val on_auction : t -> time:int -> keyword:int -> unit
 (** Apply the bid adjustment for an auction on [keyword] at [time]. *)
+
+val set_bid : t -> keyword:int -> bid:int -> unit
+(** Direct bid write, used by the partitioned fleet's keyword-local
+    re-seats and retirements (the serial path never needs it).
+    @raise Invalid_argument if [bid] is outside [\[0, maxbid\]]. *)
+
+val charge : t -> price:int -> int
+(** [charge t ~price] atomically adds [price] to the cross-keyword
+    [amt_spent] cell and returns the post-charge total.  Safe to call from
+    concurrent keyword lanes.
+    @raise Invalid_argument if [price < 0]. *)
+
+val note_win_kw : t -> keyword:int -> price:int -> unit
+(** Keyword-local half of a clicked win: bump [spent_by]/[gained_by] for
+    [keyword] only.  Combined with {!charge} this decomposes
+    {!record_win} into its cross-keyword and keyword-local parts; unlike
+    {!record_win} it performs {e no} global bid retirement — the
+    partitioned fleet applies retirement lazily, per keyword, from spend
+    snapshots. *)
 
 val record_win :
   t -> keyword:int -> price:int -> clicked:bool -> unit

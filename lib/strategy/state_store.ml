@@ -1,0 +1,45 @@
+type t = {
+  states : Roi_state.t array;
+  clocks : int array;
+  snapshots : int array array;
+}
+
+let create states ~num_keywords =
+  if Array.length states = 0 then invalid_arg "State_store.create: no advertisers";
+  if num_keywords < 1 then invalid_arg "State_store.create: num_keywords < 1";
+  let n = Array.length states in
+  {
+    states;
+    clocks = Array.make num_keywords 0;
+    snapshots = Array.init num_keywords (fun _ -> Array.make n 0);
+  }
+
+let num_keywords t = Array.length t.clocks
+
+let check_kw t keyword =
+  if keyword < 0 || keyword >= num_keywords t then
+    invalid_arg (Printf.sprintf "State_store: keyword %d out of range" keyword)
+
+let time t ~keyword =
+  check_kw t keyword;
+  t.clocks.(keyword)
+
+let tick t ~keyword =
+  check_kw t keyword;
+  t.clocks.(keyword) <- t.clocks.(keyword) + 1;
+  t.clocks.(keyword)
+
+let snapshot t ~keyword ?override () =
+  check_kw t keyword;
+  let buf = t.snapshots.(keyword) in
+  (match override with
+  | Some s ->
+      if Array.length s <> Array.length buf then
+        invalid_arg "State_store.snapshot: override length mismatch";
+      Array.blit s 0 buf 0 (Array.length buf)
+  | None ->
+      Array.iteri (fun adv st -> buf.(adv) <- Roi_state.amt_spent st) t.states);
+  buf
+
+let spend t ~adv = Roi_state.amt_spent t.states.(adv)
+let charge t ~adv ~price = Roi_state.charge t.states.(adv) ~price

@@ -1,0 +1,54 @@
+(** The partitioned state seam: what is keyword-local and what is not.
+
+    The ROI fleet's mutable state splits cleanly along the keyword axis —
+    bids, adjustment lists, triggers and the auction clock are all
+    per-keyword — except for two scalars per advertiser: total spend
+    ([amt_spent]) and its budget.  This module makes that split explicit
+    for the partitioned execution mode:
+
+    - each keyword gets its own monotone auction {e clock} (the serial
+      engine's single global clock, decomposed), advanced only by the lane
+      that owns the keyword;
+    - each keyword gets a reusable spend {e snapshot} buffer: at the start
+      of one of its auctions, every advertiser's atomic [amt_spent] cell
+      is read once into the buffer, and every decision in that auction
+      (classification, retirement, trigger arming) consumes the snapshot,
+      never the live cells.  The auction's outcome is therefore a pure
+      function of keyword-local state plus the snapshot — which is what
+      makes a recorded snapshot sufficient to replay the auction
+      bit-for-bit;
+    - charges go through the advertisers' atomic cells
+    ({!Roi_state.charge}), the only cross-keyword writes in the system.
+
+    Keyword-partitioned concurrency discipline: a keyword's clock and
+    snapshot buffer have exactly one owning lane; the spend cells are
+    shared and atomic.  No locks anywhere. *)
+
+type t
+
+val create : Roi_state.t array -> num_keywords:int -> t
+(** Shares (does not copy) the advertiser states.
+    @raise Invalid_argument on an empty fleet or [num_keywords < 1]. *)
+
+val num_keywords : t -> int
+
+val time : t -> keyword:int -> int
+(** The keyword's local auction clock (0 before its first auction). *)
+
+val tick : t -> keyword:int -> int
+(** Advance the keyword's clock and return the new time.  Single-owner:
+    only the lane owning [keyword] may call this. *)
+
+val snapshot : t -> keyword:int -> ?override:int array -> unit -> int array
+(** Fill and return the keyword's spend-snapshot buffer: one atomic read
+    of every advertiser's [amt_spent] (or a blit of [override] when
+    replaying a recorded snapshot).  The returned array is the internal
+    buffer — valid until the keyword's next [snapshot]; copy it to
+    persist.  Single-owner, like {!tick}. *)
+
+val spend : t -> adv:int -> int
+(** Live (atomic) read of one advertiser's total spend. *)
+
+val charge : t -> adv:int -> price:int -> int
+(** Atomically add [price] to the advertiser's spend; returns the
+    post-charge total.  Safe from any lane. *)

@@ -15,9 +15,15 @@ let bits64 t =
   t.state <- Int64.add t.state golden_gamma;
   mix64 t.state
 
-let split t =
-  let s = bits64 t in
-  { state = mix64 s }
+let split t ~key =
+  (* Keyed, pure stream split: the child's seed is the mix of the parent's
+     current state offset by (key+1) gammas.  mix64 is a bijection, so
+     distinct keys give distinct child states, and the finalizer
+     decorrelates them from multiples of the shared gamma (two SplitMix
+     streams whose states differ by k·gamma would be shifted copies of
+     each other).  The parent is not advanced: splitting is independent of
+     call order, so any permutation of keys reproduces the same family. *)
+  { state = mix64 (Int64.add t.state (Int64.mul golden_gamma (Int64.of_int (key + 1)))) }
 
 let int t bound =
   if bound <= 0 then invalid_arg "Rng.int: bound must be positive";

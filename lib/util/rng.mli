@@ -18,9 +18,14 @@ val copy : t -> t
 (** [copy t] is an independent generator that will produce the same future
     stream as [t] does from this point. *)
 
-val split : t -> t
-(** [split t] advances [t] and returns a new generator whose stream is
-    statistically independent of [t]'s subsequent output. *)
+val split : t -> key:int -> t
+(** [split t ~key] derives a new generator whose stream is statistically
+    independent of [t]'s output and of every other key's stream.  [t] is
+    {e not} advanced: the split is a pure function of [t]'s current state
+    and [key], so distinct keys yield disjoint streams and any permutation
+    of split calls reproduces the same family of generators — the property
+    the partitioned auction engine relies on to give every keyword its own
+    deterministic click-sampling stream. *)
 
 val bits64 : t -> int64
 (** Next raw 64-bit output. *)

@@ -200,6 +200,25 @@ let test_counter () =
   Counter.reset c;
   Alcotest.(check int) "reset" 0 (Counter.value c)
 
+let test_counter_atomic_across_domains () =
+  (* The serving layer's partitioned mode bumps shared engine counters
+     from several lane domains at once: increments must never be lost. *)
+  let c = Counter.create () in
+  let domains = 4 and per_domain = 25_000 in
+  let workers =
+    List.init domains (fun d ->
+        Domain.spawn (fun () ->
+            for i = 1 to per_domain do
+              if (i + d) mod 5 = 0 then Counter.add c 2 else Counter.incr c
+            done))
+  in
+  List.iter Domain.join workers;
+  (* Any window of [per_domain] consecutive offsets holds exactly
+     [per_domain / 5] multiples of 5, whatever [d] is. *)
+  let doubles = per_domain / 5 in
+  let expected = domains * (per_domain - doubles + (2 * doubles)) in
+  Alcotest.(check int) "no lost increments" expected (Counter.value c)
+
 let test_gauge () =
   let g = Gauge.create ~initial:2.5 () in
   Alcotest.(check (float 1e-9)) "initial" 2.5 (Gauge.value g);
@@ -375,6 +394,8 @@ let () =
       ( "counter_gauge",
         [
           Alcotest.test_case "counter" `Quick test_counter;
+          Alcotest.test_case "counter atomic across domains" `Quick
+            test_counter_atomic_across_domains;
           Alcotest.test_case "gauge" `Quick test_gauge;
         ] );
       ( "registry",

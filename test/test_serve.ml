@@ -321,6 +321,216 @@ let test_submit_bad_keyword () =
   ignore (Server.stop server)
 
 (* ------------------------------------------------------------------ *)
+(* Per-keyword commit mode *)
+
+(* Budgeted advertisers but no brand premiums: every budget invariant in
+   the replay report is exercised with no premium carve-out in play. *)
+let pk_workload seed =
+  Essa_sim.Workload.section5 ~seed ~n:40 ~k:4 ~num_keywords:6
+    ~budgeted_fraction:0.4 ~brand_fraction:0. ()
+
+(* The acceptance pin for this mode names worker counts {1, 2, 4}:
+   always include 4 on top of the suite-wide counts. *)
+let pk_worker_counts = List.sort_uniq compare (4 :: worker_counts)
+
+let run_served_pk workload ~method_ ~workers ~max_batch ~queries =
+  let engine =
+    Essa_sim.Workload.make_engine ~partitioned:true workload ~method_
+  in
+  let server =
+    Server.create ~commit:`Per_keyword ~workers ~max_batch
+      ~queue_capacity:(max 1 (Array.length queries))
+      ~engine ()
+  in
+  Array.iter
+    (fun kw ->
+      match Server.submit server ~keyword:kw with
+      | Ingress.Accepted _ -> ()
+      | Ingress.Shed | Ingress.Closed -> Alcotest.fail "unexpected rejection")
+    queries;
+  let stats = Server.stop server in
+  (server, stats)
+
+let check_per_keyword_run ~workload ~method_ ~queries ~workers =
+  let server, stats =
+    run_served_pk workload ~method_ ~workers ~max_batch:7 ~queries
+  in
+  let label fmt = Printf.sprintf fmt workers in
+  let count = Array.length queries in
+  Alcotest.(check int) (label "accepted (workers=%d)") count stats.accepted;
+  Alcotest.(check int)
+    (label "committed (workers=%d)")
+    stats.accepted stats.committed;
+  Alcotest.(check bool)
+    (label "commit mode reported (workers=%d)")
+    true
+    (stats.commit_mode = `Per_keyword);
+  (* The ISSUE acceptance pin: per-keyword commits never block on another
+     keyword's turn — the counter is structurally zero. *)
+  Alcotest.(check int)
+    (label "zero cross-keyword turnstile waits (workers=%d)")
+    0 stats.turnstile_waits;
+  (* Each keyword's log is keyword-pure and the logs partition the
+     accepted stream. *)
+  let nk = Essa_sim.Workload.num_keywords workload in
+  let logged = ref 0 in
+  for kw = 0 to nk - 1 do
+    let log = Server.commit_log server ~keyword:kw in
+    logged := !logged + List.length log;
+    List.iter
+      (fun (s : Essa.Engine.summary) ->
+        if s.keyword <> kw then
+          Alcotest.failf "keyword %d log holds a keyword-%d summary" kw
+            s.keyword)
+      log
+  done;
+  Alcotest.(check int) (label "logs partition the stream (workers=%d)") count
+    !logged;
+  (* Replay determinism + clock monotonicity + spend conservation +
+     admission-time budget respect, all from the recorded witnesses. *)
+  let fresh =
+    Essa_sim.Workload.make_engine ~partitioned:true workload ~method_
+  in
+  let report = Replay.check_server server ~fresh in
+  Alcotest.(check int)
+    (label "replay covers every commit (workers=%d)")
+    count report.auctions_checked;
+  Alcotest.(check bool)
+    (label "replay bit-for-bit (workers=%d)")
+    true report.replay_ok;
+  Alcotest.(check bool)
+    (label "keyword clocks monotone (workers=%d)")
+    true report.clocks_monotone;
+  Alcotest.(check bool)
+    (label "spend conserved (workers=%d)")
+    true report.spend_conserved;
+  Alcotest.(check bool)
+    (label "budgets respected at admission (workers=%d)")
+    true report.budgets_respected;
+  Alcotest.(check int)
+    (label "log revenue = stats revenue (workers=%d)")
+    stats.revenue report.log_revenue
+
+let test_per_keyword_rh () =
+  let workload = pk_workload 61 in
+  let queries = Essa_sim.Workload.queries workload ~seed:62 ~count:240 in
+  List.iter
+    (fun workers -> check_per_keyword_run ~workload ~method_:`Rh ~queries ~workers)
+    pk_worker_counts
+
+let test_per_keyword_rhtalu () =
+  let workload = pk_workload 63 in
+  let queries = Essa_sim.Workload.queries workload ~seed:64 ~count:240 in
+  List.iter
+    (fun workers ->
+      check_per_keyword_run ~workload ~method_:`Rhtalu ~queries ~workers)
+    pk_worker_counts
+
+let prop_per_keyword_invariants =
+  (* Random shapes and seeds: the replay contract holds for any instance,
+     not just the hand-picked ones. *)
+  qtest "per-keyword replay contract holds" ~count:4
+    QCheck2.Gen.(
+      tup4 (int_range 1 1000) (int_range 8 40) (int_range 2 6)
+        (int_range 30 90))
+    (fun (seed, n, nk, count) ->
+      let workload =
+        Essa_sim.Workload.section5 ~seed ~n ~k:3 ~num_keywords:nk
+          ~budgeted_fraction:0.3 ()
+      in
+      let queries = Essa_sim.Workload.queries workload ~seed:(seed + 1) ~count in
+      List.for_all
+        (fun method_ ->
+          List.for_all
+            (fun workers ->
+              let server, stats =
+                run_served_pk workload ~method_ ~workers ~max_batch:5 ~queries
+              in
+              let fresh =
+                Essa_sim.Workload.make_engine ~partitioned:true workload
+                  ~method_
+              in
+              let report = Replay.check_server server ~fresh in
+              stats.turnstile_waits = 0
+              && stats.committed = count
+              && report.auctions_checked = count
+              && Replay.ok report)
+            worker_counts)
+        [ `Rh; `Rhtalu ])
+
+let test_commit_mode_pairing () =
+  let workload = pk_workload 65 in
+  let serial = Essa_sim.Workload.make_engine workload ~method_:`Rh in
+  Alcotest.check_raises "per-keyword over a serial engine"
+    (Invalid_argument
+       "Server.create: `Per_keyword commit requires a partitioned engine \
+        (Engine.create ~partitioned:true)") (fun () ->
+      ignore (Server.create ~commit:`Per_keyword ~workers:1 ~engine:serial ()));
+  let partitioned =
+    Essa_sim.Workload.make_engine ~partitioned:true workload ~method_:`Rh
+  in
+  Alcotest.check_raises "global over a partitioned engine"
+    (Invalid_argument
+       "Server.create: `Global commit requires a serial engine (a \
+        partitioned engine has no global clock to serialize on)") (fun () ->
+      ignore (Server.create ~workers:1 ~engine:partitioned ()));
+  (* Still-valid engines: drain them so domains are not leaked. *)
+  let s = Server.create ~workers:1 ~engine:serial () in
+  ignore (Server.stop s);
+  let s =
+    Server.create ~commit:`Per_keyword ~workers:1 ~engine:partitioned ()
+  in
+  ignore (Server.stop s);
+  (* Global mode records no per-keyword log. *)
+  let engine = Essa_sim.Workload.make_engine workload ~method_:`Rh in
+  let s = Server.create ~workers:1 ~engine () in
+  ignore (Server.stop s);
+  Alcotest.check_raises "no commit log under global"
+    (Invalid_argument
+       "Server.commit_log: `Global commit records no per-keyword log")
+    (fun () -> ignore (Server.commit_log s ~keyword:0))
+
+(* ------------------------------------------------------------------ *)
+(* Global golden pin *)
+
+(* A pinned fingerprint of the Global-mode served stream on a fixed
+   workload: any change to the engine, strategy or serving layer that
+   perturbs the bit-exact serial-equivalence contract moves this hash.
+   (The serial engine produces the same stream — the equivalence suite
+   above proves that — so this pins the seed behaviour itself.) *)
+let golden_hash summaries =
+  let mix h x = ((h * 1000003) lxor x) land 0x3FFFFFFF in
+  List.fold_left
+    (fun h (t, kw, assign, prices, clicks, rev) ->
+      let h = mix (mix h t) kw in
+      let h =
+        List.fold_left
+          (fun h a -> mix h (match a with Some adv -> adv + 1 | None -> 0))
+          h assign
+      in
+      let h = List.fold_left mix h prices in
+      let h =
+        List.fold_left (fun h c -> mix h (if c then 1 else 0)) h clicks
+      in
+      mix h rev)
+    0x9E3779 summaries
+
+let golden_pin ~method_ ~expected () =
+  let workload =
+    Essa_sim.Workload.section5 ~seed:71 ~n:40 ~k:4 ~num_keywords:6
+      ~brand_fraction:0.25 ~budgeted_fraction:0.25 ()
+  in
+  let queries = Essa_sim.Workload.queries workload ~seed:72 ~count:300 in
+  let summaries, _ = run_served workload ~method_ ~workers:2 ~max_batch:7 ~queries in
+  Alcotest.(check int) "pinned served-stream hash" expected
+    (golden_hash summaries)
+
+(* `Rh and `Rhtalu are two algorithms for the same auction: identical
+   streams, hence the same pin. *)
+let test_golden_pin_rh = golden_pin ~method_:`Rh ~expected:541801493
+let test_golden_pin_rhtalu = golden_pin ~method_:`Rhtalu ~expected:541801493
+
+(* ------------------------------------------------------------------ *)
 (* Load generators *)
 
 let test_closed_loop_never_sheds () =
@@ -385,6 +595,20 @@ let () =
           Alcotest.test_case "server overrun sheds" `Quick
             test_server_overrun_sheds;
           Alcotest.test_case "bad keyword" `Quick test_submit_bad_keyword;
+        ] );
+      ( "per-keyword",
+        [
+          Alcotest.test_case "RH: replay + invariants" `Quick
+            test_per_keyword_rh;
+          Alcotest.test_case "RHTALU: replay + invariants" `Quick
+            test_per_keyword_rhtalu;
+          prop_per_keyword_invariants;
+          Alcotest.test_case "commit-mode pairing" `Quick
+            test_commit_mode_pairing;
+          Alcotest.test_case "global golden pin (rh)" `Quick
+            test_golden_pin_rh;
+          Alcotest.test_case "global golden pin (rhtalu)" `Quick
+            test_golden_pin_rhtalu;
         ] );
       ( "load_gen",
         [

@@ -610,6 +610,146 @@ let test_fleet_interface_guards () =
     | _ -> false)
 
 (* ------------------------------------------------------------------ *)
+(* Partitioned fleets (naive_p / logical_p) *)
+
+let random_states_budgeted rng n nk =
+  Array.init n (fun _ ->
+      let values = Array.init nk (fun _ -> Essa_util.Rng.int rng 51) in
+      if Array.for_all (fun v -> v = 0) values then
+        values.(0) <- 1 + Essa_util.Rng.int rng 50;
+      let maxv = Array.fold_left max 1 values in
+      let budget =
+        if Essa_util.Rng.int rng 3 = 0 then
+          Some (20 + Essa_util.Rng.int rng 200)
+        else None
+      in
+      Roi_state.create ~values ?budget
+        ~target_rate:(Essa_util.Rng.float_in rng 1.0 (float_of_int maxv))
+        ())
+
+let prop_partitioned_two_way_equivalence =
+  (* naive_p and logical_p must be observationally identical under any
+     per-keyword trace: same snapshots, same keyword clocks, same bids
+     after every auction — including lazy budget retirement and the
+     deferred re-seat, which both apply from the next snapshot. *)
+  qtest ~count:25 "naive_p = logical_p over random per-keyword traces"
+    QCheck2.Gen.(int_range 0 100_000)
+    (fun seed ->
+      let rng = Essa_util.Rng.create seed in
+      let n = 2 + Essa_util.Rng.int rng 25 in
+      let nk = 1 + Essa_util.Rng.int rng 4 in
+      let base = random_states_budgeted rng n nk in
+      let fleets =
+        List.map
+          (fun make -> make (Array.map Roi_state.copy base))
+          [ Roi_fleet.naive_p; Roi_fleet.logical_p ]
+      in
+      let ok = ref true in
+      let check_eq a b = if a <> b then ok := false in
+      for _step = 1 to 250 do
+        let kw = Essa_util.Rng.int rng nk in
+        if Essa_util.Rng.int rng 10 = 0 then
+          (* Unfilled-degrade path: clock advances, no adjustments. *)
+          match List.map (fun f -> Roi_fleet.tick_p f ~keyword:kw) fleets with
+          | [ a; b ] -> check_eq a b
+          | _ -> ok := false
+        else begin
+          (match
+             List.map
+               (fun f ->
+                 let kt, snap = Roi_fleet.begin_auction_p f ~keyword:kw () in
+                 (kt, Array.copy snap))
+               fleets
+           with
+          | [ a; b ] -> check_eq a b
+          | _ -> ok := false);
+          let winners =
+            List.sort_uniq compare
+              (List.init
+                 (Essa_util.Rng.int rng 4)
+                 (fun _ -> Essa_util.Rng.int rng n))
+          in
+          List.iter
+            (fun adv ->
+              let clicked = Essa_util.Rng.bool rng in
+              let price = Essa_util.Rng.int rng 30 in
+              List.iter
+                (fun f ->
+                  Roi_fleet.record_win_p f ~adv ~keyword:kw ~price ~clicked)
+                fleets)
+            winners
+        end;
+        (match
+           List.map (fun f -> Roi_fleet.snapshot_bids f ~keyword:kw) fleets
+         with
+        | [ a; b ] -> check_eq a b
+        | _ -> ok := false);
+        match
+          List.map
+            (fun f -> List.of_seq (Roi_fleet.bids_desc f ~keyword:kw))
+            fleets
+        with
+        | [ a; b ] -> check_eq a b
+        | _ -> ok := false
+      done;
+      (match
+         List.map
+           (fun f -> List.init n (fun adv -> Roi_fleet.amt_spent f ~adv))
+           fleets
+       with
+      | [ a; b ] -> check_eq a b
+      | _ -> ok := false);
+      !ok)
+
+let test_partitioned_deferred_retirement () =
+  (* Budget exhaustion through keyword 0 retires the advertiser's other
+     bids lazily: keyword 1 only notices in its own next auction's
+     snapshot — not at the moment of the charge. *)
+  List.iter
+    (fun make ->
+      let fleet =
+        make
+          [|
+            Roi_state.create ~values:[| 10; 10 |] ~initial_bids:[| 6; 6 |]
+              ~budget:15 ~target_rate:1.0 ();
+          |]
+      in
+      ignore (Roi_fleet.begin_auction_p fleet ~keyword:0 ());
+      Roi_fleet.record_win_p fleet ~adv:0 ~keyword:0 ~price:20 ~clicked:true;
+      Alcotest.(check int) "spend charged" 20 (Roi_fleet.amt_spent fleet ~adv:0);
+      Alcotest.(check bool) "keyword 1 bid still live (deferred)" true
+        (Roi_fleet.bid fleet ~adv:0 ~keyword:1 > 0);
+      ignore (Roi_fleet.begin_auction_p fleet ~keyword:1 ());
+      Alcotest.(check int) "keyword 1 retired on its next auction" 0
+        (Roi_fleet.bid fleet ~adv:0 ~keyword:1);
+      ignore (Roi_fleet.begin_auction_p fleet ~keyword:0 ());
+      Alcotest.(check int) "keyword 0 retired on its next auction" 0
+        (Roi_fleet.bid fleet ~adv:0 ~keyword:0))
+    [ Roi_fleet.naive_p; Roi_fleet.logical_p ]
+
+let test_partitioned_interface_guards () =
+  let raises f = match f () with exception Invalid_argument _ -> true | _ -> false in
+  let p = Roi_fleet.naive_p [| mk_state () |] in
+  Alcotest.(check bool) "partitioned" true (Roi_fleet.partitioned p);
+  Alcotest.(check int) "clock starts at 0" 0 (Roi_fleet.keyword_time p ~keyword:0);
+  Alcotest.(check int) "tick advances" 1 (Roi_fleet.tick_p p ~keyword:0);
+  Alcotest.(check int) "clock read back" 1 (Roi_fleet.keyword_time p ~keyword:0);
+  Alcotest.(check bool) "serial on_auction raises on partitioned" true
+    (raises (fun () -> Roi_fleet.on_auction p ~time:1 ~keyword:0));
+  Alcotest.(check bool) "serial record_win raises on partitioned" true
+    (raises (fun () ->
+         Roi_fleet.record_win p ~time:1 ~adv:0 ~keyword:0 ~price:1
+           ~clicked:true));
+  let s = Roi_fleet.naive [| mk_state () |] in
+  Alcotest.(check bool) "serial fleet is not partitioned" false
+    (Roi_fleet.partitioned s);
+  Alcotest.(check bool) "begin_auction_p raises on serial" true
+    (raises (fun () -> ignore (Roi_fleet.begin_auction_p s ~keyword:0 ())));
+  Alcotest.(check bool) "record_win_p raises on serial" true
+    (raises (fun () ->
+         Roi_fleet.record_win_p s ~adv:0 ~keyword:0 ~price:1 ~clicked:true))
+
+(* ------------------------------------------------------------------ *)
 (* Ramp_fleet (Section IV-A, multi-parameter TA) *)
 
 let test_ramp_bid_formula () =
@@ -726,6 +866,14 @@ let () =
           Alcotest.test_case "bound + spend-rate triggers" `Quick test_fleet_logical_bound_edges;
           Alcotest.test_case "keyword isolation" `Quick test_fleet_keyword_isolation;
           Alcotest.test_case "interface guards" `Quick test_fleet_interface_guards;
+        ] );
+      ( "partitioned_fleet",
+        [
+          prop_partitioned_two_way_equivalence;
+          Alcotest.test_case "deferred budget retirement" `Quick
+            test_partitioned_deferred_retirement;
+          Alcotest.test_case "interface guards" `Quick
+            test_partitioned_interface_guards;
         ] );
       ( "ramp_fleet",
         [

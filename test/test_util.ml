@@ -32,12 +32,49 @@ let test_rng_copy () =
 
 let test_rng_split_independent () =
   let a = Rng.create 7 in
-  let b = Rng.split a in
+  let b = Rng.split a ~key:0 in
   let same = ref true in
   for _ = 1 to 10 do
     if Rng.bits64 a <> Rng.bits64 b then same := false
   done;
   Alcotest.(check bool) "split independent" false !same
+
+let test_rng_split_disjoint_streams () =
+  (* Children for distinct keys must not collide: draw a prefix from each
+     of many child streams and check global uniqueness.  With 64-bit
+     outputs any collision would be astronomically unlikely unless two
+     streams coincide. *)
+  let parent = Rng.create 13 in
+  let tbl = Hashtbl.create 4096 in
+  for key = 0 to 63 do
+    let child = Rng.split parent ~key in
+    for _ = 1 to 32 do
+      let v = Rng.bits64 child in
+      if Hashtbl.mem tbl v then
+        Alcotest.failf "collision across child streams (key %d)" key;
+      Hashtbl.add tbl v ()
+    done
+  done
+
+let test_rng_split_pure_and_permutable () =
+  (* split must not advance the parent, so the family of children is
+     independent of the order keys are requested in. *)
+  let a = Rng.create 99 and b = Rng.create 99 in
+  let keys = [ 4; 0; 7; 2 ] in
+  let draw t = Rng.bits64 (Rng.copy t) in
+  let children_a = List.map (fun key -> (key, draw (Rng.split a ~key))) keys in
+  let children_b =
+    List.rev_map (fun key -> (key, draw (Rng.split b ~key))) keys
+  in
+  List.iter
+    (fun (key, v) ->
+      Alcotest.(check int64)
+        (Printf.sprintf "key %d reproducible under permutation" key)
+        v (List.assoc key children_b))
+    children_a;
+  (* Parent stream unaffected by the splits. *)
+  Alcotest.(check int64) "parent untouched" (Rng.bits64 (Rng.create 99))
+    (Rng.bits64 a)
 
 let test_rng_int_bounds () =
   let rng = Rng.create 3 in
@@ -456,6 +493,10 @@ let () =
           Alcotest.test_case "seeds differ" `Quick test_rng_seeds_differ;
           Alcotest.test_case "copy" `Quick test_rng_copy;
           Alcotest.test_case "split" `Quick test_rng_split_independent;
+          Alcotest.test_case "split disjoint streams" `Quick
+            test_rng_split_disjoint_streams;
+          Alcotest.test_case "split pure + permutable" `Quick
+            test_rng_split_pure_and_permutable;
           Alcotest.test_case "int bounds" `Quick test_rng_int_bounds;
           Alcotest.test_case "int_in bounds" `Quick test_rng_int_in_bounds;
           Alcotest.test_case "int invalid" `Quick test_rng_int_invalid;
