@@ -16,9 +16,17 @@ open Toolkit
 type row = {
   name : string;
   ns_per_run : float;  (* nan = no estimate (null in JSON) *)
-  p50_ns : float option;
+  p50_ns : float option;  (* per-auction service time (execution only) *)
   p95_ns : float option;
   p99_ns : float option;
+  (* Enqueue-to-commit latency (queueing included) — the serving
+     pipeline's client-visible number.  Distinct fields on purpose: the
+     serving rows used to publish these under p50_ns/p95_ns/p99_ns,
+     making "serve/w=4" tails incomparable with the serial rows' service
+     times under the same key. *)
+  queue_p50_ns : float option;
+  queue_p95_ns : float option;
+  queue_p99_ns : float option;
   auctions_per_s : float option;
   degraded : int option;  (* serving rows: deadline-degraded auctions *)
   lane_restarts : int option;  (* serving rows: supervisor restarts *)
@@ -30,6 +38,7 @@ type row = {
 
 let bare name ns_per_run =
   { name; ns_per_run; p50_ns = None; p95_ns = None; p99_ns = None;
+    queue_p50_ns = None; queue_p95_ns = None; queue_p99_ns = None;
     auctions_per_s = None; degraded = None; lane_restarts = None;
     commit_mode = None; turnstile_waits = None; lane_imbalance = None;
     replay_ok = None }
@@ -367,6 +376,12 @@ let serve_rows ~quota =
          ~window:16 ());
     Option.iter Essa_obs.Histogram.reset
       (histogram_of registry "essa.serve.commit_latency_ns");
+    (* Drop the warmup's service-time samples too; the partitioned
+       engine buffers them per keyword, so drain those first (the fleet
+       is idle between closed loops — no lane is running an auction). *)
+    if partitioned then Essa.Engine.sync_partition_metrics engine;
+    Option.iter Essa_obs.Histogram.reset
+      (histogram_of registry "essa.auction.total_ns");
     let report =
       Essa_serve.Load_gen.closed_loop server
         ~keywords:(Seq.drop warmup stream) ~total:auctions ~window:16 ()
@@ -382,7 +397,8 @@ let serve_rows ~quota =
         in
         Some (Essa_serve.Replay.ok (Essa_serve.Replay.check_server server ~fresh))
     in
-    let p50, p95, p99 = percentiles_of registry "essa.serve.commit_latency_ns" in
+    let q50, q95, q99 = percentiles_of registry "essa.serve.commit_latency_ns" in
+    let p50, p95, p99 = percentiles_of registry "essa.auction.total_ns" in
     let tag =
       (match commit with `Global -> "" | `Per_keyword -> "/commit=per-keyword")
       ^
@@ -398,6 +414,9 @@ let serve_rows ~quota =
       p50_ns = p50;
       p95_ns = p95;
       p99_ns = p99;
+      queue_p50_ns = q50;
+      queue_p95_ns = q95;
+      queue_p99_ns = q99;
       auctions_per_s = Some report.throughput_per_s;
       degraded = Some stats.degraded;
       lane_restarts = Some stats.lane_restarts;
@@ -440,12 +459,19 @@ let print_rows rows =
               (pretty p99)
         | _ -> ""
       in
+      let queue_tail =
+        match (r.queue_p50_ns, r.queue_p99_ns) with
+        | Some q50, Some q99 ->
+            Printf.sprintf "  queue p50 %s p99 %s" (pretty q50) (pretty q99)
+        | _ -> ""
+      in
       let rate =
         match r.auctions_per_s with
         | Some aps -> Printf.sprintf "  %8.0f auctions/s" aps
         | None -> ""
       in
-      Printf.printf "  %-44s %s%s%s\n%!" r.name (pretty r.ns_per_run) rate tail)
+      Printf.printf "  %-44s %s%s%s%s\n%!" r.name (pretty r.ns_per_run) rate
+        tail queue_tail)
     rows
 
 let run_group ~quota group =
@@ -486,11 +512,12 @@ let run_group ~quota group =
 (* JSON emission, by hand (no JSON dependency): schema "essa-bench/1" is
    {schema, quota_s, results: [{name, ns_per_run|null}]} — the contract
    the CI bench-smoke job checks and archives.  Rows backed by a latency
-   histogram additionally carry p50_ns/p95_ns/p99_ns, and serving rows
-   auctions_per_s plus integer degraded / lane_restarts tallies, a
-   commit_mode string, turnstile_waits / lane_imbalance load stats and
-   (per-keyword rows) a replay_ok verdict; all additive, the schema
-   version is unchanged. *)
+   histogram additionally carry p50_ns/p95_ns/p99_ns (per-auction
+   service time), and serving rows queue_p50_ns/queue_p95_ns/
+   queue_p99_ns (enqueue-to-commit, queueing included), auctions_per_s,
+   integer degraded / lane_restarts tallies, a commit_mode string,
+   turnstile_waits / lane_imbalance load stats and (per-keyword rows) a
+   replay_ok verdict; all additive, the schema version is unchanged. *)
 let json_escape s =
   let buf = Buffer.create (String.length s + 8) in
   String.iter
@@ -531,10 +558,13 @@ let write_json ~path ~quota rows =
         | Some v -> Printf.sprintf ", \"%s\": %b" key v
       in
       Printf.fprintf oc
-        "%s\n    { \"name\": \"%s\", \"ns_per_run\": %s%s%s%s%s%s%s%s%s%s%s }"
+        "%s\n    { \"name\": \"%s\", \"ns_per_run\": %s%s%s%s%s%s%s%s%s%s%s%s%s%s }"
         (if i = 0 then "" else ",")
         (json_escape r.name) (num r.ns_per_run)
         (opt "p50_ns" r.p50_ns) (opt "p95_ns" r.p95_ns) (opt "p99_ns" r.p99_ns)
+        (opt "queue_p50_ns" r.queue_p50_ns)
+        (opt "queue_p95_ns" r.queue_p95_ns)
+        (opt "queue_p99_ns" r.queue_p99_ns)
         (opt "auctions_per_s" r.auctions_per_s)
         (opt_int "degraded" r.degraded)
         (opt_int "lane_restarts" r.lane_restarts)

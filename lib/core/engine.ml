@@ -127,7 +127,31 @@ type scratch = {
   local_of : int array;
   reduced_advs : int array;            (* capacity k·(k+1) candidates *)
   reduced_w_rows : float array array;  (* capacity k·(k+1) rows of k *)
+  (* Threshold-algorithm workspace of the SoA fast path: a stamp array for
+     the per-slot seen set (no Hashtbl) and one insertion-sorted top-(k+1)
+     buffer reused by every slot scan. *)
+  ta_seen : int array;
+  mutable ta_token : int;
+  tk_ids : int array;                  (* capacity k+1 *)
+  tk_scores : float array;             (* capacity k+1 *)
+  ta_eff : float array;                (* effective bid by advertiser *)
 }
+
+let make_scratch ~n ~k ~with_w =
+  let reduced_capacity = min n (k * (k + 1)) in
+  {
+    w_buffer = (if with_w then Array.make_matrix n k 0.0 else [||]);
+    stamp = Array.make n 0;
+    stamp_token = 0;
+    local_of = Array.make n 0;
+    reduced_advs = Array.make reduced_capacity 0;
+    reduced_w_rows = Array.make_matrix reduced_capacity k 0.0;
+    ta_seen = Array.make n 0;
+    ta_token = 0;
+    tk_ids = Array.make (k + 1) 0;
+    tk_scores = Array.make (k + 1) 0.0;
+    ta_eff = Array.make n 0.0;
+  }
 
 (* Per-keyword execution state of the partitioned mode: an independent
    click-sampling stream (split off the user seed by keyword), private
@@ -152,12 +176,24 @@ type t = {
   ctr : float array array;
   fleet : Essa_strategy.Roi_fleet.t;
   (* Per-slot advertisers sorted by click probability (descending,
-     ties by index) — the static sorted-access lists of Section IV-A. *)
+     ties by index) — the static sorted-access lists of Section IV-A.
+     Kept both as tuple arrays (the generic pooled TA path) and split
+     into parallel id/value arrays (the SoA fast path: unboxed float
+     reads, no tuple dereference per sorted access). *)
   ctr_sorted : (int * float) array array;
+  ctr_ids : int array array;           (* k × n *)
+  ctr_vals : float array array;        (* k × n *)
+  (* ctr transposed (slot-major): the TA resolve step reads one slot's
+     column 100+ times per scan, so the column layout keeps those reads
+     in one contiguous 8n-byte stripe instead of striding the row-major
+     matrix. *)
+  ctr_cols : float array array;        (* k × n *)
   (* Static Click∧Slot1 premiums: premiums.(kw).(adv), plus per-keyword
      descending lists for the slot-1 threshold algorithm. *)
   premiums : int array array;
   premium_sorted : (int * float) array array;
+  prem_ids : int array array;          (* nk × n *)
+  prem_vals : float array array;       (* nk × n *)
   user_rng : Essa_util.Rng.t;
   mutable time : int;
   mutable total_revenue : int;
@@ -263,19 +299,8 @@ let create ?metrics ?pool ?(parallel_threshold = 4096)
   let registry =
     match metrics with Some r -> r | None -> Essa_obs.Registry.create ()
   in
-  (* The per-slot top lists carry k+1 candidates each, so the reduced set
-     never exceeds k·(k+1) (nor n). *)
-  let reduced_capacity = min n (k * (k + 1)) in
-  let make_scratch ~with_w =
-    {
-      w_buffer = (if with_w then Array.make_matrix n k 0.0 else [||]);
-      stamp = Array.make n 0;
-      stamp_token = 0;
-      local_of = Array.make n 0;
-      reduced_advs = Array.make reduced_capacity 0;
-      reduced_w_rows = Array.make_matrix reduced_capacity k 0.0;
-    }
-  in
+  let split_ids = Array.map (Array.map fst) in
+  let split_vals = Array.map (Array.map snd) in
   {
     method_;
     pricing;
@@ -286,13 +311,18 @@ let create ?metrics ?pool ?(parallel_threshold = 4096)
     ctr;
     fleet;
     ctr_sorted;
+    ctr_ids = split_ids ctr_sorted;
+    ctr_vals = split_vals ctr_sorted;
+    ctr_cols = Array.init k (fun j -> Array.init n (fun i -> ctr.(i).(j)));
     premiums;
     premium_sorted;
+    prem_ids = split_ids premium_sorted;
+    prem_vals = split_vals premium_sorted;
     user_rng = Essa_util.Rng.create user_seed;
     time = 0;
     total_revenue = 0;
     auctions = 0;
-    scratch = make_scratch ~with_w:(not partitioned || method_ = `Rh);
+    scratch = make_scratch ~n ~k ~with_w:(not partitioned || method_ = `Rh);
     is_partitioned = partitioned;
     partitions =
       (if partitioned then
@@ -331,21 +361,10 @@ let partition_of t ~keyword =
   match t.partitions.(keyword) with
   | Some p -> p
   | None ->
-      let reduced_capacity = min t.n (t.k * (t.k + 1)) in
       let p =
         {
           p_rng = Essa_util.Rng.split t.user_rng ~key:keyword;
-          p_scratch =
-            {
-              w_buffer =
-                (if t.method_ = `Rh then Array.make_matrix t.n t.k 0.0
-                 else [||]);
-              stamp = Array.make t.n 0;
-              stamp_token = 0;
-              local_of = Array.make t.n 0;
-              reduced_advs = Array.make reduced_capacity 0;
-              reduced_w_rows = Array.make_matrix reduced_capacity t.k 0.0;
-            };
+          p_scratch = make_scratch ~n:t.n ~k:t.k ~with_w:(t.method_ = `Rh);
           p_h_total = Essa_obs.Histogram.create ();
           p_revenue = 0;
         }
@@ -380,11 +399,230 @@ let fill_weights t s ~keyword =
   done;
   s.w_buffer
 
+(* SoA replica of [Essa_ta.Threshold.top_k] for the auction's three
+   concrete sources, eliminating the generic machinery's per-access cost
+   (Seq nodes, closure dispatch, the Hashtbl seen-set, the boxed top-k
+   heap).  The control flow is a line-for-line copy of the generic loop —
+   round-robin sorted access in source order (ctr, bids, premium), full
+   resolve of each new object, τ from the last values seen, the strict
+   stop rule [min top-k score > τ], canonical ties (higher score, then
+   smaller id) — and the access statistics are counted identically, so
+   the result lists *and* the essa.ta.* counters are bit-identical to the
+   generic path (property-tested).
+
+   Sorted access on the maintained bid lists is an inline merge of the
+   fleet's persistent sorted views ({!Essa_strategy.Roi_fleet.sorted_views}):
+   flat arrays that survive across consecutive auctions of the keyword
+   until a list structurally changes — the TA-resume state.  The seen set
+   is a stamp array and the top-(k+1) buffer an insertion-sorted pair of
+   parallel arrays, both in the per-auction scratch, so a TA open
+   allocates nothing but the k result lists. *)
+let ta_top_lists_fast t s ~keyword ~count =
+  let views = Essa_strategy.Roi_fleet.sorted_views t.fleet ~keyword in
+  let nv = Array.length views in
+  (* Hoist the view fields and the random-access closure out of the
+     per-access loops. *)
+  let v_ids = Array.map (fun v -> v.Essa_strategy.Roi_fleet.sv_ids) views in
+  let v_bids = Array.map (fun v -> v.Essa_strategy.Roi_fleet.sv_bids) views in
+  let v_adj = Array.map (fun v -> v.Essa_strategy.Roi_fleet.sv_adjust) views in
+  let v_len = Array.map (fun v -> v.Essa_strategy.Roi_fleet.sv_len) views in
+  let n = t.n in
+  (* The views partition the advertisers (one view of all n for explicit
+     strategies; the inc/dec/const lists for logical ones), so scattering
+     them through the id axis yields every advertiser's effective bid as
+     one unboxed float read — the random access of the TA resolve step,
+     without a closure call per object. *)
+  let eff = s.ta_eff in
+  let filled = ref 0 in
+  for v = 0 to Array.length views - 1 do
+    let ids = v_ids.(v) and bids = v_bids.(v) in
+    let adj = v_adj.(v) and len = v_len.(v) in
+    for i = 0 to len - 1 do
+      eff.(ids.(i)) <- float_of_int (bids.(i) + adj)
+    done;
+    filled := !filled + len
+  done;
+  assert (!filled = n);
+  let reserve = float_of_int t.reserve in
+  let premiums = t.premiums.(keyword) in
+  let prem_ids = t.prem_ids.(keyword) and prem_vals = t.prem_vals.(keyword) in
+  let seen = s.ta_seen in
+  let tk_ids = s.tk_ids and tk_scores = s.tk_scores in
+  let vcur = Array.make nv 0 in
+  let tops = Array.make t.k [] in
+  (* Cached merge heads: hd_bid.(v) / hd_id.(v) mirror the entry at
+     vcur.(v), recomputed only when view v is consumed — the merge pick is
+     then a scan of scalars.  hd_bid = min_int marks a drained view. *)
+  let hd_bid = Array.make nv 0 and hd_id = Array.make nv 0 in
+  for j = 0 to t.k - 1 do
+    let d = if j = 0 then 3 else 2 in
+    let ctr_ids = t.ctr_ids.(j) and ctr_vals = t.ctr_vals.(j) in
+    let ctr_col = t.ctr_cols.(j) in
+    s.ta_token <- s.ta_token + 1;
+    let token = s.ta_token in
+    let tk_size = ref 0 in
+    let c_ctr = ref 0 and c_prem = ref 0 in
+    Array.fill vcur 0 nv 0;
+    for v = 0 to nv - 1 do
+      if v_len.(v) > 0 then begin
+        hd_id.(v) <- v_ids.(v).(0);
+        hd_bid.(v) <- v_bids.(v).(0) + v_adj.(v)
+      end
+      else hd_bid.(v) <- min_int
+    done;
+    let last_ctr = ref infinity
+    and last_bid = ref infinity
+    and last_prem = ref infinity in
+    let exh_ctr = ref false and exh_bid = ref false and exh_prem = ref false in
+    let yld_ctr = ref false and yld_bid = ref false and yld_prem = ref false in
+    let sorted_accesses = ref 0
+    and random_accesses = ref 0
+    and seen_objects = ref 0 in
+    let resolve id =
+      if seen.(id) <> token then begin
+        seen.(id) <- token;
+        incr seen_objects;
+        random_accesses := !random_accesses + d;
+        let b = eff.(id) in
+        (* Same float expressions as the generic sources' [f]: sub-reserve
+           bids score 0, slot 1 carries the Click∧Slot1 premium. *)
+        let sc =
+          if b < reserve then 0.0
+          else if j = 0 then ctr_col.(id) *. (b +. float_of_int premiums.(id))
+          else ctr_col.(id) *. b
+        in
+        (* Offer to the insertion-sorted top-[count] buffer; canonical
+           order: higher score first, ties to the smaller id. *)
+        let full = !tk_size >= count in
+        let accept =
+          count > 0
+          && ((not full)
+             ||
+             let ms = tk_scores.(count - 1) in
+             sc > ms || (sc = ms && id < tk_ids.(count - 1)))
+        in
+        if accept then begin
+          let p = ref (if full then count - 1 else !tk_size) in
+          if not full then incr tk_size;
+          while
+            !p > 0
+            && (let ps = tk_scores.(!p - 1) in
+                sc > ps || (sc = ps && id < tk_ids.(!p - 1)))
+          do
+            tk_scores.(!p) <- tk_scores.(!p - 1);
+            tk_ids.(!p) <- tk_ids.(!p - 1);
+            decr p
+          done;
+          tk_scores.(!p) <- sc;
+          tk_ids.(!p) <- id
+        end
+      end
+    in
+    (* One round of the generic loop — step every source in order (ctr,
+       bids, premium), then test the strict stop rule — with the step and
+       τ bodies inlined into the round loop: these run a few thousand
+       times per auction, and on the non-flambda backend each would
+       otherwise be an uninlined closure call. *)
+    let running = ref true in
+    while !running do
+      if !exh_ctr && !exh_bid && (d < 3 || !exh_prem) then running := false
+      else begin
+        (* step ctr *)
+        if not !exh_ctr then begin
+          if !c_ctr >= n then exh_ctr := true
+          else begin
+            let id = ctr_ids.(!c_ctr) in
+            last_ctr := ctr_vals.(!c_ctr);
+            incr c_ctr;
+            incr sorted_accesses;
+            yld_ctr := true;
+            resolve id
+          end
+        end;
+        (* step bids: head of the ≤3-way merge of the sorted views —
+           effective bid descending, id ascending, exactly the
+           [bids_desc] order.  Heads are cached scalars; bids are
+           non-negative, so min_int marks a drained view. *)
+        if not !exh_bid then begin
+          let best = ref (-1) and best_id = ref 0 and best_bid = ref min_int in
+          for v = 0 to nv - 1 do
+            let b = hd_bid.(v) in
+            if b <> min_int then begin
+              let id = hd_id.(v) in
+              if !best < 0 || b > !best_bid || (b = !best_bid && id < !best_id)
+              then begin
+                best := v;
+                best_id := id;
+                best_bid := b
+              end
+            end
+          done;
+          if !best < 0 then exh_bid := true
+          else begin
+            let v = !best in
+            let c = vcur.(v) + 1 in
+            vcur.(v) <- c;
+            if c < v_len.(v) then begin
+              hd_id.(v) <- v_ids.(v).(c);
+              hd_bid.(v) <- v_bids.(v).(c) + v_adj.(v)
+            end
+            else hd_bid.(v) <- min_int;
+            incr sorted_accesses;
+            yld_bid := true;
+            last_bid := float_of_int !best_bid;
+            resolve !best_id
+          end
+        end;
+        (* step premium (slot 1 only) *)
+        if d = 3 && not !exh_prem then begin
+          if !c_prem >= n then exh_prem := true
+          else begin
+            let id = prem_ids.(!c_prem) in
+            last_prem := prem_vals.(!c_prem);
+            incr c_prem;
+            incr sorted_accesses;
+            yld_prem := true;
+            resolve id
+          end
+        end;
+        (* Strict stop rule: min top-[count] score > τ, where τ is f of
+           the last values seen, collapsing to -inf once every source is
+           drained or any source was exhausted without yielding. *)
+        if !tk_size >= count then begin
+          if count = 0 then running := false
+          else begin
+            let tau =
+              let all_drained = !exh_ctr && !exh_bid && (d < 3 || !exh_prem) in
+              let empty_list =
+                (!exh_ctr && not !yld_ctr)
+                || (!exh_bid && not !yld_bid)
+                || (d = 3 && !exh_prem && not !yld_prem)
+              in
+              if all_drained || empty_list then neg_infinity
+              else if !last_bid < reserve then 0.0
+              else if d = 3 then !last_ctr *. (!last_bid +. !last_prem)
+              else !last_ctr *. !last_bid
+            in
+            if tk_scores.(count - 1) > tau then running := false
+          end
+        end
+      end
+    done;
+    let rec build i acc =
+      if i < 0 then acc else build (i - 1) ((tk_ids.(i), tk_scores.(i)) :: acc)
+    in
+    tops.(j) <- build (!tk_size - 1) [];
+    Essa_obs.Counter.add t.m.c_ta_sorted !sorted_accesses;
+    Essa_obs.Counter.add t.m.c_ta_random !random_accesses;
+    Essa_obs.Counter.add t.m.c_ta_seen !seen_objects
+  done;
+  tops
+
 (* Per-slot top lists via the threshold algorithm: sorted access on the
    static ctr list and on the maintained bid lists; the product is the
    same float expression as [fill_weights], so the lists are identical to
    a heap scan of the full matrix. *)
-let ta_top_lists t ~keyword ~count =
+let ta_top_lists_generic t ~keyword ~count =
   let bids_source =
     {
       Essa_ta.Threshold.sorted =
@@ -445,6 +683,15 @@ let ta_top_lists t ~keyword ~count =
       Essa_obs.Counter.add t.m.c_ta_seen stats.seen_objects;
       top)
     tops
+
+(* The pooled fan-out keeps the generic closure-based TA (worker domains
+   evaluate whole slots concurrently); everything else takes the SoA fast
+   path.  Same lists, same counters, property-tested against each other. *)
+let ta_top_lists t s ~keyword ~count =
+  match t.pool with
+  | Some _ when t.n >= t.parallel_threshold && t.k > 1 ->
+      ta_top_lists_generic t ~keyword ~count
+  | _ -> ta_top_lists_fast t s ~keyword ~count
 
 (* Degraded winner determination: one pass over the fleet taking the top-k
    advertisers by slot-1 expected revenue (same float expression as the
@@ -549,7 +796,7 @@ let winner_determination t s ~keyword =
       in
       (assignment, Some advertisers, reduced_w, Some top)
   | `Rhtalu ->
-      let top = ta_top_lists t ~keyword ~count:(t.k + 1) in
+      let top = ta_top_lists t s ~keyword ~count:(t.k + 1) in
       (* The full matrix is never materialized: weights travel inside
          the top lists and the reduced view. *)
       let advertisers, reduced_w = reduced_from_top t s ~keyword top in
@@ -559,6 +806,34 @@ let winner_determination t s ~keyword =
       in
       (assignment, Some advertisers, reduced_w, Some top)
 
+(* GSP against the reduced top lists without the per-slot Hashtbl of
+   [Pricing.gsp_per_click]: winners are stamped in the scratch (a fresh
+   token, so it composes with [reduced_from_top]'s stamps) and the
+   runner-up is the first unstamped entry of the slot's list — same
+   search, same price arithmetic, same reserve floor. *)
+let gsp_from_top t s ~assignment ~top =
+  s.stamp_token <- s.stamp_token + 1;
+  let token = s.stamp_token in
+  Array.iter
+    (function None -> () | Some i -> s.stamp.(i) <- token)
+    assignment;
+  Array.mapi
+    (fun j0 cell ->
+      match cell with
+      | None -> 0
+      | Some winner ->
+          let rec runner = function
+            | [] -> 0
+            | (i, weight) :: rest ->
+                if s.stamp.(i) = token then runner rest
+                else
+                  let p = t.ctr.(winner).(j0) in
+                  if p <= 0.0 || weight <= 0.0 then 0
+                  else int_of_float (Float.ceil ((weight /. p) -. 1e-9))
+          in
+          max (runner top.(j0)) t.reserve)
+    assignment
+
 let price_assignment t s ~keyword ~assignment ~view_advertisers ~view_w ~top =
   let ctr ~adv ~slot = t.ctr.(adv).(slot - 1) in
   let per_click_of_expected ~expected ~slot ~adv =
@@ -567,11 +842,16 @@ let price_assignment t s ~keyword ~assignment ~view_advertisers ~view_w ~top =
     else int_of_float (Float.ceil ((expected /. p) -. 1e-9))
   in
   match t.pricing with
-  | `Gsp ->
-      let prices_opt = Pricing.gsp_per_click ~w:view_w ~ctr ?top ~assignment () in
-      Array.map
-        (function None -> 0 | Some p -> max p t.reserve)
-        prices_opt
+  | `Gsp -> (
+      match top with
+      | Some lists -> gsp_from_top t s ~assignment ~top:lists
+      | None ->
+          let prices_opt =
+            Pricing.gsp_per_click ~w:view_w ~ctr ~assignment ()
+          in
+          Array.map
+            (function None -> 0 | Some p -> max p t.reserve)
+            prices_opt)
   | `Pay_as_bid ->
       Array.mapi
         (fun j0 cell ->
@@ -730,6 +1010,30 @@ let run_auction ?deadline_ns t ~keyword =
   end
   end
 
+(* Keyword-batched evaluation: a batch amortizes the spend-snapshot scan
+   (n atomic reads per auction — the one cross-keyword touch of the hot
+   path) over a run of consecutive auctions on the same keyword.  The
+   first auction of the batch reads the atomic cells as usual; the batch
+   then maintains that snapshot itself, applying its own clicked charges
+   after every auction, and later auctions adopt it instead of re-reading.
+
+   Legality rests on PR 5's snapshot-of-spend contract: an auction is a
+   pure function of (keyword-local state, the spend snapshot it adopted),
+   and each summary still records its own snapshot, so [Replay] validates
+   batched commits unchanged.  Adopting the maintained snapshot is
+   observationally the schedule in which no other keyword committed
+   during the batch — exactly what a single-threaded same-keyword run
+   observes, hence bit-identical to the unbatched sequential run
+   (property-tested at every batch split). *)
+type batch = { b_keyword : int; mutable b_snap : int array option }
+
+let batch_start t ~keyword =
+  if not t.is_partitioned then
+    invalid_arg "Engine.batch_start: serial engine";
+  if keyword < 0 || keyword >= t.nk then
+    invalid_arg (Printf.sprintf "Engine.batch_start: keyword %d" keyword);
+  { b_keyword = keyword; b_snap = None }
+
 (* Partitioned auction driver, shared by the live path ([run_partitioned],
    [forced = None]: the deadline ladder decides the degrade tier) and the
    replay path ([replay_auction], [forced = Some tier]: the recorded tier
@@ -744,11 +1048,17 @@ let run_auction ?deadline_ns t ~keyword =
    the replay checker re-executes.  Phase histograms are skipped (they are
    not thread-safe); total latency goes to the partition's private
    histogram, drained by [sync_partition_metrics]. *)
-let run_partitioned_gen ?deadline_ns ?snapshot ~forced t ~keyword =
+let run_partitioned_gen ?deadline_ns ?snapshot ?batch ~forced t ~keyword =
   if keyword < 0 || keyword >= t.nk then
     invalid_arg (Printf.sprintf "Engine.run_partitioned: keyword %d" keyword);
   if not t.is_partitioned then
     invalid_arg "Engine.run_partitioned: serial engine (use run_auction)";
+  (match batch with
+  | Some b when b.b_keyword <> keyword ->
+      invalid_arg
+        (Printf.sprintf "Engine.run_partitioned: batch is for keyword %d"
+           b.b_keyword)
+  | _ -> ());
   let p = partition_of t ~keyword in
   ignore (Atomic.fetch_and_add t.a_auctions 1);
   Essa_obs.Counter.incr t.m.c_auctions;
@@ -783,8 +1093,17 @@ let run_partitioned_gen ?deadline_ns ?snapshot ~forced t ~keyword =
     }
   end
   else begin
+    (* A later auction of a batch adopts the maintained snapshot; the
+       explicit [?snapshot] (replay) and a batch are mutually exclusive
+       call sites, so the override order is immaterial. *)
+    let adopted =
+      match snapshot with
+      | Some _ -> snapshot
+      | None -> ( match batch with Some b -> b.b_snap | None -> None)
+    in
     let kt, snap =
-      Essa_strategy.Roi_fleet.begin_auction_p t.fleet ~keyword ?snapshot ()
+      Essa_strategy.Roi_fleet.begin_auction_p t.fleet ~keyword
+        ?snapshot:adopted ()
     in
     let spend_snapshot = Some (Array.copy snap) in
     let cheap =
@@ -826,6 +1145,28 @@ let run_partitioned_gen ?deadline_ns ?snapshot ~forced t ~keyword =
             Essa_strategy.Roi_fleet.record_win_p t.fleet ~adv ~keyword
               ~price:prices.(j0) ~clicked)
       assignment;
+    (* Maintain the batch snapshot: mirror exactly the charges
+       [record_win_p] just applied to the atomic cells (price per clicked
+       win), so the next auction of the batch adopts what a fresh read
+       would return under the no-interleaving schedule. *)
+    (match batch with
+    | None -> ()
+    | Some b ->
+        let arr =
+          match b.b_snap with
+          | Some arr -> arr
+          | None ->
+              let arr = Array.copy snap in
+              b.b_snap <- Some arr;
+              arr
+        in
+        Array.iteri
+          (fun j0 cell ->
+            match cell with
+            | Some adv when clicks.(j0) ->
+                arr.(adv) <- arr.(adv) + prices.(j0)
+            | _ -> ())
+          assignment);
     p.p_revenue <- p.p_revenue + !revenue;
     ignore (Atomic.fetch_and_add t.a_revenue !revenue);
     Essa_obs.Counter.add t.m.c_revenue !revenue;
@@ -845,8 +1186,8 @@ let run_partitioned_gen ?deadline_ns ?snapshot ~forced t ~keyword =
     }
   end
 
-let run_partitioned ?deadline_ns t ~keyword =
-  run_partitioned_gen ?deadline_ns ~forced:None t ~keyword
+let run_partitioned ?deadline_ns ?batch t ~keyword =
+  run_partitioned_gen ?deadline_ns ?batch ~forced:None t ~keyword
 
 let replay_auction ?snapshot ~degraded t ~keyword =
   run_partitioned_gen ?snapshot ~forced:(Some degraded) t ~keyword

@@ -162,13 +162,32 @@ val keyword_time : t -> keyword:int -> int
 (** The keyword's local auction clock (0 before its first auction).
     @raise Invalid_argument on a serial engine. *)
 
-val run_partitioned : ?deadline_ns:int64 -> t -> keyword:int -> summary
+type batch
+(** Keyword-batched evaluation state: a run of consecutive auctions on
+    the same keyword sharing one spend-snapshot scan.  The first auction
+    of the batch reads every advertiser's atomic spend cell as usual; the
+    batch then maintains the snapshot itself (applying its own clicked
+    charges), and later auctions adopt it instead of re-reading — the one
+    cross-keyword touch of the partitioned hot path, amortized.  Each
+    summary still records the snapshot it used, so replay and the ledger
+    contract are unchanged; a batched run is bit-identical to the
+    unbatched sequential run of the same queries (property-tested at
+    every batch split).  A batch is keyword-local mutable state: use it
+    from the keyword's owning lane only, and never interleave it with
+    other calls for the same keyword. *)
+
+val batch_start : t -> keyword:int -> batch
+(** A fresh batch for [keyword]'s next run of auctions.
+    @raise Invalid_argument on a bad keyword index or a serial engine. *)
+
+val run_partitioned : ?deadline_ns:int64 -> ?batch:batch -> t -> keyword:int -> summary
 (** Execute one auction on a partitioned engine.  Same degrade ladder as
     {!run_auction}, with [auction_time] now the keyword-local clock and
     [spend_snapshot] carrying the replay witness (except {!Unfilled},
     which only ticks the clock).  Must be called by the keyword's owning
-    lane.
-    @raise Invalid_argument on a bad keyword index or a serial engine. *)
+    lane.  [batch] threads the keyword-batched snapshot (see {!batch}).
+    @raise Invalid_argument on a bad keyword index, a serial engine, or a
+    batch started for a different keyword. *)
 
 val replay_auction :
   ?snapshot:int array -> degraded:degrade option -> t -> keyword:int -> summary

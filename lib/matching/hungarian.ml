@@ -56,6 +56,84 @@ let lap ~nrows ~ncols ~cost =
   done;
   p
 
+(* [lap] specialized to the reduced-auction orientation of [solve] (rows =
+   slots, columns = the n candidates then k null columns, cost =
+   -weight / infinity / 0), with the cost closure inlined into the scan —
+   the auction hot path calls this every winner determination, and the
+   closure dispatch per candidate column was measurable.  The arithmetic
+   and iteration order are identical to [lap], so the assignment (and
+   every tie-break) is unchanged. *)
+let lap_reduced ~nrows ~n ~w =
+  let ncols = n + nrows in
+  let u = Array.make (nrows + 1) 0.0 in
+  let v = Array.make (ncols + 1) 0.0 in
+  let p = Array.make (ncols + 1) 0 in
+  let way = Array.make (ncols + 1) 0 in
+  (* Dijkstra scratch, reused across the row phases (reset by fill). *)
+  let minv = Array.make (ncols + 1) infinity in
+  let used = Array.make (ncols + 1) false in
+  for i = 1 to nrows do
+    p.(0) <- i;
+    let j0 = ref 0 in
+    Array.fill minv 0 (ncols + 1) infinity;
+    Array.fill used 0 (ncols + 1) false;
+    let augmenting = ref true in
+    while !augmenting do
+      used.(!j0) <- true;
+      let i0 = p.(!j0) in
+      let delta = ref infinity and j1 = ref 0 in
+      let r = i0 - 1 in
+      let ui0 = u.(i0) in
+      (* Candidate columns 1..n, then null columns n+1..ncols — same
+         ascending-j scan as [lap] with the [j <= n] test lifted out. *)
+      for j = 1 to n do
+        if not used.(j) then begin
+          let x = w.(j - 1).(r) in
+          let cost = if x > 0.0 then -.x else infinity in
+          let cur = cost -. ui0 -. v.(j) in
+          if cur < minv.(j) then begin
+            minv.(j) <- cur;
+            way.(j) <- !j0
+          end;
+          if minv.(j) < !delta then begin
+            delta := minv.(j);
+            j1 := j
+          end
+        end
+      done;
+      for j = n + 1 to ncols do
+        if not used.(j) then begin
+          let cur = -.ui0 -. v.(j) in
+          if cur < minv.(j) then begin
+            minv.(j) <- cur;
+            way.(j) <- !j0
+          end;
+          if minv.(j) < !delta then begin
+            delta := minv.(j);
+            j1 := j
+          end
+        end
+      done;
+      assert (!delta < infinity);
+      for j = 0 to ncols do
+        if used.(j) then begin
+          u.(p.(j)) <- u.(p.(j)) +. !delta;
+          v.(j) <- v.(j) -. !delta
+        end
+        else minv.(j) <- minv.(j) -. !delta
+      done;
+      j0 := !j1;
+      if p.(!j0) = 0 then augmenting := false
+    done;
+    let j = ref !j0 in
+    while !j <> 0 do
+      let j' = way.(!j) in
+      p.(!j) <- p.(j');
+      j := j'
+    done
+  done;
+  p
+
 let check_matrix w =
   let n = Array.length w in
   if n = 0 then (0, 0)
@@ -78,10 +156,7 @@ let solve ~w =
        Non-positive edges are excluded outright, so a slot is left empty
        rather than given to an advertiser with nothing to gain from it
        (matches Brute.best's preference for the empty allocation). *)
-    let cost r c =
-      if c < n then (if w.(c).(r) > 0.0 then -.w.(c).(r) else infinity) else 0.0
-    in
-    let p = lap ~nrows:k ~ncols:(n + k) ~cost in
+    let p = lap_reduced ~nrows:k ~n ~w in
     for j = 1 to n do
       if p.(j) <> 0 then assignment.(p.(j) - 1) <- Some (j - 1)
     done;

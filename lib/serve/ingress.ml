@@ -5,6 +5,7 @@ type t = {
   nonempty : Condition.t;  (* signalled on submit and on close *)
   queue : query Queue.t;
   capacity : int;
+  clock : unit -> int64;  (* enqueue timestamps; injectable for tests *)
   mutable next_seq : int;
   mutable accepted : int;
   mutable shed : int;
@@ -17,7 +18,7 @@ type t = {
   c_rejected_closed : Essa_obs.Counter.t;
 }
 
-let create ?metrics ~capacity () =
+let create ?metrics ?(clock = Essa_util.Timing.now_ns) ~capacity () =
   if capacity < 1 then invalid_arg "Ingress.create: capacity < 1";
   let registry =
     match metrics with Some r -> r | None -> Essa_obs.Registry.create ()
@@ -27,6 +28,7 @@ let create ?metrics ~capacity () =
     nonempty = Condition.create ();
     queue = Queue.create ();
     capacity;
+    clock;
     next_seq = 0;
     accepted = 0;
     shed = 0;
@@ -52,7 +54,7 @@ let create ?metrics ~capacity () =
 type outcome = Accepted of int | Shed | Closed
 
 let submit t ~keyword =
-  let enqueue_ns = Essa_util.Timing.now_ns () in
+  let enqueue_ns = t.clock () in
   Mutex.lock t.mutex;
   let outcome =
     (* Closed is shutdown, not overload: conflating the two turned every

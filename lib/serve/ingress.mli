@@ -26,10 +26,17 @@ type query = {
 
 type t
 
-val create : ?metrics:Essa_obs.Registry.t -> capacity:int -> unit -> t
+val create :
+  ?metrics:Essa_obs.Registry.t ->
+  ?clock:(unit -> int64) ->
+  capacity:int ->
+  unit ->
+  t
 (** [capacity] bounds the number of accepted-but-undrained queries.
     [metrics] is the registry the depth gauge and counters register into
-    (default: a fresh private one).
+    (default: a fresh private one).  [clock] stamps [enqueue_ns] on
+    acceptance (default {!Essa_util.Timing.now_ns}; injectable so tests
+    can drive deterministic latencies).
     @raise Invalid_argument if [capacity < 1]. *)
 
 type outcome =

@@ -78,6 +78,7 @@ type lane_state = {
 type t = {
   engine : Essa.Engine.t;
   ingress : Ingress.t;
+  clock : unit -> int64;  (* latency stamps; same seam as Engine's ?clock *)
   commit : commit_impl;
   mailboxes : mailbox array;
   registry : Essa_obs.Registry.t;
@@ -174,7 +175,7 @@ let lane_loop t ~lane ~on_commit mb =
      advance).  Per_keyword: execute immediately — the lane owns every
      keyword it is handed, per-keyword FIFO is its queue order, and the
      ledger commit never waits. *)
-  let process (q : Ingress.query) =
+  let process ?batch (q : Ingress.query) =
     (match t.commit with
     | Turnstile clock -> Commit_clock.await clock ~seq:q.seq
     | Ledger _ -> ());
@@ -192,13 +193,13 @@ let lane_loop t ~lane ~on_commit mb =
            | Turnstile _ ->
                Essa.Engine.run_auction ?deadline_ns t.engine ~keyword:q.keyword
            | Ledger _ ->
-               Essa.Engine.run_partitioned ?deadline_ns t.engine
+               Essa.Engine.run_partitioned ?deadline_ns ?batch t.engine
                  ~keyword:q.keyword
          in
          (match summary.degraded with
          | None -> ()
          | Some reason -> note_degraded t reason);
-         let now = Essa_util.Timing.now_ns () in
+         let now = t.clock () in
          let h =
            match t.commit with
            | Turnstile _ -> t.h_latency
@@ -220,12 +221,43 @@ let lane_loop t ~lane ~on_commit mb =
     | Ledger ledger -> Commit_ledger.commit ledger ~keyword:q.keyword);
     Shard.note_committed t.tracker ~lane
   in
+  (* Per_keyword: stably coalesce the lane batch by keyword and run each
+     group under one engine batch, so consecutive same-keyword queries
+     share a single spend-snapshot scan.  Per-keyword FIFO — the only
+     order the ledger promises — is untouched (each keyword's queries
+     keep their relative order; only the interleaving between keywords of
+     the same lane shifts, which the ledger never observed anyway).
+     Global commit replays the exact arrival order, so no coalescing. *)
+  let work qs =
+    match t.commit with
+    | Turnstile _ -> List.iter (fun q -> process q) qs
+    | Ledger _ ->
+        let groups : (int, Ingress.query list ref) Hashtbl.t =
+          Hashtbl.create 8
+        in
+        let order = ref [] in
+        List.iter
+          (fun (q : Ingress.query) ->
+            match Hashtbl.find_opt groups q.keyword with
+            | Some r -> r := q :: !r
+            | None ->
+                Hashtbl.add groups q.keyword (ref [ q ]);
+                order := q.keyword :: !order)
+          qs;
+        List.iter
+          (fun keyword ->
+            let batch = Essa.Engine.batch_start t.engine ~keyword in
+            List.iter
+              (fun q -> process ~batch q)
+              (List.rev !(Hashtbl.find groups keyword)))
+          (List.rev !order)
+  in
   let rec loop () =
     match mailbox_pop mb with
     | Stop -> ()
     | Work qs ->
         Fault.on_lane_work t.faults ~lane;
-        List.iter process qs;
+        work qs;
         loop ()
   in
   loop ()
@@ -270,7 +302,8 @@ let batcher_loop t ~max_batch ~c_batches ~h_batch_size =
 
 let create ?metrics ?(on_commit = fun _ -> ()) ?(queue_capacity = 1024)
     ?(max_batch = 64) ?(max_restarts = 2) ?deadline_budget_ns
-    ?(faults = Fault.none) ?(commit = `Global) ~workers ~engine () =
+    ?(faults = Fault.none) ?(commit = `Global)
+    ?(clock = Essa_util.Timing.now_ns) ~workers ~engine () =
   if workers < 1 then invalid_arg "Server.create: workers < 1";
   if max_batch < 1 then invalid_arg "Server.create: max_batch < 1";
   if max_restarts < 0 then invalid_arg "Server.create: max_restarts < 0";
@@ -290,7 +323,9 @@ let create ?metrics ?(on_commit = fun _ -> ()) ?(queue_capacity = 1024)
   let registry =
     match metrics with Some r -> r | None -> Essa_obs.Registry.create ()
   in
-  let ingress = Ingress.create ~metrics:registry ~capacity:queue_capacity () in
+  let ingress =
+    Ingress.create ~metrics:registry ~clock ~capacity:queue_capacity ()
+  in
   let nk = Essa.Engine.num_keywords engine in
   let h_latency =
     Essa_obs.Registry.histogram registry "essa.serve.commit_latency_ns"
@@ -300,6 +335,7 @@ let create ?metrics ?(on_commit = fun _ -> ()) ?(queue_capacity = 1024)
     {
       engine;
       ingress;
+      clock;
       commit =
         (match commit with
         | `Global -> Turnstile (Commit_clock.create ())

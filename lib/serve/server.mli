@@ -96,6 +96,7 @@ val create :
   ?deadline_budget_ns:int ->
   ?faults:Fault.t ->
   ?commit:commit_mode ->
+  ?clock:(unit -> int64) ->
   workers:int ->
   engine:Essa.Engine.t ->
   unit ->
@@ -128,7 +129,16 @@ val create :
     [`Per_keyword] mode [on_commit] runs {e concurrently} from several
     lane domains (per-keyword FIFO, no cross-keyword order): it must be
     thread-safe, or you can ignore it and read the per-keyword
-    {!commit_log} after {!stop}.
+    {!commit_log} after {!stop}.  [`Per_keyword] lanes also coalesce each
+    work batch by keyword and run every same-keyword group under one
+    {!Essa.Engine.batch} (one spend-snapshot scan per group instead of
+    per query); per-keyword FIFO is preserved, and each summary still
+    records its own snapshot, so replay is unchanged.
+    [clock] stamps enqueue times and enqueue-to-commit latencies
+    (default {!Essa_util.Timing.now_ns}) — the same injectable seam as
+    [Engine.create]'s [?clock], so deterministic tests can drive the
+    whole latency pipeline; note the engine's deadline ladder reads the
+    {e engine's} clock, not this one.
     @raise Invalid_argument on [workers < 1], [queue_capacity < 1],
     [max_batch < 1], [max_restarts < 0], a non-positive budget, or a
     commit-mode/engine mismatch. *)

@@ -16,6 +16,7 @@ type tracker = {
   executed : Essa_obs.Counter.t array;
   committed : Essa_obs.Counter.t array;
   imbalance : Essa_obs.Gauge.t;
+  imbalance_committed : Essa_obs.Gauge.t;
 }
 
 let tracker ~metrics ~shards =
@@ -31,15 +32,24 @@ let tracker ~metrics ~shards =
   let imbalance =
     Essa_obs.Registry.gauge metrics "essa.serve.lane_imbalance"
       ~help:
-        "Relative spread of per-lane committed counts, (max-min)/max in \
-         [0,1]; 0 = perfectly balanced shards"
+        "Relative spread of per-lane executed counts, (max-min)/max in \
+         [0,1]; 0 = perfectly balanced shards.  Executed, not committed: \
+         a degraded lane blind-commits without executing, so committed \
+         counts understate skew in exactly the runs where it matters"
   in
-  { executed; committed; imbalance }
+  let imbalance_committed =
+    Essa_obs.Registry.gauge metrics "essa.serve.lane_imbalance_committed"
+      ~help:
+        "Relative spread of per-lane committed counts, (max-min)/max in \
+         [0,1] — the commit-side companion of essa.serve.lane_imbalance"
+  in
+  { executed; committed; imbalance; imbalance_committed }
 
 let note_executed tr ~lane = Essa_obs.Counter.incr tr.executed.(lane)
 let note_committed tr ~lane = Essa_obs.Counter.incr tr.committed.(lane)
 
 let committed_counts tr = Array.map Essa_obs.Counter.value tr.committed
+let executed_counts tr = Array.map Essa_obs.Counter.value tr.executed
 
 let imbalance_of counts =
   let mx = Array.fold_left max 0 counts in
@@ -49,6 +59,7 @@ let imbalance_of counts =
     float_of_int (mx - mn) /. float_of_int mx
 
 let refresh_imbalance tr =
-  let v = imbalance_of (committed_counts tr) in
+  let v = imbalance_of (executed_counts tr) in
   Essa_obs.Gauge.set tr.imbalance v;
+  Essa_obs.Gauge.set tr.imbalance_committed (imbalance_of (committed_counts tr));
   v

@@ -22,8 +22,13 @@ val partition : shards:int -> Ingress.query list -> Ingress.query list array
     distribution; the tracker makes it observable.  Each lane gets an
     [essa.serve.lane.<i>.executed] and [essa.serve.lane.<i>.committed]
     counter (atomic — lanes bump their own from their own domains), and
-    [essa.serve.lane_imbalance] gauges the relative spread of committed
-    counts: [(max - min) / max], 0 when balanced. *)
+    [essa.serve.lane_imbalance] gauges the relative spread of {e
+    executed} counts: [(max - min) / max], 0 when balanced.  Executed is
+    the honest work measure — a lane degraded by the supervisor
+    blind-commits its queries without executing them, so a
+    committed-count spread reads as balanced exactly when one lane has
+    stopped doing work.  The committed-side spread is still published, as
+    [essa.serve.lane_imbalance_committed]. *)
 
 type tracker
 
@@ -37,10 +42,13 @@ val note_committed : tracker -> lane:int -> unit
 val committed_counts : tracker -> int array
 (** Per-lane committed counts (index = lane). *)
 
+val executed_counts : tracker -> int array
+(** Per-lane executed counts (index = lane). *)
+
 val imbalance_of : int array -> float
 (** [(max - min) / max] of the counts; [0.] when all-zero or fewer than
     two lanes. *)
 
 val refresh_imbalance : tracker -> float
-(** Recompute the imbalance from the current committed counts, publish it
-    to the gauge, and return it. *)
+(** Recompute both spreads from the current counts, publish them to their
+    gauges, and return the executed-count one. *)

@@ -1,9 +1,27 @@
 type t = {
   ranked : Essa_ta.Ranked_list.t;  (* scores are stored (pre-adjustment) bids *)
   mutable adjustment : int;
+  (* Cached flattening of [ranked] in descending order, revalidated
+     against the ranked list's structural version.  [bulk_adjust] does not
+     invalidate it: stored bids and their order are untouched — the shared
+     offset is applied per read.  This is the TA-resume state: consecutive
+     auctions on a keyword reuse the flat arrays instead of re-walking the
+     tree. *)
+  mutable cache_ids : int array;
+  mutable cache_stored : int array;
+  mutable cache_len : int;
+  mutable cache_version : int;
 }
 
-let create () = { ranked = Essa_ta.Ranked_list.create (); adjustment = 0 }
+let create () =
+  {
+    ranked = Essa_ta.Ranked_list.create ();
+    adjustment = 0;
+    cache_ids = [||];
+    cache_stored = [||];
+    cache_len = 0;
+    cache_version = -1;
+  }
 
 let size t = Essa_ta.Ranked_list.size t.ranked
 let adjustment t = t.adjustment
@@ -27,3 +45,22 @@ let to_seq_desc t =
   Seq.map
     (fun (id, stored) -> (id, int_of_float stored + adjustment))
     (Essa_ta.Ranked_list.to_seq_desc t.ranked)
+
+let sorted_arrays t =
+  let v = Essa_ta.Ranked_list.version t.ranked in
+  if t.cache_version <> v then begin
+    let n = Essa_ta.Ranked_list.size t.ranked in
+    if Array.length t.cache_ids < n then begin
+      let cap = max 16 (2 * n) in
+      t.cache_ids <- Array.make cap 0;
+      t.cache_stored <- Array.make cap 0
+    end;
+    let i = ref 0 in
+    Essa_ta.Ranked_list.iter_desc t.ranked (fun id stored ->
+        t.cache_ids.(!i) <- id;
+        t.cache_stored.(!i) <- int_of_float stored;
+        incr i);
+    t.cache_len <- !i;
+    t.cache_version <- v
+  end;
+  (t.cache_ids, t.cache_stored, t.cache_len)

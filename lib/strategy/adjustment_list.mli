@@ -28,3 +28,13 @@ val stored_of : t -> int -> int option
 
 val to_seq_desc : t -> (int * int) Seq.t
 (** (id, effective bid), descending by bid then ascending by id. *)
+
+val sorted_arrays : t -> int array * int array * int
+(** [(ids, stored, len)]: the first [len] entries of the two arrays are
+    the members in the {!to_seq_desc} order, with *stored* (pre-
+    adjustment) bids — add {!adjustment} per entry for effective bids.
+    The arrays are an internal cache revalidated against the underlying
+    ranked list's structural version ({!bulk_adjust} does not invalidate
+    it, so consecutive auctions reuse the flattening); they alias internal
+    state, valid until the next structural change — do not mutate, do not
+    retain across {!insert} / {!remove}. *)

@@ -172,6 +172,10 @@ let repair t ~keyword =
     if !debug_checks then assert_matches_full_sort t ~keyword
   end
 
+let sorted_arrays t ~keyword =
+  repair t ~keyword;
+  (t.advs.(keyword), t.bids.(keyword))
+
 let to_seq_desc t ~keyword =
   repair t ~keyword;
   let advs = t.advs.(keyword) and bids = t.bids.(keyword) in

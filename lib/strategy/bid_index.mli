@@ -51,6 +51,13 @@ val to_seq_desc : t -> keyword:int -> (int * int) Seq.t
 val repair : t -> keyword:int -> unit
 (** Force the pending repair now (normally implicit in {!to_seq_desc}). *)
 
+val sorted_arrays : t -> keyword:int -> int array * int array
+(** [(advs, bids)]: the keyword's full sorted arrays (all [n] entries, in
+    the {!to_seq_desc} order), after running the pending repair.  The
+    arrays alias the live index — read-only, valid until the next {!note}
+    on this keyword.  This is the allocation-free sorted-access view the
+    auction hot path consumes. *)
+
 val debug_checks : bool ref
 (** When true, every repair asserts the incremental result against a full
     re-sort.  Global, off by default; meant for tests and debugging. *)

@@ -178,12 +178,42 @@ let remove_from_current ls ~adv ~keyword =
   Adjustment_list.remove list ~id:adv;
   effective
 
+(* Re-seat one (adv, keyword) cell against a spend reading, skipping the
+   tree remove/insert when neither the list membership nor the stored bid
+   would change — the common case after a win: spend moved but the
+   classification on most keywords did not.  The skip leaves the cell's
+   version and its pending bound trigger untouched; both remain valid
+   because tag and stored bid are exactly what they were when the trigger
+   was armed.  It also leaves the adjustment lists structurally unchanged,
+   which keeps their flattened sorted-array caches (the TA-resume state)
+   alive across wins. *)
+let reseat ls states ~adv ~keyword ~time ~amt =
+  let tag = ls.tag.(keyword).(adv) in
+  let list = list_of ls ~keyword tag in
+  let effective = ls.stored.(keyword).(adv) + Adjustment_list.adjustment list in
+  let st = states.(adv) in
+  let effective' = if Roi_state.exhausted_at st ~amt then 0 else effective in
+  let target =
+    match
+      Roi_state.classify ~budget:(Roi_state.budget st) ~amt_spent:amt
+        ~target_rate:(Roi_state.target_rate st) ~time ~bid:effective'
+        ~maxbid:(Roi_state.maxbid st ~keyword)
+    with
+    | Roi_state.Inc -> In_inc
+    | Roi_state.Dec -> In_dec
+    | Roi_state.Stay -> In_const
+  in
+  if target = tag && effective' = effective then ()
+  else begin
+    Adjustment_list.remove list ~id:adv;
+    place ls states ~adv ~keyword ~time ~effective ~amt
+  end
+
 let reclassify_all ls states ~adv ~time =
   let nk = Array.length ls.inc in
   let amt = Roi_state.amt_spent states.(adv) in
   for keyword = 0 to nk - 1 do
-    let effective = remove_from_current ls ~adv ~keyword in
-    place ls states ~adv ~keyword ~time ~effective ~amt
+    reseat ls states ~adv ~keyword ~time ~amt
   done
 
 (* The first future spend-rate flip for a program whose spend reading is
@@ -554,6 +584,55 @@ let bids_desc t ~keyword =
   | Logical ls -> logical_bids_desc ls ~keyword
   | Logical_p lp -> logical_bids_desc lp.lp_base ~keyword
 
+type sorted_view = {
+  sv_ids : int array;
+  sv_bids : int array;
+  sv_len : int;
+  sv_adjust : int;
+}
+
+let index_views index ~n ~keyword =
+  let ids, bids = Bid_index.sorted_arrays index ~keyword in
+  [| { sv_ids = ids; sv_bids = bids; sv_len = n; sv_adjust = 0 } |]
+
+let logical_views ls ~keyword =
+  let view l =
+    let ids, stored, len = Adjustment_list.sorted_arrays l in
+    {
+      sv_ids = ids;
+      sv_bids = stored;
+      sv_len = len;
+      sv_adjust = Adjustment_list.adjustment l;
+    }
+  in
+  [| view ls.inc.(keyword); view ls.dec.(keyword); view ls.const_.(keyword) |]
+
+let sorted_views t ~keyword =
+  check_kw t keyword;
+  match t.strategy with
+  | Naive index -> index_views index ~n:(n t) ~keyword
+  | Naive_p np -> index_views np.np_index ~n:(n t) ~keyword
+  | Tabular ts -> index_views ts.t_index ~n:(n t) ~keyword
+  | Logical ls -> logical_views ls ~keyword
+  | Logical_p lp -> logical_views lp.lp_base ~keyword
+  | Sql { programs } ->
+      (* Cold strategy: materialize by sorting, as [bids_desc] does. *)
+      let entries =
+        Array.mapi
+          (fun adv program ->
+            (adv, Sql_program.bid_on program ~keyword:(keyword_name keyword)))
+          programs
+      in
+      let seq = sorted_bid_entries entries in
+      let n = Array.length entries in
+      let ids = Array.make n 0 and bids = Array.make n 0 in
+      Seq.iteri
+        (fun i (adv, b) ->
+          ids.(i) <- adv;
+          bids.(i) <- b)
+        seq;
+      [| { sv_ids = ids; sv_bids = bids; sv_len = n; sv_adjust = 0 } |]
+
 let record_win t ~time ~adv ~keyword ~price ~clicked =
   check_kw t keyword;
   (match t.strategy with
@@ -628,9 +707,7 @@ let tick_p t ~keyword =
 (* A keyword-local re-seat + trigger re-arm for one advertiser, driven by
    a snapshot spend reading. *)
 let lp_reseat lp states ~adv ~keyword ~time ~amt =
-  let ls = lp.lp_base in
-  let effective = remove_from_current ls ~adv ~keyword in
-  place ls states ~adv ~keyword ~time ~effective ~amt;
+  reseat lp.lp_base states ~adv ~keyword ~time ~amt;
   match critical_time states.(adv) ~amt ~time with
   | None -> ()
   | Some when_ ->

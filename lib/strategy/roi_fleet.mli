@@ -89,6 +89,28 @@ val bids_desc : t -> keyword:int -> (int * int) Seq.t
     Enable {!Bid_index.debug_checks} to assert the incremental index
     against a full re-sort on every call. *)
 
+type sorted_view = {
+  sv_ids : int array;      (** advertiser at sorted position *)
+  sv_bids : int array;     (** its pre-adjustment bid at that position *)
+  sv_len : int;            (** number of valid entries *)
+  sv_adjust : int;         (** effective bid = [sv_bids.(i) + sv_adjust] *)
+}
+(** A struct-of-arrays window onto one maintained descending bid list
+    (higher effective bid first, ties to the smaller advertiser id). *)
+
+val sorted_views : t -> keyword:int -> sorted_view array
+(** The keyword's descending bid order as 1–3 sorted views whose merge
+    (by effective bid desc, id asc) is exactly {!bids_desc}; together the
+    views cover every advertiser exactly once — the
+    allocation-free sorted-access form the auction engine's threshold
+    algorithm consumes.  Explicit strategies return one view aliasing the
+    persistent {!Bid_index} arrays (repaired incrementally); logical
+    strategies return the inc/dec/const lists as cached flattenings that
+    survive bulk adjustments and are recomputed only when a list
+    structurally changed — the TA-resume state across consecutive
+    auctions of a keyword.  The views alias internal state: read-only,
+    valid until the next fleet mutation on this keyword. *)
+
 val record_win :
   t -> time:int -> adv:int -> keyword:int -> price:int -> clicked:bool -> unit
 (** The advertiser won a slot in the auction at [time] on [keyword]; if

@@ -139,42 +139,71 @@ let prop_equivalence =
             worker_counts)
         [ `Rh; `Rhtalu ])
 
+(* Run every query through an `Rhtalu engine and return everything the TA
+   implementation determines: the summary stream, the final state
+   fingerprint and the essa.ta.* access counters.  Without a pool the
+   engine takes the SoA fast path; with [?pool ~parallel_threshold:1] it
+   takes the generic closure-based TA — the two must agree bit-for-bit,
+   counters included. *)
+let run_rhtalu_with_counters ?pool ?parallel_threshold workload ~queries () =
+  let engine =
+    Essa_sim.Workload.make_engine ?pool ?parallel_threshold workload
+      ~method_:`Rhtalu
+  in
+  let summaries =
+    Array.to_list
+      (Array.map
+         (fun kw -> strip (Essa.Engine.run_auction engine ~keyword:kw))
+         queries)
+  in
+  let counter name =
+    match Essa_obs.Registry.find (Essa.Engine.metrics engine) name with
+    | Some (Essa_obs.Registry.Counter c) -> Essa_obs.Counter.value c
+    | _ -> Alcotest.failf "missing counter %s" name
+  in
+  ( summaries,
+    fingerprint engine,
+    ( counter "essa.ta.sorted_accesses",
+      counter "essa.ta.random_accesses",
+      counter "essa.ta.seen_objects" ) )
+
 let test_engine_parallel_ta_identical () =
   (* The `Rhtalu per-slot TA fan-out (engine + pool) is bit-identical to
-     the sequential scan, auction stream and TA counters included. *)
+     the SoA fast path, auction stream and TA counters included. *)
   let workload =
     Essa_sim.Workload.section5 ~seed:21 ~n:60 ~k:5 ~num_keywords:5 ()
   in
   let queries = Essa_sim.Workload.queries workload ~seed:22 ~count:150 in
-  let run ?pool ?parallel_threshold () =
-    let engine =
-      Essa_sim.Workload.make_engine ?pool ?parallel_threshold workload
-        ~method_:`Rhtalu
-    in
-    let summaries =
-      Array.to_list
-        (Array.map
-           (fun kw -> strip (Essa.Engine.run_auction engine ~keyword:kw))
-           queries)
-    in
-    let counter name =
-      match Essa_obs.Registry.find (Essa.Engine.metrics engine) name with
-      | Some (Essa_obs.Registry.Counter c) -> Essa_obs.Counter.value c
-      | _ -> Alcotest.failf "missing counter %s" name
-    in
-    ( summaries,
-      fingerprint engine,
-      ( counter "essa.ta.sorted_accesses",
-        counter "essa.ta.random_accesses",
-        counter "essa.ta.seen_objects" ) )
-  in
-  let serial = run () in
+  let serial = run_rhtalu_with_counters workload ~queries () in
   let parallel =
     Essa_util.Domain_pool.with_pool 3 (fun pool ->
         (* threshold 1 forces the fan-out even at this small n *)
-        run ~pool ~parallel_threshold:1 ())
+        run_rhtalu_with_counters ~pool ~parallel_threshold:1 workload ~queries
+          ())
   in
   Alcotest.(check bool) "pooled TA = serial TA" true (parallel = serial)
+
+let prop_fast_ta_identical =
+  (* Random instance shapes: the SoA fast path (flat arrays, inline
+     merge, stamp seen-set) and the generic threshold algorithm remain
+     interchangeable everywhere, not just on the hand-picked shape. *)
+  qtest "SoA fast TA = generic TA" ~count:4
+    QCheck2.Gen.(tup3 (int_range 1 1000) (int_range 8 60) (int_range 2 6))
+    (fun (seed, n, k) ->
+      let workload =
+        Essa_sim.Workload.section5 ~seed ~n ~k ~num_keywords:4
+          ~budgeted_fraction:0.3 ()
+      in
+      let queries =
+        Essa_sim.Workload.queries workload ~seed:(seed + 7) ~count:120
+      in
+      let fast = run_rhtalu_with_counters workload ~queries () in
+      let generic =
+        Essa_util.Domain_pool.with_pool 2 (fun pool ->
+            run_rhtalu_with_counters ~pool ~parallel_threshold:1 workload
+              ~queries ())
+      in
+      fast = generic)
 
 (* ------------------------------------------------------------------ *)
 (* Commit protocol *)
@@ -490,6 +519,138 @@ let test_commit_mode_pairing () =
        "Server.commit_log: `Global commit records no per-keyword log")
     (fun () -> ignore (Server.commit_log s ~keyword:0))
 
+let test_batch_split_every_prefix () =
+  (* Keyword-batched evaluation is an optimization, not a semantic: for a
+     run of m same-keyword auctions, splitting them across batches at
+     ANY prefix point (including all-in-one and one-each) yields the
+     same summary stream and final state as m unbatched calls. *)
+  let workload = pk_workload 67 in
+  let m = 12 in
+  List.iter
+    (fun method_ ->
+      let reference =
+        let engine =
+          Essa_sim.Workload.make_engine ~partitioned:true workload ~method_
+        in
+        let summaries =
+          List.init m (fun _ ->
+              strip (Essa.Engine.run_partitioned engine ~keyword:0))
+        in
+        (summaries, fingerprint engine)
+      in
+      for p = 0 to m do
+        let engine =
+          Essa_sim.Workload.make_engine ~partitioned:true workload ~method_
+        in
+        let b1 = Essa.Engine.batch_start engine ~keyword:0 in
+        let b2 = Essa.Engine.batch_start engine ~keyword:0 in
+        let summaries =
+          List.init m (fun i ->
+              let batch = if i < p then b1 else b2 in
+              strip (Essa.Engine.run_partitioned ~batch engine ~keyword:0))
+        in
+        Alcotest.(check bool)
+          (Printf.sprintf "batched run = unbatched (split at %d)" p)
+          true
+          ((summaries, fingerprint engine) = reference)
+      done)
+    [ `Rh; `Rhtalu ];
+  (* Misuse is an error, not a silent wrong answer. *)
+  let serial = Essa_sim.Workload.make_engine workload ~method_:`Rh in
+  Alcotest.check_raises "batch_start on a serial engine"
+    (Invalid_argument "Engine.batch_start: serial engine") (fun () ->
+      ignore (Essa.Engine.batch_start serial ~keyword:0));
+  let engine =
+    Essa_sim.Workload.make_engine ~partitioned:true workload ~method_:`Rh
+  in
+  let wrong = Essa.Engine.batch_start engine ~keyword:1 in
+  Alcotest.check_raises "batch for another keyword"
+    (Invalid_argument "Engine.run_partitioned: batch is for keyword 1")
+    (fun () ->
+      ignore (Essa.Engine.run_partitioned ~batch:wrong engine ~keyword:0))
+
+(* ------------------------------------------------------------------ *)
+(* Metrics correctness *)
+
+let test_latency_clock_seam () =
+  (* The server stamps enqueue times and commit latencies with ONE
+     injectable clock ([Server.create ?clock], threaded into Ingress).
+     Drive it with a deterministic step clock: every latency is then a
+     small multiple of the step, bounded by the total number of clock
+     calls.  If either end of the measurement fell back to the wall
+     clock (the old bug: commit read [Timing.now_ns] against an injected
+     enqueue stamp), the latency would be ~10^18 ns and blow the bound. *)
+  let n_queries = 40 in
+  let step = 1_000L in
+  let tick = Atomic.make 0 in
+  let clock () = Int64.mul (Int64.of_int (Atomic.fetch_and_add tick 1)) step in
+  let workload = pk_workload 69 in
+  let engine = Essa_sim.Workload.make_engine workload ~method_:`Rhtalu in
+  let metrics = Essa_obs.Registry.create () in
+  let server = Server.create ~metrics ~clock ~workers:1 ~engine () in
+  for _ = 1 to n_queries do
+    match Server.submit server ~keyword:0 with
+    | Ingress.Accepted _ -> ()
+    | Ingress.Shed | Ingress.Closed -> Alcotest.fail "unexpected rejection"
+  done;
+  let stats = Server.stop server in
+  Alcotest.(check int) "all committed" n_queries stats.committed;
+  let hist name registry =
+    match Essa_obs.Registry.find registry name with
+    | Some (Essa_obs.Registry.Histogram h) -> h
+    | _ -> Alcotest.failf "missing histogram %s" name
+  in
+  let lat = hist "essa.serve.commit_latency_ns" metrics in
+  Alcotest.(check int)
+    "one queue-latency sample per commit" n_queries
+    (Essa_obs.Histogram.count lat);
+  (match Essa_obs.Histogram.min_max lat with
+  | None -> Alcotest.fail "empty latency histogram"
+  | Some (min_ns, max_ns) ->
+      Alcotest.(check bool) "latencies non-negative" true (min_ns >= 0);
+      (* The clock ticks once per enqueue and once per commit stamp:
+         every latency is < total-calls * step. *)
+      Alcotest.(check bool)
+        "latencies come from the injected clock" true
+        (max_ns <= (2 * n_queries * Int64.to_int step)));
+  (* Service time is the engine's own measurement, in the engine's own
+     registry — distinct from the server's queue latency. *)
+  let svc = hist "essa.auction.total_ns" (Essa.Engine.metrics engine) in
+  Alcotest.(check int)
+    "one service-time sample per auction" n_queries
+    (Essa_obs.Histogram.count svc)
+
+let test_imbalance_from_executed () =
+  (* A degraded lane blind-commits without executing: committed counts
+     then read as balanced exactly when one lane has stopped working.
+     The primary imbalance gauge must therefore come from EXECUTED
+     counts; the committed-side spread is published separately. *)
+  let metrics = Essa_obs.Registry.create () in
+  let tr = Shard.tracker ~metrics ~shards:2 in
+  for _ = 1 to 10 do
+    (* lane 0 works and commits; lane 1 only blind-commits *)
+    Shard.note_executed tr ~lane:0;
+    Shard.note_committed tr ~lane:0;
+    Shard.note_committed tr ~lane:1
+  done;
+  Alcotest.(check (array int)) "executed counts" [| 10; 0 |]
+    (Shard.executed_counts tr);
+  Alcotest.(check (array int)) "committed counts" [| 10; 10 |]
+    (Shard.committed_counts tr);
+  Alcotest.(check (float 1e-9)) "refresh returns executed spread" 1.0
+    (Shard.refresh_imbalance tr);
+  let gauge name =
+    match Essa_obs.Registry.find metrics name with
+    | Some (Essa_obs.Registry.Gauge g) -> Essa_obs.Gauge.value g
+    | _ -> Alcotest.failf "missing gauge %s" name
+  in
+  Alcotest.(check (float 1e-9))
+    "primary gauge = executed spread" 1.0
+    (gauge "essa.serve.lane_imbalance");
+  Alcotest.(check (float 1e-9))
+    "committed spread published separately" 0.0
+    (gauge "essa.serve.lane_imbalance_committed")
+
 (* ------------------------------------------------------------------ *)
 (* Global golden pin *)
 
@@ -580,6 +741,7 @@ let () =
           prop_equivalence;
           Alcotest.test_case "parallel TA bit-identical" `Quick
             test_engine_parallel_ta_identical;
+          prop_fast_ta_identical;
         ] );
       ( "commit",
         [
@@ -605,10 +767,19 @@ let () =
           prop_per_keyword_invariants;
           Alcotest.test_case "commit-mode pairing" `Quick
             test_commit_mode_pairing;
+          Alcotest.test_case "batch split at every prefix" `Quick
+            test_batch_split_every_prefix;
           Alcotest.test_case "global golden pin (rh)" `Quick
             test_golden_pin_rh;
           Alcotest.test_case "global golden pin (rhtalu)" `Quick
             test_golden_pin_rhtalu;
+        ] );
+      ( "metrics",
+        [
+          Alcotest.test_case "latency clock seam" `Quick
+            test_latency_clock_seam;
+          Alcotest.test_case "imbalance from executed counts" `Quick
+            test_imbalance_from_executed;
         ] );
       ( "load_gen",
         [
