@@ -41,9 +41,27 @@ let percentiles registry name =
           Essa_obs.Histogram.percentile h 99.0 )
   | _ -> None
 
+(* "K:N:S" — K keywords, N advertisers, Zipf exponent S. *)
+let universe_of_string s =
+  let fail () =
+    prerr_endline
+      ("bad --universe " ^ s
+     ^ " (expected K:N:S, e.g. 10000:100000:1.1 — K keywords, N \
+        advertisers, Zipf exponent S)");
+    exit 2
+  in
+  match String.split_on_char ':' s with
+  | [ k; n; z ] -> (
+      match (int_of_string_opt k, int_of_string_opt n, float_of_string_opt z)
+      with
+      | Some k, Some n, Some z when k >= 1 && n >= 1 && z >= 0.0 -> (k, n, z)
+      | _ -> fail ())
+  | _ -> fail ()
+
 let run n slots keywords method_ seed workers queue_capacity max_batch auctions
     rate window pool_size parallel_threshold metrics fault_specs
-    deadline_budget_ms max_restarts commit replay_check =
+    deadline_budget_ms max_restarts commit replay_check universe churn balance
+    rebalance_every =
   let faults =
     match
       List.fold_left
@@ -74,24 +92,44 @@ let run n slots keywords method_ seed workers queue_capacity max_batch auctions
             exit 2)
   in
   let method_ = method_of_string method_ in
-  let commit = commit_of_string commit in
-  let partitioned = commit = `Per_keyword in
-  (match (commit, method_) with
-  | `Per_keyword, (`Lp | `Lp_dense | `H) ->
-      prerr_endline "--commit per-keyword requires --method rh or rhtalu";
-      exit 2
-  | _ -> ());
-  if partitioned && pool_size <> None then begin
-    prerr_endline "--commit per-keyword cannot be combined with --engine-pool";
+  let universe_spec = Option.map universe_of_string universe in
+  if churn <> 0.0 && universe_spec = None then begin
+    prerr_endline "--churn requires --universe";
     exit 2
   end;
+  if not (churn >= 0.0 && churn <= 1.0) then begin
+    prerr_endline "--churn must be in [0,1]";
+    exit 2
+  end;
+  (* The universe runs on the flat partitioned engine: per-keyword commit
+     is the only discipline it supports (there is no global clock). *)
+  let commit =
+    match universe_spec with
+    | Some _ -> `Per_keyword
+    | None -> commit_of_string commit
+  in
+  let partitioned = commit = `Per_keyword in
+  (match universe_spec with
+  | Some _ ->
+      if pool_size <> None then begin
+        prerr_endline "--universe cannot be combined with --engine-pool";
+        exit 2
+      end
+  | None -> (
+      (match (commit, method_) with
+      | `Per_keyword, (`Lp | `Lp_dense | `H) ->
+          prerr_endline "--commit per-keyword requires --method rh or rhtalu";
+          exit 2
+      | _ -> ());
+      if partitioned && pool_size <> None then begin
+        prerr_endline
+          "--commit per-keyword cannot be combined with --engine-pool";
+        exit 2
+      end));
   if replay_check && not partitioned then begin
     prerr_endline "--replay-check requires --commit per-keyword";
     exit 2
   end;
-  let workload =
-    Essa_sim.Workload.section5 ~seed ~n ~k:slots ~num_keywords:keywords ()
-  in
   let registry = Essa_obs.Registry.create () in
   let with_opt_pool f =
     match pool_size with
@@ -99,17 +137,51 @@ let run n slots keywords method_ seed workers queue_capacity max_batch auctions
     | Some d -> Essa_util.Domain_pool.with_pool d (fun pool -> f (Some pool))
   in
   with_opt_pool (fun pool ->
-      let engine =
-        Essa_sim.Workload.make_engine ~metrics:registry ?pool
-          ?parallel_threshold ~partitioned workload ~method_
+      (* Both modes produce the same four things: the serving engine, the
+         keyword stream, a thunk building the bit-identical fresh engine
+         for --replay-check, and a header line. *)
+      let engine, keywords_seq, fresh_engine, describe =
+        match universe_spec with
+        | Some (ukw, un, uzs) ->
+            let u =
+              Essa_sim.Workload.universe ~slots ~keywords:ukw ~n:un
+                ~zipf_s:uzs ~seed ()
+            in
+            let engine =
+              Essa_sim.Workload.make_flat_engine ~metrics:registry u
+                ~store:(Essa_sim.Workload.universe_store ~churn u ())
+            in
+            ( engine,
+              Essa_sim.Workload.universe_query_stream u ~seed:(seed + 1),
+              (fun () ->
+                Essa_sim.Workload.make_flat_engine u
+                  ~store:(Essa_sim.Workload.universe_store ~churn u ())),
+              fun () ->
+                Format.printf
+                  "universe: keywords=%d n=%d zipf=%.2f churn=%.3f slots=%d \
+                   seed=%d@."
+                  ukw un uzs churn slots seed )
+        | None ->
+            let workload =
+              Essa_sim.Workload.section5 ~seed ~n ~k:slots
+                ~num_keywords:keywords ()
+            in
+            let engine =
+              Essa_sim.Workload.make_engine ~metrics:registry ?pool
+                ?parallel_threshold ~partitioned workload ~method_
+            in
+            ( engine,
+              Essa_sim.Workload.query_stream workload ~seed:(seed + 1),
+              (fun () ->
+                Essa_sim.Workload.make_engine ~partitioned workload ~method_),
+              fun () ->
+                Format.printf "workload: n=%d slots=%d keywords=%d seed=%d@." n
+                  slots keywords seed )
       in
       let server =
         Essa_serve.Server.create ~metrics:registry ~workers ~queue_capacity
-          ~max_batch ~max_restarts ?deadline_budget_ns ~faults ~commit ~engine
-          ()
-      in
-      let keywords_seq =
-        Essa_sim.Workload.query_stream workload ~seed:(seed + 1)
+          ~max_batch ~max_restarts ?deadline_budget_ns ~faults ~commit ~balance
+          ~rebalance_every ~engine ()
       in
       let report =
         match rate with
@@ -121,8 +193,7 @@ let run n slots keywords method_ seed workers queue_capacity max_batch auctions
               ~total:auctions ~window ()
       in
       let stats = Essa_serve.Server.stop server in
-      Format.printf "workload: n=%d slots=%d keywords=%d seed=%d@." n slots
-        keywords seed;
+      describe ();
       Format.printf "server:   workers=%d queue=%d batch=%d%s@." workers
         queue_capacity max_batch
         (match pool_size with
@@ -139,11 +210,14 @@ let run n slots keywords method_ seed workers queue_capacity max_batch auctions
         report.offered;
       Format.printf "accepted: %d   shed: %d   committed: %d@." report.accepted
         report.shed stats.committed;
-      Format.printf "commit:   %s   turnstile-waits %d   lane-imbalance %.3f@."
+      Format.printf
+        "commit:   %s   turnstile-waits %d   lane-imbalance %.3f%s@."
         (match stats.commit_mode with
         | `Global -> "global"
         | `Per_keyword -> "per-keyword")
-        stats.turnstile_waits stats.lane_imbalance;
+        stats.turnstile_waits stats.lane_imbalance
+        (if balance then Printf.sprintf "   rebalances %d" stats.rebalances
+         else "");
       (match Essa_serve.Fault.specs faults with
       | [] -> ()
       | specs ->
@@ -183,10 +257,10 @@ let run n slots keywords method_ seed workers queue_capacity max_batch auctions
       if replay_check then begin
         (* A second partitioned engine over the same workload and seeds,
            on a private registry so the replay's auctions don't pollute
-           the served run's metrics. *)
-        let fresh =
-          Essa_sim.Workload.make_engine ~partitioned workload ~method_
-        in
+           the served run's metrics.  In universe mode this rebuilds the
+           flat store from scratch — same enrollment, same churn seed —
+           so scheduled churn re-fires at the same keyword-local times. *)
+        let fresh = fresh_engine () in
         let r = Essa_serve.Replay.check_server server ~fresh in
         Format.printf
           "replay:   %s   (%d auctions: replay %s, clocks %s, conservation \
@@ -307,13 +381,42 @@ let replay_check_t =
                  clock monotonicity, spend conservation and budget \
                  admission; exit 1 on any violation.")
 
+let universe_t =
+  Arg.(value & opt (some string) None
+       & info [ "universe" ]
+           ~doc:"Serve a Zipf universe instead of the Section V workload: \
+                 K:N:S (K keywords, N advertisers, Zipf exponent S) on the \
+                 flat-store partitioned engine.  Implies per-keyword \
+                 commit; --method / --keywords / --n are ignored.")
+
+let churn_t =
+  Arg.(value & opt float 0.0
+       & info [ "churn" ]
+           ~doc:"Per-auction bidder churn probability in [0,1] (universe \
+                 mode): on each keyword tick, with this probability one \
+                 bidder departs or a new one arrives on that keyword, \
+                 deterministically from the seed.")
+
+let balance_t =
+  Arg.(value & flag
+       & info [ "balance" ]
+           ~doc:"Replace the static modulo keyword->lane map with the \
+                 load-aware map: hot-head LPT plus power-of-two-choices on \
+                 executed-count EWMAs, rebalanced between batches.")
+
+let rebalance_every_t =
+  Arg.(value & opt int 4
+       & info [ "rebalance-every" ]
+           ~doc:"Batches per rebalance epoch (with --balance).")
+
 let run_cmd =
   Cmd.v
     (Cmd.info "run" ~doc:"Serve a query stream through the sharded pipeline")
     Term.(const run $ n_t $ slots_t $ keywords_t $ method_t $ seed_t
           $ workers_t $ queue_t $ batch_t $ auctions_t $ rate_t $ window_t
           $ pool_t $ threshold_t $ metrics_t $ fault_t $ deadline_t
-          $ max_restarts_t $ commit_t $ replay_check_t)
+          $ max_restarts_t $ commit_t $ replay_check_t $ universe_t $ churn_t
+          $ balance_t $ rebalance_every_t)
 
 let main =
   Cmd.group

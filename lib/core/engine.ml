@@ -1,3 +1,5 @@
+module Sstore = Essa_strategy.State_store
+
 type method_ = [ `Lp | `Lp_dense | `H | `Rh | `Rhtalu ]
 
 type degrade = Cheap_allocation | Unfilled
@@ -134,9 +136,13 @@ type scratch = {
   mutable ta_token : int;
   tk_ids : int array;                  (* capacity k+1 *)
   tk_scores : float array;             (* capacity k+1 *)
+  tk_slots : int array;                (* capacity k+1; flat path only *)
   ta_eff : float array;                (* effective bid by advertiser *)
 }
 
+(* [n] is the index space of the stamp arrays: the fleet size on dense
+   engines, the keyword partition's capacity on flat ones (where the
+   scratch is slot-indexed and grows with the partition). *)
 let make_scratch ~n ~k ~with_w =
   let reduced_capacity = min n (k * (k + 1)) in
   {
@@ -150,6 +156,7 @@ let make_scratch ~n ~k ~with_w =
     ta_token = 0;
     tk_ids = Array.make (k + 1) 0;
     tk_scores = Array.make (k + 1) 0.0;
+    tk_slots = Array.make (k + 1) 0;
     ta_eff = Array.make n 0.0;
   }
 
@@ -161,7 +168,7 @@ let make_scratch ~n ~k ~with_w =
    synchronization. *)
 type epartition = {
   p_rng : Essa_util.Rng.t;
-  p_scratch : scratch;
+  mutable p_scratch : scratch;  (* replaced when a flat partition grows *)
   p_h_total : Essa_obs.Histogram.t;
   mutable p_revenue : int;
 }
@@ -203,6 +210,11 @@ type t = {
      keywords allocate), and atomic cross-keyword tallies replacing the
      three mutable counters above. *)
   is_partitioned : bool;
+  (* Flat mode: the fleet is a {!Essa_strategy.Roi_fleet.flat_p} over a
+     flat {!Sstore}; winner determination, pricing and the cheap fallback
+     run the slot-indexed paths below, and all n-sized / nk×n side
+     structures (ctr_sorted.., premiums..) are empty. *)
+  is_flat : bool;
   partitions : epartition option array;
   a_revenue : int Atomic.t;
   a_auctions : int Atomic.t;
@@ -324,6 +336,7 @@ let create ?metrics ?pool ?(parallel_threshold = 4096)
     auctions = 0;
     scratch = make_scratch ~n ~k ~with_w:(not partitioned || method_ = `Rh);
     is_partitioned = partitioned;
+    is_flat = false;
     partitions =
       (if partitioned then
          Array.make (Essa_strategy.Roi_fleet.num_keywords fleet) None
@@ -336,10 +349,74 @@ let create ?metrics ?pool ?(parallel_threshold = 4096)
     m = engine_metrics registry;
   }
 
+let create_flat ?metrics ?(clock = Essa_util.Timing.now_ns) ~reserve ~pricing
+    ~ctr ~store ~user_seed () =
+  if not (Sstore.is_flat store) then
+    invalid_arg "Engine.create_flat: store is not flat";
+  let n = Sstore.flat_n store in
+  if Array.length ctr <> n then
+    invalid_arg "Engine.create_flat: ctr rows <> advertisers";
+  let k = Array.length ctr.(0) in
+  if k = 0 then invalid_arg "Engine.create_flat: no slots";
+  Array.iter
+    (fun row ->
+      if Array.length row <> k then invalid_arg "Engine.create_flat: ragged ctr";
+      Array.iter
+        (fun p ->
+          if not (p >= 0.0 && p <= 1.0) then
+            invalid_arg "Engine.create_flat: click probability outside [0,1]")
+        row)
+    ctr;
+  if reserve < 0 then invalid_arg "Engine.create_flat: negative reserve";
+  (match pricing with
+  | `Vcg ->
+      invalid_arg "Engine.create_flat: VCG needs the dense pricing view"
+  | `Gsp | `Pay_as_bid -> ());
+  let fleet = Essa_strategy.Roi_fleet.flat_p store in
+  let registry =
+    match metrics with Some r -> r | None -> Essa_obs.Registry.create ()
+  in
+  let nk = Sstore.num_keywords store in
+  {
+    method_ = `Rh;
+    pricing;
+    reserve;
+    n;
+    k;
+    nk;
+    ctr;
+    fleet;
+    (* All n-sized / nk×n side structures stay empty: at 10⁵ keywords ×
+       10⁵ advertisers they are exactly what the flat layout removes. *)
+    ctr_sorted = [||];
+    ctr_ids = [||];
+    ctr_vals = [||];
+    ctr_cols = [||];
+    premiums = [||];
+    premium_sorted = [||];
+    prem_ids = [||];
+    prem_vals = [||];
+    user_rng = Essa_util.Rng.create user_seed;
+    time = 0;
+    total_revenue = 0;
+    auctions = 0;
+    scratch = make_scratch ~n:1 ~k ~with_w:false (* unused: serial path raises *);
+    is_partitioned = true;
+    is_flat = true;
+    partitions = Array.make nk None;
+    a_revenue = Atomic.make 0;
+    a_auctions = Atomic.make 0;
+    pool = None;
+    parallel_threshold = max_int;
+    clock;
+    m = engine_metrics registry;
+  }
+
 let n t = t.n
 let k t = t.k
 let num_keywords t = t.nk
 let partitioned t = t.is_partitioned
+let is_flat t = t.is_flat
 let time t = if t.is_partitioned then Atomic.get t.a_auctions else t.time
 let total_revenue t =
   if t.is_partitioned then Atomic.get t.a_revenue else t.total_revenue
@@ -361,10 +438,23 @@ let partition_of t ~keyword =
   match t.partitions.(keyword) with
   | Some p -> p
   | None ->
+      (* Flat scratch is slot-indexed: size it to the keyword partition's
+         current capacity, not the fleet (it is re-made bigger if churn
+         grows the partition). *)
+      let scratch_n =
+        if t.is_flat then
+          (Sstore.flat_stats
+             (Essa_strategy.Roi_fleet.store_of t.fleet)
+             ~keyword)
+            .Sstore.fs_capacity
+        else t.n
+      in
       let p =
         {
           p_rng = Essa_util.Rng.split t.user_rng ~key:keyword;
-          p_scratch = make_scratch ~n:t.n ~k:t.k ~with_w:(t.method_ = `Rh);
+          p_scratch =
+            make_scratch ~n:scratch_n ~k:t.k
+              ~with_w:((not t.is_flat) && t.method_ = `Rh);
           p_h_total = Essa_obs.Histogram.create ();
           p_revenue = 0;
         }
@@ -834,6 +924,195 @@ let gsp_from_top t s ~assignment ~top =
           max (runner top.(j0)) t.reserve)
     assignment
 
+(* ------------------------------------------------------------------ *)
+(* Flat-store auction paths: everything below reads the keyword's
+   partition view (live slots only) instead of per-advertiser arrays, so
+   per-auction cost is O(live · k) — independent of the fleet size and of
+   the keyword count.  Scores use the same float expressions as
+   [fill_weights] / [cheap_allocation], and candidate order (score
+   descending, global id ascending; reduced view in ascending global id)
+   matches the dense `Rh path, so on a universe where partitions and
+   fleet agree the two engines assign and price identically. *)
+
+let winner_determination_flat t s ~keyword =
+  let store = Essa_strategy.Roi_fleet.store_of t.fleet in
+  let fv = Sstore.flat_view store ~keyword in
+  let members = fv.Sstore.fv_members
+  and bids = fv.Sstore.fv_bids
+  and prems = fv.Sstore.fv_premiums in
+  let len = fv.Sstore.fv_len in
+  let reserve = t.reserve in
+  let count = t.k + 1 in
+  let tk_ids = s.tk_ids and tk_scores = s.tk_scores and tk_slots = s.tk_slots in
+  let tops = Array.make t.k [] in
+  s.stamp_token <- s.stamp_token + 1;
+  let token = s.stamp_token in
+  let ncand = ref 0 in
+  for j = 0 to t.k - 1 do
+    (* Insertion-sorted top-(k+1) scan of the live slots; canonical order:
+       higher score first, ties to the smaller global id. *)
+    let tk_size = ref 0 in
+    for slot = 0 to len - 1 do
+      let gid = members.(slot) in
+      if gid >= 0 then begin
+        let bid_c = bids.(slot) in
+        let sc =
+          if bid_c < reserve then 0.0
+          else
+            let b = float_of_int bid_c in
+            if j = 0 then t.ctr.(gid).(0) *. (b +. float_of_int prems.(slot))
+            else t.ctr.(gid).(j) *. b
+        in
+        let full = !tk_size >= count in
+        let accept =
+          (not full)
+          ||
+          let ms = tk_scores.(count - 1) in
+          sc > ms || (sc = ms && gid < tk_ids.(count - 1))
+        in
+        if accept then begin
+          let p = ref (if full then count - 1 else !tk_size) in
+          if not full then incr tk_size;
+          while
+            !p > 0
+            && (let ps = tk_scores.(!p - 1) in
+                sc > ps || (sc = ps && gid < tk_ids.(!p - 1)))
+          do
+            tk_scores.(!p) <- tk_scores.(!p - 1);
+            tk_ids.(!p) <- tk_ids.(!p - 1);
+            tk_slots.(!p) <- tk_slots.(!p - 1);
+            decr p
+          done;
+          tk_scores.(!p) <- sc;
+          tk_ids.(!p) <- gid;
+          tk_slots.(!p) <- slot
+        end
+      end
+    done;
+    let rec build i acc =
+      if i < 0 then acc else build (i - 1) ((tk_ids.(i), tk_scores.(i)) :: acc)
+    in
+    tops.(j) <- build (!tk_size - 1) [];
+    (* Fold this slot's survivors into the reduced candidate set (stamp
+       dedupe on partition slots). *)
+    for i = 0 to !tk_size - 1 do
+      let slot = tk_slots.(i) in
+      if s.stamp.(slot) <> token then begin
+        s.stamp.(slot) <- token;
+        s.reduced_advs.(!ncand) <- slot;
+        incr ncand
+      end
+    done
+  done;
+  (* Reduced pricing view in ascending global-id order, exactly like the
+     dense [reduced_from_top]. *)
+  let slots = Array.sub s.reduced_advs 0 !ncand in
+  Array.sort (fun a b -> Int.compare members.(a) members.(b)) slots;
+  let advertisers = Array.map (fun slot -> members.(slot)) slots in
+  for r = 0 to !ncand - 1 do
+    let slot = slots.(r) in
+    let gid = members.(slot) in
+    let row = s.reduced_w_rows.(r) in
+    let bid_c = bids.(slot) in
+    if bid_c < reserve then Array.fill row 0 t.k 0.0
+    else begin
+      let b = float_of_int bid_c in
+      row.(0) <- t.ctr.(gid).(0) *. (b +. float_of_int prems.(slot));
+      for j = 1 to t.k - 1 do
+        row.(j) <- t.ctr.(gid).(j) *. b
+      done
+    end
+  done;
+  Essa_obs.Counter.add t.m.c_reduced_candidates !ncand;
+  let reduced = Essa_matching.Hungarian.solve ~w:(Array.sub s.reduced_w_rows 0 !ncand) in
+  let assignment =
+    Array.map (Option.map (fun local -> advertisers.(local))) reduced
+  in
+  (assignment, tops)
+
+(* GSP runner-up search over the flat top lists.  Winner membership is a
+   linear scan of the ≤ k assignment cells (the scratch stamp array is
+   slot-indexed here, while top entries carry global ids). *)
+let gsp_from_top_flat t ~assignment ~top =
+  let is_winner id =
+    let rec go j0 =
+      if j0 >= Array.length assignment then false
+      else
+        match assignment.(j0) with
+        | Some w when w = id -> true
+        | _ -> go (j0 + 1)
+    in
+    go 0
+  in
+  Array.mapi
+    (fun j0 cell ->
+      match cell with
+      | None -> 0
+      | Some winner ->
+          let rec runner = function
+            | [] -> 0
+            | (i, weight) :: rest ->
+                if is_winner i then runner rest
+                else
+                  let p = t.ctr.(winner).(j0) in
+                  if p <= 0.0 || weight <= 0.0 then 0
+                  else int_of_float (Float.ceil ((weight /. p) -. 1e-9))
+          in
+          max (runner top.(j0)) t.reserve)
+    assignment
+
+let price_flat t ~keyword ~assignment ~top =
+  match t.pricing with
+  | `Gsp -> gsp_from_top_flat t ~assignment ~top
+  | `Pay_as_bid ->
+      let store = Essa_strategy.Roi_fleet.store_of t.fleet in
+      Array.mapi
+        (fun j0 cell ->
+          match cell with
+          | None -> 0
+          | Some adv ->
+              Sstore.flat_bid store ~keyword ~adv
+              + (if j0 = 0 then Sstore.flat_premium store ~keyword ~adv else 0))
+        assignment
+  | `Vcg -> assert false (* rejected by create_flat *)
+
+(* The deadline-degraded single-pass fallback, flat form: top-k of the
+   live slots by slot-1 expected revenue, pay-as-bid prices floored at the
+   reserve — same scores, same tie order as [cheap_allocation]. *)
+let cheap_allocation_flat t ~keyword =
+  let store = Essa_strategy.Roi_fleet.store_of t.fleet in
+  let fv = Sstore.flat_view store ~keyword in
+  let members = fv.Sstore.fv_members
+  and bids = fv.Sstore.fv_bids
+  and prems = fv.Sstore.fv_premiums in
+  let len = fv.Sstore.fv_len in
+  let top =
+    Essa_util.Topk.create ~k:t.k
+      ~compare:(fun (sa, ia, _) (sb, ib, _) ->
+        let c = Float.compare sa sb in
+        if c <> 0 then c else Int.compare ib ia)
+  in
+  for slot = 0 to len - 1 do
+    let gid = members.(slot) in
+    if gid >= 0 then begin
+      let bid_c = bids.(slot) in
+      if bid_c >= t.reserve then begin
+        let s =
+          t.ctr.(gid).(0) *. (float_of_int bid_c +. float_of_int prems.(slot))
+        in
+        if s > 0.0 then ignore (Essa_util.Topk.offer top (s, gid, slot))
+      end
+    end
+  done;
+  let assignment = Array.make t.k None in
+  let prices = Array.make t.k 0 in
+  List.iteri
+    (fun j (_, gid, slot) ->
+      assignment.(j) <- Some gid;
+      prices.(j) <- max t.reserve (bids.(slot) + if j = 0 then prems.(slot) else 0))
+    (Essa_util.Topk.to_sorted_list top);
+  (assignment, prices)
+
 let price_assignment t s ~keyword ~assignment ~view_advertisers ~view_w ~top =
   let ctr ~adv ~slot = t.ctr.(adv).(slot - 1) in
   let per_click_of_expected ~expected ~slot ~adv =
@@ -1093,17 +1372,19 @@ let run_partitioned_gen ?deadline_ns ?snapshot ?batch ~forced t ~keyword =
     }
   end
   else begin
-    (* A later auction of a batch adopts the maintained snapshot; the
-       explicit [?snapshot] (replay) and a batch are mutually exclusive
-       call sites, so the override order is immaterial. *)
-    let adopted =
+    (* A later auction of a batch adopts the maintained snapshot (the
+       explicit [?snapshot] replay override and a batch are mutually
+       exclusive call sites).  The two are passed separately: adoption is
+       best-effort — a flat partition drops it after churn — while a
+       replay override is verbatim. *)
+    let adopt =
       match snapshot with
-      | Some _ -> snapshot
+      | Some _ -> None
       | None -> ( match batch with Some b -> b.b_snap | None -> None)
     in
     let kt, snap =
-      Essa_strategy.Roi_fleet.begin_auction_p t.fleet ~keyword
-        ?snapshot:adopted ()
+      Essa_strategy.Roi_fleet.begin_auction_p t.fleet ~keyword ?snapshot
+        ?adopt ()
     in
     let spend_snapshot = Some (Array.copy snap) in
     let cheap =
@@ -1111,19 +1392,43 @@ let run_partitioned_gen ?deadline_ns ?snapshot ?batch ~forced t ~keyword =
       | Some tier -> tier = Some Cheap_allocation
       | None -> over_deadline ()
     in
+    (* Flat scratch is slot-indexed: churn inside [begin_auction_p] may
+       have grown the partition past the scratch, so re-check here. *)
+    let scr =
+      if not t.is_flat then p.p_scratch
+      else begin
+        let cap =
+          (Sstore.flat_stats
+             (Essa_strategy.Roi_fleet.store_of t.fleet)
+             ~keyword)
+            .Sstore.fs_capacity
+        in
+        if Array.length p.p_scratch.stamp < cap then
+          p.p_scratch <- make_scratch ~n:cap ~k:t.k ~with_w:false;
+        p.p_scratch
+      end
+    in
     let assignment, prices, degraded =
       if cheap then begin
-        let assignment, prices = cheap_allocation t ~keyword in
+        let assignment, prices =
+          if t.is_flat then cheap_allocation_flat t ~keyword
+          else cheap_allocation t ~keyword
+        in
         Essa_obs.Counter.incr t.m.c_degraded_cheap;
         (assignment, prices, Some Cheap_allocation)
       end
+      else if t.is_flat then begin
+        let assignment, top = winner_determination_flat t scr ~keyword in
+        let prices = price_flat t ~keyword ~assignment ~top in
+        (assignment, prices, None)
+      end
       else
         let assignment, view_advertisers, view_w, top =
-          winner_determination t p.p_scratch ~keyword
+          winner_determination t scr ~keyword
         in
         let prices =
-          price_assignment t p.p_scratch ~keyword ~assignment
-            ~view_advertisers ~view_w ~top
+          price_assignment t scr ~keyword ~assignment ~view_advertisers
+            ~view_w ~top
         in
         (assignment, prices, None)
     in
@@ -1164,7 +1469,21 @@ let run_partitioned_gen ?deadline_ns ?snapshot ?batch ~forced t ~keyword =
           (fun j0 cell ->
             match cell with
             | Some adv when clicks.(j0) ->
-                arr.(adv) <- arr.(adv) + prices.(j0)
+                (* Flat snapshots are partition-slot-indexed; a winner is
+                   always enrolled at this point (churn only runs inside
+                   [begin_auction_p]), but guard anyway — a dropped
+                   adoption just falls back to fresh atomic reads. *)
+                let idx =
+                  if t.is_flat then
+                    Sstore.flat_slot
+                      (Essa_strategy.Roi_fleet.store_of t.fleet)
+                      ~keyword ~adv
+                  else Some adv
+                in
+                (match idx with
+                | Some i when i < Array.length arr ->
+                    arr.(i) <- arr.(i) + prices.(j0)
+                | _ -> ())
             | _ -> ())
           assignment);
     p.p_revenue <- p.p_revenue + !revenue;

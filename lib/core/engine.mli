@@ -85,10 +85,45 @@ val create :
     disagree on the number of keywords, or an unsupported [partitioned]
     combination. *)
 
+val create_flat :
+  ?metrics:Essa_obs.Registry.t ->
+  ?clock:(unit -> int64) ->
+  reserve:int ->
+  pricing:pricing ->
+  ctr:float array array ->
+  store:Essa_strategy.State_store.t ->
+  user_seed:int ->
+  unit ->
+  t
+(** A partitioned engine over a {e flat} state store
+    ({!Essa_strategy.State_store.create_flat}): per-keyword slot-indexed
+    partitions holding only the advertisers that bid on each keyword, with
+    free-list churn.  This is the scale configuration — 10⁴–10⁵ keywords,
+    10⁵–10⁶ advertisers with sparse participation — where the dense
+    engine's nk×n and n-per-keyword side structures stop fitting.
+
+    [ctr] is still n × k (global advertiser id × slot); per-auction work
+    reads only the queried keyword's live slots, so it is
+    O(live · k + k³), independent of n and of the keyword count.  Winner
+    determination is the [`Rh] reduction (per-slot top-(k+1) scan of the
+    partition, Hungarian on the reduced graph) and on a universe where
+    partition membership matches a dense fleet the two engines produce
+    identical assignments, prices and clicks (property-tested).  Drive it
+    with {!run_partitioned} / {!batch_start} exactly like other
+    partitioned engines; {!replay_auction} witnesses are
+    partition-slot-indexed ({!Essa_strategy.Roi_fleet.snapshot_index}).
+
+    @raise Invalid_argument on a dense store, shape mismatch, [`Vcg]
+    pricing (needs the dense pricing view), probabilities outside [0,1]
+    or a negative reserve. *)
+
 val n : t -> int
 val k : t -> int
 val num_keywords : t -> int
 val time : t -> int
+
+val is_flat : t -> bool
+(** True for {!create_flat} engines. *)
 
 type degrade =
   | Cheap_allocation

@@ -40,7 +40,7 @@ let check ~served ~fresh ~log =
   let clocks_monotone = ref true in
   let budgets_respected = ref true in
   let log_revenue = ref 0 in
-  let served_fleet = Essa.Engine.fleet served in
+  let fresh_fleet = Essa.Engine.fleet fresh in
   (* Replay keyword by keyword: within a keyword the recorded order is
      mandatory (the keyword's clock and RNG stream advance per auction);
      across keywords any order works — that is the point of the recorded
@@ -56,12 +56,21 @@ let check ~served ~fresh ~log =
              consumed exactly one tick. *)
           if s.auction_time <= !last_time then clocks_monotone := false;
           last_time := s.auction_time;
+          (* Bit-for-bit re-execution from the witness. *)
+          let r =
+            Essa.Engine.replay_auction ?snapshot:s.spend_snapshot
+              ~degraded:s.degraded fresh ~keyword
+          in
           (* Admission-time budget invariant, on the recorded witness: a
              clicked winner with an exhausted snapshot could only have won
              through a slot-1 premium (weight ctr·(0+premium) survives bid
              retirement), so the invariant is scoped to premium-free
-             winners: their snapshot spend must be strictly under
-             budget. *)
+             winners: their snapshot spend must be strictly under budget.
+             Checked after the replay call, against the fresh fleet: on a
+             flat store the witness is partition-slot-indexed and the
+             slot mapping at this point in the replay — same deterministic
+             churn position — is exactly the one the witness was recorded
+             under (the served fleet has churned past it). *)
           (match s.spend_snapshot with
           | None -> ()
           | Some snap ->
@@ -69,22 +78,24 @@ let check ~served ~fresh ~log =
                 (fun j0 cell ->
                   match cell with
                   | Some adv when s.clicks.(j0) -> (
-                      let st =
-                        Essa_strategy.Roi_fleet.state served_fleet ~adv
-                      in
-                      match Essa_strategy.Roi_state.budget st with
+                      match
+                        Essa_strategy.Roi_fleet.budget_of fresh_fleet ~adv
+                      with
                       | Some b
-                        when Essa_strategy.Roi_state.premium st ~keyword = 0
-                             && snap.(adv) >= b ->
-                          budgets_respected := false
+                        when Essa_strategy.Roi_fleet.premium_of fresh_fleet
+                               ~adv ~keyword
+                             = 0 -> (
+                          match
+                            Essa_strategy.Roi_fleet.snapshot_index fresh_fleet
+                              ~keyword ~adv
+                          with
+                          | Some i
+                            when i < Array.length snap && snap.(i) >= b ->
+                              budgets_respected := false
+                          | _ -> ())
                       | _ -> ())
                   | _ -> ())
                 s.assignment);
-          (* Bit-for-bit re-execution from the witness. *)
-          let r =
-            Essa.Engine.replay_auction ?snapshot:s.spend_snapshot
-              ~degraded:s.degraded fresh ~keyword
-          in
           match summary_fields_equal s r with
           | [] -> ()
           | fields ->

@@ -21,6 +21,7 @@ type stats = {
   commit_mode : commit_mode;
   turnstile_waits : int;
   lane_imbalance : float;
+  rebalances : int;
   errors : error list;
 }
 
@@ -87,6 +88,15 @@ type t = {
   deadline_budget_ns : int option;
   lane_states : lane_state array;
   tracker : Shard.tracker;
+  (* Load-aware keyword→lane map ([~balance:true]); [None] = the static
+     modulo map.  The batcher owns assignment and rebalancing; lanes
+     only bump per-keyword executed cells ([Shard.map_note], single
+     writer per cell).  Rebalances run strictly between batches, after
+     the previous batch has fully committed, so keyword ownership never
+     changes while a keyword has queries in flight — per-keyword FIFO
+     is preserved by construction. *)
+  balance_map : Shard.map option;
+  rebalance_every : int;
   (* Per-keyword commit logs (Per_keyword mode; empty in Global mode):
      each cell has a single writer — the keyword's owning lane — so the
      refs need no lock; read them after the lanes have joined. *)
@@ -187,6 +197,9 @@ let lane_loop t ~lane ~on_commit mb =
        match
          Fault.before_execute t.faults ~seq:q.seq;
          Shard.note_executed t.tracker ~lane;
+         (match t.balance_map with
+         | Some m -> Shard.map_note m ~keyword:q.keyword
+         | None -> ());
          let deadline_ns = deadline_of t q in
          let summary =
            match t.commit with
@@ -269,7 +282,7 @@ let committed_count t =
 
 let batcher_loop t ~max_batch ~c_batches ~h_batch_size =
   let shards = Array.length t.mailboxes in
-  let rec loop last_dispatched =
+  let rec loop last_dispatched batches_done =
     match Ingress.drain t.ingress ~max:max_batch with
     | [] ->
         (* Closed and empty: the fleet is done once in-flight work lands. *)
@@ -289,24 +302,42 @@ let batcher_loop t ~max_batch ~c_batches ~h_batch_size =
             | Turnstile clock -> Commit_clock.wait_past clock ~seq
             | Ledger ledger -> Commit_ledger.wait_until ledger ~count:(seq + 1))
         | None -> ());
+        (* Rebalance epoch boundary: the previous batch has fully
+           committed (the wait above), so every lane is idle and every
+           keyword's commit-ledger entry is settled — moving a keyword
+           to another lane here cannot reorder its queries.  The ledger
+           wait also carries the happens-before edge that publishes the
+           lanes' [map_note] counts to the batcher. *)
+        (match t.balance_map with
+        | Some m
+          when batches_done > 0 && batches_done mod t.rebalance_every = 0 ->
+            Shard.map_rebalance m
+        | _ -> ());
         Essa_obs.Counter.incr c_batches;
         Essa_obs.Histogram.record h_batch_size (List.length batch);
-        let lanes_work = Shard.partition ~shards batch in
+        let lanes_work =
+          match t.balance_map with
+          | Some m -> Shard.partition_map m batch
+          | None -> Shard.partition ~shards batch
+        in
         Array.iteri
           (fun s qs -> if qs <> [] then mailbox_push t.mailboxes.(s) (Work qs))
           lanes_work;
         let last = List.fold_left (fun _ (q : Ingress.query) -> q.seq) 0 batch in
-        loop (Some last)
+        loop (Some last) (batches_done + 1)
   in
-  loop None
+  loop None 0
 
 let create ?metrics ?(on_commit = fun _ -> ()) ?(queue_capacity = 1024)
     ?(max_batch = 64) ?(max_restarts = 2) ?deadline_budget_ns
-    ?(faults = Fault.none) ?(commit = `Global)
-    ?(clock = Essa_util.Timing.now_ns) ~workers ~engine () =
+    ?(faults = Fault.none) ?(commit = `Global) ?(balance = false)
+    ?(rebalance_every = 4) ?(clock = Essa_util.Timing.now_ns) ~workers ~engine
+    () =
   if workers < 1 then invalid_arg "Server.create: workers < 1";
   if max_batch < 1 then invalid_arg "Server.create: max_batch < 1";
   if max_restarts < 0 then invalid_arg "Server.create: max_restarts < 0";
+  if rebalance_every < 1 then
+    invalid_arg "Server.create: rebalance_every < 1";
   (match deadline_budget_ns with
   | Some b when b <= 0 -> invalid_arg "Server.create: deadline_budget_ns <= 0"
   | _ -> ());
@@ -349,6 +380,11 @@ let create ?metrics ?(on_commit = fun _ -> ()) ?(queue_capacity = 1024)
         Array.init workers (fun _ ->
             { restarts = 0; lane_degraded = false; skipped = 0 });
       tracker = Shard.tracker ~metrics:registry ~shards:workers;
+      balance_map =
+        (if balance then
+           Some (Shard.map_create ~shards:workers ~num_keywords:nk ())
+         else None);
+      rebalance_every;
       commit_logs =
         (match commit with
         | `Global -> [||]
@@ -448,6 +484,10 @@ let collect t =
     commit_mode = commit_mode t;
     turnstile_waits = turnstile_waits t;
     lane_imbalance = Shard.refresh_imbalance t.tracker;
+    rebalances =
+      (match t.balance_map with
+      | Some m -> Shard.map_rebalances m
+      | None -> 0);
     errors = List.rev t.errors_rev;
   }
 

@@ -84,6 +84,8 @@ type stats = {
           turn; [`Per_keyword]: structurally 0 (there is no turnstile) *)
   lane_imbalance : float;
       (** (max-min)/max of per-lane committed counts (see {!Shard}) *)
+  rebalances : int;
+      (** keyword→lane map rebalances run ([~balance:true] only) *)
   errors : error list;  (** every failure report, in commit order *)
 }
 
@@ -96,6 +98,8 @@ val create :
   ?deadline_budget_ns:int ->
   ?faults:Fault.t ->
   ?commit:commit_mode ->
+  ?balance:bool ->
+  ?rebalance_every:int ->
   ?clock:(unit -> int64) ->
   workers:int ->
   engine:Essa.Engine.t ->
@@ -134,6 +138,15 @@ val create :
     {!Essa.Engine.batch} (one spend-snapshot scan per group instead of
     per query); per-keyword FIFO is preserved, and each summary still
     records its own snapshot, so replay is unchanged.
+    [balance] (default false) replaces the static modulo keyword→lane
+    map with the load-aware {!Shard.map}: every [rebalance_every]
+    (default 4) batches, at the quiescent point where the previous batch
+    has fully committed and every lane is idle, the batcher folds the
+    per-keyword executed counts into EWMAs and reassigns keywords —
+    hot-head LPT plus power-of-two-choices (see {!Shard}).  Because
+    ownership only changes between batches, per-keyword FIFO and the
+    replay contract are untouched; only which lane serves a keyword
+    shifts.  [stats.rebalances] counts epochs.
     [clock] stamps enqueue times and enqueue-to-commit latencies
     (default {!Essa_util.Timing.now_ns}) — the same injectable seam as
     [Engine.create]'s [?clock], so deterministic tests can drive the

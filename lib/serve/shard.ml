@@ -51,6 +51,109 @@ let note_committed tr ~lane = Essa_obs.Counter.incr tr.committed.(lane)
 let committed_counts tr = Array.map Essa_obs.Counter.value tr.committed
 let executed_counts tr = Array.map Essa_obs.Counter.value tr.executed
 
+(* ------------------------------------------------------------------ *)
+(* Load-aware keyword→lane map.  The static modulo map above is the
+   right default for uniform keyword streams; under a Zipf universe it
+   concentrates the hot head on whichever lanes the popular keyword ids
+   happen to hash to.  The map below starts as the modulo map and is
+   periodically rebalanced from per-keyword executed-count EWMAs:
+
+   - the {e hot head} (top [shards * hot_per_lane] keywords by EWMA) is
+     placed greedily, heaviest first, each onto the least-loaded lane —
+     the LPT bound keeps the few dominant keywords spread out;
+   - the {e cold tail} is placed by power-of-two-choices: two candidate
+     lanes drawn from the map's own RNG, the less loaded wins — O(1) per
+     keyword with the classic exponential improvement over random;
+   - zero-EWMA keywords keep their current lane (their partitions stay
+     cache-warm where they are, and touching all K keywords would buy
+     nothing).
+
+   Concurrency contract: [map_lane] / [map_rebalance] are called only by
+   the batcher; [map_note] only by the keyword's owning lane (single
+   writer per cell — ownership changes only at a rebalance, which the
+   server runs strictly between batches, after the commit ledger has
+   quiesced the previous batch, so the mutex inside the ledger orders
+   every lane-side [map_note] before the batcher's read). *)
+
+type map = {
+  m_shards : int;
+  m_alpha : float;
+  m_hot_per_lane : int;
+  assign : int array;  (* keyword -> lane *)
+  ewma : float array;  (* keyword -> executed-count EWMA across epochs *)
+  epoch : int array;   (* keyword -> executed count this epoch *)
+  m_rng : Essa_util.Rng.t;
+  mutable m_rebalances : int;
+}
+
+let map_create ?(alpha = 0.3) ?(hot_per_lane = 4) ?(seed = 0x10AD) ~shards
+    ~num_keywords () =
+  if shards < 1 then invalid_arg "Shard.map_create: shards < 1";
+  if num_keywords < 1 then invalid_arg "Shard.map_create: num_keywords < 1";
+  if not (alpha > 0.0 && alpha <= 1.0) then
+    invalid_arg "Shard.map_create: alpha outside (0,1]";
+  if hot_per_lane < 1 then invalid_arg "Shard.map_create: hot_per_lane < 1";
+  {
+    m_shards = shards;
+    m_alpha = alpha;
+    m_hot_per_lane = hot_per_lane;
+    assign = Array.init num_keywords (fun kw -> kw mod shards);
+    ewma = Array.make num_keywords 0.0;
+    epoch = Array.make num_keywords 0;
+    m_rng = Essa_util.Rng.create seed;
+    m_rebalances = 0;
+  }
+
+let map_lane m ~keyword = m.assign.(keyword)
+let map_note m ~keyword = m.epoch.(keyword) <- m.epoch.(keyword) + 1
+let map_rebalances m = m.m_rebalances
+
+let map_rebalance m =
+  let k = Array.length m.assign in
+  let active = ref [] in
+  for kw = k - 1 downto 0 do
+    m.ewma.(kw) <-
+      (m.m_alpha *. float_of_int m.epoch.(kw))
+      +. ((1.0 -. m.m_alpha) *. m.ewma.(kw));
+    m.epoch.(kw) <- 0;
+    if m.ewma.(kw) > 1e-9 then active := kw :: !active
+  done;
+  let active = Array.of_list !active in
+  Array.sort
+    (fun a b ->
+      let c = Float.compare m.ewma.(b) m.ewma.(a) in
+      if c <> 0 then c else Int.compare a b)
+    active;
+  let load = Array.make m.m_shards 0.0 in
+  let hot = min (Array.length active) (m.m_shards * m.m_hot_per_lane) in
+  for i = 0 to hot - 1 do
+    let kw = active.(i) in
+    let best = ref 0 in
+    for lane = 1 to m.m_shards - 1 do
+      if load.(lane) < load.(!best) then best := lane
+    done;
+    m.assign.(kw) <- !best;
+    load.(!best) <- load.(!best) +. m.ewma.(kw)
+  done;
+  for i = hot to Array.length active - 1 do
+    let kw = active.(i) in
+    let a = Essa_util.Rng.int m.m_rng m.m_shards in
+    let b = Essa_util.Rng.int m.m_rng m.m_shards in
+    let lane = if load.(a) <= load.(b) then a else b in
+    m.assign.(kw) <- lane;
+    load.(lane) <- load.(lane) +. m.ewma.(kw)
+  done;
+  m.m_rebalances <- m.m_rebalances + 1
+
+let partition_map m batch =
+  let lanes = Array.make m.m_shards [] in
+  List.iter
+    (fun (q : Ingress.query) ->
+      let s = m.assign.(q.keyword) in
+      lanes.(s) <- q :: lanes.(s))
+    batch;
+  Array.map List.rev lanes
+
 let imbalance_of counts =
   let mx = Array.fold_left max 0 counts in
   if mx = 0 || Array.length counts < 2 then 0.0

@@ -16,6 +16,53 @@ val partition : shards:int -> Ingress.query list -> Ingress.query list array
     arrival order — the property the commit protocol relies on: within a
     lane, sequence numbers are strictly increasing. *)
 
+(** {2 Load-aware keyword→lane map}
+
+    The modulo map is the right default for uniform keyword streams;
+    under a skewed (Zipf) universe it concentrates the hot keywords on
+    whichever lanes their ids hash to.  [map] starts as the modulo map
+    and is rebalanced between batches from per-keyword executed-count
+    EWMAs: the hot head (top [shards * hot_per_lane] keywords by EWMA)
+    is placed greedily heaviest-first onto the least-loaded lane, the
+    cold tail by power-of-two-choices (two seeded candidate lanes, less
+    loaded wins), and zero-EWMA keywords keep their lane.
+
+    Concurrency contract: [map_lane], [map_rebalance] and
+    [partition_map] belong to the batcher; [map_note] to the keyword's
+    owning lane (single writer per cell).  Ownership only changes at a
+    rebalance, which the server runs strictly between batches — after
+    the commit ledger has quiesced the previous batch — so per-keyword
+    FIFO is untouched: a keyword's queries still flow through exactly
+    one lane at a time, in arrival order. *)
+
+type map
+
+val map_create :
+  ?alpha:float -> ?hot_per_lane:int -> ?seed:int ->
+  shards:int -> num_keywords:int -> unit -> map
+(** A fresh map, initially the modulo assignment.  [alpha] (default 0.3)
+    is the EWMA smoothing factor applied per epoch; [hot_per_lane]
+    (default 4) sizes the greedily-placed hot head; [seed] drives the
+    power-of-two-choices draws.
+    @raise Invalid_argument if [shards < 1], [num_keywords < 1],
+    [alpha] outside (0,1] or [hot_per_lane < 1]. *)
+
+val map_lane : map -> keyword:int -> int
+(** The keyword's current lane. *)
+
+val map_note : map -> keyword:int -> unit
+(** Count one executed auction for the keyword (owning lane only). *)
+
+val map_rebalance : map -> unit
+(** Fold the epoch counts into the EWMAs and recompute the assignment
+    (batcher only, between batches). *)
+
+val map_rebalances : map -> int
+(** How many rebalances have run. *)
+
+val partition_map : map -> Ingress.query list -> Ingress.query list array
+(** {!partition} under the map's current assignment. *)
+
 (** {2 Per-lane accounting}
 
     The modulo map makes load balance a property of the keyword

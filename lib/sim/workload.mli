@@ -67,3 +67,70 @@ val queries : t -> seed:int -> count:int -> int array
     replayable query trace the serving layer's equivalence tests and
     throughput benchmarks feed to both contenders.
     @raise Invalid_argument on a negative count. *)
+
+(** {2 The Zipf universe}
+
+    The production-shaped workload: [K] keywords queried under a Zipf([s])
+    popularity distribution, [N] advertisers each enrolled on a handful of
+    keywords (sparse participation — nothing materializes an n × K
+    structure), and optional seeded bidder churn.  Built for the flat
+    {!Essa_strategy.State_store} layout and the serving stack's
+    [`Per_keyword] commit mode. *)
+
+type universe
+
+val universe :
+  ?slots:int -> ?max_value:int -> ?max_keywords_per_adv:int ->
+  ?brand_fraction:float -> ?budgeted_fraction:float ->
+  keywords:int -> n:int -> zipf_s:float -> seed:int -> unit -> universe
+(** Generate a universe: per-advertiser CTRs in the Section V slot
+    intervals; each advertiser enrolls on 1..[max_keywords_per_adv]
+    (default 3) distinct keywords chosen uniformly, with per-keyword click
+    values uniform in [1, max_value] (default 50), maxbid = value, and the
+    usual initial bid; targets uniform in [1, bidder's maximum value];
+    [brand_fraction] / [budgeted_fraction] as in {!section5}.  The query
+    skew comes entirely from the Zipf stream — keyword [i] (0-based) has
+    weight [(i+1)^-s].  Deterministic in [seed]. *)
+
+val universe_n : universe -> int
+val universe_keywords : universe -> int
+val universe_slots : universe -> int
+val universe_zipf_s : universe -> float
+
+val universe_ctr : universe -> float array array
+(** The shared n × slots click-probability matrix. *)
+
+val churn_seed_of : seed:int -> int
+(** The churn RNG seed derived from a universe seed ([seed lxor 0xC0FFEE])
+    — exposed so a replay harness can rebuild the exact churn schedule. *)
+
+val universe_store :
+  ?churn:float -> ?churn_seed:int -> universe -> unit ->
+  Essa_strategy.State_store.t
+(** A fresh flat store with the universe's initial enrollment.  With
+    [churn] > 0 a deterministic churn hook is installed
+    ({!Essa_strategy.State_store.set_on_tick}): on every keyword tick,
+    with probability [churn], one bidder departs or a new one arrives on
+    that keyword.  Each keyword draws from its own RNG stream split off
+    [churn_seed] (default {!churn_seed_of}[ ~seed]) by keyword id and
+    advanced once per keyword-local tick, so membership at any keyword
+    time is a pure function of (universe, churn, seed) — a rebuilt store
+    replays the same arrivals and departures without any churn log.
+    @raise Invalid_argument if [churn] is outside [0,1]. *)
+
+val make_flat_engine :
+  ?metrics:Essa_obs.Registry.t ->
+  ?pricing:Essa.Engine.pricing ->
+  ?reserve:int -> universe -> store:Essa_strategy.State_store.t ->
+  Essa.Engine.t
+(** Convenience: {!Essa.Engine.create_flat} over the universe's CTRs with
+    the same user-click seed derivation as {!make_engine}, so serving and
+    replay engines built from the same universe see identical users. *)
+
+val universe_query_stream : universe -> seed:int -> int Seq.t
+(** Infinite Zipf([s]) keyword stream (binary search over cumulative
+    weights; deterministic in [seed]). *)
+
+val universe_queries : universe -> seed:int -> count:int -> int array
+(** The first [count] keywords of {!universe_query_stream} materialized.
+    @raise Invalid_argument on a negative count. *)

@@ -76,19 +76,58 @@ type strategy =
   | Sql of sql_state
   | Naive_p of naive_p_state
   | Logical_p of logical_p_state
+  | Flat_p of State_store.t
+      (* The scalable partitioned strategy: all state lives in the flat
+         store's slot-indexed partitions ([states] is empty), and the
+         whole begin/record step is delegated to
+         State_store.flat_begin_auction / flat_record_win. *)
 
 type t = {
-  states : Roi_state.t array;
+  states : Roi_state.t array;  (* empty for Flat_p *)
   nk : int;
+  fleet_n : int;
   strategy : strategy;
 }
 
-let n t = Array.length t.states
+let n t = t.fleet_n
 let num_keywords t = t.nk
 
-let state t ~adv = t.states.(adv)
-let amt_spent t ~adv = Roi_state.amt_spent t.states.(adv)
-let target_rate t ~adv = Roi_state.target_rate t.states.(adv)
+let is_flat t = match t.strategy with Flat_p _ -> true | _ -> false
+
+let state t ~adv =
+  match t.strategy with
+  | Flat_p _ -> invalid_arg "Roi_fleet.state: flat fleet has no Roi_state"
+  | _ -> t.states.(adv)
+
+let amt_spent t ~adv =
+  match t.strategy with
+  | Flat_p store -> State_store.spend store ~adv
+  | _ -> Roi_state.amt_spent t.states.(adv)
+
+let target_rate t ~adv =
+  match t.strategy with
+  | Flat_p store -> State_store.flat_target store ~adv
+  | _ -> Roi_state.target_rate t.states.(adv)
+
+(* Layout-independent accessors for the replay checker: static bid
+   parameters looked up without assuming a Roi_state per advertiser. *)
+
+let budget_of t ~adv =
+  match t.strategy with
+  | Flat_p store -> State_store.flat_budget store ~adv
+  | _ -> Roi_state.budget t.states.(adv)
+
+let premium_of t ~adv ~keyword =
+  match t.strategy with
+  | Flat_p store -> State_store.flat_premium store ~keyword ~adv
+  | _ -> Roi_state.premium t.states.(adv) ~keyword
+
+let snapshot_index t ~keyword ~adv =
+  match t.strategy with
+  | Flat_p store -> State_store.flat_slot store ~keyword ~adv
+  | _ ->
+      ignore keyword;
+      Some adv
 
 (* ------------------------------------------------------------------ *)
 (* Spend-rate flip times.  The spending rate amt/t of a losing program
@@ -291,7 +330,7 @@ let naive states =
     Bid_index.create ~num_keywords:nk ~n:(Array.length states)
       ~bid:(fun ~keyword ~adv -> Roi_state.bid states.(adv) ~keyword)
   in
-  { states; nk; strategy = Naive index }
+  { states; nk; fleet_n = Array.length states; strategy = Naive index }
 
 let keyword_name kw = Printf.sprintf "kw%d" kw
 
@@ -316,7 +355,7 @@ let sql states =
           ~target_rate:(Roi_state.target_rate st))
       states
   in
-  { states; nk; strategy = Sql { programs } }
+  { states; nk; fleet_n = Array.length states; strategy = Sql { programs } }
 
 (* Row layout: 0 maxbid, 1 roi, 2 bid, 3 relevance, 4 value, 5 gained,
    6 spent (the Fig. 4 Keywords columns that vary per keyword). *)
@@ -343,7 +382,7 @@ let tabular states =
     Bid_index.create ~num_keywords:nk ~n:(Array.length states)
       ~bid:(fun ~keyword ~adv -> V.to_int rows.(adv).(keyword).(2))
   in
-  { states; nk; strategy = Tabular { rows; out_bids; t_index } }
+  { states; nk; fleet_n = Array.length states; strategy = Tabular { rows; out_bids; t_index } }
 
 let tabular_on_auction ts states ~time ~keyword =
   let module V = Essa_relalg.Value in
@@ -425,7 +464,7 @@ let logical states =
   for adv = 0 to n - 1 do
     install_time_trigger ls states ~adv ~time:1
   done;
-  { states; nk; strategy = Logical ls }
+  { states; nk; fleet_n = Array.length states; strategy = Logical ls }
 
 let naive_p states =
   let nk = check_states states in
@@ -441,7 +480,7 @@ let naive_p states =
       np_retired = Array.make_matrix nk n false;
     }
   in
-  { states; nk; strategy = Naive_p np }
+  { states; nk; fleet_n = Array.length states; strategy = Naive_p np }
 
 let logical_p states =
   let nk = check_states states in
@@ -458,7 +497,17 @@ let logical_p states =
       lp_seen = Array.make_matrix nk n 0;
     }
   in
-  { states; nk; strategy = Logical_p lp }
+  { states; nk; fleet_n = Array.length states; strategy = Logical_p lp }
+
+let flat_p store =
+  if not (State_store.is_flat store) then
+    invalid_arg "Roi_fleet.flat_p: store is not flat";
+  {
+    states = [||];
+    nk = State_store.num_keywords store;
+    fleet_n = State_store.flat_n store;
+    strategy = Flat_p store;
+  }
 
 (* ------------------------------------------------------------------ *)
 (* Shared interface *)
@@ -491,13 +540,14 @@ let on_auction t ~time ~keyword =
       Adjustment_list.bulk_adjust ls.inc.(keyword) 1;
       Adjustment_list.bulk_adjust ls.dec.(keyword) (-1);
       fire_bound_triggers ls t.states ~time ~keyword
-  | Naive_p _ | Logical_p _ ->
+  | Naive_p _ | Logical_p _ | Flat_p _ ->
       invalid_arg "Roi_fleet.on_auction: partitioned fleet (use begin_auction_p)"
 
 let bid t ~adv ~keyword =
   check_kw t keyword;
   match t.strategy with
   | Naive _ | Naive_p _ -> Roi_state.bid t.states.(adv) ~keyword
+  | Flat_p store -> State_store.flat_bid store ~keyword ~adv
   | Tabular ts -> Essa_relalg.Value.to_int ts.rows.(adv).(keyword).(2)
   | Sql { programs } -> Sql_program.bid_on programs.(adv) ~keyword:(keyword_name keyword)
   | Logical ls -> effective_bid ls ~adv ~keyword
@@ -583,6 +633,9 @@ let bids_desc t ~keyword =
            programs)
   | Logical ls -> logical_bids_desc ls ~keyword
   | Logical_p lp -> logical_bids_desc lp.lp_base ~keyword
+  | Flat_p _ ->
+      invalid_arg
+        "Roi_fleet.bids_desc: flat fleet (read partitions via State_store)"
 
 type sorted_view = {
   sv_ids : int array;
@@ -615,6 +668,9 @@ let sorted_views t ~keyword =
   | Tabular ts -> index_views ts.t_index ~n:(n t) ~keyword
   | Logical ls -> logical_views ls ~keyword
   | Logical_p lp -> logical_views lp.lp_base ~keyword
+  | Flat_p _ ->
+      invalid_arg
+        "Roi_fleet.sorted_views: flat fleet (read partitions via State_store)"
   | Sql { programs } ->
       (* Cold strategy: materialize by sorting, as [bids_desc] does. *)
       let entries =
@@ -636,7 +692,7 @@ let sorted_views t ~keyword =
 let record_win t ~time ~adv ~keyword ~price ~clicked =
   check_kw t keyword;
   (match t.strategy with
-  | Naive_p _ | Logical_p _ ->
+  | Naive_p _ | Logical_p _ | Flat_p _ ->
       (* Guard before any state mutation below. *)
       invalid_arg "Roi_fleet.record_win: partitioned fleet (use record_win_p)"
   | Naive _ | Tabular _ | Logical _ | Sql _ -> ());
@@ -678,7 +734,7 @@ let record_win t ~time ~adv ~keyword ~price ~clicked =
         reclassify_all ls t.states ~adv ~time;
         install_time_trigger ls t.states ~adv ~time
       end
-  | Naive_p _ | Logical_p _ ->
+  | Naive_p _ | Logical_p _ | Flat_p _ ->
       invalid_arg "Roi_fleet.record_win: partitioned fleet (use record_win_p)"
 
 let snapshot_bids t ~keyword =
@@ -688,12 +744,13 @@ let snapshot_bids t ~keyword =
 (* Partitioned (per-keyword) interface *)
 
 let partitioned t =
-  match t.strategy with Naive_p _ | Logical_p _ -> true | _ -> false
+  match t.strategy with Naive_p _ | Logical_p _ | Flat_p _ -> true | _ -> false
 
 let store_of t =
   match t.strategy with
   | Naive_p np -> np.np_store
   | Logical_p lp -> lp.lp_store
+  | Flat_p store -> store
   | _ -> invalid_arg "Roi_fleet: not a partitioned fleet"
 
 let keyword_time t ~keyword =
@@ -715,9 +772,21 @@ let lp_reseat lp states ~adv ~keyword ~time ~amt =
         ~priority:(float_of_int when_)
         (adv, lp.lp_version.(keyword).(adv))
 
-let begin_auction_p t ~keyword ?snapshot () =
+let begin_auction_p t ~keyword ?snapshot ?adopt () =
   check_kw t keyword;
   match t.strategy with
+  | Flat_p store ->
+      (* [snapshot] is a replay override (strict); [adopt] is a batch's
+         maintained snapshot (best-effort — dropped when partition
+         membership changed since it was recorded). *)
+      State_store.flat_begin_auction store ~keyword ?override:snapshot
+        ?adopt ()
+  | _ ->
+  (* The dense layouts have static membership and fixed snapshot shape,
+     so adopting a batch snapshot is the same as overriding with it. *)
+  let snapshot = match snapshot with Some s -> Some s | None -> adopt in
+  match t.strategy with
+  | Flat_p _ -> assert false
   | Naive_p np ->
       let time = State_store.tick np.np_store ~keyword in
       let snap = State_store.snapshot np.np_store ~keyword ?override:snapshot () in
@@ -785,6 +854,8 @@ let begin_auction_p t ~keyword ?snapshot () =
 let record_win_p t ~adv ~keyword ~price ~clicked =
   check_kw t keyword;
   match t.strategy with
+  | Flat_p store ->
+      if clicked then State_store.flat_record_win store ~adv ~keyword ~price
   | Naive_p _ | Logical_p _ ->
       if clicked then begin
         ignore (State_store.charge (store_of t) ~adv ~price);

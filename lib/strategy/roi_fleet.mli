@@ -64,11 +64,24 @@ val logical_p : Roi_state.t array -> t
     the advertiser locally.  Observationally identical to {!naive_p}
     under any per-keyword interleaving (property-tested). *)
 
+val flat_p : State_store.t -> t
+(** The scalable partitioned strategy over a {e flat} {!State_store}
+    (see {!State_store.create_flat}): per-keyword slot-indexed partitions
+    holding only the advertisers that bid on each keyword, with free-list
+    churn.  All state lives in the store — {!state}, {!bids_desc} and
+    {!sorted_views} raise (the engine reads partitions through
+    {!State_store.flat_view}); {!begin_auction_p} / {!record_win_p}
+    delegate to the store and mirror {!naive_p} bit-for-bit on the
+    advertisers enrolled.
+    @raise Invalid_argument if the store is dense. *)
+
 val n : t -> int
 val num_keywords : t -> int
 
 val partitioned : t -> bool
-(** True for {!naive_p} / {!logical_p} fleets. *)
+(** True for {!naive_p} / {!logical_p} / {!flat_p} fleets. *)
+
+val is_flat : t -> bool
 
 val on_auction : t -> time:int -> keyword:int -> unit
 (** An auction for [keyword] begins at [time]: apply every program's bid
@@ -126,6 +139,20 @@ val state : t -> adv:int -> Roi_state.t
 val amt_spent : t -> adv:int -> int
 val target_rate : t -> adv:int -> float
 
+val budget_of : t -> adv:int -> int option
+(** The advertiser's budget, layout-independent (works on flat fleets,
+    where {!state} raises). *)
+
+val premium_of : t -> adv:int -> keyword:int -> int
+(** The advertiser's slot-1 premium on [keyword], layout-independent.
+    Flat fleets answer 0 for advertisers not currently enrolled. *)
+
+val snapshot_index : t -> keyword:int -> adv:int -> int option
+(** Where the advertiser's spend reading lives in this keyword's
+    spend-snapshot arrays: [Some adv] on dense layouts, the partition
+    slot (or [None] if not enrolled) on flat ones.  The replay checker
+    uses it to read recorded witnesses without assuming their shape. *)
+
 val snapshot_bids : t -> keyword:int -> int array
 (** Current bid of every advertiser on a keyword (test helper). *)
 
@@ -137,6 +164,11 @@ val snapshot_bids : t -> keyword:int -> int array
     {!tick_p} for that keyword; {!record_win_p} writes keyword-local
     tallies plus the advertiser's atomic spend cell. *)
 
+val store_of : t -> State_store.t
+(** The partitioned fleet's state store (the engine's flat paths read
+    partition views through it).
+    @raise Invalid_argument on a serial fleet. *)
+
 val keyword_time : t -> keyword:int -> int
 (** The keyword's local auction clock (0 before its first auction). *)
 
@@ -146,15 +178,29 @@ val tick_p : t -> keyword:int -> int
     clock monotone.  Returns the new keyword time. *)
 
 val begin_auction_p :
-  t -> keyword:int -> ?snapshot:int array -> unit -> int * int array
+  t ->
+  keyword:int ->
+  ?snapshot:int array ->
+  ?adopt:int array ->
+  unit ->
+  int * int array
 (** Start an auction on [keyword]: tick its clock, snapshot every
-    advertiser's spend (one atomic read each — or adopt [snapshot], the
-    replay path), apply the deferred cross-keyword effects locally
-    (re-seats / retirements for advertisers whose spend moved), then run
-    the per-auction bid adjustments against the snapshot and the new
-    keyword time.  Returns [(keyword_time, snapshot)]; the snapshot array
-    is an internal buffer, valid until the keyword's next call — copy it
-    to persist (the engine stores a copy in the commit summary). *)
+    participant's spend (one atomic read each), apply the deferred
+    cross-keyword effects locally (re-seats / retirements for advertisers
+    whose spend moved), then run the per-auction bid adjustments against
+    the snapshot and the new keyword time.  Returns
+    [(keyword_time, snapshot)]; the snapshot array is an internal buffer,
+    valid until the keyword's next call — copy it to persist (the engine
+    stores a copy in the commit summary).
+
+    [snapshot] replays a recorded witness verbatim (strict: its length
+    must match the keyword's buffer).  [adopt] is a batch's maintained
+    snapshot — taken on a best-effort basis: dense layouts treat it as an
+    override (membership is static there), flat layouts drop it in favour
+    of fresh atomic reads when the partition's membership changed since it
+    was recorded.  Flat fleets additionally apply scheduled churn
+    ({!State_store.set_on_tick}) right after the tick, before the
+    snapshot. *)
 
 val record_win_p :
   t -> adv:int -> keyword:int -> price:int -> clicked:bool -> unit

@@ -1,20 +1,129 @@
-type t = {
-  states : Roi_state.t array;
-  clocks : int array;
-  snapshots : int array array;
+(* Two layouts behind one keyword-partitioned seam:
+
+   - [Dense]: the original layout — a shared [Roi_state.t] per advertiser
+     plus per-keyword spend-snapshot buffers of length n.  Fine for the
+     paper's toy universes (10 keywords, every advertiser on every
+     keyword), and the baseline the flat layout is property-tested
+     against.
+   - [Flat]: the scalable layout — per keyword, only the advertisers that
+     actually bid on it, held in preallocated int-indexed SoA arrays
+     (dense local slots; a free-list recycles slots across bidder
+     arrival/departure).  Snapshots are participant-local (length =
+     partition capacity), so memory and per-auction work scale with
+     Σ participants, not keywords × advertisers.  The only per-advertiser
+     globals are the atomic spend cell, the budget and the target rate. *)
+
+type part = {
+  (* Slot-indexed SoA state; members.(s) = -1 marks a free slot.  Slots
+     0..p_len-1 are allocated-or-freed; the free-list stack recycles
+     them before p_len grows, and arrays double when both are spent. *)
+  mutable members : int array;
+  mutable bids : int array;
+  mutable maxbids : int array;
+  mutable values : int array;
+  mutable premiums : int array;
+  mutable gained : int array;
+  mutable spent : int array;
+  (* This keyword has observed the advertiser's budget exhaustion and
+     zeroed its local bid (deferred, keyword-local retirement). *)
+  mutable bretired : bool array;
+  mutable p_len : int;
+  mutable free : int array;  (* free-list stack of local slots *)
+  mutable free_len : int;
+  mutable live : int;        (* members with id >= 0 *)
+  mutable snap : int array;  (* spend-snapshot buffer, length = capacity *)
+  (* Membership changed (enroll/retire) since the last snapshot: a batch's
+     adopted snapshot is slot-indexed against the *old* membership, so it
+     must be dropped in favour of a fresh atomic read. *)
+  mutable p_dirty : bool;
+  slot_of : (int, int) Hashtbl.t;  (* global advertiser id -> local slot *)
 }
+
+type flat = {
+  parts : part array;
+  f_spent : int Atomic.t array;  (* per advertiser, the cross-keyword cell *)
+  f_budget : int array;          (* per advertiser; -1 = unbudgeted *)
+  f_target : float array;        (* per advertiser *)
+  f_n : int;
+  (* Deterministic churn schedule, keyed on (keyword, keyword-local
+     time); installed by the workload, invoked by [flat_begin_auction]
+     before the snapshot so live runs and replays see identical
+     membership at every keyword-local time. *)
+  mutable on_tick : (keyword:int -> time:int -> unit) option;
+}
+
+type layout =
+  | Dense of { states : Roi_state.t array; snapshots : int array array }
+  | Flat of flat
+
+type t = { clocks : int array; layout : layout }
 
 let create states ~num_keywords =
   if Array.length states = 0 then invalid_arg "State_store.create: no advertisers";
   if num_keywords < 1 then invalid_arg "State_store.create: num_keywords < 1";
   let n = Array.length states in
   {
-    states;
     clocks = Array.make num_keywords 0;
-    snapshots = Array.init num_keywords (fun _ -> Array.make n 0);
+    layout =
+      Dense
+        { states; snapshots = Array.init num_keywords (fun _ -> Array.make n 0) };
+  }
+
+let initial_capacity = 8
+
+let fresh_part () =
+  {
+    members = Array.make initial_capacity (-1);
+    bids = Array.make initial_capacity 0;
+    maxbids = Array.make initial_capacity 0;
+    values = Array.make initial_capacity 0;
+    premiums = Array.make initial_capacity 0;
+    gained = Array.make initial_capacity 0;
+    spent = Array.make initial_capacity 0;
+    bretired = Array.make initial_capacity false;
+    p_len = 0;
+    free = Array.make 8 0;
+    free_len = 0;
+    live = 0;
+    snap = Array.make initial_capacity 0;
+    p_dirty = false;
+    slot_of = Hashtbl.create 16;
+  }
+
+let create_flat ~num_keywords ~n ~budgets ~targets () =
+  if n < 1 then invalid_arg "State_store.create_flat: n < 1";
+  if num_keywords < 1 then invalid_arg "State_store.create_flat: num_keywords < 1";
+  if Array.length budgets <> n || Array.length targets <> n then
+    invalid_arg "State_store.create_flat: budgets/targets length <> n";
+  Array.iter
+    (fun r ->
+      if not (r > 0.0) then
+        invalid_arg "State_store.create_flat: target rate must be positive")
+    targets;
+  {
+    clocks = Array.make num_keywords 0;
+    layout =
+      Flat
+        {
+          parts = Array.init num_keywords (fun _ -> fresh_part ());
+          f_spent = Array.init n (fun _ -> Atomic.make 0);
+          f_budget = Array.copy budgets;
+          f_target = Array.copy targets;
+          f_n = n;
+          on_tick = None;
+        };
   }
 
 let num_keywords t = Array.length t.clocks
+
+let is_flat t = match t.layout with Flat _ -> true | Dense _ -> false
+
+let flat_of t name =
+  match t.layout with
+  | Flat f -> f
+  | Dense _ -> invalid_arg ("State_store." ^ name ^ ": dense store")
+
+let flat_n t = (flat_of t "flat_n").f_n
 
 let check_kw t keyword =
   if keyword < 0 || keyword >= num_keywords t then
@@ -29,17 +138,262 @@ let tick t ~keyword =
   t.clocks.(keyword) <- t.clocks.(keyword) + 1;
   t.clocks.(keyword)
 
+let spend t ~adv =
+  match t.layout with
+  | Dense d -> Roi_state.amt_spent d.states.(adv)
+  | Flat f -> Atomic.get f.f_spent.(adv)
+
+let charge t ~adv ~price =
+  match t.layout with
+  | Dense d -> Roi_state.charge d.states.(adv) ~price
+  | Flat f ->
+      if price < 0 then invalid_arg "State_store.charge: negative price";
+      Atomic.fetch_and_add f.f_spent.(adv) price + price
+
+(* ------------------------------------------------------------------ *)
+(* Flat churn: free-list slot allocation.  Single-owner per keyword
+   (the owning lane, or the workload's on_tick hook running on it). *)
+
+let grow_int arr len fill =
+  let a = Array.make (2 * len) fill in
+  Array.blit arr 0 a 0 len;
+  a
+
+let grow_part p =
+  let cap = Array.length p.members in
+  p.members <- grow_int p.members cap (-1);
+  p.bids <- grow_int p.bids cap 0;
+  p.maxbids <- grow_int p.maxbids cap 0;
+  p.values <- grow_int p.values cap 0;
+  p.premiums <- grow_int p.premiums cap 0;
+  p.gained <- grow_int p.gained cap 0;
+  p.spent <- grow_int p.spent cap 0;
+  p.snap <- grow_int p.snap cap 0;
+  let b = Array.make (2 * cap) false in
+  Array.blit p.bretired 0 b 0 cap;
+  p.bretired <- b
+
+let flat_enroll t ~keyword ~adv ~value ~maxbid ~bid ~premium =
+  check_kw t keyword;
+  let f = flat_of t "flat_enroll" in
+  if adv < 0 || adv >= f.f_n then
+    invalid_arg (Printf.sprintf "State_store.flat_enroll: advertiser %d" adv);
+  if value < 0 || maxbid < 0 || premium < 0 then
+    invalid_arg "State_store.flat_enroll: negative parameter";
+  if bid < 0 || bid > maxbid then
+    invalid_arg "State_store.flat_enroll: bid outside [0, maxbid]";
+  let p = f.parts.(keyword) in
+  if Hashtbl.mem p.slot_of adv then
+    invalid_arg
+      (Printf.sprintf "State_store.flat_enroll: advertiser %d already enrolled"
+         adv);
+  let slot =
+    if p.free_len > 0 then begin
+      p.free_len <- p.free_len - 1;
+      p.free.(p.free_len)
+    end
+    else begin
+      if p.p_len >= Array.length p.members then grow_part p;
+      let s = p.p_len in
+      p.p_len <- p.p_len + 1;
+      s
+    end
+  in
+  p.members.(slot) <- adv;
+  p.values.(slot) <- value;
+  p.maxbids.(slot) <- maxbid;
+  p.bids.(slot) <- bid;
+  p.premiums.(slot) <- premium;
+  p.gained.(slot) <- 0;
+  p.spent.(slot) <- 0;
+  p.bretired.(slot) <- false;
+  p.live <- p.live + 1;
+  p.p_dirty <- true;
+  Hashtbl.replace p.slot_of adv slot
+
+let flat_retire t ~keyword ~adv =
+  check_kw t keyword;
+  let f = flat_of t "flat_retire" in
+  let p = f.parts.(keyword) in
+  match Hashtbl.find_opt p.slot_of adv with
+  | None ->
+      invalid_arg
+        (Printf.sprintf "State_store.flat_retire: advertiser %d not enrolled" adv)
+  | Some slot ->
+      Hashtbl.remove p.slot_of adv;
+      p.members.(slot) <- -1;
+      p.bids.(slot) <- 0;
+      p.maxbids.(slot) <- 0;
+      p.values.(slot) <- 0;
+      p.premiums.(slot) <- 0;
+      p.gained.(slot) <- 0;
+      p.spent.(slot) <- 0;
+      p.bretired.(slot) <- false;
+      p.live <- p.live - 1;
+      p.p_dirty <- true;
+      if p.free_len >= Array.length p.free then
+        p.free <- grow_int p.free p.free_len 0;
+      p.free.(p.free_len) <- slot;
+      p.free_len <- p.free_len + 1
+
+let flat_slot t ~keyword ~adv =
+  check_kw t keyword;
+  let f = flat_of t "flat_slot" in
+  Hashtbl.find_opt f.parts.(keyword).slot_of adv
+
+let flat_member t ~keyword ~adv = flat_slot t ~keyword ~adv <> None
+
+let flat_bid t ~keyword ~adv =
+  let f = flat_of t "flat_bid" in
+  match flat_slot t ~keyword ~adv with
+  | None -> 0
+  | Some slot -> f.parts.(keyword).bids.(slot)
+
+let flat_premium t ~keyword ~adv =
+  let f = flat_of t "flat_premium" in
+  match flat_slot t ~keyword ~adv with
+  | None -> 0
+  | Some slot -> f.parts.(keyword).premiums.(slot)
+
+let flat_budget t ~adv =
+  let f = flat_of t "flat_budget" in
+  let b = f.f_budget.(adv) in
+  if b < 0 then None else Some b
+
+let flat_target t ~adv = (flat_of t "flat_target").f_target.(adv)
+
+let set_on_tick t hook = (flat_of t "set_on_tick").on_tick <- hook
+
+type flat_view = {
+  fv_members : int array;
+  fv_bids : int array;
+  fv_premiums : int array;
+  fv_values : int array;
+  fv_len : int;
+  fv_live : int;
+}
+
+let flat_view t ~keyword =
+  check_kw t keyword;
+  let f = flat_of t "flat_view" in
+  let p = f.parts.(keyword) in
+  {
+    fv_members = p.members;
+    fv_bids = p.bids;
+    fv_premiums = p.premiums;
+    fv_values = p.values;
+    fv_len = p.p_len;
+    fv_live = p.live;
+  }
+
+type flat_stats = { fs_capacity : int; fs_len : int; fs_live : int; fs_free : int }
+
+let flat_stats t ~keyword =
+  check_kw t keyword;
+  let f = flat_of t "flat_stats" in
+  let p = f.parts.(keyword) in
+  {
+    fs_capacity = Array.length p.members;
+    fs_len = p.p_len;
+    fs_live = p.live;
+    fs_free = p.free_len;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Snapshots *)
+
 let snapshot t ~keyword ?override () =
   check_kw t keyword;
-  let buf = t.snapshots.(keyword) in
-  (match override with
-  | Some s ->
-      if Array.length s <> Array.length buf then
-        invalid_arg "State_store.snapshot: override length mismatch";
-      Array.blit s 0 buf 0 (Array.length buf)
-  | None ->
-      Array.iteri (fun adv st -> buf.(adv) <- Roi_state.amt_spent st) t.states);
-  buf
+  match t.layout with
+  | Dense d ->
+      let buf = d.snapshots.(keyword) in
+      (match override with
+      | Some s ->
+          if Array.length s <> Array.length buf then
+            invalid_arg "State_store.snapshot: override length mismatch";
+          Array.blit s 0 buf 0 (Array.length buf)
+      | None ->
+          Array.iteri (fun adv st -> buf.(adv) <- Roi_state.amt_spent st) d.states);
+      buf
+  | Flat f ->
+      let p = f.parts.(keyword) in
+      let buf = p.snap in
+      (match override with
+      | Some s ->
+          if Array.length s <> Array.length buf then
+            invalid_arg "State_store.snapshot: override length mismatch";
+          Array.blit s 0 buf 0 (Array.length buf)
+      | None ->
+          for slot = 0 to Array.length buf - 1 do
+            let id = p.members.(slot) in
+            buf.(slot) <- (if id >= 0 then Atomic.get f.f_spent.(id) else 0)
+          done);
+      p.p_dirty <- false;
+      buf
 
-let spend t ~adv = Roi_state.amt_spent t.states.(adv)
-let charge t ~adv ~price = Roi_state.charge t.states.(adv) ~price
+(* ------------------------------------------------------------------ *)
+(* Flat auction driver: the begin_auction_p / record_win_p semantics of
+   the dense naive_p fleet, expressed over the slot-indexed arrays.  Same
+   decision order per advertiser (retire-on-exhaustion first, then the
+   Roi_state.classify predicate with identical float expressions), same
+   snapshot discipline — property-tested bit-identical to the dense
+   store across churn sequences. *)
+
+let flat_begin_auction t ~keyword ?override ?adopt () =
+  check_kw t keyword;
+  let f = flat_of t "flat_begin_auction" in
+  let p = f.parts.(keyword) in
+  let time = tick t ~keyword in
+  (* Scheduled churn lands before the snapshot, in both live runs and
+     replays: membership at a given keyword-local time is deterministic. *)
+  (match f.on_tick with None -> () | Some hook -> hook ~keyword ~time);
+  (* A batch's adopted snapshot indexes the membership it was recorded
+     under; churn since then (p_dirty) invalidates the slot mapping, so
+     fall back to a fresh atomic read.  Replay overrides are recorded
+     *after* the same churn applied, so they always match exactly. *)
+  let adopt =
+    match adopt with
+    | Some s when (not p.p_dirty) && Array.length s = Array.length p.snap ->
+        Some s
+    | _ -> None
+  in
+  let snap =
+    match override with
+    | Some _ -> snapshot t ~keyword ?override ()
+    | None -> snapshot t ~keyword ?override:adopt ()
+  in
+  let budgets = f.f_budget and targets = f.f_target in
+  for slot = 0 to p.p_len - 1 do
+    let id = p.members.(slot) in
+    if id >= 0 then begin
+      let amt = snap.(slot) in
+      let b = budgets.(id) in
+      if b >= 0 && amt >= b then begin
+        if not p.bretired.(slot) then begin
+          p.bretired.(slot) <- true;
+          p.bids.(slot) <- 0
+        end
+      end
+      else begin
+        (* Roi_state.classify, inlined with the same float expressions. *)
+        let bid = p.bids.(slot) in
+        let spent = float_of_int amt
+        and budgeted = targets.(id) *. float_of_int time in
+        if spent < budgeted && bid < p.maxbids.(slot) then
+          p.bids.(slot) <- bid + 1
+        else if spent > budgeted && bid > 0 then p.bids.(slot) <- bid - 1
+      end
+    end
+  done;
+  (time, snap)
+
+let flat_record_win t ~adv ~keyword ~price =
+  check_kw t keyword;
+  let f = flat_of t "flat_record_win" in
+  ignore (charge t ~adv ~price);
+  let p = f.parts.(keyword) in
+  match Hashtbl.find_opt p.slot_of adv with
+  | None -> ()  (* departed between execution and notification: spend only *)
+  | Some slot ->
+      p.spent.(slot) <- p.spent.(slot) + price;
+      p.gained.(slot) <- p.gained.(slot) + p.values.(slot)

@@ -10,27 +10,60 @@
       engine's single global clock, decomposed), advanced only by the lane
       that owns the keyword;
     - each keyword gets a reusable spend {e snapshot} buffer: at the start
-      of one of its auctions, every advertiser's atomic [amt_spent] cell
+      of one of its auctions, every participant's atomic [amt_spent] cell
       is read once into the buffer, and every decision in that auction
       (classification, retirement, trigger arming) consumes the snapshot,
       never the live cells.  The auction's outcome is therefore a pure
       function of keyword-local state plus the snapshot — which is what
       makes a recorded snapshot sufficient to replay the auction
       bit-for-bit;
-    - charges go through the advertisers' atomic cells
-    ({!Roi_state.charge}), the only cross-keyword writes in the system.
+    - charges go through the advertisers' atomic cells, the only
+      cross-keyword writes in the system.
 
-    Keyword-partitioned concurrency discipline: a keyword's clock and
-    snapshot buffer have exactly one owning lane; the spend cells are
-    shared and atomic.  No locks anywhere. *)
+    Two layouts share this seam:
+
+    - {e dense} ({!create}): one shared {!Roi_state.t} per advertiser and
+      length-[n] snapshot buffers — every advertiser participates on every
+      keyword.  The paper's toy shape.
+    - {e flat} ({!create_flat}): per keyword, only the advertisers that bid
+      on it, in preallocated slot-indexed SoA arrays with a free-list for
+      bidder arrival/departure ({!flat_enroll}/{!flat_retire}).  Snapshot
+      buffers are participant-local (length = partition capacity), so
+      memory and per-auction work scale with total participation, not
+      [keywords × advertisers].  The flat layout carries the whole auction
+      step itself ({!flat_begin_auction}/{!flat_record_win}), mirroring the
+      dense fleet's [begin_auction_p]/[record_win_p] bit-for-bit.
+
+    Keyword-partitioned concurrency discipline: a keyword's clock,
+    snapshot buffer and (flat) partition arrays have exactly one owning
+    lane; the spend cells are shared and atomic.  No locks anywhere. *)
 
 type t
 
 val create : Roi_state.t array -> num_keywords:int -> t
-(** Shares (does not copy) the advertiser states.
+(** Dense layout; shares (does not copy) the advertiser states.
     @raise Invalid_argument on an empty fleet or [num_keywords < 1]. *)
 
+val create_flat :
+  num_keywords:int ->
+  n:int ->
+  budgets:int array ->
+  targets:float array ->
+  unit ->
+  t
+(** Flat layout over [n] advertisers and [num_keywords] empty partitions.
+    [budgets.(adv)] is the advertiser's budget, [-1] for unbudgeted;
+    [targets.(adv)] its ROI target rate (must be positive).  Populate with
+    {!flat_enroll}.
+    @raise Invalid_argument on bad sizes or a non-positive target. *)
+
 val num_keywords : t -> int
+
+val is_flat : t -> bool
+
+val flat_n : t -> int
+(** Number of advertisers in a flat store.
+    @raise Invalid_argument on a dense store (like all [flat_*] below). *)
 
 val time : t -> keyword:int -> int
 (** The keyword's local auction clock (0 before its first auction). *)
@@ -41,8 +74,10 @@ val tick : t -> keyword:int -> int
 
 val snapshot : t -> keyword:int -> ?override:int array -> unit -> int array
 (** Fill and return the keyword's spend-snapshot buffer: one atomic read
-    of every advertiser's [amt_spent] (or a blit of [override] when
-    replaying a recorded snapshot).  The returned array is the internal
+    of every participant's [amt_spent] (or a blit of [override] when
+    replaying a recorded snapshot).  Dense: indexed by advertiser id,
+    length [n].  Flat: indexed by partition slot, length = partition
+    capacity (free slots read 0).  The returned array is the internal
     buffer — valid until the keyword's next [snapshot]; copy it to
     persist.  Single-owner, like {!tick}. *)
 
@@ -52,3 +87,99 @@ val spend : t -> adv:int -> int
 val charge : t -> adv:int -> price:int -> int
 (** Atomically add [price] to the advertiser's spend; returns the
     post-charge total.  Safe from any lane. *)
+
+(** {1 Flat partitions} *)
+
+val flat_enroll :
+  t ->
+  keyword:int ->
+  adv:int ->
+  value:int ->
+  maxbid:int ->
+  bid:int ->
+  premium:int ->
+  unit
+(** Add an advertiser to a keyword's partition, reusing a free-list slot
+    when one exists (arrays double otherwise).  Keyword-local tallies
+    start at zero.  Single-owner per keyword.
+    @raise Invalid_argument if already enrolled or on invalid parameters. *)
+
+val flat_retire : t -> keyword:int -> adv:int -> unit
+(** Remove an advertiser from a keyword's partition; its slot is zeroed
+    and pushed on the free-list for reuse.  Single-owner per keyword.
+    @raise Invalid_argument if not enrolled. *)
+
+val flat_slot : t -> keyword:int -> adv:int -> int option
+(** The advertiser's local slot in the keyword's partition, if enrolled. *)
+
+val flat_member : t -> keyword:int -> adv:int -> bool
+
+val flat_bid : t -> keyword:int -> adv:int -> int
+(** Current keyword-local bid (0 if not enrolled). *)
+
+val flat_premium : t -> keyword:int -> adv:int -> int
+(** Slot-0 brand premium on this keyword (0 if not enrolled). *)
+
+val flat_budget : t -> adv:int -> int option
+
+val flat_target : t -> adv:int -> float
+
+val set_on_tick : t -> (keyword:int -> time:int -> unit) option -> unit
+(** Install the deterministic churn hook: invoked by
+    {!flat_begin_auction} right after the clock tick and {e before} the
+    snapshot, with the keyword and its new local time.  Because the hook
+    is a pure function of [(keyword, time)] given the same seed,
+    rebuilding the store and hook replays the same membership at every
+    keyword-local time — churn needs no logging to replay. *)
+
+type flat_view = {
+  fv_members : int array;  (** slot -> advertiser id, [-1] = free slot *)
+  fv_bids : int array;
+  fv_premiums : int array;
+  fv_values : int array;
+  fv_len : int;  (** slots [0..fv_len-1] are allocated-or-freed *)
+  fv_live : int;  (** members with id >= 0 *)
+}
+(** Zero-copy view of a keyword's partition arrays (engine read path).
+    Valid until the next enroll/retire on the keyword. *)
+
+val flat_view : t -> keyword:int -> flat_view
+
+type flat_stats = {
+  fs_capacity : int;
+  fs_len : int;
+  fs_live : int;
+  fs_free : int;
+}
+
+val flat_stats : t -> keyword:int -> flat_stats
+(** Allocation counters for the free-list invariant tests:
+    [fs_len = fs_live + fs_free] and [fs_capacity >= fs_len] always. *)
+
+val flat_begin_auction :
+  t ->
+  keyword:int ->
+  ?override:int array ->
+  ?adopt:int array ->
+  unit ->
+  int * int array
+(** One pre-auction step on a flat partition, mirroring the dense fleet's
+    [begin_auction_p]: tick the keyword clock, apply scheduled churn
+    ({!set_on_tick}), fill the spend snapshot, then per live slot either
+    retire the bidder locally (budget exhausted at the snapshot: bid to 0,
+    once) or apply the ROI [classify] step (under budget pace and below
+    maxbid: bid+1; over pace and positive: bid-1).  Returns
+    [(keyword_time, snapshot)]; the snapshot is the internal slot-indexed
+    buffer — copy to persist.
+
+    [override] replays a recorded snapshot verbatim (strict length =
+    partition capacity).  [adopt] is a batch's maintained snapshot: used
+    only when membership has not changed since it was recorded and its
+    length still matches; otherwise a fresh atomic read is taken.
+    Single-owner per keyword. *)
+
+val flat_record_win :
+  t -> adv:int -> keyword:int -> price:int -> unit
+(** A clicked win: atomically charge the advertiser's spend cell and bump
+    the keyword-local value-gained / amount-spent tallies (skipped if the
+    advertiser has departed the partition — the charge still lands). *)

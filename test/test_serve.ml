@@ -651,6 +651,147 @@ let test_imbalance_from_executed () =
     "committed spread published separately" 0.0
     (gauge "essa.serve.lane_imbalance_committed")
 
+let test_imbalance_all_zero () =
+  (* Regression: before any lane has executed anything, the spread is a
+     clean 0.0 — never NaN from the 0/0 division. *)
+  Alcotest.(check (float 1e-9)) "all-zero counts" 0.0
+    (Shard.imbalance_of [| 0; 0; 0 |]);
+  Alcotest.(check (float 1e-9)) "single lane" 0.0 (Shard.imbalance_of [| 7 |]);
+  Alcotest.(check (float 1e-9)) "empty" 0.0 (Shard.imbalance_of [||]);
+  let metrics = Essa_obs.Registry.create () in
+  let tr = Shard.tracker ~metrics ~shards:3 in
+  let v = Shard.refresh_imbalance tr in
+  Alcotest.(check bool) "refresh finite on idle tracker" true
+    (Float.is_finite v);
+  Alcotest.(check (float 1e-9)) "refresh 0.0 on idle tracker" 0.0 v;
+  let gauge name =
+    match Essa_obs.Registry.find metrics name with
+    | Some (Essa_obs.Registry.Gauge g) -> Essa_obs.Gauge.value g
+    | _ -> Alcotest.failf "missing gauge %s" name
+  in
+  Alcotest.(check (float 1e-9)) "gauge 0.0, not NaN" 0.0
+    (gauge "essa.serve.lane_imbalance")
+
+(* ------------------------------------------------------------------ *)
+(* Load-aware keyword→lane map *)
+
+let test_shard_map_rebalance () =
+  let m = Shard.map_create ~shards:2 ~num_keywords:4 () in
+  for kw = 0 to 3 do
+    Alcotest.(check int) "modulo init" (kw mod 2) (Shard.map_lane m ~keyword:kw)
+  done;
+  Alcotest.(check int) "no rebalances yet" 0 (Shard.map_rebalances m);
+  (* Keywords 0 and 2 carry all the load; the modulo map parks both on
+     lane 0.  One rebalance must split them across the two lanes. *)
+  for _ = 1 to 100 do
+    Shard.map_note m ~keyword:0;
+    Shard.map_note m ~keyword:2
+  done;
+  Shard.map_rebalance m;
+  Alcotest.(check int) "one rebalance" 1 (Shard.map_rebalances m);
+  Alcotest.(check bool) "hot keywords split across lanes" true
+    (Shard.map_lane m ~keyword:0 <> Shard.map_lane m ~keyword:2);
+  (* Zero-EWMA keywords keep their (modulo) lane. *)
+  Alcotest.(check int) "idle keyword 1 keeps its lane" 1
+    (Shard.map_lane m ~keyword:1);
+  Alcotest.(check int) "idle keyword 3 keeps its lane" 1
+    (Shard.map_lane m ~keyword:3);
+  (* partition_map groups by the live assignment and preserves arrival
+     order within each lane. *)
+  let q seq keyword = Ingress.{ seq; keyword; enqueue_ns = 0L } in
+  let batch = [ q 0 0; q 1 2; q 2 0; q 3 1 ] in
+  let parts = Shard.partition_map m batch in
+  Alcotest.(check int) "two lanes" 2 (Array.length parts);
+  let lane_of kw = Shard.map_lane m ~keyword:kw in
+  List.iter
+    (fun (qq : Ingress.query) ->
+      if not (List.memq qq parts.(lane_of qq.keyword)) then
+        Alcotest.failf "query %d not on its keyword's lane" qq.seq)
+    batch;
+  Array.iter
+    (fun lane ->
+      let seqs = List.map (fun (qq : Ingress.query) -> qq.seq) lane in
+      if List.sort compare seqs <> seqs then
+        Alcotest.fail "lane work list out of arrival order")
+    parts;
+  (* Validation. *)
+  let raises f =
+    match f () with exception Invalid_argument _ -> true | _ -> false
+  in
+  Alcotest.(check bool) "bad alpha" true
+    (raises (fun () ->
+         Shard.map_create ~alpha:0.0 ~shards:2 ~num_keywords:4 ()));
+  Alcotest.(check bool) "bad shards" true
+    (raises (fun () -> Shard.map_create ~shards:0 ~num_keywords:4 ()))
+
+(* Satellite (d): per-keyword FIFO and the replay contract survive forced
+   rebalance epochs.  Every batch triggers a rebalance
+   ([rebalance_every:1]), churn reshapes partitions mid-run, and the
+   commit logs must still be keyword-pure, FIFO (clock-monotone) and
+   bit-replayable on a fresh engine rebuilt from the same universe and
+   churn seed — at every worker count including 4. *)
+let test_balance_forced_rebalance () =
+  let u =
+    Essa_sim.Workload.universe ~keywords:12 ~n:60 ~zipf_s:1.1 ~seed:81 ()
+  in
+  let queries = Essa_sim.Workload.universe_queries u ~seed:82 ~count:300 in
+  let count = Array.length queries in
+  List.iter
+    (fun workers ->
+      let mk_engine () =
+        Essa_sim.Workload.make_flat_engine u
+          ~store:(Essa_sim.Workload.universe_store ~churn:0.1 u ())
+      in
+      let server =
+        Server.create ~commit:`Per_keyword ~balance:true ~rebalance_every:1
+          ~workers ~max_batch:16 ~queue_capacity:count ~engine:(mk_engine ())
+          ()
+      in
+      Array.iter
+        (fun kw ->
+          match Server.submit server ~keyword:kw with
+          | Ingress.Accepted _ -> ()
+          | Ingress.Shed | Ingress.Closed ->
+              Alcotest.fail "unexpected rejection")
+        queries;
+      let stats = Server.stop server in
+      let label fmt = Printf.sprintf fmt workers in
+      Alcotest.(check int) (label "committed (workers=%d)") count stats.committed;
+      Alcotest.(check bool)
+        (label "rebalanced at least once (workers=%d)")
+        true (stats.rebalances > 0);
+      Alcotest.(check int)
+        (label "no cross-keyword waits (workers=%d)")
+        0 stats.turnstile_waits;
+      let logged = ref 0 in
+      for kw = 0 to Essa_sim.Workload.universe_keywords u - 1 do
+        let log = Server.commit_log server ~keyword:kw in
+        logged := !logged + List.length log;
+        List.iter
+          (fun (s : Essa.Engine.summary) ->
+            if s.keyword <> kw then
+              Alcotest.failf "keyword %d log holds a keyword-%d summary" kw
+                s.keyword)
+          log
+      done;
+      Alcotest.(check int)
+        (label "logs partition the stream (workers=%d)")
+        count !logged;
+      let report = Replay.check_server server ~fresh:(mk_engine ()) in
+      Alcotest.(check int)
+        (label "replay covers every commit (workers=%d)")
+        count report.auctions_checked;
+      Alcotest.(check bool)
+        (label "replay bit-for-bit across rebalances (workers=%d)")
+        true report.replay_ok;
+      Alcotest.(check bool)
+        (label "keyword FIFO (clocks monotone) (workers=%d)")
+        true report.clocks_monotone;
+      Alcotest.(check bool)
+        (label "spend conserved (workers=%d)")
+        true report.spend_conserved)
+    pk_worker_counts
+
 (* ------------------------------------------------------------------ *)
 (* Global golden pin *)
 
@@ -780,6 +921,15 @@ let () =
             test_latency_clock_seam;
           Alcotest.test_case "imbalance from executed counts" `Quick
             test_imbalance_from_executed;
+          Alcotest.test_case "imbalance all-zero is 0.0" `Quick
+            test_imbalance_all_zero;
+        ] );
+      ( "balance",
+        [
+          Alcotest.test_case "map rebalance splits hot keywords" `Quick
+            test_shard_map_rebalance;
+          Alcotest.test_case "forced rebalance keeps FIFO + replay" `Quick
+            test_balance_forced_rebalance;
         ] );
       ( "load_gen",
         [

@@ -475,6 +475,132 @@ let test_ramp_engine_validation () =
     | exception Invalid_argument _ -> true
     | _ -> false)
 
+(* ------------------------------------------------------------------ *)
+(* Zipf universe *)
+
+let test_universe_shape_and_determinism () =
+  let mk () =
+    Essa_sim.Workload.universe ~slots:5 ~keywords:50 ~n:200 ~zipf_s:1.1
+      ~seed:7 ()
+  in
+  let u = mk () in
+  Alcotest.(check int) "n" 200 (Essa_sim.Workload.universe_n u);
+  Alcotest.(check int) "keywords" 50 (Essa_sim.Workload.universe_keywords u);
+  Alcotest.(check int) "slots" 5 (Essa_sim.Workload.universe_slots u);
+  let ctr = Essa_sim.Workload.universe_ctr u in
+  Alcotest.(check int) "ctr rows" 200 (Array.length ctr);
+  Alcotest.(check int) "ctr cols" 5 (Array.length ctr.(0));
+  (* Same seed, same universe: the stores enroll identically. *)
+  let s1 = Essa_sim.Workload.universe_store u ()
+  and s2 = Essa_sim.Workload.universe_store (mk ()) () in
+  for kw = 0 to 49 do
+    let a = Essa_strategy.State_store.flat_stats s1 ~keyword:kw
+    and b = Essa_strategy.State_store.flat_stats s2 ~keyword:kw in
+    if a <> b then Alcotest.failf "keyword %d partitions differ" kw
+  done;
+  (* Sparse: total participation bounded by n * max_keywords_per_adv,
+     and every advertiser is enrolled somewhere. *)
+  let total = ref 0 in
+  for kw = 0 to 49 do
+    total :=
+      !total
+      + (Essa_strategy.State_store.flat_stats s1 ~keyword:kw)
+          .Essa_strategy.State_store.fs_live
+  done;
+  Alcotest.(check bool) "participation sparse" true
+    (!total >= 200 && !total <= 200 * 3)
+
+let test_universe_zipf_skew () =
+  let u =
+    Essa_sim.Workload.universe ~keywords:100 ~n:50 ~zipf_s:1.1 ~seed:3 ()
+  in
+  let qs = Essa_sim.Workload.universe_queries u ~seed:4 ~count:20_000 in
+  Alcotest.(check int) "count" 20_000 (Array.length qs);
+  let counts = Array.make 100 0 in
+  Array.iter
+    (fun kw ->
+      if kw < 0 || kw >= 100 then Alcotest.failf "keyword %d out of range" kw;
+      counts.(kw) <- counts.(kw) + 1)
+    qs;
+  (* Zipf(1.1) over 100 keywords: rank 1 carries ~19% of the mass, rank
+     50 ~0.25% — the head must dominate the median by a wide margin. *)
+  Alcotest.(check bool) "head dominates" true (counts.(0) > 10 * counts.(50));
+  Alcotest.(check bool) "head is plural but not majority" true
+    (counts.(0) < 10_000);
+  (* Determinism in the stream seed. *)
+  let qs' = Essa_sim.Workload.universe_queries u ~seed:4 ~count:20_000 in
+  Alcotest.(check bool) "same seed, same stream" true (qs = qs');
+  let qs'' = Essa_sim.Workload.universe_queries u ~seed:5 ~count:20_000 in
+  Alcotest.(check bool) "different seed, different stream" true (qs <> qs'')
+
+let test_universe_churn_deterministic_replay () =
+  (* Two engines over two independently rebuilt stores — same universe,
+     same churn rate and seed — must serve a shared query sequence
+     bit-identically: scheduled churn re-fires at the same keyword-local
+     times, which is the property the serve-side replay rests on. *)
+  let u =
+    Essa_sim.Workload.universe ~keywords:20 ~n:100 ~zipf_s:1.0 ~seed:11 ()
+  in
+  let run () =
+    let store = Essa_sim.Workload.universe_store ~churn:0.2 u () in
+    let engine = Essa_sim.Workload.make_flat_engine u ~store in
+    let qs = Essa_sim.Workload.universe_queries u ~seed:12 ~count:400 in
+    let summaries =
+      Array.map
+        (fun kw ->
+          let (s : Essa.Engine.summary) =
+            Essa.Engine.run_partitioned engine ~keyword:kw
+          in
+          ( s.auction_time,
+            s.keyword,
+            s.assignment,
+            s.prices,
+            s.clicks,
+            s.revenue,
+            s.spend_snapshot ))
+        qs
+    in
+    (summaries, Essa.Engine.total_revenue engine)
+  in
+  let a = run () and b = run () in
+  Alcotest.(check bool) "rebuilt run is bit-identical" true (a = b);
+  (* Churn actually happened: some partition's len differs from a
+     churn-free rebuild (probability of no churn in 400 auctions at 0.2
+     is astronomically small). *)
+  let churned = Essa_sim.Workload.universe_store ~churn:0.2 u () in
+  let engine = Essa_sim.Workload.make_flat_engine u ~store:churned in
+  let qs = Essa_sim.Workload.universe_queries u ~seed:12 ~count:400 in
+  Array.iter
+    (fun kw -> ignore (Essa.Engine.run_partitioned engine ~keyword:kw))
+    qs;
+  let calm = Essa_sim.Workload.universe_store u () in
+  let moved = ref false in
+  for kw = 0 to 19 do
+    if
+      Essa_strategy.State_store.flat_stats churned ~keyword:kw
+      <> Essa_strategy.State_store.flat_stats calm ~keyword:kw
+    then moved := true
+  done;
+  Alcotest.(check bool) "churn moved membership" true !moved
+
+let test_universe_validation () =
+  let raises f =
+    match f () with exception Invalid_argument _ -> true | _ -> false
+  in
+  Alcotest.(check bool) "bad zipf_s" true
+    (raises (fun () ->
+         Essa_sim.Workload.universe ~keywords:5 ~n:5 ~zipf_s:(-1.0) ~seed:1 ()));
+  Alcotest.(check bool) "bad keywords" true
+    (raises (fun () ->
+         Essa_sim.Workload.universe ~keywords:0 ~n:5 ~zipf_s:1.0 ~seed:1 ()));
+  let u = Essa_sim.Workload.universe ~keywords:5 ~n:5 ~zipf_s:1.0 ~seed:1 () in
+  Alcotest.(check bool) "bad churn rate" true
+    (raises (fun () ->
+         ignore (Essa_sim.Workload.universe_store ~churn:1.5 u ())));
+  Alcotest.(check bool) "negative count" true
+    (raises (fun () ->
+         ignore (Essa_sim.Workload.universe_queries u ~seed:1 ~count:(-1))))
+
 let () =
   Alcotest.run "essa_sim"
     [
@@ -488,6 +614,15 @@ let () =
             test_workload_fresh_states_independent;
           Alcotest.test_case "determinism" `Quick test_workload_determinism;
           Alcotest.test_case "query stream" `Quick test_query_stream_uniform_range;
+        ] );
+      ( "universe",
+        [
+          Alcotest.test_case "shape & determinism" `Quick
+            test_universe_shape_and_determinism;
+          Alcotest.test_case "zipf skew" `Quick test_universe_zipf_skew;
+          Alcotest.test_case "churn replay determinism" `Quick
+            test_universe_churn_deterministic_replay;
+          Alcotest.test_case "validation" `Quick test_universe_validation;
         ] );
       ( "matcher",
         [

@@ -750,6 +750,298 @@ let test_partitioned_interface_guards () =
          Roi_fleet.record_win_p s ~adv:0 ~keyword:0 ~price:1 ~clicked:true))
 
 (* ------------------------------------------------------------------ *)
+(* Flat state store (the scalable slot-indexed layout) *)
+
+let prop_flat_equals_dense_churn =
+  (* The acceptance pin for the flat layout: begin_auction_p /
+     record_win_p bit-identical to the dense naive_p store under any
+     interleaving of auctions, ticks, win notifications and bidder
+     churn.  Churn is mirrored — flat_enroll/flat_retire on the store,
+     enroll_keyword/retire_keyword on the dense emulation (a
+     non-participant carries all-zero parameters, which classify holds
+     at bid 0 forever).  Budget-free: dense np_retired is sticky across
+     a retire/re-enroll cycle while the flat slot resets, so budgets get
+     their own static property below. *)
+  qtest ~count:20 "flat_p = naive_p across churn sequences"
+    QCheck2.Gen.(int_range 0 100_000)
+    (fun seed ->
+      let rng = Essa_util.Rng.create seed in
+      let n = 3 + Essa_util.Rng.int rng 20 in
+      let nk = 1 + Essa_util.Rng.int rng 4 in
+      let targets =
+        Array.init n (fun _ -> Essa_util.Rng.float_in rng 1.0 40.0)
+      in
+      let states =
+        Array.init n (fun adv ->
+            Roi_state.create ~values:(Array.make nk 0)
+              ~initial_bids:(Array.make nk 0) ~target_rate:targets.(adv) ())
+      in
+      let dense = Roi_fleet.naive_p states in
+      let store =
+        State_store.create_flat ~num_keywords:nk ~n
+          ~budgets:(Array.make n (-1)) ~targets ()
+      in
+      let flat = Roi_fleet.flat_p store in
+      let member = Array.make_matrix nk n false in
+      let enroll kw adv =
+        if not member.(kw).(adv) then begin
+          member.(kw).(adv) <- true;
+          let v = 1 + Essa_util.Rng.int rng 50 in
+          let bid = min v ((v + 1) / 2) in
+          let premium =
+            if Essa_util.Rng.int rng 4 = 0 then 1 + Essa_util.Rng.int rng 25
+            else 0
+          in
+          State_store.flat_enroll store ~keyword:kw ~adv ~value:v ~maxbid:v
+            ~bid ~premium;
+          Roi_state.enroll_keyword states.(adv) ~keyword:kw ~value:v ~maxbid:v
+            ~bid ~premium
+        end
+      in
+      let retire kw adv =
+        if member.(kw).(adv) then begin
+          member.(kw).(adv) <- false;
+          State_store.flat_retire store ~keyword:kw ~adv;
+          Roi_state.retire_keyword states.(adv) ~keyword:kw
+        end
+      in
+      for kw = 0 to nk - 1 do
+        for adv = 0 to n - 1 do
+          if Essa_util.Rng.int rng 2 = 0 then enroll kw adv
+        done
+      done;
+      let ok = ref true in
+      let check_eq a b = if a <> b then ok := false in
+      for _step = 1 to 200 do
+        let kw = Essa_util.Rng.int rng nk in
+        (match Essa_util.Rng.int rng 4 with
+        | 0 -> enroll kw (Essa_util.Rng.int rng n)
+        | 1 -> retire kw (Essa_util.Rng.int rng n)
+        | _ -> ());
+        if Essa_util.Rng.int rng 8 = 0 then
+          check_eq
+            (Roi_fleet.tick_p dense ~keyword:kw)
+            (Roi_fleet.tick_p flat ~keyword:kw)
+        else begin
+          let dt, dsnap = Roi_fleet.begin_auction_p dense ~keyword:kw () in
+          let dsnap = Array.copy dsnap in
+          let ft, fsnap = Roi_fleet.begin_auction_p flat ~keyword:kw () in
+          check_eq dt ft;
+          for adv = 0 to n - 1 do
+            (match Roi_fleet.snapshot_index flat ~keyword:kw ~adv with
+            | Some slot -> check_eq fsnap.(slot) dsnap.(adv)
+            | None -> if member.(kw).(adv) then ok := false);
+            check_eq
+              (Roi_fleet.bid dense ~adv ~keyword:kw)
+              (Roi_fleet.bid flat ~adv ~keyword:kw)
+          done;
+          for _ = 1 to Essa_util.Rng.int rng 3 do
+            let adv = Essa_util.Rng.int rng n in
+            let clicked = Essa_util.Rng.bool rng in
+            let price = Essa_util.Rng.int rng 30 in
+            Roi_fleet.record_win_p dense ~adv ~keyword:kw ~price ~clicked;
+            Roi_fleet.record_win_p flat ~adv ~keyword:kw ~price ~clicked
+          done
+        end
+      done;
+      for adv = 0 to n - 1 do
+        check_eq (Roi_fleet.amt_spent dense ~adv) (Roi_fleet.amt_spent flat ~adv)
+      done;
+      !ok)
+
+let prop_flat_equals_dense_budgets =
+  (* Static membership, budgets in play: lazy per-keyword budget
+     retirement (bretired / np_retired) must fire at the same keyword
+     times on both layouts. *)
+  qtest ~count:20 "flat_p = naive_p with budgets (static membership)"
+    QCheck2.Gen.(int_range 0 100_000)
+    (fun seed ->
+      let rng = Essa_util.Rng.create seed in
+      let n = 3 + Essa_util.Rng.int rng 15 in
+      let nk = 1 + Essa_util.Rng.int rng 3 in
+      let targets =
+        Array.init n (fun _ -> Essa_util.Rng.float_in rng 1.0 40.0)
+      in
+      let budgets =
+        Array.init n (fun _ ->
+            if Essa_util.Rng.int rng 3 = 0 then 20 + Essa_util.Rng.int rng 100
+            else -1)
+      in
+      let values =
+        Array.init n (fun _ ->
+            Array.init nk (fun _ -> 1 + Essa_util.Rng.int rng 50))
+      in
+      let bids = Array.map (Array.map (fun v -> min v ((v + 1) / 2))) values in
+      let states =
+        Array.init n (fun adv ->
+            Roi_state.create ~values:values.(adv) ~initial_bids:bids.(adv)
+              ?budget:(if budgets.(adv) < 0 then None else Some budgets.(adv))
+              ~target_rate:targets.(adv) ())
+      in
+      let dense = Roi_fleet.naive_p states in
+      let store =
+        State_store.create_flat ~num_keywords:nk ~n ~budgets ~targets ()
+      in
+      for kw = 0 to nk - 1 do
+        for adv = 0 to n - 1 do
+          State_store.flat_enroll store ~keyword:kw ~adv
+            ~value:values.(adv).(kw) ~maxbid:values.(adv).(kw)
+            ~bid:bids.(adv).(kw) ~premium:0
+        done
+      done;
+      let flat = Roi_fleet.flat_p store in
+      let ok = ref true in
+      let check_eq a b = if a <> b then ok := false in
+      for _step = 1 to 150 do
+        let kw = Essa_util.Rng.int rng nk in
+        let dt, dsnap = Roi_fleet.begin_auction_p dense ~keyword:kw () in
+        let dsnap = Array.copy dsnap in
+        let ft, fsnap = Roi_fleet.begin_auction_p flat ~keyword:kw () in
+        check_eq dt ft;
+        for adv = 0 to n - 1 do
+          (match Roi_fleet.snapshot_index flat ~keyword:kw ~adv with
+          | Some slot -> check_eq fsnap.(slot) dsnap.(adv)
+          | None -> ok := false);
+          check_eq
+            (Roi_fleet.bid dense ~adv ~keyword:kw)
+            (Roi_fleet.bid flat ~adv ~keyword:kw)
+        done;
+        let adv = Essa_util.Rng.int rng n in
+        let price = 10 + Essa_util.Rng.int rng 30 in
+        Roi_fleet.record_win_p dense ~adv ~keyword:kw ~price ~clicked:true;
+        Roi_fleet.record_win_p flat ~adv ~keyword:kw ~price ~clicked:true
+      done;
+      !ok)
+
+let test_flat_free_list () =
+  let store =
+    State_store.create_flat ~num_keywords:1 ~n:64
+      ~budgets:(Array.make 64 (-1)) ~targets:(Array.make 64 1.0) ()
+  in
+  let enroll adv =
+    State_store.flat_enroll store ~keyword:0 ~adv ~value:10 ~maxbid:10 ~bid:5
+      ~premium:0
+  in
+  let stats () = State_store.flat_stats store ~keyword:0 in
+  let invariant label =
+    let s = stats () in
+    Alcotest.(check int) (label ^ ": len = live + free") s.State_store.fs_len
+      (s.State_store.fs_live + s.State_store.fs_free);
+    Alcotest.(check bool) (label ^ ": len <= capacity") true
+      (s.State_store.fs_len <= s.State_store.fs_capacity)
+  in
+  for adv = 0 to 9 do enroll adv done;
+  invariant "after enrolls";
+  Alcotest.(check int) "ten live" 10 (stats ()).State_store.fs_live;
+  List.iter
+    (fun adv -> State_store.flat_retire store ~keyword:0 ~adv)
+    [ 2; 5; 7 ];
+  invariant "after retires";
+  Alcotest.(check int) "three freed" 3 (stats ()).State_store.fs_free;
+  Alcotest.(check int) "len unchanged by retire" 10
+    (stats ()).State_store.fs_len;
+  (* Re-enrollment reuses freed slots before growing the arrays. *)
+  enroll 40;
+  enroll 41;
+  invariant "after reuse";
+  Alcotest.(check int) "freed slots reused, no growth" 10
+    (stats ()).State_store.fs_len;
+  Alcotest.(check int) "one slot still free" 1 (stats ()).State_store.fs_free;
+  (* The recycled slot carries the new advertiser, not stale state. *)
+  Alcotest.(check bool) "arrival is a member" true
+    (State_store.flat_member store ~keyword:0 ~adv:40);
+  Alcotest.(check int) "arrival's fresh bid" 5
+    (State_store.flat_bid store ~keyword:0 ~adv:40);
+  Alcotest.(check bool) "departed is not a member" false
+    (State_store.flat_member store ~keyword:0 ~adv:2);
+  Alcotest.(check int) "departed bid reads 0" 0
+    (State_store.flat_bid store ~keyword:0 ~adv:2);
+  (* Growth: capacity doubles once slots and free-list are exhausted. *)
+  for adv = 10 to 39 do enroll adv done;
+  invariant "after growth";
+  Alcotest.(check bool) "capacity grew" true
+    ((stats ()).State_store.fs_capacity >= 39);
+  Alcotest.(check int) "all live" 39 (stats ()).State_store.fs_live;
+  let raises f =
+    match f () with exception Invalid_argument _ -> true | _ -> false
+  in
+  Alcotest.(check bool) "duplicate enroll raises" true (raises (fun () -> enroll 40));
+  Alcotest.(check bool) "retiring a stranger raises" true
+    (raises (fun () -> State_store.flat_retire store ~keyword:0 ~adv:63))
+
+let test_flat_budget_retirement () =
+  (* A budgeted bidder whose snapshot spend reaches the budget is retired
+     lazily by the keyword's next auction — bid zeroed exactly once. *)
+  let store =
+    State_store.create_flat ~num_keywords:2 ~n:2 ~budgets:[| 12; -1 |]
+      ~targets:[| 1.0; 1.0 |] ()
+  in
+  for kw = 0 to 1 do
+    State_store.flat_enroll store ~keyword:kw ~adv:0 ~value:10 ~maxbid:10
+      ~bid:5 ~premium:0;
+    State_store.flat_enroll store ~keyword:kw ~adv:1 ~value:10 ~maxbid:10
+      ~bid:5 ~premium:0
+  done;
+  let fleet = Roi_fleet.flat_p store in
+  ignore (Roi_fleet.begin_auction_p fleet ~keyword:0 ());
+  Roi_fleet.record_win_p fleet ~adv:0 ~keyword:0 ~price:15 ~clicked:true;
+  Alcotest.(check int) "spend charged" 15 (Roi_fleet.amt_spent fleet ~adv:0);
+  Alcotest.(check bool) "keyword 1 bid still live (deferred)" true
+    (Roi_fleet.bid fleet ~adv:0 ~keyword:1 > 0);
+  ignore (Roi_fleet.begin_auction_p fleet ~keyword:1 ());
+  Alcotest.(check int) "keyword 1 retired on its next auction" 0
+    (Roi_fleet.bid fleet ~adv:0 ~keyword:1);
+  ignore (Roi_fleet.begin_auction_p fleet ~keyword:0 ());
+  Alcotest.(check int) "keyword 0 retired on its next auction" 0
+    (Roi_fleet.bid fleet ~adv:0 ~keyword:0);
+  (* The unbudgeted bidder keeps adjusting. *)
+  Alcotest.(check bool) "unbudgeted bidder unaffected" true
+    (Roi_fleet.bid fleet ~adv:1 ~keyword:0 > 0)
+
+let test_flat_interface_guards () =
+  let raises f =
+    match f () with exception Invalid_argument _ -> true | _ -> false
+  in
+  Alcotest.(check bool) "create_flat rejects n < 1" true
+    (raises (fun () ->
+         State_store.create_flat ~num_keywords:1 ~n:0 ~budgets:[||]
+           ~targets:[||] ()));
+  Alcotest.(check bool) "create_flat rejects bad target" true
+    (raises (fun () ->
+         State_store.create_flat ~num_keywords:1 ~n:1 ~budgets:[| -1 |]
+           ~targets:[| 0.0 |] ()));
+  Alcotest.(check bool) "flat_p rejects a dense store" true
+    (raises (fun () ->
+         Roi_fleet.flat_p (State_store.create [| mk_state () |] ~num_keywords:2)));
+  let store =
+    State_store.create_flat ~num_keywords:2 ~n:3 ~budgets:[| 50; -1; -1 |]
+      ~targets:[| 1.0; 2.0; 3.0 |] ()
+  in
+  State_store.flat_enroll store ~keyword:0 ~adv:0 ~value:10 ~maxbid:10 ~bid:4
+    ~premium:3;
+  let fleet = Roi_fleet.flat_p store in
+  Alcotest.(check bool) "partitioned" true (Roi_fleet.partitioned fleet);
+  Alcotest.(check bool) "is_flat" true (Roi_fleet.is_flat fleet);
+  Alcotest.(check int) "n" 3 (Roi_fleet.n fleet);
+  Alcotest.(check bool) "state raises on flat" true
+    (raises (fun () -> ignore (Roi_fleet.state fleet ~adv:0)));
+  Alcotest.(check bool) "bids_desc raises on flat" true
+    (raises (fun () ->
+         ignore (List.of_seq (Roi_fleet.bids_desc fleet ~keyword:0))));
+  Alcotest.(check bool) "budget_of budgeted" true
+    (Roi_fleet.budget_of fleet ~adv:0 = Some 50);
+  Alcotest.(check bool) "budget_of unbudgeted" true
+    (Roi_fleet.budget_of fleet ~adv:1 = None);
+  Alcotest.(check int) "premium_of enrolled" 3
+    (Roi_fleet.premium_of fleet ~adv:0 ~keyword:0);
+  Alcotest.(check int) "premium_of not enrolled" 0
+    (Roi_fleet.premium_of fleet ~adv:0 ~keyword:1);
+  Alcotest.(check bool) "snapshot_index enrolled" true
+    (Roi_fleet.snapshot_index fleet ~keyword:0 ~adv:0 = Some 0);
+  Alcotest.(check bool) "snapshot_index not enrolled" true
+    (Roi_fleet.snapshot_index fleet ~keyword:0 ~adv:2 = None)
+
+(* ------------------------------------------------------------------ *)
 (* Ramp_fleet (Section IV-A, multi-parameter TA) *)
 
 let test_ramp_bid_formula () =
@@ -874,6 +1166,17 @@ let () =
             test_partitioned_deferred_retirement;
           Alcotest.test_case "interface guards" `Quick
             test_partitioned_interface_guards;
+        ] );
+      ( "flat_store",
+        [
+          prop_flat_equals_dense_churn;
+          prop_flat_equals_dense_budgets;
+          Alcotest.test_case "free-list reuse and growth" `Quick
+            test_flat_free_list;
+          Alcotest.test_case "lazy budget retirement" `Quick
+            test_flat_budget_retirement;
+          Alcotest.test_case "interface guards" `Quick
+            test_flat_interface_guards;
         ] );
       ( "ramp_fleet",
         [
