@@ -61,7 +61,7 @@ let universe_of_string s =
 let run n slots keywords method_ seed workers queue_capacity max_batch auctions
     rate window pool_size parallel_threshold metrics fault_specs
     deadline_budget_ms max_restarts commit replay_check universe churn balance
-    rebalance_every =
+    rebalance_every cache update_every =
   let faults =
     match
       List.fold_left
@@ -130,6 +130,10 @@ let run n slots keywords method_ seed workers queue_capacity max_batch auctions
     prerr_endline "--replay-check requires --commit per-keyword";
     exit 2
   end;
+  if update_every < 1 then begin
+    prerr_endline "--update-every must be >= 1";
+    exit 2
+  end;
   let registry = Essa_obs.Registry.create () in
   let with_opt_pool f =
     match pool_size with
@@ -148,13 +152,14 @@ let run n slots keywords method_ seed workers queue_capacity max_batch auctions
                 ~zipf_s:uzs ~seed ()
             in
             let engine =
-              Essa_sim.Workload.make_flat_engine ~metrics:registry u
+              Essa_sim.Workload.make_flat_engine ~metrics:registry ?cache
+                ~update_every u
                 ~store:(Essa_sim.Workload.universe_store ~churn u ())
             in
             ( engine,
               Essa_sim.Workload.universe_query_stream u ~seed:(seed + 1),
               (fun () ->
-                Essa_sim.Workload.make_flat_engine u
+                Essa_sim.Workload.make_flat_engine ?cache ~update_every u
                   ~store:(Essa_sim.Workload.universe_store ~churn u ())),
               fun () ->
                 Format.printf
@@ -168,12 +173,14 @@ let run n slots keywords method_ seed workers queue_capacity max_batch auctions
             in
             let engine =
               Essa_sim.Workload.make_engine ~metrics:registry ?pool
-                ?parallel_threshold ~partitioned workload ~method_
+                ?parallel_threshold ~partitioned ?cache ~update_every workload
+                ~method_
             in
             ( engine,
               Essa_sim.Workload.query_stream workload ~seed:(seed + 1),
               (fun () ->
-                Essa_sim.Workload.make_engine ~partitioned workload ~method_),
+                Essa_sim.Workload.make_engine ~partitioned ?cache ~update_every
+                  workload ~method_),
               fun () ->
                 Format.printf "workload: n=%d slots=%d keywords=%d seed=%d@." n
                   slots keywords seed )
@@ -203,6 +210,9 @@ let run n slots keywords method_ seed workers queue_capacity max_batch auctions
               (match parallel_threshold with
               | None -> "default"
               | Some t -> string_of_int t));
+      Format.printf "engine:   cache=%s update-every=%d@."
+        (if Essa.Engine.cache_enabled engine then "on" else "off")
+        update_every;
       Format.printf "client:   %s, %d offered@."
         (match rate with
         | Some r -> Printf.sprintf "open loop at %.0f/s" r
@@ -409,6 +419,23 @@ let rebalance_every_t =
        & info [ "rebalance-every" ]
            ~doc:"Batches per rebalance epoch (with --balance).")
 
+let cache_t =
+  Arg.(value & opt (some bool) None
+       & info [ "cache" ]
+           ~doc:"Force the cross-auction evaluation cache on (true) or off \
+                 (false).  Default: on, unless the ESSA_NO_CACHE \
+                 environment variable is set to anything but \"\" or 0.")
+
+let update_every_t =
+  Arg.(value & opt int 1
+       & info [ "update-every" ]
+           ~doc:"Run advertiser bid-update programs only on every T-th \
+                 auction of a keyword (clocks still tick, so pacing \
+                 targets accrue per auction).  1 = update on every \
+                 auction; larger values model a production regime where \
+                 queries far outnumber bid changes and let the \
+                 evaluation cache hit.")
+
 let run_cmd =
   Cmd.v
     (Cmd.info "run" ~doc:"Serve a query stream through the sharded pipeline")
@@ -416,7 +443,7 @@ let run_cmd =
           $ workers_t $ queue_t $ batch_t $ auctions_t $ rate_t $ window_t
           $ pool_t $ threshold_t $ metrics_t $ fault_t $ deadline_t
           $ max_restarts_t $ commit_t $ replay_check_t $ universe_t $ churn_t
-          $ balance_t $ rebalance_every_t)
+          $ balance_t $ rebalance_every_t $ cache_t $ update_every_t)
 
 let main =
   Cmd.group

@@ -42,6 +42,9 @@ type engine_metrics = {
   c_reduced_candidates : Essa_obs.Counter.t;
   c_degraded_cheap : Essa_obs.Counter.t;
   c_degraded_unfilled : Essa_obs.Counter.t;
+  c_cache_hits : Essa_obs.Counter.t;
+  c_cache_misses : Essa_obs.Counter.t;
+  c_cache_invalidations : Essa_obs.Counter.t;
 }
 
 let engine_metrics registry =
@@ -95,6 +98,20 @@ let engine_metrics registry =
       ~help:"Auctions already past their deadline at start: served unfilled, \
              bid-program updates shed"
   in
+  let c_cache_hits =
+    c "essa.engine.cache_hits"
+      ~help:"Keyword evaluation-cache hits: winner determination and pricing \
+             reused from the previous auction at the same dirty epoch"
+  in
+  let c_cache_misses =
+    c "essa.engine.cache_misses"
+      ~help:"Keyword evaluation-cache misses (cold keyword or stale epoch)"
+  in
+  let c_cache_invalidations =
+    c "essa.engine.cache_invalidations"
+      ~help:"Cache misses that found a stale entry: the keyword's dirty epoch \
+             moved since the entry was stored"
+  in
   {
     registry;
     h_program_eval;
@@ -112,6 +129,9 @@ let engine_metrics registry =
     c_reduced_candidates;
     c_degraded_cheap;
     c_degraded_unfilled;
+    c_cache_hits;
+    c_cache_misses;
+    c_cache_invalidations;
   }
 
 (* Per-auction mutable workspace: the full weight matrix buffer (`Lp`,
@@ -138,6 +158,14 @@ type scratch = {
   tk_scores : float array;             (* capacity k+1 *)
   tk_slots : int array;                (* capacity k+1; flat path only *)
   ta_eff : float array;                (* effective bid by advertiser *)
+  (* Per-auction access-statistic tallies, zeroed at the top of winner
+     determination and folded into the shared counters as usual: the
+     evaluation cache stores them with the entry so a hit can re-report
+     the cold run's essa.ta.* / reduction counters bit-for-bit. *)
+  mutable wd_ta_sorted : int;
+  mutable wd_ta_random : int;
+  mutable wd_ta_seen : int;
+  mutable wd_reduced : int;
 }
 
 (* [n] is the index space of the stamp arrays: the fleet size on dense
@@ -158,7 +186,31 @@ let make_scratch ~n ~k ~with_w =
     tk_scores = Array.make (k + 1) 0.0;
     tk_slots = Array.make (k + 1) 0;
     ta_eff = Array.make n 0.0;
+    wd_ta_sorted = 0;
+    wd_ta_random = 0;
+    wd_ta_seen = 0;
+    wd_reduced = 0;
   }
+
+(* One completed keyword evaluation, reusable while the keyword's dirty
+   epoch ({!Essa_strategy.Roi_fleet.epoch_of}) is unchanged: between two
+   equal epoch reads the sorted views / partition view are bit-identical,
+   so winner determination and pricing would recompute exactly this
+   assignment and these prices.  This is the fixed point of TA resume:
+   any bid mutation rebuilds the sorted arrays and invalidates partial
+   cursors, so the reusable resume state across same-keyword auctions is
+   the completed frontier — assignment, prices, and the cold run's access
+   statistics (re-reported on every hit, keeping cached and uncached runs
+   bit-identical including the essa.ta.* counters). *)
+type cache_entry = {
+  ce_epoch : int;
+  ce_assignment : Essa_matching.Assignment.t;
+  ce_prices : int array;
+  ce_ta_sorted : int;
+  ce_ta_random : int;
+  ce_ta_seen : int;
+  ce_reduced : int;
+}
 
 (* Per-keyword execution state of the partitioned mode: an independent
    click-sampling stream (split off the user seed by keyword), private
@@ -171,6 +223,13 @@ type epartition = {
   mutable p_scratch : scratch;  (* replaced when a flat partition grows *)
   p_h_total : Essa_obs.Histogram.t;
   mutable p_revenue : int;
+  (* The keyword's evaluation cache (partitions are per keyword, so one
+     entry each).  Keyword-local, hence lane-private: no synchronization. *)
+  mutable p_cache : cache_entry option;
+  (* Auctions run on this partition — the bid-update decimation counter:
+     the begin pass runs when [p_au_count mod update_every = 0], otherwise
+     the auction only ticks the keyword clock ([tick_p]). *)
+  mutable p_au_count : int;
 }
 
 type t = {
@@ -227,14 +286,37 @@ type t = {
      metrics always read the real clock).  Injectable so deadline tests
      can script exactly which check trips, without sleeps. *)
   clock : unit -> int64;
+  (* Cross-auction evaluation cache, keyed on the fleet's per-keyword
+     dirty epoch.  Serial engines keep one entry per keyword here;
+     partitioned engines keep theirs in the (lane-private) epartition.
+     Degraded tiers bypass the cache entirely. *)
+  cache_on : bool;
+  caches : cache_entry option array;
+  (* Bid-update decimation: programs update their bids on every
+     [update_every]-th auction of a keyword; the auctions in between
+     evaluate against unchanged bids (the production regime where queries
+     arrive orders of magnitude faster than bid updates — the regime the
+     evaluation cache exploits).  1 (the default) is today's
+     update-per-auction semantics, bit for bit. *)
+  update_every : int;
+  au_counts : int array;  (* serial engines: per-keyword auction counts *)
   (* Per-phase latency histograms and event counters; updated on every
      auction at negligible (allocation-free) cost. *)
   m : engine_metrics;
 }
 
+(* Default cache policy: on, unless the environment opts out
+   (ESSA_NO_CACHE set to anything but the empty string or "0").  The
+   explicit [?cache] argument always wins. *)
+let cache_default () =
+  match Sys.getenv_opt "ESSA_NO_CACHE" with
+  | None | Some "" | Some "0" -> true
+  | Some _ -> false
+
 let create ?metrics ?pool ?(parallel_threshold = 4096)
-    ?(clock = Essa_util.Timing.now_ns) ?(partitioned = false) ~reserve ~pricing
-    ~method_ ~ctr ~states ~user_seed () =
+    ?(clock = Essa_util.Timing.now_ns) ?(partitioned = false) ?cache
+    ?(update_every = 1) ~reserve ~pricing ~method_ ~ctr ~states ~user_seed () =
+  if update_every < 1 then invalid_arg "Engine.create: update_every < 1";
   let n = Array.length ctr in
   if n = 0 then invalid_arg "Engine.create: no advertisers";
   let k = Array.length ctr.(0) in
@@ -313,6 +395,9 @@ let create ?metrics ?pool ?(parallel_threshold = 4096)
   in
   let split_ids = Array.map (Array.map fst) in
   let split_vals = Array.map (Array.map snd) in
+  let cache_on =
+    match cache with Some b -> b | None -> cache_default ()
+  in
   {
     method_;
     pricing;
@@ -346,11 +431,21 @@ let create ?metrics ?pool ?(parallel_threshold = 4096)
     pool;
     parallel_threshold;
     clock;
+    cache_on;
+    caches =
+      (if cache_on && not partitioned then
+         Array.make (Essa_strategy.Roi_fleet.num_keywords fleet) None
+       else [||]);
+    update_every;
+    au_counts =
+      (if partitioned then [||]
+       else Array.make (Essa_strategy.Roi_fleet.num_keywords fleet) 0);
     m = engine_metrics registry;
   }
 
-let create_flat ?metrics ?(clock = Essa_util.Timing.now_ns) ~reserve ~pricing
-    ~ctr ~store ~user_seed () =
+let create_flat ?metrics ?(clock = Essa_util.Timing.now_ns) ?cache
+    ?(update_every = 1) ~reserve ~pricing ~ctr ~store ~user_seed () =
+  if update_every < 1 then invalid_arg "Engine.create_flat: update_every < 1";
   if not (Sstore.is_flat store) then
     invalid_arg "Engine.create_flat: store is not flat";
   let n = Sstore.flat_n store in
@@ -409,8 +504,14 @@ let create_flat ?metrics ?(clock = Essa_util.Timing.now_ns) ~reserve ~pricing
     pool = None;
     parallel_threshold = max_int;
     clock;
+    cache_on = (match cache with Some b -> b | None -> cache_default ());
+    caches = [||] (* partitioned: entries live in the epartitions *);
+    update_every;
+    au_counts = [||];
     m = engine_metrics registry;
   }
+
+let cache_enabled t = t.cache_on
 
 let n t = t.n
 let k t = t.k
@@ -457,6 +558,8 @@ let partition_of t ~keyword =
               ~with_w:((not t.is_flat) && t.method_ = `Rh);
           p_h_total = Essa_obs.Histogram.create ();
           p_revenue = 0;
+          p_cache = None;
+          p_au_count = 0;
         }
       in
       t.partitions.(keyword) <- Some p;
@@ -704,7 +807,13 @@ let ta_top_lists_fast t s ~keyword ~count =
     tops.(j) <- build (!tk_size - 1) [];
     Essa_obs.Counter.add t.m.c_ta_sorted !sorted_accesses;
     Essa_obs.Counter.add t.m.c_ta_random !random_accesses;
-    Essa_obs.Counter.add t.m.c_ta_seen !seen_objects
+    Essa_obs.Counter.add t.m.c_ta_seen !seen_objects;
+    (* Keep a per-auction copy in the (lane-private) scratch: the shared
+       counters are cross-lane atomics, so diffing them around one auction
+       would race; these tallies are what the evaluation cache stores. *)
+    s.wd_ta_sorted <- s.wd_ta_sorted + !sorted_accesses;
+    s.wd_ta_random <- s.wd_ta_random + !random_accesses;
+    s.wd_ta_seen <- s.wd_ta_seen + !seen_objects
   done;
   tops
 
@@ -712,7 +821,7 @@ let ta_top_lists_fast t s ~keyword ~count =
    static ctr list and on the maintained bid lists; the product is the
    same float expression as [fill_weights], so the lists are identical to
    a heap scan of the full matrix. *)
-let ta_top_lists_generic t ~keyword ~count =
+let ta_top_lists_generic t s ~keyword ~count =
   let bids_source =
     {
       Essa_ta.Threshold.sorted =
@@ -771,6 +880,9 @@ let ta_top_lists_generic t ~keyword ~count =
       Essa_obs.Counter.add t.m.c_ta_sorted stats.sorted_accesses;
       Essa_obs.Counter.add t.m.c_ta_random stats.random_accesses;
       Essa_obs.Counter.add t.m.c_ta_seen stats.seen_objects;
+      s.wd_ta_sorted <- s.wd_ta_sorted + stats.sorted_accesses;
+      s.wd_ta_random <- s.wd_ta_random + stats.random_accesses;
+      s.wd_ta_seen <- s.wd_ta_seen + stats.seen_objects;
       top)
     tops
 
@@ -780,7 +892,7 @@ let ta_top_lists_generic t ~keyword ~count =
 let ta_top_lists t s ~keyword ~count =
   match t.pool with
   | Some _ when t.n >= t.parallel_threshold && t.k > 1 ->
-      ta_top_lists_generic t ~keyword ~count
+      ta_top_lists_generic t s ~keyword ~count
   | _ -> ta_top_lists_fast t s ~keyword ~count
 
 (* Degraded winner determination: one pass over the fleet taking the top-k
@@ -853,6 +965,7 @@ let reduced_from_top t s ~keyword top =
     end
   done;
   Essa_obs.Counter.add t.m.c_reduced_candidates !count;
+  s.wd_reduced <- s.wd_reduced + !count;
   (advertisers, Array.sub s.reduced_w_rows 0 !count)
 
 (* Winner determination.  Besides the global assignment, every branch
@@ -860,7 +973,14 @@ let reduced_from_top t s ~keyword top =
    index mapping it is expressed in.  The reduced views built from
    top-(k+1) lists support exact GSP and exact VCG (removing a winner
    never pushes the removal-optimum outside the lists). *)
+let reset_wd_stats s =
+  s.wd_ta_sorted <- 0;
+  s.wd_ta_random <- 0;
+  s.wd_ta_seen <- 0;
+  s.wd_reduced <- 0
+
 let winner_determination t s ~keyword =
+  reset_wd_stats s;
   match t.method_ with
   | `Lp ->
       let w = fill_weights t s ~keyword in
@@ -935,6 +1055,7 @@ let gsp_from_top t s ~assignment ~top =
    fleet agree the two engines assign and price identically. *)
 
 let winner_determination_flat t s ~keyword =
+  reset_wd_stats s;
   let store = Essa_strategy.Roi_fleet.store_of t.fleet in
   let fv = Sstore.flat_view store ~keyword in
   let members = fv.Sstore.fv_members
@@ -1024,6 +1145,7 @@ let winner_determination_flat t s ~keyword =
     end
   done;
   Essa_obs.Counter.add t.m.c_reduced_candidates !ncand;
+  s.wd_reduced <- s.wd_reduced + !ncand;
   let reduced = Essa_matching.Hungarian.solve ~w:(Array.sub s.reduced_w_rows 0 !ncand) in
   let assignment =
     Array.map (Option.map (fun local -> advertisers.(local))) reduced
@@ -1165,6 +1287,51 @@ let price_assignment t s ~keyword ~assignment ~view_advertisers ~view_w ~top =
                 ~slot:(j0 + 1) ~adv)
         assignment
 
+(* ------------------------------------------------------------------ *)
+(* Evaluation-cache plumbing shared by the serial and partitioned
+   drivers.  A probe compares the stored epoch with the keyword's current
+   one (read *after* the begin pass, so every mutation that could change
+   this auction's inputs has already been counted); hits skip winner
+   determination and pricing entirely, misses run them and store the
+   completed frontier.  Clicks, billing and win notifications always run
+   per auction — a hit consumes exactly the RNG draws and applies exactly
+   the state transitions of a cold run, which is what keeps cached and
+   uncached timelines bit-identical. *)
+
+let cache_probe t ~epoch entry =
+  match entry with
+  | Some ce when ce.ce_epoch = epoch ->
+      Essa_obs.Counter.incr t.m.c_cache_hits;
+      Some ce
+  | Some _ ->
+      Essa_obs.Counter.incr t.m.c_cache_misses;
+      Essa_obs.Counter.incr t.m.c_cache_invalidations;
+      None
+  | None ->
+      Essa_obs.Counter.incr t.m.c_cache_misses;
+      None
+
+(* Re-report the stored cold-run access statistics, so cached runs export
+   the same essa.ta.* / reduction counters as uncached ones. *)
+let cache_replay_counters t ce =
+  Essa_obs.Counter.add t.m.c_ta_sorted ce.ce_ta_sorted;
+  Essa_obs.Counter.add t.m.c_ta_random ce.ce_ta_random;
+  Essa_obs.Counter.add t.m.c_ta_seen ce.ce_ta_seen;
+  Essa_obs.Counter.add t.m.c_reduced_candidates ce.ce_reduced
+
+(* Entries own copies of the result arrays (summaries escape to the
+   caller), and hits hand out copies in turn. *)
+let cache_entry_of ~epoch s ~assignment ~prices =
+  {
+    ce_epoch = epoch;
+    ce_assignment = Array.copy assignment;
+    ce_prices = Array.copy prices;
+    ce_ta_sorted = s.wd_ta_sorted;
+    ce_ta_random = s.wd_ta_random;
+    ce_ta_seen = s.wd_ta_seen;
+    ce_reduced = s.wd_reduced;
+  }
+
 let run_auction ?deadline_ns t ~keyword =
   if keyword < 0 || keyword >= t.nk then
     invalid_arg (Printf.sprintf "Engine.run_auction: keyword %d" keyword);
@@ -1245,7 +1412,14 @@ let run_auction ?deadline_ns t ~keyword =
   end
   else begin
   let stamp = t0 in
-  Essa_strategy.Roi_fleet.on_auction t.fleet ~time:t.time ~keyword;
+  (* Bid-update decimation: the program-update pass runs on every
+     [update_every]-th auction of the keyword; in between, bids are
+     frozen (the fleet clock [t.time] still advanced, so pacing targets
+     accrue per auction exactly as at update_every = 1). *)
+  let c = t.au_counts.(keyword) in
+  t.au_counts.(keyword) <- c + 1;
+  if c mod t.update_every = 0 then
+    Essa_strategy.Roi_fleet.on_auction t.fleet ~time:t.time ~keyword;
   let stamp =
     let now = Essa_util.Timing.now_ns () in
     Essa_obs.Histogram.record t.m.h_program_eval (Int64.to_int (Int64.sub now stamp));
@@ -1268,6 +1442,35 @@ let run_auction ?deadline_ns t ~keyword =
   end
   else begin
   let s = t.scratch in
+  (* Probe the keyword's evaluation cache.  The epoch is read after
+     [on_auction] (the begin pass), so every bid move / list change /
+     retirement of this auction's inputs is already counted; winner
+     determination and pricing only read the fleet, so the epoch read
+     here still labels the entry correctly when it is stored below. *)
+  let epoch =
+    if t.cache_on then Essa_strategy.Roi_fleet.epoch_of t.fleet ~keyword else 0
+  in
+  let hit =
+    if t.cache_on then cache_probe t ~epoch t.caches.(keyword) else None
+  in
+  match hit with
+  | Some ce ->
+      cache_replay_counters t ce;
+      let stamp =
+        let now = Essa_util.Timing.now_ns () in
+        Essa_obs.Histogram.record t.m.h_winner_determination
+          (Int64.to_int (Int64.sub now stamp));
+        now
+      in
+      let stamp =
+        let now = Essa_util.Timing.now_ns () in
+        Essa_obs.Histogram.record t.m.h_pricing
+          (Int64.to_int (Int64.sub now stamp));
+        now
+      in
+      finish ~stamp ~assignment:(Array.copy ce.ce_assignment)
+        ~prices:(Array.copy ce.ce_prices) ~degraded:None
+  | None ->
   let assignment, view_advertisers, view_w, top =
     winner_determination t s ~keyword
   in
@@ -1285,6 +1488,8 @@ let run_auction ?deadline_ns t ~keyword =
     Essa_obs.Histogram.record t.m.h_pricing (Int64.to_int (Int64.sub now stamp));
     now
   in
+  if t.cache_on then
+    t.caches.(keyword) <- Some (cache_entry_of ~epoch s ~assignment ~prices);
   finish ~stamp ~assignment ~prices ~degraded:None
   end
   end
@@ -1382,11 +1587,31 @@ let run_partitioned_gen ?deadline_ns ?snapshot ?batch ~forced t ~keyword =
       | Some _ -> None
       | None -> ( match batch with Some b -> b.b_snap | None -> None)
     in
-    let kt, snap =
-      Essa_strategy.Roi_fleet.begin_auction_p t.fleet ~keyword ?snapshot
-        ?adopt ()
+    (* Bid-update decimation: the begin pass (spend snapshot, scheduled
+       churn, program updates) runs on every [update_every]-th auction of
+       the keyword; the auctions in between only tick the keyword clock
+       and evaluate against frozen bids.  A decimated auction records
+       [spend_snapshot = None], which is also how replay knows to skip
+       the begin pass: the live/replay decision is a pure function of the
+       recorded witness, never of the replaying engine's own counters. *)
+    let update =
+      match forced with
+      | Some _ -> snapshot <> None
+      | None ->
+          let c = p.p_au_count in
+          p.p_au_count <- c + 1;
+          c mod t.update_every = 0
     in
-    let spend_snapshot = Some (Array.copy snap) in
+    let kt, snap_opt =
+      if update then
+        let kt, snap =
+          Essa_strategy.Roi_fleet.begin_auction_p t.fleet ~keyword ?snapshot
+            ?adopt ()
+        in
+        (kt, Some snap)
+      else (Essa_strategy.Roi_fleet.tick_p t.fleet ~keyword, None)
+    in
+    let spend_snapshot = Option.map Array.copy snap_opt in
     let cheap =
       match forced with
       | Some tier -> tier = Some Cheap_allocation
@@ -1417,20 +1642,42 @@ let run_partitioned_gen ?deadline_ns ?snapshot ?batch ~forced t ~keyword =
         Essa_obs.Counter.incr t.m.c_degraded_cheap;
         (assignment, prices, Some Cheap_allocation)
       end
-      else if t.is_flat then begin
-        let assignment, top = winner_determination_flat t scr ~keyword in
-        let prices = price_flat t ~keyword ~assignment ~top in
-        (assignment, prices, None)
+      else begin
+        (* Probe the keyword's evaluation cache (lane-private, like the
+           scratch).  The epoch is read after [begin_auction_p], so this
+           auction's begin-pass mutations (classify bid moves, lazy
+           retirements, churn) are already counted. *)
+        let epoch =
+          if t.cache_on then Essa_strategy.Roi_fleet.epoch_of t.fleet ~keyword
+          else 0
+        in
+        let hit = if t.cache_on then cache_probe t ~epoch p.p_cache else None in
+        match hit with
+        | Some ce ->
+            cache_replay_counters t ce;
+            (Array.copy ce.ce_assignment, Array.copy ce.ce_prices, None)
+        | None ->
+            let assignment, prices =
+              if t.is_flat then begin
+                let assignment, top = winner_determination_flat t scr ~keyword in
+                let prices = price_flat t ~keyword ~assignment ~top in
+                (assignment, prices)
+              end
+              else
+                let assignment, view_advertisers, view_w, top =
+                  winner_determination t scr ~keyword
+                in
+                let prices =
+                  price_assignment t scr ~keyword ~assignment ~view_advertisers
+                    ~view_w ~top
+                in
+                (assignment, prices)
+            in
+            if t.cache_on then
+              p.p_cache <-
+                Some (cache_entry_of ~epoch scr ~assignment ~prices);
+            (assignment, prices, None)
       end
-      else
-        let assignment, view_advertisers, view_w, top =
-          winner_determination t scr ~keyword
-        in
-        let prices =
-          price_assignment t scr ~keyword ~assignment ~view_advertisers
-            ~view_w ~top
-        in
-        (assignment, prices, None)
     in
     let clicks = Array.make t.k false in
     let revenue = ref 0 in
@@ -1457,14 +1704,23 @@ let run_partitioned_gen ?deadline_ns ?snapshot ?batch ~forced t ~keyword =
     (match batch with
     | None -> ()
     | Some b ->
-        let arr =
-          match b.b_snap with
-          | Some arr -> arr
+        (* A decimated auction took no snapshot: mirror its charges into
+           the maintained one if the batch already has a basis, else leave
+           it unset (the batch's next begin pass reads the atomic cells
+           fresh, which by then include these charges). *)
+        match
+          (match b.b_snap with
+          | Some arr -> Some arr
           | None ->
-              let arr = Array.copy snap in
-              b.b_snap <- Some arr;
-              arr
-        in
+              Option.map
+                (fun snap ->
+                  let arr = Array.copy snap in
+                  b.b_snap <- Some arr;
+                  arr)
+                snap_opt)
+        with
+        | None -> ()
+        | Some arr ->
         Array.iteri
           (fun j0 cell ->
             match cell with

@@ -34,6 +34,8 @@ val create :
   ?parallel_threshold:int ->
   ?clock:(unit -> int64) ->
   ?partitioned:bool ->
+  ?cache:bool ->
+  ?update_every:int ->
   reserve:int ->
   pricing:pricing ->
   method_:method_ ->
@@ -80,14 +82,45 @@ val create :
     then be auctioned concurrently from different domains, as long as each
     keyword has exactly one owning lane.  Only [`Rh] and [`Rhtalu] support
     it, and [pool] cannot be combined with it.
+    [cache] enables the cross-auction evaluation cache (default: on,
+    unless the [ESSA_NO_CACHE] environment variable is set to anything
+    but [""] or ["0"]).  Per keyword, the engine keeps the last completed
+    winner-determination + pricing result together with the keyword's
+    dirty epoch ({!Essa_strategy.Roi_fleet.epoch_of}) at which it was
+    computed; a repeat auction whose begin pass left the epoch unchanged
+    reuses the assignment and prices instead of re-running the threshold
+    algorithm, graph reduction, Hungarian solve and pricing.  Clicks,
+    billing and win notifications always run per auction, and a hit
+    re-reports the stored cold-run [essa.ta.*] / reduction counters, so a
+    cached run is bit-identical to an uncached one — summaries, final
+    states {e and} access-statistic counters (property-tested).  Hits and
+    misses are counted in [essa.engine.cache_hits] /
+    [essa.engine.cache_misses] / [essa.engine.cache_invalidations].
+    Deadline-degraded tiers bypass the cache.
+    [update_every] (default 1) decimates bid updates: the program-update
+    pass runs on every [update_every]-th auction of a keyword, and the
+    auctions in between evaluate against frozen bids.  The fleet clock
+    still advances per auction, so pacing targets (rate × time) accrue
+    exactly as at 1 — only the frequency at which programs {e observe}
+    their spend and move bids changes.  This models the production regime
+    where queries arrive orders of magnitude faster than bid updates, and
+    is the regime the evaluation cache exploits: between update passes
+    the keyword's epoch is stable (clicked charges alone never bump it),
+    so repeat auctions hit.  On partitioned engines a decimated auction
+    records [spend_snapshot = None], which is also how {!replay_auction}
+    knows to skip the begin pass — replay follows the recorded witness,
+    never the replaying engine's own counters, so any [update_every]
+    replays any log.
     @raise Invalid_argument on shape mismatch, probabilities outside
-    [0,1], negative [parallel_threshold], advertiser states that
-    disagree on the number of keywords, or an unsupported [partitioned]
-    combination. *)
+    [0,1], negative [parallel_threshold], [update_every < 1], advertiser
+    states that disagree on the number of keywords, or an unsupported
+    [partitioned] combination. *)
 
 val create_flat :
   ?metrics:Essa_obs.Registry.t ->
   ?clock:(unit -> int64) ->
+  ?cache:bool ->
+  ?update_every:int ->
   reserve:int ->
   pricing:pricing ->
   ctr:float array array ->
@@ -112,6 +145,12 @@ val create_flat :
     with {!run_partitioned} / {!batch_start} exactly like other
     partitioned engines; {!replay_auction} witnesses are
     partition-slot-indexed ({!Essa_strategy.Roi_fleet.snapshot_index}).
+    [cache] is the evaluation cache and [update_every] the bid-update
+    decimation period, both as in {!create}: flat partitions key the
+    cache on the store's per-keyword epoch, which enroll/retire churn and
+    begin-pass bid moves bump; decimated auctions skip the begin pass
+    (including scheduled churn — churn lands on update ticks only) and
+    record [spend_snapshot = None].
 
     @raise Invalid_argument on a dense store, shape mismatch, [`Vcg]
     pricing (needs the dense pricing view), probabilities outside [0,1]
@@ -124,6 +163,10 @@ val time : t -> int
 
 val is_flat : t -> bool
 (** True for {!create_flat} engines. *)
+
+val cache_enabled : t -> bool
+(** Whether this engine runs with the cross-auction evaluation cache
+    (the resolved value of [?cache] / [ESSA_NO_CACHE]). *)
 
 type degrade =
   | Cheap_allocation
@@ -254,8 +297,9 @@ val metrics : t -> Essa_obs.Registry.t
     ([essa.auction.phase.*_ns], plus [essa.auction.total_ns]) give
     p50/p90/p99/max per-auction latencies; counters cover auctions,
     revenue, clicks, filled slots, threshold-algorithm access statistics
-    ([essa.ta.*]) and reduced-graph candidate counts
-    ([essa.reduction.candidates]).  Export with {!Essa_obs.Export}. *)
+    ([essa.ta.*]), reduced-graph candidate counts
+    ([essa.reduction.candidates]) and evaluation-cache traffic
+    ([essa.engine.cache_*]).  Export with {!Essa_obs.Export}. *)
 
 type phase_breakdown = {
   program_eval_ms : float;          (** cumulative, all auctions so far *)

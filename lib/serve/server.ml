@@ -311,6 +311,11 @@ let batcher_loop t ~max_batch ~c_batches ~h_batch_size =
         (match t.balance_map with
         | Some m
           when batches_done > 0 && batches_done mod t.rebalance_every = 0 ->
+            (* Close the load-accounting epoch at the same boundary the
+               assignment can change: the spread of this epoch's deltas
+               is attributed to the assignment that produced it, before
+               any keyword migrates. *)
+            Shard.fold_epoch t.tracker;
             Shard.map_rebalance m
         | _ -> ());
         Essa_obs.Counter.incr c_batches;

@@ -17,6 +17,20 @@ type tracker = {
   committed : Essa_obs.Counter.t array;
   imbalance : Essa_obs.Gauge.t;
   imbalance_committed : Essa_obs.Gauge.t;
+  (* Epoch folding (batcher only, between batches): counter values at the
+     last fold, so each epoch's spread is computed over the executions of
+     that epoch alone.  Cumulative totals are wrong the moment a keyword
+     migrates lanes: its pre-migration work stays on the old lane's total
+     while its post-migration work grows the new lane's, so one keyword's
+     load is counted on both sides of the spread — a hot keyword
+     ping-ponging between lanes reads as perfectly balanced cumulatively
+     even though every single epoch is maximally skewed. *)
+  exec_base : int array;
+  comm_base : int array;
+  mutable spread_ewma : float;
+  mutable spread_comm_ewma : float;
+  mutable epochs_folded : int;
+  mutable exec_folded_total : int;
 }
 
 let tracker ~metrics ~shards =
@@ -43,7 +57,18 @@ let tracker ~metrics ~shards =
         "Relative spread of per-lane committed counts, (max-min)/max in \
          [0,1] — the commit-side companion of essa.serve.lane_imbalance"
   in
-  { executed; committed; imbalance; imbalance_committed }
+  {
+    executed;
+    committed;
+    imbalance;
+    imbalance_committed;
+    exec_base = Array.make shards 0;
+    comm_base = Array.make shards 0;
+    spread_ewma = 0.0;
+    spread_comm_ewma = 0.0;
+    epochs_folded = 0;
+    exec_folded_total = 0;
+  }
 
 let note_executed tr ~lane = Essa_obs.Counter.incr tr.executed.(lane)
 let note_committed tr ~lane = Essa_obs.Counter.incr tr.committed.(lane)
@@ -161,8 +186,58 @@ let imbalance_of counts =
     let mn = Array.fold_left min max_int counts in
     float_of_int (mx - mn) /. float_of_int mx
 
+(* EWMA over per-epoch spreads: one noisy epoch (a short final batch, a
+   burst on one keyword) should not swing the published gauge, but the
+   steady-state level must track recent epochs, not the whole run. *)
+let spread_alpha = 0.3
+
+let fold_epoch tr =
+  let ex = executed_counts tr and cm = committed_counts tr in
+  let dex = Array.mapi (fun i c -> c - tr.exec_base.(i)) ex in
+  let total = Array.fold_left ( + ) 0 dex in
+  (* A runt epoch — under half the mean size of those folded so far —
+     is statistically meaningless (a 50-execution tail over 4 lanes
+     spreads ~0.6 on pure multinomial noise) yet would enter the EWMA
+     at full weight.  The only producer of runts is the final partial
+     epoch folded by [refresh_imbalance]; skip it. *)
+  let runt =
+    tr.epochs_folded > 0
+    && total * 2 * tr.epochs_folded < tr.exec_folded_total
+  in
+  if total > 0 && not runt then begin
+    let dcm = Array.mapi (fun i c -> c - tr.comm_base.(i)) cm in
+    let s = imbalance_of dex and sc = imbalance_of dcm in
+    if tr.epochs_folded = 0 then begin
+      tr.spread_ewma <- s;
+      tr.spread_comm_ewma <- sc
+    end
+    else begin
+      tr.spread_ewma <-
+        (spread_alpha *. s) +. ((1.0 -. spread_alpha) *. tr.spread_ewma);
+      tr.spread_comm_ewma <-
+        (spread_alpha *. sc) +. ((1.0 -. spread_alpha) *. tr.spread_comm_ewma)
+    end;
+    tr.epochs_folded <- tr.epochs_folded + 1;
+    tr.exec_folded_total <- tr.exec_folded_total + total;
+    Array.blit ex 0 tr.exec_base 0 (Array.length ex);
+    Array.blit cm 0 tr.comm_base 0 (Array.length cm);
+    Essa_obs.Gauge.set tr.imbalance tr.spread_ewma;
+    Essa_obs.Gauge.set tr.imbalance_committed tr.spread_comm_ewma
+  end
+
 let refresh_imbalance tr =
-  let v = imbalance_of (executed_counts tr) in
-  Essa_obs.Gauge.set tr.imbalance v;
-  Essa_obs.Gauge.set tr.imbalance_committed (imbalance_of (committed_counts tr));
-  v
+  if tr.epochs_folded = 0 then begin
+    (* No epoch boundary ever folded: the assignment is static (no
+       load-aware map), so no keyword ever migrated and the cumulative
+       totals are exactly the sum of honest per-epoch deltas. *)
+    let v = imbalance_of (executed_counts tr) in
+    Essa_obs.Gauge.set tr.imbalance v;
+    Essa_obs.Gauge.set tr.imbalance_committed
+      (imbalance_of (committed_counts tr));
+    v
+  end
+  else begin
+    (* Fold the final (possibly partial) epoch, then report the EWMA. *)
+    fold_epoch tr;
+    tr.spread_ewma
+  end

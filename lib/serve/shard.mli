@@ -96,6 +96,24 @@ val imbalance_of : int array -> float
 (** [(max - min) / max] of the counts; [0.] when all-zero or fewer than
     two lanes. *)
 
+val fold_epoch : tracker -> unit
+(** Close a rebalance epoch (batcher only, between batches): compute both
+    spreads over the executions {e of this epoch alone} — the counter
+    deltas since the previous fold — fold them into an EWMA and publish
+    it to the gauges.  Per-epoch deltas are the honest load measure under
+    a load-aware map: a keyword that migrates lanes leaves its history on
+    the old lane's cumulative total while growing the new lane's, so a
+    cumulative spread counts one keyword's work on both sides — a hot
+    keyword ping-ponging between lanes reads as balanced cumulatively
+    even when every epoch is maximally skewed.  An epoch with no
+    executions is skipped (no EWMA decay on idle folds), as is a {e
+    runt} epoch under half the mean size of those folded so far — the
+    final partial epoch {!refresh_imbalance} closes can be tiny, and a
+    tiny epoch's spread is multinomial noise that would otherwise enter
+    the EWMA at full weight. *)
+
 val refresh_imbalance : tracker -> float
-(** Recompute both spreads from the current counts, publish them to their
-    gauges, and return the executed-count one. *)
+(** Publish both spreads and return the executed-count one.  If
+    {!fold_epoch} has ever run, folds the final (possibly partial) epoch
+    and reports the per-epoch EWMA; otherwise — a static assignment, no
+    migration possible — reports the spread of the cumulative counts. *)

@@ -79,10 +79,10 @@ let fresh_states t =
         ~initial_bids:t.initial_bids.(i) ~premiums:t.premiums.(i)
         ?budget:t.budgets.(i) ~target_rate:t.targets.(i) ())
 
-let make_engine ?metrics ?pool ?parallel_threshold ?partitioned
-    ?(pricing = `Gsp) ?(reserve = 0) t ~method_ =
-  Essa.Engine.create ?metrics ?pool ?parallel_threshold ?partitioned ~reserve
-    ~pricing ~method_ ~ctr:t.ctr ~states:(fresh_states t)
+let make_engine ?metrics ?pool ?parallel_threshold ?partitioned ?cache
+    ?update_every ?(pricing = `Gsp) ?(reserve = 0) t ~method_ =
+  Essa.Engine.create ?metrics ?pool ?parallel_threshold ?partitioned ?cache
+    ?update_every ~reserve ~pricing ~method_ ~ctr:t.ctr ~states:(fresh_states t)
     ~user_seed:(t.seed lxor 0x5eed) ()
 
 let query_stream t ~seed =
@@ -292,8 +292,10 @@ let universe_store ?(churn = 0.0) ?churn_seed u () =
   install_churn u store ~rate:churn ~seed;
   store
 
-let make_flat_engine ?metrics ?(pricing = `Gsp) ?(reserve = 0) u ~store =
-  Essa.Engine.create_flat ?metrics ~reserve ~pricing ~ctr:u.u_ctr ~store
+let make_flat_engine ?metrics ?cache ?update_every ?(pricing = `Gsp)
+    ?(reserve = 0) u ~store =
+  Essa.Engine.create_flat ?metrics ?cache ?update_every ~reserve ~pricing
+    ~ctr:u.u_ctr ~store
     ~user_seed:(u.u_seed lxor 0x5eed) ()
 
 (* Zipf(s) keyword sampling: binary search of the cumulative weights. *)

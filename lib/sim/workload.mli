@@ -47,17 +47,21 @@ val make_engine :
   ?pool:Essa_util.Domain_pool.t ->
   ?parallel_threshold:int ->
   ?partitioned:bool ->
+  ?cache:bool ->
+  ?update_every:int ->
   ?pricing:Essa.Engine.pricing ->
   ?reserve:int -> t -> method_:Essa.Engine.method_ -> Essa.Engine.t
 (** Convenience: engine over fresh states ([pricing] defaults to GSP as
     in Section V); the user-click seed is derived from the workload seed,
     so engines created from the same workload see identical users.
-    [metrics], [pool], [parallel_threshold] and [partitioned] are
-    forwarded to {!Essa.Engine.create} — a shared registry lets every
-    engine of a sweep record into one snapshot, a pool parallelizes the
-    [`Rh] top-list scan on large fleets, and [partitioned] builds the
-    keyword-partitioned engine the serving layer's [`Per_keyword] commit
-    mode drives. *)
+    [metrics], [pool], [parallel_threshold], [partitioned], [cache] and
+    [update_every] are forwarded to {!Essa.Engine.create} — a shared
+    registry lets every engine of a sweep record into one snapshot, a
+    pool parallelizes the [`Rh] top-list scan on large fleets,
+    [partitioned] builds the keyword-partitioned engine the serving
+    layer's [`Per_keyword] commit mode drives, and [cache] /
+    [update_every] control the cross-auction evaluation cache and
+    bid-update decimation (see {!Essa.Engine.create}). *)
 
 val query_stream : t -> seed:int -> int Seq.t
 (** Infinite uniform keyword stream. *)
@@ -120,6 +124,8 @@ val universe_store :
 
 val make_flat_engine :
   ?metrics:Essa_obs.Registry.t ->
+  ?cache:bool ->
+  ?update_every:int ->
   ?pricing:Essa.Engine.pricing ->
   ?reserve:int -> universe -> store:Essa_strategy.State_store.t ->
   Essa.Engine.t

@@ -14,6 +14,7 @@ type t = {
   dirty : int array array;    (* nk × n: stack of advertisers to relocate *)
   dirty_len : int array;      (* per keyword *)
   is_dirty : bool array array;
+  version : int array;        (* per keyword: bumped by every real change *)
 }
 
 let debug_checks = ref false
@@ -36,6 +37,7 @@ let create ~num_keywords ~n ~bid =
       dirty = Array.make_matrix num_keywords n 0;
       dirty_len = Array.make num_keywords 0;
       is_dirty = Array.make_matrix num_keywords n false;
+      version = Array.make num_keywords 0;
     }
   in
   for kw = 0 to num_keywords - 1 do
@@ -63,6 +65,7 @@ let check_kw t keyword =
 let note t ~keyword ~adv ~bid =
   check_kw t keyword;
   if t.latest.(keyword).(adv) <> bid then begin
+    t.version.(keyword) <- t.version.(keyword) + 1;
     t.latest.(keyword).(adv) <- bid;
     if not t.is_dirty.(keyword).(adv) then begin
       t.is_dirty.(keyword).(adv) <- true;
@@ -79,6 +82,10 @@ let note_all t ~adv ~bid =
 let bid t ~keyword ~adv =
   check_kw t keyword;
   t.latest.(keyword).(adv)
+
+let version t ~keyword =
+  check_kw t keyword;
+  t.version.(keyword)
 
 (* Relocate [adv] (whose mirrored bid changed) inside the sorted arrays:
    one binary search for the target position over the still-sorted

@@ -43,6 +43,13 @@ val note_all : t -> adv:int -> bid:int -> unit
 val bid : t -> keyword:int -> adv:int -> int
 (** The mirrored current bid (reflects pending notes). *)
 
+val version : t -> keyword:int -> int
+(** A monotone per-keyword change counter: bumped by every {!note} that
+    actually changes a mirrored bid (redundant notes do not count).  Two
+    reads returning the same value bracket a window in which the
+    keyword's bid list was bit-identical — the dirty-epoch primitive the
+    engine's evaluation cache keys on. *)
+
 val to_seq_desc : t -> keyword:int -> (int * int) Seq.t
 (** All [(advertiser, bid)] pairs in canonical descending order.  Runs
     the pending repair for [keyword] first.  The sequence reads the live

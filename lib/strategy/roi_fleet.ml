@@ -4,6 +4,11 @@ type logical_state = {
   inc : Adjustment_list.t array;
   dec : Adjustment_list.t array;
   const_ : Adjustment_list.t array;
+  (* Per-keyword dirty epoch for the adjustment-list machinery: bumped by
+     every placement that structurally changes a keyword's lists (reseat
+     skips don't count — they change nothing the engine can observe).
+     Summed with the other monotone sources in [epoch_of]. *)
+  l_epoch : int array;
   tag : tag array array;                              (* kw × adv *)
   cell_version : int array array;                     (* kw × adv *)
   inc_bounds : (int * int) Essa_util.Min_heap.t array;  (* (adv, version) *)
@@ -87,6 +92,12 @@ type t = {
   nk : int;
   fleet_n : int;
   strategy : strategy;
+  (* Per-keyword fleet-level dirty overlay: bumped by mutation paths that
+     don't flow through a [Bid_index], a [logical_state] or a
+     [State_store] (bulk adjustments, clicked wins on the serial
+     strategies, every Sql auction).  [epoch_of] sums it with the
+     strategy's own monotone counters. *)
+  f_epochs : int array;
 }
 
 let n t = t.fleet_n
@@ -177,6 +188,7 @@ let effective_bid ls ~adv ~keyword =
    partitioned path. *)
 let place ls states ~adv ~keyword ~time ~effective ~amt =
   let st = states.(adv) in
+  ls.l_epoch.(keyword) <- ls.l_epoch.(keyword) + 1;
   ls.cell_version.(keyword).(adv) <- ls.cell_version.(keyword).(adv) + 1;
   let version = ls.cell_version.(keyword).(adv) in
   let maxbid = Roi_state.maxbid st ~keyword in
@@ -330,7 +342,8 @@ let naive states =
     Bid_index.create ~num_keywords:nk ~n:(Array.length states)
       ~bid:(fun ~keyword ~adv -> Roi_state.bid states.(adv) ~keyword)
   in
-  { states; nk; fleet_n = Array.length states; strategy = Naive index }
+  { states; nk; fleet_n = Array.length states; strategy = Naive index;
+    f_epochs = Array.make nk 0 }
 
 let keyword_name kw = Printf.sprintf "kw%d" kw
 
@@ -355,7 +368,8 @@ let sql states =
           ~target_rate:(Roi_state.target_rate st))
       states
   in
-  { states; nk; fleet_n = Array.length states; strategy = Sql { programs } }
+  { states; nk; fleet_n = Array.length states; strategy = Sql { programs };
+    f_epochs = Array.make nk 0 }
 
 (* Row layout: 0 maxbid, 1 roi, 2 bid, 3 relevance, 4 value, 5 gained,
    6 spent (the Fig. 4 Keywords columns that vary per keyword). *)
@@ -382,7 +396,9 @@ let tabular states =
     Bid_index.create ~num_keywords:nk ~n:(Array.length states)
       ~bid:(fun ~keyword ~adv -> V.to_int rows.(adv).(keyword).(2))
   in
-  { states; nk; fleet_n = Array.length states; strategy = Tabular { rows; out_bids; t_index } }
+  { states; nk; fleet_n = Array.length states;
+    strategy = Tabular { rows; out_bids; t_index };
+    f_epochs = Array.make nk 0 }
 
 let tabular_on_auction ts states ~time ~keyword =
   let module V = Essa_relalg.Value in
@@ -437,6 +453,7 @@ let logical_state_of states ~nk =
       inc = Array.init nk (fun _ -> Adjustment_list.create ());
       dec = Array.init nk (fun _ -> Adjustment_list.create ());
       const_ = Array.init nk (fun _ -> Adjustment_list.create ());
+      l_epoch = Array.make nk 0;
       tag = Array.make_matrix nk n In_const;
       cell_version = Array.make_matrix nk n 0;
       inc_bounds = Array.init nk (fun _ -> Essa_util.Min_heap.create ());
@@ -464,7 +481,8 @@ let logical states =
   for adv = 0 to n - 1 do
     install_time_trigger ls states ~adv ~time:1
   done;
-  { states; nk; fleet_n = Array.length states; strategy = Logical ls }
+  { states; nk; fleet_n = Array.length states; strategy = Logical ls;
+    f_epochs = Array.make nk 0 }
 
 let naive_p states =
   let nk = check_states states in
@@ -480,7 +498,8 @@ let naive_p states =
       np_retired = Array.make_matrix nk n false;
     }
   in
-  { states; nk; fleet_n = Array.length states; strategy = Naive_p np }
+  { states; nk; fleet_n = Array.length states; strategy = Naive_p np;
+    f_epochs = Array.make nk 0 }
 
 let logical_p states =
   let nk = check_states states in
@@ -497,7 +516,8 @@ let logical_p states =
       lp_seen = Array.make_matrix nk n 0;
     }
   in
-  { states; nk; fleet_n = Array.length states; strategy = Logical_p lp }
+  { states; nk; fleet_n = Array.length states; strategy = Logical_p lp;
+    f_epochs = Array.make nk 0 }
 
 let flat_p store =
   if not (State_store.is_flat store) then
@@ -507,6 +527,7 @@ let flat_p store =
     nk = State_store.num_keywords store;
     fleet_n = State_store.flat_n store;
     strategy = Flat_p store;
+    f_epochs = Array.make (State_store.num_keywords store) 0;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -529,6 +550,9 @@ let on_auction t ~time ~keyword =
         t.states
   | Tabular ts -> tabular_on_auction ts t.states ~time ~keyword
   | Sql { programs } ->
+      (* Interpreted programs mutate private tables we don't diff:
+         conservatively mark every auctioned keyword dirty. *)
+      t.f_epochs.(keyword) <- t.f_epochs.(keyword) + 1;
       let name = keyword_name keyword in
       Array.iter
         (fun program ->
@@ -537,7 +561,13 @@ let on_auction t ~time ~keyword =
         programs
   | Logical ls ->
       fire_time_triggers ls t.states ~time;
+      (* A bulk adjustment moves every member's effective bid; an empty
+         list's adjustment is unobservable, so don't count it. *)
+      if Adjustment_list.size ls.inc.(keyword) > 0 then
+        t.f_epochs.(keyword) <- t.f_epochs.(keyword) + 1;
       Adjustment_list.bulk_adjust ls.inc.(keyword) 1;
+      if Adjustment_list.size ls.dec.(keyword) > 0 then
+        t.f_epochs.(keyword) <- t.f_epochs.(keyword) + 1;
       Adjustment_list.bulk_adjust ls.dec.(keyword) (-1);
       fire_bound_triggers ls t.states ~time ~keyword
   | Naive_p _ | Logical_p _ | Flat_p _ ->
@@ -753,6 +783,28 @@ let store_of t =
   | Flat_p store -> store
   | _ -> invalid_arg "Roi_fleet: not a partitioned fleet"
 
+(* The keyword's dirty epoch: the sum of every monotone change counter
+   that can observe a mutation of this keyword's evaluation inputs.  Each
+   addend only ever grows, so the sum is monotone and changes whenever
+   any source does; equal reads bracket a window in which [sorted_views]
+   / the flat partition view were bit-identical.  Used by the engine's
+   per-keyword evaluation cache as its sole validity test. *)
+let epoch_of t ~keyword =
+  check_kw t keyword;
+  t.f_epochs.(keyword)
+  +
+  match t.strategy with
+  | Naive index -> Bid_index.version index ~keyword
+  | Tabular ts -> Bid_index.version ts.t_index ~keyword
+  | Logical ls -> ls.l_epoch.(keyword)
+  | Sql _ -> 0 (* on_auction bumps the overlay every time: never cached *)
+  | Naive_p np ->
+      Bid_index.version np.np_index ~keyword
+      + State_store.epoch_of np.np_store ~keyword
+  | Logical_p lp ->
+      lp.lp_base.l_epoch.(keyword) + State_store.epoch_of lp.lp_store ~keyword
+  | Flat_p store -> State_store.epoch_of store ~keyword
+
 let keyword_time t ~keyword =
   check_kw t keyword;
   State_store.time (store_of t) ~keyword
@@ -844,7 +896,11 @@ let begin_auction_p t ~keyword ?snapshot ?adopt () =
             lp_reseat lp t.states ~adv ~keyword ~time ~amt:seen.(adv))
         (Essa_util.Min_heap.pop_le lp.lp_time_triggers.(keyword)
            (float_of_int time));
+      if Adjustment_list.size lp.lp_base.inc.(keyword) > 0 then
+        t.f_epochs.(keyword) <- t.f_epochs.(keyword) + 1;
       Adjustment_list.bulk_adjust lp.lp_base.inc.(keyword) 1;
+      if Adjustment_list.size lp.lp_base.dec.(keyword) > 0 then
+        t.f_epochs.(keyword) <- t.f_epochs.(keyword) + 1;
       Adjustment_list.bulk_adjust lp.lp_base.dec.(keyword) (-1);
       fire_bound_triggers lp.lp_base t.states ~time ~keyword
         ~amt_of:(fun adv -> seen.(adv));

@@ -156,6 +156,22 @@ val snapshot_index : t -> keyword:int -> adv:int -> int option
 val snapshot_bids : t -> keyword:int -> int array
 (** Current bid of every advertiser on a keyword (test helper). *)
 
+val epoch_of : t -> keyword:int -> int
+(** The keyword's monotone {e dirty epoch} — the sum of every change
+    counter that can observe a mutation of the keyword's evaluation
+    inputs (bid moves through the {!Bid_index} mirrors, adjustment-list
+    placements and non-empty bulk adjustments, budget retirements,
+    flat-store enroll/retire churn).  Two equal reads bracket a window in
+    which {!sorted_views} (or the flat partition view) was bit-identical,
+    so a repeat auction on the keyword ranks, assigns and prices exactly
+    as the previous one: the validity test for the engine's per-keyword
+    evaluation cache.  Spend drift alone (charges) is not counted — it
+    reaches evaluation only through the next begin pass ({!on_auction} /
+    {!begin_auction_p}), which runs before every auction and bumps the
+    epoch iff something actually moved.  Works on every strategy; the
+    [sql] strategy conservatively bumps on every auction (never
+    cacheable). *)
+
 (** {2 Partitioned interface}
 
     Only valid on {!naive_p} / {!logical_p} fleets; other fleets raise

@@ -36,6 +36,12 @@ type part = {
      adopted snapshot is slot-indexed against the *old* membership, so it
      must be dropped in favour of a fresh atomic read. *)
   mutable p_dirty : bool;
+  (* The snapshot buffer still holds a faithful read of the live spend
+     cells, taken when the global charge clock read [p_snap_charge]; a
+     matching clock means no charge landed anywhere since, so the O(cap)
+     refill can be skipped.  Overrides and membership changes clear it. *)
+  mutable p_snap_valid : bool;
+  mutable p_snap_charge : int;
   slot_of : (int, int) Hashtbl.t;  (* global advertiser id -> local slot *)
 }
 
@@ -56,7 +62,23 @@ type layout =
   | Dense of { states : Roi_state.t array; snapshots : int array array }
   | Flat of flat
 
-type t = { clocks : int array; layout : layout }
+type t = {
+  clocks : int array;
+  (* Per-keyword dirty epochs: a monotone counter bumped by every mutation
+     that can change the keyword's next evaluation inputs — bid moves,
+     retirement transitions, enroll/retire churn, and that keyword's own
+     clicked charges.  Equal epochs bracket a window in which the
+     keyword's evaluation inputs were bit-identical; the engine's
+     evaluation cache keys on it.  Cross-keyword spend drift is *not*
+     counted here: it can only reach an auction through the begin-pass
+     classify step, whose bid moves bump the epoch themselves. *)
+  epochs : int array;
+  (* Global charge clock: bumped (after the spend write) by every charge.
+     Used only to skip refilling a spend snapshot that nothing could have
+     moved — never as a cache key. *)
+  charge_clock : int Atomic.t;
+  layout : layout;
+}
 
 let create states ~num_keywords =
   if Array.length states = 0 then invalid_arg "State_store.create: no advertisers";
@@ -64,6 +86,8 @@ let create states ~num_keywords =
   let n = Array.length states in
   {
     clocks = Array.make num_keywords 0;
+    epochs = Array.make num_keywords 0;
+    charge_clock = Atomic.make 0;
     layout =
       Dense
         { states; snapshots = Array.init num_keywords (fun _ -> Array.make n 0) };
@@ -87,6 +111,8 @@ let fresh_part () =
     live = 0;
     snap = Array.make initial_capacity 0;
     p_dirty = false;
+    p_snap_valid = false;
+    p_snap_charge = 0;
     slot_of = Hashtbl.create 16;
   }
 
@@ -102,6 +128,8 @@ let create_flat ~num_keywords ~n ~budgets ~targets () =
     targets;
   {
     clocks = Array.make num_keywords 0;
+    epochs = Array.make num_keywords 0;
+    charge_clock = Atomic.make 0;
     layout =
       Flat
         {
@@ -133,6 +161,14 @@ let time t ~keyword =
   check_kw t keyword;
   t.clocks.(keyword)
 
+let epoch_of t ~keyword =
+  check_kw t keyword;
+  t.epochs.(keyword)
+
+let bump_epoch t ~keyword =
+  check_kw t keyword;
+  t.epochs.(keyword) <- t.epochs.(keyword) + 1
+
 let tick t ~keyword =
   check_kw t keyword;
   t.clocks.(keyword) <- t.clocks.(keyword) + 1;
@@ -144,11 +180,18 @@ let spend t ~adv =
   | Flat f -> Atomic.get f.f_spent.(adv)
 
 let charge t ~adv ~price =
-  match t.layout with
-  | Dense d -> Roi_state.charge d.states.(adv) ~price
-  | Flat f ->
-      if price < 0 then invalid_arg "State_store.charge: negative price";
-      Atomic.fetch_and_add f.f_spent.(adv) price + price
+  let total =
+    match t.layout with
+    | Dense d -> Roi_state.charge d.states.(adv) ~price
+    | Flat f ->
+        if price < 0 then invalid_arg "State_store.charge: negative price";
+        Atomic.fetch_and_add f.f_spent.(adv) price + price
+  in
+  (* Bump *after* the spend write: a snapshot filler that read the old
+     clock before its fill will see the mismatch and refill, so a charge
+     racing a fill can never be skipped past. *)
+  Atomic.incr t.charge_clock;
+  total
 
 (* ------------------------------------------------------------------ *)
 (* Flat churn: free-list slot allocation.  Single-owner per keyword
@@ -209,6 +252,8 @@ let flat_enroll t ~keyword ~adv ~value ~maxbid ~bid ~premium =
   p.bretired.(slot) <- false;
   p.live <- p.live + 1;
   p.p_dirty <- true;
+  p.p_snap_valid <- false;
+  t.epochs.(keyword) <- t.epochs.(keyword) + 1;
   Hashtbl.replace p.slot_of adv slot
 
 let flat_retire t ~keyword ~adv =
@@ -231,6 +276,8 @@ let flat_retire t ~keyword ~adv =
       p.bretired.(slot) <- false;
       p.live <- p.live - 1;
       p.p_dirty <- true;
+      p.p_snap_valid <- false;
+      t.epochs.(keyword) <- t.epochs.(keyword) + 1;
       if p.free_len >= Array.length p.free then
         p.free <- grow_int p.free p.free_len 0;
       p.free.(p.free_len) <- slot;
@@ -322,12 +369,21 @@ let snapshot t ~keyword ?override () =
       | Some s ->
           if Array.length s <> Array.length buf then
             invalid_arg "State_store.snapshot: override length mismatch";
-          Array.blit s 0 buf 0 (Array.length buf)
+          Array.blit s 0 buf 0 (Array.length buf);
+          p.p_snap_valid <- false
       | None ->
-          for slot = 0 to Array.length buf - 1 do
-            let id = p.members.(slot) in
-            buf.(slot) <- (if id >= 0 then Atomic.get f.f_spent.(id) else 0)
-          done);
+          (* Read the charge clock *before* the fill: a charge landing
+             mid-fill bumps the clock after its write, so the stored value
+             can only under-claim and the next snapshot refills. *)
+          let clock = Atomic.get t.charge_clock in
+          if not (p.p_snap_valid && p.p_snap_charge = clock) then begin
+            for slot = 0 to Array.length buf - 1 do
+              let id = p.members.(slot) in
+              buf.(slot) <- (if id >= 0 then Atomic.get f.f_spent.(id) else 0)
+            done;
+            p.p_snap_valid <- true;
+            p.p_snap_charge <- clock
+          end);
       p.p_dirty <- false;
       buf
 
@@ -363,6 +419,7 @@ let flat_begin_auction t ~keyword ?override ?adopt () =
     | None -> snapshot t ~keyword ?override:adopt ()
   in
   let budgets = f.f_budget and targets = f.f_target in
+  let changed = ref false in
   for slot = 0 to p.p_len - 1 do
     let id = p.members.(slot) in
     if id >= 0 then begin
@@ -371,6 +428,7 @@ let flat_begin_auction t ~keyword ?override ?adopt () =
       if b >= 0 && amt >= b then begin
         if not p.bretired.(slot) then begin
           p.bretired.(slot) <- true;
+          if p.bids.(slot) <> 0 then changed := true;
           p.bids.(slot) <- 0
         end
       end
@@ -379,18 +437,28 @@ let flat_begin_auction t ~keyword ?override ?adopt () =
         let bid = p.bids.(slot) in
         let spent = float_of_int amt
         and budgeted = targets.(id) *. float_of_int time in
-        if spent < budgeted && bid < p.maxbids.(slot) then
-          p.bids.(slot) <- bid + 1
-        else if spent > budgeted && bid > 0 then p.bids.(slot) <- bid - 1
+        if spent < budgeted && bid < p.maxbids.(slot) then begin
+          p.bids.(slot) <- bid + 1;
+          changed := true
+        end
+        else if spent > budgeted && bid > 0 then begin
+          p.bids.(slot) <- bid - 1;
+          changed := true
+        end
       end
     end
   done;
+  if !changed then t.epochs.(keyword) <- t.epochs.(keyword) + 1;
   (time, snap)
 
 let flat_record_win t ~adv ~keyword ~price =
   check_kw t keyword;
   let f = flat_of t "flat_record_win" in
   ignore (charge t ~adv ~price);
+  (* No epoch bump here: a clicked charge reaches evaluation only through
+     the next begin pass, whose classify step bumps the epoch iff a bid
+     actually moves.  The keyword-local spent/gained tallies below are
+     reporting-only — [flat_begin_auction] never reads them. *)
   let p = f.parts.(keyword) in
   match Hashtbl.find_opt p.slot_of adv with
   | None -> ()  (* departed between execution and notification: spend only *)

@@ -68,6 +68,26 @@ val flat_n : t -> int
 val time : t -> keyword:int -> int
 (** The keyword's local auction clock (0 before its first auction). *)
 
+val epoch_of : t -> keyword:int -> int
+(** The keyword's monotone {e dirty epoch}: bumped by every mutation that
+    can change the keyword's next evaluation inputs — bid moves and
+    retirement transitions in {!flat_begin_auction}, {!flat_enroll} /
+    {!flat_retire} (churn included: the {!set_on_tick} hook goes through
+    them), and any {!bump_epoch} threaded in by a dense fleet.  Two equal
+    reads bracket a window in which a repeat auction on the keyword is
+    guaranteed to rank, assign and price identically — the validity test
+    for the engine's per-keyword evaluation cache.  Spend drift (charges,
+    from this keyword's clicks or any other's) is deliberately not
+    counted directly: a charge can only affect evaluation through a
+    begin-pass classify step, which runs before every auction and bumps
+    the epoch iff a bid actually moves.  Single-owner read, like
+    {!tick}. *)
+
+val bump_epoch : t -> keyword:int -> unit
+(** Mark the keyword dirty.  The dense fleets call this from their own
+    mutation paths ([begin_auction_p] bid moves, clicked wins, logical
+    adjustment changes); the flat store bumps internally. *)
+
 val tick : t -> keyword:int -> int
 (** Advance the keyword's clock and return the new time.  Single-owner:
     only the lane owning [keyword] may call this. *)

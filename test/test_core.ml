@@ -844,6 +844,82 @@ let test_engine_accounting () =
   Alcotest.(check int) "revenue accumulates" !total (Essa.Engine.total_revenue e);
   Alcotest.(check int) "auction count" 100 (Essa.Engine.auctions_run e)
 
+(* ------------------------------------------------------------------ *)
+(* Evaluation cache: bit-identity.  A cached engine must be
+   observationally indistinguishable from an uncached twin — identical
+   summaries AND identical counters (including essa.ta.*, whose cold-run
+   values a hit re-adds) over clicks, budget retirements and churn, at
+   any bid-update decimation. *)
+
+let counters_except_cache reg =
+  List.filter_map
+    (fun (e : Essa_obs.Registry.entry) ->
+      match e.metric with
+      | Essa_obs.Registry.Counter c
+        when not (String.starts_with ~prefix:"essa.engine.cache" e.name) ->
+          Some (e.name, Essa_obs.Counter.value c)
+      | _ -> None)
+    (Essa_obs.Registry.entries reg)
+  |> List.sort compare
+
+let prop_cache_bit_identity_serial =
+  qtest ~count:12 "cache on = cache off (serial, Rh + Rhtalu)"
+    QCheck2.Gen.(pair (int_range 0 10_000) (int_range 1 16))
+    (fun (seed, update_every) ->
+      let wl =
+        Essa_sim.Workload.section5 ~seed ~n:40 ~k:4 ~budgeted_fraction:0.3 ()
+      in
+      let q = Essa_sim.Workload.queries wl ~seed:(seed + 1) ~count:300 in
+      List.for_all
+        (fun method_ ->
+          let r_off = Essa_obs.Registry.create ()
+          and r_on = Essa_obs.Registry.create () in
+          let e_off =
+            Essa_sim.Workload.make_engine ~metrics:r_off ~cache:false
+              ~update_every wl ~method_
+          and e_on =
+            Essa_sim.Workload.make_engine ~metrics:r_on ~cache:true
+              ~update_every wl ~method_
+          in
+          Array.for_all
+            (fun kw ->
+              Essa.Engine.run_auction e_off ~keyword:kw
+              = Essa.Engine.run_auction e_on ~keyword:kw)
+            q
+          && counters_except_cache r_off = counters_except_cache r_on
+          (* Under decimation the cache must actually hit, or bit-identity
+             here proves nothing. *)
+          && (update_every < 4
+             ||
+             match Essa_obs.Registry.find r_on "essa.engine.cache_hits" with
+             | Some (Essa_obs.Registry.Counter c) ->
+                 Essa_obs.Counter.value c > 0
+             | _ -> false))
+        [ `Rh; `Rhtalu ])
+
+let prop_cache_bit_identity_flat =
+  qtest ~count:10 "cache on = cache off (flat partitioned, churn)"
+    QCheck2.Gen.(pair (int_range 0 10_000) (int_range 1 16))
+    (fun (seed, update_every) ->
+      let u =
+        Essa_sim.Workload.universe ~keywords:12 ~n:60 ~zipf_s:1.1
+          ~budgeted_fraction:0.3 ~seed ()
+      in
+      let q = Essa_sim.Workload.universe_queries u ~seed:(seed + 1) ~count:300 in
+      let engine cache metrics =
+        Essa_sim.Workload.make_flat_engine ~metrics ~cache ~update_every u
+          ~store:(Essa_sim.Workload.universe_store ~churn:0.05 u ())
+      in
+      let r_off = Essa_obs.Registry.create ()
+      and r_on = Essa_obs.Registry.create () in
+      let e_off = engine false r_off and e_on = engine true r_on in
+      Array.for_all
+        (fun kw ->
+          Essa.Engine.run_partitioned e_off ~keyword:kw
+          = Essa.Engine.run_partitioned e_on ~keyword:kw)
+        q
+      && counters_except_cache r_off = counters_except_cache r_on)
+
 let () =
   Alcotest.run "essa_core"
     [
@@ -920,4 +996,6 @@ let () =
             test_engine_every_auction_optimal;
           Alcotest.test_case "golden revenue" `Quick test_engine_golden_revenue;
         ] );
+      ( "cache",
+        [ prop_cache_bit_identity_serial; prop_cache_bit_identity_flat ] );
     ]

@@ -651,6 +651,63 @@ let test_imbalance_from_executed () =
     "committed spread published separately" 0.0
     (gauge "essa.serve.lane_imbalance_committed")
 
+let test_imbalance_epoch_fold_migration () =
+  (* Regression: the spread must fold per-epoch executed DELTAS, not
+     cumulative totals.  Force the pathological migration: a hot keyword
+     (100 executions/epoch) ping-pongs between the two lanes at every
+     rebalance boundary.  Cumulatively each lane ends with the same total
+     — the migrated keyword's work is counted on both sides — so the old
+     cumulative spread reads 0.0 (perfectly balanced) even though every
+     single epoch ran maximally skewed. *)
+  let metrics = Essa_obs.Registry.create () in
+  let tr = Shard.tracker ~metrics ~shards:2 in
+  for epoch = 0 to 3 do
+    let lane = epoch mod 2 in
+    for _ = 1 to 100 do
+      Shard.note_executed tr ~lane;
+      Shard.note_committed tr ~lane
+    done;
+    Shard.fold_epoch tr
+  done;
+  Alcotest.(check (float 1e-9))
+    "cumulative totals hide the skew" 0.0
+    (Shard.imbalance_of (Shard.executed_counts tr));
+  Alcotest.(check (float 1e-9))
+    "per-epoch fold reports it" 1.0 (Shard.refresh_imbalance tr);
+  let gauge name =
+    match Essa_obs.Registry.find metrics name with
+    | Some (Essa_obs.Registry.Gauge g) -> Essa_obs.Gauge.value g
+    | _ -> Alcotest.failf "missing gauge %s" name
+  in
+  Alcotest.(check (float 1e-9))
+    "gauge carries the per-epoch spread" 1.0
+    (gauge "essa.serve.lane_imbalance");
+  (* An idle fold (no executions since the last boundary) must not decay
+     the EWMA toward 0 — refresh after quiet folds still reports 1.0. *)
+  Shard.fold_epoch tr;
+  Shard.fold_epoch tr;
+  Alcotest.(check (float 1e-9))
+    "idle epochs don't decay the spread" 1.0
+    (Shard.refresh_imbalance tr);
+  (* Balanced epochs fold the EWMA back down. *)
+  for _ = 1 to 8 do
+    for _ = 1 to 50 do
+      Shard.note_executed tr ~lane:0;
+      Shard.note_executed tr ~lane:1
+    done;
+    Shard.fold_epoch tr
+  done;
+  Alcotest.(check bool) "balanced epochs pull the EWMA down" true
+    (Shard.refresh_imbalance tr < 0.1);
+  (* A runt final epoch (a handful of executions against a ~100/epoch
+     history) is multinomial noise, not signal: even a maximally skewed
+     runt must not yank the EWMA. *)
+  let before = Shard.refresh_imbalance tr in
+  for _ = 1 to 3 do Shard.note_executed tr ~lane:0 done;
+  Alcotest.(check (float 1e-9))
+    "runt partial epoch is skipped" before
+    (Shard.refresh_imbalance tr)
+
 let test_imbalance_all_zero () =
   (* Regression: before any lane has executed anything, the spread is a
      clean 0.0 — never NaN from the 0/0 division. *)
@@ -792,6 +849,56 @@ let test_balance_forced_rebalance () =
         true report.spend_conserved)
     pk_worker_counts
 
+(* The evaluation cache under serving: cache on + decimated bid updates
+   ([update_every] > 1) through the per-keyword commit mode must leave
+   the replay contract intact — and since decimated auctions record
+   [spend_snapshot = None] and replay dispatches on that witness, a
+   fresh engine with a *different* update_every (and cache off) replays
+   the log bit-for-bit. *)
+let test_cache_decimated_replay () =
+  let u =
+    Essa_sim.Workload.universe ~keywords:12 ~n:60 ~zipf_s:1.1
+      ~budgeted_fraction:0.25 ~seed:91 ()
+  in
+  let queries = Essa_sim.Workload.universe_queries u ~seed:92 ~count:300 in
+  let count = Array.length queries in
+  List.iter
+    (fun workers ->
+      let mk_engine ~cache ~update_every =
+        Essa_sim.Workload.make_flat_engine ~cache ~update_every u
+          ~store:(Essa_sim.Workload.universe_store ~churn:0.05 u ())
+      in
+      let engine = mk_engine ~cache:true ~update_every:8 in
+      let server =
+        Server.create ~commit:`Per_keyword ~workers ~max_batch:16
+          ~queue_capacity:count ~engine ()
+      in
+      Array.iter
+        (fun kw ->
+          match Server.submit server ~keyword:kw with
+          | Ingress.Accepted _ -> ()
+          | Ingress.Shed | Ingress.Closed ->
+              Alcotest.fail "unexpected rejection")
+        queries;
+      let stats = Server.stop server in
+      let label fmt = Printf.sprintf fmt workers in
+      Alcotest.(check int) (label "committed (workers=%d)") count stats.committed;
+      let fresh = mk_engine ~cache:false ~update_every:3 in
+      let report = Replay.check_server server ~fresh in
+      Alcotest.(check int)
+        (label "replay covers every commit (workers=%d)")
+        count report.auctions_checked;
+      Alcotest.(check bool)
+        (label "cached decimated log replays bit-for-bit (workers=%d)")
+        true report.replay_ok;
+      Alcotest.(check bool)
+        (label "keyword clocks monotone (workers=%d)")
+        true report.clocks_monotone;
+      Alcotest.(check bool)
+        (label "spend conserved (workers=%d)")
+        true report.spend_conserved)
+    pk_worker_counts
+
 (* ------------------------------------------------------------------ *)
 (* Global golden pin *)
 
@@ -923,6 +1030,8 @@ let () =
             test_imbalance_from_executed;
           Alcotest.test_case "imbalance all-zero is 0.0" `Quick
             test_imbalance_all_zero;
+          Alcotest.test_case "imbalance folds per-epoch deltas (migration)"
+            `Quick test_imbalance_epoch_fold_migration;
         ] );
       ( "balance",
         [
@@ -930,6 +1039,8 @@ let () =
             test_shard_map_rebalance;
           Alcotest.test_case "forced rebalance keeps FIFO + replay" `Quick
             test_balance_forced_rebalance;
+          Alcotest.test_case "cached decimated serving replays" `Quick
+            test_cache_decimated_replay;
         ] );
       ( "load_gen",
         [

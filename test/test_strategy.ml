@@ -1099,6 +1099,240 @@ let prop_ramp_ta_equals_naive =
       done;
       !ok)
 
+(* ------------------------------------------------------------------ *)
+(* Dirty epochs: the validity test of the engine's evaluation cache.
+   Two halves.  Safety: whenever [epoch_of] reads equal across a window
+   of operations, the keyword's bids were bit-identical at both reads —
+   a cache hit can never serve stale bids.  Liveness: every mutation
+   path (enroll, retire, begin-pass bid move, budget retirement,
+   adjustment-list move) bumps it, while a bare charge — which cannot
+   affect evaluation until the next begin pass — does not. *)
+
+let prop_epoch_stability_serial =
+  qtest ~count:40 "equal epochs bracket identical bids (serial fleets)"
+    QCheck2.Gen.(int_range 0 100_000)
+    (fun seed ->
+      let rng = Essa_util.Rng.create seed in
+      let n = 2 + Essa_util.Rng.int rng 10 in
+      let nk = 1 + Essa_util.Rng.int rng 3 in
+      let base =
+        Array.init n (fun _ ->
+            let values = Array.init nk (fun _ -> 1 + Essa_util.Rng.int rng 50) in
+            let maxv = Array.fold_left max 1 values in
+            Roi_state.create ~values
+              ?budget:
+                (if Essa_util.Rng.bool rng then
+                   Some (5 + Essa_util.Rng.int rng 60)
+                 else None)
+              ~target_rate:(Essa_util.Rng.float_in rng 1.0 (float_of_int maxv))
+              ())
+      in
+      let fleets =
+        List.map
+          (fun make -> make (Array.map Roi_state.copy base))
+          [ Roi_fleet.naive; Roi_fleet.tabular; Roi_fleet.logical ]
+      in
+      let ok = ref true in
+      let observe f kw = (Roi_fleet.epoch_of f ~keyword:kw, Roi_fleet.snapshot_bids f ~keyword:kw) in
+      let last = List.map (fun f -> Array.init nk (observe f)) fleets in
+      for time = 1 to 120 do
+        let kw = Essa_util.Rng.int rng nk in
+        List.iter (fun f -> Roi_fleet.on_auction f ~time ~keyword:kw) fleets;
+        List.iter
+          (fun adv ->
+            let clicked = Essa_util.Rng.bool rng in
+            let price = Essa_util.Rng.int rng 25 in
+            List.iter
+              (fun f ->
+                Roi_fleet.record_win f ~time ~adv ~keyword:kw ~price ~clicked)
+              fleets)
+          (List.sort_uniq compare
+             (List.init (Essa_util.Rng.int rng 3) (fun _ ->
+                  Essa_util.Rng.int rng n)));
+        List.iter2
+          (fun f prev ->
+            for kw = 0 to nk - 1 do
+              let (e0, bids0) = prev.(kw) in
+              let (e1, bids1) = observe f kw in
+              if e1 = e0 && bids1 <> bids0 then ok := false;
+              if e1 < e0 then ok := false;
+              prev.(kw) <- (e1, bids1)
+            done)
+          fleets last
+      done;
+      !ok)
+
+let prop_epoch_stability_partitioned =
+  qtest ~count:40 "equal epochs bracket identical bids (partitioned + flat)"
+    QCheck2.Gen.(int_range 0 100_000)
+    (fun seed ->
+      let rng = Essa_util.Rng.create seed in
+      let n = 2 + Essa_util.Rng.int rng 10 in
+      let nk = 1 + Essa_util.Rng.int rng 3 in
+      let values =
+        Array.init n (fun _ ->
+            Array.init nk (fun _ -> 1 + Essa_util.Rng.int rng 50))
+      in
+      let budgets =
+        Array.init n (fun _ ->
+            if Essa_util.Rng.bool rng then 5 + Essa_util.Rng.int rng 60 else -1)
+      in
+      let targets =
+        Array.init n (fun i ->
+            let maxv = Array.fold_left max 1 values.(i) in
+            Essa_util.Rng.float_in rng 1.0 (float_of_int maxv))
+      in
+      let states () =
+        Array.init n (fun i ->
+            Roi_state.create ~values:values.(i)
+              ?budget:(if budgets.(i) >= 0 then Some budgets.(i) else None)
+              ~target_rate:targets.(i) ())
+      in
+      let store = State_store.create_flat ~num_keywords:nk ~n ~budgets ~targets () in
+      for adv = 0 to n - 1 do
+        for kw = 0 to nk - 1 do
+          let v = values.(adv).(kw) in
+          State_store.flat_enroll store ~keyword:kw ~adv ~value:v ~maxbid:v
+            ~bid:(v / 2) ~premium:0
+        done
+      done;
+      let fleets =
+        [
+          Roi_fleet.naive_p (states ());
+          Roi_fleet.logical_p (states ());
+          Roi_fleet.flat_p store;
+        ]
+      in
+      let ok = ref true in
+      let observe f kw =
+        ( Roi_fleet.epoch_of f ~keyword:kw,
+          Array.init n (fun adv -> Roi_fleet.bid f ~adv ~keyword:kw) )
+      in
+      let last = List.map (fun f -> Array.init nk (observe f)) fleets in
+      for _ = 1 to 120 do
+        let kw = Essa_util.Rng.int rng nk in
+        List.iter
+          (fun f -> ignore (Roi_fleet.begin_auction_p f ~keyword:kw ()))
+          fleets;
+        List.iter
+          (fun adv ->
+            let clicked = Essa_util.Rng.bool rng in
+            let price = Essa_util.Rng.int rng 25 in
+            List.iter
+              (fun f ->
+                Roi_fleet.record_win_p f ~adv ~keyword:kw ~price ~clicked)
+              fleets)
+          (List.sort_uniq compare
+             (List.init (Essa_util.Rng.int rng 3) (fun _ ->
+                  Essa_util.Rng.int rng n)));
+        List.iter2
+          (fun f prev ->
+            for kw = 0 to nk - 1 do
+              let (e0, bids0) = prev.(kw) in
+              let (e1, bids1) = observe f kw in
+              if e1 = e0 && bids1 <> bids0 then ok := false;
+              if e1 < e0 then ok := false;
+              prev.(kw) <- (e1, bids1)
+            done)
+          fleets last
+      done;
+      !ok)
+
+let test_epoch_bumps_flat () =
+  (* Liveness on the flat store, one mutation path at a time. *)
+  let store =
+    State_store.create_flat ~num_keywords:2 ~n:8 ~budgets:(Array.make 8 (-1))
+      ~targets:(Array.make 8 40.0) ()
+  in
+  let e () = State_store.epoch_of store ~keyword:0 in
+  let e0 = e () in
+  State_store.flat_enroll store ~keyword:0 ~adv:0 ~value:10 ~maxbid:10 ~bid:5
+    ~premium:0;
+  let e1 = e () in
+  Alcotest.(check bool) "enroll bumps" true (e1 > e0);
+  (* Underspending (target 40/auction, spend 0) and below maxbid: the
+     begin pass moves the bid up, so it must bump. *)
+  let e_pre = e () in
+  ignore (State_store.flat_begin_auction store ~keyword:0 ());
+  Alcotest.(check bool) "begin-pass bid move bumps" true (e () > e_pre);
+  (* A bare charge does not reach evaluation until the next begin pass:
+     no bump. *)
+  let e_pre = e () in
+  ignore (State_store.charge store ~adv:0 ~price:3);
+  State_store.flat_record_win store ~adv:0 ~keyword:0 ~price:3;
+  Alcotest.(check int) "bare charge does not bump" e_pre (e ());
+  (* A begin pass where no bid can move (bid pinned at maxbid by a huge
+     spend lead... use retire instead: structural mutation bumps). *)
+  let e_pre = e () in
+  State_store.flat_retire store ~keyword:0 ~adv:0;
+  Alcotest.(check bool) "retire bumps" true (e () > e_pre);
+  (* Keyword isolation: keyword 1 never moved. *)
+  Alcotest.(check int) "other keyword untouched" 0
+    (State_store.epoch_of store ~keyword:1);
+  (* The explicit dense-fleet hook. *)
+  let e_pre = e () in
+  State_store.bump_epoch store ~keyword:0;
+  Alcotest.(check int) "bump_epoch bumps by one" (e_pre + 1) (e ())
+
+let test_epoch_bumps_flat_budget_retirement () =
+  (* Budget exhaustion is observed lazily by the begin pass: the pass
+     that zeroes the bid must bump the epoch. *)
+  let store =
+    State_store.create_flat ~num_keywords:1 ~n:1 ~budgets:[| 5 |]
+      ~targets:[| 1.0 |] ()
+  in
+  State_store.flat_enroll store ~keyword:0 ~adv:0 ~value:10 ~maxbid:10 ~bid:4
+    ~premium:0;
+  ignore (State_store.charge store ~adv:0 ~price:50);
+  let e_pre = State_store.epoch_of store ~keyword:0 in
+  ignore (State_store.flat_begin_auction store ~keyword:0 ());
+  Alcotest.(check bool) "lazy retirement bumps" true
+    (State_store.epoch_of store ~keyword:0 > e_pre);
+  Alcotest.(check int) "bid zeroed" 0 (State_store.flat_bid store ~keyword:0 ~adv:0);
+  (* Once retired, further begin passes change nothing: no bump. *)
+  let e_pre = State_store.epoch_of store ~keyword:0 in
+  ignore (State_store.flat_begin_auction store ~keyword:0 ());
+  Alcotest.(check int) "stable after retirement" e_pre
+    (State_store.epoch_of store ~keyword:0)
+
+let test_epoch_bumps_churn_tick () =
+  (* Scheduled churn flows through flat_enroll/flat_retire inside the
+     on-tick hook: a churn tick that moves membership bumps the epoch. *)
+  let store =
+    State_store.create_flat ~num_keywords:1 ~n:4 ~budgets:(Array.make 4 (-1))
+      ~targets:(Array.make 4 1.0) ()
+  in
+  (* Pin the lone enrollee at maxbid with an over-pace spend so the
+     classify step never moves its bid — any bump is the churn's. *)
+  State_store.flat_enroll store ~keyword:0 ~adv:0 ~value:10 ~maxbid:10 ~bid:0
+    ~premium:0;
+  ignore (State_store.charge store ~adv:0 ~price:1000);
+  State_store.set_on_tick store
+    (Some
+       (fun ~keyword ~time ->
+         if time = 2 then
+           State_store.flat_enroll store ~keyword ~adv:1 ~value:7 ~maxbid:7
+             ~bid:7 ~premium:0));
+  ignore (State_store.flat_begin_auction store ~keyword:0 ());
+  let e_pre = State_store.epoch_of store ~keyword:0 in
+  ignore (State_store.flat_begin_auction store ~keyword:0 ());  (* time 2 *)
+  Alcotest.(check bool) "churn arrival bumps" true
+    (State_store.epoch_of store ~keyword:0 > e_pre)
+
+let test_epoch_bumps_dense_adjustment () =
+  (* The serial logical fleet's bulk adjustment moves every member of a
+     non-empty inc/dec list: on_auction must bump.  One underspending
+     advertiser below maxbid sits in the inc list. *)
+  let st =
+    Roi_state.create ~values:[| 10 |] ~initial_bids:[| 2 |] ~target_rate:9.0 ()
+  in
+  let fleet = Roi_fleet.logical [| st |] in
+  let e0 = Roi_fleet.epoch_of fleet ~keyword:0 in
+  Roi_fleet.on_auction fleet ~time:1 ~keyword:0;
+  Alcotest.(check bool) "bulk adjustment bumps" true
+    (Roi_fleet.epoch_of fleet ~keyword:0 > e0);
+  Alcotest.(check int) "and moved the bid" 3 (Roi_fleet.bid fleet ~adv:0 ~keyword:0)
+
 let test_ramp_ta_sublinear_on_skew () =
   (* One advertiser with a huge budgeted ramp dominates: TA must finish
      early even with four lists. *)
@@ -1177,6 +1411,19 @@ let () =
             test_flat_budget_retirement;
           Alcotest.test_case "interface guards" `Quick
             test_flat_interface_guards;
+        ] );
+      ( "epoch",
+        [
+          prop_epoch_stability_serial;
+          prop_epoch_stability_partitioned;
+          Alcotest.test_case "flat mutation paths bump" `Quick
+            test_epoch_bumps_flat;
+          Alcotest.test_case "flat lazy retirement bumps" `Quick
+            test_epoch_bumps_flat_budget_retirement;
+          Alcotest.test_case "churn tick bumps" `Quick
+            test_epoch_bumps_churn_tick;
+          Alcotest.test_case "bulk adjustment bumps" `Quick
+            test_epoch_bumps_dense_adjustment;
         ] );
       ( "ramp_fleet",
         [
