@@ -58,10 +58,17 @@ let universe_of_string s =
       | _ -> fail ())
   | _ -> fail ()
 
+let fsync_of_string = function
+  | "always" -> `Always
+  | "never" -> `Never
+  | other ->
+      prerr_endline ("unknown fsync policy " ^ other ^ " (expected always | never)");
+      exit 2
+
 let run n slots keywords method_ seed workers queue_capacity max_batch auctions
     rate window pool_size parallel_threshold metrics fault_specs
     deadline_budget_ms max_restarts commit replay_check universe churn balance
-    rebalance_every cache update_every =
+    rebalance_every cache update_every wal_dir fsync wal_snapshot_every recover =
   let faults =
     match
       List.fold_left
@@ -134,6 +141,25 @@ let run n slots keywords method_ seed workers queue_capacity max_batch auctions
     prerr_endline "--update-every must be >= 1";
     exit 2
   end;
+  let fsync = fsync_of_string fsync in
+  if wal_dir <> None && not partitioned then begin
+    prerr_endline "--wal requires --commit per-keyword (or --universe)";
+    exit 2
+  end;
+  if wal_snapshot_every < 0 then begin
+    prerr_endline "--wal-snapshot-every must be >= 0";
+    exit 2
+  end;
+  if recover && wal_dir = None then begin
+    prerr_endline "--recover requires --wal";
+    exit 2
+  end;
+  if recover && rate <> None then begin
+    prerr_endline
+      "--recover requires the closed-loop client (the resubmission set is \
+       derived from the deterministic trace; drop --rate)";
+    exit 2
+  end;
   let registry = Essa_obs.Registry.create () in
   let with_opt_pool f =
     match pool_size with
@@ -141,65 +167,124 @@ let run n slots keywords method_ seed workers queue_capacity max_batch auctions
     | Some d -> Essa_util.Domain_pool.with_pool d (fun pool -> f (Some pool))
   in
   with_opt_pool (fun pool ->
-      (* Both modes produce the same four things: the serving engine, the
-         keyword stream, a thunk building the bit-identical fresh engine
-         for --replay-check, and a header line. *)
-      let engine, keywords_seq, fresh_engine, describe =
+      (* Both modes produce the same five things: an engine constructor
+         (over an optional recovered store image), the keyword stream and
+         its materialized-trace form, a thunk building the bit-identical
+         fresh engine for --replay-check, and a header line. *)
+      let engine_of, keywords_seq, trace_of, fresh_engine, describe, nkw =
         match universe_spec with
         | Some (ukw, un, uzs) ->
             let u =
               Essa_sim.Workload.universe ~slots ~keywords:ukw ~n:un
                 ~zipf_s:uzs ~seed ()
             in
-            let engine =
+            let engine_of snap =
+              let store =
+                match snap with
+                | None -> Essa_sim.Workload.universe_store ~churn u ()
+                | Some s ->
+                    (* The snapshot carries the tick-RNG positions, so the
+                       re-attached churn hook resumes mid-stream. *)
+                    let store = Essa_strategy.State_store.of_snapshot_flat s in
+                    if churn > 0.0 then
+                      Essa_sim.Workload.universe_attach_churn u store ~churn;
+                    store
+              in
               Essa_sim.Workload.make_flat_engine ~metrics:registry ?cache
-                ~update_every u
-                ~store:(Essa_sim.Workload.universe_store ~churn u ())
+                ~update_every u ~store
             in
-            ( engine,
+            ( engine_of,
               Essa_sim.Workload.universe_query_stream u ~seed:(seed + 1),
+              (fun count ->
+                Essa_sim.Workload.universe_queries u ~seed:(seed + 1) ~count),
               (fun () ->
                 Essa_sim.Workload.make_flat_engine ?cache ~update_every u
                   ~store:(Essa_sim.Workload.universe_store ~churn u ())),
-              fun () ->
+              (fun () ->
                 Format.printf
                   "universe: keywords=%d n=%d zipf=%.2f churn=%.3f slots=%d \
                    seed=%d@."
-                  ukw un uzs churn slots seed )
+                  ukw un uzs churn slots seed),
+              ukw )
         | None ->
             let workload =
               Essa_sim.Workload.section5 ~seed ~n ~k:slots
                 ~num_keywords:keywords ()
             in
-            let engine =
+            let engine_of snap =
+              let states =
+                Option.map Essa_strategy.State_store.dense_states snap
+              in
               Essa_sim.Workload.make_engine ~metrics:registry ?pool
-                ?parallel_threshold ~partitioned ?cache ~update_every workload
-                ~method_
+                ?parallel_threshold ~partitioned ?cache ~update_every ?states
+                workload ~method_
             in
-            ( engine,
+            ( engine_of,
               Essa_sim.Workload.query_stream workload ~seed:(seed + 1),
+              (fun count ->
+                Essa_sim.Workload.queries workload ~seed:(seed + 1) ~count),
               (fun () ->
                 Essa_sim.Workload.make_engine ~partitioned ?cache ~update_every
                   workload ~method_),
-              fun () ->
+              (fun () ->
                 Format.printf "workload: n=%d slots=%d keywords=%d seed=%d@." n
-                  slots keywords seed )
+                  slots keywords seed),
+              keywords )
+      in
+      let recovered =
+        if recover then
+          Some
+            (Essa_serve.Recovery.restore
+               ~dir:(Option.get wal_dir)
+               ~num_keywords:nkw ~engine_of ())
+        else None
+      in
+      let engine =
+        match recovered with
+        | Some (r : Essa_serve.Recovery.restored) -> r.engine
+        | None -> engine_of None
+      in
+      let wal_writer =
+        Option.map
+          (fun dir -> Essa_serve.Wal.create_writer ~fsync ~dir ())
+          wal_dir
       in
       let server =
         Essa_serve.Server.create ~metrics:registry ~workers ~queue_capacity
           ~max_batch ~max_restarts ?deadline_budget_ns ~faults ~commit ~balance
-          ~rebalance_every ~engine ()
+          ~rebalance_every ?wal:wal_writer ~wal_snapshot_every ~engine ()
       in
+      let resubmitted = ref 0 in
       let report =
-        match rate with
-        | Some rate_per_s ->
-            Essa_serve.Load_gen.open_loop server ~keywords:keywords_seq
-              ~offered:auctions ~rate_per_s ()
-        | None ->
-            Essa_serve.Load_gen.closed_loop server ~keywords:keywords_seq
-              ~total:auctions ~window ()
+        match recovered with
+        | Some (r : Essa_serve.Recovery.restored) ->
+            (* Resubmit exactly the trace positions the WAL did not
+               settle, in ascending order; the persisted prefix is
+               already in the restored engine. *)
+            let trace = trace_of auctions in
+            let persisted = Hashtbl.create 1024 in
+            Array.iter (fun s -> Hashtbl.replace persisted s ()) r.persisted;
+            let remaining = ref [] in
+            Array.iteri
+              (fun i kw ->
+                if not (Hashtbl.mem persisted i) then remaining := kw :: !remaining)
+              trace;
+            let remaining = List.rev !remaining in
+            resubmitted := List.length remaining;
+            Essa_serve.Load_gen.closed_loop server
+              ~keywords:(List.to_seq remaining)
+              ~total:!resubmitted ~window ()
+        | None -> (
+            match rate with
+            | Some rate_per_s ->
+                Essa_serve.Load_gen.open_loop server ~keywords:keywords_seq
+                  ~offered:auctions ~rate_per_s ()
+            | None ->
+                Essa_serve.Load_gen.closed_loop server ~keywords:keywords_seq
+                  ~total:auctions ~window ())
       in
       let stats = Essa_serve.Server.stop server in
+      Option.iter Essa_serve.Wal.close_writer wal_writer;
       describe ();
       Format.printf "server:   workers=%d queue=%d batch=%d%s@." workers
         queue_capacity max_batch
@@ -228,6 +313,23 @@ let run n slots keywords method_ seed workers queue_capacity max_batch auctions
         stats.turnstile_waits stats.lane_imbalance
         (if balance then Printf.sprintf "   rebalances %d" stats.rebalances
          else "");
+      (match wal_dir with
+      | Some dir ->
+          Format.printf "wal:      dir=%s fsync=%s snapshot-every=%d@." dir
+            (match fsync with `Always -> "always" | `Never -> "never")
+            wal_snapshot_every
+      | None -> ());
+      (match recovered with
+      | Some (r : Essa_serve.Recovery.restored) ->
+          Format.printf
+            "recover:  snapshot=%b persisted=%d trimmed=%b tail-mismatches=%d \
+             resubmitted=%d@."
+            r.snapshot_used (Array.length r.persisted) r.trimmed
+            r.tail_mismatches !resubmitted
+      | None -> ());
+      if stats.killed then
+        Format.printf "killed:   yes (execution stopped; WAL frozen at the \
+                       kill point)@.";
       (match Essa_serve.Fault.specs faults with
       | [] -> ()
       | specs ->
@@ -271,7 +373,23 @@ let run n slots keywords method_ seed workers queue_capacity max_batch auctions
            flat store from scratch — same enrollment, same churn seed —
            so scheduled churn re-fires at the same keyword-local times. *)
         let fresh = fresh_engine () in
-        let r = Essa_serve.Replay.check_server server ~fresh in
+        let r =
+          match recovered with
+          | None -> Essa_serve.Replay.check_server server ~fresh
+          | Some (rc : Essa_serve.Recovery.restored) ->
+              (* The full served stream of the killed-then-recovered run:
+                 WAL-persisted summaries followed by the restarted
+                 server's commit logs, per keyword.  Checked end to end
+                 against one fresh engine — the recovery contract is
+                 that this combined stream is indistinguishable from an
+                 uninterrupted run's. *)
+              let log =
+                Array.init nkw (fun kw ->
+                    rc.logs.(kw)
+                    @ Essa_serve.Server.commit_log server ~keyword:kw)
+              in
+              Essa_serve.Replay.check ~served:engine ~fresh ~log
+        in
         Format.printf
           "replay:   %s   (%d auctions: replay %s, clocks %s, conservation \
            %s, budgets %s)@."
@@ -291,7 +409,12 @@ let run n slots keywords method_ seed workers queue_capacity max_batch auctions
             Format.printf "  mismatch: keyword %d position %d field %s@."
               m.keyword m.position m.field)
           r.mismatches;
-        if not (Essa_serve.Replay.ok r) then exit 1
+        let tail_bad =
+          match recovered with
+          | Some (rc : Essa_serve.Recovery.restored) -> rc.tail_mismatches > 0
+          | None -> false
+        in
+        if (not (Essa_serve.Replay.ok r)) || tail_bad then exit 1
       end;
       match metrics_fmt with
       | None -> ()
@@ -359,7 +482,10 @@ let fault_t =
        & info [ "fault" ]
            ~doc:"Inject a fault (repeatable): exn\\@SEQ raises in the engine \
                  on arrival SEQ, slow\\@SEQ:MS delays that auction by MS \
-                 milliseconds, stall\\@LANE:MS stalls a lane domain once.")
+                 milliseconds (append ns for nanoseconds), stall\\@LANE:MS \
+                 stalls a lane domain once, kill\\@SEQ crashes the server at \
+                 arrival SEQ (execution stops, the WAL freezes; recover \
+                 with --recover).")
 
 let deadline_t =
   Arg.(value & opt (some float) None
@@ -436,6 +562,36 @@ let update_every_t =
                  queries far outnumber bid changes and let the \
                  evaluation cache hit.")
 
+let wal_t =
+  Arg.(value & opt (some string) None
+       & info [ "wal" ]
+           ~doc:"Write-ahead-log directory (per-keyword commit only): \
+                 lanes append every committed summary, the batcher \
+                 appends periodic engine snapshots, and --recover \
+                 rebuilds the engine from the directory after a crash.")
+
+let fsync_t =
+  Arg.(value & opt string "never"
+       & info [ "fsync" ]
+           ~doc:"WAL durability policy: always (fsync every record) or \
+                 never (flush only; torn tails are still trimmed on \
+                 recovery).")
+
+let wal_snapshot_every_t =
+  Arg.(value & opt int 8
+       & info [ "wal-snapshot-every" ]
+           ~doc:"Batches between WAL snapshot records (0 disables \
+                 snapshots; recovery then replays the whole log).")
+
+let recover_t =
+  Arg.(value & flag
+       & info [ "recover" ]
+           ~doc:"Recover from the --wal directory before serving: rebuild \
+                 the engine from the latest snapshot, replay the log \
+                 tail, then resubmit only the trace positions the WAL \
+                 did not settle.  With --replay-check, the combined \
+                 (persisted + resumed) stream is verified end to end.")
+
 let run_cmd =
   Cmd.v
     (Cmd.info "run" ~doc:"Serve a query stream through the sharded pipeline")
@@ -443,7 +599,8 @@ let run_cmd =
           $ workers_t $ queue_t $ batch_t $ auctions_t $ rate_t $ window_t
           $ pool_t $ threshold_t $ metrics_t $ fault_t $ deadline_t
           $ max_restarts_t $ commit_t $ replay_check_t $ universe_t $ churn_t
-          $ balance_t $ rebalance_every_t $ cache_t $ update_every_t)
+          $ balance_t $ rebalance_every_t $ cache_t $ update_every_t $ wal_t
+          $ fsync_t $ wal_snapshot_every_t $ recover_t)
 
 let main =
   Cmd.group

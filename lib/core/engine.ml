@@ -230,6 +230,14 @@ type epartition = {
      the begin pass runs when [p_au_count mod update_every = 0], otherwise
      the auction only ticks the keyword clock ([tick_p]). *)
   mutable p_au_count : int;
+  (* Durability only: the open decimation window's (assignment, prices),
+     restored from a snapshot.  A dense engine rebuilt from bare states
+     re-classifies the adjustment lists with snapshot-time spends, but
+     the live engine's window serves the allocation its last begin pass
+     computed — so the snapshot carries that allocation and decimated
+     auctions serve it until the window closes (the next update pass
+     clears it).  Always [None] on an uninterrupted engine. *)
+  mutable p_frozen : (Essa_matching.Assignment.t * int array) option;
 }
 
 type t = {
@@ -560,6 +568,7 @@ let partition_of t ~keyword =
           p_revenue = 0;
           p_cache = None;
           p_au_count = 0;
+          p_frozen = None;
         }
       in
       t.partitions.(keyword) <- Some p;
@@ -1596,19 +1605,31 @@ let run_partitioned_gen ?deadline_ns ?snapshot ?batch ~forced t ~keyword =
        recorded witness, never of the replaying engine's own counters. *)
     let update =
       match forced with
-      | Some _ -> snapshot <> None
+      | Some _ ->
+          (* Replay still advances the decimation counter: a recovered
+             engine replays the WAL tail through this path and must leave
+             [p_au_count] exactly where the uninterrupted run would have,
+             so its *subsequent live* auctions fall on the same
+             update/skip phase.  The update decision itself stays a pure
+             function of the recorded witness. *)
+          p.p_au_count <- p.p_au_count + 1;
+          snapshot <> None
       | None ->
           let c = p.p_au_count in
           p.p_au_count <- c + 1;
           c mod t.update_every = 0
     in
     let kt, snap_opt =
-      if update then
+      if update then begin
+        (* The window closes: a restored frozen allocation (if any) dies
+           with it — from here the rebuilt lists are authoritative. *)
+        p.p_frozen <- None;
         let kt, snap =
           Essa_strategy.Roi_fleet.begin_auction_p t.fleet ~keyword ?snapshot
             ?adopt ()
         in
         (kt, Some snap)
+      end
       else (Essa_strategy.Roi_fleet.tick_p t.fleet ~keyword, None)
     in
     let spend_snapshot = Option.map Array.copy snap_opt in
@@ -1643,6 +1664,13 @@ let run_partitioned_gen ?deadline_ns ?snapshot ?batch ~forced t ~keyword =
         (assignment, prices, Some Cheap_allocation)
       end
       else begin
+        match (if update then None else p.p_frozen) with
+        | Some (fa, fp) ->
+            (* Snapshot-restored open window: serve the allocation the
+               killed engine's last begin pass computed (see
+               [epartition.p_frozen]). *)
+            (Array.copy fa, Array.copy fp, None)
+        | None -> (
         (* Probe the keyword's evaluation cache (lane-private, like the
            scratch).  The epoch is read after [begin_auction_p], so this
            auction's begin-pass mutations (classify bid moves, lazy
@@ -1676,7 +1704,7 @@ let run_partitioned_gen ?deadline_ns ?snapshot ?batch ~forced t ~keyword =
             if t.cache_on then
               p.p_cache <-
                 Some (cache_entry_of ~epoch scr ~assignment ~prices);
-            (assignment, prices, None)
+            (assignment, prices, None))
       end
     in
     let clicks = Array.make t.k false in
@@ -1782,6 +1810,107 @@ let sync_partition_metrics t =
           Essa_obs.Histogram.merge_into ~into:t.m.h_total p.p_h_total;
           Essa_obs.Histogram.reset p.p_h_total)
     t.partitions
+
+(* Durability: the engine half of a WAL snapshot.  The store image
+   ([Sstore.encode]) carries everything keyword-local plus the atomic
+   spend cells; the extras below are the engine's own mutable state —
+   the atomic cross-keyword tallies and, per touched partition, the
+   click-RNG position, revenue tally and decimation counter.  Written at
+   a quiescent point (no lane mid-auction), read back by
+   [restore_extras] after the store has been rebuilt. *)
+
+let encode_state t buf =
+  if not t.is_partitioned then
+    invalid_arg "Engine.encode_state: serial engine";
+  let module B = Essa_util.Bincode in
+  Sstore.encode
+    ~bid:(fun ~adv ~keyword -> Essa_strategy.Roi_fleet.bid t.fleet ~adv ~keyword)
+    (Essa_strategy.Roi_fleet.store_of t.fleet)
+    buf;
+  B.write_int buf (Atomic.get t.a_auctions);
+  B.write_int buf (Atomic.get t.a_revenue);
+  B.write_int buf t.nk;
+  Array.iteri
+    (fun keyword p ->
+      B.write_option buf
+        (fun buf p ->
+          B.write_i64 buf (Essa_util.Rng.state p.p_rng);
+          B.write_int buf p.p_revenue;
+          B.write_int buf p.p_au_count;
+          (* The open decimation window's allocation, for dense engines
+             only: a dense rebuild re-classifies the adjustment lists
+             from snapshot-time spends, so decimated auctions after a
+             restore would not reproduce the killed engine's frozen
+             window.  Flat stores restore their cells verbatim and need
+             nothing.  Mid-window the allocation is a pure function of
+             the lists (they only move at begin passes), so recomputing
+             here yields exactly what the engine is serving; an engine
+             that is itself restored propagates its [p_frozen] instead —
+             its rebuilt lists are not authoritative until the window
+             closes. *)
+          let frozen =
+            match p.p_frozen with
+            | Some _ as f -> f
+            | None ->
+                if
+                  t.is_flat || t.update_every <= 1
+                  || p.p_au_count mod t.update_every = 0
+                then None
+                else
+                  let scr = p.p_scratch in
+                  let assignment, view_advertisers, view_w, top =
+                    winner_determination t scr ~keyword
+                  in
+                  let prices =
+                    price_assignment t scr ~keyword ~assignment
+                      ~view_advertisers ~view_w ~top
+                  in
+                  Some (assignment, prices)
+          in
+          B.write_option buf
+            (fun buf (assignment, prices) ->
+              B.write_int_array buf
+                (Array.map (function None -> -1 | Some a -> a) assignment);
+              B.write_int_array buf prices)
+            frozen)
+        p)
+    t.partitions
+
+let restore_extras t r =
+  if not t.is_partitioned then
+    invalid_arg "Engine.restore_extras: serial engine";
+  let module B = Essa_util.Bincode in
+  Atomic.set t.a_auctions (B.read_int r);
+  Atomic.set t.a_revenue (B.read_int r);
+  let nk = B.read_int r in
+  if nk <> t.nk then raise B.Truncated;
+  for keyword = 0 to nk - 1 do
+    match B.read_option r (fun r ->
+        let st = B.read_i64 r in
+        let rev = B.read_int r in
+        let auc = B.read_int r in
+        let frozen =
+          B.read_option r (fun r ->
+              let assignment = B.read_int_array r in
+              let prices = B.read_int_array r in
+              ( Array.map (fun a -> if a < 0 then None else Some a) assignment,
+                prices ))
+        in
+        (st, rev, auc, frozen))
+    with
+    | None -> ()
+    | Some (st, rev, auc, frozen) ->
+        if rev < 0 || auc < 0 then raise B.Truncated;
+        (match frozen with
+        | Some (a, pr) when Array.length a <> t.k || Array.length pr <> t.k ->
+            raise B.Truncated
+        | _ -> ());
+        let p = partition_of t ~keyword in
+        Essa_util.Rng.set_state p.p_rng st;
+        p.p_revenue <- rev;
+        p.p_au_count <- auc;
+        p.p_frozen <- frozen
+  done
 
 type phase_breakdown = {
   program_eval_ms : float;

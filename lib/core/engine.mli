@@ -287,6 +287,37 @@ val sync_partition_metrics : t -> unit
     {!Essa_serve.Server.stop}.
     @raise Invalid_argument on a serial engine. *)
 
+val encode_state : t -> Buffer.t -> unit
+(** Serialize the engine's full mutable state for a durability snapshot:
+    the fleet's state-store image ({!Essa_strategy.State_store.encode},
+    with this engine's effective bids as the dense bid vector) followed
+    by the engine extras — atomic auction/revenue tallies and, per
+    touched keyword partition, the click-RNG position, revenue tally,
+    bid-update decimation counter, and (dense engines mid-decimation-
+    window only) the open window's frozen [(assignment, prices)].  The
+    frozen allocation exists because a dense engine rebuilt from bare
+    states re-classifies its adjustment lists with snapshot-time spends,
+    while the live engine's open window keeps serving the allocation its
+    last update pass computed — so the snapshot captures that allocation
+    and a restored engine serves it on decimated auctions until the next
+    update pass (flat stores restore cell-verbatim and never need it).
+    Call at a quiescent point: no lane may be mid-auction.  A snapshot
+    plus the per-keyword summary tail recorded after it reconstructs a
+    bit-identical continuation (see {!Essa_serve}'s recovery).
+    @raise Invalid_argument on a serial engine. *)
+
+val restore_extras : t -> Essa_util.Bincode.reader -> unit
+(** Read back the engine extras written by {!encode_state} (the reader
+    must be positioned just past the store image, i.e. after
+    {!Essa_strategy.State_store.decode} consumed its bytes) into a
+    freshly-built engine over the restored store.  After this, replay the
+    WAL tail with {!replay_auction} and the engine continues exactly
+    where the snapshot left off — including cache epochs, decimation
+    phase, click-RNG streams and any frozen open-window allocation.
+    @raise Invalid_argument on a serial engine.
+    @raise Essa_util.Bincode.Truncated on malformed input or a
+    keyword-count mismatch. *)
+
 val bid : t -> adv:int -> keyword:int -> int
 (** Current bid of an advertiser (inspection / tests). *)
 

@@ -8,6 +8,10 @@ type t = {
   mutable sum : int;
   mutable min_v : int;  (* max_int when empty *)
   mutable max_v : int;  (* -1 when empty *)
+  (* Negative samples are clamped to 0 before bucketing (a latency can't
+     be negative), but silently folding them into bucket 0 hides the
+     clock misuse that produced them — so every clamp is tallied here. *)
+  mutable clamped : int;
 }
 
 (* Geometric bounds with ~8 buckets per octave (growth 2^(1/8) ~ 9%), so a
@@ -50,6 +54,7 @@ let create ?bounds () =
     sum = 0;
     min_v = max_int;
     max_v = -1;
+    clamped = 0;
   }
 
 let bounds t = Array.copy t.bounds
@@ -72,7 +77,13 @@ let bucket_index bounds v =
   end
 
 let record t v =
-  let v = if v < 0 then 0 else v in
+  let v =
+    if v < 0 then begin
+      t.clamped <- t.clamped + 1;
+      0
+    end
+    else v
+  in
   let i = bucket_index t.bounds v in
   t.counts.(i) <- t.counts.(i) + 1;
   t.count <- t.count + 1;
@@ -82,6 +93,7 @@ let record t v =
 
 let count t = t.count
 let sum t = t.sum
+let clamped t = t.clamped
 let min_max t = if t.count = 0 then None else Some (t.min_v, t.max_v)
 
 let mean t =
@@ -120,6 +132,7 @@ let merge_into ~into src =
   Array.iteri (fun i c -> into.counts.(i) <- into.counts.(i) + c) src.counts;
   into.count <- into.count + src.count;
   into.sum <- into.sum + src.sum;
+  into.clamped <- into.clamped + src.clamped;
   if src.min_v < into.min_v then into.min_v <- src.min_v;
   if src.max_v > into.max_v then into.max_v <- src.max_v
 
@@ -133,6 +146,7 @@ let reset t =
   Array.fill t.counts 0 (Array.length t.counts) 0;
   t.count <- 0;
   t.sum <- 0;
+  t.clamped <- 0;
   t.min_v <- max_int;
   t.max_v <- -1
 

@@ -23,10 +23,18 @@ val create : ?bounds:int array -> unit -> t
     @raise Invalid_argument on an empty or non-increasing layout. *)
 
 val record : t -> int -> unit
-(** Record one sample (negative samples clamp to 0).  Allocation-free. *)
+(** Record one sample.  Negative samples clamp to 0 {e and} increment
+    {!clamped} — a negative latency means a clock was misused upstream,
+    and folding it into bucket 0 silently would corrupt [sum]/[mean]
+    with no trace.  Allocation-free. *)
 
 val count : t -> int
 val sum : t -> int
+
+val clamped : t -> int
+(** How many recorded samples were negative (clamped to 0).  Anything
+    non-zero is a bug in the caller's clock handling; [merge]/
+    [merge_into] sum it, [reset] zeroes it. *)
 
 val min_max : t -> (int * int) option
 (** Exact smallest and largest recorded sample; [None] when empty. *)

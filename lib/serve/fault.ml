@@ -2,8 +2,10 @@ type spec =
   | Engine_exn of { seq : int }
   | Slow_auction of { seq : int; delay_ns : int }
   | Lane_stall of { lane : int; delay_ns : int }
+  | Kill_server of { seq : int }
 
 exception Injected of int
+exception Killed of int
 
 (* Each armed spec carries a fired latch.  A spec is consulted by exactly
    one lane (the lane owning its seq, or the named lane), but Atomic
@@ -23,6 +25,8 @@ let validate = function
   | Lane_stall { lane; delay_ns } ->
       if lane < 0 then invalid_arg "Fault.create: negative lane";
       if delay_ns <= 0 then invalid_arg "Fault.create: non-positive delay"
+  | Kill_server { seq } ->
+      if seq < 0 then invalid_arg "Fault.create: negative seq"
 
 let create specs =
   List.iter validate specs;
@@ -36,16 +40,32 @@ let claim a = Atomic.compare_and_set a.fired false true
 
 let sleep_ns delay_ns = Unix.sleepf (float_of_int delay_ns /. 1e9)
 
+(* Same-seq firing order is fixed — every matching delay, then a kill,
+   then an injected exception — independent of the order the specs were
+   armed in.  A single raising pass would make the outcome depend on arm
+   order and leave later same-seq delays armed but unfired. *)
 let before_execute t ~seq =
-  if Array.length t > 0 then
+  if Array.length t > 0 then begin
     Array.iter
       (fun a ->
         match a.spec with
         | Slow_auction { seq = s; delay_ns } when s = seq && claim a ->
             sleep_ns delay_ns
+        | _ -> ())
+      t;
+    Array.iter
+      (fun a ->
+        match a.spec with
+        | Kill_server { seq = s } when s = seq && claim a -> raise (Killed seq)
+        | _ -> ())
+      t;
+    Array.iter
+      (fun a ->
+        match a.spec with
         | Engine_exn { seq = s } when s = seq && claim a -> raise (Injected seq)
         | _ -> ())
       t
+  end
 
 let on_lane_work t ~lane =
   if Array.length t > 0 then
@@ -57,8 +77,29 @@ let on_lane_work t ~lane =
         | _ -> ())
       t
 
+(* Delays on the wire are either a millisecond count (integer or
+   decimal) or an exact nanosecond count with an "ns" suffix.  Decimal
+   milliseconds round to the nearest nanosecond — the old truncating
+   [int_of_float] made [parse (to_string spec)] drift for delays that
+   are not a whole number of the printed precision. *)
+let parse_delay_ns s =
+  let len = String.length s in
+  if len > 2 && String.sub s (len - 2) 2 = "ns" then
+    match int_of_string_opt (String.sub s 0 (len - 2)) with
+    | Some ns when ns > 0 -> Some ns
+    | _ -> None
+  else
+    match int_of_string_opt s with
+    | Some ms when ms > 0 && ms <= max_int / 1_000_000 -> Some (ms * 1_000_000)
+    | Some _ -> None
+    | None -> (
+        match float_of_string_opt s with
+        | Some ms when ms > 0.0 && ms < 4.0e12 ->
+            let ns = Float.round (ms *. 1e6) in
+            if ns >= 1.0 then Some (int_of_float ns) else None
+        | _ -> None)
+
 let parse s =
-  let ms_to_ns f = int_of_float (f *. 1e6) in
   match String.index_opt s '@' with
   | None -> Error (Printf.sprintf "fault %S: expected KIND@ARGS" s)
   | Some at -> (
@@ -71,31 +112,46 @@ let parse s =
             let a = String.sub args 0 c
             and b = String.sub args (c + 1) (String.length args - c - 1) in
             Option.bind (int_of_string_opt a) (fun a ->
-                Option.map (fun b -> (a, b)) (float_of_string_opt b))
+                Option.map (fun b -> (a, b)) (parse_delay_ns b))
       in
       match kind with
       | "exn" -> (
           match int_of_string_opt args with
           | Some seq when seq >= 0 -> Ok (Engine_exn { seq })
           | _ -> Error (Printf.sprintf "fault %S: expected exn@SEQ" s))
+      | "kill" -> (
+          match int_of_string_opt args with
+          | Some seq when seq >= 0 -> Ok (Kill_server { seq })
+          | _ -> Error (Printf.sprintf "fault %S: expected kill@SEQ" s))
       | "slow" -> (
           match two () with
-          | Some (seq, ms) when seq >= 0 && ms > 0.0 ->
-              Ok (Slow_auction { seq; delay_ns = ms_to_ns ms })
+          | Some (seq, delay_ns) when seq >= 0 ->
+              Ok (Slow_auction { seq; delay_ns })
           | _ -> Error (Printf.sprintf "fault %S: expected slow@SEQ:MS" s))
       | "stall" -> (
           match two () with
-          | Some (lane, ms) when lane >= 0 && ms > 0.0 ->
-              Ok (Lane_stall { lane; delay_ns = ms_to_ns ms })
+          | Some (lane, delay_ns) when lane >= 0 ->
+              Ok (Lane_stall { lane; delay_ns })
           | _ -> Error (Printf.sprintf "fault %S: expected stall@LANE:MS" s))
       | _ ->
           Error
-            (Printf.sprintf "fault %S: unknown kind %s (expected exn|slow|stall)"
-               s kind))
+            (Printf.sprintf
+               "fault %S: unknown kind %s (expected exn|slow|stall|kill)" s
+               kind))
+
+(* Whole-millisecond delays keep the compact ms form; anything finer is
+   printed as exact nanoseconds so [parse (to_string spec) = Ok spec]
+   holds for every representable delay (the old "%g" ms form kept only 6
+   significant digits). *)
+let delay_to_string delay_ns =
+  if delay_ns mod 1_000_000 = 0 then
+    Printf.sprintf "%d" (delay_ns / 1_000_000)
+  else Printf.sprintf "%dns" delay_ns
 
 let to_string = function
   | Engine_exn { seq } -> Printf.sprintf "exn@%d" seq
+  | Kill_server { seq } -> Printf.sprintf "kill@%d" seq
   | Slow_auction { seq; delay_ns } ->
-      Printf.sprintf "slow@%d:%g" seq (float_of_int delay_ns /. 1e6)
+      Printf.sprintf "slow@%d:%s" seq (delay_to_string delay_ns)
   | Lane_stall { lane; delay_ns } ->
-      Printf.sprintf "stall@%d:%g" lane (float_of_int delay_ns /. 1e6)
+      Printf.sprintf "stall@%d:%s" lane (delay_to_string delay_ns)

@@ -30,9 +30,19 @@ type spec =
           pause, scheduling glitch).  The commit clock holds the stream
           at the stalled lane's first sequence number until it wakes;
           recovery is the backlog draining afterwards. *)
+  | Kill_server of { seq : int }
+      (** raise {!Killed} out of the execution of query [seq]: a
+          deterministic crash point.  The server stops executing (every
+          query from that point is committed unexecuted and unlogged),
+          so the WAL ends exactly where the crash hit and
+          {!Recovery.restore} can be asserted against the uninterrupted
+          run. *)
 
 exception Injected of int
 (** [Injected seq]: the planted engine failure for query [seq]. *)
+
+exception Killed of int
+(** [Killed seq]: the planted server crash at query [seq]. *)
 
 type t
 
@@ -49,7 +59,11 @@ val specs : t -> spec list
 val before_execute : t -> seq:int -> unit
 (** Server hook: called while holding query [seq]'s commit turn, before
     the engine runs.  Sleeps for a matching {!Slow_auction}; raises
-    {!Injected} for a matching {!Engine_exn}. *)
+    {!Killed} for a matching {!Kill_server}; raises {!Injected} for a
+    matching {!Engine_exn}.  Same-seq firing order is deterministic and
+    independent of arm order: every matching delay is applied first,
+    then a kill, then an injected exception (so a kill dominates an exn
+    armed at the same seq, and delays never get skipped by either). *)
 
 val on_lane_work : t -> lane:int -> unit
 (** Server hook: called when a lane dequeues a work batch.  Sleeps once
@@ -58,7 +72,15 @@ val on_lane_work : t -> lane:int -> unit
 val parse : string -> (spec, string) result
 (** Parse the CLI syntax (also produced by {!to_string}):
     - ["exn@SEQ"] → [Engine_exn]
-    - ["slow@SEQ:MS"] → [Slow_auction] (delay in milliseconds)
-    - ["stall@LANE:MS"] → [Lane_stall] *)
+    - ["kill@SEQ"] → [Kill_server]
+    - ["slow@SEQ:MS"] → [Slow_auction]
+    - ["stall@LANE:MS"] → [Lane_stall]
+
+    The delay argument is either milliseconds (integer or decimal,
+    rounded to the nearest nanosecond) or exact nanoseconds with an
+    ["ns"] suffix (["slow@5:1234567ns"]). *)
 
 val to_string : spec -> string
+(** Inverse of {!parse}: [parse (to_string spec) = Ok spec] for every
+    valid spec (whole-millisecond delays print as ms, others as exact
+    ["<n>ns"]). *)

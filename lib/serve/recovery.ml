@@ -1,0 +1,103 @@
+module B = Essa_util.Bincode
+module Sstore = Essa_strategy.State_store
+
+type restored = {
+  engine : Essa.Engine.t;
+  persisted : int array;
+  logs : Essa.Engine.summary list array;
+  snapshot_used : bool;
+  trimmed : bool;
+  tail_mismatches : int;
+}
+
+(* Split the WAL into the latest snapshot (if any) and the summary tail
+   recorded after it; summaries before the snapshot are subsumed by it
+   for state, but still contribute to [logs] and [persisted]. *)
+let split_entries entries =
+  let rec last_snapshot acc snap tail = function
+    | [] -> (snap, List.rev acc, List.rev tail)
+    | Wal.Snapshot { next_seq = _; seqs; blob } :: rest ->
+        (* Everything seen so far (acc + tail) predates this snapshot.
+           Both lists are accumulated newest-first, so fold [tail] onto
+           [acc] as-is — the single [List.rev] at the end restores append
+           order. *)
+        last_snapshot (tail @ acc) (Some (seqs, blob)) [] rest
+    | (Wal.Summary _ as e) :: rest -> last_snapshot acc snap (e :: tail) rest
+  in
+  let snap, pre, tail = last_snapshot [] None [] entries in
+  let tail =
+    List.filter_map
+      (function Wal.Summary { seq; summary } -> Some (seq, summary) | _ -> None)
+      tail
+  in
+  let pre =
+    List.filter_map
+      (function Wal.Summary { seq; summary } -> Some (seq, summary) | _ -> None)
+      pre
+  in
+  (snap, pre, tail)
+
+let restore ~dir ~num_keywords ~engine_of () =
+  let { Wal.entries; trimmed } = Wal.load ~dir in
+  let snap, pre, tail = split_entries entries in
+  List.iter
+    (fun (_, (s : Essa.Engine.summary)) ->
+      if s.keyword < 0 || s.keyword >= num_keywords then
+        invalid_arg "Recovery.restore: summary keyword out of range")
+    (pre @ tail);
+  let engine, snapshot_used =
+    match snap with
+    | None -> (engine_of None, false)
+    | Some (_, blob) ->
+        let r = B.reader blob in
+        let store_snap = Sstore.decode r in
+        if Sstore.snapshot_num_keywords store_snap <> num_keywords then
+          invalid_arg "Recovery.restore: snapshot keyword-count mismatch";
+        let engine = engine_of (Some store_snap) in
+        (* The store image's meta (keyword clocks, dirty epochs, charge
+           clock) is applied here, not by [engine_of]: a dense engine is
+           rebuilt from bare states and gets fresh meta; a flat store
+           already carries it (idempotent overwrite). *)
+        Sstore.apply_meta store_snap
+          (Essa_strategy.Roi_fleet.store_of (Essa.Engine.fleet engine));
+        Essa.Engine.restore_extras engine r;
+        (engine, true)
+  in
+  if not (Essa.Engine.partitioned engine) then
+    invalid_arg "Recovery.restore: engine_of returned a serial engine";
+  (* Replay the tail in append order — per-keyword order is each
+     keyword's commit order (one WAL append per commit, under the
+     writer's lock), which is all replay_auction requires. *)
+  let tail_mismatches = ref 0 in
+  List.iter
+    (fun (_, (s : Essa.Engine.summary)) ->
+      let replayed =
+        Essa.Engine.replay_auction ?snapshot:s.spend_snapshot
+          ~degraded:s.degraded engine ~keyword:s.keyword
+      in
+      if replayed <> s then incr tail_mismatches)
+    tail;
+  let logs = Array.make num_keywords [] in
+  List.iter
+    (fun (_, (s : Essa.Engine.summary)) ->
+      logs.(s.keyword) <- s :: logs.(s.keyword))
+    (pre @ tail);
+  Array.iteri (fun i l -> logs.(i) <- List.rev l) logs;
+  let persisted =
+    let tbl = Hashtbl.create 1024 in
+    (match snap with
+    | Some (seqs, _) -> Array.iter (fun s -> Hashtbl.replace tbl s ()) seqs
+    | None -> ());
+    List.iter (fun (seq, _) -> Hashtbl.replace tbl seq ()) (pre @ tail);
+    let a = Array.of_seq (Hashtbl.to_seq_keys tbl) in
+    Array.sort compare a;
+    a
+  in
+  {
+    engine;
+    persisted;
+    logs;
+    snapshot_used;
+    trimmed;
+    tail_mismatches = !tail_mismatches;
+  }

@@ -1,0 +1,54 @@
+(** Crash recovery: rebuild a partitioned engine from a WAL directory.
+
+    {!restore} loads the WAL ({!Wal.load} — torn tails already trimmed),
+    finds the latest snapshot record, asks the caller to construct an
+    engine over the decoded store image ([engine_of]), restores the
+    engine extras, and replays the post-snapshot summary tail through
+    {!Essa.Engine.replay_auction} — each record's recorded
+    [spend_snapshot] witness and degrade tier forced, exactly as
+    {!Replay} does.  The result is an engine bit-identical to the
+    crashed server's at its last commit point: resubmitting the
+    non-persisted queries produces the same stream an uninterrupted run
+    would have.
+
+    [engine_of] receives [Some store_snapshot] when a snapshot record
+    exists, [None] otherwise (fresh engine; the whole WAL is replayed).
+    It must build a {e partitioned} engine over the image — dense via
+    {!Essa_strategy.State_store.dense_states} and an engine constructor,
+    flat via {!Essa_strategy.State_store.of_snapshot_flat} (re-attaching
+    any churn hook) — with the same parameters (method, pricing, CTRs,
+    user seed, cache, update_every) as the crashed engine.  {!restore}
+    itself applies the store meta (clocks, epochs, charge clock) and the
+    engine extras, so [engine_of] only deals in construction. *)
+
+type restored = {
+  engine : Essa.Engine.t;
+      (** rebuilt and replayed up to the last persisted commit *)
+  persisted : int array;
+      (** sorted query sequence numbers whose effects the engine
+          contains — the snapshot's covered set plus the replayed tail;
+          resubmit everything else (ascending) to continue the run *)
+  logs : Essa.Engine.summary list array;
+      (** per-keyword committed summaries from the WAL, oldest first —
+          prepend to the restarted server's commit logs to reconstruct
+          the full served stream *)
+  snapshot_used : bool;
+  trimmed : bool;  (** the WAL had a torn tail (see {!Wal.load}) *)
+  tail_mismatches : int;
+      (** replayed-vs-recorded summary mismatches during tail replay; 0
+          on any honest WAL (a nonzero count means the WAL and snapshot
+          disagree — surfaced, not crashed on) *)
+}
+
+val restore :
+  dir:string ->
+  num_keywords:int ->
+  engine_of:(Essa_strategy.State_store.snapshot option -> Essa.Engine.t) ->
+  unit ->
+  restored
+(** @raise Invalid_argument if [engine_of] returns a serial engine or
+    one with a keyword count other than [num_keywords], or if a summary
+    record names an out-of-range keyword.
+    @raise Essa_util.Bincode.Truncated if the snapshot blob is corrupt
+    {e despite} its CRC (codec mismatch — not reachable from torn
+    writes, which the CRC already trimmed). *)

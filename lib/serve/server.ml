@@ -22,6 +22,7 @@ type stats = {
   turnstile_waits : int;
   lane_imbalance : float;
   rebalances : int;
+  killed : bool;
   errors : error list;
 }
 
@@ -97,6 +98,19 @@ type t = {
      is preserved by construction. *)
   balance_map : Shard.map option;
   rebalance_every : int;
+  (* Durability: the write-ahead log ([`Per_keyword] only).  Lanes append
+     a summary record at each commit point (the writer serializes); the
+     batcher appends a snapshot record every [wal_snapshot_every] batches
+     at the quiescent rebalance boundary, where every lane is idle and no
+     auction is in flight.  The writer is owned by the caller — the
+     server never closes it. *)
+  wal : Wal.writer option;
+  wal_snapshot_every : int;
+  (* The Kill_server fault: once set, every lane blind-commits its
+     remaining queries (no execution, no WAL records) and the ingress is
+     closed — a cooperative stand-in for a crash whose persisted state is
+     exactly the WAL at the kill point. *)
+  killed : bool Atomic.t;
   (* Per-keyword commit logs (Per_keyword mode; empty in Global mode):
      each cell has a single writer — the keyword's owning lane — so the
      refs need no lock; read them after the lanes have joined. *)
@@ -189,7 +203,7 @@ let lane_loop t ~lane ~on_commit mb =
     (match t.commit with
     | Turnstile clock -> Commit_clock.await clock ~seq:q.seq
     | Ledger _ -> ());
-    (if ls.lane_degraded then begin
+    (if ls.lane_degraded || Atomic.get t.killed then begin
        ls.skipped <- ls.skipped + 1;
        Essa_obs.Counter.incr t.c_lane_skipped
      end
@@ -224,10 +238,23 @@ let lane_loop t ~lane ~on_commit mb =
          | Turnstile _ -> ()
          | Ledger _ ->
              let log = t.commit_logs.(q.keyword) in
-             log := summary :: !log);
+             log := summary :: !log;
+             (match t.wal with
+             | Some w -> Wal.append w ~seq:q.seq summary
+             | None -> ()));
          on_commit summary
        with
        | () -> ()
+       | exception Fault.Killed _ ->
+           (* The crash fault fired before execution: this query and
+              everything after it blind-commit (no summary, no WAL
+              record — the persisted state is frozen at the previous
+              commit), and the ingress closes so the run winds down.
+              Not a lane failure: no restart, no error report. *)
+           Atomic.set t.killed true;
+           Ingress.close t.ingress;
+           ls.skipped <- ls.skipped + 1;
+           Essa_obs.Counter.incr t.c_lane_skipped
        | exception e -> record_failure t ~lane ~ls ~q e);
     (match t.commit with
     | Turnstile clock -> Commit_clock.commit clock ~seq:q.seq
@@ -318,6 +345,23 @@ let batcher_loop t ~max_batch ~c_batches ~h_batch_size =
             Shard.fold_epoch t.tracker;
             Shard.map_rebalance m
         | _ -> ());
+        (* WAL snapshot, at the same quiescent boundary: the previous
+           batch has fully committed, so no lane is mid-auction and the
+           engine image is consistent.  Sequence numbers are contiguous
+           from 0 and everything dispatched has committed, so the
+           snapshot covers (settles) exactly seqs [0..last]. *)
+        (match (t.wal, last_dispatched) with
+        | Some w, Some seq
+          when t.wal_snapshot_every > 0
+               && batches_done > 0
+               && batches_done mod t.wal_snapshot_every = 0
+               && not (Atomic.get t.killed) ->
+            let buf = Buffer.create 65536 in
+            Essa.Engine.encode_state t.engine buf;
+            Wal.append_snapshot w ~next_seq:(seq + 1)
+              ~seqs:(Array.init (seq + 1) Fun.id)
+              ~blob:(Buffer.contents buf)
+        | _ -> ());
         Essa_obs.Counter.incr c_batches;
         Essa_obs.Histogram.record h_batch_size (List.length batch);
         let lanes_work =
@@ -336,13 +380,21 @@ let batcher_loop t ~max_batch ~c_batches ~h_batch_size =
 let create ?metrics ?(on_commit = fun _ -> ()) ?(queue_capacity = 1024)
     ?(max_batch = 64) ?(max_restarts = 2) ?deadline_budget_ns
     ?(faults = Fault.none) ?(commit = `Global) ?(balance = false)
-    ?(rebalance_every = 4) ?(clock = Essa_util.Timing.now_ns) ~workers ~engine
-    () =
+    ?(rebalance_every = 4) ?wal ?(wal_snapshot_every = 8)
+    ?(clock = Essa_util.Timing.now_ns) ~workers ~engine () =
   if workers < 1 then invalid_arg "Server.create: workers < 1";
   if max_batch < 1 then invalid_arg "Server.create: max_batch < 1";
   if max_restarts < 0 then invalid_arg "Server.create: max_restarts < 0";
   if rebalance_every < 1 then
     invalid_arg "Server.create: rebalance_every < 1";
+  if wal_snapshot_every < 0 then
+    invalid_arg "Server.create: wal_snapshot_every < 0";
+  (match (wal, commit) with
+  | Some _, `Global ->
+      invalid_arg
+        "Server.create: the WAL records per-keyword commit streams \
+         (`Per_keyword only)"
+  | _ -> ());
   (match deadline_budget_ns with
   | Some b when b <= 0 -> invalid_arg "Server.create: deadline_budget_ns <= 0"
   | _ -> ());
@@ -390,6 +442,9 @@ let create ?metrics ?(on_commit = fun _ -> ()) ?(queue_capacity = 1024)
            Some (Shard.map_create ~shards:workers ~num_keywords:nk ())
          else None);
       rebalance_every;
+      wal;
+      wal_snapshot_every;
+      killed = Atomic.make false;
       commit_logs =
         (match commit with
         | `Global -> [||]
@@ -493,6 +548,7 @@ let collect t =
       (match t.balance_map with
       | Some m -> Shard.map_rebalances m
       | None -> 0);
+    killed = Atomic.get t.killed;
     errors = List.rev t.errors_rev;
   }
 
@@ -535,5 +591,6 @@ let commit_log t ~keyword =
     invalid_arg (Printf.sprintf "Server.commit_log: keyword %d" keyword);
   List.rev !(t.commit_logs.(keyword))
 
+let killed t = Atomic.get t.killed
 let engine t = t.engine
 let metrics t = t.registry

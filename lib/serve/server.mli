@@ -86,6 +86,9 @@ type stats = {
       (** (max-min)/max of per-lane committed counts (see {!Shard}) *)
   rebalances : int;
       (** keyword→lane map rebalances run ([~balance:true] only) *)
+  killed : bool;
+      (** a {!Fault.Kill_server} fault fired: execution stopped
+          mid-stream and the WAL (if armed) holds the persisted prefix *)
   errors : error list;  (** every failure report, in commit order *)
 }
 
@@ -100,6 +103,8 @@ val create :
   ?commit:commit_mode ->
   ?balance:bool ->
   ?rebalance_every:int ->
+  ?wal:Wal.writer ->
+  ?wal_snapshot_every:int ->
   ?clock:(unit -> int64) ->
   workers:int ->
   engine:Essa.Engine.t ->
@@ -147,6 +152,18 @@ val create :
     ownership only changes between batches, per-keyword FIFO and the
     replay contract are untouched; only which lane serves a keyword
     shifts.  [stats.rebalances] counts epochs.
+    [wal] arms crash durability ([`Per_keyword] only): each lane appends
+    a {!Wal} summary record at its commit point, and every
+    [wal_snapshot_every] batches (default 8; 0 disables snapshots) the
+    batcher appends an {!Essa.Engine.encode_state} snapshot record at
+    the quiescent boundary where the previous batch has fully committed
+    and no lane is mid-auction.  The writer stays owned by the caller
+    (close it after {!stop}); {!Recovery.restore} rebuilds an engine
+    from the directory.  A {!Fault.Kill_server} fault freezes the WAL at
+    the kill point: the killed query and everything after blind-commit
+    with no record, [stats.killed] is set, and the ingress closes so the
+    run winds down — recovery then replays to the last commit and the
+    driver resubmits the rest.
     [clock] stamps enqueue times and enqueue-to-commit latencies
     (default {!Essa_util.Timing.now_ns}) — the same injectable seam as
     [Engine.create]'s [?clock], so deterministic tests can drive the
@@ -205,6 +222,10 @@ val stop : t -> stats
     failure: the failures are in [stats.errors] (with their queries) and
     the tallies at failure time are preserved.  Idempotent — later calls
     return the same snapshot. *)
+
+val killed : t -> bool
+(** True once a {!Fault.Kill_server} fault has fired (racy-but-tear-free
+    while running; stable after {!stop}). *)
 
 val engine : t -> Essa.Engine.t
 val metrics : t -> Essa_obs.Registry.t

@@ -1,0 +1,324 @@
+module B = Essa_util.Bincode
+module Crc = Essa_util.Crc32
+
+let magic = "ESSAWAL\x01"
+let header_bytes = 8 (* u32 len + u32 crc *)
+
+let segment_name i = Printf.sprintf "%08d.wal" i
+
+let segment_index name =
+  if
+    String.length name = 12
+    && Filename.check_suffix name ".wal"
+    && String.for_all
+         (fun c -> c >= '0' && c <= '9')
+         (String.sub name 0 8)
+  then int_of_string_opt (String.sub name 0 8)
+  else None
+
+let segments ~dir =
+  if not (Sys.file_exists dir) then []
+  else
+    Sys.readdir dir |> Array.to_list
+    |> List.filter_map (fun name ->
+           Option.map (fun i -> (i, Filename.concat dir name)) (segment_index name))
+    |> List.sort compare
+    |> List.map snd
+
+(* Summary codec.  The degrade tier and the [spend_snapshot] witness are
+   both part of the replay contract, so they round-trip exactly —
+   including the witness-less [None] of decimated and Unfilled
+   auctions. *)
+
+let write_summary buf (s : Essa.Engine.summary) =
+  B.write_int buf s.auction_time;
+  B.write_int buf s.keyword;
+  B.write_array buf
+    (fun buf slot -> B.write_int buf (match slot with None -> -1 | Some a -> a))
+    s.assignment;
+  B.write_int_array buf s.prices;
+  B.write_bool_array buf s.clicks;
+  B.write_int buf s.revenue;
+  B.write_u8 buf
+    (match s.degraded with
+    | None -> 0
+    | Some Essa.Engine.Cheap_allocation -> 1
+    | Some Essa.Engine.Unfilled -> 2);
+  B.write_option buf B.write_int_array s.spend_snapshot
+
+let read_summary r : Essa.Engine.summary =
+  let auction_time = B.read_int r in
+  let keyword = B.read_int r in
+  let assignment =
+    B.read_array r (fun r ->
+        match B.read_int r with
+        | -1 -> None
+        | a when a >= 0 -> Some a
+        | _ -> raise B.Truncated)
+  in
+  let prices = B.read_int_array r in
+  let clicks = B.read_bool_array r in
+  let revenue = B.read_int r in
+  let degraded =
+    match B.read_u8 r with
+    | 0 -> None
+    | 1 -> Some Essa.Engine.Cheap_allocation
+    | 2 -> Some Essa.Engine.Unfilled
+    | _ -> raise B.Truncated
+  in
+  let spend_snapshot = B.read_option r B.read_int_array in
+  if auction_time < 0 || keyword < 0 || revenue < 0 then raise B.Truncated;
+  { auction_time; keyword; assignment; prices; clicks; revenue; degraded;
+    spend_snapshot }
+
+(* Record payloads. *)
+
+let tag_summary = 1
+let tag_snapshot = 2
+
+type entry =
+  | Summary of { seq : int; summary : Essa.Engine.summary }
+  | Snapshot of { next_seq : int; seqs : int array; blob : string }
+
+let write_payload buf entry =
+  match entry with
+  | Summary { seq; summary } ->
+      B.write_u8 buf tag_summary;
+      B.write_int buf seq;
+      write_summary buf summary
+  | Snapshot { next_seq; seqs; blob } ->
+      B.write_u8 buf tag_snapshot;
+      B.write_int buf next_seq;
+      B.write_int_array buf seqs;
+      B.write_string buf blob
+
+let read_payload payload =
+  let r = B.reader payload in
+  let entry =
+    match B.read_u8 r with
+    | t when t = tag_summary ->
+        let seq = B.read_int r in
+        if seq < 0 then raise B.Truncated;
+        Summary { seq; summary = read_summary r }
+    | t when t = tag_snapshot ->
+        let next_seq = B.read_int r in
+        if next_seq < 0 then raise B.Truncated;
+        let seqs = B.read_int_array r in
+        let blob = B.read_string r in
+        Snapshot { next_seq; seqs; blob }
+    | _ -> raise B.Truncated
+  in
+  (* Trailing garbage inside a CRC-valid payload would mean a codec
+     mismatch — treat it like corruption rather than silently ignore. *)
+  if B.remaining r <> 0 then raise B.Truncated;
+  entry
+
+(* Writer: one mutex serializes appends from all lanes.  Each record is
+   staged in a scratch buffer, framed (length + CRC), written in a
+   single [output_string], then flushed — and fsynced under [`Always].
+   Rotation closes the current segment and opens the next numbered
+   one. *)
+
+type writer = {
+  dir : string;
+  segment_bytes : int;
+  fsync : [ `Always | `Never ];
+  lock : Mutex.t;
+  payload_buf : Buffer.t;
+  frame_buf : Buffer.t;
+  mutable seg_index : int;
+  mutable oc : out_channel;
+  mutable seg_written : int;  (* bytes in the current segment, magic included *)
+  mutable closed : bool;
+}
+
+let open_segment dir i =
+  let path = Filename.concat dir (segment_name i) in
+  let oc = open_out_gen [ Open_wronly; Open_creat; Open_trunc; Open_binary ] 0o644 path in
+  output_string oc magic;
+  oc
+
+let create_writer ?(segment_bytes = 4 * 1024 * 1024) ?(fsync = `Never) ~dir () =
+  if segment_bytes < 4096 then
+    invalid_arg "Wal.create_writer: segment_bytes < 4096";
+  if not (Sys.file_exists dir) then Unix.mkdir dir 0o755;
+  (* Never clobber recovered history: start after the last existing
+     segment. *)
+  let next =
+    Sys.readdir dir |> Array.to_list
+    |> List.filter_map segment_index
+    |> List.fold_left (fun acc i -> max acc (i + 1)) 0
+  in
+  {
+    dir;
+    segment_bytes;
+    fsync;
+    lock = Mutex.create ();
+    payload_buf = Buffer.create 512;
+    frame_buf = Buffer.create 512;
+    seg_index = next;
+    oc = open_segment dir next;
+    seg_written = String.length magic;
+    closed = false;
+  }
+
+let sync w =
+  flush w.oc;
+  match w.fsync with
+  | `Always -> Unix.fsync (Unix.descr_of_out_channel w.oc)
+  | `Never -> ()
+
+let rotate_if_needed w =
+  if w.seg_written >= w.segment_bytes then begin
+    flush w.oc;
+    (match w.fsync with
+    | `Always -> Unix.fsync (Unix.descr_of_out_channel w.oc)
+    | `Never -> ());
+    close_out w.oc;
+    w.seg_index <- w.seg_index + 1;
+    w.oc <- open_segment w.dir w.seg_index;
+    w.seg_written <- String.length magic
+  end
+
+let append_entry w entry =
+  Mutex.lock w.lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock w.lock)
+    (fun () ->
+      if w.closed then invalid_arg "Wal.append: writer closed";
+      rotate_if_needed w;
+      Buffer.clear w.payload_buf;
+      write_payload w.payload_buf entry;
+      let payload = Buffer.contents w.payload_buf in
+      Buffer.clear w.frame_buf;
+      B.write_u32 w.frame_buf (String.length payload);
+      B.write_u32 w.frame_buf (Int32.to_int (Crc.string payload) land 0xFFFFFFFF);
+      Buffer.add_string w.frame_buf payload;
+      let frame = Buffer.contents w.frame_buf in
+      output_string w.oc frame;
+      w.seg_written <- w.seg_written + String.length frame;
+      sync w)
+
+let append w ~seq summary = append_entry w (Summary { seq; summary })
+
+let append_snapshot w ~next_seq ~seqs ~blob =
+  append_entry w (Snapshot { next_seq; seqs; blob })
+
+let close_writer w =
+  Mutex.lock w.lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock w.lock)
+    (fun () ->
+      if not w.closed then begin
+        sync w;
+        close_out w.oc;
+        w.closed <- true
+      end)
+
+(* Loader: scan segments in order; the first invalid byte — short
+   header, short payload, CRC mismatch, undecodable payload, bad magic —
+   ends the load, discarding everything after it. *)
+
+type load = { entries : entry list; trimmed : bool }
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let load ~dir =
+  let entries = ref [] in
+  let trimmed = ref false in
+  let rec scan_records data pos =
+    let len_total = String.length data in
+    if pos = len_total then true
+    else if len_total - pos < header_bytes then begin
+      trimmed := true;
+      false
+    end
+    else begin
+      let r = B.reader ~pos data in
+      let len = B.read_u32 r in
+      let crc = B.read_u32 r in
+      let body_pos = pos + header_bytes in
+      if len_total - body_pos < len then begin
+        trimmed := true;
+        false
+      end
+      else begin
+        let stored = Int32.to_int (Crc.update 0l data ~pos:body_pos ~len) land 0xFFFFFFFF in
+        if stored <> crc then begin
+          trimmed := true;
+          false
+        end
+        else
+          match read_payload (String.sub data body_pos len) with
+          | entry ->
+              entries := entry :: !entries;
+              scan_records data (body_pos + len)
+          | exception B.Truncated ->
+              trimmed := true;
+              false
+      end
+    end
+  in
+  let rec scan_segments = function
+    | [] -> ()
+    | path :: rest ->
+        let data = read_file path in
+        let ok =
+          if
+            String.length data >= String.length magic
+            && String.sub data 0 (String.length magic) = magic
+          then scan_records data (String.length magic)
+          else begin
+            trimmed := true;
+            false
+          end
+        in
+        (* A torn record in a non-final segment invalidates everything
+           after it too: WAL order is append order. *)
+        if ok then scan_segments rest
+        else if rest <> [] then trimmed := true
+  in
+  scan_segments (segments ~dir);
+  { entries = List.rev !entries; trimmed = !trimmed }
+
+let compact ~dir =
+  let segs = segments ~dir in
+  let has_snapshot path =
+    let data = read_file path in
+    let found = ref false in
+    let rec scan pos =
+      let len_total = String.length data in
+      if len_total - pos >= header_bytes then begin
+        let r = B.reader ~pos data in
+        let len = B.read_u32 r in
+        let _crc = B.read_u32 r in
+        let body_pos = pos + header_bytes in
+        if len_total - body_pos >= len then begin
+          if len > 0 && Char.code data.[body_pos] = tag_snapshot then
+            found := true;
+          scan (body_pos + len)
+        end
+      end
+    in
+    if
+      String.length data >= String.length magic
+      && String.sub data 0 (String.length magic) = magic
+    then scan (String.length magic);
+    !found
+  in
+  match List.rev segs |> List.find_opt has_snapshot with
+  | None -> 0
+  | Some keep ->
+      let deleted = ref 0 in
+      List.iter
+        (fun path ->
+          if path < keep then begin
+            Sys.remove path;
+            incr deleted
+          end)
+        segs;
+      !deleted

@@ -80,9 +80,10 @@ let fresh_states t =
         ?budget:t.budgets.(i) ~target_rate:t.targets.(i) ())
 
 let make_engine ?metrics ?pool ?parallel_threshold ?partitioned ?cache
-    ?update_every ?(pricing = `Gsp) ?(reserve = 0) t ~method_ =
+    ?update_every ?(pricing = `Gsp) ?(reserve = 0) ?states t ~method_ =
+  let states = match states with Some s -> s | None -> fresh_states t in
   Essa.Engine.create ?metrics ?pool ?parallel_threshold ?partitioned ?cache
-    ?update_every ~reserve ~pricing ~method_ ~ctr:t.ctr ~states:(fresh_states t)
+    ?update_every ~reserve ~pricing ~method_ ~ctr:t.ctr ~states
     ~user_seed:(t.seed lxor 0x5eed) ()
 
 let query_stream t ~seed =
@@ -206,8 +207,12 @@ let churn_seed_of ~seed = seed lxor 0xC0FFEE
    at a given keyword-local time is a pure function of (universe, rate,
    seed), and a rebuilt store replays the same arrivals/departures at the
    same local times (no churn logging needed).  Lanes own disjoint
-   keywords, so the per-keyword cells below are single-writer; the base
-   RNG is only read through the pure [split]. *)
+   keywords, so the per-keyword streams are single-writer; the base RNG
+   is only read through the pure [split].  The per-keyword streams live
+   in the store itself ([State_store.flat_tick_rng]) so a durability
+   snapshot captures their positions: re-attaching the hook to a
+   restored store resumes the schedule mid-stream rather than replaying
+   it from the start. *)
 let install_churn u store ~rate ~seed =
   if not (rate >= 0.0 && rate <= 1.0) then
     invalid_arg "Workload.install_churn: rate outside [0,1]";
@@ -215,17 +220,12 @@ let install_churn u store ~rate ~seed =
   else begin
     let module S = Essa_strategy.State_store in
     let base = Essa_util.Rng.create seed in
-    let rngs = Array.make u.u_keywords None in
     S.set_on_tick store
       (Some
          (fun ~keyword ~time:_ ->
            let rng =
-             match rngs.(keyword) with
-             | Some r -> r
-             | None ->
-                 let r = Essa_util.Rng.split base ~key:keyword in
-                 rngs.(keyword) <- Some r;
-                 r
+             S.flat_tick_rng store ~keyword ~init:(fun () ->
+                 Essa_util.Rng.split base ~key:keyword)
            in
            if Essa_util.Rng.bernoulli rng rate then begin
              let stats = S.flat_stats store ~keyword in
@@ -291,6 +291,12 @@ let universe_store ?(churn = 0.0) ?churn_seed u () =
   in
   install_churn u store ~rate:churn ~seed;
   store
+
+let universe_attach_churn ?churn_seed u store ~churn =
+  let seed =
+    match churn_seed with Some s -> s | None -> churn_seed_of ~seed:u.u_seed
+  in
+  install_churn u store ~rate:churn ~seed
 
 let make_flat_engine ?metrics ?cache ?update_every ?(pricing = `Gsp)
     ?(reserve = 0) u ~store =

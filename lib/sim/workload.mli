@@ -50,10 +50,14 @@ val make_engine :
   ?cache:bool ->
   ?update_every:int ->
   ?pricing:Essa.Engine.pricing ->
-  ?reserve:int -> t -> method_:Essa.Engine.method_ -> Essa.Engine.t
+  ?reserve:int -> ?states:Essa_strategy.Roi_state.t array ->
+  t -> method_:Essa.Engine.method_ -> Essa.Engine.t
 (** Convenience: engine over fresh states ([pricing] defaults to GSP as
     in Section V); the user-click seed is derived from the workload seed,
     so engines created from the same workload see identical users.
+    [states] substitutes restored mid-run advertiser states for the fresh
+    ones — the crash-recovery path rebuilds an engine over a decoded
+    snapshot while keeping the workload's CTRs and user-seed derivation.
     [metrics], [pool], [parallel_threshold], [partitioned], [cache] and
     [update_every] are forwarded to {!Essa.Engine.create} — a shared
     registry lets every engine of a sweep record into one snapshot, a
@@ -120,6 +124,16 @@ val universe_store :
     advanced once per keyword-local tick, so membership at any keyword
     time is a pure function of (universe, churn, seed) — a rebuilt store
     replays the same arrivals and departures without any churn log.
+    @raise Invalid_argument if [churn] is outside [0,1]. *)
+
+val universe_attach_churn :
+  ?churn_seed:int -> universe -> Essa_strategy.State_store.t ->
+  churn:float -> unit
+(** Re-attach the deterministic churn hook to a {e restored} flat store
+    (one rebuilt from a durability snapshot): installs the same
+    [set_on_tick] hook {!universe_store} would, drawing from the
+    store-owned per-keyword tick RNGs — whose positions the snapshot
+    preserved — so churn resumes mid-stream instead of restarting.
     @raise Invalid_argument if [churn] is outside [0,1]. *)
 
 val make_flat_engine :

@@ -161,6 +161,31 @@ let record_win t ~keyword ~price ~clicked =
       Array.fill t.bids 0 (Array.length t.bids) 0
   end
 
+let restore ~values ~maxbids ~bids ~gained_by ~spent_by ~premiums
+    ~target_rate ~budget ~amt_spent =
+  let nk = Array.length values in
+  if nk = 0 then invalid_arg "Roi_state.restore: no keywords";
+  if
+    Array.length maxbids <> nk || Array.length bids <> nk
+    || Array.length gained_by <> nk
+    || Array.length spent_by <> nk
+    || Array.length premiums <> nk
+  then invalid_arg "Roi_state.restore: array length mismatch";
+  if not (target_rate > 0.0) then
+    invalid_arg "Roi_state.restore: target rate must be positive";
+  if amt_spent < 0 then invalid_arg "Roi_state.restore: negative spend";
+  {
+    values = Array.copy values;
+    maxbids = Array.copy maxbids;
+    bids = Array.copy bids;
+    gained_by = Array.copy gained_by;
+    spent_by = Array.copy spent_by;
+    premiums = Array.copy premiums;
+    target_rate;
+    budget;
+    amt_spent = Atomic.make amt_spent;
+  }
+
 let copy t =
   {
     values = Array.copy t.values;

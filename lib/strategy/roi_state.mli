@@ -118,6 +118,18 @@ val record_win :
     impression costs nothing (pay-per-click).
     @raise Invalid_argument if [price < 0]. *)
 
+val restore :
+  values:int array -> maxbids:int array -> bids:int array ->
+  gained_by:int array -> spent_by:int array -> premiums:int array ->
+  target_rate:float -> budget:int option -> amt_spent:int -> t
+(** Rebuild an advertiser mid-run from persisted field values — the
+    state-store snapshot decoder's constructor.  Unlike {!create} it
+    places no bounds relation between [bids] and [maxbids] beyond array
+    shapes (a retired bid of 0 over a positive maxbid, or an adjusted
+    bid, are both legitimate mid-run states); all arrays are copied.
+    @raise Invalid_argument on mismatched array lengths, an empty
+    keyword set, a non-positive target rate, or negative spend. *)
+
 val copy : t -> t
 (** Deep copy (used by the equivalence tests to fork timelines). *)
 

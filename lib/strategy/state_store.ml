@@ -56,6 +56,11 @@ type flat = {
      before the snapshot so live runs and replays see identical
      membership at every keyword-local time. *)
   mutable on_tick : (keyword:int -> time:int -> unit) option;
+  (* Per-keyword RNG streams owned by the on_tick hook (lazily created
+     through [flat_tick_rng]).  Held in the store rather than trapped in
+     the hook's closure so a durability snapshot can capture their
+     positions — a restored store resumes the exact churn schedule. *)
+  tick_rngs : Essa_util.Rng.t option array;
 }
 
 type layout =
@@ -139,6 +144,7 @@ let create_flat ~num_keywords ~n ~budgets ~targets () =
           f_target = Array.copy targets;
           f_n = n;
           on_tick = None;
+          tick_rngs = Array.make num_keywords None;
         };
   }
 
@@ -311,6 +317,16 @@ let flat_target t ~adv = (flat_of t "flat_target").f_target.(adv)
 
 let set_on_tick t hook = (flat_of t "set_on_tick").on_tick <- hook
 
+let flat_tick_rng t ~keyword ~init =
+  check_kw t keyword;
+  let f = flat_of t "flat_tick_rng" in
+  match f.tick_rngs.(keyword) with
+  | Some rng -> rng
+  | None ->
+      let rng = init () in
+      f.tick_rngs.(keyword) <- Some rng;
+      rng
+
 type flat_view = {
   fv_members : int array;
   fv_bids : int array;
@@ -450,6 +466,246 @@ let flat_begin_auction t ~keyword ?override ?adopt () =
   done;
   if !changed then t.epochs.(keyword) <- t.epochs.(keyword) + 1;
   (time, snap)
+
+(* ------------------------------------------------------------------ *)
+(* Durability snapshots: a binary image of the whole store, precise
+   enough that an engine rebuilt over the decoded state continues the
+   exact auction stream.  Two details matter for bit-identity:
+
+   - Partition {e capacity} is observable (the spend-snapshot witness is
+     the full slot buffer, free slots included), so it is recorded
+     explicitly rather than re-derived from the growth schedule.
+   - The free-list is recorded in stack order: slot reuse under churn
+     must assign the same local slots after a restore. *)
+
+module B = Essa_util.Bincode
+
+let encode ?bid t buf =
+  B.write_int_array buf t.clocks;
+  B.write_int_array buf t.epochs;
+  B.write_int buf (Atomic.get t.charge_clock);
+  match t.layout with
+  | Dense d ->
+      B.write_u8 buf 0;
+      let states = d.states in
+      let n = Array.length states in
+      let nk = num_keywords t in
+      B.write_int buf n;
+      B.write_int buf nk;
+      (* [bid] lets the caller substitute the advertiser's *effective*
+         bid (e.g. the logical fleet's adjustment-list bid — the stored
+         Roi_state cell is stale there); a fleet rebuilt from the
+         decoded states then starts from the observable bid vector. *)
+      let bid_of =
+        match bid with
+        | Some f -> f
+        | None -> fun ~adv ~keyword -> Roi_state.bid states.(adv) ~keyword
+      in
+      Array.iteri
+        (fun adv st ->
+          let per f = Array.init nk (fun keyword -> f ~keyword) in
+          B.write_int_array buf (per (fun ~keyword -> Roi_state.value st ~keyword));
+          B.write_int_array buf (per (fun ~keyword -> Roi_state.maxbid st ~keyword));
+          B.write_int_array buf (per (fun ~keyword -> bid_of ~adv ~keyword));
+          B.write_int_array buf (per (fun ~keyword -> Roi_state.gained st ~keyword));
+          B.write_int_array buf (per (fun ~keyword -> Roi_state.spent st ~keyword));
+          B.write_int_array buf (per (fun ~keyword -> Roi_state.premium st ~keyword));
+          B.write_float buf (Roi_state.target_rate st);
+          B.write_option buf B.write_int (Roi_state.budget st);
+          B.write_int buf (Roi_state.amt_spent st))
+        states
+  | Flat f ->
+      B.write_u8 buf 1;
+      B.write_int buf f.f_n;
+      B.write_int_array buf f.f_budget;
+      B.write_float_array buf f.f_target;
+      B.write_array buf (fun buf c -> B.write_int buf (Atomic.get c)) f.f_spent;
+      Array.iter
+        (fun p ->
+          B.write_int buf (Array.length p.members);
+          B.write_int buf p.p_len;
+          let upto a = Array.sub a 0 p.p_len in
+          B.write_int_array buf (upto p.members);
+          B.write_int_array buf (upto p.bids);
+          B.write_int_array buf (upto p.maxbids);
+          B.write_int_array buf (upto p.values);
+          B.write_int_array buf (upto p.premiums);
+          B.write_int_array buf (upto p.gained);
+          B.write_int_array buf (upto p.spent);
+          B.write_bool_array buf (Array.sub p.bretired 0 p.p_len);
+          B.write_int_array buf (Array.sub p.free 0 p.free_len);
+          B.write_int buf p.live;
+          B.write_bool buf p.p_dirty)
+        f.parts;
+      B.write_array buf
+        (fun buf o -> B.write_option buf B.write_i64 o)
+        (Array.map (Option.map Essa_util.Rng.state) f.tick_rngs)
+
+type snapshot = {
+  snap_clocks : int array;
+  snap_epochs : int array;
+  snap_charge : int;
+  snap_layout : snap_layout;
+}
+
+and snap_layout = Snap_dense of Roi_state.t array | Snap_flat of t
+
+let check_decoded cond = if not cond then raise B.Truncated
+
+let decode_part r ~n =
+  let cap = B.read_int r in
+  let p_len = B.read_int r in
+  check_decoded (cap >= initial_capacity && p_len >= 0 && p_len <= cap);
+  let members_d = B.read_int_array r in
+  let bids_d = B.read_int_array r in
+  let maxbids_d = B.read_int_array r in
+  let values_d = B.read_int_array r in
+  let premiums_d = B.read_int_array r in
+  let gained_d = B.read_int_array r in
+  let spent_d = B.read_int_array r in
+  let bretired_d = B.read_bool_array r in
+  let free_d = B.read_int_array r in
+  let live = B.read_int r in
+  let p_dirty = B.read_bool r in
+  check_decoded
+    (Array.length members_d = p_len
+    && Array.length bids_d = p_len
+    && Array.length maxbids_d = p_len
+    && Array.length values_d = p_len
+    && Array.length premiums_d = p_len
+    && Array.length gained_d = p_len
+    && Array.length spent_d = p_len
+    && Array.length bretired_d = p_len
+    && Array.length free_d <= p_len
+    && live >= 0 && live <= p_len);
+  Array.iter (fun id -> check_decoded (id >= -1 && id < n)) members_d;
+  Array.iter (fun s -> check_decoded (s >= 0 && s < p_len)) free_d;
+  let into fill d =
+    let a = Array.make cap fill in
+    Array.blit d 0 a 0 p_len;
+    a
+  in
+  let p =
+    {
+      members = into (-1) members_d;
+      bids = into 0 bids_d;
+      maxbids = into 0 maxbids_d;
+      values = into 0 values_d;
+      premiums = into 0 premiums_d;
+      gained = into 0 gained_d;
+      spent = into 0 spent_d;
+      bretired =
+        (let a = Array.make cap false in
+         Array.blit bretired_d 0 a 0 p_len;
+         a);
+      p_len;
+      free =
+        (let a = Array.make (max initial_capacity (Array.length free_d)) 0 in
+         Array.blit free_d 0 a 0 (Array.length free_d);
+         a);
+      free_len = Array.length free_d;
+      live;
+      snap = Array.make cap 0;
+      p_dirty;
+      p_snap_valid = false;
+      p_snap_charge = 0;
+      slot_of = Hashtbl.create 16;
+    }
+  in
+  Array.iteri
+    (fun slot id -> if id >= 0 then Hashtbl.replace p.slot_of id slot)
+    members_d;
+  check_decoded (Hashtbl.length p.slot_of = live);
+  p
+
+let decode r =
+  let snap_clocks = B.read_int_array r in
+  let snap_epochs = B.read_int_array r in
+  let snap_charge = B.read_int r in
+  let nk = Array.length snap_clocks in
+  check_decoded (nk >= 1 && Array.length snap_epochs = nk);
+  let snap_layout =
+    match B.read_u8 r with
+    | 0 ->
+        let n = B.read_int r in
+        let nk' = B.read_int r in
+        check_decoded (n >= 1 && nk' = nk);
+        Snap_dense
+          (Array.init n (fun _ ->
+               let values = B.read_int_array r in
+               let maxbids = B.read_int_array r in
+               let bids = B.read_int_array r in
+               let gained_by = B.read_int_array r in
+               let spent_by = B.read_int_array r in
+               let premiums = B.read_int_array r in
+               let target_rate = B.read_float r in
+               let budget = B.read_option r B.read_int in
+               let amt_spent = B.read_int r in
+               check_decoded (Array.length values = nk);
+               try
+                 Roi_state.restore ~values ~maxbids ~bids ~gained_by ~spent_by
+                   ~premiums ~target_rate ~budget ~amt_spent
+               with Invalid_argument _ -> raise B.Truncated))
+    | 1 ->
+        let f_n = B.read_int r in
+        let f_budget = B.read_int_array r in
+        let f_target = B.read_float_array r in
+        let spends = B.read_int_array r in
+        check_decoded
+          (f_n >= 1
+          && Array.length f_budget = f_n
+          && Array.length f_target = f_n
+          && Array.length spends = f_n);
+        Array.iter (fun t -> check_decoded (t > 0.0)) f_target;
+        let parts = Array.init nk (fun _ -> decode_part r ~n:f_n) in
+        let rng_states = B.read_array r (fun r -> B.read_option r B.read_i64) in
+        check_decoded (Array.length rng_states = nk);
+        let store =
+          {
+            clocks = Array.copy snap_clocks;
+            epochs = Array.copy snap_epochs;
+            charge_clock = Atomic.make snap_charge;
+            layout =
+              Flat
+                {
+                  parts;
+                  f_spent = Array.map (fun s -> Atomic.make s) spends;
+                  f_budget;
+                  f_target;
+                  f_n;
+                  on_tick = None;
+                  tick_rngs =
+                    Array.map (Option.map Essa_util.Rng.of_state) rng_states;
+                };
+          }
+        in
+        Snap_flat store
+    | _ -> raise B.Truncated
+  in
+  { snap_clocks; snap_epochs; snap_charge; snap_layout }
+
+let snapshot_is_flat snap =
+  match snap.snap_layout with Snap_flat _ -> true | Snap_dense _ -> false
+
+let snapshot_num_keywords snap = Array.length snap.snap_clocks
+
+let dense_states snap =
+  match snap.snap_layout with
+  | Snap_dense states -> states
+  | Snap_flat _ -> invalid_arg "State_store.dense_states: flat snapshot"
+
+let of_snapshot_flat snap =
+  match snap.snap_layout with
+  | Snap_flat store -> store
+  | Snap_dense _ -> invalid_arg "State_store.of_snapshot_flat: dense snapshot"
+
+let apply_meta snap store =
+  let nk = num_keywords store in
+  if Array.length snap.snap_clocks <> nk then
+    invalid_arg "State_store.apply_meta: keyword-count mismatch";
+  Array.blit snap.snap_clocks 0 store.clocks 0 nk;
+  Array.blit snap.snap_epochs 0 store.epochs 0 nk;
+  Atomic.set store.charge_clock snap.snap_charge
 
 let flat_record_win t ~adv ~keyword ~price =
   check_kw t keyword;

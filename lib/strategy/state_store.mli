@@ -203,3 +203,60 @@ val flat_record_win :
 (** A clicked win: atomically charge the advertiser's spend cell and bump
     the keyword-local value-gained / amount-spent tallies (skipped if the
     advertiser has departed the partition — the charge still lands). *)
+
+val flat_tick_rng :
+  t -> keyword:int -> init:(unit -> Essa_util.Rng.t) -> Essa_util.Rng.t
+(** The keyword's store-owned tick RNG (the churn hook's per-keyword
+    stream), created with [init] on first use.  Owned by the store so
+    {!encode} captures its position: a store decoded mid-run resumes the
+    exact churn schedule instead of restarting the stream.
+    @raise Invalid_argument on a dense store. *)
+
+(** {1 Durability snapshots}
+
+    A binary image of the whole store — both layouts — written with
+    {!Essa_util.Bincode}.  The image is precise enough for bit-identical
+    continuation: partition capacities (observable through the
+    spend-snapshot witness length), free-list order (slot reuse under
+    churn), deferred-retirement flags and tick-RNG positions are all
+    captured.  Transient caches (spend-snapshot validity) are dropped
+    and rebuilt on first use. *)
+
+val encode : ?bid:(adv:int -> keyword:int -> int) -> t -> Buffer.t -> unit
+(** Serialize the store (clocks, epochs, charge clock, layout).  [bid]
+    overrides the per-(advertiser, keyword) bid written for a {e dense}
+    store — the logical fleet keeps its live bids in adjustment lists,
+    so the caller passes the fleet's effective-bid reader and the
+    decoded states start from the observable bid vector.  Ignored for
+    flat stores (partition arrays are already authoritative).  Call at a
+    quiescent point (no lane mid-auction). *)
+
+type snapshot
+(** A decoded store image. *)
+
+val decode : Essa_util.Bincode.reader -> snapshot
+(** Decode an image produced by {!encode}, consuming exactly its bytes.
+    @raise Essa_util.Bincode.Truncated on malformed or short input. *)
+
+val snapshot_is_flat : snapshot -> bool
+val snapshot_num_keywords : snapshot -> int
+
+val dense_states : snapshot -> Roi_state.t array
+(** The restored advertiser states of a dense image (ownership
+    transferred — feed them to an engine constructor, which rebuilds the
+    fleet's derived structures from them).  The store meta (clocks,
+    epochs, charge clock) is {e not} in the states: apply it to the
+    rebuilt store with {!apply_meta}.
+    @raise Invalid_argument on a flat snapshot. *)
+
+val of_snapshot_flat : snapshot -> t
+(** The fully-restored flat store of a flat image, meta included.
+    Re-attach the churn hook ({!set_on_tick}) before serving; the
+    tick-RNG positions are already restored.
+    @raise Invalid_argument on a dense snapshot. *)
+
+val apply_meta : snapshot -> t -> unit
+(** Overwrite [store]'s keyword clocks, dirty epochs and charge clock
+    with the snapshot's — the final restore step for a dense store
+    rebuilt via {!dense_states} + a fleet constructor.
+    @raise Invalid_argument on a keyword-count mismatch. *)

@@ -1,0 +1,107 @@
+(* Minimal binary codec for the WAL and state-store snapshots: fixed-width
+   little-endian integers and length-prefixed aggregates over a
+   [Buffer.t] writer and a positional string reader.  No
+   backward-compatibility machinery — the WAL magic carries the format
+   version and readers reject anything else. *)
+
+exception Truncated
+
+(* ---------------------------------------------------------------- *)
+(* Writers *)
+
+let write_i64 buf (v : int64) = Buffer.add_int64_le buf v
+let write_int buf (v : int) = Buffer.add_int64_le buf (Int64.of_int v)
+let write_u8 buf (v : int) = Buffer.add_uint8 buf (v land 0xFF)
+let write_u32 buf (v : int) = Buffer.add_int32_le buf (Int32.of_int v)
+let write_bool buf b = write_u8 buf (if b then 1 else 0)
+let write_float buf f = write_i64 buf (Int64.bits_of_float f)
+
+let write_string buf s =
+  write_int buf (String.length s);
+  Buffer.add_string buf s
+
+let write_array buf write_elt a =
+  write_int buf (Array.length a);
+  Array.iter (fun x -> write_elt buf x) a
+
+let write_int_array buf a = write_array buf write_int a
+let write_bool_array buf a = write_array buf write_bool a
+let write_float_array buf a = write_array buf write_float a
+
+let write_option buf write_elt = function
+  | None -> write_u8 buf 0
+  | Some x ->
+      write_u8 buf 1;
+      write_elt buf x
+
+(* ---------------------------------------------------------------- *)
+(* Reader *)
+
+type reader = { src : string; mutable pos : int }
+
+let reader ?(pos = 0) src =
+  if pos < 0 || pos > String.length src then invalid_arg "Bincode.reader";
+  { src; pos }
+
+let pos r = r.pos
+let remaining r = String.length r.src - r.pos
+
+let need r n = if remaining r < n then raise Truncated
+
+let read_i64 r =
+  need r 8;
+  let v = String.get_int64_le r.src r.pos in
+  r.pos <- r.pos + 8;
+  v
+
+let read_int r =
+  let v = read_i64 r in
+  let i = Int64.to_int v in
+  if Int64.of_int i <> v then raise Truncated;
+  i
+
+let read_u8 r =
+  need r 1;
+  let v = Char.code (String.unsafe_get r.src r.pos) in
+  r.pos <- r.pos + 1;
+  v
+
+let read_u32 r =
+  need r 4;
+  let v = String.get_int32_le r.src r.pos in
+  r.pos <- r.pos + 4;
+  Int32.to_int (Int32.logand v 0xFFFFFFFFl) land 0xFFFFFFFF
+
+let read_bool r =
+  match read_u8 r with
+  | 0 -> false
+  | 1 -> true
+  | _ -> raise Truncated
+
+let read_float r = Int64.float_of_bits (read_i64 r)
+
+let read_string r =
+  let len = read_int r in
+  if len < 0 then raise Truncated;
+  need r len;
+  let s = String.sub r.src r.pos len in
+  r.pos <- r.pos + len;
+  s
+
+let read_array r read_elt =
+  let len = read_int r in
+  if len < 0 then raise Truncated;
+  (* Each element is at least one byte: a huge claimed length on a short
+     tail is torn data, not an allocation request. *)
+  if len > remaining r then raise Truncated;
+  Array.init len (fun _ -> read_elt r)
+
+let read_int_array r = read_array r read_int
+let read_bool_array r = read_array r read_bool
+let read_float_array r = read_array r read_float
+
+let read_option r read_elt =
+  match read_u8 r with
+  | 0 -> None
+  | 1 -> Some (read_elt r)
+  | _ -> raise Truncated

@@ -1,0 +1,31 @@
+(* CRC-32 (IEEE 802.3, reflected, polynomial 0xEDB88320) — the checksum
+   guarding every WAL record.  Table-driven, byte at a time; plenty for
+   the record sizes involved (a summary record is tens to hundreds of
+   bytes) and dependency-free. *)
+
+let table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref (Int32.of_int n) in
+         for _ = 0 to 7 do
+           c :=
+             if Int32.logand !c 1l <> 0l then
+               Int32.logxor 0xEDB88320l (Int32.shift_right_logical !c 1)
+             else Int32.shift_right_logical !c 1
+         done;
+         !c))
+
+let update crc s ~pos ~len =
+  if pos < 0 || len < 0 || pos + len > String.length s then
+    invalid_arg "Crc32.update";
+  let table = Lazy.force table in
+  let c = ref (Int32.lognot crc) in
+  for i = pos to pos + len - 1 do
+    let byte = Char.code (String.unsafe_get s i) in
+    let index = Int32.to_int (Int32.logand (Int32.logxor !c (Int32.of_int byte)) 0xFFl) in
+    c := Int32.logxor (Array.unsafe_get table index) (Int32.shift_right_logical !c 8)
+  done;
+  Int32.lognot !c
+
+let string s = update 0l s ~pos:0 ~len:(String.length s)
+let bytes b = string (Bytes.unsafe_to_string b)

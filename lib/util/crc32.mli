@@ -1,0 +1,14 @@
+(** CRC-32 (IEEE 802.3, the zlib/Ethernet polynomial) over strings —
+    the per-record checksum of the serving WAL.  Standard test vector:
+    [string "123456789" = 0xCBF43926l]. *)
+
+val string : string -> int32
+(** CRC-32 of a whole string. *)
+
+val bytes : bytes -> int32
+(** CRC-32 of a whole byte buffer (no copy). *)
+
+val update : int32 -> string -> pos:int -> len:int -> int32
+(** Streaming form: extend a running CRC with a substring.  [string s] is
+    [update 0l s ~pos:0 ~len:(String.length s)].
+    @raise Invalid_argument when the substring is out of bounds. *)

@@ -18,6 +18,17 @@ val copy : t -> t
 (** [copy t] is an independent generator that will produce the same future
     stream as [t] does from this point. *)
 
+val state : t -> int64
+(** The raw SplitMix64 state — the whole generator.  Persist it and
+    {!of_state} / {!set_state} resume the exact stream; the durability
+    snapshots use this to capture mid-run RNG positions. *)
+
+val of_state : int64 -> t
+(** A generator resuming from a raw state captured with {!state}. *)
+
+val set_state : t -> int64 -> unit
+(** Overwrite a generator's position in place (restore path). *)
+
 val split : t -> key:int -> t
 (** [split t ~key] derives a new generator whose stream is statistically
     independent of [t]'s output and of every other key's stream.  [t] is

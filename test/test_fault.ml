@@ -92,8 +92,14 @@ let test_parse_roundtrip () =
   let cases =
     [
       ("exn@7", Fault.Engine_exn { seq = 7 });
+      ("kill@250", Fault.Kill_server { seq = 250 });
       ("slow@3:20", Fault.Slow_auction { seq = 3; delay_ns = 20_000_000 });
       ("stall@1:50", Fault.Lane_stall { lane = 1; delay_ns = 50_000_000 });
+      (* Exact-nanosecond delays: the ns suffix must survive a full
+         round-trip, and decimal milliseconds round to the nearest ns. *)
+      ("slow@5:1234567ns", Fault.Slow_auction { seq = 5; delay_ns = 1_234_567 });
+      ("stall@0:1ns", Fault.Lane_stall { lane = 0; delay_ns = 1 });
+      ("slow@2:2.5", Fault.Slow_auction { seq = 2; delay_ns = 2_500_000 });
     ]
   in
   List.iter
@@ -113,7 +119,41 @@ let test_parse_roundtrip () =
       | Ok _ -> Alcotest.failf "%S should not parse" bad
       | Error _ -> ())
     [ ""; "exn"; "exn@"; "exn@x"; "exn@-1"; "slow@3"; "slow@3:0";
-      "stall@1:-5"; "boom@1"; "slow@:5" ]
+      "stall@1:-5"; "boom@1"; "slow@:5"; "kill@"; "kill@-3"; "kill@1:5";
+      "slow@3:0ns"; "slow@3:-7ns" ]
+
+let test_parse_roundtrip_prop =
+  (* parse (to_string spec) = Ok spec for every representable spec,
+     including delays that are not a whole number of milliseconds (the
+     bug pinned here: "%g" ms printing kept 6 significant digits, so
+     fine-grained delays drifted through a round-trip). *)
+  let gen =
+    let open QCheck2.Gen in
+    let seq = int_range 0 1_000_000 in
+    let delay =
+      oneof
+        [
+          map (fun ms -> ms * 1_000_000) (int_range 1 100_000);
+          int_range 1 1_000_000_000;
+        ]
+    in
+    oneof
+      [
+        map (fun seq -> Fault.Engine_exn { seq }) seq;
+        map (fun seq -> Fault.Kill_server { seq }) seq;
+        map2
+          (fun seq delay_ns -> Fault.Slow_auction { seq; delay_ns })
+          seq delay;
+        map2
+          (fun lane delay_ns -> Fault.Lane_stall { lane; delay_ns })
+          seq delay;
+      ]
+  in
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~count:1000 ~name:"parse (to_string s) = Ok s"
+       ~print:(fun spec -> Fault.to_string spec)
+       gen
+       (fun spec -> Fault.parse (Fault.to_string spec) = Ok spec))
 
 let test_create_validates () =
   Alcotest.check_raises "negative seq"
@@ -132,6 +172,49 @@ let test_fires_once () =
    with Fault.Injected 4 -> ());
   (* Each spec fires at most once: the retried sequence executes. *)
   Fault.before_execute faults ~seq:4
+
+let test_same_seq_kill_dominates () =
+  (* Same-seq firing order is fixed — kill before exn — whichever order
+     the specs were armed in.  The exn stays armed through the kill
+     (fire-once is per spec), so a retry of the same sequence hits it. *)
+  List.iter
+    (fun specs ->
+      let faults = Fault.create specs in
+      (try
+         Fault.before_execute faults ~seq:5;
+         Alcotest.fail "armed kill did not fire"
+       with Fault.Killed 5 -> ());
+      (try
+         Fault.before_execute faults ~seq:5;
+         Alcotest.fail "exn should survive the kill"
+       with Fault.Injected 5 -> ());
+      Fault.before_execute faults ~seq:5 (* both fired: no-op *))
+    [
+      [ Fault.Kill_server { seq = 5 }; Fault.Engine_exn { seq = 5 } ];
+      [ Fault.Engine_exn { seq = 5 }; Fault.Kill_server { seq = 5 } ];
+    ]
+
+let test_same_seq_delay_before_exn () =
+  (* A delay and an exn armed at the same sequence: the delay must be
+     applied before the exception is raised, for either arm order — a
+     raising one-pass scan would skip the delay when the exn was armed
+     first.  Timing-observable, so this lives in the gated group. *)
+  let delay_ns = 30_000_000 in
+  List.iter
+    (fun specs ->
+      let faults = Fault.create specs in
+      let t0 = Essa_util.Timing.now_ns () in
+      (try
+         Fault.before_execute faults ~seq:9;
+         Alcotest.fail "armed exn did not fire"
+       with Fault.Injected 9 -> ());
+      let elapsed = Int64.sub (Essa_util.Timing.now_ns ()) t0 in
+      Alcotest.(check bool) "delay applied before the raise" true
+        (elapsed >= Int64.of_int (delay_ns / 2)))
+    [
+      [ Fault.Slow_auction { seq = 9; delay_ns }; Fault.Engine_exn { seq = 9 } ];
+      [ Fault.Engine_exn { seq = 9 }; Fault.Slow_auction { seq = 9; delay_ns } ];
+    ]
 
 (* ------------------------------------------------------------------ *)
 (* Lane supervision *)
@@ -420,8 +503,11 @@ let () =
       ( "switchboard",
         [
           Alcotest.test_case "parse/to_string" `Quick test_parse_roundtrip;
+          test_parse_roundtrip_prop;
           Alcotest.test_case "create validates" `Quick test_create_validates;
           Alcotest.test_case "fires once" `Quick test_fires_once;
+          Alcotest.test_case "same-seq: kill dominates exn" `Quick
+            test_same_seq_kill_dominates;
         ] );
       ( "supervision",
         [
@@ -448,6 +534,8 @@ let () =
       ( "injected-timing",
         gated
           [
+            Alcotest.test_case "same-seq: delay before exn" `Slow
+              test_same_seq_delay_before_exn;
             Alcotest.test_case "lane stall recovery" `Slow test_stall_recovery;
             Alcotest.test_case "server deadline degrades" `Slow
               test_server_deadline_degrades;

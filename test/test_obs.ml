@@ -33,7 +33,21 @@ let test_histogram_basics () =
 let test_histogram_negative_clamps () =
   let h = Histogram.create () in
   Histogram.record h (-42);
-  Alcotest.(check bool) "clamped to 0" true (Histogram.min_max h = Some (0, 0))
+  Alcotest.(check bool) "clamped to 0" true (Histogram.min_max h = Some (0, 0));
+  (* The clamp is tallied, not silent: a negative sample means a clock
+     was misused upstream. *)
+  Alcotest.(check int) "clamp counted" 1 (Histogram.clamped h);
+  Alcotest.(check int) "sum unpolluted" 0 (Histogram.sum h);
+  Histogram.record h (-1);
+  Histogram.record h 7;
+  Alcotest.(check int) "only negatives counted" 2 (Histogram.clamped h);
+  Alcotest.(check int) "all samples counted" 3 (Histogram.count h);
+  let other = Histogram.create () in
+  Histogram.record other (-5);
+  Histogram.merge_into ~into:h other;
+  Alcotest.(check int) "merge sums clamps" 3 (Histogram.clamped h);
+  Histogram.reset h;
+  Alcotest.(check int) "reset zeroes clamps" 0 (Histogram.clamped h)
 
 let test_histogram_percentile_accuracy () =
   (* Samples 1..10_000: every quantile estimate must be within the

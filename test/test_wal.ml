@@ -1,0 +1,586 @@
+(* Durability: bincode/CRC units, WAL round-trips and torn-tail
+   trimming, state-store/engine snapshot continuation equality, and the
+   kill@SEQ crash-recovery sweep. *)
+
+module B = Essa_util.Bincode
+module Crc = Essa_util.Crc32
+module Sstore = Essa_strategy.State_store
+module Engine = Essa.Engine
+module Workload = Essa_sim.Workload
+module Wal = Essa_serve.Wal
+
+(* ---------------------------------------------------------------- *)
+(* Snapshot continuation: encode a mid-run engine, rebuild from the
+   blob, and require the continuation to be bit-identical to the
+   uninterrupted engine's — summaries, revenue, everything. *)
+
+let flat_continuation ~churn ~update_every ~cache () =
+  let u = Workload.universe ~keywords:5 ~n:40 ~zipf_s:1.0 ~seed:11 () in
+  let store = Workload.universe_store ~churn u () in
+  let engine = Workload.make_flat_engine ~cache ~update_every u ~store in
+  let trace = Workload.universe_queries u ~seed:12 ~count:400 in
+  let m = 150 in
+  for i = 0 to m - 1 do
+    ignore (Engine.run_partitioned engine ~keyword:trace.(i))
+  done;
+  let buf = Buffer.create 4096 in
+  Engine.encode_state engine buf;
+  let blob = Buffer.contents buf in
+  let r = B.reader blob in
+  let snap = Sstore.decode r in
+  Alcotest.(check bool) "flat snapshot" true (Sstore.snapshot_is_flat snap);
+  let store' = Sstore.of_snapshot_flat snap in
+  if churn > 0.0 then Workload.universe_attach_churn u store' ~churn;
+  let engine' = Workload.make_flat_engine ~cache ~update_every u ~store:store' in
+  Sstore.apply_meta snap
+    (Essa_strategy.Roi_fleet.store_of (Engine.fleet engine'));
+  Engine.restore_extras engine' r;
+  Alcotest.(check int) "blob fully consumed" 0 (B.remaining r);
+  Alcotest.(check int) "auctions restored" (Engine.auctions_run engine)
+    (Engine.auctions_run engine');
+  for i = m to Array.length trace - 1 do
+    let a = Engine.run_partitioned engine ~keyword:trace.(i) in
+    let b = Engine.run_partitioned engine' ~keyword:trace.(i) in
+    if a <> b then
+      Alcotest.failf "summary %d (keyword %d) diverged after restore" i
+        trace.(i)
+  done;
+  Alcotest.(check int) "total revenue" (Engine.total_revenue engine)
+    (Engine.total_revenue engine')
+
+let dense_continuation ~method_ ~budgeted_fraction ~update_every ~cache () =
+  let w =
+    Workload.section5 ~seed:7 ~n:60 ~k:5 ~num_keywords:6 ~budgeted_fraction ()
+  in
+  let engine =
+    Workload.make_engine ~partitioned:true ~cache ~update_every w ~method_
+  in
+  let trace = Workload.queries w ~seed:8 ~count:300 in
+  let m = 120 in
+  for i = 0 to m - 1 do
+    ignore (Engine.run_partitioned engine ~keyword:trace.(i))
+  done;
+  let buf = Buffer.create 4096 in
+  Engine.encode_state engine buf;
+  let r = B.reader (Buffer.contents buf) in
+  let snap = Sstore.decode r in
+  Alcotest.(check bool) "dense snapshot" false (Sstore.snapshot_is_flat snap);
+  let engine' =
+    Workload.make_engine ~partitioned:true ~cache ~update_every
+      ~states:(Sstore.dense_states snap) w ~method_
+  in
+  Sstore.apply_meta snap
+    (Essa_strategy.Roi_fleet.store_of (Engine.fleet engine'));
+  Engine.restore_extras engine' r;
+  Alcotest.(check int) "blob fully consumed" 0 (B.remaining r);
+  for i = m to Array.length trace - 1 do
+    let a = Engine.run_partitioned engine ~keyword:trace.(i) in
+    let b = Engine.run_partitioned engine' ~keyword:trace.(i) in
+    if a <> b then
+      Alcotest.failf "summary %d (keyword %d) diverged after restore" i
+        trace.(i)
+  done;
+  Alcotest.(check int) "total revenue" (Engine.total_revenue engine)
+    (Engine.total_revenue engine')
+
+(* ---------------------------------------------------------------- *)
+(* Bincode and CRC units. *)
+
+let test_bincode_roundtrip () =
+  let buf = Buffer.create 256 in
+  B.write_int buf 0;
+  B.write_int buf (-1);
+  B.write_int buf max_int;
+  B.write_int buf min_int;
+  B.write_i64 buf 0x1122334455667788L;
+  B.write_u8 buf 200;
+  B.write_u32 buf 0xDEADBEEF;
+  B.write_bool buf true;
+  B.write_float buf 0.1;
+  B.write_string buf "hello";
+  B.write_int_array buf [| 3; -7; 42 |];
+  B.write_option buf B.write_int None;
+  B.write_option buf B.write_int (Some 99);
+  let r = B.reader (Buffer.contents buf) in
+  Alcotest.(check int) "int 0" 0 (B.read_int r);
+  Alcotest.(check int) "int -1" (-1) (B.read_int r);
+  Alcotest.(check int) "max_int" max_int (B.read_int r);
+  Alcotest.(check int) "min_int" min_int (B.read_int r);
+  Alcotest.(check int64) "i64" 0x1122334455667788L (B.read_i64 r);
+  Alcotest.(check int) "u8" 200 (B.read_u8 r);
+  Alcotest.(check int) "u32 unsigned" 0xDEADBEEF (B.read_u32 r);
+  Alcotest.(check bool) "bool" true (B.read_bool r);
+  Alcotest.(check (float 0.0)) "float exact" 0.1 (B.read_float r);
+  Alcotest.(check string) "string" "hello" (B.read_string r);
+  Alcotest.(check (array int)) "int array" [| 3; -7; 42 |] (B.read_int_array r);
+  Alcotest.(check bool) "none" true (B.read_option r B.read_int = None);
+  Alcotest.(check bool) "some" true (B.read_option r B.read_int = Some 99);
+  Alcotest.(check int) "fully consumed" 0 (B.remaining r)
+
+let test_bincode_truncation () =
+  let raises_truncated f =
+    match f () with exception B.Truncated -> true | _ -> false
+  in
+  let buf = Buffer.create 16 in
+  B.write_int buf 42;
+  let s = Buffer.contents buf in
+  (* Every strict prefix of an i64 is truncated input. *)
+  for cut = 0 to String.length s - 1 do
+    let r = B.reader (String.sub s 0 cut) in
+    if not (raises_truncated (fun () -> B.read_int r)) then
+      Alcotest.failf "prefix of length %d decoded" cut
+  done;
+  (* A length prefix pointing past the end must not allocate blindly. *)
+  let buf = Buffer.create 16 in
+  B.write_int buf 1_000_000;
+  let r = B.reader (Buffer.contents buf) in
+  Alcotest.(check bool) "oversized array length" true
+    (raises_truncated (fun () -> B.read_int_array r))
+
+let test_crc_vector () =
+  (* The canonical CRC-32 (IEEE 802.3) check vector. *)
+  Alcotest.(check int32) "crc32 of 123456789" 0xCBF43926l
+    (Crc.string "123456789")
+
+(* ---------------------------------------------------------------- *)
+(* WAL writer/loader round-trip, rotation and compaction. *)
+
+let temp_dir () =
+  let d = Filename.temp_file "essa_wal" "" in
+  Sys.remove d;
+  d
+
+let rm_rf dir =
+  if Sys.file_exists dir then begin
+    Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+    Sys.rmdir dir
+  end
+
+(* Real summaries to feed the WAL: run a small flat engine and keep what
+   it serves (witness arrays included). *)
+let sample_summaries ~count =
+  let u = Workload.universe ~keywords:4 ~n:24 ~zipf_s:1.0 ~seed:31 () in
+  let store = Workload.universe_store u () in
+  let engine = Workload.make_flat_engine u ~store in
+  let trace = Workload.universe_queries u ~seed:32 ~count in
+  (engine, Array.map (fun kw -> Engine.run_partitioned engine ~keyword:kw) trace)
+
+let test_wal_roundtrip () =
+  let engine, summaries = sample_summaries ~count:40 in
+  let dir = temp_dir () in
+  Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
+  let w = Wal.create_writer ~segment_bytes:4096 ~dir () in
+  Array.iteri (fun i s -> Wal.append w ~seq:i s) summaries;
+  let buf = Buffer.create 4096 in
+  Engine.encode_state engine buf;
+  let blob = Buffer.contents buf in
+  Wal.append_snapshot w ~next_seq:40 ~seqs:(Array.init 40 Fun.id) ~blob;
+  Wal.close_writer w;
+  Wal.close_writer w;
+  (* idempotent *)
+  let { Wal.entries; trimmed } = Wal.load ~dir in
+  Alcotest.(check bool) "no trim" false trimmed;
+  Alcotest.(check int) "record count" 41 (List.length entries);
+  Alcotest.(check bool) "rotated" true (List.length (Wal.segments ~dir) > 1);
+  List.iteri
+    (fun i e ->
+      match e with
+      | Wal.Summary { seq; summary } ->
+          if seq <> i then Alcotest.failf "seq %d at position %d" seq i;
+          if summary <> summaries.(i) then
+            Alcotest.failf "summary %d did not round-trip" i
+      | Wal.Snapshot { next_seq; seqs; blob = b } ->
+          Alcotest.(check int) "snapshot position" 40 i;
+          Alcotest.(check int) "next_seq" 40 next_seq;
+          Alcotest.(check int) "seqs" 40 (Array.length seqs);
+          Alcotest.(check string) "blob" blob b)
+    entries;
+  (* A restarted writer appends after the recovered segments. *)
+  let w2 = Wal.create_writer ~segment_bytes:4096 ~dir () in
+  Wal.append w2 ~seq:40 summaries.(0);
+  Wal.close_writer w2;
+  let { Wal.entries = entries'; _ } = Wal.load ~dir in
+  Alcotest.(check int) "append after restart" 42 (List.length entries');
+  (* Compaction drops segments wholly before the snapshot-bearing one;
+     the snapshot and everything after survive. *)
+  let deleted = Wal.compact ~dir in
+  Alcotest.(check bool) "compacted something" true (deleted > 0);
+  let { Wal.entries = compacted; trimmed } = Wal.load ~dir in
+  Alcotest.(check bool) "no trim after compact" false trimmed;
+  let has_snapshot =
+    List.exists (function Wal.Snapshot _ -> true | _ -> false) compacted
+  in
+  Alcotest.(check bool) "snapshot survives compaction" true has_snapshot;
+  (match List.rev compacted with
+  | Wal.Summary { seq; _ } :: _ ->
+      Alcotest.(check int) "post-snapshot record survives" 40 seq
+  | _ -> Alcotest.fail "expected trailing summary record");
+  Alcotest.(check int) "second compact is a no-op" 0 (Wal.compact ~dir)
+
+(* ---------------------------------------------------------------- *)
+(* Torn tails: truncate the final segment at every byte offset of its
+   last record; the loader must trim to the last valid record, and
+   recovery must still restore a consistent engine. *)
+
+let frame_offsets bytes =
+  (* Start offsets of each record frame in a segment image. *)
+  let len = String.length bytes in
+  let rec go off acc =
+    if off >= len then List.rev acc
+    else
+      let rlen = Int32.to_int (String.get_int32_le bytes off) land 0xFFFFFFFF in
+      go (off + 8 + rlen) (off :: acc)
+  in
+  go 8 []
+
+let test_wal_torn_tail () =
+  let u = Workload.universe ~keywords:4 ~n:24 ~zipf_s:1.0 ~seed:31 () in
+  let store = Workload.universe_store u () in
+  let engine = Workload.make_flat_engine u ~store in
+  let trace = Workload.universe_queries u ~seed:32 ~count:30 in
+  let dir = temp_dir () in
+  let dir2 = temp_dir () in
+  Fun.protect ~finally:(fun () ->
+      rm_rf dir;
+      rm_rf dir2)
+  @@ fun () ->
+  let w = Wal.create_writer ~dir () in
+  (* Serve and append in lockstep, snapshotting after auction 20 — the
+     snapshot must capture the engine *at that point*, as the server's
+     batcher does at its quiescent boundary. *)
+  Array.iteri
+    (fun i kw ->
+      Wal.append w ~seq:i (Engine.run_partitioned engine ~keyword:kw);
+      if i = 19 then begin
+        let buf = Buffer.create 4096 in
+        Engine.encode_state engine buf;
+        Wal.append_snapshot w ~next_seq:20 ~seqs:(Array.init 20 Fun.id)
+          ~blob:(Buffer.contents buf)
+      end)
+    trace;
+  Wal.close_writer w;
+  let seg =
+    match Wal.segments ~dir with
+    | [ s ] -> s
+    | l -> Alcotest.failf "expected one segment, got %d" (List.length l)
+  in
+  let bytes =
+    let ic = open_in_bin seg in
+    let n = in_channel_length ic in
+    let b = really_input_string ic n in
+    close_in ic;
+    b
+  in
+  let full = Wal.load ~dir in
+  Alcotest.(check int) "full record count" 31 (List.length full.entries);
+  let offsets = frame_offsets bytes in
+  let last_start = List.nth offsets (List.length offsets - 1) in
+  let file_len = String.length bytes in
+  let write_truncated cut =
+    rm_rf dir2;
+    Unix.mkdir dir2 0o755;
+    let oc = open_out_bin (Filename.concat dir2 "00000000.wal") in
+    output_string oc (String.sub bytes 0 cut);
+    close_out oc
+  in
+  for cut = last_start to file_len - 1 do
+    write_truncated cut;
+    let { Wal.entries; trimmed } = Wal.load ~dir:dir2 in
+    Alcotest.(check int)
+      (Printf.sprintf "cut at %d keeps the valid prefix" cut)
+      30
+      (List.length entries);
+    Alcotest.(check bool)
+      (Printf.sprintf "cut at %d trim flag" cut)
+      (cut > last_start) trimmed
+  done;
+  (* A corrupt CRC mid-file discards that record and the rest. *)
+  let mid = List.nth offsets 10 in
+  write_truncated file_len;
+  let path = Filename.concat dir2 "00000000.wal" in
+  let fd = Unix.openfile path [ Unix.O_WRONLY ] 0 in
+  ignore (Unix.lseek fd (mid + 9) Unix.SEEK_SET);
+  let byte = Bytes.make 1 (Char.chr (Char.code bytes.[mid + 9] lxor 0xFF)) in
+  ignore (Unix.write fd byte 0 1);
+  Unix.close fd;
+  let { Wal.entries; trimmed } = Wal.load ~dir:dir2 in
+  Alcotest.(check int) "corrupt CRC stops the load" 10 (List.length entries);
+  Alcotest.(check bool) "corrupt CRC sets trimmed" true trimmed;
+  (* Recovery over torn tails: restore from a sample of truncation
+     points (snapshot at record 20 — cuts land in the replay tail) and
+     require a clean replay report each time. *)
+  let engine_of snap =
+    let store =
+      match snap with
+      | None -> Workload.universe_store u ()
+      | Some s -> Sstore.of_snapshot_flat s
+    in
+    Workload.make_flat_engine u ~store
+  in
+  let cut = ref last_start in
+  while !cut < file_len do
+    write_truncated !cut;
+    let rc = Essa_serve.Recovery.restore ~dir:dir2 ~num_keywords:4 ~engine_of () in
+    Alcotest.(check int)
+      (Printf.sprintf "cut at %d replays clean" !cut)
+      0 rc.tail_mismatches;
+    let report =
+      Essa_serve.Replay.check ~served:rc.engine ~fresh:(engine_of None)
+        ~log:rc.logs
+    in
+    if not (Essa_serve.Replay.ok report) then
+      Alcotest.failf "cut at %d fails the replay contract" !cut;
+    cut := !cut + 13
+  done
+
+(* ---------------------------------------------------------------- *)
+(* Crash-recovery sweep: kill a served run mid-stream, restore from the
+   WAL, resubmit what was lost, and check the combined stream. *)
+
+let kill_recover ~universe:u ~churn ~workers ~kill ~trace ~wal_snapshot_every ()
+    =
+  let nkw = Workload.universe_keywords u in
+  let engine_of snap =
+    let store =
+      match snap with
+      | None -> Workload.universe_store ~churn u ()
+      | Some s ->
+          let store = Sstore.of_snapshot_flat s in
+          if churn > 0.0 then Workload.universe_attach_churn u store ~churn;
+          store
+    in
+    Workload.make_flat_engine u ~store
+  in
+  let dir = temp_dir () in
+  Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
+  (* Killed run. *)
+  let w = Wal.create_writer ~dir () in
+  let faults =
+    match Essa_serve.Fault.parse (Printf.sprintf "kill@%d" kill) with
+    | Ok s -> Essa_serve.Fault.create [ s ]
+    | Error e -> failwith e
+  in
+  let server =
+    Essa_serve.Server.create ~workers ~commit:`Per_keyword ~faults ~wal:w
+      ~wal_snapshot_every ~max_batch:16
+      ~queue_capacity:(Array.length trace)
+      ~engine:(engine_of None) ()
+  in
+  Array.iter
+    (fun kw -> ignore (Essa_serve.Server.submit server ~keyword:kw))
+    trace;
+  let stats = Essa_serve.Server.stop server in
+  Wal.close_writer w;
+  Alcotest.(check bool) "kill fired" true stats.killed;
+  Alcotest.(check bool) "some queries lost" true (stats.skipped > 0);
+  (* Recover and resubmit the lost suffix (trace position = seq under a
+     full-acceptance run). *)
+  let rc = Essa_serve.Recovery.restore ~dir ~num_keywords:nkw ~engine_of () in
+  Alcotest.(check int) "tail replays clean" 0 rc.tail_mismatches;
+  let persisted = Hashtbl.create 1024 in
+  Array.iter (fun s -> Hashtbl.replace persisted s ()) rc.persisted;
+  let w2 = Wal.create_writer ~dir () in
+  let server2 =
+    Essa_serve.Server.create ~workers ~commit:`Per_keyword ~wal:w2
+      ~wal_snapshot_every ~max_batch:16
+      ~queue_capacity:(Array.length trace)
+      ~engine:rc.engine ()
+  in
+  Array.iteri
+    (fun i kw ->
+      if not (Hashtbl.mem persisted i) then
+        ignore (Essa_serve.Server.submit server2 ~keyword:kw))
+    trace;
+  let stats2 = Essa_serve.Server.stop server2 in
+  Wal.close_writer w2;
+  Alcotest.(check int) "nothing lost overall"
+    (Array.length trace)
+    (Array.length rc.persisted + stats2.committed);
+  let combined =
+    Array.init nkw (fun kw ->
+        rc.logs.(kw) @ Essa_serve.Server.commit_log server2 ~keyword:kw)
+  in
+  (rc, combined, engine_of)
+
+(* Decoupled universe (one keyword per advertiser): per-keyword streams
+   have no cross-keyword coupling, so the recovered run must reproduce an
+   uninterrupted serial run bit-for-bit — stronger than the replay
+   contract. *)
+let test_kill_recover_decoupled workers () =
+  let u =
+    Workload.universe ~max_keywords_per_adv:1 ~keywords:6 ~n:48 ~zipf_s:1.0
+      ~seed:21 ()
+  in
+  let trace = Workload.universe_queries u ~seed:22 ~count:400 in
+  let churn = 0.1 in
+  let rc, combined, engine_of =
+    kill_recover ~universe:u ~churn ~workers ~kill:150 ~trace
+      ~wal_snapshot_every:2 ()
+  in
+  (* Serial baseline. *)
+  let baseline = engine_of None in
+  let nkw = Workload.universe_keywords u in
+  let expect = Array.make nkw [] in
+  Array.iter
+    (fun kw ->
+      let s = Engine.run_partitioned baseline ~keyword:kw in
+      expect.(kw) <- s :: expect.(kw))
+    trace;
+  Array.iteri (fun kw l -> expect.(kw) <- List.rev l) expect;
+  for kw = 0 to nkw - 1 do
+    if combined.(kw) <> expect.(kw) then
+      Alcotest.failf "keyword %d stream diverged from the serial baseline" kw
+  done;
+  Alcotest.(check int) "revenue matches the serial baseline"
+    (Engine.total_revenue baseline)
+    (Engine.total_revenue rc.engine)
+
+(* Coupled universe (advertisers on up to 3 keywords): cross-keyword
+   interleaving is timing-dependent, so the contract is the replay
+   report on the combined stream, not cross-run equality. *)
+let test_kill_recover_coupled workers () =
+  let u = Workload.universe ~keywords:5 ~n:40 ~zipf_s:1.0 ~seed:1 () in
+  let trace = Workload.universe_queries u ~seed:2 ~count:400 in
+  let rc, combined, engine_of =
+    kill_recover ~universe:u ~churn:0.2 ~workers ~kill:150 ~trace
+      ~wal_snapshot_every:2 ()
+  in
+  let report =
+    Essa_serve.Replay.check ~served:rc.engine ~fresh:(engine_of None)
+      ~log:combined
+  in
+  if not (Essa_serve.Replay.ok report) then
+    Alcotest.failf
+      "combined stream fails the replay contract (replay %b clocks %b \
+       conservation %b budgets %b)"
+      report.replay_ok report.clocks_monotone report.spend_conserved
+      report.budgets_respected
+
+(* Dense engine, killed with the allocation cache and decimation on,
+   recovered on a cache-off engine: durability is configuration-blind
+   because the WAL records witnesses, not cache state. *)
+let test_kill_recover_dense_cache_flip () =
+  let w =
+    Workload.section5 ~seed:7 ~n:60 ~k:5 ~num_keywords:6
+      ~budgeted_fraction:0.3 ()
+  in
+  let trace = Workload.queries w ~seed:8 ~count:500 in
+  let engine_of ~cache snap =
+    match snap with
+    | None ->
+        Workload.make_engine ~partitioned:true ~cache ~update_every:8 w
+          ~method_:`Rhtalu
+    | Some s ->
+        Workload.make_engine ~partitioned:true ~cache ~update_every:8
+          ~states:(Sstore.dense_states s) w ~method_:`Rhtalu
+  in
+  let dir = temp_dir () in
+  Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
+  let wal = Wal.create_writer ~dir () in
+  let faults =
+    match Essa_serve.Fault.parse "kill@200" with
+    | Ok s -> Essa_serve.Fault.create [ s ]
+    | Error e -> failwith e
+  in
+  let server =
+    Essa_serve.Server.create ~workers:2 ~commit:`Per_keyword ~faults ~wal
+      ~wal_snapshot_every:2 ~max_batch:16
+      ~queue_capacity:(Array.length trace)
+      ~engine:(engine_of ~cache:true None)
+      ()
+  in
+  Array.iter
+    (fun kw -> ignore (Essa_serve.Server.submit server ~keyword:kw))
+    trace;
+  let stats = Essa_serve.Server.stop server in
+  Wal.close_writer wal;
+  Alcotest.(check bool) "kill fired" true stats.killed;
+  let rc =
+    Essa_serve.Recovery.restore ~dir ~num_keywords:6
+      ~engine_of:(engine_of ~cache:false) ()
+  in
+  Alcotest.(check int) "tail replays clean on a cache-off engine" 0
+    rc.tail_mismatches;
+  let persisted = Hashtbl.create 1024 in
+  Array.iter (fun s -> Hashtbl.replace persisted s ()) rc.persisted;
+  let server2 =
+    Essa_serve.Server.create ~workers:2 ~commit:`Per_keyword ~max_batch:16
+      ~queue_capacity:(Array.length trace) ~engine:rc.engine ()
+  in
+  Array.iteri
+    (fun i kw ->
+      if not (Hashtbl.mem persisted i) then
+        ignore (Essa_serve.Server.submit server2 ~keyword:kw))
+    trace;
+  let stats2 = Essa_serve.Server.stop server2 in
+  Alcotest.(check int) "nothing lost overall"
+    (Array.length trace)
+    (Array.length rc.persisted + stats2.committed);
+  let combined =
+    Array.init 6 (fun kw ->
+        rc.logs.(kw) @ Essa_serve.Server.commit_log server2 ~keyword:kw)
+  in
+  let report =
+    Essa_serve.Replay.check ~served:rc.engine
+      ~fresh:(engine_of ~cache:false None)
+      ~log:combined
+  in
+  if not (Essa_serve.Replay.ok report) then
+    Alcotest.failf
+      "cache-flip recovery fails the replay contract (replay %b clocks %b \
+       conservation %b budgets %b)"
+      report.replay_ok report.clocks_monotone report.spend_conserved
+      report.budgets_respected
+
+let () =
+  Alcotest.run "wal"
+    [
+      ( "bincode",
+        [
+          Alcotest.test_case "round-trip" `Quick test_bincode_roundtrip;
+          Alcotest.test_case "truncation" `Quick test_bincode_truncation;
+          Alcotest.test_case "crc32 vector" `Quick test_crc_vector;
+        ] );
+      ( "wal",
+        [
+          Alcotest.test_case "round-trip, rotation, compaction" `Quick
+            test_wal_roundtrip;
+          Alcotest.test_case "torn tail at every offset" `Quick
+            test_wal_torn_tail;
+        ] );
+      ( "continuation",
+        [
+          Alcotest.test_case "flat plain" `Quick
+            (flat_continuation ~churn:0.0 ~update_every:1 ~cache:false);
+          Alcotest.test_case "flat churn" `Quick
+            (flat_continuation ~churn:0.2 ~update_every:1 ~cache:false);
+          Alcotest.test_case "flat churn cache+decimation" `Quick
+            (flat_continuation ~churn:0.2 ~update_every:8 ~cache:true);
+          Alcotest.test_case "dense rh" `Quick
+            (dense_continuation ~method_:`Rh ~budgeted_fraction:0.0
+               ~update_every:1 ~cache:false);
+          Alcotest.test_case "dense rhtalu budgets cache" `Quick
+            (dense_continuation ~method_:`Rhtalu ~budgeted_fraction:0.3
+               ~update_every:1 ~cache:true);
+          Alcotest.test_case "dense rhtalu budgets cache+decimation" `Quick
+            (dense_continuation ~method_:`Rhtalu ~budgeted_fraction:0.3
+               ~update_every:8 ~cache:true);
+        ] );
+      ( "kill-recover",
+        [
+          Alcotest.test_case "decoupled bit-identity (workers=1)" `Quick
+            (test_kill_recover_decoupled 1);
+          Alcotest.test_case "decoupled bit-identity (workers=2)" `Quick
+            (test_kill_recover_decoupled 2);
+          Alcotest.test_case "decoupled bit-identity (workers=4)" `Quick
+            (test_kill_recover_decoupled 4);
+          Alcotest.test_case "coupled replay contract (workers=1)" `Quick
+            (test_kill_recover_coupled 1);
+          Alcotest.test_case "coupled replay contract (workers=2)" `Quick
+            (test_kill_recover_coupled 2);
+          Alcotest.test_case "coupled replay contract (workers=4)" `Quick
+            (test_kill_recover_coupled 4);
+          Alcotest.test_case "dense cache-on kill, cache-off recovery" `Quick
+            test_kill_recover_dense_cache_flip;
+        ] );
+    ]
