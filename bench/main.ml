@@ -40,8 +40,9 @@ type row = {
   cache_hit_rate : float option;  (* cache=on rows: hits/(hits+misses) *)
   live_words : int option;  (* mem rows: major-heap words held by the store *)
   wal : string option;  (* wal rows: "on" (absent = no WAL) *)
-  fsync : string option;  (* wal rows: "never" | "always" *)
+  fsync : string option;  (* wal rows: "never" | "always" | "every:N" *)
   recovered : bool option;  (* wal rows: in-bench crash-restore verified *)
+  mechanism : string option;  (* non-default mechanism rows: "stable" | "reserve" *)
 }
 
 let bare name ns_per_run =
@@ -51,7 +52,7 @@ let bare name ns_per_run =
     commit_mode = None; turnstile_waits = None; lane_imbalance = None;
     replay_ok = None; universe = None; zipf_s = None; churn_rate = None;
     cache_hit_rate = None; live_words = None; wal = None; fsync = None;
-    recovered = None }
+    recovered = None; mechanism = None }
 
 let histogram_of registry hname =
   match Essa_obs.Registry.find registry hname with
@@ -90,21 +91,28 @@ let cache_hit_rate_of registry =
 let engine_registries : (string, Essa_obs.Registry.t) Hashtbl.t =
   Hashtbl.create 16
 
+(* Non-default mechanism per bench row name — picked up by [run_group]
+   so the row's JSON carries the additive "mechanism" field. *)
+let engine_mechanisms : (string, string) Hashtbl.t = Hashtbl.create 4
+
 (* [cache] defaults to off so the classic figure rows keep measuring the
    cold evaluation cost; the fig12/RHTALU-repeat pair measures the cache
    explicitly.  [fixed_keyword] pins every query to one keyword — the
    cross-auction reuse scenario — and [update_every] decimates bid
    updates to the production regime (queries much more frequent than bid
    moves) where that reuse pays. *)
-let engine_auction ?(cache = false) ?update_every ?fixed_keyword ~bench_name
-    ~method_ ~n ~k () =
+let engine_auction ?(cache = false) ?update_every ?fixed_keyword ?mechanism
+    ~bench_name ~method_ ~n ~k () =
   let workload = Essa_sim.Workload.section5 ~seed:1 ~n ~k () in
   let registry = Essa_obs.Registry.create () in
   Hashtbl.replace engine_registries bench_name registry;
   let engine =
     Essa_sim.Workload.make_engine ~metrics:registry ~cache ?update_every
-      workload ~method_
+      ?mechanism workload ~method_
   in
+  if mechanism <> None then
+    Hashtbl.replace engine_mechanisms bench_name
+      (Essa.Engine.mechanism_name engine);
   let queries = ref (Essa_sim.Workload.query_stream workload ~seed:17) in
   let next () =
     match fixed_keyword with
@@ -157,6 +165,15 @@ let fig12_group () =
         (engine_auction ~bench_name:"fig12/RHTALU-repeat/n=1000/cache=on"
            ~method_:`Rhtalu ~n:1000 ~k:15 ~fixed_keyword:0 ~update_every:64
            ~cache:true ());
+      (* The alternative mechanisms on the same fleet: the ascending
+         stable-matching auction (Aggarwal et al.) and GSP behind a
+         monopoly reserve (Iyengar–Kumar). *)
+      Test.make ~name:"stable/n=1000"
+        (engine_auction ~bench_name:"fig12/stable/n=1000" ~mechanism:`Stable
+           ~method_:`Rhtalu ~n:1000 ~k:15 ());
+      Test.make ~name:"reserve/n=1000"
+        (engine_auction ~bench_name:"fig12/reserve/n=1000"
+           ~mechanism:(`Reserve `Monopoly) ~method_:`Rhtalu ~n:1000 ~k:15 ());
     ]
 
 let fig13_group () =
@@ -511,8 +528,9 @@ let serve_rows ~quota =
 
 (* Durability policy for the WAL-on row, settable with --wal-fsync:
    `Never measures the buffered-write overhead (the production default),
-   `Always the per-record-fsync worst case. *)
-let wal_fsync_policy : [ `Always | `Never ] ref = ref `Never
+   `Always the per-record-fsync worst case, `Every n the group-commit
+   middle ground (one fsync per n records). *)
+let wal_fsync_policy : [ `Always | `Never | `Every of int ] ref = ref `Never
 
 let zipf_rows ~quota =
   let keywords = 10_000 and n = 100_000 and zipf_s = 1.1 and churn = 0.02 in
@@ -524,12 +542,12 @@ let zipf_rows ~quota =
   let u =
     Essa_sim.Workload.universe ~keywords ~n ~zipf_s ~seed:1 ()
   in
-  let row ?(cache = false) ?update_every ?min_throughput ?wal_fsync ~workers ()
-      =
+  let row ?(cache = false) ?update_every ?min_throughput ?wal_fsync ?mechanism
+      ~workers () =
     let registry = Essa_obs.Registry.create () in
     let engine =
       Essa_sim.Workload.make_flat_engine ~metrics:registry ~cache ?update_every
-        u ~store:(Essa_sim.Workload.universe_store ~churn u ())
+        ?mechanism u ~store:(Essa_sim.Workload.universe_store ~churn u ())
     in
     (* WAL rows stream every commit (and periodic snapshots) to a scratch
        directory, then crash-restore from it after the measured run — the
@@ -570,17 +588,27 @@ let zipf_rows ~quota =
         ~keywords:(Seq.drop warmup stream) ~total:auctions ~window:512 ()
     in
     let stats = Essa_serve.Server.stop server in
+    let mech_name =
+      match mechanism with
+      | None -> None
+      | Some _ -> Some (Essa.Engine.mechanism_name engine)
+    in
     let name =
-      Printf.sprintf "serve/zipf/w=%d/commit=per-keyword/K=%d/N=%d%s%s" workers
-        keywords n
+      Printf.sprintf "serve/zipf/w=%d/commit=per-keyword/K=%d/N=%d%s%s%s"
+        workers keywords n
         (if cache then "/cache=on" else "")
         (if wal_fsync <> None then "/wal=on" else "")
+        (match mech_name with
+        | Some m -> "/mech=" ^ m
+        | None -> "")
     in
     let fresh =
       (* Replay follows each summary's recorded witness (snapshot presence
          decides whether the begin pass runs), so the fresh engine's own
-         update counter is never consulted; same flags for clarity. *)
-      Essa_sim.Workload.make_flat_engine ~cache ?update_every u
+         update counter is never consulted; same flags for clarity.  The
+         mechanism, by contrast, is load-bearing: replay re-runs winner
+         determination and pricing through it. *)
+      Essa_sim.Workload.make_flat_engine ~cache ?update_every ?mechanism u
         ~store:(Essa_sim.Workload.universe_store ~churn u ())
     in
     let replay_ok =
@@ -628,7 +656,7 @@ let zipf_rows ~quota =
           Some true
       | _ -> None
     in
-    if (not cache) && wal_fsync = None && workers = 4
+    if (not cache) && wal_fsync = None && mechanism = None && workers = 4
        && stats.lane_imbalance > 0.25
     then
       failwith
@@ -685,8 +713,10 @@ let zipf_rows ~quota =
         (match wal_fsync with
         | Some `Never -> Some "never"
         | Some `Always -> Some "always"
+        | Some (`Every n) -> Some (Printf.sprintf "every:%d" n)
         | None -> None);
       recovered;
+      mechanism = mech_name;
     }
   in
   let off = List.map (fun workers -> row ~workers ()) [ 1; 2; 4 ] in
@@ -726,6 +756,12 @@ let zipf_rows ~quota =
                   on_tps off_tps)
        | _ -> ());
        r);
+      (* The mechanism bakeoff rows on the production shape: the
+         ascending stable-matching auction and GSP behind a per-keyword
+         monopoly reserve, each replay-checked against a fresh engine
+         built with the same mechanism. *)
+      row ~mechanism:`Stable ~workers:4 ();
+      row ~mechanism:(`Reserve `Monopoly) ~workers:4 ();
     ]
 
 (* ------------------------------------------------------------------ *)
@@ -841,6 +877,7 @@ let run_group ~quota group =
                 p95_ns = p95;
                 p99_ns = p99;
                 cache_hit_rate = cache_hit_rate_of registry;
+                mechanism = Hashtbl.find_opt engine_mechanisms name;
               }
           | None -> bare name ns
         in
@@ -883,9 +920,11 @@ let fig12_runner ~quota =
    turnstile_waits / lane_imbalance load stats and (per-keyword rows) a
    replay_ok verdict; Zipf-universe rows add a "K:N" universe string,
    zipf_s and churn_rate; cache=on rows add cache_hit_rate and mem rows
-   live_words; WAL rows add wal ("on"), fsync ("never"|"always") and a
-   recovered verdict (the in-bench crash-restore check passed); all
-   additive, the schema version is unchanged. *)
+   live_words; WAL rows add wal ("on"), fsync ("never"|"always"|"every:N")
+   and a recovered verdict (the in-bench crash-restore check passed);
+   rows measured under a non-default auction mechanism add mechanism
+   ("stable"|"reserve"); all additive, the schema version is
+   unchanged. *)
 let json_escape s =
   let buf = Buffer.create (String.length s + 8) in
   String.iter
@@ -926,7 +965,7 @@ let write_json ~path ~quota rows =
         | Some v -> Printf.sprintf ", \"%s\": %b" key v
       in
       Printf.fprintf oc
-        "%s\n    { \"name\": \"%s\", \"ns_per_run\": %s%s%s%s%s%s%s%s%s%s%s%s%s%s%s%s%s%s%s%s%s%s }"
+        "%s\n    { \"name\": \"%s\", \"ns_per_run\": %s%s%s%s%s%s%s%s%s%s%s%s%s%s%s%s%s%s%s%s%s%s%s }"
         (if i = 0 then "" else ",")
         (json_escape r.name) (num r.ns_per_run)
         (opt "p50_ns" r.p50_ns) (opt "p95_ns" r.p95_ns) (opt "p99_ns" r.p99_ns)
@@ -947,7 +986,8 @@ let write_json ~path ~quota rows =
         (opt_int "live_words" r.live_words)
         (opt_str "wal" r.wal)
         (opt_str "fsync" r.fsync)
-        (opt_bool "recovered" r.recovered))
+        (opt_bool "recovered" r.recovered)
+        (opt_str "mechanism" r.mechanism))
     rows;
   Printf.fprintf oc "\n  ]\n}\n";
   close_out oc;
@@ -959,7 +999,7 @@ let usage () =
      \  --json PATH      also write per-test ns estimates as JSON (schema essa-bench/1)\n\
      \  --only SUBSTRING run only groups whose key contains SUBSTRING (e.g. ablation/obs)\n\
      \  --quota SECS     per-test measurement quota (default 0.6)\n\
-     \  --wal-fsync POL  WAL row durability policy, never|always (default never)";
+     \  --wal-fsync POL  WAL row durability policy, never|always|every:N (default never)";
   exit 2
 
 let () =
@@ -986,7 +1026,15 @@ let () =
         | "always" ->
             wal_fsync_policy := `Always;
             parse rest
-        | _ -> usage ())
+        | _ -> (
+            match String.split_on_char ':' pol with
+            | [ "every"; n ] -> (
+                match int_of_string_opt n with
+                | Some n when n >= 1 ->
+                    wal_fsync_policy := `Every n;
+                    parse rest
+                | _ -> usage ())
+            | _ -> usage ()))
     | _ -> usage ()
   in
   parse (List.tl (Array.to_list Sys.argv));

@@ -22,7 +22,7 @@ let default_ctr ~rng ~k =
       let hi = 0.9 -. (float_of_int j *. width) in
       Essa_util.Rng.float_in rng (hi -. width) hi)
 
-let run slots seed advs ctrs cvrs pricing metrics =
+let run slots seed advs ctrs cvrs pricing mechanism metrics =
   let metrics_fmt =
     match metrics with
     | None -> None
@@ -61,7 +61,23 @@ let run slots seed advs ctrs cvrs pricing metrics =
         prerr_endline ("unknown pricing rule " ^ other);
         exit 2
   in
-  let config = { Essa.Auction.method_ = `Rh; pricing = pricing_rule } in
+  (* --mechanism gsp/vcg select the classic mechanism with that pricing
+     rule (overriding --pricing); stable and reserve switch mechanisms. *)
+  let pricing_rule, mechanism_rule =
+    match mechanism with
+    | "gsp" -> (pricing_rule, `Classic)
+    | "vcg" -> (`Vcg, `Classic)
+    | "stable" -> (pricing_rule, `Stable)
+    | "reserve" -> (pricing_rule, `Reserve)
+    | other ->
+        prerr_endline
+          ("unknown mechanism " ^ other ^ " (expected gsp|vcg|stable|reserve)");
+        exit 2
+  in
+  let config =
+    { Essa.Auction.method_ = `Rh; pricing = pricing_rule;
+      mechanism = mechanism_rule }
+  in
   let t0 = Essa_util.Timing.now_ns () in
   let result = Essa.Auction.run ~config ~model ~bids ~rng () in
   let elapsed_ns = Int64.to_int (Int64.sub (Essa_util.Timing.now_ns ()) t0) in
@@ -130,6 +146,14 @@ let cvrs_t =
 let pricing_t =
   Arg.(value & opt string "gsp" & info [ "pricing" ] ~doc:"gsp | vcg | pay-as-bid.")
 
+let mechanism_t =
+  Arg.(value & opt string "gsp"
+       & info [ "mechanism" ]
+           ~doc:"Auction mechanism: gsp | vcg (classic winner determination \
+                 with that pricing rule) | stable (ascending \
+                 stable-matching auction over per-click bid summaries) | \
+                 reserve (GSP behind the monopoly reserve price).")
+
 let metrics_t =
   Arg.(value & opt (some string) None
        & info [ "metrics" ]
@@ -139,7 +163,7 @@ let run_cmd =
   Cmd.v
     (Cmd.info "run" ~doc:"Run one expressive auction")
     Term.(const run $ slots_t $ seed_t $ advs_t $ ctrs_t $ cvrs_t $ pricing_t
-          $ metrics_t)
+          $ mechanism_t $ metrics_t)
 
 let main =
   Cmd.group

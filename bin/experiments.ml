@@ -553,6 +553,135 @@ let ablation_phases seed =
     [ `Lp; `H; `Rh; `Rhtalu ]
 
 (* ------------------------------------------------------------------ *)
+(* Mechanism bakeoff: the same scenarios served under each mechanism,
+   compared on revenue, per-auction latency and fill rate.  Scenarios
+   cover the uniform Section V workload, the heavyweight mix (30%
+   Click&Slot1 premiums), and the sparse Zipf universe on the flat
+   engine; the reserve column is the with-reserves variant of GSP, so
+   every scenario is measured with and without reserve prices.  Results
+   are recorded in EXPERIMENTS.md. *)
+
+let bakeoff seed quick out =
+  let auctions = if quick then 1_500 else 6_000 in
+  Printf.printf
+    "Mechanism bakeoff (seed %d, %d auctions/cell)\n\
+     mechanisms: gsp, vcg (classic pricing rules), stable (ascending \
+     stable-matching), reserve (GSP + per-keyword monopoly reserve)\n\n%!"
+    seed auctions;
+  let mechanisms =
+    [
+      ("gsp", `Gsp, `Classic);
+      ("vcg", `Vcg, `Classic);
+      ("stable", `Gsp, `Stable);
+      ("reserve", `Gsp, (`Reserve `Monopoly : Essa.Engine.mechanism));
+    ]
+  in
+  let scenarios =
+    [
+      ("uniform/n=1000", `Dense 0.0);
+      ("heavy/n=1000/brand=0.3", `Dense 0.3);
+      ("zipf/K=500/N=5000", `Flat);
+    ]
+  in
+  let measure ~scenario ~pricing ~mechanism =
+    let k = 15 in
+    let engine, next =
+      match scenario with
+      | `Dense brand_fraction ->
+          let wl =
+            Essa_sim.Workload.section5 ~seed ~n:1000 ~k ~brand_fraction ()
+          in
+          let engine =
+            Essa_sim.Workload.make_engine ~pricing ~mechanism wl
+              ~method_:`Rhtalu
+          in
+          let queries = ref (Essa_sim.Workload.query_stream wl ~seed:(seed + 17)) in
+          ( engine,
+            fun () ->
+              match !queries () with
+              | Seq.Cons (kw, rest) ->
+                  queries := rest;
+                  kw
+              | Seq.Nil -> 0 )
+      | `Flat ->
+          let u =
+            Essa_sim.Workload.universe ~slots:k ~keywords:500 ~n:5000
+              ~zipf_s:1.1 ~seed ()
+          in
+          let engine =
+            Essa_sim.Workload.make_flat_engine ~pricing ~mechanism u
+              ~store:(Essa_sim.Workload.universe_store u ())
+          in
+          let queries =
+            ref (Essa_sim.Workload.universe_query_stream u ~seed:(seed + 17))
+          in
+          ( engine,
+            fun () ->
+              match !queries () with
+              | Seq.Cons (kw, rest) ->
+                  queries := rest;
+                  kw
+              | Seq.Nil -> 0 )
+    in
+    let run =
+      (* The flat universe engine is partitioned (per-keyword clocks). *)
+      if Essa.Engine.is_flat engine then Essa.Engine.run_partitioned ?batch:None
+      else Essa.Engine.run_auction
+    in
+    let filled = ref 0 in
+    let t0 = Essa_util.Timing.now_ns () in
+    for _ = 1 to auctions do
+      let s = run engine ~keyword:(next ()) in
+      Array.iter
+        (fun cell -> if cell <> None then incr filled)
+        s.Essa.Engine.assignment
+    done;
+    let elapsed_ns = Int64.sub (Essa_util.Timing.now_ns ()) t0 in
+    let revenue = Essa.Engine.total_revenue engine in
+    ( revenue,
+      float_of_int revenue /. float_of_int auctions,
+      Int64.to_float elapsed_ns /. 1e6 /. float_of_int auctions,
+      float_of_int !filled /. float_of_int (auctions * k) )
+  in
+  let rows = ref [] in
+  List.iter
+    (fun (scenario_label, scenario) ->
+      Printf.printf "%s\n" scenario_label;
+      Printf.printf "  %10s %14s %16s %14s %10s\n" "mechanism" "revenue (c)"
+        "rev/auction (c)" "ms/auction" "fill";
+      List.iter
+        (fun (mech_label, pricing, mechanism) ->
+          (* The flat engine prices from per-slot top lists and has no
+             VCG path — that cell is structurally absent, not slow. *)
+          if scenario = `Flat && pricing = `Vcg then
+            Printf.printf "  %10s %14s %16s %14s %10s\n%!" mech_label "-" "-"
+              "-" "-"
+          else begin
+            let revenue, rev_per, ms_per, fill =
+              measure ~scenario ~pricing ~mechanism
+            in
+            Printf.printf "  %10s %14d %16.2f %14.4f %9.1f%%\n%!" mech_label
+              revenue rev_per ms_per (100.0 *. fill);
+            rows :=
+              Printf.sprintf "%s,%s,%d,%.2f,%.4f,%.4f" scenario_label
+                mech_label revenue rev_per ms_per fill
+              :: !rows
+          end)
+        mechanisms;
+      print_newline ())
+    scenarios;
+  match out with
+  | None -> ()
+  | Some dir ->
+      ensure_dir dir;
+      let path = Filename.concat dir "bakeoff.csv" in
+      write_file path
+        ("scenario,mechanism,revenue_cents,revenue_per_auction_cents,ms_per_auction,fill_rate\n"
+        ^ String.concat "\n" (List.rev !rows)
+        ^ "\n");
+      Printf.printf "wrote %s\n%!" path
+
+(* ------------------------------------------------------------------ *)
 (* Command line *)
 
 open Cmdliner
@@ -610,10 +739,19 @@ let fig13_cmd =
 let ablation_cmd name doc f =
   Cmd.v (Cmd.info name ~doc) Term.(const f $ seed_t)
 
+let bakeoff_cmd =
+  Cmd.v
+    (Cmd.info "bakeoff"
+       ~doc:"Cross-scenario mechanism comparison: revenue, latency and fill \
+             rate for gsp / vcg / stable / reserve on the uniform, \
+             heavyweight-mix and Zipf-universe scenarios")
+    Term.(const bakeoff $ seed_t $ quick_t $ out_t)
+
 let all_cmd =
   let run seed =
     fig12 seed None None (Some "results") false true 0.0 (Some "text") 0;
     fig13 seed None None (Some "results") true 0.0 (Some "text") 0;
+    bakeoff seed true (Some "results");
     ablation_ta seed;
     ablation_logical seed;
     ablation_parallel seed;
@@ -651,6 +789,7 @@ let main =
         ablation_brand;
       ablation_cmd "ablation-slots" "Slot-count (k) scaling at fixed n" ablation_slots;
       ablation_cmd "ablation-lp" "Tableau vs revised simplex on the assignment LP" ablation_lp;
+      bakeoff_cmd;
       all_cmd;
     ]
 

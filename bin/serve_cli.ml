@@ -58,17 +58,42 @@ let universe_of_string s =
       | _ -> fail ())
   | _ -> fail ()
 
-let fsync_of_string = function
+let fsync_of_string s =
+  let fail () =
+    prerr_endline
+      ("unknown fsync policy " ^ s ^ " (expected always | never | every:N)");
+    exit 2
+  in
+  match s with
   | "always" -> `Always
   | "never" -> `Never
+  | _ -> (
+      match String.split_on_char ':' s with
+      | [ "every"; n ] -> (
+          match int_of_string_opt n with
+          | Some n when n >= 1 -> `Every n
+          | _ -> fail ())
+      | _ -> fail ())
+
+(* The auction mechanism: gsp and vcg are the classic engine with that
+   pricing rule; stable is the ascending stable-matching auction;
+   reserve is GSP behind a per-keyword monopoly reserve. *)
+let mechanism_of_string :
+    string -> Essa.Engine.pricing * Essa.Engine.mechanism = function
+  | "gsp" -> (`Gsp, `Classic)
+  | "vcg" -> (`Vcg, `Classic)
+  | "stable" -> (`Gsp, `Stable)
+  | "reserve" -> (`Gsp, `Reserve `Monopoly)
   | other ->
-      prerr_endline ("unknown fsync policy " ^ other ^ " (expected always | never)");
+      prerr_endline
+        ("unknown mechanism " ^ other ^ " (expected gsp|vcg|stable|reserve)");
       exit 2
 
 let run n slots keywords method_ seed workers queue_capacity max_batch auctions
     rate window pool_size parallel_threshold metrics fault_specs
     deadline_budget_ms max_restarts commit replay_check universe churn balance
-    rebalance_every cache update_every wal_dir fsync wal_snapshot_every recover =
+    rebalance_every cache update_every wal_dir fsync wal_snapshot_every recover
+    mechanism =
   let faults =
     match
       List.fold_left
@@ -99,7 +124,14 @@ let run n slots keywords method_ seed workers queue_capacity max_batch auctions
             exit 2)
   in
   let method_ = method_of_string method_ in
+  let pricing, mechanism = mechanism_of_string mechanism in
   let universe_spec = Option.map universe_of_string universe in
+  if pricing = `Vcg && universe_spec <> None then begin
+    (* The flat engine prices from per-slot top lists; VCG needs the
+       reduced assignment-problem view the dense engines build. *)
+    prerr_endline "--mechanism vcg cannot be combined with --universe";
+    exit 2
+  end;
   if churn <> 0.0 && universe_spec = None then begin
     prerr_endline "--churn requires --universe";
     exit 2
@@ -191,14 +223,15 @@ let run n slots keywords method_ seed workers queue_capacity max_batch auctions
                     store
               in
               Essa_sim.Workload.make_flat_engine ~metrics:registry ?cache
-                ~update_every u ~store
+                ~update_every ~pricing ~mechanism u ~store
             in
             ( engine_of,
               Essa_sim.Workload.universe_query_stream u ~seed:(seed + 1),
               (fun count ->
                 Essa_sim.Workload.universe_queries u ~seed:(seed + 1) ~count),
               (fun () ->
-                Essa_sim.Workload.make_flat_engine ?cache ~update_every u
+                Essa_sim.Workload.make_flat_engine ?cache ~update_every
+                  ~pricing ~mechanism u
                   ~store:(Essa_sim.Workload.universe_store ~churn u ())),
               (fun () ->
                 Format.printf
@@ -216,8 +249,8 @@ let run n slots keywords method_ seed workers queue_capacity max_batch auctions
                 Option.map Essa_strategy.State_store.dense_states snap
               in
               Essa_sim.Workload.make_engine ~metrics:registry ?pool
-                ?parallel_threshold ~partitioned ?cache ~update_every ?states
-                workload ~method_
+                ?parallel_threshold ~partitioned ?cache ~update_every ~pricing
+                ~mechanism ?states workload ~method_
             in
             ( engine_of,
               Essa_sim.Workload.query_stream workload ~seed:(seed + 1),
@@ -225,7 +258,7 @@ let run n slots keywords method_ seed workers queue_capacity max_batch auctions
                 Essa_sim.Workload.queries workload ~seed:(seed + 1) ~count),
               (fun () ->
                 Essa_sim.Workload.make_engine ~partitioned ?cache ~update_every
-                  workload ~method_),
+                  ~pricing ~mechanism workload ~method_),
               (fun () ->
                 Format.printf "workload: n=%d slots=%d keywords=%d seed=%d@." n
                   slots keywords seed),
@@ -295,7 +328,8 @@ let run n slots keywords method_ seed workers queue_capacity max_batch auctions
               (match parallel_threshold with
               | None -> "default"
               | Some t -> string_of_int t));
-      Format.printf "engine:   cache=%s update-every=%d@."
+      Format.printf "engine:   mechanism=%s cache=%s update-every=%d@."
+        (Essa.Engine.mechanism_name engine)
         (if Essa.Engine.cache_enabled engine then "on" else "off")
         update_every;
       Format.printf "client:   %s, %d offered@."
@@ -316,7 +350,10 @@ let run n slots keywords method_ seed workers queue_capacity max_batch auctions
       (match wal_dir with
       | Some dir ->
           Format.printf "wal:      dir=%s fsync=%s snapshot-every=%d@." dir
-            (match fsync with `Always -> "always" | `Never -> "never")
+            (match fsync with
+            | `Always -> "always"
+            | `Never -> "never"
+            | `Every n -> Printf.sprintf "every:%d" n)
             wal_snapshot_every
       | None -> ());
       (match recovered with
@@ -573,15 +610,26 @@ let wal_t =
 let fsync_t =
   Arg.(value & opt string "never"
        & info [ "fsync" ]
-           ~doc:"WAL durability policy: always (fsync every record) or \
+           ~doc:"WAL durability policy: always (fsync every record), \
                  never (flush only; torn tails are still trimmed on \
-                 recovery).")
+                 recovery), or every:N (group commit — one fsync per N \
+                 records plus one at rotation/close; a crash loses at \
+                 most the last N-1 accepted records).")
 
 let wal_snapshot_every_t =
   Arg.(value & opt int 8
        & info [ "wal-snapshot-every" ]
            ~doc:"Batches between WAL snapshot records (0 disables \
                  snapshots; recovery then replays the whole log).")
+
+let mechanism_t =
+  Arg.(value & opt string "gsp"
+       & info [ "mechanism" ]
+           ~doc:"Auction mechanism: gsp | vcg (classic engine with that \
+                 pricing rule) | stable (ascending stable-matching \
+                 auction with per-slot max-price constraints) | reserve \
+                 (GSP behind a per-keyword monopoly reserve price).  vcg \
+                 is dense-engine only (not with --universe).")
 
 let recover_t =
   Arg.(value & flag
@@ -600,7 +648,7 @@ let run_cmd =
           $ pool_t $ threshold_t $ metrics_t $ fault_t $ deadline_t
           $ max_restarts_t $ commit_t $ replay_check_t $ universe_t $ churn_t
           $ balance_t $ rebalance_every_t $ cache_t $ update_every_t $ wal_t
-          $ fsync_t $ wal_snapshot_every_t $ recover_t)
+          $ fsync_t $ wal_snapshot_every_t $ recover_t $ mechanism_t)
 
 let main =
   Cmd.group

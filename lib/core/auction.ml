@@ -1,9 +1,12 @@
+type mechanism = [ `Classic | `Stable | `Reserve ]
+
 type config = {
   method_ : Winner_determination.method_;
   pricing : [ `Pay_as_bid | `Gsp | `Vcg ];
+  mechanism : mechanism;
 }
 
-let default_config = { method_ = `Rh; pricing = `Gsp }
+let default_config = { method_ = `Rh; pricing = `Gsp; mechanism = `Classic }
 
 type advertiser_outcome = {
   adv : int;
@@ -36,36 +39,105 @@ let run ?(config = default_config) ~model ~bids ~rng () =
         invalid_arg "Auction.run: class predicates require Heavyweight.run")
     bids;
   let w, base = Essa_prob.Model.revenue_matrix model ~bids in
-  let assignment = Winner_determination.solve ~method_:config.method_ ~w ~base in
+  let ctr ~adv ~slot = Essa_prob.Model.click_prob model ~adv ~slot in
+  (* Scalar per-click summaries of the expressive tables, for the
+     mechanisms that price on per-click bids: the bottom slot's per-click
+     value is the base willingness to pay (no slot-1 extras reach it) and
+     the slot-1 surplus over it is the premium. *)
+  let per_click_in_slot i j0 =
+    per_click_of_expected ~expected:w.(i).(j0)
+      ~click_prob:(ctr ~adv:i ~slot:(j0 + 1))
+  in
+  let base_bid i = per_click_in_slot i (k - 1) in
+  let slot1_premium i = max 0 (per_click_in_slot i 0 - base_bid i) in
+  let classic ~w =
+    let assignment =
+      Winner_determination.solve ~method_:config.method_ ~w ~base
+    in
+    let prices_per_click =
+      match config.pricing with
+      | `Gsp -> Pricing.gsp_per_click ~w ~ctr ~assignment ()
+      | `Pay_as_bid ->
+          let expected = Pricing.pay_as_bid ~w ~assignment in
+          Array.mapi
+            (fun j0 cell ->
+              Option.map
+                (fun i ->
+                  per_click_of_expected ~expected:expected.(i)
+                    ~click_prob:(ctr ~adv:i ~slot:(j0 + 1)))
+                cell)
+            assignment
+      | `Vcg ->
+          let expected =
+            Pricing.vcg ~method_:config.method_ ~w ~base ~assignment ()
+          in
+          Array.mapi
+            (fun j0 cell ->
+              Option.map
+                (fun i ->
+                  per_click_of_expected ~expected:expected.(i)
+                    ~click_prob:(ctr ~adv:i ~slot:(j0 + 1)))
+                cell)
+            assignment
+    in
+    (assignment, prices_per_click)
+  in
+  let assignment, prices_per_click =
+    match config.mechanism with
+    | `Classic -> classic ~w
+    | `Stable ->
+        let out =
+          Stable_match.solve
+            ~bids:(Array.init n base_bid)
+            ~ctr:(fun i j0 -> ctr ~adv:i ~slot:(j0 + 1))
+            ~premiums:(Array.init n slot1_premium)
+            ~reserve:0 ~k ()
+        in
+        ( out.Stable_match.sm_assignment,
+          Array.mapi
+            (fun j0 cell ->
+              Option.map (fun _ -> out.Stable_match.sm_prices.(j0)) cell)
+            out.Stable_match.sm_assignment )
+    | `Reserve ->
+        (* The monopoly reserve over the per-click bids: bidders under it
+           are excluded from winner determination (their rows zeroed) and
+           every winning price is floored at it. *)
+        let bids_desc = Array.init n base_bid in
+        Array.sort (fun a b -> Int.compare b a) bids_desc;
+        let r = ref 0 and best_rev = ref 0 in
+        Array.iteri
+          (fun i b ->
+            if b > 0 then begin
+              let rev = b * (i + 1) in
+              if rev > !best_rev then begin
+                best_rev := rev;
+                r := b
+              end
+            end)
+          bids_desc;
+        let r = !r in
+        let w' =
+          Array.init n (fun i ->
+              if base_bid i < r then Array.make k 0.0 else w.(i))
+        in
+        let assignment, prices = classic ~w:w' in
+        (* A zeroed row can still be seated (at zero value); an excluded
+           bidder must serve unfilled, not be billed the floor. *)
+        let assignment =
+          Array.map
+            (function Some i when base_bid i < r -> None | cell -> cell)
+            assignment
+        in
+        ( assignment,
+          Array.mapi
+            (fun j0 p ->
+              match assignment.(j0) with
+              | None -> None
+              | Some _ -> Option.map (fun p -> max p r) p)
+            prices )
+  in
   let expected_revenue =
     Essa_matching.Assignment.total_value ~w ~base assignment
-  in
-  let ctr ~adv ~slot = Essa_prob.Model.click_prob model ~adv ~slot in
-  let prices_per_click =
-    match config.pricing with
-    | `Gsp -> Pricing.gsp_per_click ~w ~ctr ~assignment ()
-    | `Pay_as_bid ->
-        let expected = Pricing.pay_as_bid ~w ~assignment in
-        Array.mapi
-          (fun j0 cell ->
-            Option.map
-              (fun i ->
-                per_click_of_expected ~expected:expected.(i)
-                  ~click_prob:(ctr ~adv:i ~slot:(j0 + 1)))
-              cell)
-          assignment
-    | `Vcg ->
-        let expected =
-          Pricing.vcg ~method_:config.method_ ~w ~base ~assignment ()
-        in
-        Array.mapi
-          (fun j0 cell ->
-            Option.map
-              (fun i ->
-                per_click_of_expected ~expected:expected.(i)
-                  ~click_prob:(ctr ~adv:i ~slot:(j0 + 1)))
-              cell)
-          assignment
   in
   (* Sample user behaviour slot by slot (top to bottom, like a user
      scanning the page). *)

@@ -9,14 +9,27 @@
     The repeated-auction benchmark engine ({!Engine}) specializes this to
     the Section V workload. *)
 
+type mechanism = [ `Classic | `Stable | `Reserve ]
+(** The auction mechanism for the one-shot path.  [`Classic] is winner
+    determination by [method_] priced by [pricing].  [`Stable] runs the
+    ascending stable-matching auction ({!Stable_match}) on scalar
+    per-click summaries of the expressive tables: the bottom slot's
+    per-click value is the base bid (slot-1 extras do not reach it) and
+    the slot-1 surplus over it is the premium; [pricing] is ignored.
+    [`Reserve] computes the monopoly reserve over those per-click bids,
+    excludes bidders under it from winner determination, and floors
+    every winning price at it ({!Reserve} has the repeated-auction
+    form). *)
+
 type config = {
   method_ : Winner_determination.method_;
   pricing : [ `Pay_as_bid | `Gsp | `Vcg ];
+  mechanism : mechanism;
 }
 
 val default_config : config
-(** RH winner determination with GSP pricing — the paper's recommended
-    operating point. *)
+(** RH winner determination with GSP pricing under the classic mechanism
+    — the paper's recommended operating point. *)
 
 type advertiser_outcome = {
   adv : int;

@@ -21,6 +21,9 @@ type summary = {
 
 type pricing = [ `Gsp | `Vcg | `Pay_as_bid ]
 
+type mechanism =
+  [ `Classic | `Stable | `Reserve of [ `Fixed of int array | `Monopoly ] ]
+
 (* Metric handles resolved once at engine construction; the per-auction
    record path touches only the handles (allocation-free), never the
    registry.  Engines given the same registry share these metrics, so a
@@ -134,64 +137,6 @@ let engine_metrics registry =
     c_cache_invalidations;
   }
 
-(* Per-auction mutable workspace: the full weight matrix buffer (`Lp`,
-   `H`, `Rh`) and the reduced-pricing-view scratch, owned by whoever runs
-   the auction so [run_auction] allocates O(k²) small views instead of a
-   fresh Set/Hashtbl/list chain per auction.  [stamp.(i) = stamp_token]
-   marks advertiser i as a member of the current auction's reduced set,
-   and [local_of.(i)] is then its row in the reduced matrix.  The serial
-   engine owns one; the partitioned engine gives each keyword its own
-   (lazily), so concurrent lanes never share scratch. *)
-type scratch = {
-  w_buffer : float array array;
-  stamp : int array;
-  mutable stamp_token : int;
-  local_of : int array;
-  reduced_advs : int array;            (* capacity k·(k+1) candidates *)
-  reduced_w_rows : float array array;  (* capacity k·(k+1) rows of k *)
-  (* Threshold-algorithm workspace of the SoA fast path: a stamp array for
-     the per-slot seen set (no Hashtbl) and one insertion-sorted top-(k+1)
-     buffer reused by every slot scan. *)
-  ta_seen : int array;
-  mutable ta_token : int;
-  tk_ids : int array;                  (* capacity k+1 *)
-  tk_scores : float array;             (* capacity k+1 *)
-  tk_slots : int array;                (* capacity k+1; flat path only *)
-  ta_eff : float array;                (* effective bid by advertiser *)
-  (* Per-auction access-statistic tallies, zeroed at the top of winner
-     determination and folded into the shared counters as usual: the
-     evaluation cache stores them with the entry so a hit can re-report
-     the cold run's essa.ta.* / reduction counters bit-for-bit. *)
-  mutable wd_ta_sorted : int;
-  mutable wd_ta_random : int;
-  mutable wd_ta_seen : int;
-  mutable wd_reduced : int;
-}
-
-(* [n] is the index space of the stamp arrays: the fleet size on dense
-   engines, the keyword partition's capacity on flat ones (where the
-   scratch is slot-indexed and grows with the partition). *)
-let make_scratch ~n ~k ~with_w =
-  let reduced_capacity = min n (k * (k + 1)) in
-  {
-    w_buffer = (if with_w then Array.make_matrix n k 0.0 else [||]);
-    stamp = Array.make n 0;
-    stamp_token = 0;
-    local_of = Array.make n 0;
-    reduced_advs = Array.make reduced_capacity 0;
-    reduced_w_rows = Array.make_matrix reduced_capacity k 0.0;
-    ta_seen = Array.make n 0;
-    ta_token = 0;
-    tk_ids = Array.make (k + 1) 0;
-    tk_scores = Array.make (k + 1) 0.0;
-    tk_slots = Array.make (k + 1) 0;
-    ta_eff = Array.make n 0.0;
-    wd_ta_sorted = 0;
-    wd_ta_random = 0;
-    wd_ta_seen = 0;
-    wd_reduced = 0;
-  }
-
 (* One completed keyword evaluation, reusable while the keyword's dirty
    epoch ({!Essa_strategy.Roi_fleet.epoch_of}) is unchanged: between two
    equal epoch reads the sorted views / partition view are bit-identical,
@@ -201,7 +146,9 @@ let make_scratch ~n ~k ~with_w =
    cursors, so the reusable resume state across same-keyword auctions is
    the completed frontier — assignment, prices, and the cold run's access
    statistics (re-reported on every hit, keeping cached and uncached runs
-   bit-identical including the essa.ta.* counters). *)
+   bit-identical including the essa.ta.* counters).  Mechanism-agnostic:
+   the {!Mechanism.S} purity contract is exactly what makes an entry
+   valid for any implementation. *)
 type cache_entry = {
   ce_epoch : int;
   ce_assignment : Essa_matching.Assignment.t;
@@ -220,7 +167,7 @@ type cache_entry = {
    synchronization. *)
 type epartition = {
   p_rng : Essa_util.Rng.t;
-  mutable p_scratch : scratch;  (* replaced when a flat partition grows *)
+  mutable p_scratch : Mechanism.scratch;  (* replaced when a flat partition grows *)
   p_h_total : Essa_obs.Histogram.t;
   mutable p_revenue : int;
   (* The keyword's evaluation cache (partitions are per keyword, so one
@@ -241,55 +188,33 @@ type epartition = {
 }
 
 type t = {
-  method_ : method_;
-  pricing : pricing;
-  reserve : int;  (* per-click floor, cents; bids below it cannot win *)
   n : int;
   k : int;
   nk : int;
   ctr : float array array;
   fleet : Essa_strategy.Roi_fleet.t;
-  (* Per-slot advertisers sorted by click probability (descending,
-     ties by index) — the static sorted-access lists of Section IV-A.
-     Kept both as tuple arrays (the generic pooled TA path) and split
-     into parallel id/value arrays (the SoA fast path: unboxed float
-     reads, no tuple dereference per sorted access). *)
-  ctr_sorted : (int * float) array array;
-  ctr_ids : int array array;           (* k × n *)
-  ctr_vals : float array array;        (* k × n *)
-  (* ctr transposed (slot-major): the TA resolve step reads one slot's
-     column 100+ times per scan, so the column layout keeps those reads
-     in one contiguous 8n-byte stripe instead of striding the row-major
-     matrix. *)
-  ctr_cols : float array array;        (* k × n *)
-  (* Static Click∧Slot1 premiums: premiums.(kw).(adv), plus per-keyword
-     descending lists for the slot-1 threshold algorithm. *)
-  premiums : int array array;
-  premium_sorted : (int * float) array array;
-  prem_ids : int array array;          (* nk × n *)
-  prem_vals : float array array;       (* nk × n *)
+  (* The auction mechanism — who wins which slot at what price — and the
+     static context its hooks read.  Everything else in this module is
+     mechanism-agnostic orchestration: click sampling, billing, the
+     evaluation cache, decimation, batching, deadlines, durability. *)
+  mech : (module Mechanism.S);
+  ctx : Mechanism.ctx;
   user_rng : Essa_util.Rng.t;
   mutable time : int;
   mutable total_revenue : int;
   mutable auctions : int;
-  scratch : scratch;
+  scratch : Mechanism.scratch;
   (* Partitioned mode: per-keyword execution state (lazy — only auctioned
      keywords allocate), and atomic cross-keyword tallies replacing the
      three mutable counters above. *)
   is_partitioned : bool;
   (* Flat mode: the fleet is a {!Essa_strategy.Roi_fleet.flat_p} over a
-     flat {!Sstore}; winner determination, pricing and the cheap fallback
-     run the slot-indexed paths below, and all n-sized / nk×n side
-     structures (ctr_sorted.., premiums..) are empty. *)
+     flat {!Sstore}; mechanisms take their slot-indexed paths and all
+     n-sized / nk×n side structures in the ctx are empty. *)
   is_flat : bool;
   partitions : epartition option array;
   a_revenue : int Atomic.t;
   a_auctions : int Atomic.t;
-  (* Standing worker pool for the `Rh` top-list scan on large fleets.
-     Must not be a pool this engine is itself running on (a sweep
-     harness's point pool): nested Domain_pool.run deadlocks. *)
-  pool : Essa_util.Domain_pool.t option;
-  parallel_threshold : int;
   (* Monotonic ns clock consulted by the deadline checks only (latency
      metrics always read the real clock).  Injectable so deadline tests
      can script exactly which check trips, without sleeps. *)
@@ -321,9 +246,29 @@ let cache_default () =
   | None | Some "" | Some "0" -> true
   | Some _ -> false
 
+(* Resolve the mechanism selector to its first-class module.  [`Fixed]
+   floors are validated here (both constructors funnel through). *)
+let resolve_mechanism ~nk ~pricing (mechanism : mechanism) :
+    (module Mechanism.S) =
+  match mechanism with
+  | `Classic -> Mech_classic.make pricing
+  | `Stable -> Stable_match.mech
+  | `Reserve rule ->
+      (match rule with
+      | `Fixed floors ->
+          if Array.length floors <> nk then
+            invalid_arg "Engine: reserve floor array length <> keyword count";
+          Array.iter
+            (fun f ->
+              if f < 0 then invalid_arg "Engine: negative reserve floor")
+            floors
+      | `Monopoly -> ());
+      Reserve.make ~pricing rule
+
 let create ?metrics ?pool ?(parallel_threshold = 4096)
     ?(clock = Essa_util.Timing.now_ns) ?(partitioned = false) ?cache
-    ?(update_every = 1) ~reserve ~pricing ~method_ ~ctr ~states ~user_seed () =
+    ?(update_every = 1) ?(mechanism = `Classic) ~reserve ~pricing ~method_ ~ctr
+    ~states ~user_seed () =
   if update_every < 1 then invalid_arg "Engine.create: update_every < 1";
   let n = Array.length ctr in
   if n = 0 then invalid_arg "Engine.create: no advertisers";
@@ -406,28 +351,54 @@ let create ?metrics ?pool ?(parallel_threshold = 4096)
   let cache_on =
     match cache with Some b -> b | None -> cache_default ()
   in
+  let m = engine_metrics registry in
+  let ctx =
+    {
+      Mechanism.x_method = method_;
+      x_n = n;
+      x_k = k;
+      x_reserve = reserve;
+      x_ctr = ctr;
+      x_ctr_sorted = ctr_sorted;
+      x_ctr_ids = split_ids ctr_sorted;
+      x_ctr_vals = split_vals ctr_sorted;
+      x_ctr_cols = Array.init k (fun j -> Array.init n (fun i -> ctr.(i).(j)));
+      x_premiums = premiums;
+      x_premium_sorted = premium_sorted;
+      x_prem_ids = split_ids premium_sorted;
+      x_prem_vals = split_vals premium_sorted;
+      x_fleet = fleet;
+      x_is_flat = false;
+      x_pool = pool;
+      x_parallel_threshold = parallel_threshold;
+      x_c_ta_sorted = m.c_ta_sorted;
+      x_c_ta_random = m.c_ta_random;
+      x_c_ta_seen = m.c_ta_seen;
+      x_c_reduced = m.c_reduced_candidates;
+    }
+  in
   {
-    method_;
-    pricing;
-    reserve;
     n;
     k;
     nk = Essa_strategy.Roi_fleet.num_keywords fleet;
     ctr;
     fleet;
-    ctr_sorted;
-    ctr_ids = split_ids ctr_sorted;
-    ctr_vals = split_vals ctr_sorted;
-    ctr_cols = Array.init k (fun j -> Array.init n (fun i -> ctr.(i).(j)));
-    premiums;
-    premium_sorted;
-    prem_ids = split_ids premium_sorted;
-    prem_vals = split_vals premium_sorted;
+    mech = resolve_mechanism ~nk ~pricing mechanism;
+    ctx;
     user_rng = Essa_util.Rng.create user_seed;
     time = 0;
     total_revenue = 0;
     auctions = 0;
-    scratch = make_scratch ~n ~k ~with_w:(not partitioned || method_ = `Rh);
+    (* The full-matrix buffer is only allocated when the mechanism's
+       winner determination can actually materialize it (naive methods,
+       or pooled `Rh): the sequential `Rh scan and the TA never touch an
+       n × k structure, and partitions never need it (pools are rejected
+       in partitioned mode and flat paths are slot-indexed). *)
+    scratch =
+      Mechanism.make_scratch ~n ~k
+        ~with_w:
+          ((not partitioned)
+          && Mechanism.needs_w ~method_ ~pooled:(pool <> None));
     is_partitioned = partitioned;
     is_flat = false;
     partitions =
@@ -436,8 +407,6 @@ let create ?metrics ?pool ?(parallel_threshold = 4096)
        else [||]);
     a_revenue = Atomic.make 0;
     a_auctions = Atomic.make 0;
-    pool;
-    parallel_threshold;
     clock;
     cache_on;
     caches =
@@ -448,11 +417,12 @@ let create ?metrics ?pool ?(parallel_threshold = 4096)
     au_counts =
       (if partitioned then [||]
        else Array.make (Essa_strategy.Roi_fleet.num_keywords fleet) 0);
-    m = engine_metrics registry;
+    m;
   }
 
 let create_flat ?metrics ?(clock = Essa_util.Timing.now_ns) ?cache
-    ?(update_every = 1) ~reserve ~pricing ~ctr ~store ~user_seed () =
+    ?(update_every = 1) ?(mechanism = `Classic) ~reserve ~pricing ~ctr ~store
+    ~user_seed () =
   if update_every < 1 then invalid_arg "Engine.create_flat: update_every < 1";
   if not (Sstore.is_flat store) then
     invalid_arg "Engine.create_flat: store is not flat";
@@ -480,43 +450,59 @@ let create_flat ?metrics ?(clock = Essa_util.Timing.now_ns) ?cache
     match metrics with Some r -> r | None -> Essa_obs.Registry.create ()
   in
   let nk = Sstore.num_keywords store in
+  let m = engine_metrics registry in
+  let ctx =
+    {
+      Mechanism.x_method = `Rh;
+      x_n = n;
+      x_k = k;
+      x_reserve = reserve;
+      x_ctr = ctr;
+      (* All n-sized / nk×n side structures stay empty: at 10⁵ keywords ×
+         10⁵ advertisers they are exactly what the flat layout removes. *)
+      x_ctr_sorted = [||];
+      x_ctr_ids = [||];
+      x_ctr_vals = [||];
+      x_ctr_cols = [||];
+      x_premiums = [||];
+      x_premium_sorted = [||];
+      x_prem_ids = [||];
+      x_prem_vals = [||];
+      x_fleet = fleet;
+      x_is_flat = true;
+      x_pool = None;
+      x_parallel_threshold = max_int;
+      x_c_ta_sorted = m.c_ta_sorted;
+      x_c_ta_random = m.c_ta_random;
+      x_c_ta_seen = m.c_ta_seen;
+      x_c_reduced = m.c_reduced_candidates;
+    }
+  in
   {
-    method_ = `Rh;
-    pricing;
-    reserve;
     n;
     k;
     nk;
     ctr;
     fleet;
-    (* All n-sized / nk×n side structures stay empty: at 10⁵ keywords ×
-       10⁵ advertisers they are exactly what the flat layout removes. *)
-    ctr_sorted = [||];
-    ctr_ids = [||];
-    ctr_vals = [||];
-    ctr_cols = [||];
-    premiums = [||];
-    premium_sorted = [||];
-    prem_ids = [||];
-    prem_vals = [||];
+    mech = resolve_mechanism ~nk ~pricing mechanism;
+    ctx;
     user_rng = Essa_util.Rng.create user_seed;
     time = 0;
     total_revenue = 0;
     auctions = 0;
-    scratch = make_scratch ~n:1 ~k ~with_w:false (* unused: serial path raises *);
+    scratch =
+      Mechanism.make_scratch ~n:1 ~k ~with_w:false (* unused: serial path raises *);
     is_partitioned = true;
     is_flat = true;
     partitions = Array.make nk None;
     a_revenue = Atomic.make 0;
     a_auctions = Atomic.make 0;
-    pool = None;
-    parallel_threshold = max_int;
     clock;
     cache_on = (match cache with Some b -> b | None -> cache_default ());
     caches = [||] (* partitioned: entries live in the epartitions *);
     update_every;
     au_counts = [||];
-    m = engine_metrics registry;
+    m;
   }
 
 let cache_enabled t = t.cache_on
@@ -534,6 +520,10 @@ let auctions_run t =
 let fleet t = t.fleet
 let metrics t = t.m.registry
 
+let mechanism_name t =
+  let (module M) = t.mech in
+  M.name
+
 let keyword_time t ~keyword =
   if not t.is_partitioned then
     invalid_arg "Engine.keyword_time: serial engine (one global clock)";
@@ -549,7 +539,9 @@ let partition_of t ~keyword =
   | None ->
       (* Flat scratch is slot-indexed: size it to the keyword partition's
          current capacity, not the fleet (it is re-made bigger if churn
-         grows the partition). *)
+         grows the partition).  Partition scratches never carry the full
+         weight matrix: partitioned mode rejects pools, and those are the
+         only consumer ({!Mechanism.needs_w}). *)
       let scratch_n =
         if t.is_flat then
           (Sstore.flat_stats
@@ -561,9 +553,7 @@ let partition_of t ~keyword =
       let p =
         {
           p_rng = Essa_util.Rng.split t.user_rng ~key:keyword;
-          p_scratch =
-            make_scratch ~n:scratch_n ~k:t.k
-              ~with_w:((not t.is_flat) && t.method_ = `Rh);
+          p_scratch = Mechanism.make_scratch ~n:scratch_n ~k:t.k ~with_w:false;
           p_h_total = Essa_obs.Histogram.create ();
           p_revenue = 0;
           p_cache = None;
@@ -575,726 +565,6 @@ let partition_of t ~keyword =
       p
 
 let bid t ~adv ~keyword = Essa_strategy.Roi_fleet.bid t.fleet ~adv ~keyword
-
-(* Full expected-revenue matrix for the naive methods: w(i,j) = ctr(i,j)
-   times the advertiser's current bid on the queried keyword.  Fills the
-   given scratch's buffer (the engine's own on the serial path, the
-   keyword partition's on the partitioned path). *)
-let fill_weights t s ~keyword =
-  let prem = t.premiums.(keyword) in
-  for i = 0 to t.n - 1 do
-    let bid_c = Essa_strategy.Roi_fleet.bid t.fleet ~adv:i ~keyword in
-    let ctr_row = t.ctr.(i) and w_row = s.w_buffer.(i) in
-    if bid_c < t.reserve then
-      (* Below the per-click reserve: cannot win any slot (zero-weight
-         edges are never matched). *)
-      Array.fill w_row 0 t.k 0.0
-    else begin
-      let b = float_of_int bid_c in
-      (* Slot 1 carries the Click∧Slot1 premium; same float expression as
-         the TA aggregation below, to keep RH and RHTALU bit-identical. *)
-      w_row.(0) <- ctr_row.(0) *. (b +. float_of_int prem.(i));
-      for j = 1 to t.k - 1 do
-        w_row.(j) <- ctr_row.(j) *. b
-      done
-    end
-  done;
-  s.w_buffer
-
-(* SoA replica of [Essa_ta.Threshold.top_k] for the auction's three
-   concrete sources, eliminating the generic machinery's per-access cost
-   (Seq nodes, closure dispatch, the Hashtbl seen-set, the boxed top-k
-   heap).  The control flow is a line-for-line copy of the generic loop —
-   round-robin sorted access in source order (ctr, bids, premium), full
-   resolve of each new object, τ from the last values seen, the strict
-   stop rule [min top-k score > τ], canonical ties (higher score, then
-   smaller id) — and the access statistics are counted identically, so
-   the result lists *and* the essa.ta.* counters are bit-identical to the
-   generic path (property-tested).
-
-   Sorted access on the maintained bid lists is an inline merge of the
-   fleet's persistent sorted views ({!Essa_strategy.Roi_fleet.sorted_views}):
-   flat arrays that survive across consecutive auctions of the keyword
-   until a list structurally changes — the TA-resume state.  The seen set
-   is a stamp array and the top-(k+1) buffer an insertion-sorted pair of
-   parallel arrays, both in the per-auction scratch, so a TA open
-   allocates nothing but the k result lists. *)
-let ta_top_lists_fast t s ~keyword ~count =
-  let views = Essa_strategy.Roi_fleet.sorted_views t.fleet ~keyword in
-  let nv = Array.length views in
-  (* Hoist the view fields and the random-access closure out of the
-     per-access loops. *)
-  let v_ids = Array.map (fun v -> v.Essa_strategy.Roi_fleet.sv_ids) views in
-  let v_bids = Array.map (fun v -> v.Essa_strategy.Roi_fleet.sv_bids) views in
-  let v_adj = Array.map (fun v -> v.Essa_strategy.Roi_fleet.sv_adjust) views in
-  let v_len = Array.map (fun v -> v.Essa_strategy.Roi_fleet.sv_len) views in
-  let n = t.n in
-  (* The views partition the advertisers (one view of all n for explicit
-     strategies; the inc/dec/const lists for logical ones), so scattering
-     them through the id axis yields every advertiser's effective bid as
-     one unboxed float read — the random access of the TA resolve step,
-     without a closure call per object. *)
-  let eff = s.ta_eff in
-  let filled = ref 0 in
-  for v = 0 to Array.length views - 1 do
-    let ids = v_ids.(v) and bids = v_bids.(v) in
-    let adj = v_adj.(v) and len = v_len.(v) in
-    for i = 0 to len - 1 do
-      eff.(ids.(i)) <- float_of_int (bids.(i) + adj)
-    done;
-    filled := !filled + len
-  done;
-  assert (!filled = n);
-  let reserve = float_of_int t.reserve in
-  let premiums = t.premiums.(keyword) in
-  let prem_ids = t.prem_ids.(keyword) and prem_vals = t.prem_vals.(keyword) in
-  let seen = s.ta_seen in
-  let tk_ids = s.tk_ids and tk_scores = s.tk_scores in
-  let vcur = Array.make nv 0 in
-  let tops = Array.make t.k [] in
-  (* Cached merge heads: hd_bid.(v) / hd_id.(v) mirror the entry at
-     vcur.(v), recomputed only when view v is consumed — the merge pick is
-     then a scan of scalars.  hd_bid = min_int marks a drained view. *)
-  let hd_bid = Array.make nv 0 and hd_id = Array.make nv 0 in
-  for j = 0 to t.k - 1 do
-    let d = if j = 0 then 3 else 2 in
-    let ctr_ids = t.ctr_ids.(j) and ctr_vals = t.ctr_vals.(j) in
-    let ctr_col = t.ctr_cols.(j) in
-    s.ta_token <- s.ta_token + 1;
-    let token = s.ta_token in
-    let tk_size = ref 0 in
-    let c_ctr = ref 0 and c_prem = ref 0 in
-    Array.fill vcur 0 nv 0;
-    for v = 0 to nv - 1 do
-      if v_len.(v) > 0 then begin
-        hd_id.(v) <- v_ids.(v).(0);
-        hd_bid.(v) <- v_bids.(v).(0) + v_adj.(v)
-      end
-      else hd_bid.(v) <- min_int
-    done;
-    let last_ctr = ref infinity
-    and last_bid = ref infinity
-    and last_prem = ref infinity in
-    let exh_ctr = ref false and exh_bid = ref false and exh_prem = ref false in
-    let yld_ctr = ref false and yld_bid = ref false and yld_prem = ref false in
-    let sorted_accesses = ref 0
-    and random_accesses = ref 0
-    and seen_objects = ref 0 in
-    let resolve id =
-      if seen.(id) <> token then begin
-        seen.(id) <- token;
-        incr seen_objects;
-        random_accesses := !random_accesses + d;
-        let b = eff.(id) in
-        (* Same float expressions as the generic sources' [f]: sub-reserve
-           bids score 0, slot 1 carries the Click∧Slot1 premium. *)
-        let sc =
-          if b < reserve then 0.0
-          else if j = 0 then ctr_col.(id) *. (b +. float_of_int premiums.(id))
-          else ctr_col.(id) *. b
-        in
-        (* Offer to the insertion-sorted top-[count] buffer; canonical
-           order: higher score first, ties to the smaller id. *)
-        let full = !tk_size >= count in
-        let accept =
-          count > 0
-          && ((not full)
-             ||
-             let ms = tk_scores.(count - 1) in
-             sc > ms || (sc = ms && id < tk_ids.(count - 1)))
-        in
-        if accept then begin
-          let p = ref (if full then count - 1 else !tk_size) in
-          if not full then incr tk_size;
-          while
-            !p > 0
-            && (let ps = tk_scores.(!p - 1) in
-                sc > ps || (sc = ps && id < tk_ids.(!p - 1)))
-          do
-            tk_scores.(!p) <- tk_scores.(!p - 1);
-            tk_ids.(!p) <- tk_ids.(!p - 1);
-            decr p
-          done;
-          tk_scores.(!p) <- sc;
-          tk_ids.(!p) <- id
-        end
-      end
-    in
-    (* One round of the generic loop — step every source in order (ctr,
-       bids, premium), then test the strict stop rule — with the step and
-       τ bodies inlined into the round loop: these run a few thousand
-       times per auction, and on the non-flambda backend each would
-       otherwise be an uninlined closure call. *)
-    let running = ref true in
-    while !running do
-      if !exh_ctr && !exh_bid && (d < 3 || !exh_prem) then running := false
-      else begin
-        (* step ctr *)
-        if not !exh_ctr then begin
-          if !c_ctr >= n then exh_ctr := true
-          else begin
-            let id = ctr_ids.(!c_ctr) in
-            last_ctr := ctr_vals.(!c_ctr);
-            incr c_ctr;
-            incr sorted_accesses;
-            yld_ctr := true;
-            resolve id
-          end
-        end;
-        (* step bids: head of the ≤3-way merge of the sorted views —
-           effective bid descending, id ascending, exactly the
-           [bids_desc] order.  Heads are cached scalars; bids are
-           non-negative, so min_int marks a drained view. *)
-        if not !exh_bid then begin
-          let best = ref (-1) and best_id = ref 0 and best_bid = ref min_int in
-          for v = 0 to nv - 1 do
-            let b = hd_bid.(v) in
-            if b <> min_int then begin
-              let id = hd_id.(v) in
-              if !best < 0 || b > !best_bid || (b = !best_bid && id < !best_id)
-              then begin
-                best := v;
-                best_id := id;
-                best_bid := b
-              end
-            end
-          done;
-          if !best < 0 then exh_bid := true
-          else begin
-            let v = !best in
-            let c = vcur.(v) + 1 in
-            vcur.(v) <- c;
-            if c < v_len.(v) then begin
-              hd_id.(v) <- v_ids.(v).(c);
-              hd_bid.(v) <- v_bids.(v).(c) + v_adj.(v)
-            end
-            else hd_bid.(v) <- min_int;
-            incr sorted_accesses;
-            yld_bid := true;
-            last_bid := float_of_int !best_bid;
-            resolve !best_id
-          end
-        end;
-        (* step premium (slot 1 only) *)
-        if d = 3 && not !exh_prem then begin
-          if !c_prem >= n then exh_prem := true
-          else begin
-            let id = prem_ids.(!c_prem) in
-            last_prem := prem_vals.(!c_prem);
-            incr c_prem;
-            incr sorted_accesses;
-            yld_prem := true;
-            resolve id
-          end
-        end;
-        (* Strict stop rule: min top-[count] score > τ, where τ is f of
-           the last values seen, collapsing to -inf once every source is
-           drained or any source was exhausted without yielding. *)
-        if !tk_size >= count then begin
-          if count = 0 then running := false
-          else begin
-            let tau =
-              let all_drained = !exh_ctr && !exh_bid && (d < 3 || !exh_prem) in
-              let empty_list =
-                (!exh_ctr && not !yld_ctr)
-                || (!exh_bid && not !yld_bid)
-                || (d = 3 && !exh_prem && not !yld_prem)
-              in
-              if all_drained || empty_list then neg_infinity
-              else if !last_bid < reserve then 0.0
-              else if d = 3 then !last_ctr *. (!last_bid +. !last_prem)
-              else !last_ctr *. !last_bid
-            in
-            if tk_scores.(count - 1) > tau then running := false
-          end
-        end
-      end
-    done;
-    let rec build i acc =
-      if i < 0 then acc else build (i - 1) ((tk_ids.(i), tk_scores.(i)) :: acc)
-    in
-    tops.(j) <- build (!tk_size - 1) [];
-    Essa_obs.Counter.add t.m.c_ta_sorted !sorted_accesses;
-    Essa_obs.Counter.add t.m.c_ta_random !random_accesses;
-    Essa_obs.Counter.add t.m.c_ta_seen !seen_objects;
-    (* Keep a per-auction copy in the (lane-private) scratch: the shared
-       counters are cross-lane atomics, so diffing them around one auction
-       would race; these tallies are what the evaluation cache stores. *)
-    s.wd_ta_sorted <- s.wd_ta_sorted + !sorted_accesses;
-    s.wd_ta_random <- s.wd_ta_random + !random_accesses;
-    s.wd_ta_seen <- s.wd_ta_seen + !seen_objects
-  done;
-  tops
-
-(* Per-slot top lists via the threshold algorithm: sorted access on the
-   static ctr list and on the maintained bid lists; the product is the
-   same float expression as [fill_weights], so the lists are identical to
-   a heap scan of the full matrix. *)
-let ta_top_lists_generic t s ~keyword ~count =
-  let bids_source =
-    {
-      Essa_ta.Threshold.sorted =
-        (fun () ->
-          Seq.map
-            (fun (adv, b) -> (adv, float_of_int b))
-            (Essa_strategy.Roi_fleet.bids_desc t.fleet ~keyword));
-      lookup =
-        (fun adv ->
-          float_of_int (Essa_strategy.Roi_fleet.bid t.fleet ~adv ~keyword));
-    }
-  in
-  let premium_source =
-    {
-      Essa_ta.Threshold.sorted = (fun () -> Array.to_seq t.premium_sorted.(keyword));
-      lookup = (fun adv -> float_of_int t.premiums.(keyword).(adv));
-    }
-  in
-  let slot_top j =
-    let ctr_source =
-      {
-        Essa_ta.Threshold.sorted = (fun () -> Array.to_seq t.ctr_sorted.(j));
-        lookup = (fun adv -> t.ctr.(adv).(j));
-      }
-    in
-    let reserve = float_of_int t.reserve in
-    (* Sub-reserve bids score 0, exactly like the matrix paths; the
-       step form keeps f monotone in every attribute. *)
-    if j = 0 then
-      Essa_ta.Threshold.top_k ~k:count
-        ~f:(fun attrs ->
-          if attrs.(1) < reserve then 0.0
-          else attrs.(0) *. (attrs.(1) +. attrs.(2)))
-        [| ctr_source; bids_source; premium_source |]
-    else
-      Essa_ta.Threshold.top_k ~k:count
-        ~f:(fun attrs ->
-          if attrs.(1) < reserve then 0.0 else attrs.(0) *. attrs.(1))
-        [| ctr_source; bids_source |]
-  in
-  (* The k slot TAs only read the fleet (the RHTALU fleet is logical:
-     [bids_desc] is a pure 3-way merge and [bid] two array reads), so
-     with a pool they fan out across worker domains — the per-slot lists
-     and access statistics are computed independently either way, and the
-     stats are folded into the counters in slot order below, keeping the
-     metrics bit-identical to the sequential scan. *)
-  let tops =
-    match t.pool with
-    | Some pool when t.n >= t.parallel_threshold && t.k > 1 ->
-        Essa_util.Domain_pool.run_array pool
-          (Array.init t.k (fun j () -> slot_top j))
-    | _ -> Array.init t.k slot_top
-  in
-  Array.map
-    (fun ((top, stats) : _ * Essa_ta.Threshold.stats) ->
-      Essa_obs.Counter.add t.m.c_ta_sorted stats.sorted_accesses;
-      Essa_obs.Counter.add t.m.c_ta_random stats.random_accesses;
-      Essa_obs.Counter.add t.m.c_ta_seen stats.seen_objects;
-      s.wd_ta_sorted <- s.wd_ta_sorted + stats.sorted_accesses;
-      s.wd_ta_random <- s.wd_ta_random + stats.random_accesses;
-      s.wd_ta_seen <- s.wd_ta_seen + stats.seen_objects;
-      top)
-    tops
-
-(* The pooled fan-out keeps the generic closure-based TA (worker domains
-   evaluate whole slots concurrently); everything else takes the SoA fast
-   path.  Same lists, same counters, property-tested against each other. *)
-let ta_top_lists t s ~keyword ~count =
-  match t.pool with
-  | Some _ when t.n >= t.parallel_threshold && t.k > 1 ->
-      ta_top_lists_generic t s ~keyword ~count
-  | _ -> ta_top_lists_fast t s ~keyword ~count
-
-(* Degraded winner determination: one pass over the fleet taking the top-k
-   advertisers by slot-1 expected revenue (same float expression as the
-   matrix paths), assigned greedily to slots 1..k.  O(n log k), no
-   Hungarian, no reduced view — the deadline fallback tier.  Prices are
-   pay-as-bid (plus the slot-1 premium), floored at the reserve: under a
-   blown budget the system serves *something* billable rather than
-   computing incentive-clean prices it has no time for. *)
-let cheap_allocation t ~keyword =
-  let prem = t.premiums.(keyword) in
-  let top =
-    Essa_util.Topk.create ~k:t.k
-      ~compare:(fun (sa, ia, _) (sb, ib, _) ->
-        let c = Float.compare sa sb in
-        if c <> 0 then c else Int.compare ib ia)
-  in
-  for i = 0 to t.n - 1 do
-    let bid_c = Essa_strategy.Roi_fleet.bid t.fleet ~adv:i ~keyword in
-    if bid_c >= t.reserve then begin
-      let s = t.ctr.(i).(0) *. (float_of_int bid_c +. float_of_int prem.(i)) in
-      if s > 0.0 then ignore (Essa_util.Topk.offer top (s, i, bid_c))
-    end
-  done;
-  let assignment = Array.make t.k None in
-  let prices = Array.make t.k 0 in
-  List.iteri
-    (fun j (_, i, bid_c) ->
-      assignment.(j) <- Some i;
-      prices.(j) <- max t.reserve (bid_c + if j = 0 then prem.(i) else 0))
-    (Essa_util.Topk.to_sorted_list top);
-  (assignment, prices)
-
-(* Reduced pricing view out of the scratch buffers: a stamp pass dedupes
-   the top lists (no Set), the candidate ids are sorted in place
-   (ascending, as before — ≤ k·(k+1) ints), and the weight rows are
-   refilled rather than reallocated.  The two [Array.sub] views are the
-   only per-auction allocation left, and they are O(k²) pointers,
-   independent of n. *)
-let reduced_from_top t s ~keyword top =
-  s.stamp_token <- s.stamp_token + 1;
-  let token = s.stamp_token in
-  let count = ref 0 in
-  Array.iter
-    (fun lst ->
-      List.iter
-        (fun (i, _) ->
-          if s.stamp.(i) <> token then begin
-            s.stamp.(i) <- token;
-            s.reduced_advs.(!count) <- i;
-            incr count
-          end)
-        lst)
-    top;
-  let advertisers = Array.sub s.reduced_advs 0 !count in
-  Array.sort Int.compare advertisers;
-  let prem = t.premiums.(keyword) in
-  for r = 0 to !count - 1 do
-    let i = advertisers.(r) in
-    s.local_of.(i) <- r;
-    let row = s.reduced_w_rows.(r) in
-    let bid_c = bid t ~adv:i ~keyword in
-    if bid_c < t.reserve then Array.fill row 0 t.k 0.0
-    else begin
-      let b = float_of_int bid_c in
-      row.(0) <- t.ctr.(i).(0) *. (b +. float_of_int prem.(i));
-      for j = 1 to t.k - 1 do
-        row.(j) <- t.ctr.(i).(j) *. b
-      done
-    end
-  done;
-  Essa_obs.Counter.add t.m.c_reduced_candidates !count;
-  s.wd_reduced <- s.wd_reduced + !count;
-  (advertisers, Array.sub s.reduced_w_rows 0 !count)
-
-(* Winner determination.  Besides the global assignment, every branch
-   produces a *pricing view*: the weight (sub)matrix and the advertiser
-   index mapping it is expressed in.  The reduced views built from
-   top-(k+1) lists support exact GSP and exact VCG (removing a winner
-   never pushes the removal-optimum outside the lists). *)
-let reset_wd_stats s =
-  s.wd_ta_sorted <- 0;
-  s.wd_ta_random <- 0;
-  s.wd_ta_seen <- 0;
-  s.wd_reduced <- 0
-
-let winner_determination t s ~keyword =
-  reset_wd_stats s;
-  match t.method_ with
-  | `Lp ->
-      let w = fill_weights t s ~keyword in
-      (Essa_lp.Assignment_lp.solve ~w (), None, w, None)
-  | `Lp_dense ->
-      let w = fill_weights t s ~keyword in
-      (Essa_lp.Assignment_lp.solve ~solver:`Tableau ~w (), None, w, None)
-  | `H ->
-      let w = fill_weights t s ~keyword in
-      (Essa_matching.Hungarian.solve_classic ~w, None, w, None)
-  | `Rh ->
-      let w = fill_weights t s ~keyword in
-      let top =
-        match t.pool with
-        | Some pool when t.n >= t.parallel_threshold ->
-            Essa_matching.Tree_topk.parallel ~pool ~w ~count:(t.k + 1) ()
-        | _ -> Essa_matching.Reduction.top_per_slot ~w ~count:(t.k + 1)
-      in
-      let advertisers, reduced_w = reduced_from_top t s ~keyword top in
-      let reduced = Essa_matching.Hungarian.solve ~w:reduced_w in
-      let assignment =
-        Array.map (Option.map (fun local -> advertisers.(local))) reduced
-      in
-      (assignment, Some advertisers, reduced_w, Some top)
-  | `Rhtalu ->
-      let top = ta_top_lists t s ~keyword ~count:(t.k + 1) in
-      (* The full matrix is never materialized: weights travel inside
-         the top lists and the reduced view. *)
-      let advertisers, reduced_w = reduced_from_top t s ~keyword top in
-      let reduced = Essa_matching.Hungarian.solve ~w:reduced_w in
-      let assignment =
-        Array.map (Option.map (fun local -> advertisers.(local))) reduced
-      in
-      (assignment, Some advertisers, reduced_w, Some top)
-
-(* GSP against the reduced top lists without the per-slot Hashtbl of
-   [Pricing.gsp_per_click]: winners are stamped in the scratch (a fresh
-   token, so it composes with [reduced_from_top]'s stamps) and the
-   runner-up is the first unstamped entry of the slot's list — same
-   search, same price arithmetic, same reserve floor. *)
-let gsp_from_top t s ~assignment ~top =
-  s.stamp_token <- s.stamp_token + 1;
-  let token = s.stamp_token in
-  Array.iter
-    (function None -> () | Some i -> s.stamp.(i) <- token)
-    assignment;
-  Array.mapi
-    (fun j0 cell ->
-      match cell with
-      | None -> 0
-      | Some winner ->
-          let rec runner = function
-            | [] -> 0
-            | (i, weight) :: rest ->
-                if s.stamp.(i) = token then runner rest
-                else
-                  let p = t.ctr.(winner).(j0) in
-                  if p <= 0.0 || weight <= 0.0 then 0
-                  else int_of_float (Float.ceil ((weight /. p) -. 1e-9))
-          in
-          max (runner top.(j0)) t.reserve)
-    assignment
-
-(* ------------------------------------------------------------------ *)
-(* Flat-store auction paths: everything below reads the keyword's
-   partition view (live slots only) instead of per-advertiser arrays, so
-   per-auction cost is O(live · k) — independent of the fleet size and of
-   the keyword count.  Scores use the same float expressions as
-   [fill_weights] / [cheap_allocation], and candidate order (score
-   descending, global id ascending; reduced view in ascending global id)
-   matches the dense `Rh path, so on a universe where partitions and
-   fleet agree the two engines assign and price identically. *)
-
-let winner_determination_flat t s ~keyword =
-  reset_wd_stats s;
-  let store = Essa_strategy.Roi_fleet.store_of t.fleet in
-  let fv = Sstore.flat_view store ~keyword in
-  let members = fv.Sstore.fv_members
-  and bids = fv.Sstore.fv_bids
-  and prems = fv.Sstore.fv_premiums in
-  let len = fv.Sstore.fv_len in
-  let reserve = t.reserve in
-  let count = t.k + 1 in
-  let tk_ids = s.tk_ids and tk_scores = s.tk_scores and tk_slots = s.tk_slots in
-  let tops = Array.make t.k [] in
-  s.stamp_token <- s.stamp_token + 1;
-  let token = s.stamp_token in
-  let ncand = ref 0 in
-  for j = 0 to t.k - 1 do
-    (* Insertion-sorted top-(k+1) scan of the live slots; canonical order:
-       higher score first, ties to the smaller global id. *)
-    let tk_size = ref 0 in
-    for slot = 0 to len - 1 do
-      let gid = members.(slot) in
-      if gid >= 0 then begin
-        let bid_c = bids.(slot) in
-        let sc =
-          if bid_c < reserve then 0.0
-          else
-            let b = float_of_int bid_c in
-            if j = 0 then t.ctr.(gid).(0) *. (b +. float_of_int prems.(slot))
-            else t.ctr.(gid).(j) *. b
-        in
-        let full = !tk_size >= count in
-        let accept =
-          (not full)
-          ||
-          let ms = tk_scores.(count - 1) in
-          sc > ms || (sc = ms && gid < tk_ids.(count - 1))
-        in
-        if accept then begin
-          let p = ref (if full then count - 1 else !tk_size) in
-          if not full then incr tk_size;
-          while
-            !p > 0
-            && (let ps = tk_scores.(!p - 1) in
-                sc > ps || (sc = ps && gid < tk_ids.(!p - 1)))
-          do
-            tk_scores.(!p) <- tk_scores.(!p - 1);
-            tk_ids.(!p) <- tk_ids.(!p - 1);
-            tk_slots.(!p) <- tk_slots.(!p - 1);
-            decr p
-          done;
-          tk_scores.(!p) <- sc;
-          tk_ids.(!p) <- gid;
-          tk_slots.(!p) <- slot
-        end
-      end
-    done;
-    let rec build i acc =
-      if i < 0 then acc else build (i - 1) ((tk_ids.(i), tk_scores.(i)) :: acc)
-    in
-    tops.(j) <- build (!tk_size - 1) [];
-    (* Fold this slot's survivors into the reduced candidate set (stamp
-       dedupe on partition slots). *)
-    for i = 0 to !tk_size - 1 do
-      let slot = tk_slots.(i) in
-      if s.stamp.(slot) <> token then begin
-        s.stamp.(slot) <- token;
-        s.reduced_advs.(!ncand) <- slot;
-        incr ncand
-      end
-    done
-  done;
-  (* Reduced pricing view in ascending global-id order, exactly like the
-     dense [reduced_from_top]. *)
-  let slots = Array.sub s.reduced_advs 0 !ncand in
-  Array.sort (fun a b -> Int.compare members.(a) members.(b)) slots;
-  let advertisers = Array.map (fun slot -> members.(slot)) slots in
-  for r = 0 to !ncand - 1 do
-    let slot = slots.(r) in
-    let gid = members.(slot) in
-    let row = s.reduced_w_rows.(r) in
-    let bid_c = bids.(slot) in
-    if bid_c < reserve then Array.fill row 0 t.k 0.0
-    else begin
-      let b = float_of_int bid_c in
-      row.(0) <- t.ctr.(gid).(0) *. (b +. float_of_int prems.(slot));
-      for j = 1 to t.k - 1 do
-        row.(j) <- t.ctr.(gid).(j) *. b
-      done
-    end
-  done;
-  Essa_obs.Counter.add t.m.c_reduced_candidates !ncand;
-  s.wd_reduced <- s.wd_reduced + !ncand;
-  let reduced = Essa_matching.Hungarian.solve ~w:(Array.sub s.reduced_w_rows 0 !ncand) in
-  let assignment =
-    Array.map (Option.map (fun local -> advertisers.(local))) reduced
-  in
-  (assignment, tops)
-
-(* GSP runner-up search over the flat top lists.  Winner membership is a
-   linear scan of the ≤ k assignment cells (the scratch stamp array is
-   slot-indexed here, while top entries carry global ids). *)
-let gsp_from_top_flat t ~assignment ~top =
-  let is_winner id =
-    let rec go j0 =
-      if j0 >= Array.length assignment then false
-      else
-        match assignment.(j0) with
-        | Some w when w = id -> true
-        | _ -> go (j0 + 1)
-    in
-    go 0
-  in
-  Array.mapi
-    (fun j0 cell ->
-      match cell with
-      | None -> 0
-      | Some winner ->
-          let rec runner = function
-            | [] -> 0
-            | (i, weight) :: rest ->
-                if is_winner i then runner rest
-                else
-                  let p = t.ctr.(winner).(j0) in
-                  if p <= 0.0 || weight <= 0.0 then 0
-                  else int_of_float (Float.ceil ((weight /. p) -. 1e-9))
-          in
-          max (runner top.(j0)) t.reserve)
-    assignment
-
-let price_flat t ~keyword ~assignment ~top =
-  match t.pricing with
-  | `Gsp -> gsp_from_top_flat t ~assignment ~top
-  | `Pay_as_bid ->
-      let store = Essa_strategy.Roi_fleet.store_of t.fleet in
-      Array.mapi
-        (fun j0 cell ->
-          match cell with
-          | None -> 0
-          | Some adv ->
-              Sstore.flat_bid store ~keyword ~adv
-              + (if j0 = 0 then Sstore.flat_premium store ~keyword ~adv else 0))
-        assignment
-  | `Vcg -> assert false (* rejected by create_flat *)
-
-(* The deadline-degraded single-pass fallback, flat form: top-k of the
-   live slots by slot-1 expected revenue, pay-as-bid prices floored at the
-   reserve — same scores, same tie order as [cheap_allocation]. *)
-let cheap_allocation_flat t ~keyword =
-  let store = Essa_strategy.Roi_fleet.store_of t.fleet in
-  let fv = Sstore.flat_view store ~keyword in
-  let members = fv.Sstore.fv_members
-  and bids = fv.Sstore.fv_bids
-  and prems = fv.Sstore.fv_premiums in
-  let len = fv.Sstore.fv_len in
-  let top =
-    Essa_util.Topk.create ~k:t.k
-      ~compare:(fun (sa, ia, _) (sb, ib, _) ->
-        let c = Float.compare sa sb in
-        if c <> 0 then c else Int.compare ib ia)
-  in
-  for slot = 0 to len - 1 do
-    let gid = members.(slot) in
-    if gid >= 0 then begin
-      let bid_c = bids.(slot) in
-      if bid_c >= t.reserve then begin
-        let s =
-          t.ctr.(gid).(0) *. (float_of_int bid_c +. float_of_int prems.(slot))
-        in
-        if s > 0.0 then ignore (Essa_util.Topk.offer top (s, gid, slot))
-      end
-    end
-  done;
-  let assignment = Array.make t.k None in
-  let prices = Array.make t.k 0 in
-  List.iteri
-    (fun j (_, gid, slot) ->
-      assignment.(j) <- Some gid;
-      prices.(j) <- max t.reserve (bids.(slot) + if j = 0 then prems.(slot) else 0))
-    (Essa_util.Topk.to_sorted_list top);
-  (assignment, prices)
-
-let price_assignment t s ~keyword ~assignment ~view_advertisers ~view_w ~top =
-  let ctr ~adv ~slot = t.ctr.(adv).(slot - 1) in
-  let per_click_of_expected ~expected ~slot ~adv =
-    let p = ctr ~adv ~slot in
-    if p <= 0.0 || expected <= 0.0 then 0
-    else int_of_float (Float.ceil ((expected /. p) -. 1e-9))
-  in
-  match t.pricing with
-  | `Gsp -> (
-      match top with
-      | Some lists -> gsp_from_top t s ~assignment ~top:lists
-      | None ->
-          let prices_opt =
-            Pricing.gsp_per_click ~w:view_w ~ctr ~assignment ()
-          in
-          Array.map
-            (function None -> 0 | Some p -> max p t.reserve)
-            prices_opt)
-  | `Pay_as_bid ->
-      Array.mapi
-        (fun j0 cell ->
-          match cell with
-          | None -> 0
-          | Some adv ->
-              (* Slot 1 winners owe their Click∧Slot1 premium too. *)
-              bid t ~adv ~keyword
-              + (if j0 = 0 then t.premiums.(keyword).(adv) else 0))
-        assignment
-  | `Vcg ->
-      (* Solve on the pricing view (local indices), then translate. *)
-      let to_local =
-        match view_advertisers with
-        | None -> fun i -> i
-        | Some _ ->
-            (* [reduced_from_top] recorded each candidate's reduced row
-               in [local_of] for this very auction. *)
-            fun i -> s.local_of.(i)
-      in
-      let local_assignment = Array.map (Option.map to_local) assignment in
-      let base = Array.make (Array.length view_w) 0.0 in
-      let payments =
-        Pricing.vcg ~method_:`Rh ~w:view_w ~base ~assignment:local_assignment ()
-      in
-      Array.mapi
-        (fun j0 cell ->
-          match cell with
-          | None -> 0
-          | Some adv ->
-              per_click_of_expected ~expected:payments.(to_local adv)
-                ~slot:(j0 + 1) ~adv)
-        assignment
 
 (* ------------------------------------------------------------------ *)
 (* Evaluation-cache plumbing shared by the serial and partitioned
@@ -1330,15 +600,15 @@ let cache_replay_counters t ce =
 
 (* Entries own copies of the result arrays (summaries escape to the
    caller), and hits hand out copies in turn. *)
-let cache_entry_of ~epoch s ~assignment ~prices =
+let cache_entry_of ~epoch (s : Mechanism.scratch) ~assignment ~prices =
   {
     ce_epoch = epoch;
     ce_assignment = Array.copy assignment;
     ce_prices = Array.copy prices;
-    ce_ta_sorted = s.wd_ta_sorted;
-    ce_ta_random = s.wd_ta_random;
-    ce_ta_seen = s.wd_ta_seen;
-    ce_reduced = s.wd_reduced;
+    ce_ta_sorted = s.Mechanism.wd_ta_sorted;
+    ce_ta_random = s.Mechanism.wd_ta_random;
+    ce_ta_seen = s.Mechanism.wd_ta_seen;
+    ce_reduced = s.Mechanism.wd_reduced;
   }
 
 let run_auction ?deadline_ns t ~keyword =
@@ -1355,6 +625,7 @@ let run_auction ?deadline_ns t ~keyword =
     | None -> false
     | Some d -> Int64.compare (t.clock ()) d >= 0
   in
+  let (module M) = t.mech in
   (* Sample the user's clicks top-to-bottom; bill per click.  Shared by
      the full path and the deadline-degraded cheap path: a degraded
      allocation is still a real allocation — clicks are sampled, winners
@@ -1436,10 +707,10 @@ let run_auction ?deadline_ns t ~keyword =
   in
   if over_deadline () then begin
     (* Budget exhausted after program evaluation: skip the full winner
-       determination (the dominant cost at scale) for the single-pass
-       top-k fallback — the paper's RH reduction taken to its cheapest
-       limit. *)
-    let assignment, prices = cheap_allocation t ~keyword in
+       determination (the dominant cost at scale) for the mechanism's
+       single-pass fallback — the paper's RH reduction taken to its
+       cheapest limit. *)
+    let assignment, prices = M.cheap t.ctx ~keyword in
     Essa_obs.Counter.incr t.m.c_degraded_cheap;
     let stamp =
       let now = Essa_util.Timing.now_ns () in
@@ -1480,18 +751,15 @@ let run_auction ?deadline_ns t ~keyword =
       finish ~stamp ~assignment:(Array.copy ce.ce_assignment)
         ~prices:(Array.copy ce.ce_prices) ~degraded:None
   | None ->
-  let assignment, view_advertisers, view_w, top =
-    winner_determination t s ~keyword
-  in
+  let ev = M.winner_determination t.ctx s ~keyword in
+  let assignment = ev.Mechanism.e_assignment in
   let stamp =
     let now = Essa_util.Timing.now_ns () in
     Essa_obs.Histogram.record t.m.h_winner_determination
       (Int64.to_int (Int64.sub now stamp));
     now
   in
-  let prices =
-    price_assignment t s ~keyword ~assignment ~view_advertisers ~view_w ~top
-  in
+  let prices = M.price t.ctx s ~keyword ev in
   let stamp =
     let now = Essa_util.Timing.now_ns () in
     Essa_obs.Histogram.record t.m.h_pricing (Int64.to_int (Int64.sub now stamp));
@@ -1586,6 +854,7 @@ let run_partitioned_gen ?deadline_ns ?snapshot ?batch ~forced t ~keyword =
     }
   end
   else begin
+    let (module M) = t.mech in
     (* A later auction of a batch adopts the maintained snapshot (the
        explicit [?snapshot] replay override and a batch are mutually
        exclusive call sites).  The two are passed separately: adoption is
@@ -1649,17 +918,14 @@ let run_partitioned_gen ?deadline_ns ?snapshot ?batch ~forced t ~keyword =
              ~keyword)
             .Sstore.fs_capacity
         in
-        if Array.length p.p_scratch.stamp < cap then
-          p.p_scratch <- make_scratch ~n:cap ~k:t.k ~with_w:false;
+        if Array.length p.p_scratch.Mechanism.stamp < cap then
+          p.p_scratch <- Mechanism.make_scratch ~n:cap ~k:t.k ~with_w:false;
         p.p_scratch
       end
     in
     let assignment, prices, degraded =
       if cheap then begin
-        let assignment, prices =
-          if t.is_flat then cheap_allocation_flat t ~keyword
-          else cheap_allocation t ~keyword
-        in
+        let assignment, prices = M.cheap t.ctx ~keyword in
         Essa_obs.Counter.incr t.m.c_degraded_cheap;
         (assignment, prices, Some Cheap_allocation)
       end
@@ -1685,22 +951,9 @@ let run_partitioned_gen ?deadline_ns ?snapshot ?batch ~forced t ~keyword =
             cache_replay_counters t ce;
             (Array.copy ce.ce_assignment, Array.copy ce.ce_prices, None)
         | None ->
-            let assignment, prices =
-              if t.is_flat then begin
-                let assignment, top = winner_determination_flat t scr ~keyword in
-                let prices = price_flat t ~keyword ~assignment ~top in
-                (assignment, prices)
-              end
-              else
-                let assignment, view_advertisers, view_w, top =
-                  winner_determination t scr ~keyword
-                in
-                let prices =
-                  price_assignment t scr ~keyword ~assignment ~view_advertisers
-                    ~view_w ~top
-                in
-                (assignment, prices)
-            in
+            let ev = M.winner_determination t.ctx scr ~keyword in
+            let assignment = ev.Mechanism.e_assignment in
+            let prices = M.price t.ctx scr ~keyword ev in
             if t.cache_on then
               p.p_cache <-
                 Some (cache_entry_of ~epoch scr ~assignment ~prices);
@@ -1830,6 +1083,7 @@ let encode_state t buf =
   B.write_int buf (Atomic.get t.a_auctions);
   B.write_int buf (Atomic.get t.a_revenue);
   B.write_int buf t.nk;
+  let (module M) = t.mech in
   Array.iteri
     (fun keyword p ->
       B.write_option buf
@@ -1858,14 +1112,9 @@ let encode_state t buf =
                 then None
                 else
                   let scr = p.p_scratch in
-                  let assignment, view_advertisers, view_w, top =
-                    winner_determination t scr ~keyword
-                  in
-                  let prices =
-                    price_assignment t scr ~keyword ~assignment
-                      ~view_advertisers ~view_w ~top
-                  in
-                  Some (assignment, prices)
+                  let ev = M.winner_determination t.ctx scr ~keyword in
+                  let prices = M.price t.ctx scr ~keyword ev in
+                  Some (ev.Mechanism.e_assignment, prices)
           in
           B.write_option buf
             (fun buf (assignment, prices) ->

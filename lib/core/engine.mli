@@ -26,6 +26,29 @@ type method_ = [ `Lp | `Lp_dense | `H | `Rh | `Rhtalu ]
 
 type pricing = [ `Gsp | `Vcg | `Pay_as_bid ]
 
+type mechanism =
+  [ `Classic | `Stable | `Reserve of [ `Fixed of int array | `Monopoly ] ]
+(** The auction mechanism — winner determination + pricing + degraded
+    tier as a {!Mechanism.S} first-class module:
+
+    - [`Classic] (default) — the paper's matching mechanism with the
+      engine's [pricing]; bit-identical to the pre-interface engine
+      ({!Mech_classic});
+    - [`Stable] — Aggarwal et al.'s general auction via ascending-price
+      stable matching; [pricing] is ignored (prices are the auction's
+      fixed point) ({!Stable_match});
+    - [`Reserve rule] — classic winner determination and [pricing] under
+      a per-keyword reserve floor: [`Fixed floors] (length = keyword
+      count, non-negative entries) or the empirical [`Monopoly] reserve
+      recomputed from the keyword's current bids each auction
+      ({!Reserve}).  The effective floor is
+      [max reserve (per-keyword floor)]; thin keywords can go unfilled.
+
+    Orchestration — the evaluation cache, bid-update decimation,
+    batching, deadlines, WAL snapshot/replay — is mechanism-agnostic
+    (every mechanism's evaluation is a pure function of keyword-local
+    fleet state), so all engine features compose with all mechanisms. *)
+
 type t
 
 val create :
@@ -36,6 +59,7 @@ val create :
   ?partitioned:bool ->
   ?cache:bool ->
   ?update_every:int ->
+  ?mechanism:mechanism ->
   reserve:int ->
   pricing:pricing ->
   method_:method_ ->
@@ -111,16 +135,20 @@ val create :
     knows to skip the begin pass — replay follows the recorded witness,
     never the replaying engine's own counters, so any [update_every]
     replays any log.
+    [mechanism] (default [`Classic]) selects the auction mechanism; see
+    {!mechanism}.
     @raise Invalid_argument on shape mismatch, probabilities outside
     [0,1], negative [parallel_threshold], [update_every < 1], advertiser
-    states that disagree on the number of keywords, or an unsupported
-    [partitioned] combination. *)
+    states that disagree on the number of keywords, an unsupported
+    [partitioned] combination, or a malformed [`Reserve (`Fixed _)]
+    floor array. *)
 
 val create_flat :
   ?metrics:Essa_obs.Registry.t ->
   ?clock:(unit -> int64) ->
   ?cache:bool ->
   ?update_every:int ->
+  ?mechanism:mechanism ->
   reserve:int ->
   pricing:pricing ->
   ctr:float array array ->
@@ -163,6 +191,10 @@ val time : t -> int
 
 val is_flat : t -> bool
 (** True for {!create_flat} engines. *)
+
+val mechanism_name : t -> string
+(** The running mechanism's name: ["gsp"], ["vcg"] or ["pay-as-bid"]
+    (classic, by pricing), ["stable"], or ["reserve"]. *)
 
 val cache_enabled : t -> bool
 (** Whether this engine runs with the cross-auction evaluation cache

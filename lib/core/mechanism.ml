@@ -1,0 +1,758 @@
+module Sstore = Essa_strategy.State_store
+
+type method_ = [ `Lp | `Lp_dense | `H | `Rh | `Rhtalu ]
+type pricing = [ `Gsp | `Vcg | `Pay_as_bid ]
+
+(* Per-auction mutable workspace: the full weight matrix buffer (naive
+   methods and the pooled `Rh scan) and the reduced-pricing-view scratch,
+   owned by whoever runs the auction so the drivers allocate O(k²) small
+   views instead of a fresh Set/Hashtbl/list chain per auction.
+   [stamp.(i) = stamp_token] marks advertiser i as a member of the
+   current auction's reduced set, and [local_of.(i)] is then its row in
+   the reduced matrix.  The serial engine owns one; the partitioned
+   engine gives each keyword its own (lazily), so concurrent lanes never
+   share scratch. *)
+type scratch = {
+  w_buffer : float array array;
+  stamp : int array;
+  mutable stamp_token : int;
+  local_of : int array;
+  reduced_advs : int array;            (* capacity k·(k+1) candidates *)
+  reduced_w_rows : float array array;  (* capacity k·(k+1) rows of k *)
+  (* Threshold-algorithm workspace of the SoA fast path: a stamp array for
+     the per-slot seen set (no Hashtbl) and one insertion-sorted top-(k+1)
+     buffer reused by every slot scan. *)
+  ta_seen : int array;
+  mutable ta_token : int;
+  tk_ids : int array;                  (* capacity k+1 *)
+  tk_scores : float array;             (* capacity k+1 *)
+  tk_slots : int array;                (* capacity k+1; flat path only *)
+  ta_eff : float array;                (* effective bid by advertiser *)
+  (* Per-auction access-statistic tallies, zeroed at the top of winner
+     determination and folded into the shared counters as usual: the
+     evaluation cache stores them with the entry so a hit can re-report
+     the cold run's essa.ta.* / reduction counters bit-for-bit. *)
+  mutable wd_ta_sorted : int;
+  mutable wd_ta_random : int;
+  mutable wd_ta_seen : int;
+  mutable wd_reduced : int;
+}
+
+(* [n] is the index space of the stamp arrays: the fleet size on dense
+   engines, the keyword partition's capacity on flat ones (where the
+   scratch is slot-indexed and grows with the partition). *)
+let make_scratch ~n ~k ~with_w =
+  let reduced_capacity = min n (k * (k + 1)) in
+  {
+    w_buffer = (if with_w then Array.make_matrix n k 0.0 else [||]);
+    stamp = Array.make n 0;
+    stamp_token = 0;
+    local_of = Array.make n 0;
+    reduced_advs = Array.make reduced_capacity 0;
+    reduced_w_rows = Array.make_matrix reduced_capacity k 0.0;
+    ta_seen = Array.make n 0;
+    ta_token = 0;
+    tk_ids = Array.make (k + 1) 0;
+    tk_scores = Array.make (k + 1) 0.0;
+    tk_slots = Array.make (k + 1) 0;
+    ta_eff = Array.make n 0.0;
+    wd_ta_sorted = 0;
+    wd_ta_random = 0;
+    wd_ta_seen = 0;
+    wd_reduced = 0;
+  }
+
+(* The naive methods score every advertiser on every slot through the
+   materialized matrix; `Rh only needs it for the pooled tree-top-k scan
+   (its sequential scan computes scores on the fly, see [rh_top_lists]);
+   `Rhtalu never materializes it. *)
+let needs_w ~method_ ~pooled =
+  match method_ with
+  | `Lp | `Lp_dense | `H -> true
+  | `Rh -> pooled
+  | `Rhtalu -> false
+
+type ctx = {
+  x_method : method_;
+  x_n : int;
+  x_k : int;
+  x_reserve : int;
+  x_ctr : float array array;
+  x_ctr_sorted : (int * float) array array;
+  x_ctr_ids : int array array;
+  x_ctr_vals : float array array;
+  x_ctr_cols : float array array;
+  x_premiums : int array array;
+  x_premium_sorted : (int * float) array array;
+  x_prem_ids : int array array;
+  x_prem_vals : float array array;
+  x_fleet : Essa_strategy.Roi_fleet.t;
+  x_is_flat : bool;
+  x_pool : Essa_util.Domain_pool.t option;
+  x_parallel_threshold : int;
+  x_c_ta_sorted : Essa_obs.Counter.t;
+  x_c_ta_random : Essa_obs.Counter.t;
+  x_c_ta_seen : Essa_obs.Counter.t;
+  x_c_reduced : Essa_obs.Counter.t;
+}
+
+type view =
+  | Full of float array array
+  | Reduced of {
+      advertisers : int array;
+      w : float array array;
+      top : (int * float) list array;
+    }
+  | Flat_top of (int * float) list array
+  | Priced of int array
+
+type eval = { e_assignment : Essa_matching.Assignment.t; e_view : view }
+
+module type S = sig
+  val name : string
+  val winner_determination : ctx -> scratch -> keyword:int -> eval
+  val price : ctx -> scratch -> keyword:int -> eval -> int array
+  val cheap : ctx -> keyword:int -> Essa_matching.Assignment.t * int array
+end
+
+let reset_wd_stats s =
+  s.wd_ta_sorted <- 0;
+  s.wd_ta_random <- 0;
+  s.wd_ta_seen <- 0;
+  s.wd_reduced <- 0
+
+(* Full expected-revenue matrix for the naive methods: w(i,j) = ctr(i,j)
+   times the advertiser's current bid on the queried keyword.  Fills the
+   given scratch's buffer (the engine's own on the serial path, the
+   keyword partition's on the partitioned path). *)
+let fill_weights x s ~reserve ~keyword =
+  let prem = x.x_premiums.(keyword) in
+  for i = 0 to x.x_n - 1 do
+    let bid_c = Essa_strategy.Roi_fleet.bid x.x_fleet ~adv:i ~keyword in
+    let ctr_row = x.x_ctr.(i) and w_row = s.w_buffer.(i) in
+    if bid_c < reserve then
+      (* Below the per-click reserve: cannot win any slot (zero-weight
+         edges are never matched). *)
+      Array.fill w_row 0 x.x_k 0.0
+    else begin
+      let b = float_of_int bid_c in
+      (* Slot 1 carries the Click∧Slot1 premium; same float expression as
+         the TA aggregation below, to keep RH and RHTALU bit-identical. *)
+      w_row.(0) <- ctr_row.(0) *. (b +. float_of_int prem.(i));
+      for j = 1 to x.x_k - 1 do
+        w_row.(j) <- ctr_row.(j) *. b
+      done
+    end
+  done;
+  s.w_buffer
+
+(* `Rh top lists without the matrix: the per-slot scan feeds the same
+   float expressions as [fill_weights] — bid scattered once into the
+   scratch's effective-bid array, ctr read from the slot-major columns —
+   through the same [Reduction.scan_top] kernel (same tie-breaks, same
+   threshold short-circuit), so the lists are bit-identical to
+   [Reduction.top_per_slot] over a filled matrix while skipping the n × k
+   write pass and the matrix's cache footprint entirely.  This is what
+   keeps an evaluation-cache miss on the reduced lists: nothing on the
+   miss path touches an n × k structure anymore. *)
+let rh_top_lists x s ~reserve ~keyword ~count =
+  let eff = s.ta_eff in
+  let n = x.x_n in
+  for i = 0 to n - 1 do
+    eff.(i) <- float_of_int (Essa_strategy.Roi_fleet.bid x.x_fleet ~adv:i ~keyword)
+  done;
+  let prem = x.x_premiums.(keyword) in
+  let reserve_f = float_of_int reserve in
+  Array.init x.x_k (fun j ->
+      let col = x.x_ctr_cols.(j) in
+      let get =
+        if j = 0 then fun i ->
+          let b = eff.(i) in
+          if b < reserve_f then 0.0
+          else col.(i) *. (b +. float_of_int prem.(i))
+        else fun i ->
+          let b = eff.(i) in
+          if b < reserve_f then 0.0 else col.(i) *. b
+      in
+      Essa_matching.Reduction.scan_top ~count ~get 0 n)
+
+(* SoA replica of [Essa_ta.Threshold.top_k] for the auction's three
+   concrete sources, eliminating the generic machinery's per-access cost
+   (Seq nodes, closure dispatch, the Hashtbl seen-set, the boxed top-k
+   heap).  The control flow is a line-for-line copy of the generic loop —
+   round-robin sorted access in source order (ctr, bids, premium), full
+   resolve of each new object, τ from the last values seen, the strict
+   stop rule [min top-k score > τ], canonical ties (higher score, then
+   smaller id) — and the access statistics are counted identically, so
+   the result lists *and* the essa.ta.* counters are bit-identical to the
+   generic path (property-tested).
+
+   Sorted access on the maintained bid lists is an inline merge of the
+   fleet's persistent sorted views ({!Essa_strategy.Roi_fleet.sorted_views}):
+   flat arrays that survive across consecutive auctions of the keyword
+   until a list structurally changes — the TA-resume state.  The seen set
+   is a stamp array and the top-(k+1) buffer an insertion-sorted pair of
+   parallel arrays, both in the per-auction scratch, so a TA open
+   allocates nothing but the k result lists. *)
+let ta_top_lists_fast x s ~reserve ~keyword ~count =
+  let views = Essa_strategy.Roi_fleet.sorted_views x.x_fleet ~keyword in
+  let nv = Array.length views in
+  (* Hoist the view fields and the random-access closure out of the
+     per-access loops. *)
+  let v_ids = Array.map (fun v -> v.Essa_strategy.Roi_fleet.sv_ids) views in
+  let v_bids = Array.map (fun v -> v.Essa_strategy.Roi_fleet.sv_bids) views in
+  let v_adj = Array.map (fun v -> v.Essa_strategy.Roi_fleet.sv_adjust) views in
+  let v_len = Array.map (fun v -> v.Essa_strategy.Roi_fleet.sv_len) views in
+  let n = x.x_n in
+  (* The views partition the advertisers (one view of all n for explicit
+     strategies; the inc/dec/const lists for logical ones), so scattering
+     them through the id axis yields every advertiser's effective bid as
+     one unboxed float read — the random access of the TA resolve step,
+     without a closure call per object. *)
+  let eff = s.ta_eff in
+  let filled = ref 0 in
+  for v = 0 to Array.length views - 1 do
+    let ids = v_ids.(v) and bids = v_bids.(v) in
+    let adj = v_adj.(v) and len = v_len.(v) in
+    for i = 0 to len - 1 do
+      eff.(ids.(i)) <- float_of_int (bids.(i) + adj)
+    done;
+    filled := !filled + len
+  done;
+  assert (!filled = n);
+  let reserve = float_of_int reserve in
+  let premiums = x.x_premiums.(keyword) in
+  let prem_ids = x.x_prem_ids.(keyword) and prem_vals = x.x_prem_vals.(keyword) in
+  let seen = s.ta_seen in
+  let tk_ids = s.tk_ids and tk_scores = s.tk_scores in
+  let vcur = Array.make nv 0 in
+  let tops = Array.make x.x_k [] in
+  (* Cached merge heads: hd_bid.(v) / hd_id.(v) mirror the entry at
+     vcur.(v), recomputed only when view v is consumed — the merge pick is
+     then a scan of scalars.  hd_bid = min_int marks a drained view. *)
+  let hd_bid = Array.make nv 0 and hd_id = Array.make nv 0 in
+  for j = 0 to x.x_k - 1 do
+    let d = if j = 0 then 3 else 2 in
+    let ctr_ids = x.x_ctr_ids.(j) and ctr_vals = x.x_ctr_vals.(j) in
+    let ctr_col = x.x_ctr_cols.(j) in
+    s.ta_token <- s.ta_token + 1;
+    let token = s.ta_token in
+    let tk_size = ref 0 in
+    let c_ctr = ref 0 and c_prem = ref 0 in
+    Array.fill vcur 0 nv 0;
+    for v = 0 to nv - 1 do
+      if v_len.(v) > 0 then begin
+        hd_id.(v) <- v_ids.(v).(0);
+        hd_bid.(v) <- v_bids.(v).(0) + v_adj.(v)
+      end
+      else hd_bid.(v) <- min_int
+    done;
+    let last_ctr = ref infinity
+    and last_bid = ref infinity
+    and last_prem = ref infinity in
+    let exh_ctr = ref false and exh_bid = ref false and exh_prem = ref false in
+    let yld_ctr = ref false and yld_bid = ref false and yld_prem = ref false in
+    let sorted_accesses = ref 0
+    and random_accesses = ref 0
+    and seen_objects = ref 0 in
+    let resolve id =
+      if seen.(id) <> token then begin
+        seen.(id) <- token;
+        incr seen_objects;
+        random_accesses := !random_accesses + d;
+        let b = eff.(id) in
+        (* Same float expressions as the generic sources' [f]: sub-reserve
+           bids score 0, slot 1 carries the Click∧Slot1 premium. *)
+        let sc =
+          if b < reserve then 0.0
+          else if j = 0 then ctr_col.(id) *. (b +. float_of_int premiums.(id))
+          else ctr_col.(id) *. b
+        in
+        (* Offer to the insertion-sorted top-[count] buffer; canonical
+           order: higher score first, ties to the smaller id. *)
+        let full = !tk_size >= count in
+        let accept =
+          count > 0
+          && ((not full)
+             ||
+             let ms = tk_scores.(count - 1) in
+             sc > ms || (sc = ms && id < tk_ids.(count - 1)))
+        in
+        if accept then begin
+          let p = ref (if full then count - 1 else !tk_size) in
+          if not full then incr tk_size;
+          while
+            !p > 0
+            && (let ps = tk_scores.(!p - 1) in
+                sc > ps || (sc = ps && id < tk_ids.(!p - 1)))
+          do
+            tk_scores.(!p) <- tk_scores.(!p - 1);
+            tk_ids.(!p) <- tk_ids.(!p - 1);
+            decr p
+          done;
+          tk_scores.(!p) <- sc;
+          tk_ids.(!p) <- id
+        end
+      end
+    in
+    (* One round of the generic loop — step every source in order (ctr,
+       bids, premium), then test the strict stop rule — with the step and
+       τ bodies inlined into the round loop: these run a few thousand
+       times per auction, and on the non-flambda backend each would
+       otherwise be an uninlined closure call. *)
+    let running = ref true in
+    while !running do
+      if !exh_ctr && !exh_bid && (d < 3 || !exh_prem) then running := false
+      else begin
+        (* step ctr *)
+        if not !exh_ctr then begin
+          if !c_ctr >= n then exh_ctr := true
+          else begin
+            let id = ctr_ids.(!c_ctr) in
+            last_ctr := ctr_vals.(!c_ctr);
+            incr c_ctr;
+            incr sorted_accesses;
+            yld_ctr := true;
+            resolve id
+          end
+        end;
+        (* step bids: head of the ≤3-way merge of the sorted views —
+           effective bid descending, id ascending, exactly the
+           [bids_desc] order.  Heads are cached scalars; bids are
+           non-negative, so min_int marks a drained view. *)
+        if not !exh_bid then begin
+          let best = ref (-1) and best_id = ref 0 and best_bid = ref min_int in
+          for v = 0 to nv - 1 do
+            let b = hd_bid.(v) in
+            if b <> min_int then begin
+              let id = hd_id.(v) in
+              if !best < 0 || b > !best_bid || (b = !best_bid && id < !best_id)
+              then begin
+                best := v;
+                best_id := id;
+                best_bid := b
+              end
+            end
+          done;
+          if !best < 0 then exh_bid := true
+          else begin
+            let v = !best in
+            let c = vcur.(v) + 1 in
+            vcur.(v) <- c;
+            if c < v_len.(v) then begin
+              hd_id.(v) <- v_ids.(v).(c);
+              hd_bid.(v) <- v_bids.(v).(c) + v_adj.(v)
+            end
+            else hd_bid.(v) <- min_int;
+            incr sorted_accesses;
+            yld_bid := true;
+            last_bid := float_of_int !best_bid;
+            resolve !best_id
+          end
+        end;
+        (* step premium (slot 1 only) *)
+        if d = 3 && not !exh_prem then begin
+          if !c_prem >= n then exh_prem := true
+          else begin
+            let id = prem_ids.(!c_prem) in
+            last_prem := prem_vals.(!c_prem);
+            incr c_prem;
+            incr sorted_accesses;
+            yld_prem := true;
+            resolve id
+          end
+        end;
+        (* Strict stop rule: min top-[count] score > τ, where τ is f of
+           the last values seen, collapsing to -inf once every source is
+           drained or any source was exhausted without yielding. *)
+        if !tk_size >= count then begin
+          if count = 0 then running := false
+          else begin
+            let tau =
+              let all_drained = !exh_ctr && !exh_bid && (d < 3 || !exh_prem) in
+              let empty_list =
+                (!exh_ctr && not !yld_ctr)
+                || (!exh_bid && not !yld_bid)
+                || (d = 3 && !exh_prem && not !yld_prem)
+              in
+              if all_drained || empty_list then neg_infinity
+              else if !last_bid < reserve then 0.0
+              else if d = 3 then !last_ctr *. (!last_bid +. !last_prem)
+              else !last_ctr *. !last_bid
+            in
+            if tk_scores.(count - 1) > tau then running := false
+          end
+        end
+      end
+    done;
+    let rec build i acc =
+      if i < 0 then acc else build (i - 1) ((tk_ids.(i), tk_scores.(i)) :: acc)
+    in
+    tops.(j) <- build (!tk_size - 1) [];
+    Essa_obs.Counter.add x.x_c_ta_sorted !sorted_accesses;
+    Essa_obs.Counter.add x.x_c_ta_random !random_accesses;
+    Essa_obs.Counter.add x.x_c_ta_seen !seen_objects;
+    (* Keep a per-auction copy in the (lane-private) scratch: the shared
+       counters are cross-lane atomics, so diffing them around one auction
+       would race; these tallies are what the evaluation cache stores. *)
+    s.wd_ta_sorted <- s.wd_ta_sorted + !sorted_accesses;
+    s.wd_ta_random <- s.wd_ta_random + !random_accesses;
+    s.wd_ta_seen <- s.wd_ta_seen + !seen_objects
+  done;
+  tops
+
+(* Per-slot top lists via the threshold algorithm: sorted access on the
+   static ctr list and on the maintained bid lists; the product is the
+   same float expression as [fill_weights], so the lists are identical to
+   a heap scan of the full matrix. *)
+let ta_top_lists_generic x s ~reserve ~keyword ~count =
+  let bids_source =
+    {
+      Essa_ta.Threshold.sorted =
+        (fun () ->
+          Seq.map
+            (fun (adv, b) -> (adv, float_of_int b))
+            (Essa_strategy.Roi_fleet.bids_desc x.x_fleet ~keyword));
+      lookup =
+        (fun adv ->
+          float_of_int (Essa_strategy.Roi_fleet.bid x.x_fleet ~adv ~keyword));
+    }
+  in
+  let premium_source =
+    {
+      Essa_ta.Threshold.sorted =
+        (fun () -> Array.to_seq x.x_premium_sorted.(keyword));
+      lookup = (fun adv -> float_of_int x.x_premiums.(keyword).(adv));
+    }
+  in
+  let slot_top j =
+    let ctr_source =
+      {
+        Essa_ta.Threshold.sorted = (fun () -> Array.to_seq x.x_ctr_sorted.(j));
+        lookup = (fun adv -> x.x_ctr.(adv).(j));
+      }
+    in
+    let reserve = float_of_int reserve in
+    (* Sub-reserve bids score 0, exactly like the matrix paths; the
+       step form keeps f monotone in every attribute. *)
+    if j = 0 then
+      Essa_ta.Threshold.top_k ~k:count
+        ~f:(fun attrs ->
+          if attrs.(1) < reserve then 0.0
+          else attrs.(0) *. (attrs.(1) +. attrs.(2)))
+        [| ctr_source; bids_source; premium_source |]
+    else
+      Essa_ta.Threshold.top_k ~k:count
+        ~f:(fun attrs ->
+          if attrs.(1) < reserve then 0.0 else attrs.(0) *. attrs.(1))
+        [| ctr_source; bids_source |]
+  in
+  (* The k slot TAs only read the fleet (the RHTALU fleet is logical:
+     [bids_desc] is a pure 3-way merge and [bid] two array reads), so
+     with a pool they fan out across worker domains — the per-slot lists
+     and access statistics are computed independently either way, and the
+     stats are folded into the counters in slot order below, keeping the
+     metrics bit-identical to the sequential scan. *)
+  let tops =
+    match x.x_pool with
+    | Some pool when x.x_n >= x.x_parallel_threshold && x.x_k > 1 ->
+        Essa_util.Domain_pool.run_array pool
+          (Array.init x.x_k (fun j () -> slot_top j))
+    | _ -> Array.init x.x_k slot_top
+  in
+  Array.map
+    (fun ((top, stats) : _ * Essa_ta.Threshold.stats) ->
+      Essa_obs.Counter.add x.x_c_ta_sorted stats.sorted_accesses;
+      Essa_obs.Counter.add x.x_c_ta_random stats.random_accesses;
+      Essa_obs.Counter.add x.x_c_ta_seen stats.seen_objects;
+      s.wd_ta_sorted <- s.wd_ta_sorted + stats.sorted_accesses;
+      s.wd_ta_random <- s.wd_ta_random + stats.random_accesses;
+      s.wd_ta_seen <- s.wd_ta_seen + stats.seen_objects;
+      top)
+    tops
+
+(* The pooled fan-out keeps the generic closure-based TA (worker domains
+   evaluate whole slots concurrently); everything else takes the SoA fast
+   path.  Same lists, same counters, property-tested against each other. *)
+let ta_top_lists x s ~reserve ~keyword ~count =
+  match x.x_pool with
+  | Some _ when x.x_n >= x.x_parallel_threshold && x.x_k > 1 ->
+      ta_top_lists_generic x s ~reserve ~keyword ~count
+  | _ -> ta_top_lists_fast x s ~reserve ~keyword ~count
+
+(* Degraded winner determination: one pass over the fleet taking the top-k
+   advertisers by slot-1 expected revenue (same float expression as the
+   matrix paths), assigned greedily to slots 1..k.  O(n log k), no
+   Hungarian, no reduced view — the deadline fallback tier.  Prices are
+   pay-as-bid (plus the slot-1 premium), floored at the reserve: under a
+   blown budget the system serves *something* billable rather than
+   computing incentive-clean prices it has no time for. *)
+let cheap_allocation x ~reserve ~keyword =
+  let prem = x.x_premiums.(keyword) in
+  let top =
+    Essa_util.Topk.create ~k:x.x_k
+      ~compare:(fun (sa, ia, _) (sb, ib, _) ->
+        let c = Float.compare sa sb in
+        if c <> 0 then c else Int.compare ib ia)
+  in
+  for i = 0 to x.x_n - 1 do
+    let bid_c = Essa_strategy.Roi_fleet.bid x.x_fleet ~adv:i ~keyword in
+    if bid_c >= reserve then begin
+      let s = x.x_ctr.(i).(0) *. (float_of_int bid_c +. float_of_int prem.(i)) in
+      if s > 0.0 then ignore (Essa_util.Topk.offer top (s, i, bid_c))
+    end
+  done;
+  let assignment = Array.make x.x_k None in
+  let prices = Array.make x.x_k 0 in
+  List.iteri
+    (fun j (_, i, bid_c) ->
+      assignment.(j) <- Some i;
+      prices.(j) <- max reserve (bid_c + if j = 0 then prem.(i) else 0))
+    (Essa_util.Topk.to_sorted_list top);
+  (assignment, prices)
+
+(* Reduced pricing view out of the scratch buffers: a stamp pass dedupes
+   the top lists (no Set), the candidate ids are sorted in place
+   (ascending, as before — ≤ k·(k+1) ints), and the weight rows are
+   refilled rather than reallocated.  The two [Array.sub] views are the
+   only per-auction allocation left, and they are O(k²) pointers,
+   independent of n. *)
+let reduced_from_top x s ~reserve ~keyword top =
+  s.stamp_token <- s.stamp_token + 1;
+  let token = s.stamp_token in
+  let count = ref 0 in
+  Array.iter
+    (fun lst ->
+      List.iter
+        (fun (i, _) ->
+          if s.stamp.(i) <> token then begin
+            s.stamp.(i) <- token;
+            s.reduced_advs.(!count) <- i;
+            incr count
+          end)
+        lst)
+    top;
+  let advertisers = Array.sub s.reduced_advs 0 !count in
+  Array.sort Int.compare advertisers;
+  let prem = x.x_premiums.(keyword) in
+  for r = 0 to !count - 1 do
+    let i = advertisers.(r) in
+    s.local_of.(i) <- r;
+    let row = s.reduced_w_rows.(r) in
+    let bid_c = Essa_strategy.Roi_fleet.bid x.x_fleet ~adv:i ~keyword in
+    if bid_c < reserve then Array.fill row 0 x.x_k 0.0
+    else begin
+      let b = float_of_int bid_c in
+      row.(0) <- x.x_ctr.(i).(0) *. (b +. float_of_int prem.(i));
+      for j = 1 to x.x_k - 1 do
+        row.(j) <- x.x_ctr.(i).(j) *. b
+      done
+    end
+  done;
+  Essa_obs.Counter.add x.x_c_reduced !count;
+  s.wd_reduced <- s.wd_reduced + !count;
+  (advertisers, Array.sub s.reduced_w_rows 0 !count)
+
+(* GSP against the reduced top lists without the per-slot Hashtbl of
+   [Pricing.gsp_per_click]: winners are stamped in the scratch (a fresh
+   token, so it composes with [reduced_from_top]'s stamps) and the
+   runner-up is the first unstamped entry of the slot's list — same
+   search, same price arithmetic, same reserve floor. *)
+let gsp_from_top x s ~reserve ~assignment ~top =
+  s.stamp_token <- s.stamp_token + 1;
+  let token = s.stamp_token in
+  Array.iter
+    (function None -> () | Some i -> s.stamp.(i) <- token)
+    assignment;
+  Array.mapi
+    (fun j0 cell ->
+      match cell with
+      | None -> 0
+      | Some winner ->
+          let rec runner = function
+            | [] -> 0
+            | (i, weight) :: rest ->
+                if s.stamp.(i) = token then runner rest
+                else
+                  let p = x.x_ctr.(winner).(j0) in
+                  if p <= 0.0 || weight <= 0.0 then 0
+                  else int_of_float (Float.ceil ((weight /. p) -. 1e-9))
+          in
+          max (runner top.(j0)) reserve)
+    assignment
+
+(* ------------------------------------------------------------------ *)
+(* Flat-store auction paths: everything below reads the keyword's
+   partition view (live slots only) instead of per-advertiser arrays, so
+   per-auction cost is O(live · k) — independent of the fleet size and of
+   the keyword count.  Scores use the same float expressions as
+   [fill_weights] / [cheap_allocation], and candidate order (score
+   descending, global id ascending; reduced view in ascending global id)
+   matches the dense `Rh path, so on a universe where partitions and
+   fleet agree the two engines assign and price identically. *)
+
+let flat_winner_determination x s ~reserve ~keyword =
+  let store = Essa_strategy.Roi_fleet.store_of x.x_fleet in
+  let fv = Sstore.flat_view store ~keyword in
+  let members = fv.Sstore.fv_members
+  and bids = fv.Sstore.fv_bids
+  and prems = fv.Sstore.fv_premiums in
+  let len = fv.Sstore.fv_len in
+  let count = x.x_k + 1 in
+  let tk_ids = s.tk_ids and tk_scores = s.tk_scores and tk_slots = s.tk_slots in
+  let tops = Array.make x.x_k [] in
+  s.stamp_token <- s.stamp_token + 1;
+  let token = s.stamp_token in
+  let ncand = ref 0 in
+  for j = 0 to x.x_k - 1 do
+    (* Insertion-sorted top-(k+1) scan of the live slots; canonical order:
+       higher score first, ties to the smaller global id. *)
+    let tk_size = ref 0 in
+    for slot = 0 to len - 1 do
+      let gid = members.(slot) in
+      if gid >= 0 then begin
+        let bid_c = bids.(slot) in
+        let sc =
+          if bid_c < reserve then 0.0
+          else
+            let b = float_of_int bid_c in
+            if j = 0 then x.x_ctr.(gid).(0) *. (b +. float_of_int prems.(slot))
+            else x.x_ctr.(gid).(j) *. b
+        in
+        let full = !tk_size >= count in
+        let accept =
+          (not full)
+          ||
+          let ms = tk_scores.(count - 1) in
+          sc > ms || (sc = ms && gid < tk_ids.(count - 1))
+        in
+        if accept then begin
+          let p = ref (if full then count - 1 else !tk_size) in
+          if not full then incr tk_size;
+          while
+            !p > 0
+            && (let ps = tk_scores.(!p - 1) in
+                sc > ps || (sc = ps && gid < tk_ids.(!p - 1)))
+          do
+            tk_scores.(!p) <- tk_scores.(!p - 1);
+            tk_ids.(!p) <- tk_ids.(!p - 1);
+            tk_slots.(!p) <- tk_slots.(!p - 1);
+            decr p
+          done;
+          tk_scores.(!p) <- sc;
+          tk_ids.(!p) <- gid;
+          tk_slots.(!p) <- slot
+        end
+      end
+    done;
+    let rec build i acc =
+      if i < 0 then acc else build (i - 1) ((tk_ids.(i), tk_scores.(i)) :: acc)
+    in
+    tops.(j) <- build (!tk_size - 1) [];
+    (* Fold this slot's survivors into the reduced candidate set (stamp
+       dedupe on partition slots). *)
+    for i = 0 to !tk_size - 1 do
+      let slot = tk_slots.(i) in
+      if s.stamp.(slot) <> token then begin
+        s.stamp.(slot) <- token;
+        s.reduced_advs.(!ncand) <- slot;
+        incr ncand
+      end
+    done
+  done;
+  (* Reduced pricing view in ascending global-id order, exactly like the
+     dense [reduced_from_top]. *)
+  let slots = Array.sub s.reduced_advs 0 !ncand in
+  Array.sort (fun a b -> Int.compare members.(a) members.(b)) slots;
+  let advertisers = Array.map (fun slot -> members.(slot)) slots in
+  for r = 0 to !ncand - 1 do
+    let slot = slots.(r) in
+    let gid = members.(slot) in
+    let row = s.reduced_w_rows.(r) in
+    let bid_c = bids.(slot) in
+    if bid_c < reserve then Array.fill row 0 x.x_k 0.0
+    else begin
+      let b = float_of_int bid_c in
+      row.(0) <- x.x_ctr.(gid).(0) *. (b +. float_of_int prems.(slot));
+      for j = 1 to x.x_k - 1 do
+        row.(j) <- x.x_ctr.(gid).(j) *. b
+      done
+    end
+  done;
+  Essa_obs.Counter.add x.x_c_reduced !ncand;
+  s.wd_reduced <- s.wd_reduced + !ncand;
+  let reduced =
+    Essa_matching.Hungarian.solve ~w:(Array.sub s.reduced_w_rows 0 !ncand)
+  in
+  let assignment =
+    Array.map (Option.map (fun local -> advertisers.(local))) reduced
+  in
+  (assignment, tops)
+
+(* GSP runner-up search over the flat top lists.  Winner membership is a
+   linear scan of the ≤ k assignment cells (the scratch stamp array is
+   slot-indexed here, while top entries carry global ids). *)
+let gsp_from_top_flat x ~reserve ~assignment ~top =
+  let is_winner id =
+    let rec go j0 =
+      if j0 >= Array.length assignment then false
+      else
+        match assignment.(j0) with
+        | Some w when w = id -> true
+        | _ -> go (j0 + 1)
+    in
+    go 0
+  in
+  Array.mapi
+    (fun j0 cell ->
+      match cell with
+      | None -> 0
+      | Some winner ->
+          let rec runner = function
+            | [] -> 0
+            | (i, weight) :: rest ->
+                if is_winner i then runner rest
+                else
+                  let p = x.x_ctr.(winner).(j0) in
+                  if p <= 0.0 || weight <= 0.0 then 0
+                  else int_of_float (Float.ceil ((weight /. p) -. 1e-9))
+          in
+          max (runner top.(j0)) reserve)
+    assignment
+
+(* The deadline-degraded single-pass fallback, flat form: top-k of the
+   live slots by slot-1 expected revenue, pay-as-bid prices floored at the
+   reserve — same scores, same tie order as [cheap_allocation]. *)
+let cheap_allocation_flat x ~reserve ~keyword =
+  let store = Essa_strategy.Roi_fleet.store_of x.x_fleet in
+  let fv = Sstore.flat_view store ~keyword in
+  let members = fv.Sstore.fv_members
+  and bids = fv.Sstore.fv_bids
+  and prems = fv.Sstore.fv_premiums in
+  let len = fv.Sstore.fv_len in
+  let top =
+    Essa_util.Topk.create ~k:x.x_k
+      ~compare:(fun (sa, ia, _) (sb, ib, _) ->
+        let c = Float.compare sa sb in
+        if c <> 0 then c else Int.compare ib ia)
+  in
+  for slot = 0 to len - 1 do
+    let gid = members.(slot) in
+    if gid >= 0 then begin
+      let bid_c = bids.(slot) in
+      if bid_c >= reserve then begin
+        let s =
+          x.x_ctr.(gid).(0) *. (float_of_int bid_c +. float_of_int prems.(slot))
+        in
+        if s > 0.0 then ignore (Essa_util.Topk.offer top (s, gid, slot))
+      end
+    end
+  done;
+  let assignment = Array.make x.x_k None in
+  let prices = Array.make x.x_k 0 in
+  List.iteri
+    (fun j (_, gid, slot) ->
+      assignment.(j) <- Some gid;
+      prices.(j) <- max reserve (bids.(slot) + if j = 0 then prems.(slot) else 0))
+    (Essa_util.Topk.to_sorted_list top);
+  (assignment, prices)

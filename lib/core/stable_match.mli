@@ -1,0 +1,65 @@
+(** Aggarwal–Muthukrishnan–Pál's general auction mechanism for search
+    advertising (WWW'09): generalized assignment with {e per-slot
+    max-price constraints}, solved as a stable matching by an ascending
+    (1-cent increment) auction — the mechanism that bridges GSP and VCG
+    and stays truthful when bidders cap what they will pay per slot.
+
+    Model: bidder [i] values a click at [b_i] cents (on slot 1, the
+    Click∧Slot1 premium is part of the willingness to pay) and accepts
+    slot [j] only at a per-click price [p_j <= m_ij].  A matching with
+    slot prices is {e stable} when no bidder strictly prefers another
+    slot at its current price (empty slots) or at one cent above it
+    (occupied slots — the auction's increment ε).  The ascending auction
+    computes such a matching deterministically: unmatched bidders demand
+    their utility-maximizing acceptable slot, contested slots rise by one
+    cent, and the process reaches its fixed point when no bidder wants to
+    move.  Prices are the auction's termination prices, floored at the
+    reserve.
+
+    {!solve} is the pure solver (unit tests exercise binding max-price
+    constraints through it); {!mech} packages it as an engine mechanism
+    over the fleet's current bids with [m_ij] = willingness to pay —
+    deterministic, RNG-free and keyword-local, so the engine's evaluation
+    cache, decimation windows and WAL replay apply unchanged. *)
+
+type outcome = {
+  sm_assignment : int option array;
+      (** slot → winning candidate index (caller's index space) *)
+  sm_prices : int array;
+      (** per-click price per slot: the auction's termination price for
+          occupied slots (≥ reserve), 0 for empty ones *)
+}
+
+val solve :
+  bids:int array ->
+  ctr:(int -> int -> float) ->
+  ?premiums:int array ->
+  ?max_price:(int -> int -> int) ->
+  reserve:int ->
+  k:int ->
+  unit ->
+  outcome
+(** [solve ~bids ~ctr ~reserve ~k ()] runs the ascending auction over
+    candidates [0 .. Array.length bids - 1] and slots [0 .. k-1].
+    [ctr i j] is candidate [i]'s click probability in slot [j+1];
+    [premiums] (default all 0) is the per-candidate Click∧Slot1 premium,
+    added to the bid as slot-1 willingness to pay; [max_price i j]
+    (default: the willingness to pay itself) caps the per-click price
+    candidate [i] accepts for slot [j].  Deterministic: candidates are
+    queued in ascending index order and ties in utility go to the lower
+    slot index.
+
+    Guarantees at termination (asserted by the property tests): no
+    candidate strictly prefers an empty slot at its price, or an occupied
+    slot at its price plus one cent, within its max-price constraints;
+    every price charged respects [reserve] and the winner's constraint
+    [p_j <= m_ij]. *)
+
+val mech : (module Mechanism.S)
+(** The engine mechanism: candidates are the keyword's bidders (all
+    advertisers on dense engines, live slots on flat ones), willingness
+    to pay is the current bid (plus premium on slot 1), [m_ij] the
+    willingness to pay, and the floor the engine reserve.  Winner
+    determination and pricing happen in one pass (the view is
+    {!Mechanism.Priced}); the degraded tier is the classic cheap
+    allocation. *)

@@ -115,20 +115,26 @@ let read_payload payload =
 
 (* Writer: one mutex serializes appends from all lanes.  Each record is
    staged in a scratch buffer, framed (length + CRC), written in a
-   single [output_string], then flushed — and fsynced under [`Always].
-   Rotation closes the current segment and opens the next numbered
-   one. *)
+   single [output_string], then flushed — and fsynced per the durability
+   policy: [`Always] after every record, [`Every n] once per n records
+   (group commit: one disk barrier amortized over the group, bounding
+   loss to the last < n accepted records), [`Never] not at all.  Every
+   policy except [`Never] also fsyncs on rotation and close, so a synced
+   suffix never outlives an unsynced prefix (the loader stops at the
+   first hole).  Rotation closes the current segment and opens the next
+   numbered one. *)
 
 type writer = {
   dir : string;
   segment_bytes : int;
-  fsync : [ `Always | `Never ];
+  fsync : [ `Always | `Never | `Every of int ];
   lock : Mutex.t;
   payload_buf : Buffer.t;
   frame_buf : Buffer.t;
   mutable seg_index : int;
   mutable oc : out_channel;
   mutable seg_written : int;  (* bytes in the current segment, magic included *)
+  mutable unsynced : int;  (* records appended since the last fsync *)
   mutable closed : bool;
 }
 
@@ -141,6 +147,9 @@ let open_segment dir i =
 let create_writer ?(segment_bytes = 4 * 1024 * 1024) ?(fsync = `Never) ~dir () =
   if segment_bytes < 4096 then
     invalid_arg "Wal.create_writer: segment_bytes < 4096";
+  (match fsync with
+  | `Every n when n < 1 -> invalid_arg "Wal.create_writer: `Every n with n < 1"
+  | _ -> ());
   if not (Sys.file_exists dir) then Unix.mkdir dir 0o755;
   (* Never clobber recovered history: start after the last existing
      segment. *)
@@ -159,21 +168,34 @@ let create_writer ?(segment_bytes = 4 * 1024 * 1024) ?(fsync = `Never) ~dir () =
     seg_index = next;
     oc = open_segment dir next;
     seg_written = String.length magic;
+    unsynced = 0;
     closed = false;
   }
 
+let do_fsync w =
+  Unix.fsync (Unix.descr_of_out_channel w.oc);
+  w.unsynced <- 0
+
+(* Post-append durability: count the record, then barrier per policy. *)
 let sync w =
   flush w.oc;
+  w.unsynced <- w.unsynced + 1;
   match w.fsync with
-  | `Always -> Unix.fsync (Unix.descr_of_out_channel w.oc)
+  | `Always -> do_fsync w
+  | `Every n -> if w.unsynced >= n then do_fsync w
+  | `Never -> ()
+
+(* Boundary (rotation/close) durability: drain whatever the group-commit
+   window still holds, unless the policy never syncs. *)
+let sync_boundary w =
+  flush w.oc;
+  match w.fsync with
+  | `Always | `Every _ -> if w.unsynced > 0 then do_fsync w
   | `Never -> ()
 
 let rotate_if_needed w =
   if w.seg_written >= w.segment_bytes then begin
-    flush w.oc;
-    (match w.fsync with
-    | `Always -> Unix.fsync (Unix.descr_of_out_channel w.oc)
-    | `Never -> ());
+    sync_boundary w;
     close_out w.oc;
     w.seg_index <- w.seg_index + 1;
     w.oc <- open_segment w.dir w.seg_index;
@@ -210,7 +232,7 @@ let close_writer w =
     ~finally:(fun () -> Mutex.unlock w.lock)
     (fun () ->
       if not w.closed then begin
-        sync w;
+        sync_boundary w;
         close_out w.oc;
         w.closed <- true
       end)

@@ -40,7 +40,7 @@ type writer
 
 val create_writer :
   ?segment_bytes:int ->
-  ?fsync:[ `Always | `Never ] ->
+  ?fsync:[ `Always | `Never | `Every of int ] ->
   dir:string ->
   unit ->
   writer
@@ -49,10 +49,15 @@ val create_writer :
     the segments it recovered from.  [segment_bytes] (default 4 MiB)
     rotates to a fresh segment once the current one exceeds it (records
     never split across segments).  [fsync] is the durability policy:
-    [`Always] fsyncs after every record (crash loses nothing accepted),
-    [`Never] only flushes the userspace buffer (crash may lose the OS
-    cache; torn tails are still trimmed).  Default [`Never].
-    @raise Invalid_argument on [segment_bytes < 4096]. *)
+    [`Always] fsyncs after every record (crash loses nothing accepted);
+    [`Every n] group-commits — one fsync per [n] appended records, plus
+    one draining the open group at rotation and close, so a crash loses
+    at most the last [n - 1] accepted records and a synced suffix never
+    outlives an unsynced prefix ([`Every 1] ≡ [`Always]); [`Never] only
+    flushes the userspace buffer (crash may lose the OS cache; torn
+    tails are still trimmed).  Default [`Never].
+    @raise Invalid_argument on [segment_bytes < 4096] or
+    [`Every n] with [n < 1]. *)
 
 val append : writer -> seq:int -> Essa.Engine.summary -> unit
 (** Append one committed auction.  Thread-safe. *)
@@ -64,7 +69,7 @@ val append_snapshot :
     sequence numbers covered by the snapshot.  Thread-safe. *)
 
 val close_writer : writer -> unit
-(** Flush (and fsync under [`Always]) and close.  Idempotent. *)
+(** Flush (and fsync unless [`Never]) and close.  Idempotent. *)
 
 (** {2 Reading} *)
 

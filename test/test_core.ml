@@ -215,7 +215,9 @@ let test_auction_rejects_class_bids () =
 let test_auction_vcg_pricing_runs () =
   let model = simple_model () in
   let bids = Array.make 3 (Essa_bidlang.Bids.of_strings [ ("click", 10) ]) in
-  let config = { Essa.Auction.method_ = `Hungarian; pricing = `Vcg } in
+  let config =
+    { Essa.Auction.default_config with method_ = `Hungarian; pricing = `Vcg }
+  in
   let result = Essa.Auction.run ~config ~model ~bids ~rng:(Essa_util.Rng.create 2) () in
   Alcotest.(check bool) "ran" true (List.length result.winners >= 0)
 

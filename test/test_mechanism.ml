@@ -1,0 +1,408 @@
+(* Tests for the first-class mechanism interface (Essa.Mechanism).
+
+   The load-bearing suites are the bit-identity properties: the classic
+   GSP/VCG path re-expressed through the interface must be
+   indistinguishable from itself under equivalent constructions (default
+   vs explicit [`Classic], [`Reserve (`Fixed zeros)] vs [`Classic]) —
+   summary streams AND counters — across serial dense, partitioned dense
+   and flat engines, at random bid-update decimation.  The new
+   mechanisms get the same cache-twin treatment as the classic one plus
+   their own invariants: no blocking pair for the ascending
+   stable-matching auction, floor respect for the reserve mechanism. *)
+
+module Engine = Essa.Engine
+module Workload = Essa_sim.Workload
+module Stable_match = Essa.Stable_match
+
+let qtest ?(count = 10) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen prop)
+
+let counters reg =
+  List.filter_map
+    (fun (e : Essa_obs.Registry.entry) ->
+      match e.metric with
+      | Essa_obs.Registry.Counter c -> Some (e.name, Essa_obs.Counter.value c)
+      | _ -> None)
+    (Essa_obs.Registry.entries reg)
+  |> List.sort compare
+
+let counters_except_cache reg =
+  List.filter
+    (fun (name, _) -> not (String.starts_with ~prefix:"essa.engine.cache" name))
+    (counters reg)
+
+(* ------------------------------------------------------------------ *)
+(* Equivalence: [`Reserve (`Fixed zeros)] delegates to the classic
+   mechanism with an unchanged floor, so it must be bit-identical to
+   [`Classic] — summaries and counters — on every engine shape.  This
+   pins the delegation plumbing (the per-keyword floor recomputation must
+   be a no-op at zero) and, symmetrically, that the classic path really
+   does flow through the mechanism interface. *)
+
+let gen_seed_update = QCheck2.Gen.(pair (int_range 0 10_000) (int_range 1 16))
+
+let run_dense ~mechanism ~pricing ~partitioned ~seed ~update_every =
+  let wl =
+    Workload.section5 ~seed ~n:40 ~k:4 ~num_keywords:6 ~budgeted_fraction:0.3 ()
+  in
+  let q = Workload.queries wl ~seed:(seed + 1) ~count:300 in
+  let reg = Essa_obs.Registry.create () in
+  let engine =
+    Workload.make_engine ~metrics:reg ~partitioned ~update_every ~pricing
+      ~mechanism wl ~method_:`Rhtalu
+  in
+  let run =
+    if partitioned then Engine.run_partitioned ?deadline_ns:None ?batch:None
+    else Engine.run_auction ?deadline_ns:None
+  in
+  let summaries = Array.map (fun kw -> run engine ~keyword:kw) q in
+  (summaries, counters reg)
+
+let run_flat ~mechanism ~seed ~update_every =
+  let u =
+    Workload.universe ~keywords:12 ~n:60 ~zipf_s:1.1 ~budgeted_fraction:0.3
+      ~seed ()
+  in
+  let q = Workload.universe_queries u ~seed:(seed + 1) ~count:300 in
+  let reg = Essa_obs.Registry.create () in
+  let engine =
+    Workload.make_flat_engine ~metrics:reg ~update_every ~mechanism u
+      ~store:(Workload.universe_store ~churn:0.05 u ())
+  in
+  let summaries =
+    Array.map (fun kw -> Engine.run_partitioned engine ~keyword:kw) q
+  in
+  (summaries, counters reg)
+
+let prop_reserve_zero_is_classic_dense =
+  qtest "`Reserve (`Fixed 0s) = `Classic (dense serial+partitioned, gsp+vcg)"
+    gen_seed_update (fun (seed, update_every) ->
+      let zeros = `Reserve (`Fixed (Array.make 6 0)) in
+      List.for_all
+        (fun (pricing, partitioned) ->
+          let s_c, c_c =
+            run_dense ~mechanism:`Classic ~pricing ~partitioned ~seed
+              ~update_every
+          and s_r, c_r =
+            run_dense ~mechanism:zeros ~pricing ~partitioned ~seed
+              ~update_every
+          in
+          s_c = s_r && c_c = c_r)
+        [ (`Gsp, false); (`Vcg, false); (`Gsp, true) ])
+
+let prop_reserve_zero_is_classic_flat =
+  qtest "`Reserve (`Fixed 0s) = `Classic (flat partitioned, churn)"
+    gen_seed_update (fun (seed, update_every) ->
+      let zeros = `Reserve (`Fixed (Array.make 12 0)) in
+      let s_c, c_c = run_flat ~mechanism:`Classic ~seed ~update_every
+      and s_r, c_r = run_flat ~mechanism:zeros ~seed ~update_every in
+      s_c = s_r && c_c = c_r)
+
+(* Default construction (no [?mechanism], ESSA_MECHANISM unset) is the
+   classic mechanism.  Skipped under the CI mechanism sweep, where the
+   default is intentionally redirected. *)
+let test_default_is_classic () =
+  match Sys.getenv_opt "ESSA_MECHANISM" with
+  | Some s when s <> "" -> ()
+  | _ ->
+      let wl = Workload.section5 ~seed:7 ~n:30 ~k:4 ~num_keywords:5 () in
+      let q = Workload.queries wl ~seed:8 ~count:200 in
+      let e_default = Workload.make_engine wl ~method_:`Rhtalu in
+      let e_classic =
+        Workload.make_engine ~mechanism:`Classic wl ~method_:`Rhtalu
+      in
+      Alcotest.(check string)
+        "default mechanism name" "gsp"
+        (Engine.mechanism_name e_default);
+      Alcotest.(check bool) "summaries identical" true
+        (Array.for_all
+           (fun kw ->
+             Engine.run_auction e_default ~keyword:kw
+             = Engine.run_auction e_classic ~keyword:kw)
+           q)
+
+let test_mechanism_names () =
+  let wl = Workload.section5 ~seed:3 ~n:10 ~k:3 ~num_keywords:4 () in
+  let name ?pricing ?mechanism () =
+    Engine.mechanism_name
+      (Workload.make_engine ?pricing ?mechanism wl ~method_:`Rh)
+  in
+  Alcotest.(check string) "gsp" "gsp" (name ~mechanism:`Classic ());
+  Alcotest.(check string) "vcg" "vcg" (name ~pricing:`Vcg ~mechanism:`Classic ());
+  Alcotest.(check string) "stable" "stable" (name ~mechanism:`Stable ());
+  Alcotest.(check string) "reserve" "reserve"
+    (name ~mechanism:(`Reserve `Monopoly) ())
+
+(* ------------------------------------------------------------------ *)
+(* Cache twins for the new mechanisms: the evaluation cache must stay
+   observationally invisible under `Stable and `Reserve `Monopoly, like
+   it is (test_core) under the classic mechanism. *)
+
+let cache_twin_dense mechanism (seed, update_every) =
+  let wl =
+    Workload.section5 ~seed ~n:40 ~k:4 ~num_keywords:6 ~budgeted_fraction:0.3 ()
+  in
+  let q = Workload.queries wl ~seed:(seed + 1) ~count:300 in
+  let r_off = Essa_obs.Registry.create ()
+  and r_on = Essa_obs.Registry.create () in
+  let engine cache metrics =
+    Workload.make_engine ~metrics ~cache ~update_every ~mechanism wl
+      ~method_:`Rhtalu
+  in
+  let e_off = engine false r_off and e_on = engine true r_on in
+  Array.for_all
+    (fun kw ->
+      Engine.run_auction e_off ~keyword:kw = Engine.run_auction e_on ~keyword:kw)
+    q
+  && counters_except_cache r_off = counters_except_cache r_on
+  && (update_every < 4
+     ||
+     match Essa_obs.Registry.find r_on "essa.engine.cache_hits" with
+     | Some (Essa_obs.Registry.Counter c) -> Essa_obs.Counter.value c > 0
+     | _ -> false)
+
+let cache_twin_flat mechanism (seed, update_every) =
+  let u =
+    Workload.universe ~keywords:12 ~n:60 ~zipf_s:1.1 ~budgeted_fraction:0.3
+      ~seed ()
+  in
+  let q = Workload.universe_queries u ~seed:(seed + 1) ~count:300 in
+  let r_off = Essa_obs.Registry.create ()
+  and r_on = Essa_obs.Registry.create () in
+  let engine cache metrics =
+    Workload.make_flat_engine ~metrics ~cache ~update_every ~mechanism u
+      ~store:(Workload.universe_store ~churn:0.05 u ())
+  in
+  let e_off = engine false r_off and e_on = engine true r_on in
+  Array.for_all
+    (fun kw ->
+      Engine.run_partitioned e_off ~keyword:kw
+      = Engine.run_partitioned e_on ~keyword:kw)
+    q
+  && counters_except_cache r_off = counters_except_cache r_on
+
+let prop_cache_twin_stable_dense =
+  qtest ~count:8 "cache on = cache off (`Stable, dense)" gen_seed_update
+    (cache_twin_dense `Stable)
+
+let prop_cache_twin_reserve_dense =
+  qtest ~count:8 "cache on = cache off (`Reserve `Monopoly, dense)"
+    gen_seed_update
+    (cache_twin_dense (`Reserve `Monopoly))
+
+let prop_cache_twin_stable_flat =
+  qtest ~count:6 "cache on = cache off (`Stable, flat churn)" gen_seed_update
+    (cache_twin_flat `Stable)
+
+let prop_cache_twin_reserve_flat =
+  qtest ~count:6 "cache on = cache off (`Reserve `Monopoly, flat churn)"
+    gen_seed_update
+    (cache_twin_flat (`Reserve `Monopoly))
+
+(* ------------------------------------------------------------------ *)
+(* Stable matching: the solver's fixed point has no blocking pair.  A
+   candidate would deviate to slot [j] when the effective price there
+   (current price, +1 cent if occupied — the auction's ε) is within its
+   max-price constraint, below its willingness to pay, and yields
+   strictly more utility than its current seat.  At termination no such
+   slot may exist, and every charged price respects the reserve and the
+   winner's constraints. *)
+
+let gen_stable_instance =
+  QCheck2.Gen.(
+    int_range 1 12 >>= fun n ->
+    int_range 1 6 >>= fun k ->
+    int_range 0 5 >>= fun reserve ->
+    array_repeat n (int_range 0 40) >>= fun bids ->
+    array_repeat n (int_range 0 10) >>= fun premiums ->
+    array_repeat n (array_repeat k (int_range 0 48)) >>= fun caps ->
+    array_repeat n (array_repeat k (float_range 0.0 0.9)) >>= fun raw_ctr ->
+    (* Push small probabilities to exactly 0 so zero-CTR slots (never
+       acceptable) are exercised. *)
+    let ctr =
+      Array.map (Array.map (fun c -> if c < 0.1 then 0.0 else c)) raw_ctr
+    in
+    return (n, k, reserve, bids, premiums, caps, ctr))
+
+let prop_no_blocking_pair =
+  qtest ~count:500 "ascending auction terminates stable (no blocking pair)"
+    gen_stable_instance
+    (fun (n, k, reserve, bids, premiums, caps, ctr) ->
+      let out =
+        Stable_match.solve ~bids
+          ~ctr:(fun i j -> ctr.(i).(j))
+          ~premiums
+          ~max_price:(fun i j -> caps.(i).(j))
+          ~reserve ~k ()
+      in
+      let wtp i j = bids.(i) + if j = 0 then premiums.(i) else 0 in
+      let slot_of = Array.make n (-1) in
+      Array.iteri
+        (fun j -> function Some i -> slot_of.(i) <- j | None -> ())
+        out.Stable_match.sm_assignment;
+      (* Winner-side invariants. *)
+      Array.iteri
+        (fun j cell ->
+          match cell with
+          | None ->
+              if out.Stable_match.sm_prices.(j) <> 0 then
+                QCheck2.Test.fail_reportf "empty slot %d priced" j
+          | Some i ->
+              let p = out.Stable_match.sm_prices.(j) in
+              if bids.(i) < reserve then
+                QCheck2.Test.fail_reportf "sub-reserve bidder %d seated" i;
+              if p < reserve then
+                QCheck2.Test.fail_reportf "slot %d priced under reserve" j;
+              if p > caps.(i).(j) then
+                QCheck2.Test.fail_reportf "slot %d priced over the cap" j;
+              if p >= wtp i j then
+                QCheck2.Test.fail_reportf
+                  "slot %d priced at or over willingness" j)
+        out.Stable_match.sm_assignment;
+      (* No blocking pair, for every candidate the auction admitted. *)
+      for i = 0 to n - 1 do
+        if bids.(i) >= reserve then begin
+          let u_cur =
+            if slot_of.(i) < 0 then 0.0
+            else
+              let s = slot_of.(i) in
+              ctr.(i).(s)
+              *. float_of_int (wtp i s - out.Stable_match.sm_prices.(s))
+          in
+          for j = 0 to k - 1 do
+            if j <> slot_of.(i) then begin
+              let occupied = out.Stable_match.sm_assignment.(j) <> None in
+              (* Empty slots carry internal price = reserve even though
+                 the outcome reports 0. *)
+              let base =
+                if occupied then out.Stable_match.sm_prices.(j) else reserve
+              in
+              let ep = base + if occupied then 1 else 0 in
+              if
+                ep <= caps.(i).(j)
+                && wtp i j > ep
+                && ctr.(i).(j) > 0.0
+                && ctr.(i).(j) *. float_of_int (wtp i j - ep)
+                   > u_cur +. 1e-9
+              then
+                QCheck2.Test.fail_reportf
+                  "blocking pair: candidate %d prefers slot %d (ep=%d)" i j ep
+            end
+          done
+        end
+      done;
+      true)
+
+(* The two-bidder ascent by hand: bids 10 and 6 contest a single slot;
+   prices climb a cent per eviction until the weaker bidder drops at its
+   willingness to pay.  Winner 0 at exactly the runner-up's value — the
+   auction recovers the second price. *)
+let test_stable_two_bidder_ascent () =
+  let out =
+    Stable_match.solve ~bids:[| 10; 6 |]
+      ~ctr:(fun _ _ -> 1.0)
+      ~reserve:0 ~k:1 ()
+  in
+  Alcotest.(check (option int)) "winner" (Some 0)
+    out.Stable_match.sm_assignment.(0);
+  Alcotest.(check int) "second price" 6 out.Stable_match.sm_prices.(0)
+
+(* ------------------------------------------------------------------ *)
+(* Reserve: fixed floors are respected by every charged price, and a
+   floor above every bid empties the keyword instead of seating anyone. *)
+
+let test_reserve_fixed_floor_respected () =
+  let wl =
+    Workload.section5 ~seed:17 ~n:40 ~k:4 ~num_keywords:6 ~budgeted_fraction:0.3
+      ()
+  in
+  let q = Workload.queries wl ~seed:18 ~count:400 in
+  let engine =
+    Workload.make_engine
+      ~mechanism:(`Reserve (`Fixed [| 7; 9; 11; 7; 9; 11 |]))
+      wl ~method_:`Rhtalu
+  in
+  let floors = [| 7; 9; 11; 7; 9; 11 |] in
+  Array.iter
+    (fun kw ->
+      let s = Engine.run_auction engine ~keyword:kw in
+      Array.iteri
+        (fun j cell ->
+          match cell with
+          | None -> ()
+          | Some _ ->
+              if s.Engine.prices.(j) < floors.(kw) then
+                Alcotest.failf "keyword %d slot %d priced %d under floor %d" kw
+                  j
+                  s.Engine.prices.(j)
+                  floors.(kw))
+        s.Engine.assignment)
+    q
+
+let test_reserve_floor_above_all_bids () =
+  let wl = Workload.section5 ~seed:19 ~n:30 ~k:4 ~num_keywords:5 () in
+  let q = Workload.queries wl ~seed:20 ~count:200 in
+  (* Section V values are <= 50 cents; a 1000-cent floor outbids everyone. *)
+  let engine =
+    Workload.make_engine
+      ~mechanism:(`Reserve (`Fixed (Array.make 5 1000)))
+      wl ~method_:`Rhtalu
+  in
+  Array.iter
+    (fun kw ->
+      let s = Engine.run_auction engine ~keyword:kw in
+      Alcotest.(check int) "no revenue" 0 s.Engine.revenue;
+      Array.iter
+        (function
+          | Some _ -> Alcotest.fail "slot filled above the universal floor"
+          | None -> ())
+        s.Engine.assignment)
+    q;
+  Alcotest.(check int) "engine total revenue" 0 (Engine.total_revenue engine)
+
+let test_reserve_fixed_validation () =
+  let wl = Workload.section5 ~seed:21 ~n:10 ~k:3 ~num_keywords:6 () in
+  let raises mechanism =
+    match Workload.make_engine ~mechanism wl ~method_:`Rh with
+    | (_ : Engine.t) -> false
+    | exception Invalid_argument _ -> true
+  in
+  Alcotest.(check bool) "wrong-length floors rejected" true
+    (raises (`Reserve (`Fixed [| 7 |])));
+  Alcotest.(check bool) "negative floor rejected" true
+    (raises (`Reserve (`Fixed [| 1; 2; 3; 4; 5; -1 |])))
+
+let () =
+  Alcotest.run "essa_mechanism"
+    [
+      ( "equivalence",
+        [
+          prop_reserve_zero_is_classic_dense;
+          prop_reserve_zero_is_classic_flat;
+          Alcotest.test_case "default construction is classic GSP" `Quick
+            test_default_is_classic;
+          Alcotest.test_case "mechanism names" `Quick test_mechanism_names;
+        ] );
+      ( "cache",
+        [
+          prop_cache_twin_stable_dense;
+          prop_cache_twin_reserve_dense;
+          prop_cache_twin_stable_flat;
+          prop_cache_twin_reserve_flat;
+        ] );
+      ( "stable_match",
+        [
+          prop_no_blocking_pair;
+          Alcotest.test_case "two-bidder ascent" `Quick
+            test_stable_two_bidder_ascent;
+        ] );
+      ( "reserve",
+        [
+          Alcotest.test_case "fixed floors respected" `Quick
+            test_reserve_fixed_floor_respected;
+          Alcotest.test_case "floor above all bids empties the keyword" `Quick
+            test_reserve_floor_above_all_bids;
+          Alcotest.test_case "floor validation" `Quick
+            test_reserve_fixed_validation;
+        ] );
+    ]

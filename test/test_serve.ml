@@ -925,14 +925,23 @@ let golden_hash summaries =
     0x9E3779 summaries
 
 let golden_pin ~method_ ~expected () =
-  let workload =
-    Essa_sim.Workload.section5 ~seed:71 ~n:40 ~k:4 ~num_keywords:6
-      ~brand_fraction:0.25 ~budgeted_fraction:0.25 ()
-  in
-  let queries = Essa_sim.Workload.queries workload ~seed:72 ~count:300 in
-  let summaries, _ = run_served workload ~method_ ~workers:2 ~max_batch:7 ~queries in
-  Alcotest.(check int) "pinned served-stream hash" expected
-    (golden_hash summaries)
+  (* The hash pins the *classic* mechanism's seed behaviour; under the CI
+     mechanism sweep (ESSA_MECHANISM redirects the engine factories'
+     default) the stream legitimately differs, so the pin is skipped —
+     the equivalence and replay suites above still run in full there. *)
+  match Sys.getenv_opt "ESSA_MECHANISM" with
+  | Some ("stable" | "reserve") -> ()
+  | _ ->
+      let workload =
+        Essa_sim.Workload.section5 ~seed:71 ~n:40 ~k:4 ~num_keywords:6
+          ~brand_fraction:0.25 ~budgeted_fraction:0.25 ()
+      in
+      let queries = Essa_sim.Workload.queries workload ~seed:72 ~count:300 in
+      let summaries, _ =
+        run_served workload ~method_ ~workers:2 ~max_batch:7 ~queries
+      in
+      Alcotest.(check int) "pinned served-stream hash" expected
+        (golden_hash summaries)
 
 (* `Rh and `Rhtalu are two algorithms for the same auction: identical
    streams, hence the same pin. *)

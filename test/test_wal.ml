@@ -217,6 +217,34 @@ let test_wal_roundtrip () =
   | _ -> Alcotest.fail "expected trailing summary record");
   Alcotest.(check int) "second compact is a no-op" 0 (Wal.compact ~dir)
 
+(* Group commit: an [`Every n] writer fsyncs once per [n] records, but a
+   clean close drains the open group — nothing appended before close may
+   be lost, even when the append count is not a multiple of [n].  A
+   non-positive group size is a construction error. *)
+let test_wal_group_commit () =
+  let _engine, summaries = sample_summaries ~count:7 in
+  let dir = temp_dir () in
+  Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
+  let w = Wal.create_writer ~fsync:(`Every 3) ~dir () in
+  Array.iteri (fun i s -> Wal.append w ~seq:i s) summaries;
+  Wal.close_writer w;
+  let { Wal.entries; trimmed } = Wal.load ~dir in
+  Alcotest.(check bool) "no trim" false trimmed;
+  Alcotest.(check int) "all records durable after close" 7
+    (List.length entries);
+  List.iteri
+    (fun i e ->
+      match e with
+      | Wal.Summary { seq; summary } ->
+          Alcotest.(check int) "seq" i seq;
+          if summary <> summaries.(i) then
+            Alcotest.failf "summary %d did not round-trip" i
+      | Wal.Snapshot _ -> Alcotest.fail "unexpected snapshot record")
+    entries;
+  match Wal.create_writer ~fsync:(`Every 0) ~dir () with
+  | (_ : Wal.writer) -> Alcotest.fail "`Every 0 accepted"
+  | exception Invalid_argument _ -> ()
+
 (* ---------------------------------------------------------------- *)
 (* Torn tails: truncate the final segment at every byte offset of its
    last record; the loader must trim to the last valid record, and
@@ -412,7 +440,21 @@ let test_kill_recover_decoupled workers () =
       ~seed:21 ()
   in
   let trace = Workload.universe_queries u ~seed:22 ~count:400 in
-  let churn = 0.1 in
+  (* Churn arrivals enroll a uniform advertiser, so a churned universe is
+     only *approximately* decoupled: a bidder cross-enrolled from another
+     keyword carries its global spend cell into this keyword's begin-pass
+     witness.  The classic mechanism's pinned seed never has a nonzero
+     foreign spend at a snapshot point, so the strongest cross-run
+     contract holds with churn on; under the CI mechanism sweep
+     (ESSA_MECHANISM=stable|reserve) price dynamics differ and the
+     coupling surfaces in the witness, so exact decoupling is restored by
+     disabling churn — the coupled variant below keeps churn coverage
+     under every mechanism. *)
+  let churn =
+    match Sys.getenv_opt "ESSA_MECHANISM" with
+    | Some ("stable" | "reserve") -> 0.0
+    | _ -> 0.1
+  in
   let rc, combined, engine_of =
     kill_recover ~universe:u ~churn ~workers ~kill:150 ~trace
       ~wal_snapshot_every:2 ()
@@ -547,6 +589,8 @@ let () =
             test_wal_roundtrip;
           Alcotest.test_case "torn tail at every offset" `Quick
             test_wal_torn_tail;
+          Alcotest.test_case "group commit drains at close" `Quick
+            test_wal_group_commit;
         ] );
       ( "continuation",
         [
